@@ -1,0 +1,74 @@
+//! Ablation of the symbolic pipeline's stages: how much each of the
+//! paper's four optimization steps contributes, in recipe size and in
+//! measured per-tile execution time (F(6,3), the α = 8 sweet spot).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wino_conv::TileTransformer;
+use wino_symbolic::RecipeOptions;
+use wino_transform::{TransformRecipes, WinogradSpec};
+
+fn variants() -> Vec<(&'static str, RecipeOptions)> {
+    vec![
+        (
+            "all-off",
+            RecipeOptions {
+                cse: false,
+                factorize: false,
+                fma: false,
+            },
+        ),
+        (
+            "cse-only",
+            RecipeOptions {
+                cse: true,
+                factorize: false,
+                fma: false,
+            },
+        ),
+        (
+            "factorize-only",
+            RecipeOptions {
+                cse: false,
+                factorize: true,
+                fma: false,
+            },
+        ),
+        (
+            "cse+factorize",
+            RecipeOptions {
+                cse: true,
+                factorize: true,
+                fma: false,
+            },
+        ),
+        ("all-on", RecipeOptions::optimized()),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let spec = WinogradSpec::new(6, 3).expect("valid");
+    let alpha = spec.alpha();
+    let tile: Vec<f32> = (0..alpha * alpha)
+        .map(|k| (k as f32) * 0.013 - 0.4)
+        .collect();
+    let mut out = vec![0.0f32; alpha * alpha];
+
+    let mut group = c.benchmark_group("pipeline_ablation_f63_input_transform");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(30);
+    for (label, opts) in variants() {
+        let recipes = TransformRecipes::generate(spec, opts).expect("generates");
+        let ops = recipes.input.op_count();
+        let mut tt = TileTransformer::new(&recipes.input);
+        group.bench_function(BenchmarkId::new(label, format!("{ops}")), |b| {
+            b.iter(|| tt.transform(black_box(&tile), &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion timings of the meta-programming layer itself: symbolic
+//! recipe derivation (run once per F(m,r) and cached in the recipe
+//! database) and full kernel-plan generation (run once per tuning
+//! point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wino_codegen::{generate_plan, CodegenOptions, PlanVariant};
+use wino_num::RatMat;
+use wino_symbolic::{generate_recipe, RecipeOptions};
+use wino_tensor::ConvDesc;
+use wino_transform::{table3_points, toom_cook_matrices, WinogradSpec};
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meta_programming");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+
+    // Symbolic pipeline cost per transform matrix.
+    for alpha in [4usize, 8, 12] {
+        let spec = WinogradSpec::new(alpha - 2, 3).expect("valid");
+        let mats = toom_cook_matrices(spec, &table3_points(alpha).expect("ok")).expect("ok");
+        let bt: RatMat = mats.b_t.clone();
+        group.bench_function(
+            BenchmarkId::new("recipe_pipeline", format!("alpha{alpha}")),
+            |b| b.iter(|| generate_recipe(black_box(&bt), &RecipeOptions::optimized())),
+        );
+    }
+
+    // Toom-Cook exact matrix construction.
+    group.bench_function("toom_cook_alpha8", |b| {
+        let spec = WinogradSpec::new(6, 3).expect("valid");
+        let points = table3_points(8).expect("ok");
+        b.iter(|| toom_cook_matrices(black_box(spec), black_box(&points)).unwrap())
+    });
+
+    // Full plan generation (templates + cost derivation), as the
+    // auto-tuner pays it per point.
+    let desc = ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32);
+    for (label, variant) in [
+        ("nonfused_m6", PlanVariant::WinogradNonFused { m: 6 }),
+        ("fused_m2", PlanVariant::WinogradFused { m: 2 }),
+        ("im2col", PlanVariant::Im2col),
+    ] {
+        group.bench_function(BenchmarkId::new("generate_plan", label), |b| {
+            b.iter(|| generate_plan(black_box(&desc), variant, &CodegenOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion timings of the real CPU convolution engines: the
+//! measured (not modelled) counterpart of the paper's engine
+//! comparison. Direct vs im2col+GEMM vs Winograd (both variants,
+//! small and sweet-spot tile sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use wino_conv::{conv_direct_f32, conv_im2col, conv_winograd, WinogradConfig, WinogradVariant};
+use wino_tensor::{ConvDesc, Tensor4};
+
+fn bench_engines(c: &mut Criterion) {
+    let desc = ConvDesc::new(3, 1, 1, 64, 1, 28, 28, 32);
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = Tensor4::<f32>::random(1, 32, 28, 28, -1.0, 1.0, &mut rng);
+    let filters = Tensor4::<f32>::random(64, 32, 3, 3, -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("conv3x3_28x28x32to64");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+
+    group.bench_function("direct", |b| {
+        b.iter(|| conv_direct_f32(black_box(&input), black_box(&filters), &desc).unwrap())
+    });
+    group.bench_function("im2col+gemm", |b| {
+        b.iter(|| conv_im2col(black_box(&input), black_box(&filters), &desc).unwrap())
+    });
+    for (label, m, variant) in [
+        ("winograd-nonfused-m2", 2, WinogradVariant::NonFused),
+        ("winograd-nonfused-m6", 6, WinogradVariant::NonFused),
+        ("winograd-fused-m2", 2, WinogradVariant::Fused),
+        ("winograd-fused-m6", 6, WinogradVariant::Fused),
+    ] {
+        let cfg = WinogradConfig::new(m).with_variant(variant);
+        group.bench_function(label, |b| {
+            b.iter(|| conv_winograd(black_box(&input), black_box(&filters), &desc, &cfg).unwrap())
+        });
+    }
+    group.finish();
+
+    // 5×5 layer — the case vendor Winograd implementations skip.
+    let desc5 = ConvDesc::new(5, 1, 2, 32, 1, 28, 28, 16);
+    let input5 = Tensor4::<f32>::random(1, 16, 28, 28, -1.0, 1.0, &mut rng);
+    let filters5 = Tensor4::<f32>::random(32, 16, 5, 5, -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("conv5x5_28x28x16to32");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("im2col+gemm", |b| {
+        b.iter(|| conv_im2col(black_box(&input5), black_box(&filters5), &desc5).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("winograd-nonfused", "m4"), |b| {
+        let cfg = WinogradConfig::new(4);
+        b.iter(|| conv_winograd(black_box(&input5), black_box(&filters5), &desc5, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

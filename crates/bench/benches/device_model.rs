@@ -1,0 +1,30 @@
+//! Criterion timings of the analytic device model: how fast the
+//! simulator evaluates plans (the auto-tuner's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wino_codegen::{generate_plan, CodegenOptions, PlanVariant};
+use wino_gpu::{estimate_plan_ms, gtx_1080_ti};
+use wino_tensor::ConvDesc;
+
+fn bench_model(c: &mut Criterion) {
+    let desc = ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32);
+    let plan = generate_plan(
+        &desc,
+        PlanVariant::WinogradNonFused { m: 6 },
+        &CodegenOptions::default(),
+    )
+    .expect("generates");
+    let device = gtx_1080_ti();
+    let mut group = c.benchmark_group("device_model");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("estimate_plan", |b| {
+        b.iter(|| estimate_plan_ms(black_box(&device), black_box(&plan)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion timings of the SGEMM substrate: blocked vs naive, plus
+//! the batched shape the non-fused Winograd multiplication stage uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+use wino_gemm::{batched_sgemm, gemm_flops, sgemm, sgemm_naive, BatchedGemmShape};
+
+fn random_vec(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_sgemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut group = c.benchmark_group("sgemm");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+
+    for n in [64usize, 192] {
+        let a = random_vec(&mut rng, n * n);
+        let b = random_vec(&mut rng, n * n);
+        let mut cbuf = vec![0.0f32; n * n];
+        group.throughput(Throughput::Elements(gemm_flops(n, n, n)));
+        group.bench_function(BenchmarkId::new("blocked", n), |bch| {
+            bch.iter(|| sgemm(black_box(&a), black_box(&b), &mut cbuf, n, n, n))
+        });
+        group.bench_function(BenchmarkId::new("naive", n), |bch| {
+            bch.iter(|| sgemm_naive(black_box(&a), black_box(&b), &mut cbuf, n, n, n))
+        });
+    }
+
+    // The Winograd multiplication stage: α² = 64 batched multiplies of
+    // K×C · C×P for a 14×14 F(6,3) layer (K=64, C=32, P=9).
+    let shape = BatchedGemmShape {
+        batches: 64,
+        m: 64,
+        k: 32,
+        n: 9,
+    };
+    let a = random_vec(&mut rng, shape.a_len());
+    let b = random_vec(&mut rng, shape.b_len());
+    let mut cbuf = vec![0.0f32; shape.c_len()];
+    group.throughput(Throughput::Elements(shape.flops()));
+    group.bench_function("batched_winograd_stage", |bch| {
+        bch.iter(|| batched_sgemm(&shape, black_box(&a), black_box(&b), &mut cbuf))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgemm);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion timings of the tile-transform recipes — the *measured*
+//! counterpart of Figure 6: optimized recipes vs naive dense
+//! matrix-multiplication recipes executing on the CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wino_conv::TileTransformer;
+use wino_symbolic::RecipeOptions;
+use wino_transform::{TransformRecipes, WinogradSpec};
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("input_transform_per_tile");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(30);
+
+    for (m, r) in [(2usize, 3usize), (6, 3), (4, 5)] {
+        let spec = WinogradSpec::new(m, r).expect("valid");
+        let alpha = spec.alpha();
+        let optimized = TransformRecipes::generate(spec, RecipeOptions::optimized()).expect("ok");
+        let naive = TransformRecipes::generate_naive(spec).expect("ok");
+        let tile: Vec<f32> = (0..alpha * alpha).map(|k| k as f32 * 0.01 - 0.3).collect();
+        let mut out = vec![0.0f32; alpha * alpha];
+
+        let mut tt = TileTransformer::new(&optimized.input);
+        group.bench_function(BenchmarkId::new("optimized", format!("F({m},{r})")), |b| {
+            b.iter(|| tt.transform(black_box(&tile), &mut out))
+        });
+        let mut tn = TileTransformer::new(&naive.input);
+        group.bench_function(
+            BenchmarkId::new("naive-matmul", format!("F({m},{r})")),
+            |b| b.iter(|| tn.transform(black_box(&tile), &mut out)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Experiments: Table 3 (selected points + relative error) and
+//! Figure 4 (L1-error distribution and growth rate per α).
+
+use wino_conv::measure_conv_error;
+use wino_transform::{table3_paper_error, table3_points, ErrorStats, WinogradSpec};
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Internal tile size α.
+    pub alpha: usize,
+    /// The selected points, rendered like the paper (`BP ∪ (…)`).
+    pub points: String,
+    /// Measured median relative error (FP32 Winograd vs FP64 direct).
+    pub measured: f64,
+    /// The paper's reported relative error.
+    pub paper: f64,
+}
+
+/// The α range of Table 3.
+pub const ALPHA_RANGE: std::ops::RangeInclusive<usize> = 4..=16;
+
+/// Spec used for a given α in the accuracy experiments: 3-tap filter,
+/// m = α − 2 (the accuracy of a point set is a property of α, not of
+/// the m/r split; 3×3 is the dominant layer shape).
+pub fn spec_for_alpha(alpha: usize) -> WinogradSpec {
+    WinogradSpec::new(alpha - 2, 3).expect("alpha >= 4")
+}
+
+/// Regenerates Table 3 with `trials` random convolutions per row.
+///
+/// # Panics
+/// Never for α in [`ALPHA_RANGE`] (point sets exist for all).
+pub fn table3_rows(trials: usize, seed: u64) -> Vec<Table3Row> {
+    ALPHA_RANGE
+        .map(|alpha| {
+            let points = table3_points(alpha).expect("supported alpha");
+            let stats = measure_conv_error(spec_for_alpha(alpha), &points, trials, seed)
+                .expect("accuracy probe runs");
+            let rendered = if alpha == 4 {
+                "BP = (0, 1, -1)".to_string()
+            } else {
+                let extra: Vec<String> = points[3..].iter().map(|p| p.to_string()).collect();
+                format!("BP u ({})", extra.join(", "))
+            };
+            Table3Row {
+                alpha,
+                points: rendered,
+                measured: stats.median,
+                paper: table3_paper_error(alpha).expect("paper value exists"),
+            }
+        })
+        .collect()
+}
+
+/// One row of Figure 4: the error distribution for one α plus the
+/// growth rate relative to the previous α.
+#[derive(Clone, Debug)]
+pub struct Figure4Row {
+    /// Internal tile size α.
+    pub alpha: usize,
+    /// Error distribution statistics.
+    pub stats: ErrorStats,
+    /// `median(α) / median(α−1)` — the red "error increase rate" line
+    /// of Figure 4 (1.0 for the first α).
+    pub growth: f64,
+}
+
+/// Regenerates the Figure 4 data.
+pub fn figure4_rows(trials: usize, seed: u64) -> Vec<Figure4Row> {
+    let mut rows: Vec<Figure4Row> = Vec::new();
+    for alpha in ALPHA_RANGE {
+        let points = table3_points(alpha).expect("supported alpha");
+        let stats = measure_conv_error(spec_for_alpha(alpha), &points, trials, seed)
+            .expect("accuracy probe runs");
+        let growth = match rows.last() {
+            Some(prev) if prev.stats.median > 0.0 => stats.median / prev.stats.median,
+            _ => 1.0,
+        };
+        rows.push(Figure4Row {
+            alpha,
+            stats,
+            growth,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        let rows = table3_rows(15, 42);
+        assert_eq!(rows.len(), 13);
+        // Monotone-ish growth: last α must be orders of magnitude worse
+        // than the first.
+        assert!(rows.last().unwrap().measured > 100.0 * rows[0].measured);
+        // Each measured error within two orders of magnitude of the
+        // paper's value (different RNG, probe tensor and trial count).
+        for row in &rows {
+            let ratio = row.measured / row.paper;
+            assert!(
+                (0.01..100.0).contains(&ratio),
+                "alpha {}: measured {} vs paper {}",
+                row.alpha,
+                row.measured,
+                row.paper
+            );
+        }
+    }
+
+    #[test]
+    fn table3_point_rendering() {
+        let rows = table3_rows(2, 1);
+        assert_eq!(rows[0].points, "BP = (0, 1, -1)");
+        assert!(rows[1].points.starts_with("BP u (2"));
+    }
+
+    #[test]
+    fn figure4_growth_is_positive_and_bounded() {
+        let rows = figure4_rows(15, 7);
+        assert_eq!(rows[0].growth, 1.0);
+        for row in &rows[1..] {
+            assert!(row.growth > 0.0);
+            // The paper observes growth rates between ~1 and ~7 —
+            // never an explosion beyond an order of magnitude per step.
+            assert!(
+                row.growth < 50.0,
+                "alpha {}: growth {}",
+                row.alpha,
+                row.growth
+            );
+        }
+        // Quartiles are ordered.
+        for row in &rows {
+            assert!(row.stats.q1 <= row.stats.median);
+            assert!(row.stats.median <= row.stats.q3);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates Figure 5: arithmetic-operation counts of the Winograd
+//! transformation stages before and after symbolic optimization
+//! (r ∈ {3, 5, 7}, m ∈ [2, 10]), plus the overall reduction ratios.
+
+use wino_bench::{figure5_rows, peak_reduction, Figure5Row, StageOps, TablePrinter};
+
+fn stage_table(rows: &[Figure5Row], r: usize, pick: impl Fn(&Figure5Row) -> &StageOps) {
+    let mut t = TablePrinter::new(&[
+        "F(m,r)",
+        "alpha",
+        "base add",
+        "base mul",
+        "opt add",
+        "opt mul",
+        "opt fma",
+        "reduction",
+    ]);
+    for row in rows.iter().filter(|row| row.r == r) {
+        let s = pick(row);
+        t.row(vec![
+            format!("F({},{})", row.m, row.r),
+            row.alpha().to_string(),
+            s.baseline.add.to_string(),
+            s.baseline.mul.to_string(),
+            s.optimized.add.to_string(),
+            s.optimized.mul.to_string(),
+            s.optimized.fma.to_string(),
+            format!("{:.2}", s.reduction()),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn main() {
+    let rows = figure5_rows();
+
+    for (panel, name, pick) in [
+        (
+            "5a",
+            "Filter transform",
+            (|row: &Figure5Row| &row.filter) as fn(&Figure5Row) -> &StageOps,
+        ),
+        ("5b", "Input transform", |row: &Figure5Row| &row.input),
+        ("5c", "Output transform", |row: &Figure5Row| &row.output),
+    ] {
+        for r in [3usize, 5, 7] {
+            println!("\nFigure {panel} — {name}, {r}x{r} conv");
+            stage_table(&rows, r, pick);
+            let (alpha, red) = peak_reduction(&rows, r, |row| pick(row).reduction());
+            println!("peak reduction: {:.0}% at alpha = {alpha}", red * 100.0);
+        }
+    }
+
+    println!("\nFigure 5d — Overall reduction ratios (single tile)");
+    let mut t = TablePrinter::new(&["F(m,r)", "alpha", "transforms", "whole Winograd"]);
+    for row in &rows {
+        t.row(vec![
+            format!("F({},{})", row.m, row.r),
+            row.alpha().to_string(),
+            format!("{:.2}", row.transforms_reduction()),
+            format!("{:.2}", row.whole_winograd_reduction()),
+        ]);
+    }
+    print!("{}", t.render());
+    for r in [3usize, 5, 7] {
+        let (alpha, red) = peak_reduction(&rows, r, Figure5Row::transforms_reduction);
+        println!(
+            "{r}x{r}: peak transform reduction {:.0}% at alpha = {alpha}",
+            red * 100.0
+        );
+    }
+}

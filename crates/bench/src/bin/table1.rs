@@ -1,0 +1,42 @@
+//! Regenerates Table 1: the tuning parameter space.
+
+use wino_bench::TablePrinter;
+use wino_tensor::ConvDesc;
+use wino_tuner::{search_space, MNB_VALUES, MNT_VALUES};
+
+fn main() {
+    println!("Table 1 — Tuning parameters for Winograd convolutions\n");
+    let mut t = TablePrinter::new(&["Tuning Parameter", "Purpose", "Values"]);
+    t.row(vec![
+        "WV".into(),
+        "Winograd variant (fused / non-fused)".into(),
+        "[0, 1]".into(),
+    ]);
+    t.row(vec![
+        "LU".into(),
+        "Loop unrolling factor".into(),
+        "[1, 2, 4, 6, inf]".into(),
+    ]);
+    t.row(vec![
+        "MNt".into(),
+        "SGEMM register blocking size".into(),
+        format!("{MNT_VALUES:?} (exponential of two)"),
+    ]);
+    t.row(vec![
+        "MNb".into(),
+        "SGEMM thread blocking size".into(),
+        format!("{MNB_VALUES:?} (exponential of two)"),
+    ]);
+    t.row(vec![
+        "m".into(),
+        "Winograd output tile size".into(),
+        "2 <= m <= 10".into(),
+    ]);
+    print!("{}", t.render());
+
+    let sample = ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32);
+    println!(
+        "\nFull brute-force space for a 3x3 stride-1 convolution: {} points",
+        search_space(&sample).len()
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates Table 2: the experimental setup — here, the modelled
+//! device profiles standing in for the paper's three platforms.
+
+use wino_bench::TablePrinter;
+use wino_gpu::paper_devices;
+
+fn main() {
+    println!("Table 2 — Experimental setup (modelled devices; see DESIGN.md §2)\n");
+    let mut t = TablePrinter::new(&[
+        "device",
+        "SMs/CUs",
+        "clock (GHz)",
+        "peak FP32 (TFLOPS)",
+        "bandwidth (GB/s)",
+        "shared/block (KB)",
+        "max thr/block",
+        "warp",
+        "launch (us)",
+    ]);
+    for d in paper_devices() {
+        t.row(vec![
+            d.name.to_string(),
+            d.sm_count.to_string(),
+            format!("{:.2}", d.clock_ghz),
+            format!("{:.2}", d.peak_flops() / 1e12),
+            format!("{:.0}", d.mem_bandwidth_gbps),
+            format!("{}", d.shared_per_block / 1024),
+            d.max_threads_per_block.to_string(),
+            d.warp_size.to_string(),
+            format!("{:.0}", d.launch_overhead_us),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nPaper platforms: NVIDIA GTX 1080 Ti (CUDA 10, cuDNN 7.3), AMD RX 580\n\
+         (MIOpen 2.1), ARM Mali-G71 MP8 on HiKey 960 (ARM Compute Library 20.02.1).\n\
+         Vendor libraries are simulated; see crates/vendor."
+    );
+}

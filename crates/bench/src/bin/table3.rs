@@ -1,0 +1,38 @@
+//! Regenerates Table 3: selected polynomial points per internal tile
+//! size α and their relative error (FP32 Winograd vs FP64 direct,
+//! median over random trials).
+//!
+//! `WINO_TRIALS` overrides the trial count (default 2000; the paper
+//! uses 10000).
+
+use wino_bench::{fmt_sci, table3_rows, TablePrinter};
+
+fn main() {
+    let trials: usize = std::env::var("WINO_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    println!("Table 3 — Polynomial points and relative error ({trials} trials per alpha)\n");
+    let mut t = TablePrinter::new(&[
+        "alpha",
+        "Points",
+        "Measured RelErr",
+        "Paper RelErr",
+        "ratio",
+    ]);
+    for row in table3_rows(trials, 0xACC) {
+        t.row(vec![
+            row.alpha.to_string(),
+            row.points.clone(),
+            fmt_sci(row.measured),
+            fmt_sci(row.paper),
+            format!("{:.2}", row.measured / row.paper),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nNote: absolute errors depend on the probe convolution and RNG; the paper's\n\
+         trend (monotone growth over alpha, ~5 orders of magnitude from 4 to 16) is\n\
+         the reproduced quantity."
+    );
+}

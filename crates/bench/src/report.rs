@@ -1,0 +1,123 @@
+//! Table formatting and summary statistics for the experiment
+//! binaries.
+
+/// Geometric mean — the paper's aggregate for speedups across
+/// convolutions ("All the average speedups reported across the
+/// convolutions are computed using the geometric mean", §4.3).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Scientific-notation rendering matching the paper's FLOPs column
+/// (`1.16e+08`).
+pub fn fmt_sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let exp = v.abs().log10().floor() as i32;
+    let mant = v / 10f64.powi(exp);
+    if (mant - mant.round()).abs() < 5e-3 {
+        format!("{:.0}e{:+03}", mant.round(), exp)
+    } else {
+        format!("{mant:.2}e{exp:+03}")
+    }
+}
+
+/// A simple fixed-width column table printer.
+pub struct TablePrinter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// Creates a printer with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TablePrinter {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_values() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(fmt_sci(1.16e8), "1.16e+08");
+        assert_eq!(fmt_sci(1.0e8), "1e+08");
+        assert_eq!(fmt_sci(4.48e9), "4.48e+09");
+        assert_eq!(fmt_sci(0.0), "0");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TablePrinter::new(&["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert_eq!(
+            lines[1].chars().filter(|&c| c == '-').count(),
+            lines[1].len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TablePrinter::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,231 @@
+//! # wino-cc — compile-and-execute validation of generated kernels
+//!
+//! The paper's outlook (§6) proposes targeting CPUs with the same
+//! meta-code. This crate does exactly that for validation purposes:
+//! a generated kernel's CUDA-C source is textually adapted to plain
+//! C99, wrapped in a serial grid-driver `main()`, compiled with the
+//! system C compiler, and executed against real buffers. This closes
+//! the loop the GPU simulator cannot: the *emitted source text itself*
+//! — spliced recipes, unrolled loops, index arithmetic — is proven to
+//! compute the right values by an independent compiler.
+//!
+//! Only embarrassingly-parallel kernels (one work item per thread, no
+//! `__syncthreads()`) are supported: the three Winograd transforms,
+//! direct convolution, and the im2col gather. Cooperative kernels
+//! (tiled GEMM, fused Winograd) are rejected with a clear error.
+
+#![warn(missing_docs)]
+
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::process::Command;
+
+use wino_ir::Kernel;
+
+/// Errors from the compile-and-execute pipeline.
+#[derive(Debug)]
+pub enum CcError {
+    /// The kernel uses cooperative features this backend cannot
+    /// serialize (shared memory / barriers / multi-dim blocks).
+    Unsupported(String),
+    /// The C compiler failed; carries its stderr.
+    CompileFailed(String),
+    /// The compiled harness failed at run time.
+    RunFailed(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for CcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcError::Unsupported(msg) => write!(f, "kernel unsupported by cc backend: {msg}"),
+            CcError::CompileFailed(err) => write!(f, "cc failed:\n{err}"),
+            CcError::RunFailed(msg) => write!(f, "harness failed: {msg}"),
+            CcError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CcError {}
+
+impl From<io::Error> for CcError {
+    fn from(e: io::Error) -> Self {
+        CcError::Io(e)
+    }
+}
+
+/// Returns `true` if a usable C compiler is on PATH (tests skip
+/// themselves gracefully when not).
+pub fn compiler_available() -> bool {
+    Command::new("cc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// Adapts single-work-item CUDA-C kernel source to plain C99 with the
+/// thread index supplied by a file-scope variable.
+///
+/// # Errors
+/// [`CcError::Unsupported`] when the kernel needs cooperative
+/// execution.
+pub fn adapt_to_c99(source: &str) -> Result<String, CcError> {
+    if source.contains("__syncthreads") || source.contains("__shared__") {
+        return Err(CcError::Unsupported(
+            "kernel uses shared memory / barriers; only per-item kernels run on the cc backend"
+                .into(),
+        ));
+    }
+    let mut out = source.replace("blockIdx.x * blockDim.x + threadIdx.x", "wg_global_id");
+    out = out.replace("__global__ void", "static void");
+    out = out.replace("__restrict__", "restrict");
+    for forbidden in ["blockIdx", "threadIdx", "blockDim", "gridDim"] {
+        if out.contains(forbidden) {
+            return Err(CcError::Unsupported(format!(
+                "kernel uses {forbidden} beyond the linear-gid pattern"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// Compiles `kernel` into a standalone harness and runs it over the
+/// full launch grid, returning the output buffer.
+///
+/// `inputs` are the kernel's buffer parameters in signature order,
+/// excluding the final output parameter, whose length is
+/// `output_len`. Buffers are exchanged through temporary files in
+/// `std::env::temp_dir()`.
+///
+/// # Errors
+/// [`CcError`] for unsupported kernels, compiler failures, or harness
+/// failures.
+pub fn compile_and_run(
+    kernel: &Kernel,
+    inputs: &[&[f32]],
+    output_len: usize,
+) -> Result<Vec<f32>, CcError> {
+    let body = adapt_to_c99(&kernel.source)?;
+    let nparams = inputs.len() + 1;
+    let total_threads = kernel.launch.total_threads();
+
+    // The harness: read inputs, loop the grid, write the output.
+    let mut src = String::new();
+    src.push_str("#include <stdio.h>\n#include <stdlib.h>\n#include <math.h>\n\n");
+    src.push_str("static int wg_global_id;\n\n");
+    src.push_str(&body);
+    src.push_str("\n\nstatic float* load(const char* path, long n) {\n");
+    src.push_str("  FILE* f = fopen(path, \"rb\");\n");
+    src.push_str("  if (!f) { fprintf(stderr, \"open %s\\n\", path); exit(3); }\n");
+    src.push_str("  float* buf = (float*)calloc((size_t)n, sizeof(float));\n");
+    src.push_str("  if (fread(buf, sizeof(float), (size_t)n, f) != (size_t)n) exit(4);\n");
+    src.push_str("  fclose(f); return buf;\n}\n\n");
+    src.push_str("int main(int argc, char** argv) {\n");
+    src.push_str(&format!("  if (argc != {}) return 2;\n", nparams + 1));
+    for (i, buf) in inputs.iter().enumerate() {
+        src.push_str(&format!(
+            "  float* b{i} = load(argv[{}], {});\n",
+            i + 1,
+            buf.len()
+        ));
+    }
+    src.push_str(&format!(
+        "  float* out = (float*)calloc({output_len}, sizeof(float));\n"
+    ));
+    src.push_str(&format!(
+        "  for (long g = 0; g < {total_threads}; ++g) {{\n    wg_global_id = (int)g;\n"
+    ));
+    let kernel_name = &kernel.name;
+    let args: Vec<String> = (0..inputs.len()).map(|i| format!("b{i}")).collect();
+    src.push_str(&format!(
+        "    {kernel_name}({}, out);\n  }}\n",
+        args.join(", ")
+    ));
+    src.push_str(&format!(
+        "  FILE* f = fopen(argv[{nparams}], \"wb\");\n  if (!f) return 5;\n\
+         \x20 fwrite(out, sizeof(float), {output_len}, f);\n  fclose(f);\n  return 0;\n}}\n"
+    ));
+
+    // Unique workspace per invocation.
+    let dir = std::env::temp_dir().join(format!("wino_cc_{}_{}", std::process::id(), kernel.name));
+    std::fs::create_dir_all(&dir)?;
+    let c_path = dir.join("harness.c");
+    std::fs::write(&c_path, &src)?;
+    let exe_path = dir.join("harness");
+
+    let compile = Command::new("cc")
+        .arg("-O1")
+        .arg("-std=c99")
+        .arg("-o")
+        .arg(&exe_path)
+        .arg(&c_path)
+        .arg("-lm")
+        .output()?;
+    if !compile.status.success() {
+        return Err(CcError::CompileFailed(
+            String::from_utf8_lossy(&compile.stderr).into(),
+        ));
+    }
+
+    let mut arg_paths: Vec<PathBuf> = Vec::new();
+    for (i, buf) in inputs.iter().enumerate() {
+        let p = dir.join(format!("in{i}.bin"));
+        let mut f = std::fs::File::create(&p)?;
+        let bytes: Vec<u8> = buf.iter().flat_map(|v| v.to_le_bytes()).collect();
+        f.write_all(&bytes)?;
+        arg_paths.push(p);
+    }
+    let out_path = dir.join("out.bin");
+    arg_paths.push(out_path.clone());
+
+    let run = Command::new(&exe_path).args(&arg_paths).output()?;
+    if !run.status.success() {
+        return Err(CcError::RunFailed(format!(
+            "exit {:?}: {}",
+            run.status.code(),
+            String::from_utf8_lossy(&run.stderr)
+        )));
+    }
+
+    let bytes = std::fs::read(&out_path)?;
+    if bytes.len() != output_len * 4 {
+        return Err(CcError::RunFailed(format!(
+            "output has {} bytes, expected {}",
+            bytes.len(),
+            output_len * 4
+        )));
+    }
+    let out = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapt_rejects_cooperative_kernels() {
+        let err = adapt_to_c99("__global__ void k() { __syncthreads(); }").unwrap_err();
+        assert!(matches!(err, CcError::Unsupported(_)));
+        let err = adapt_to_c99("__global__ void k() { int x = threadIdx.y; }").unwrap_err();
+        assert!(matches!(err, CcError::Unsupported(_)));
+    }
+
+    #[test]
+    fn adapt_translates_per_item_kernels() {
+        let src = "__global__ void k(const float* __restrict__ a, float* __restrict__ b) {\n\
+                   const int gid = blockIdx.x * blockDim.x + threadIdx.x;\n\
+                   b[gid] = a[gid];\n}";
+        let c = adapt_to_c99(src).unwrap();
+        assert!(c.contains("static void k"));
+        assert!(c.contains("wg_global_id"));
+        assert!(!c.contains("__global__"));
+        assert!(!c.contains("blockIdx"));
+    }
+}

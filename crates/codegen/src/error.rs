@@ -1,0 +1,47 @@
+//! Error type for the code generator.
+
+use std::fmt;
+
+use wino_transform::TransformError;
+
+/// Errors produced during kernel generation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CodegenError {
+    /// A template referenced a placeholder with no binding.
+    UnboundPlaceholder(String),
+    /// A template placeholder was malformed (unterminated `%(`).
+    MalformedTemplate(String),
+    /// Recipe/transform generation failed.
+    Transform(TransformError),
+    /// The requested configuration cannot be generated (e.g. Winograd
+    /// for a strided convolution).
+    Unsupported(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnboundPlaceholder(name) => {
+                write!(f, "template placeholder %({name}) has no binding")
+            }
+            CodegenError::MalformedTemplate(msg) => write!(f, "malformed template: {msg}"),
+            CodegenError::Transform(e) => write!(f, "transform error: {e}"),
+            CodegenError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodegenError::Transform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransformError> for CodegenError {
+    fn from(e: TransformError) -> Self {
+        CodegenError::Transform(e)
+    }
+}

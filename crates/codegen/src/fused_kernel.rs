@@ -1,0 +1,332 @@
+//! Generator for the fused single-kernel Winograd variant (§3.2.2).
+//!
+//! One launch does everything: half of each thread block transforms
+//! the filter tiles it needs, the other half transforms input tiles
+//! (the paper's thread split), the block loops over input channels
+//! accumulating the element-wise products in registers, and finally
+//! all threads cooperate on the output transform. Intermediates live
+//! in shared memory, which is exactly why the variant is preferable
+//! for small configurations and infeasible for large ones.
+
+use std::collections::BTreeMap;
+
+use wino_ir::{CostProfile, Dim3, Kernel, KernelKind, LaunchConfig};
+use wino_tensor::{tile_counts, ConvDesc};
+use wino_transform::TransformRecipes;
+
+use crate::error::CodegenError;
+use crate::options::CodegenOptions;
+use crate::recipe_render::render_recipe_block;
+use crate::template::render_template;
+use crate::unroll::control_overhead;
+
+const FUSED_TEMPLATE: &str = r#"// generated: %(name) — fused Winograd convolution F(%(M),%(R))
+// CUCL IN in img:chan:y:x IN filts K:C:r:r OUT out img:chan:y:x
+// block: %(BK) filters x %(BT) tiles, looping over %(C) channels
+%(qualifier) %(name)(const float* __restrict__ in,
+                     const float* __restrict__ filts,
+                     float* __restrict__ out) {
+  %(shared) float Us[%(BK)][%(ALPHA2)];
+  %(shared) float Vs[%(BT)][%(ALPHA2)];
+  const int kb = blockIdx.y * %(BK);
+  const int tb = blockIdx.x * %(BT);
+  const int tid = threadIdx.x;
+  float acc[%(ACC_PER_THREAD)];
+  for (int i = 0; i < %(ACC_PER_THREAD); ++i) acc[i] = 0.0f;
+  for (int c = 0; c < %(C); ++c) {
+    // First half of the block: filter transforms into shared memory.
+    if (tid < %(HALF)) {
+      for (int f = tid; f < %(BK); f += %(HALF)) {
+        if (kb + f < %(K)) {
+          float g[%(R)][%(R)];
+          %(filt_loads)
+          float Ut[%(ALPHA)][%(ALPHA)];
+          %(winograd_filt_transform)
+          for (int s = 0; s < %(ALPHA2); ++s)
+            Us[f][s] = Ut[s / %(ALPHA)][s %% %(ALPHA)];
+        }
+      }
+    } else {
+      // Second half: input-tile transforms.
+      for (int t = tid - %(HALF); t < %(BT); t += %(HALF)) {
+        if (tb + t < %(P)) {
+          float d[%(ALPHA)][%(ALPHA)];
+          %(in_tile_loads)
+          float Vt[%(ALPHA)][%(ALPHA)];
+          %(winograd_in_transform)
+          for (int s = 0; s < %(ALPHA2); ++s)
+            Vs[t][s] = Vt[s / %(ALPHA)][s %% %(ALPHA)];
+        }
+      }
+    }
+    __syncthreads();
+    // Element-wise multiply, distributed over all threads.
+    %(elementwise_multiply)
+    __syncthreads();
+  }
+  // Output transform + placement, one (filter, tile) pair per thread.
+  %(winograd_out_transform_and_store)
+}
+"#;
+
+/// Per-block extents of the fused kernel: `bk` filters × `bt` tiles.
+fn block_extents(opts: &CodegenOptions) -> (usize, usize) {
+    let e = (4 * opts.mnt).clamp(4, 32);
+    (e, e)
+}
+
+/// Generates the fused Winograd kernel.
+///
+/// # Errors
+/// Template failures; [`CodegenError::Unsupported`] for configurations
+/// whose per-thread accumulator footprint is plainly ungeneratable
+/// (the softer shared-memory/occupancy limits are left to the device
+/// model, which is what decides fused-vs-non-fused per platform).
+pub fn gen_fused_winograd_kernel(
+    desc: &ConvDesc,
+    recipes: &TransformRecipes,
+    opts: &CodegenOptions,
+) -> Result<Kernel, CodegenError> {
+    let spec = recipes.spec;
+    let (m, r, alpha) = (spec.m, spec.r, spec.alpha());
+    let a2 = alpha * alpha;
+    let (th, tw) = tile_counts(desc.out_h(), desc.out_w(), m);
+    let p_total = desc.batch * th * tw;
+    let (kc, cc) = (desc.out_ch, desc.in_ch);
+    let (bk, bt) = block_extents(opts);
+    let threads = opts.threads_per_block();
+    let half = threads / 2;
+    // Each thread owns whole (filter, tile) pairs so the accumulators
+    // it gathers for the output transform are its own registers.
+    let pairs_per_thread = (bk * bt).div_ceil(threads);
+    let acc_per_thread = pairs_per_thread * a2;
+    if acc_per_thread > 256 {
+        return Err(CodegenError::Unsupported(format!(
+            "fused F({m},{r}): {acc_per_thread} accumulators per thread cannot be generated"
+        )));
+    }
+    let name = format!("wg_fused_m{m}_r{r}");
+    let (ph, pw) = (desc.in_h + 2 * desc.pad, desc.in_w + 2 * desc.pad);
+
+    let filt_loads = format!(
+        "for (int l = 0; l < {rr}; ++l)\n\
+         g[l / {r}][l %% {r}] = filts[(((kb + f) * {cc} + c) * {r} + l / {r}) * {r} + l %% {r}];",
+        rr = r * r,
+    );
+    let filt_transform = two_pass(&recipes.filter, "g", "Tg", "Ut");
+    let in_tile_loads = format!(
+        "const int p = tb + t;\n\
+         const int n = p / {tpi};\n\
+         const int ty = (p %% {tpi}) / {tw};\n\
+         const int tx = p %% {tw};\n\
+         for (int dy = 0; dy < {alpha}; ++dy)\n\
+           for (int dx = 0; dx < {alpha}; ++dx) {{\n\
+             const int y = ty * {m} + dy, x = tx * {m} + dx;\n\
+             d[dy][dx] = (y < {ph} && x < {pw})\n\
+               ? in[((n * {cc} + c) * {ph} + y) * {pw} + x] : 0.0f;\n\
+           }}",
+        tpi = th * tw,
+    );
+    let in_transform = two_pass(&recipes.input, "d", "Td", "Vt");
+    let elementwise = format!(
+        "for (int pair = tid; pair < {bk} * {bt}; pair += {threads}) {{\n\
+           const int f = pair / {bt};\n\
+           const int t = pair %% {bt};\n\
+           const int base = (pair / {threads}) * {a2};\n\
+           for (int s = 0; s < {a2}; ++s)\n\
+             acc[base + s] = fmaf(Us[f][s], Vs[t][s], acc[base + s]);\n\
+         }}"
+    );
+    let out_transform_body = two_pass(&recipes.output, "Macc", "Ta", "Y");
+    let out_store = format!(
+        "for (int pair = tid; pair < {bk} * {bt}; pair += {threads}) {{\n\
+           const int f = pair / {bt};\n\
+           const int t = pair %% {bt};\n\
+           if (kb + f >= {kc} || tb + t >= {p_total}) continue;\n\
+           float Macc[{alpha}][{alpha}];\n\
+           %(gather_acc)\n\
+           {out_transform_body}\
+           const int p = tb + t;\n\
+           const int n = p / {tpi};\n\
+           const int ty = (p %% {tpi}) / {tw};\n\
+           const int tx = p %% {tw};\n\
+           for (int dy = 0; dy < {m}; ++dy)\n\
+             for (int dx = 0; dx < {m}; ++dx) {{\n\
+               const int y = ty * {m} + dy, x = tx * {m} + dx;\n\
+               if (y < {oh} && x < {ow})\n\
+                 out[((n * {kc} + kb + f) * {oh} + y) * {ow} + x] = Y[dy][dx];\n\
+             }}\n\
+         }}",
+        tpi = th * tw,
+        oh = desc.out_h(),
+        ow = desc.out_w(),
+    );
+    // The accumulator gather is itself a placeholder inside the store
+    // fragment — render it first (meta-programming composes).
+    let gather = format!(
+        "const int base = (pair / {threads}) * {a2};\n\
+           for (int s = 0; s < {a2}; ++s)\n\
+             Macc[s / {alpha}][s %% {alpha}] = acc[base + s];"
+    );
+    let mut inner: BTreeMap<&str, String> = BTreeMap::new();
+    inner.insert("gather_acc", gather);
+    let out_transform_and_store = render_template(&out_store, &inner)?;
+
+    let mut vars: BTreeMap<&str, String> = BTreeMap::new();
+    vars.insert("name", name.clone());
+    vars.insert("qualifier", "__global__ void".to_string());
+    vars.insert("shared", opts.backend.shared_qualifier().to_string());
+    vars.insert("M", m.to_string());
+    vars.insert("R", r.to_string());
+    vars.insert("C", cc.to_string());
+    vars.insert("K", kc.to_string());
+    vars.insert("P", p_total.to_string());
+    vars.insert("BK", bk.to_string());
+    vars.insert("BT", bt.to_string());
+    vars.insert("ALPHA", alpha.to_string());
+    vars.insert("ALPHA2", a2.to_string());
+    vars.insert("HALF", half.to_string());
+    vars.insert("ACC_PER_THREAD", acc_per_thread.to_string());
+    vars.insert("filt_loads", filt_loads);
+    vars.insert("winograd_filt_transform", filt_transform);
+    vars.insert("in_tile_loads", in_tile_loads);
+    vars.insert("winograd_in_transform", in_transform);
+    vars.insert("elementwise_multiply", elementwise);
+    vars.insert("winograd_out_transform_and_store", out_transform_and_store);
+    let source = render_template(FUSED_TEMPLATE, &vars)?.replace("%%", "%");
+
+    // Cost: redundant transforms are the fused trade-off — filter
+    // transforms repeat per tile-block, input transforms per
+    // filter-block.
+    let blocks_x = p_total.div_ceil(bt);
+    let blocks_y = kc.div_ceil(bk);
+    let filt_ops = recipes.filter.op_count().total_unfused() * (r + alpha);
+    let in_ops = recipes.input.op_count().total_unfused() * (2 * alpha);
+    let out_ops = recipes.output.op_count().total_unfused() * (alpha + m);
+    let transform_flops = (kc * cc * filt_ops) as u64 * blocks_x as u64
+        + (p_total * cc * in_ops) as u64 * blocks_y as u64
+        + (kc * p_total * out_ops) as u64;
+    let elementwise_flops = 2 * (kc * cc) as u64 * p_total as u64 * a2 as u64;
+    let flops = transform_flops + elementwise_flops;
+    let loads = (kc * cc * r * r * 4) as u64 * blocks_x as u64
+        + (p_total * cc * a2 * 4) as u64 * blocks_y as u64;
+    let stores = desc.output_bytes();
+    let recipe_ops = recipes.input.op_count().total().max(1);
+    // The transform portion runs at dependent-scalar-chain rate while
+    // the element-wise stage is a well-pipelined FMA loop; weight the
+    // overhead factor by each portion's FLOP share.
+    let base_overhead = control_overhead(recipe_ops, 2 * alpha, opts.unroll).max(1.05);
+    let chain = crate::transform_kernels::SCALAR_CHAIN_FACTOR;
+    let weighted =
+        (chain * transform_flops as f64 + 1.2 * elementwise_flops as f64) / flops.max(1) as f64;
+    let cost = CostProfile {
+        flops,
+        global_load_bytes: loads,
+        global_store_bytes: stores,
+        shared_bytes: 2 * loads,
+        coalescing: 0.8,
+        control_overhead: base_overhead * weighted.max(1.0),
+    };
+    let launch = LaunchConfig {
+        grid: Dim3::plane(blocks_x, blocks_y),
+        block: Dim3::linear(threads),
+        shared_mem_bytes: (bk + bt) * a2 * 4,
+        regs_per_thread: acc_per_thread + 2 * a2 + 16,
+    };
+    let source = crate::bridge::bridge_source(&source, opts.backend, &launch);
+    Ok(Kernel {
+        name,
+        backend: opts.backend,
+        kind: KernelKind::FusedWinograd { m, r },
+        launch,
+        cost,
+        source,
+    })
+}
+
+fn two_pass(recipe: &wino_symbolic::Recipe, input: &str, mid: &str, out: &str) -> String {
+    let q = recipe.n_in;
+    let p = recipe.n_out;
+    let mut body = format!("float {mid}[{p}][{q}];\n");
+    // The fused kernel always fully unrolls: its loops sit inside
+    // deeper control flow where dynamic trip counts would defeat the
+    // compiler (§3.2: "directly emit a sequence of instructions").
+    for j in 0..q {
+        body.push_str(&render_recipe_block(
+            recipe,
+            &|i| format!("{input}[{i}][{j}]"),
+            &|o| format!("{mid}[{o}][{j}]"),
+        ));
+    }
+    for i in 0..p {
+        body.push_str(&render_recipe_block(
+            recipe,
+            &|k| format!("{mid}[{i}][{k}]"),
+            &|o| format!("{out}[{i}][{o}]"),
+        ));
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_symbolic::RecipeOptions;
+    use wino_transform::WinogradSpec;
+
+    fn recipes(m: usize, r: usize) -> TransformRecipes {
+        TransformRecipes::generate(WinogradSpec::new(m, r).unwrap(), RecipeOptions::optimized())
+            .unwrap()
+    }
+
+    fn desc() -> ConvDesc {
+        ConvDesc::new(3, 1, 1, 16, 1, 14, 14, 8)
+    }
+
+    #[test]
+    fn fused_kernel_is_well_formed() {
+        let k =
+            gen_fused_winograd_kernel(&desc(), &recipes(2, 3), &CodegenOptions::default()).unwrap();
+        k.validate().unwrap();
+        assert!(
+            !k.source.contains("%("),
+            "unfilled placeholder:\n{}",
+            k.source
+        );
+        assert_eq!(k.source.matches('{').count(), k.source.matches('}').count());
+        assert!(k.source.contains("__shared__ float Us"));
+        assert!(k.source.contains("__syncthreads()"));
+        assert!(k.launch.shared_mem_bytes > 0);
+    }
+
+    #[test]
+    fn shared_memory_grows_with_alpha() {
+        let small =
+            gen_fused_winograd_kernel(&desc(), &recipes(2, 3), &CodegenOptions::default()).unwrap();
+        let big =
+            gen_fused_winograd_kernel(&desc(), &recipes(6, 3), &CodegenOptions::default()).unwrap();
+        assert!(big.launch.shared_mem_bytes > small.launch.shared_mem_bytes);
+        assert!(big.launch.regs_per_thread > small.launch.regs_per_thread);
+    }
+
+    #[test]
+    fn fused_writes_only_final_output() {
+        let k =
+            gen_fused_winograd_kernel(&desc(), &recipes(4, 3), &CodegenOptions::default()).unwrap();
+        assert_eq!(k.cost.global_store_bytes, desc().output_bytes());
+    }
+
+    #[test]
+    fn huge_accumulator_footprint_rejected() {
+        // m = 10, r = 7 → α = 16, α² = 256; with tiny blocks the
+        // per-thread accumulator count explodes.
+        let opts = CodegenOptions {
+            mnb: 4,
+            mnt: 16,
+            ..Default::default()
+        };
+        let desc = ConvDesc::new(7, 1, 3, 512, 5, 56, 56, 256);
+        let r = gen_fused_winograd_kernel(&desc, &recipes(10, 7), &opts);
+        assert!(matches!(r, Err(CodegenError::Unsupported(_))));
+    }
+}

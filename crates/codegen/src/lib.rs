@@ -1,0 +1,52 @@
+//! # wino-codegen — template meta-programming and kernel generation
+//!
+//! Implements §3.2 of the paper: GPU kernels are written as CUCL-style
+//! templates whose `%(placeholder)`s the meta-program fills with exact
+//! instruction sequences generated for the known tensor sizes — spliced
+//! transformation recipes, adaptively unrolled loops (`LU`), FMA
+//! fusing, and SGEMM register/thread blocking (`MNt`/`MNb`). Every
+//! generated [`wino_ir::Kernel`] carries its source text, launch
+//! geometry, and a cost profile derived from the same quantities that
+//! shaped the source.
+//!
+//! ```
+//! use wino_codegen::{generate_plan, CodegenOptions, PlanVariant};
+//! use wino_tensor::ConvDesc;
+//!
+//! let desc = ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32);
+//! let plan = generate_plan(
+//!     &desc,
+//!     PlanVariant::WinogradNonFused { m: 4 },
+//!     &CodegenOptions::default(),
+//! ).unwrap();
+//! assert_eq!(plan.kernels.len(), 4); // 3 transforms + batched SGEMM
+//! assert!(plan.kernels[0].source.contains("__global__"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod baseline_kernels;
+mod bridge;
+mod error;
+mod fused_kernel;
+mod gemm_kernel;
+mod options;
+mod plan;
+mod recipe_render;
+mod template;
+mod transform_kernels;
+mod unroll;
+
+pub use baseline_kernels::{gen_direct_conv_kernel, gen_im2col_kernels};
+pub use bridge::bridge_source;
+pub use error::CodegenError;
+pub use fused_kernel::gen_fused_winograd_kernel;
+pub use gemm_kernel::{gen_gemm_kernel, gen_single_gemm_kernel, GemmDims};
+pub use options::{gemm_micro_efficiency, CodegenOptions};
+pub use plan::{generate_plan, PlanVariant};
+pub use recipe_render::{float_literal, render_recipe_block};
+pub use template::{render_template, Template};
+pub use transform_kernels::{
+    gen_filter_transform_kernel, gen_input_transform_kernel, gen_output_transform_kernel,
+};
+pub use unroll::{control_overhead, effective_unroll, emit_unrolled_loop, Unroll};

@@ -1,0 +1,148 @@
+//! Generation options: the tunable parameters of Table 1 plus the
+//! target backend.
+
+use wino_ir::Backend;
+use wino_symbolic::RecipeOptions;
+
+use crate::unroll::Unroll;
+
+/// All knobs the auto-tuner explores (Table 1) plus the backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CodegenOptions {
+    /// Target programming interface.
+    pub backend: Backend,
+    /// Loop unrolling factor `LU`.
+    pub unroll: Unroll,
+    /// SGEMM register-blocking edge `MNt` (per-thread tile is
+    /// `MNt × MNt`); powers of two.
+    pub mnt: usize,
+    /// SGEMM/thread blocking edge `MNb` (a block has `MNb²` threads);
+    /// powers of two.
+    pub mnb: usize,
+    /// Emit FMA instructions (§3.2.1 — disabled when the target lacks
+    /// them).
+    pub fma: bool,
+    /// Use naive matrix-multiplication transforms instead of the
+    /// symbolic recipes (the paper's "non-optimized" ablation).
+    pub naive_transforms: bool,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions {
+            backend: Backend::Cuda,
+            unroll: Unroll::Full,
+            mnt: 4,
+            mnb: 16,
+            fma: true,
+            naive_transforms: false,
+        }
+    }
+}
+
+impl CodegenOptions {
+    /// The recipe-pipeline options implied by these codegen options.
+    pub fn recipe_options(&self) -> RecipeOptions {
+        if self.naive_transforms {
+            RecipeOptions::minimal()
+        } else {
+            RecipeOptions {
+                cse: true,
+                factorize: true,
+                fma: self.fma,
+            }
+        }
+    }
+
+    /// Threads per block implied by `MNb`.
+    pub fn threads_per_block(&self) -> usize {
+        (self.mnb * self.mnb).clamp(32, 1024)
+    }
+
+    /// Validates parameter ranges (powers of two, sane bounds).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.mnt.is_power_of_two() || self.mnt > 16 {
+            return Err(format!("MNt must be a power of two ≤ 16, got {}", self.mnt));
+        }
+        if !self.mnb.is_power_of_two() || !(4..=32).contains(&self.mnb) {
+            return Err(format!(
+                "MNb must be a power of two in [4, 32], got {}",
+                self.mnb
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Relative efficiency of the SGEMM micro-kernel as a function of the
+/// register-blocking edge `MNt`: small tiles starve the FPU (little
+/// reuse, dual-issue stalls); very large tiles spill registers. The
+/// shape follows the classic register-blocking curves the paper's
+/// SGEMM tuning explores; the GPU cost model divides compute
+/// throughput by this factor.
+pub fn gemm_micro_efficiency(mnt: usize) -> f64 {
+    match mnt {
+        0 | 1 => 0.35,
+        2 => 0.55,
+        4 => 0.80,
+        8 => 0.88,
+        _ => 0.78, // 16+: register spills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        CodegenOptions::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let mut o = CodegenOptions::default();
+        o.mnt = 3;
+        assert!(o.validate().is_err());
+        o.mnt = 4;
+        o.mnb = 64;
+        assert!(o.validate().is_err());
+        o.mnb = 2;
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn recipe_options_follow_flags() {
+        let o = CodegenOptions {
+            naive_transforms: true,
+            ..Default::default()
+        };
+        assert_eq!(o.recipe_options(), RecipeOptions::minimal());
+        let o = CodegenOptions {
+            fma: false,
+            ..Default::default()
+        };
+        assert!(!o.recipe_options().fma);
+        assert!(o.recipe_options().cse);
+    }
+
+    #[test]
+    fn micro_efficiency_peaks_mid_range() {
+        assert!(gemm_micro_efficiency(8) > gemm_micro_efficiency(1));
+        assert!(gemm_micro_efficiency(8) > gemm_micro_efficiency(16));
+    }
+
+    #[test]
+    fn threads_per_block_clamped() {
+        let o = CodegenOptions {
+            mnb: 4,
+            ..Default::default()
+        };
+        assert_eq!(o.threads_per_block(), 32);
+        let o = CodegenOptions {
+            mnb: 32,
+            ..Default::default()
+        };
+        assert_eq!(o.threads_per_block(), 1024);
+    }
+}

@@ -1,0 +1,257 @@
+//! Assembling complete per-convolution kernel plans.
+
+use wino_ir::KernelPlan;
+use wino_symbolic::RecipeOptions;
+use wino_tensor::{tile_counts, ConvDesc};
+use wino_transform::{recipe_db, WinogradSpec};
+
+use crate::baseline_kernels::{gen_direct_conv_kernel, gen_im2col_kernels};
+use crate::error::CodegenError;
+use crate::fused_kernel::gen_fused_winograd_kernel;
+use crate::gemm_kernel::{gen_gemm_kernel, GemmDims};
+use crate::options::CodegenOptions;
+use crate::transform_kernels::{
+    gen_filter_transform_kernel, gen_input_transform_kernel, gen_output_transform_kernel,
+};
+
+/// Which implementation of the convolution to generate (the variant
+/// axis of the tuning space: `WV` plus the baselines).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanVariant {
+    /// Direct convolution.
+    Direct,
+    /// im2col + GEMM.
+    Im2col,
+    /// Non-fused Winograd with output tile size `m`.
+    WinogradNonFused {
+        /// Output tile size.
+        m: usize,
+    },
+    /// Fused Winograd with output tile size `m`.
+    WinogradFused {
+        /// Output tile size.
+        m: usize,
+    },
+}
+
+impl PlanVariant {
+    /// Human-readable label used in plans and reports.
+    pub fn label(&self) -> String {
+        match self {
+            PlanVariant::Direct => "direct".into(),
+            PlanVariant::Im2col => "im2col+gemm".into(),
+            PlanVariant::WinogradNonFused { m } => format!("winograd-nonfused m={m}"),
+            PlanVariant::WinogradFused { m } => format!("winograd-fused m={m}"),
+        }
+    }
+
+    /// The Winograd output tile size, if this is a Winograd variant.
+    pub fn winograd_m(&self) -> Option<usize> {
+        match self {
+            PlanVariant::WinogradNonFused { m } | PlanVariant::WinogradFused { m } => Some(*m),
+            _ => None,
+        }
+    }
+}
+
+/// Generates the full kernel plan for `desc` under `variant` and
+/// `opts`.
+///
+/// # Errors
+/// Unsupported combinations (Winograd with stride ≠ 1, unsupported α)
+/// and template failures.
+pub fn generate_plan(
+    desc: &ConvDesc,
+    variant: PlanVariant,
+    opts: &CodegenOptions,
+) -> Result<KernelPlan, CodegenError> {
+    opts.validate().map_err(CodegenError::Unsupported)?;
+    let kernels = match variant {
+        PlanVariant::Direct => vec![gen_direct_conv_kernel(desc, opts)?],
+        PlanVariant::Im2col => gen_im2col_kernels(desc, opts)?,
+        PlanVariant::WinogradNonFused { m } => {
+            let recipes = winograd_recipes(desc, m, opts)?;
+            let spec = recipes.spec;
+            let alpha = spec.alpha();
+            let (th, tw) = tile_counts(desc.out_h(), desc.out_w(), m);
+            let p_total = desc.batch * th * tw;
+            vec![
+                gen_filter_transform_kernel(desc, &recipes, opts)?,
+                gen_input_transform_kernel(desc, &recipes, opts)?,
+                gen_gemm_kernel(
+                    &GemmDims {
+                        batches: alpha * alpha,
+                        m: desc.out_ch,
+                        k: desc.in_ch,
+                        n: p_total,
+                    },
+                    opts,
+                    "wg",
+                )?,
+                gen_output_transform_kernel(desc, &recipes, opts)?,
+            ]
+        }
+        PlanVariant::WinogradFused { m } => {
+            let recipes = winograd_recipes(desc, m, opts)?;
+            vec![gen_fused_winograd_kernel(desc, &recipes, opts)?]
+        }
+    };
+    let plan = KernelPlan {
+        desc: *desc,
+        variant: variant.label(),
+        kernels,
+    };
+    plan.validate().map_err(CodegenError::Unsupported)?;
+    Ok(plan)
+}
+
+fn winograd_recipes(
+    desc: &ConvDesc,
+    m: usize,
+    opts: &CodegenOptions,
+) -> Result<std::sync::Arc<wino_transform::TransformRecipes>, CodegenError> {
+    if desc.stride != 1 {
+        return Err(CodegenError::Unsupported(format!(
+            "Winograd requires stride 1, got {}",
+            desc.stride
+        )));
+    }
+    let spec = WinogradSpec::new(m, desc.ksz)?;
+    if opts.naive_transforms {
+        // The Figure-6 "non-optimized" baseline: dense matrix
+        // multiplications for every transform.
+        return Ok(recipe_db().get_naive(spec)?);
+    }
+    let ropts: RecipeOptions = opts.recipe_options();
+    Ok(recipe_db().get(spec, ropts)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_ir::KernelKind;
+
+    fn desc() -> ConvDesc {
+        ConvDesc::new(3, 1, 1, 16, 1, 14, 14, 8)
+    }
+
+    #[test]
+    fn nonfused_plan_has_four_kernels() {
+        let plan = generate_plan(
+            &desc(),
+            PlanVariant::WinogradNonFused { m: 4 },
+            &Default::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.kernels.len(), 4);
+        assert!(matches!(
+            plan.kernels[0].kind,
+            KernelKind::FilterTransform { .. }
+        ));
+        assert!(matches!(
+            plan.kernels[1].kind,
+            KernelKind::InputTransform { .. }
+        ));
+        assert!(matches!(
+            plan.kernels[2].kind,
+            KernelKind::BatchedGemm { batches: 36, .. }
+        ));
+        assert!(matches!(
+            plan.kernels[3].kind,
+            KernelKind::OutputTransform { .. }
+        ));
+    }
+
+    #[test]
+    fn fused_plan_has_one_kernel() {
+        let plan = generate_plan(
+            &desc(),
+            PlanVariant::WinogradFused { m: 2 },
+            &Default::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.kernels.len(), 1);
+        assert_eq!(plan.launches(), 1);
+    }
+
+    #[test]
+    fn baselines_generate() {
+        assert_eq!(
+            generate_plan(&desc(), PlanVariant::Direct, &Default::default())
+                .unwrap()
+                .kernels
+                .len(),
+            1
+        );
+        assert_eq!(
+            generate_plan(&desc(), PlanVariant::Im2col, &Default::default())
+                .unwrap()
+                .kernels
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn strided_winograd_rejected() {
+        let d = ConvDesc::new(3, 2, 1, 16, 1, 14, 14, 8);
+        assert!(matches!(
+            generate_plan(
+                &d,
+                PlanVariant::WinogradNonFused { m: 2 },
+                &Default::default()
+            ),
+            Err(CodegenError::Unsupported(_))
+        ));
+        // Baselines still work for strided convolutions.
+        assert!(generate_plan(&d, PlanVariant::Direct, &Default::default()).is_ok());
+    }
+
+    #[test]
+    fn unsupported_alpha_propagates() {
+        // m=10, r=7 → α=16 is fine; m=11 → α=17 is not.
+        let d = ConvDesc::new(7, 1, 3, 8, 1, 28, 28, 4);
+        assert!(generate_plan(
+            &d,
+            PlanVariant::WinogradNonFused { m: 10 },
+            &Default::default()
+        )
+        .is_ok());
+        assert!(generate_plan(
+            &d,
+            PlanVariant::WinogradNonFused { m: 11 },
+            &Default::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(
+            PlanVariant::WinogradFused { m: 4 }.label(),
+            "winograd-fused m=4"
+        );
+        assert_eq!(PlanVariant::Direct.winograd_m(), None);
+        assert_eq!(PlanVariant::WinogradNonFused { m: 6 }.winograd_m(), Some(6));
+    }
+
+    #[test]
+    fn fused_vs_nonfused_memory_profile() {
+        // The fused plan must move fewer global bytes (no U'/V'/M'
+        // round-trips) — the paper's stated motivation for fusion.
+        let nf = generate_plan(
+            &desc(),
+            PlanVariant::WinogradNonFused { m: 2 },
+            &Default::default(),
+        )
+        .unwrap();
+        let f = generate_plan(
+            &desc(),
+            PlanVariant::WinogradFused { m: 2 },
+            &Default::default(),
+        )
+        .unwrap();
+        assert!(f.total_cost().global_bytes() < nf.total_cost().global_bytes());
+        assert!(f.launches() < nf.launches());
+    }
+}

@@ -1,0 +1,92 @@
+//! Rendering straight-line recipes into GPU source fragments.
+
+use wino_num::Rational;
+use wino_symbolic::{Recipe, Reg};
+
+/// Formats a rational constant as a C float literal. Exact dyadic
+/// values print exactly; others print with full f32 precision.
+pub fn float_literal(c: &Rational) -> String {
+    let v = c.to_f32();
+    if v == v.trunc() && v.abs() < 1e7 {
+        format!("{v:.1}f")
+    } else {
+        format!("{v:e}f")
+    }
+}
+
+/// Renders one application of `recipe` as a braced block: local
+/// temporaries are declared inside so unrolled instances never
+/// collide. `in_expr`/`out_expr` map element indices to lvalue
+/// expressions (e.g. `|i| format!("g[{i}][{j}]")`).
+pub fn render_recipe_block(
+    recipe: &Recipe,
+    in_expr: &dyn Fn(usize) -> String,
+    out_expr: &dyn Fn(usize) -> String,
+) -> String {
+    let mut block = String::from("{\n");
+    if recipe.n_tmp > 0 {
+        block.push_str("  float ");
+        for t in 0..recipe.n_tmp {
+            if t > 0 {
+                block.push_str(", ");
+            }
+            block.push_str(&format!("t{t}"));
+        }
+        block.push_str(";\n");
+    }
+    let body = recipe.render(
+        |reg| match reg {
+            Reg::In(i) => in_expr(i),
+            Reg::Tmp(t) => format!("t{t}"),
+            Reg::Out(o) => out_expr(o),
+        },
+        |c| float_literal(c),
+    );
+    for line in body.lines() {
+        block.push_str("  ");
+        block.push_str(line);
+        block.push('\n');
+    }
+    block.push_str("}\n");
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_symbolic::{generate_recipe, RecipeOptions};
+    use wino_transform::{table3_points, toom_cook_matrices, WinogradSpec};
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(float_literal(&Rational::from_int(1)), "1.0f");
+        assert_eq!(float_literal(&Rational::from_int(-2)), "-2.0f");
+        assert_eq!(float_literal(&Rational::from_frac(1, 2)), "5e-1f");
+    }
+
+    #[test]
+    fn rendered_block_scopes_temporaries() {
+        let spec = WinogradSpec::new(2, 3).unwrap();
+        let mats = toom_cook_matrices(spec, &table3_points(4).unwrap()).unwrap();
+        let recipe = generate_recipe(&mats.g, &RecipeOptions::optimized());
+        let code = render_recipe_block(&recipe, &|i| format!("g[{i}][j]"), &|o| {
+            format!("T[{o}][j]")
+        });
+        assert!(code.starts_with("{\n"));
+        assert!(code.trim_end().ends_with('}'));
+        assert!(code.contains("float t0"));
+        assert!(code.contains("g[0][j]"));
+        assert!(code.contains("T[1][j]"));
+    }
+
+    #[test]
+    fn no_temporaries_no_declaration() {
+        let spec = WinogradSpec::new(2, 3).unwrap();
+        let mats = toom_cook_matrices(spec, &table3_points(4).unwrap()).unwrap();
+        let recipe = generate_recipe(&mats.b_t, &RecipeOptions::optimized());
+        if recipe.n_tmp == 0 {
+            let code = render_recipe_block(&recipe, &|i| format!("d{i}"), &|o| format!("v{o}"));
+            assert!(!code.contains("float t"));
+        }
+    }
+}

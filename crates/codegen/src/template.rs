@@ -1,0 +1,196 @@
+//! The `%(placeholder)` template engine.
+//!
+//! Boda's meta-programming layer (§3.2) writes GPU kernels as CUCL
+//! templates in which whole loop nests are replaced by placeholders
+//! like `%(filts_buf_loads)` or `%(winograd_filt_transform)`; the
+//! meta-code then generates the exact instruction sequences for the
+//! known-at-generation-time tensor sizes and splices them in. This is
+//! that substitution engine.
+
+use std::collections::BTreeMap;
+
+use crate::error::CodegenError;
+
+/// A parsed template: literal segments interleaved with placeholders.
+#[derive(Clone, Debug)]
+pub struct Template {
+    segments: Vec<Segment>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Segment {
+    Literal(String),
+    Placeholder(String),
+}
+
+impl Template {
+    /// Parses a template. Placeholders are `%(name)`; a literal `%` is
+    /// written `%%`.
+    ///
+    /// # Errors
+    /// [`CodegenError::MalformedTemplate`] on an unterminated `%(` or
+    /// an empty placeholder name.
+    pub fn parse(src: &str) -> Result<Self, CodegenError> {
+        let mut segments = Vec::new();
+        let mut literal = String::new();
+        let mut chars = src.chars().peekable();
+        while let Some(ch) = chars.next() {
+            if ch != '%' {
+                literal.push(ch);
+                continue;
+            }
+            match chars.peek() {
+                Some('%') => {
+                    chars.next();
+                    literal.push('%');
+                }
+                Some('(') => {
+                    chars.next();
+                    let mut name = String::new();
+                    loop {
+                        match chars.next() {
+                            Some(')') => break,
+                            Some(c) => name.push(c),
+                            None => {
+                                return Err(CodegenError::MalformedTemplate(format!(
+                                    "unterminated placeholder %({name}"
+                                )))
+                            }
+                        }
+                    }
+                    if name.is_empty() {
+                        return Err(CodegenError::MalformedTemplate(
+                            "empty placeholder name".into(),
+                        ));
+                    }
+                    if !literal.is_empty() {
+                        segments.push(Segment::Literal(std::mem::take(&mut literal)));
+                    }
+                    segments.push(Segment::Placeholder(name));
+                }
+                _ => literal.push('%'),
+            }
+        }
+        if !literal.is_empty() {
+            segments.push(Segment::Literal(literal));
+        }
+        Ok(Template { segments })
+    }
+
+    /// The distinct placeholder names, in first-appearance order.
+    pub fn placeholders(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for seg in &self.segments {
+            if let Segment::Placeholder(name) = seg {
+                if !seen.contains(&name.as_str()) {
+                    seen.push(name);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Renders the template with the given bindings.
+    ///
+    /// # Errors
+    /// [`CodegenError::UnboundPlaceholder`] if any placeholder lacks a
+    /// binding — silent holes in generated kernels are never OK.
+    pub fn render(&self, vars: &BTreeMap<&str, String>) -> Result<String, CodegenError> {
+        let mut out = String::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Literal(s) => out.push_str(s),
+                Segment::Placeholder(name) => {
+                    let value = vars
+                        .get(name.as_str())
+                        .ok_or_else(|| CodegenError::UnboundPlaceholder(name.clone()))?;
+                    out.push_str(value);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One-shot parse + render.
+///
+/// # Errors
+/// See [`Template::parse`] and [`Template::render`].
+pub fn render_template(src: &str, vars: &BTreeMap<&str, String>) -> Result<String, CodegenError> {
+    Template::parse(src)?.render(vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(pairs: &[(&'static str, &str)]) -> BTreeMap<&'static str, String> {
+        pairs.iter().map(|(k, v)| (*k, v.to_string())).collect()
+    }
+
+    #[test]
+    fn basic_substitution() {
+        let out =
+            render_template("KERNEL conv() { %(body) }", &vars(&[("body", "x = 1;")])).unwrap();
+        assert_eq!(out, "KERNEL conv() { x = 1; }");
+    }
+
+    #[test]
+    fn repeated_and_multiple_placeholders() {
+        let out = render_template("%(a)+%(b)=%(a)%(b)", &vars(&[("a", "1"), ("b", "2")])).unwrap();
+        assert_eq!(out, "1+2=12");
+    }
+
+    #[test]
+    fn unbound_placeholder_is_an_error() {
+        let err = render_template("%(missing)", &vars(&[])).unwrap_err();
+        assert!(matches!(err, CodegenError::UnboundPlaceholder(name) if name == "missing"));
+    }
+
+    #[test]
+    fn escaped_percent() {
+        let out = render_template("100%% of %(x)", &vars(&[("x", "cases")])).unwrap();
+        assert_eq!(out, "100% of cases");
+    }
+
+    #[test]
+    fn stray_percent_is_literal() {
+        let out = render_template("a % b", &vars(&[])).unwrap();
+        assert_eq!(out, "a % b");
+    }
+
+    #[test]
+    fn malformed_placeholders_rejected() {
+        assert!(matches!(
+            Template::parse("%(unterminated"),
+            Err(CodegenError::MalformedTemplate(_))
+        ));
+        assert!(matches!(
+            Template::parse("%()"),
+            Err(CodegenError::MalformedTemplate(_))
+        ));
+    }
+
+    #[test]
+    fn placeholder_listing() {
+        let t = Template::parse("%(a) %(b) %(a)").unwrap();
+        assert_eq!(t.placeholders(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn multiline_kernel_template() {
+        let src = "KERNEL wgconv(in,filts) //CUCL IN img:chan:y:x {\n\
+                   %(filts_buf_loads);\n\
+                   %(winograd_filt_transform);\n\
+                   %(store_results);\n}";
+        let t = Template::parse(src).unwrap();
+        assert_eq!(
+            t.placeholders(),
+            vec![
+                "filts_buf_loads",
+                "winograd_filt_transform",
+                "store_results"
+            ]
+        );
+    }
+}

@@ -1,0 +1,462 @@
+//! Generators for the three non-fused Winograd transform kernels.
+//!
+//! Each generator instantiates a CUCL-style template: the matrix
+//! multiplications of the transform are replaced by the spliced-in
+//! straight-line recipe (§3.2.1), loops are adaptively unrolled, and
+//! the kernel descriptor carries launch geometry plus a cost profile
+//! derived from the very same recipe op counts.
+
+use std::collections::BTreeMap;
+
+use wino_ir::{CostProfile, Kernel, KernelKind, LaunchConfig};
+use wino_symbolic::Recipe;
+use wino_tensor::{tile_counts, ConvDesc};
+use wino_transform::TransformRecipes;
+
+use crate::error::CodegenError;
+use crate::options::CodegenOptions;
+use crate::recipe_render::render_recipe_block;
+use crate::template::render_template;
+use crate::unroll::{control_overhead, emit_unrolled_loop};
+
+/// FLOPs of one 2-D application of a recipe-based transform
+/// (FMA = 2 FLOPs, matching device peak conventions).
+fn transform_flops_2d(recipe: &Recipe, cols: usize, rows: usize) -> u64 {
+    (recipe.op_count().total_unfused() * (cols + rows)) as u64
+}
+
+/// Transform kernels are straight-line *dependent scalar chains*: no
+/// FMA dual-issue across independent accumulators like a GEMM
+/// micro-kernel, so they retire well below device peak. The factor
+/// folds that issue-rate gap into the compute-time estimate; it is the
+/// reason eliminating transform arithmetic pays off even on devices
+/// whose roofline would call these kernels memory-bound.
+pub(crate) const SCALAR_CHAIN_FACTOR: f64 = 4.0;
+
+/// Shrinks the thread-block size until the block's register footprint
+/// fits a conservative 32 Ki-register budget — the `__launch_bounds__`
+/// adjustment every real transform kernel needs once the per-thread
+/// tile arrays grow with α.
+pub(crate) fn clamp_block_threads(mut tpb: usize, regs_per_thread: usize) -> usize {
+    while tpb > 32 && tpb * regs_per_thread > 32 * 1024 {
+        tpb /= 2;
+    }
+    tpb
+}
+
+/// Two-pass 2-D transform body: recipe applied per input column, then
+/// per intermediate row, through a `mid` buffer.
+fn two_pass_body(
+    recipe: &Recipe,
+    in_name: &str,
+    mid_name: &str,
+    out_name: &str,
+    opts: &CodegenOptions,
+) -> String {
+    let q = recipe.n_in;
+    let p = recipe.n_out;
+    let mut body = format!("float {mid_name}[{p}][{q}];\n");
+    body.push_str(&emit_unrolled_loop("j", q, opts.unroll, |j| {
+        render_recipe_block(recipe, &|i| format!("{in_name}[{i}][{j}]"), &|o| {
+            format!("{mid_name}[{o}][{j}]")
+        })
+    }));
+    body.push_str(&emit_unrolled_loop("i", p, opts.unroll, |i| {
+        render_recipe_block(recipe, &|k| format!("{mid_name}[{i}][{k}]"), &|o| {
+            format!("{out_name}[{i}][{o}]")
+        })
+    }));
+    body
+}
+
+const FILTER_TEMPLATE: &str = r#"// generated: %(name) — Winograd filter transform U = G g G^T
+// CUCL IN filts K:C:r:r OUT U alpha2:K:C
+%(qualifier) %(name)(const float* __restrict__ filts, float* __restrict__ U) {
+  const int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (gid >= %(total)) return;
+  const int k = gid / %(C);
+  const int c = gid %% %(C);
+  float g[%(R)][%(R)];
+  %(filts_buf_loads)
+  float Ut[%(ALPHA)][%(ALPHA)];
+  %(winograd_filt_transform)
+  %(store_results)
+}
+"#;
+
+/// Generates the filter-transform kernel (`U' = G·g·Gᵀ`, scattered to
+/// the `(ξ, k, c)` batched-GEMM layout).
+///
+/// # Errors
+/// Template rendering failures.
+pub fn gen_filter_transform_kernel(
+    desc: &ConvDesc,
+    recipes: &TransformRecipes,
+    opts: &CodegenOptions,
+) -> Result<Kernel, CodegenError> {
+    let spec = recipes.spec;
+    let (r, alpha) = (spec.r, spec.alpha());
+    let (kc, cc) = (desc.out_ch, desc.in_ch);
+    let total = kc * cc;
+    let name = format!("wg_filt_xform_m{}_r{}", spec.m, r);
+
+    let loads = emit_unrolled_loop("l", r * r, opts.unroll, |l| {
+        format!(
+            "g[({l}) / {r}][({l}) %% {r}] = filts[gid * {} + ({l})];\n",
+            r * r
+        )
+    })
+    .replace("%%", "%");
+    let transform = two_pass_body(&recipes.filter, "g", "Tg", "Ut", opts);
+    let stores = emit_unrolled_loop("s", alpha * alpha, opts.unroll, |s| {
+        format!("U[({s}) * {total} + k * {cc} + c] = Ut[({s}) / {alpha}][({s}) %% {alpha}];\n")
+    })
+    .replace("%%", "%");
+
+    let mut vars: BTreeMap<&str, String> = BTreeMap::new();
+    vars.insert("name", name.clone());
+    vars.insert("qualifier", "__global__ void".to_string());
+    vars.insert("total", total.to_string());
+    vars.insert("C", cc.to_string());
+    vars.insert("R", r.to_string());
+    vars.insert("ALPHA", alpha.to_string());
+    vars.insert("filts_buf_loads", loads);
+    vars.insert("winograd_filt_transform", transform);
+    vars.insert("store_results", stores);
+    let source = render_template(FILTER_TEMPLATE, &vars)?;
+
+    let recipe_ops = recipes.filter.op_count().total().max(1);
+    let cost = CostProfile {
+        flops: total as u64 * transform_flops_2d(&recipes.filter, r, alpha),
+        global_load_bytes: (total * r * r * 4) as u64,
+        global_store_bytes: (total * alpha * alpha * 4) as u64,
+        shared_bytes: 0,
+        // Loads stride by r² across adjacent threads; stores are
+        // contiguous in c within each ξ group.
+        coalescing: 0.55,
+        control_overhead: SCALAR_CHAIN_FACTOR
+            * control_overhead(recipe_ops, r + alpha, opts.unroll),
+    };
+    let regs = recipes.filter.max_live_tmps() + 2 * alpha * alpha + 8;
+    let mut launch =
+        LaunchConfig::linear(total, clamp_block_threads(opts.threads_per_block(), regs));
+    launch.regs_per_thread = regs;
+    let source = crate::bridge::bridge_source(&source, opts.backend, &launch);
+    Ok(Kernel {
+        name,
+        backend: opts.backend,
+        kind: KernelKind::FilterTransform { m: spec.m, r },
+        launch,
+        cost,
+        source,
+    })
+}
+
+const INPUT_TEMPLATE: &str = r#"// generated: %(name) — Winograd input transform V = B^T d B
+// CUCL IN in img:chan:y:x OUT V alpha2:C:P
+%(qualifier) %(name)(const float* __restrict__ in, float* __restrict__ V) {
+  const int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (gid >= %(total)) return;
+  const int c = gid / %(P);
+  const int p = gid %% %(P);
+  float d[%(ALPHA)][%(ALPHA)];
+  %(in_tile_loads)
+  float Vt[%(ALPHA)][%(ALPHA)];
+  %(winograd_in_transform)
+  %(store_results)
+}
+"#;
+
+/// Generates the input-transform kernel (`V' = Bᵀ·d·B`, scattered to
+/// the `(ξ, c, p)` layout).
+///
+/// # Errors
+/// Template rendering failures.
+pub fn gen_input_transform_kernel(
+    desc: &ConvDesc,
+    recipes: &TransformRecipes,
+    opts: &CodegenOptions,
+) -> Result<Kernel, CodegenError> {
+    let spec = recipes.spec;
+    let (m, alpha) = (spec.m, spec.alpha());
+    let (th, tw) = tile_counts(desc.out_h(), desc.out_w(), m);
+    let p_total = desc.batch * th * tw;
+    let cc = desc.in_ch;
+    let total = cc * p_total;
+    let name = format!("wg_in_xform_m{}_r{}", spec.m, spec.r);
+    let (ph, pw) = (desc.in_h + 2 * desc.pad, desc.in_w + 2 * desc.pad);
+
+    // Tile loads with border guards (ragged tiles read zeros).
+    let loads = format!(
+        "const int n = p / {tpi};\n\
+         const int ty = (p %% {tpi}) / {tw};\n\
+         const int tx = p %% {tw};\n\
+         for (int dy = 0; dy < {alpha}; ++dy)\n\
+           for (int dx = 0; dx < {alpha}; ++dx) {{\n\
+             const int y = ty * {m} + dy, x = tx * {m} + dx;\n\
+             d[dy][dx] = (y < {ph} && x < {pw})\n\
+               ? in[((n * {cc} + c) * {ph} + y) * {pw} + x] : 0.0f;\n\
+           }}\n",
+        tpi = th * tw,
+    )
+    .replace("%%", "%");
+    let transform = two_pass_body(&recipes.input, "d", "Td", "Vt", opts);
+    let stores = emit_unrolled_loop("s", alpha * alpha, opts.unroll, |s| {
+        format!("V[(({s}) * {cc} + c) * {p_total} + p] = Vt[({s}) / {alpha}][({s}) %% {alpha}];\n")
+    })
+    .replace("%%", "%");
+
+    let mut vars: BTreeMap<&str, String> = BTreeMap::new();
+    vars.insert("name", name.clone());
+    vars.insert("qualifier", "__global__ void".to_string());
+    vars.insert("total", total.to_string());
+    vars.insert("P", p_total.to_string());
+    vars.insert("ALPHA", alpha.to_string());
+    vars.insert("in_tile_loads", loads);
+    vars.insert("winograd_in_transform", transform);
+    vars.insert("store_results", stores);
+    let source = render_template(INPUT_TEMPLATE, &vars)?;
+
+    let recipe_ops = recipes.input.op_count().total().max(1);
+    let cost = CostProfile {
+        flops: total as u64 * transform_flops_2d(&recipes.input, alpha, alpha),
+        global_load_bytes: (total * alpha * alpha * 4) as u64,
+        global_store_bytes: (total * alpha * alpha * 4) as u64,
+        shared_bytes: 0,
+        // Row-contiguous tile loads; stores contiguous in p.
+        coalescing: 0.7,
+        control_overhead: SCALAR_CHAIN_FACTOR
+            * control_overhead(recipe_ops, 2 * alpha, opts.unroll),
+    };
+    let regs = recipes.input.max_live_tmps() + 2 * alpha * alpha + 10;
+    let mut launch =
+        LaunchConfig::linear(total, clamp_block_threads(opts.threads_per_block(), regs));
+    launch.regs_per_thread = regs;
+    let source = crate::bridge::bridge_source(&source, opts.backend, &launch);
+    Ok(Kernel {
+        name,
+        backend: opts.backend,
+        kind: KernelKind::InputTransform {
+            m: spec.m,
+            r: spec.r,
+        },
+        launch,
+        cost,
+        source,
+    })
+}
+
+const OUTPUT_TEMPLATE: &str = r#"// generated: %(name) — Winograd output transform Y = A^T M A
+// CUCL IN M alpha2:K:P OUT out img:chan:y:x
+%(qualifier) %(name)(const float* __restrict__ M, float* __restrict__ out) {
+  const int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (gid >= %(total)) return;
+  const int k = gid / %(P);
+  const int p = gid %% %(P);
+  float acc[%(ALPHA)][%(ALPHA)];
+  %(m_tile_loads)
+  float Y[%(M)][%(M)];
+  %(winograd_out_transform)
+  %(store_results)
+}
+"#;
+
+/// Generates the output-transform kernel (`Y = Aᵀ·M·A` + placement).
+///
+/// # Errors
+/// Template rendering failures.
+pub fn gen_output_transform_kernel(
+    desc: &ConvDesc,
+    recipes: &TransformRecipes,
+    opts: &CodegenOptions,
+) -> Result<Kernel, CodegenError> {
+    let spec = recipes.spec;
+    let (m, alpha) = (spec.m, spec.alpha());
+    let (th, tw) = tile_counts(desc.out_h(), desc.out_w(), m);
+    let p_total = desc.batch * th * tw;
+    let kc = desc.out_ch;
+    let total = kc * p_total;
+    let name = format!("wg_out_xform_m{}_r{}", spec.m, spec.r);
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+
+    let loads = emit_unrolled_loop("s", alpha * alpha, opts.unroll, |s| {
+        format!("acc[({s}) / {alpha}][({s}) %% {alpha}] = M[(({s}) * {kc} + k) * {p_total} + p];\n")
+    })
+    .replace("%%", "%");
+    let transform = two_pass_body(&recipes.output, "acc", "Ta", "Y", opts);
+    let stores = format!(
+        "const int n = p / {tpi};\n\
+         const int ty = (p %% {tpi}) / {tw};\n\
+         const int tx = p %% {tw};\n\
+         for (int dy = 0; dy < {m}; ++dy)\n\
+           for (int dx = 0; dx < {m}; ++dx) {{\n\
+             const int y = ty * {m} + dy, x = tx * {m} + dx;\n\
+             if (y < {oh} && x < {ow})\n\
+               out[((n * {kc} + k) * {oh} + y) * {ow} + x] = Y[dy][dx];\n\
+           }}\n",
+        tpi = th * tw,
+    )
+    .replace("%%", "%");
+
+    let mut vars: BTreeMap<&str, String> = BTreeMap::new();
+    vars.insert("name", name.clone());
+    vars.insert("qualifier", "__global__ void".to_string());
+    vars.insert("total", total.to_string());
+    vars.insert("P", p_total.to_string());
+    vars.insert("ALPHA", alpha.to_string());
+    vars.insert("M", m.to_string());
+    vars.insert("m_tile_loads", loads);
+    vars.insert("winograd_out_transform", transform);
+    vars.insert("store_results", stores);
+    let source = render_template(OUTPUT_TEMPLATE, &vars)?;
+
+    let recipe_ops = recipes.output.op_count().total().max(1);
+    let cost = CostProfile {
+        flops: total as u64 * transform_flops_2d(&recipes.output, alpha, m),
+        global_load_bytes: (total * alpha * alpha * 4) as u64,
+        global_store_bytes: (total * m * m * 4) as u64,
+        shared_bytes: 0,
+        coalescing: 0.65,
+        control_overhead: SCALAR_CHAIN_FACTOR
+            * control_overhead(recipe_ops, alpha + m, opts.unroll),
+    };
+    let regs = recipes.output.max_live_tmps() + alpha * alpha + m * m + 10;
+    let mut launch =
+        LaunchConfig::linear(total, clamp_block_threads(opts.threads_per_block(), regs));
+    launch.regs_per_thread = regs;
+    let source = crate::bridge::bridge_source(&source, opts.backend, &launch);
+    Ok(Kernel {
+        name,
+        backend: opts.backend,
+        kind: KernelKind::OutputTransform {
+            m: spec.m,
+            r: spec.r,
+        },
+        launch,
+        cost,
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_symbolic::RecipeOptions;
+    use wino_transform::WinogradSpec;
+
+    fn recipes(m: usize, r: usize) -> TransformRecipes {
+        TransformRecipes::generate(WinogradSpec::new(m, r).unwrap(), RecipeOptions::optimized())
+            .unwrap()
+    }
+
+    fn desc() -> ConvDesc {
+        ConvDesc::new(3, 1, 1, 8, 1, 14, 14, 4)
+    }
+
+    #[test]
+    fn filter_kernel_generates_valid_descriptor() {
+        let k = gen_filter_transform_kernel(&desc(), &recipes(2, 3), &CodegenOptions::default())
+            .unwrap();
+        k.validate().unwrap();
+        assert!(k.source.contains("__global__ void wg_filt_xform_m2_r3"));
+        assert!(
+            !k.source.contains("%("),
+            "unfilled placeholder:\n{}",
+            k.source
+        );
+        // 8 filters × 4 channels threads.
+        assert!(k.launch.total_threads() >= 32);
+        assert!(k.cost.flops > 0);
+    }
+
+    #[test]
+    fn input_kernel_handles_tiling() {
+        let k = gen_input_transform_kernel(&desc(), &recipes(2, 3), &CodegenOptions::default())
+            .unwrap();
+        k.validate().unwrap();
+        // 14×14 output, m=2 → 49 tiles × 4 channels.
+        assert_eq!(k.launch.total_threads() >= 196, true);
+        assert!(k.source.contains("V[(("));
+        assert!(!k.source.contains("%("));
+    }
+
+    #[test]
+    fn output_kernel_clips_ragged_tiles() {
+        let k = gen_output_transform_kernel(&desc(), &recipes(4, 3), &CodegenOptions::default())
+            .unwrap();
+        k.validate().unwrap();
+        assert!(k.source.contains("if (y < 14 && x < 14)"));
+    }
+
+    #[test]
+    fn braces_balance_in_all_sources() {
+        for gen in [
+            gen_filter_transform_kernel,
+            gen_input_transform_kernel,
+            gen_output_transform_kernel,
+        ] {
+            let k = gen(&desc(), &recipes(4, 3), &CodegenOptions::default()).unwrap();
+            let opens = k.source.matches('{').count();
+            let closes = k.source.matches('}').count();
+            assert_eq!(
+                opens, closes,
+                "unbalanced braces in {}:\n{}",
+                k.name, k.source
+            );
+        }
+    }
+
+    #[test]
+    fn unrolling_changes_source_shape() {
+        use crate::unroll::Unroll;
+        let full = gen_filter_transform_kernel(
+            &desc(),
+            &recipes(2, 3),
+            &CodegenOptions {
+                unroll: Unroll::Full,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rolled = gen_filter_transform_kernel(
+            &desc(),
+            &recipes(2, 3),
+            &CodegenOptions {
+                unroll: Unroll::Factor(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(rolled.source.matches("for (").count() > full.source.matches("for (").count());
+        assert!(rolled.cost.control_overhead > full.cost.control_overhead);
+        assert_eq!(rolled.cost.flops, full.cost.flops);
+    }
+
+    #[test]
+    fn vulkan_backend_changes_qualifier() {
+        use wino_ir::Backend;
+        let k = gen_filter_transform_kernel(
+            &desc(),
+            &recipes(2, 3),
+            &CodegenOptions {
+                backend: Backend::OpenCl,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(k.source.contains("__kernel void"));
+    }
+
+    #[test]
+    fn naive_transforms_cost_more_flops() {
+        let opt = gen_filter_transform_kernel(&desc(), &recipes(4, 3), &CodegenOptions::default())
+            .unwrap();
+        let naive_recipes =
+            TransformRecipes::generate(WinogradSpec::new(4, 3).unwrap(), RecipeOptions::minimal())
+                .unwrap();
+        let naive =
+            gen_filter_transform_kernel(&desc(), &naive_recipes, &CodegenOptions::default())
+                .unwrap();
+        assert!(naive.cost.flops > opt.cost.flops);
+    }
+}

@@ -1,0 +1,170 @@
+//! Adaptive loop unrolling (§3.2.1).
+//!
+//! "We unroll the Winograd transformation loops to eliminate control
+//! instructions … The unrolling factor is a tunable parameter. For
+//! those loops in which the iteration count is not dividable by the
+//! unrolling factor, we find the closest divisor, or if we cannot find
+//! one, we fully unroll the loop."
+
+use std::fmt;
+
+/// The `LU` tuning parameter of Table 1: `[1, 2, 4, 6, ∞]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Unroll {
+    /// Unroll by a fixed factor (1 = rolled loop).
+    Factor(usize),
+    /// Fully unroll (the `∞` setting).
+    Full,
+}
+
+impl Unroll {
+    /// The paper's candidate values.
+    pub fn table1_values() -> [Unroll; 5] {
+        [
+            Unroll::Factor(1),
+            Unroll::Factor(2),
+            Unroll::Factor(4),
+            Unroll::Factor(6),
+            Unroll::Full,
+        ]
+    }
+}
+
+impl fmt::Display for Unroll {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unroll::Factor(k) => write!(f, "{k}"),
+            Unroll::Full => write!(f, "inf"),
+        }
+    }
+}
+
+/// Resolves the effective unroll factor for a loop of `iters`
+/// iterations: the requested factor if it divides `iters`, otherwise
+/// the closest smaller divisor, otherwise full unrolling.
+pub fn effective_unroll(iters: usize, requested: Unroll) -> usize {
+    if iters == 0 {
+        return 1;
+    }
+    match requested {
+        Unroll::Full => iters,
+        Unroll::Factor(f) => {
+            let f = f.clamp(1, iters);
+            if iters % f == 0 {
+                return f;
+            }
+            match (1..=f).rev().find(|d| iters % d == 0) {
+                Some(1) | None => iters, // no useful divisor: fully unroll
+                Some(d) => d,
+            }
+        }
+    }
+}
+
+/// Emits a (possibly partially unrolled) `for` loop in C syntax. The
+/// body generator receives the index *expression* for each unrolled
+/// instance (`"i"`, `"i + 1"`, … or a literal when fully unrolled).
+pub fn emit_unrolled_loop(
+    var: &str,
+    iters: usize,
+    requested: Unroll,
+    mut body: impl FnMut(&str) -> String,
+) -> String {
+    let factor = effective_unroll(iters, requested);
+    let mut out = String::new();
+    if factor == iters {
+        // Straight-line: every iteration with a literal index.
+        for i in 0..iters {
+            out.push_str(&body(&i.to_string()));
+        }
+        return out;
+    }
+    out.push_str(&format!(
+        "for (int {var} = 0; {var} < {iters}; {var} += {factor}) {{\n"
+    ));
+    for lane in 0..factor {
+        let idx = if lane == 0 {
+            var.to_string()
+        } else {
+            format!("({var} + {lane})")
+        };
+        out.push_str(&body(&idx));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Compute-time multiplier modelling residual loop control overhead:
+/// roughly two control instructions per loop back-edge, amortized over
+/// the unrolled body.
+pub fn control_overhead(body_ops: usize, iters: usize, requested: Unroll) -> f64 {
+    let factor = effective_unroll(iters, requested);
+    if factor >= iters {
+        return 1.0;
+    }
+    1.0 + 2.0 / (body_ops.max(1) as f64 * factor as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_divisor_kept() {
+        assert_eq!(effective_unroll(8, Unroll::Factor(4)), 4);
+        assert_eq!(effective_unroll(6, Unroll::Factor(6)), 6);
+        assert_eq!(effective_unroll(8, Unroll::Factor(1)), 1);
+    }
+
+    #[test]
+    fn closest_divisor_found() {
+        // 6 iterations, requested 4 → closest divisor ≤ 4 is 3.
+        assert_eq!(effective_unroll(6, Unroll::Factor(4)), 3);
+        // 9 iterations, requested 4 → 3.
+        assert_eq!(effective_unroll(9, Unroll::Factor(4)), 3);
+    }
+
+    #[test]
+    fn prime_iterations_fully_unroll() {
+        // 7 iterations, requested 2: only divisor ≤ 2 is 1 → full.
+        assert_eq!(effective_unroll(7, Unroll::Factor(2)), 7);
+    }
+
+    #[test]
+    fn full_unroll() {
+        assert_eq!(effective_unroll(5, Unroll::Full), 5);
+        assert_eq!(effective_unroll(0, Unroll::Full), 1);
+    }
+
+    #[test]
+    fn emit_full_unroll_is_straight_line() {
+        let code = emit_unrolled_loop("j", 3, Unroll::Full, |i| format!("f({i});\n"));
+        assert_eq!(code, "f(0);\nf(1);\nf(2);\n");
+        assert!(!code.contains("for"));
+    }
+
+    #[test]
+    fn emit_partial_unroll() {
+        let code = emit_unrolled_loop("j", 8, Unroll::Factor(2), |i| format!("f({i});\n"));
+        assert!(code.contains("for (int j = 0; j < 8; j += 2)"));
+        assert!(code.contains("f(j);"));
+        assert!(code.contains("f((j + 1));"));
+    }
+
+    #[test]
+    fn overhead_decreases_with_unrolling() {
+        let rolled = control_overhead(5, 8, Unroll::Factor(1));
+        let partial = control_overhead(5, 8, Unroll::Factor(4));
+        let full = control_overhead(5, 8, Unroll::Full);
+        assert!(rolled > partial);
+        assert!(partial > full);
+        assert_eq!(full, 1.0);
+    }
+
+    #[test]
+    fn table1_values_cover_paper() {
+        let vals = Unroll::table1_values();
+        assert_eq!(vals.len(), 5);
+        assert_eq!(vals[4], Unroll::Full);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the meta-programming layer: the template engine,
+//! the unroller, and the backend bridge must be total over their input
+//! domains (no panics, structural invariants hold).
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wino_codegen::{
+    effective_unroll, emit_unrolled_loop, generate_plan, render_template, CodegenOptions,
+    PlanVariant, Template, Unroll,
+};
+use wino_tensor::ConvDesc;
+
+/// Template sources made of literals, escapes and placeholders.
+fn arb_template() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => "[a-z {};()=+*/-]{0,12}".prop_map(|s| s),
+            1 => Just("%%".to_string()),
+            2 => "[a-z_]{1,8}".prop_map(|name| format!("%({name})")),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Parsing never panics; when it succeeds, rendering with bindings
+    /// for every placeholder succeeds and contains every binding value.
+    #[test]
+    fn template_parse_render_total(src in arb_template(), value in "[a-z0-9]{1,6}") {
+        if let Ok(t) = Template::parse(&src) {
+            let names: Vec<String> =
+                t.placeholders().iter().map(|s| s.to_string()).collect();
+            let vars: BTreeMap<&str, String> =
+                names.iter().map(|n| (n.as_str(), value.clone())).collect();
+            let rendered = t.render(&vars).expect("all placeholders bound");
+            for _ in &names {
+                prop_assert!(rendered.contains(value.as_str()) || value.is_empty());
+                break; // containment check once is enough
+            }
+        }
+    }
+
+    /// Escaped percent signs survive rendering exactly.
+    #[test]
+    fn template_escapes(n in 1usize..6) {
+        let src = "%%".repeat(n);
+        let rendered = render_template(&src, &BTreeMap::new()).unwrap();
+        prop_assert_eq!(rendered, "%".repeat(n));
+    }
+
+    /// The effective unroll factor always divides the trip count or
+    /// equals it (full unroll), and never exceeds it.
+    #[test]
+    fn unroll_divides_or_fully_unrolls(
+        iters in 0usize..200,
+        factor in 1usize..12,
+        full in any::<bool>(),
+    ) {
+        let requested = if full { Unroll::Full } else { Unroll::Factor(factor) };
+        let eff = effective_unroll(iters, requested);
+        if iters == 0 {
+            prop_assert_eq!(eff, 1);
+        } else {
+            prop_assert!(eff <= iters.max(1));
+            prop_assert!(eff == iters || iters % eff == 0, "eff {eff} for {iters}");
+        }
+    }
+
+    /// Unrolled emission covers every iteration exactly once: the body
+    /// callback is invoked `factor` times per emitted block and the
+    /// loop structure covers the full range.
+    #[test]
+    fn unrolled_loop_covers_range(iters in 1usize..40, factor in 1usize..8) {
+        let mut calls = 0usize;
+        let code = emit_unrolled_loop("i", iters, Unroll::Factor(factor), |_| {
+            calls += 1;
+            "body();\n".to_string()
+        });
+        let eff = effective_unroll(iters, Unroll::Factor(factor));
+        if eff == iters {
+            prop_assert_eq!(calls, iters);
+            prop_assert!(!code.contains("for"));
+        } else {
+            prop_assert_eq!(calls, eff);
+            let step = format!("i += {eff}");
+            prop_assert!(code.contains(&step));
+        }
+    }
+
+    /// Every generatable plan, for any backend and any valid blocking,
+    /// produces placeholder-free, brace-balanced source.
+    #[test]
+    fn plans_always_well_formed(
+        mnt_idx in 0usize..4,
+        mnb_idx in 0usize..3,
+        backend_idx in 0usize..3,
+        variant_idx in 0usize..4,
+        m in 2usize..7,
+    ) {
+        use wino_ir::Backend;
+        let opts = CodegenOptions {
+            backend: [Backend::Cuda, Backend::Vulkan, Backend::OpenCl][backend_idx],
+            mnt: [1, 2, 4, 8][mnt_idx],
+            mnb: [8, 16, 32][mnb_idx],
+            ..Default::default()
+        };
+        let variant = [
+            PlanVariant::Direct,
+            PlanVariant::Im2col,
+            PlanVariant::WinogradNonFused { m },
+            PlanVariant::WinogradFused { m },
+        ][variant_idx];
+        let desc = ConvDesc::new(3, 1, 1, 16, 1, 14, 14, 8);
+        if let Ok(plan) = generate_plan(&desc, variant, &opts) {
+            for k in &plan.kernels {
+                prop_assert!(!k.source.contains("%("), "{}: unfilled placeholder", k.name);
+                prop_assert_eq!(
+                    k.source.matches('{').count(),
+                    k.source.matches('}').count()
+                );
+                if opts.backend != Backend::Cuda {
+                    prop_assert!(!k.source.contains("__global__"), "{}", k.name);
+                    prop_assert!(!k.source.contains("threadIdx"), "{}", k.name);
+                }
+                k.validate().unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Direct (sliding-window) convolution — the numerical reference.
+//!
+//! The FP64 variant is the ground truth the paper measures Winograd
+//! accuracy against (§4.1); the FP32 variant is the "direct" baseline
+//! engine. Note that, following every deep-learning framework (and the
+//! paper's §2), "convolution" here is cross-correlation: the filter is
+//! not flipped.
+
+use wino_tensor::{ConvDesc, Tensor4};
+
+use crate::error::ConvError;
+
+/// Validates that `input` (N,C,H,W) and `filters` (K,C,r,r) match the
+/// descriptor.
+pub(crate) fn check_shapes<T: Copy + Default>(
+    input: &Tensor4<T>,
+    filters: &Tensor4<T>,
+    desc: &ConvDesc,
+) -> Result<(), ConvError> {
+    if input.dims() != (desc.batch, desc.in_ch, desc.in_h, desc.in_w) {
+        return Err(ConvError::Shape(format!(
+            "input dims {:?} do not match descriptor {desc}",
+            input.dims()
+        )));
+    }
+    if filters.dims() != (desc.out_ch, desc.in_ch, desc.ksz, desc.ksz) {
+        return Err(ConvError::Shape(format!(
+            "filter dims {:?} do not match descriptor {desc}",
+            filters.dims()
+        )));
+    }
+    Ok(())
+}
+
+macro_rules! direct_impl {
+    ($name:ident, $t:ty, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// # Errors
+        /// [`ConvError::Shape`] when tensor dims disagree with `desc`.
+        pub fn $name(
+            input: &Tensor4<$t>,
+            filters: &Tensor4<$t>,
+            desc: &ConvDesc,
+        ) -> Result<Tensor4<$t>, ConvError> {
+            check_shapes(input, filters, desc)?;
+            let (oh, ow) = (desc.out_h(), desc.out_w());
+            let mut out = Tensor4::<$t>::zeros(desc.batch, desc.out_ch, oh, ow);
+            let (ih, iw) = (desc.in_h as isize, desc.in_w as isize);
+            for n in 0..desc.batch {
+                for k in 0..desc.out_ch {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc: $t = 0.0;
+                            let base_y = (oy * desc.stride) as isize - desc.pad as isize;
+                            let base_x = (ox * desc.stride) as isize - desc.pad as isize;
+                            for c in 0..desc.in_ch {
+                                for fy in 0..desc.ksz {
+                                    let y = base_y + fy as isize;
+                                    if y < 0 || y >= ih {
+                                        continue;
+                                    }
+                                    for fx in 0..desc.ksz {
+                                        let x = base_x + fx as isize;
+                                        if x < 0 || x >= iw {
+                                            continue;
+                                        }
+                                        acc += input[(n, c, y as usize, x as usize)]
+                                            * filters[(k, c, fy, fx)];
+                                    }
+                                }
+                            }
+                            out[(n, k, oy, ox)] = acc;
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+    };
+}
+
+direct_impl!(conv_direct_f32, f32, "Direct convolution in FP32.");
+direct_impl!(
+    conv_direct_f64,
+    f64,
+    "Direct convolution in FP64 (the accuracy reference)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_3x3_same_padding() {
+        // 1×1×3×3 ramp input, single 3×3 filter picking the center.
+        let desc = ConvDesc::new(3, 1, 1, 1, 1, 3, 3, 1);
+        let input = Tensor4::<f32>::from_fn(1, 1, 3, 3, |_, _, y, x| (y * 3 + x) as f32);
+        let mut filt = Tensor4::<f32>::zeros(1, 1, 3, 3);
+        filt[(0, 0, 1, 1)] = 1.0;
+        let out = conv_direct_f32(&input, &filt, &desc).unwrap();
+        assert_eq!(out.dims(), (1, 1, 3, 3));
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(out[(0, 0, y, x)], input[(0, 0, y, x)]);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_contributes_zeros() {
+        let desc = ConvDesc::new(3, 1, 1, 1, 1, 2, 2, 1);
+        let input = Tensor4::<f32>::from_fn(1, 1, 2, 2, |_, _, _, _| 1.0);
+        let filt = Tensor4::<f32>::from_fn(1, 1, 3, 3, |_, _, _, _| 1.0);
+        let out = conv_direct_f32(&input, &filt, &desc).unwrap();
+        // Corner output sees all four input pixels; every output does
+        // here since the image is 2×2.
+        assert_eq!(out[(0, 0, 0, 0)], 4.0);
+    }
+
+    #[test]
+    fn stride_two_subsamples() {
+        let desc = ConvDesc::new(1, 2, 0, 1, 1, 4, 4, 1);
+        let input = Tensor4::<f32>::from_fn(1, 1, 4, 4, |_, _, y, x| (y * 4 + x) as f32);
+        let filt = Tensor4::<f32>::from_fn(1, 1, 1, 1, |_, _, _, _| 1.0);
+        let out = conv_direct_f32(&input, &filt, &desc).unwrap();
+        assert_eq!(out.dims(), (1, 1, 2, 2));
+        assert_eq!(out[(0, 0, 0, 0)], 0.0);
+        assert_eq!(out[(0, 0, 0, 1)], 2.0);
+        assert_eq!(out[(0, 0, 1, 0)], 8.0);
+        assert_eq!(out[(0, 0, 1, 1)], 10.0);
+    }
+
+    #[test]
+    fn channels_accumulate() {
+        let desc = ConvDesc::new(1, 1, 0, 1, 1, 1, 1, 3);
+        let input = Tensor4::<f32>::from_fn(1, 3, 1, 1, |_, c, _, _| (c + 1) as f32);
+        let filt = Tensor4::<f32>::from_fn(1, 3, 1, 1, |_, _, _, _| 1.0);
+        let out = conv_direct_f32(&input, &filt, &desc).unwrap();
+        assert_eq!(out[(0, 0, 0, 0)], 6.0);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let desc = ConvDesc::new(3, 1, 1, 2, 1, 4, 4, 3);
+        let input = Tensor4::<f32>::zeros(1, 3, 4, 5); // wrong W
+        let filt = Tensor4::<f32>::zeros(2, 3, 3, 3);
+        assert!(matches!(
+            conv_direct_f32(&input, &filt, &desc),
+            Err(ConvError::Shape(_))
+        ));
+        let input = Tensor4::<f32>::zeros(1, 3, 4, 4);
+        let filt = Tensor4::<f32>::zeros(2, 2, 3, 3); // wrong C
+        assert!(conv_direct_f32(&input, &filt, &desc).is_err());
+    }
+
+    #[test]
+    fn f64_matches_f32_on_exact_values() {
+        let desc = ConvDesc::new(3, 1, 1, 2, 2, 5, 5, 3);
+        let input32 =
+            Tensor4::<f32>::from_fn(2, 3, 5, 5, |n, c, y, x| (n + c + y + x) as f32 * 0.25);
+        let filt32 =
+            Tensor4::<f32>::from_fn(2, 3, 3, 3, |k, c, y, x| (k * 9 + c + y * x) as f32 * 0.125);
+        let out32 = conv_direct_f32(&input32, &filt32, &desc).unwrap();
+        let out64 = conv_direct_f64(&input32.to_f64(), &filt32.to_f64(), &desc).unwrap();
+        for i in 0..out32.len() {
+            assert!((out32.data()[i] as f64 - out64.data()[i]).abs() < 1e-3);
+        }
+    }
+}

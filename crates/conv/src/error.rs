@@ -1,0 +1,42 @@
+//! Error type for the convolution engines.
+
+use std::fmt;
+
+use wino_transform::TransformError;
+
+/// Errors produced by the convolution engines.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConvError {
+    /// Transform generation failed (unsupported α, bad spec, …).
+    Transform(TransformError),
+    /// Tensor shapes disagree with the convolution descriptor.
+    Shape(String),
+    /// The requested engine cannot run this convolution (e.g. Winograd
+    /// with stride ≠ 1).
+    Unsupported(String),
+}
+
+impl fmt::Display for ConvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvError::Transform(e) => write!(f, "transform error: {e}"),
+            ConvError::Shape(msg) => write!(f, "shape error: {msg}"),
+            ConvError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConvError::Transform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransformError> for ConvError {
+    fn from(e: TransformError) -> Self {
+        ConvError::Transform(e)
+    }
+}

@@ -1,0 +1,342 @@
+//! FFT-based convolution — the other fast-convolution family the paper
+//! positions Winograd against (§5, after Mathieu et al. / Vasilache et
+//! al.): transform to the frequency domain, multiply by the filter's
+//! (conjugated) frequency response, transform back. Unlike Winograd it
+//! works over complex numbers and only pays off for large filters or
+//! few channels, which is exactly the trade-off this engine lets the
+//! benchmarks exhibit.
+//!
+//! The FFT itself is a from-scratch iterative radix-2 Cooley-Tukey over
+//! `f64` complex values (accuracy headroom for the f32 tensors).
+
+use wino_tensor::{ConvDesc, Tensor4};
+
+use crate::direct::check_shapes;
+use crate::error::ConvError;
+
+/// A complex number over f64.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Complex multiplication.
+    #[inline]
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of
+/// two; `inverse` selects the inverse transform (including the `1/N`
+/// normalization).
+///
+/// # Panics
+/// If the length is not a power of two — an internal-contract
+/// violation, since all planning in this module rounds up first.
+pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for v in data.iter_mut() {
+            v.re *= inv_n;
+            v.im *= inv_n;
+        }
+    }
+}
+
+/// In-place 2-D FFT on a row-major `rows × cols` buffer (both
+/// power-of-two).
+pub fn fft2d_inplace(data: &mut [Complex], rows: usize, cols: usize, inverse: bool) {
+    debug_assert_eq!(data.len(), rows * cols);
+    // Rows.
+    for r in 0..rows {
+        fft_inplace(&mut data[r * cols..(r + 1) * cols], inverse);
+    }
+    // Columns (gather/scatter through a scratch column).
+    let mut col = vec![Complex::default(); rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        fft_inplace(&mut col, inverse);
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+}
+
+/// Plans the padded frequency-domain extent for a convolution: the
+/// linear-correlation support `in + r − 1` rounded up to a power of
+/// two per axis.
+fn fft_extents(desc: &ConvDesc) -> (usize, usize) {
+    let ph = (desc.in_h + 2 * desc.pad + desc.ksz - 1).next_power_of_two();
+    let pw = (desc.in_w + 2 * desc.pad + desc.ksz - 1).next_power_of_two();
+    (ph, pw)
+}
+
+/// FFT-based convolution (cross-correlation, like every engine here).
+///
+/// Works for any stride/padding: the full unit-stride correlation map
+/// is computed in the frequency domain and then subsampled.
+///
+/// # Errors
+/// [`ConvError::Shape`] when tensor dims disagree with `desc`.
+pub fn conv_fft(
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+) -> Result<Tensor4<f32>, ConvError> {
+    check_shapes(input, filters, desc)?;
+    let (fh, fw) = fft_extents(desc);
+    let plane = fh * fw;
+    let r = desc.ksz;
+
+    // Frequency response of every (k, c) filter, conjugated once so
+    // the per-image loop is a pure multiply-accumulate.
+    let mut filt_freq = vec![Complex::default(); desc.out_ch * desc.in_ch * plane];
+    let mut buf = vec![Complex::default(); plane];
+    for k in 0..desc.out_ch {
+        for c in 0..desc.in_ch {
+            buf.iter_mut().for_each(|v| *v = Complex::default());
+            let fp = filters.plane(k, c);
+            for y in 0..r {
+                for x in 0..r {
+                    buf[y * fw + x] = Complex::new(fp[y * r + x] as f64, 0.0);
+                }
+            }
+            fft2d_inplace(&mut buf, fh, fw, false);
+            let base = (k * desc.in_ch + c) * plane;
+            for (dst, src) in filt_freq[base..base + plane].iter_mut().zip(&buf) {
+                *dst = src.conj();
+            }
+        }
+    }
+
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+    let mut out = Tensor4::<f32>::zeros(desc.batch, desc.out_ch, oh, ow);
+    let padded = input.pad_spatial(desc.pad);
+    let (ih, iw) = (padded.h(), padded.w());
+    let mut in_freq = vec![Complex::default(); desc.in_ch * plane];
+    let mut acc = vec![Complex::default(); plane];
+
+    for n in 0..desc.batch {
+        // Forward-transform every input channel once per image.
+        for c in 0..desc.in_ch {
+            let dst = &mut in_freq[c * plane..(c + 1) * plane];
+            dst.iter_mut().for_each(|v| *v = Complex::default());
+            let ip = padded.plane(n, c);
+            for y in 0..ih {
+                for x in 0..iw {
+                    dst[y * fw + x] = Complex::new(ip[y * iw + x] as f64, 0.0);
+                }
+            }
+            fft2d_inplace(dst, fh, fw, false);
+        }
+        // One inverse transform per output channel.
+        for k in 0..desc.out_ch {
+            acc.iter_mut().for_each(|v| *v = Complex::default());
+            for c in 0..desc.in_ch {
+                let f = &filt_freq[(k * desc.in_ch + c) * plane..][..plane];
+                let x = &in_freq[c * plane..(c + 1) * plane];
+                for i in 0..plane {
+                    acc[i] = acc[i].add(x[i].mul(f[i]));
+                }
+            }
+            fft2d_inplace(&mut acc, fh, fw, true);
+            // Correlation with conj(filter) leaves the valid map at
+            // offset 0; subsample by the stride.
+            let op = out.plane_mut(n, k);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    op[oy * ow + ox] = acc[(oy * desc.stride) * fw + ox * desc.stride].re as f32;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::conv_direct_f32;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &Tensor4<f32>, b: &Tensor4<f32>, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for i in 0..a.len() {
+            let (x, y) = (a.data()[i], b.data()[i]);
+            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "{x} vs {y} at {i}");
+        }
+    }
+
+    fn random_case(desc: &ConvDesc, seed: u64) -> (Tensor4<f32>, Tensor4<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            Tensor4::random(
+                desc.batch, desc.in_ch, desc.in_h, desc.in_w, -1.0, 1.0, &mut rng,
+            ),
+            Tensor4::random(
+                desc.out_ch,
+                desc.in_ch,
+                desc.ksz,
+                desc.ksz,
+                -1.0,
+                1.0,
+                &mut rng,
+            ),
+        )
+    }
+
+    #[test]
+    fn fft_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        use rand::Rng;
+        let orig: Vec<Complex> = (0..64)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut data = orig.clone();
+        fft_inplace(&mut data, false);
+        fft_inplace(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 16];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut data, false);
+        for v in &data {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft2d_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        use rand::Rng;
+        let orig: Vec<Complex> = (0..8 * 16)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
+        let mut data = orig.clone();
+        fft2d_inplace(&mut data, 8, 16, false);
+        fft2d_inplace(&mut data, 8, 16, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_direct_same_padding() {
+        let desc = ConvDesc::new(3, 1, 1, 4, 2, 9, 9, 3);
+        let (input, filt) = random_case(&desc, 3);
+        assert_close(
+            &conv_fft(&input, &filt, &desc).unwrap(),
+            &conv_direct_f32(&input, &filt, &desc).unwrap(),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn matches_direct_large_filter() {
+        // 7×7: the regime where FFT is competitive.
+        let desc = ConvDesc::new(7, 1, 3, 3, 1, 12, 12, 2);
+        let (input, filt) = random_case(&desc, 4);
+        assert_close(
+            &conv_fft(&input, &filt, &desc).unwrap(),
+            &conv_direct_f32(&input, &filt, &desc).unwrap(),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn matches_direct_strided() {
+        let desc = ConvDesc::new(5, 2, 2, 4, 1, 11, 11, 2);
+        let (input, filt) = random_case(&desc, 5);
+        assert_close(
+            &conv_fft(&input, &filt, &desc).unwrap(),
+            &conv_direct_f32(&input, &filt, &desc).unwrap(),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn matches_direct_no_padding_1x1() {
+        let desc = ConvDesc::new(1, 1, 0, 2, 1, 4, 4, 3);
+        let (input, filt) = random_case(&desc, 6);
+        assert_close(
+            &conv_fft(&input, &filt, &desc).unwrap(),
+            &conv_direct_f32(&input, &filt, &desc).unwrap(),
+            1e-4,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn fft_rejects_bad_length() {
+        let mut data = vec![Complex::default(); 6];
+        fft_inplace(&mut data, false);
+    }
+}

@@ -1,0 +1,147 @@
+//! im2col + GEMM convolution — the "reshape as matrix multiplication"
+//! lowering of §2 of the paper, and the engine inference frameworks
+//! fall back to when Winograd does not apply (strided or large-kernel
+//! layers).
+
+use wino_gemm::sgemm;
+use wino_tensor::{ConvDesc, Tensor4};
+
+use crate::direct::check_shapes;
+use crate::error::ConvError;
+
+/// Gathers convolution patches into the `(C·r², OH·OW)` column matrix
+/// for one image.
+pub fn im2col_image(input: &Tensor4<f32>, n: usize, desc: &ConvDesc, cols: &mut [f32]) {
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+    let k2 = desc.ksz * desc.ksz;
+    let row_len = oh * ow;
+    let (ih, iw) = (desc.in_h as isize, desc.in_w as isize);
+    for c in 0..desc.in_ch {
+        let plane = input.plane(n, c);
+        for fy in 0..desc.ksz {
+            for fx in 0..desc.ksz {
+                let row = c * k2 + fy * desc.ksz + fx;
+                for oy in 0..oh {
+                    let y = (oy * desc.stride) as isize - desc.pad as isize + fy as isize;
+                    for ox in 0..ow {
+                        let x = (ox * desc.stride) as isize - desc.pad as isize + fx as isize;
+                        cols[row * row_len + oy * ow + ox] = if y >= 0 && y < ih && x >= 0 && x < iw
+                        {
+                            plane[y as usize * desc.in_w + x as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// im2col + SGEMM convolution: filters flatten to `(K, C·r²)`, patches
+/// to `(C·r², OH·OW)`, and one GEMM per image produces `(K, OH·OW)`.
+///
+/// # Errors
+/// [`ConvError::Shape`] when tensor dims disagree with `desc`.
+pub fn conv_im2col(
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+) -> Result<Tensor4<f32>, ConvError> {
+    check_shapes(input, filters, desc)?;
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+    let k2 = desc.ksz * desc.ksz;
+    let gemm_k = desc.in_ch * k2;
+    let gemm_n = oh * ow;
+    let mut cols = vec![0.0f32; gemm_k * gemm_n];
+    let mut out = Tensor4::<f32>::zeros(desc.batch, desc.out_ch, oh, ow);
+    // Filters are already contiguous in (K, C·r²) layout.
+    let filt_mat = filters.data();
+    for n in 0..desc.batch {
+        im2col_image(input, n, desc, &mut cols);
+        // C (K × OH·OW) lands directly in the output tensor: plane
+        // (n, k) is contiguous and of length OH·OW.
+        let start = out.offset(n, 0, 0, 0);
+        let end = start + desc.out_ch * gemm_n;
+        sgemm(
+            filt_mat,
+            &cols,
+            &mut out.data_mut()[start..end],
+            desc.out_ch,
+            gemm_k,
+            gemm_n,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::conv_direct_f32;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &Tensor4<f32>, b: &Tensor4<f32>) {
+        assert_eq!(a.dims(), b.dims());
+        for i in 0..a.len() {
+            let (x, y) = (a.data()[i], b.data()[i]);
+            assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()), "{x} vs {y} at {i}");
+        }
+    }
+
+    #[test]
+    fn matches_direct_same_padding() {
+        let desc = ConvDesc::new(3, 1, 1, 4, 2, 6, 6, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let input = Tensor4::<f32>::random(2, 3, 6, 6, -1.0, 1.0, &mut rng);
+        let filt = Tensor4::<f32>::random(4, 3, 3, 3, -1.0, 1.0, &mut rng);
+        assert_close(
+            &conv_im2col(&input, &filt, &desc).unwrap(),
+            &conv_direct_f32(&input, &filt, &desc).unwrap(),
+        );
+    }
+
+    #[test]
+    fn matches_direct_strided_no_pad() {
+        let desc = ConvDesc::new(5, 2, 0, 3, 1, 11, 9, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let input = Tensor4::<f32>::random(1, 2, 11, 9, -1.0, 1.0, &mut rng);
+        let filt = Tensor4::<f32>::random(3, 2, 5, 5, -1.0, 1.0, &mut rng);
+        assert_close(
+            &conv_im2col(&input, &filt, &desc).unwrap(),
+            &conv_direct_f32(&input, &filt, &desc).unwrap(),
+        );
+    }
+
+    #[test]
+    fn matches_direct_1x1() {
+        let desc = ConvDesc::new(1, 1, 0, 8, 1, 4, 4, 16);
+        let mut rng = StdRng::seed_from_u64(7);
+        let input = Tensor4::<f32>::random(1, 16, 4, 4, -1.0, 1.0, &mut rng);
+        let filt = Tensor4::<f32>::random(8, 16, 1, 1, -1.0, 1.0, &mut rng);
+        assert_close(
+            &conv_im2col(&input, &filt, &desc).unwrap(),
+            &conv_direct_f32(&input, &filt, &desc).unwrap(),
+        );
+    }
+
+    #[test]
+    fn im2col_layout() {
+        // 1 channel, 2×2 input, 2×2 kernel, no pad: single output,
+        // columns are the flattened patch.
+        let desc = ConvDesc::new(2, 1, 0, 1, 1, 2, 2, 1);
+        let input = Tensor4::<f32>::from_fn(1, 1, 2, 2, |_, _, y, x| (y * 2 + x + 1) as f32);
+        let mut cols = vec![0.0f32; 4];
+        im2col_image(&input, 0, &desc, &mut cols);
+        assert_eq!(cols, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let desc = ConvDesc::new(3, 1, 1, 2, 1, 4, 4, 3);
+        let input = Tensor4::<f32>::zeros(1, 2, 4, 4);
+        let filt = Tensor4::<f32>::zeros(2, 3, 3, 3);
+        assert!(conv_im2col(&input, &filt, &desc).is_err());
+    }
+}

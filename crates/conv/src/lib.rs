@@ -1,0 +1,39 @@
+//! # wino-conv — the convolution engines
+//!
+//! CPU implementations of every convolution variant the paper's
+//! system generates and compares:
+//!
+//! * [`conv_direct_f32`] / [`conv_direct_f64`] — sliding-window
+//!   reference (FP64 is the accuracy ground truth of §4.1);
+//! * [`conv_im2col`] — the "reshape as matrix multiplication" lowering
+//!   of §2, backed by the blocked SGEMM of `wino-gemm`;
+//! * [`conv_winograd`] — recipe-driven Winograd in both the
+//!   **non-fused** (batched-SGEMM) and **fused** (tile-local) variants
+//!   of §3.2.2, with output tile size `m` and symbolic-pipeline
+//!   options as tuning parameters.
+//!
+//! The [`accuracy`] module reproduces the paper's error-measurement
+//! protocol (Table 3, Figure 4); [`flops`] accounts Winograd work for
+//! Figure 5d and the GPU cost model.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+mod direct;
+mod error;
+pub mod fft;
+pub mod flops;
+mod im2col;
+mod tiles;
+mod winograd;
+mod winograd1d;
+
+pub use accuracy::{accuracy_probe_desc, conv_error_trial, measure_conv_error};
+pub use direct::{conv_direct_f32, conv_direct_f64};
+pub use error::ConvError;
+pub use fft::conv_fft;
+pub use flops::{winograd_flops, winograd_flops_baseline, winograd_tile_total, WinogradFlops};
+pub use im2col::{conv_im2col, im2col_image};
+pub use tiles::TileTransformer;
+pub use winograd::{conv_winograd, conv_winograd_with_recipes, WinogradConfig, WinogradVariant};
+pub use winograd1d::{conv1d_direct, conv1d_winograd};

@@ -1,0 +1,417 @@
+//! Recipe-driven Winograd convolution engines (non-fused and fused).
+//!
+//! These are the CPU reference implementations of the two kernel
+//! variants the paper generates (§3.2.2). The **non-fused** engine
+//! materializes the transformed filters `U'` and inputs `V'` in the
+//! scatter layouts of Lavin & Gray and runs the multiplication stage
+//! as α² batched SGEMMs. The **fused** engine processes one input tile
+//! end-to-end — transform, channel-summed element-wise multiply,
+//! output transform — without materializing intermediates, mirroring
+//! the single-kernel variant's dataflow.
+
+use std::sync::Arc;
+
+use wino_gemm::{batched_sgemm, BatchedGemmShape};
+use wino_symbolic::RecipeOptions;
+use wino_tensor::{extract_input_tile, place_output_tile, tile_counts, ConvDesc, Tensor4};
+use wino_transform::{recipe_db, TransformRecipes, WinogradSpec};
+
+use crate::direct::check_shapes;
+use crate::error::ConvError;
+use crate::tiles::TileTransformer;
+
+/// Which kernel variant to model (tuning parameter `WV` of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WinogradVariant {
+    /// Separate kernels per stage + batched SGEMM.
+    NonFused,
+    /// One kernel: everything tile-local.
+    Fused,
+}
+
+/// Configuration of a Winograd convolution run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WinogradConfig {
+    /// Output tile size `m` (Table 1: `2 ≤ m ≤ 10`).
+    pub m: usize,
+    /// Symbolic-pipeline options (optimized vs. naive transforms).
+    pub options: RecipeOptions,
+    /// Kernel variant.
+    pub variant: WinogradVariant,
+}
+
+impl WinogradConfig {
+    /// Fully-optimized non-fused configuration with output tile `m`.
+    pub fn new(m: usize) -> Self {
+        WinogradConfig {
+            m,
+            options: RecipeOptions::optimized(),
+            variant: WinogradVariant::NonFused,
+        }
+    }
+
+    /// Switches the variant.
+    pub fn with_variant(mut self, variant: WinogradVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Switches the recipe options.
+    pub fn with_options(mut self, options: RecipeOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+fn winograd_checks(desc: &ConvDesc, m: usize) -> Result<WinogradSpec, ConvError> {
+    if desc.stride != 1 {
+        return Err(ConvError::Unsupported(format!(
+            "Winograd requires stride 1, got {}",
+            desc.stride
+        )));
+    }
+    Ok(WinogradSpec::new(m, desc.ksz)?)
+}
+
+/// Winograd convolution using recipes from the process-wide database.
+///
+/// # Errors
+/// Shape mismatches, non-unit stride, or unsupported `F(m, r)`.
+pub fn conv_winograd(
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+    cfg: &WinogradConfig,
+) -> Result<Tensor4<f32>, ConvError> {
+    let spec = winograd_checks(desc, cfg.m)?;
+    let recipes: Arc<TransformRecipes> = recipe_db().get(spec, cfg.options)?;
+    conv_winograd_with_recipes(input, filters, desc, &recipes, cfg.variant)
+}
+
+/// Winograd convolution with explicitly supplied recipes (used by the
+/// point-search accuracy protocol, which works with non-Table-3
+/// points).
+///
+/// # Errors
+/// Shape mismatches, non-unit stride, or a recipe/descriptor spec
+/// mismatch.
+pub fn conv_winograd_with_recipes(
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+    recipes: &TransformRecipes,
+    variant: WinogradVariant,
+) -> Result<Tensor4<f32>, ConvError> {
+    check_shapes(input, filters, desc)?;
+    let spec = winograd_checks(desc, recipes.spec.m)?;
+    if recipes.spec != spec {
+        return Err(ConvError::Shape(format!(
+            "recipes are for {} but descriptor implies {spec}",
+            recipes.spec
+        )));
+    }
+    match variant {
+        WinogradVariant::NonFused => nonfused(input, filters, desc, recipes),
+        WinogradVariant::Fused => fused(input, filters, desc, recipes),
+    }
+}
+
+/// Shared pre-computation: transformed filters `U` in `(k, c, ξ)`
+/// order (`ξ = α²` positions).
+fn transform_filters(
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+    recipes: &TransformRecipes,
+) -> Vec<f32> {
+    let alpha = recipes.spec.alpha();
+    let a2 = alpha * alpha;
+    let mut ft = TileTransformer::new(&recipes.filter);
+    let mut u = vec![0.0f32; desc.out_ch * desc.in_ch * a2];
+    let mut tile = vec![0.0f32; a2];
+    for k in 0..desc.out_ch {
+        for c in 0..desc.in_ch {
+            ft.transform(filters.plane(k, c), &mut tile);
+            let base = (k * desc.in_ch + c) * a2;
+            u[base..base + a2].copy_from_slice(&tile);
+        }
+    }
+    u
+}
+
+fn nonfused(
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+    recipes: &TransformRecipes,
+) -> Result<Tensor4<f32>, ConvError> {
+    let spec = recipes.spec;
+    let (m, alpha) = (spec.m, spec.alpha());
+    let a2 = alpha * alpha;
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+    let (th, tw) = tile_counts(oh, ow, m);
+    let p_total = desc.batch * th * tw;
+    let (kc, cc) = (desc.out_ch, desc.in_ch);
+
+    // Stage 1a: U' scatter layout (ξ, k, c) for batched GEMM A-side.
+    let u_kc = transform_filters(filters, desc, recipes);
+    let mut u_scatter = vec![0.0f32; a2 * kc * cc];
+    for k in 0..kc {
+        for c in 0..cc {
+            let base = (k * cc + c) * a2;
+            for xi in 0..a2 {
+                u_scatter[(xi * kc + k) * cc + c] = u_kc[base + xi];
+            }
+        }
+    }
+
+    // Stage 1b: V' scatter layout (ξ, c, p).
+    let padded = input.pad_spatial(desc.pad);
+    let mut it = TileTransformer::new(&recipes.input);
+    let mut v_scatter = vec![0.0f32; a2 * cc * p_total];
+    let mut in_tile = vec![0.0f32; a2];
+    let mut v_tile = vec![0.0f32; a2];
+    for n in 0..desc.batch {
+        for ty in 0..th {
+            for tx in 0..tw {
+                let p = (n * th + ty) * tw + tx;
+                for c in 0..cc {
+                    extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
+                    it.transform(&in_tile, &mut v_tile);
+                    for xi in 0..a2 {
+                        v_scatter[(xi * cc + c) * p_total + p] = v_tile[xi];
+                    }
+                }
+            }
+        }
+    }
+
+    // Stage 2: α² batched SGEMMs M(ξ) = U'(ξ) · V'(ξ).
+    let shape = BatchedGemmShape {
+        batches: a2,
+        m: kc,
+        k: cc,
+        n: p_total,
+    };
+    let mut m_scatter = vec![0.0f32; shape.c_len()];
+    batched_sgemm(&shape, &u_scatter, &v_scatter, &mut m_scatter);
+
+    // Stage 3: output transform + placement.
+    let mut ot = TileTransformer::new(&recipes.output);
+    let mut out = Tensor4::<f32>::zeros(desc.batch, kc, oh, ow);
+    let mut m_tile = vec![0.0f32; a2];
+    let mut y_tile = vec![0.0f32; m * m];
+    for k in 0..kc {
+        for n in 0..desc.batch {
+            for ty in 0..th {
+                for tx in 0..tw {
+                    let p = (n * th + ty) * tw + tx;
+                    for xi in 0..a2 {
+                        m_tile[xi] = m_scatter[(xi * kc + k) * p_total + p];
+                    }
+                    ot.transform(&m_tile, &mut y_tile);
+                    place_output_tile(&mut out, n, k, ty, tx, m, &y_tile);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn fused(
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+    recipes: &TransformRecipes,
+) -> Result<Tensor4<f32>, ConvError> {
+    let spec = recipes.spec;
+    let (m, alpha) = (spec.m, spec.alpha());
+    let a2 = alpha * alpha;
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+    let (th, tw) = tile_counts(oh, ow, m);
+    let (kc, cc) = (desc.out_ch, desc.in_ch);
+
+    // Per-block filter transform (computed once here; the generated
+    // kernel recomputes it per thread block from shared memory).
+    let u_kc = transform_filters(filters, desc, recipes);
+
+    let padded = input.pad_spatial(desc.pad);
+    let mut it = TileTransformer::new(&recipes.input);
+    let mut ot = TileTransformer::new(&recipes.output);
+    let mut out = Tensor4::<f32>::zeros(desc.batch, kc, oh, ow);
+
+    let mut in_tile = vec![0.0f32; a2];
+    let mut v_tiles = vec![0.0f32; cc * a2];
+    let mut acc = vec![0.0f32; a2];
+    let mut y_tile = vec![0.0f32; m * m];
+    for n in 0..desc.batch {
+        for ty in 0..th {
+            for tx in 0..tw {
+                // Input transform for every channel of this tile.
+                for c in 0..cc {
+                    extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
+                    it.transform(&in_tile, &mut v_tiles[c * a2..(c + 1) * a2]);
+                }
+                // Channel-summed element-wise multiply + output
+                // transform per filter.
+                for k in 0..kc {
+                    acc.fill(0.0);
+                    for c in 0..cc {
+                        let u = &u_kc[(k * cc + c) * a2..(k * cc + c + 1) * a2];
+                        let v = &v_tiles[c * a2..(c + 1) * a2];
+                        for xi in 0..a2 {
+                            acc[xi] += u[xi] * v[xi];
+                        }
+                    }
+                    ot.transform(&acc, &mut y_tile);
+                    place_output_tile(&mut out, n, k, ty, tx, m, &y_tile);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::conv_direct_f32;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &Tensor4<f32>, b: &Tensor4<f32>, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for i in 0..a.len() {
+            let (x, y) = (a.data()[i], b.data()[i]);
+            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "{x} vs {y} at {i}");
+        }
+    }
+
+    fn random_case(desc: &ConvDesc, seed: u64) -> (Tensor4<f32>, Tensor4<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor4::<f32>::random(
+            desc.batch, desc.in_ch, desc.in_h, desc.in_w, -1.0, 1.0, &mut rng,
+        );
+        let filt = Tensor4::<f32>::random(
+            desc.out_ch,
+            desc.in_ch,
+            desc.ksz,
+            desc.ksz,
+            -1.0,
+            1.0,
+            &mut rng,
+        );
+        (input, filt)
+    }
+
+    #[test]
+    fn nonfused_matches_direct_f23() {
+        let desc = ConvDesc::new(3, 1, 1, 4, 2, 8, 8, 3);
+        let (input, filt) = random_case(&desc, 21);
+        let direct = conv_direct_f32(&input, &filt, &desc).unwrap();
+        let wino = conv_winograd(&input, &filt, &desc, &WinogradConfig::new(2)).unwrap();
+        assert_close(&wino, &direct, 1e-4);
+    }
+
+    #[test]
+    fn fused_matches_direct_f23() {
+        let desc = ConvDesc::new(3, 1, 1, 4, 2, 8, 8, 3);
+        let (input, filt) = random_case(&desc, 22);
+        let direct = conv_direct_f32(&input, &filt, &desc).unwrap();
+        let cfg = WinogradConfig::new(2).with_variant(WinogradVariant::Fused);
+        let wino = conv_winograd(&input, &filt, &desc, &cfg).unwrap();
+        assert_close(&wino, &direct, 1e-4);
+    }
+
+    #[test]
+    fn ragged_tiling_is_handled() {
+        // 7×7 output with m = 4: ragged last tile row/column.
+        let desc = ConvDesc::new(3, 1, 1, 2, 1, 7, 7, 2);
+        let (input, filt) = random_case(&desc, 23);
+        let direct = conv_direct_f32(&input, &filt, &desc).unwrap();
+        let wino = conv_winograd(&input, &filt, &desc, &WinogradConfig::new(4)).unwrap();
+        assert_close(&wino, &direct, 1e-4);
+    }
+
+    #[test]
+    fn larger_tiles_and_filters() {
+        for (m, r) in [(4, 3), (6, 3), (2, 5), (4, 5), (2, 7)] {
+            let desc = ConvDesc::new(r, 1, r / 2, 3, 1, 12, 12, 2);
+            let (input, filt) = random_case(&desc, 1000 + (m * 10 + r) as u64);
+            let direct = conv_direct_f32(&input, &filt, &desc).unwrap();
+            for variant in [WinogradVariant::NonFused, WinogradVariant::Fused] {
+                let cfg = WinogradConfig::new(m).with_variant(variant);
+                let wino = conv_winograd(&input, &filt, &desc, &cfg).unwrap();
+                assert_close(&wino, &direct, 2e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_recipes_same_result() {
+        let desc = ConvDesc::new(3, 1, 1, 2, 1, 6, 6, 2);
+        let (input, filt) = random_case(&desc, 31);
+        let opt = conv_winograd(&input, &filt, &desc, &WinogradConfig::new(2)).unwrap();
+        let cfg = WinogradConfig::new(2).with_options(RecipeOptions::minimal());
+        let naive = conv_winograd(&input, &filt, &desc, &cfg).unwrap();
+        assert_close(&opt, &naive, 1e-4);
+    }
+
+    #[test]
+    fn no_padding_case() {
+        let desc = ConvDesc::new(3, 1, 0, 2, 1, 8, 8, 2);
+        let (input, filt) = random_case(&desc, 33);
+        let direct = conv_direct_f32(&input, &filt, &desc).unwrap();
+        let wino = conv_winograd(&input, &filt, &desc, &WinogradConfig::new(3)).unwrap();
+        assert_close(&wino, &direct, 1e-4);
+    }
+
+    #[test]
+    fn even_filter_sizes_work() {
+        // Unusual but valid: a 2×2 filter, F(m,2).
+        let desc = ConvDesc::new(2, 1, 0, 2, 1, 9, 9, 2);
+        let (input, filt) = random_case(&desc, 77);
+        let direct = conv_direct_f32(&input, &filt, &desc).unwrap();
+        let wino = conv_winograd(&input, &filt, &desc, &WinogradConfig::new(3)).unwrap();
+        assert_close(&wino, &direct, 1e-4);
+    }
+
+    #[test]
+    fn stride_rejected() {
+        let desc = ConvDesc::new(3, 2, 1, 2, 1, 8, 8, 2);
+        let (input, filt) = random_case(&desc, 34);
+        assert!(matches!(
+            conv_winograd(&input, &filt, &desc, &WinogradConfig::new(2)),
+            Err(ConvError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn recipe_spec_mismatch_rejected() {
+        let desc = ConvDesc::new(3, 1, 1, 2, 1, 8, 8, 2);
+        let (input, filt) = random_case(&desc, 35);
+        let other = recipe_db()
+            .get(WinogradSpec::new(4, 3).unwrap(), RecipeOptions::optimized())
+            .unwrap();
+        // Descriptor says r = 3 and recipes say m = 4 — consistent —
+        // but force a mismatch by using a 5×5 descriptor.
+        let desc5 = ConvDesc::new(5, 1, 2, 2, 1, 8, 8, 2);
+        let (input5, filt5) = random_case(&desc5, 36);
+        assert!(conv_winograd_with_recipes(
+            &input5,
+            &filt5,
+            &desc5,
+            &other,
+            WinogradVariant::NonFused
+        )
+        .is_err());
+        // Matching case passes.
+        assert!(conv_winograd_with_recipes(
+            &input,
+            &filt,
+            &desc,
+            &other,
+            WinogradVariant::NonFused
+        )
+        .is_ok());
+    }
+}

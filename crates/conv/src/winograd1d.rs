@@ -1,0 +1,153 @@
+//! 1-D Winograd convolution — the algorithm in its original FIR-filter
+//! form (§2.1 of the paper: `F(m, r)` computes m outputs of an r-tap
+//! filter with m + r − 1 multiplications). Useful for sequence data
+//! and as the simplest possible demonstration of the recipes.
+
+use wino_symbolic::{CompiledRecipe, RecipeOptions};
+use wino_transform::{recipe_db, WinogradSpec};
+
+use crate::error::ConvError;
+
+/// Direct 1-D valid correlation: `y[k] = Σ_j x[k+j]·h[j]`.
+pub fn conv1d_direct(input: &[f32], filter: &[f32]) -> Vec<f32> {
+    if input.len() < filter.len() || filter.is_empty() {
+        return Vec::new();
+    }
+    let out_len = input.len() - filter.len() + 1;
+    (0..out_len)
+        .map(|k| {
+            filter
+                .iter()
+                .enumerate()
+                .map(|(j, &h)| input[k + j] * h)
+                .sum()
+        })
+        .collect()
+}
+
+/// 1-D Winograd valid correlation with output tile size `m`.
+///
+/// The signal is cut into overlapping α-element tiles with stride `m`;
+/// each tile runs the three recipes: `y = Aᵀ[(G·h) ⊙ (Bᵀ·x)]`.
+///
+/// # Errors
+/// Propagates unsupported `F(m, r)` configurations.
+pub fn conv1d_winograd(input: &[f32], filter: &[f32], m: usize) -> Result<Vec<f32>, ConvError> {
+    if input.len() < filter.len() || filter.is_empty() {
+        return Ok(Vec::new());
+    }
+    let r = filter.len();
+    let spec = WinogradSpec::new(m, r)?;
+    let alpha = spec.alpha();
+    let recipes = recipe_db().get(spec, RecipeOptions::optimized())?;
+
+    let filter_rc: CompiledRecipe<f32> = recipes.filter.compile();
+    let input_rc: CompiledRecipe<f32> = recipes.input.compile();
+    let output_rc: CompiledRecipe<f32> = recipes.output.compile();
+    let scratch_len = filter_rc
+        .scratch_len()
+        .max(input_rc.scratch_len())
+        .max(output_rc.scratch_len());
+    let mut scratch = vec![0.0f32; scratch_len];
+
+    // Filter transform once: u = G·h.
+    let mut u = vec![0.0f32; alpha];
+    filter_rc.run(filter, &mut u, &mut scratch);
+
+    let out_len = input.len() - r + 1;
+    let tiles = out_len.div_ceil(m);
+    let mut out = vec![0.0f32; out_len];
+    let mut x_tile = vec![0.0f32; alpha];
+    let mut v = vec![0.0f32; alpha];
+    let mut prod = vec![0.0f32; alpha];
+    let mut y = vec![0.0f32; m];
+    for t in 0..tiles {
+        let start = t * m;
+        // Gather the tile, zero-padding past the end.
+        for (i, slot) in x_tile.iter_mut().enumerate() {
+            *slot = input.get(start + i).copied().unwrap_or(0.0);
+        }
+        input_rc.run(&x_tile, &mut v, &mut scratch);
+        for i in 0..alpha {
+            prod[i] = u[i] * v[i];
+        }
+        output_rc.run(&prod, &mut y, &mut scratch);
+        let take = m.min(out_len - start);
+        out[start..start + take].copy_from_slice(&y[..take]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn paper_equations_f23() {
+        // §2.1's worked example: d = (d0..d3), g = (g0..g2).
+        let d = [1.0f32, 2.0, 3.0, 4.0];
+        let g = [0.5f32, -1.0, 0.25];
+        let wino = conv1d_winograd(&d, &g, 2).unwrap();
+        let direct = conv1d_direct(&d, &g);
+        assert_eq!(direct.len(), 2);
+        assert_close(&wino, &direct);
+    }
+
+    #[test]
+    fn random_signals_all_specs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for r in [2usize, 3, 5, 7] {
+            for m in 2..=6usize {
+                if !(4..=16).contains(&(m + r - 1)) {
+                    continue;
+                }
+                let input: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let filter: Vec<f32> = (0..r).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let wino = conv1d_winograd(&input, &filter, m)
+                    .unwrap_or_else(|e| panic!("F({m},{r}): {e}"));
+                assert_close(&wino, &conv1d_direct(&input, &filter));
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_tail_handled() {
+        // out_len = 7 with m = 3: last tile is partial.
+        let mut rng = StdRng::seed_from_u64(6);
+        let input: Vec<f32> = (0..9).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let filter = [0.3f32, -0.7, 1.1];
+        let wino = conv1d_winograd(&input, &filter, 3).unwrap();
+        assert_close(&wino, &conv1d_direct(&input, &filter));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(conv1d_winograd(&[1.0], &[1.0, 2.0], 2).unwrap().is_empty());
+        assert!(conv1d_direct(&[1.0], &[1.0, 2.0]).is_empty());
+        assert!(conv1d_direct(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn multiplication_count_is_minimal() {
+        // The entire point of §2.1: F(2,3) uses 4 multiplies per tile.
+        let spec = WinogradSpec::new(2, 3).unwrap();
+        assert_eq!(spec.multiplications_1d(), 4);
+        // The element-wise product in conv1d_winograd is exactly α
+        // multiplies per tile; the transforms are multiply-free for
+        // F(2,3)'s input side.
+        let recipes = recipe_db().get(spec, RecipeOptions::optimized()).unwrap();
+        assert_eq!(
+            recipes.input.op_count().mul + recipes.input.op_count().fma,
+            0
+        );
+    }
+}

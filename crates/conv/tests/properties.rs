@@ -1,0 +1,113 @@
+//! Cross-engine property tests: every engine must compute the same
+//! convolution, for arbitrary shapes and Winograd configurations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_conv::{conv_direct_f32, conv_im2col, conv_winograd, WinogradConfig, WinogradVariant};
+use wino_symbolic::RecipeOptions;
+use wino_tensor::{ConvDesc, Tensor4};
+
+fn close(a: &Tensor4<f32>, b: &Tensor4<f32>, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + y.abs()))
+}
+
+fn random_case(desc: &ConvDesc, seed: u64) -> (Tensor4<f32>, Tensor4<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = Tensor4::<f32>::random(
+        desc.batch, desc.in_ch, desc.in_h, desc.in_w, -1.0, 1.0, &mut rng,
+    );
+    let filt = Tensor4::<f32>::random(
+        desc.out_ch,
+        desc.in_ch,
+        desc.ksz,
+        desc.ksz,
+        -1.0,
+        1.0,
+        &mut rng,
+    );
+    (input, filt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn im2col_equals_direct(
+        batch in 1usize..3,
+        in_ch in 1usize..5,
+        out_ch in 1usize..5,
+        hw in 3usize..10,
+        ksz in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(hw + 2 * pad >= ksz);
+        let desc = ConvDesc::new(ksz, stride, pad, out_ch, batch, hw, hw, in_ch);
+        let (input, filt) = random_case(&desc, seed);
+        let direct = conv_direct_f32(&input, &filt, &desc).unwrap();
+        let im2col = conv_im2col(&input, &filt, &desc).unwrap();
+        prop_assert!(close(&im2col, &direct, 1e-3));
+    }
+
+    #[test]
+    fn winograd_equals_direct(
+        batch in 1usize..3,
+        in_ch in 1usize..4,
+        out_ch in 1usize..4,
+        hw in 4usize..12,
+        m in 2usize..7,
+        r_idx in 0usize..2,
+        fused in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let r = [3, 5][r_idx];
+        prop_assume!(m + r - 1 <= 12); // stay within Table-3 α range
+        prop_assume!(hw >= r);
+        let desc = ConvDesc::new(r, 1, r / 2, out_ch, batch, hw, hw, in_ch);
+        let (input, filt) = random_case(&desc, seed);
+        let direct = conv_direct_f32(&input, &filt, &desc).unwrap();
+        let variant = if fused { WinogradVariant::Fused } else { WinogradVariant::NonFused };
+        let cfg = WinogradConfig::new(m).with_variant(variant);
+        let wino = conv_winograd(&input, &filt, &desc, &cfg).unwrap();
+        prop_assert!(close(&wino, &direct, 5e-3), "F({m},{r}) {variant:?} diverged");
+    }
+
+    #[test]
+    fn fused_equals_nonfused_bitwise_shapes(
+        m in 2usize..6,
+        hw in 4usize..10,
+        seed in any::<u64>(),
+    ) {
+        let desc = ConvDesc::new(3, 1, 1, 3, 1, hw, hw, 2);
+        let (input, filt) = random_case(&desc, seed);
+        let nf = conv_winograd(&input, &filt, &desc, &WinogradConfig::new(m)).unwrap();
+        let f = conv_winograd(
+            &input, &filt, &desc,
+            &WinogradConfig::new(m).with_variant(WinogradVariant::Fused),
+        ).unwrap();
+        // Same math, possibly different accumulation order: close, not
+        // necessarily bit-equal.
+        prop_assert!(close(&f, &nf, 1e-4));
+    }
+
+    #[test]
+    fn optimized_and_naive_recipes_agree(
+        m in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let desc = ConvDesc::new(3, 1, 1, 2, 1, 8, 8, 2);
+        let (input, filt) = random_case(&desc, seed);
+        let opt = conv_winograd(&input, &filt, &desc, &WinogradConfig::new(m)).unwrap();
+        let naive = conv_winograd(
+            &input, &filt, &desc,
+            &WinogradConfig::new(m).with_options(RecipeOptions::minimal()),
+        ).unwrap();
+        prop_assert!(close(&opt, &naive, 1e-4));
+    }
+}

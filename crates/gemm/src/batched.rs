@@ -1,0 +1,138 @@
+//! Batched SGEMM.
+//!
+//! The non-fused Winograd multiplication stage needs α² small
+//! independent GEMMs over matrices stored contiguously (§3.2.2: "we
+//! avoid invoking different matrix multiplication kernels and,
+//! instead, use a batched-SGEMM operation"). All batches share shapes;
+//! the per-batch matrices live at a fixed stride inside three flat
+//! buffers.
+
+use crate::blocked::{gemm_flops, sgemm_acc};
+
+/// Shape of one batched-GEMM invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchedGemmShape {
+    /// Number of independent multiplies.
+    pub batches: usize,
+    /// Rows of each A and C.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Columns of each B and C.
+    pub n: usize,
+}
+
+impl BatchedGemmShape {
+    /// Elements required in the A buffer.
+    pub fn a_len(&self) -> usize {
+        self.batches * self.m * self.k
+    }
+
+    /// Elements required in the B buffer.
+    pub fn b_len(&self) -> usize {
+        self.batches * self.k * self.n
+    }
+
+    /// Elements required in the C buffer.
+    pub fn c_len(&self) -> usize {
+        self.batches * self.m * self.n
+    }
+
+    /// Total FLOPs of the whole batch.
+    pub fn flops(&self) -> u64 {
+        self.batches as u64 * gemm_flops(self.m, self.k, self.n)
+    }
+}
+
+/// `C[b] = A[b] · B[b]` for every batch `b`, with batch-major packed
+/// buffers.
+///
+/// Panics if a buffer is shorter than the shape requires.
+pub fn batched_sgemm(shape: &BatchedGemmShape, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= shape.a_len(), "batched A too short");
+    assert!(b.len() >= shape.b_len(), "batched B too short");
+    assert!(c.len() >= shape.c_len(), "batched C too short");
+    let (am, bm, cm) = (shape.m * shape.k, shape.k * shape.n, shape.m * shape.n);
+    for batch in 0..shape.batches {
+        sgemm_acc(
+            &a[batch * am..(batch + 1) * am],
+            &b[batch * bm..(batch + 1) * bm],
+            &mut c[batch * cm..(batch + 1) * cm],
+            shape.m,
+            shape.k,
+            shape.n,
+            false,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocked::sgemm_naive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn batches_are_independent() {
+        let shape = BatchedGemmShape {
+            batches: 3,
+            m: 4,
+            k: 5,
+            n: 6,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let a: Vec<f32> = (0..shape.a_len())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let b: Vec<f32> = (0..shape.b_len())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let mut c = vec![0.0f32; shape.c_len()];
+        batched_sgemm(&shape, &a, &b, &mut c);
+        for batch in 0..shape.batches {
+            let mut expect = vec![0.0f32; shape.m * shape.n];
+            sgemm_naive(
+                &a[batch * shape.m * shape.k..],
+                &b[batch * shape.k * shape.n..],
+                &mut expect,
+                shape.m,
+                shape.k,
+                shape.n,
+            );
+            let got = &c[batch * shape.m * shape.n..(batch + 1) * shape.m * shape.n];
+            for (x, y) in got.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-4, "batch {batch}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_accounting() {
+        let shape = BatchedGemmShape {
+            batches: 16,
+            m: 8,
+            k: 4,
+            n: 2,
+        };
+        assert_eq!(shape.a_len(), 512);
+        assert_eq!(shape.b_len(), 128);
+        assert_eq!(shape.c_len(), 256);
+        assert_eq!(shape.flops(), 16 * 2 * 8 * 4 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batched C too short")]
+    fn short_c_panics() {
+        let shape = BatchedGemmShape {
+            batches: 2,
+            m: 2,
+            k: 2,
+            n: 2,
+        };
+        let a = vec![0.0f32; shape.a_len()];
+        let b = vec![0.0f32; shape.b_len()];
+        let mut c = vec![0.0f32; shape.c_len() - 1];
+        batched_sgemm(&shape, &a, &b, &mut c);
+    }
+}

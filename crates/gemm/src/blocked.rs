@@ -1,0 +1,308 @@
+//! Blocked single-precision GEMM.
+//!
+//! The Winograd matrix-multiplication stage is reframed as α² batched
+//! SGEMMs (§3.2.2, after Lavin & Gray); on CPU we execute them with
+//! this cache-blocked implementation: panels of `A` and `B` are packed
+//! into contiguous buffers and consumed by a register-tiled
+//! micro-kernel. The block sizes mirror the tuning parameters the
+//! paper exposes for its GPU SGEMM (`MNt` register blocking, `MNb`
+//! thread blocking, Table 1).
+
+/// Cache/register blocking parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GemmConfig {
+    /// Rows of the A panel kept hot in cache (MC).
+    pub mc: usize,
+    /// Depth of the packed panels (KC).
+    pub kc: usize,
+    /// Columns of the B panel (NC).
+    pub nc: usize,
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        GemmConfig {
+            mc: 64,
+            kc: 128,
+            nc: 256,
+        }
+    }
+}
+
+/// Register micro-tile extents. Fixed at compile time so the inner
+/// loops fully unroll.
+const MR: usize = 4;
+const NR: usize = 4;
+
+/// `C = A·B` for row-major `A (m×k)`, `B (k×n)`, `C (m×n)`,
+/// overwriting `C`.
+///
+/// Panics if any slice is shorter than its shape requires — shapes are
+/// part of the caller's contract, not runtime input.
+pub fn sgemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    sgemm_acc(a, b, c, m, k, n, false);
+}
+
+/// `C += A·B` (when `accumulate`) or `C = A·B`.
+pub fn sgemm_acc(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    if !accumulate {
+        c[..m * n].fill(0.0);
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let cfg = GemmConfig::default();
+    sgemm_blocked(a, b, c, m, k, n, &cfg);
+}
+
+fn sgemm_blocked(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    cfg: &GemmConfig,
+) {
+    let mut a_pack = vec![0.0f32; cfg.mc * cfg.kc];
+    let mut b_pack = vec![0.0f32; cfg.kc * cfg.nc];
+    let mut kk = 0;
+    while kk < k {
+        let kb = cfg.kc.min(k - kk);
+        let mut jj = 0;
+        while jj < n {
+            let nb = cfg.nc.min(n - jj);
+            pack_b(&mut b_pack, b, kk, jj, kb, nb, n);
+            let mut ii = 0;
+            while ii < m {
+                let mb = cfg.mc.min(m - ii);
+                pack_a(&mut a_pack, a, ii, kk, mb, kb, k);
+                macro_kernel(&a_pack, &b_pack, c, ii, jj, mb, kb, nb, n);
+                ii += mb;
+            }
+            jj += nb;
+        }
+        kk += kb;
+    }
+}
+
+/// Packs `A[ii.., kk..]` (mb×kb) into MR-row slivers so the
+/// micro-kernel reads it with unit stride.
+fn pack_a(dst: &mut [f32], a: &[f32], ii: usize, kk: usize, mb: usize, kb: usize, lda: usize) {
+    let mut idx = 0;
+    let mut i = 0;
+    while i < mb {
+        let rows = MR.min(mb - i);
+        for p in 0..kb {
+            for r in 0..MR {
+                dst[idx] = if r < rows {
+                    a[(ii + i + r) * lda + kk + p]
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+        i += rows;
+    }
+}
+
+/// Packs `B[kk.., jj..]` (kb×nb) into NR-column slivers.
+fn pack_b(dst: &mut [f32], b: &[f32], kk: usize, jj: usize, kb: usize, nb: usize, ldb: usize) {
+    let mut idx = 0;
+    let mut j = 0;
+    while j < nb {
+        let cols = NR.min(nb - j);
+        for p in 0..kb {
+            for col in 0..NR {
+                dst[idx] = if col < cols {
+                    b[(kk + p) * ldb + jj + j + col]
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+        j += cols;
+    }
+}
+
+/// Runs the MR×NR micro-kernel over one packed macro-block,
+/// accumulating into `C`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+    ii: usize,
+    jj: usize,
+    mb: usize,
+    kb: usize,
+    nb: usize,
+    ldc: usize,
+) {
+    let mut j = 0;
+    let mut b_off = 0;
+    while j < nb {
+        let cols = NR.min(nb - j);
+        let mut i = 0;
+        let mut a_off = 0;
+        while i < mb {
+            let rows = MR.min(mb - i);
+            micro_kernel(
+                &a_pack[a_off..a_off + kb * MR],
+                &b_pack[b_off..b_off + kb * NR],
+                c,
+                (ii + i) * ldc + jj + j,
+                rows,
+                cols,
+                ldc,
+                kb,
+            );
+            a_off += kb * MR;
+            i += rows;
+        }
+        b_off += kb * NR;
+        j += cols;
+    }
+}
+
+/// The register-tiled inner kernel: a full MR×NR accumulator array
+/// lives in registers across the k loop.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    a_sliver: &[f32],
+    b_sliver: &[f32],
+    c: &mut [f32],
+    c_off: usize,
+    rows: usize,
+    cols: usize,
+    ldc: usize,
+    kb: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kb {
+        let av = &a_sliver[p * MR..p * MR + MR];
+        let bv = &b_sliver[p * NR..p * NR + NR];
+        for r in 0..MR {
+            let ar = av[r];
+            for col in 0..NR {
+                acc[r][col] += ar * bv[col];
+            }
+        }
+    }
+    for r in 0..rows {
+        for col in 0..cols {
+            c[c_off + r * ldc + col] += acc[r][col];
+        }
+    }
+}
+
+/// Reference triple-loop GEMM used by tests and tiny problems.
+pub fn sgemm_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// FLOPs of one `m×k · k×n` GEMM (multiply + add).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 8;
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = random_mat(&mut rng, n * n);
+        let mut c = vec![0.0f32; n * n];
+        sgemm(&eye, &b, &mut c, n, n, n);
+        assert_close(&c, &b);
+    }
+
+    #[test]
+    fn matches_naive_on_awkward_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (17, 33, 9), (65, 129, 130), (4, 4, 4)] {
+            let a = random_mat(&mut rng, m * k);
+            let b = random_mat(&mut rng, k * n);
+            let mut c = vec![0.0f32; m * n];
+            let mut expect = vec![0.0f32; m * n];
+            sgemm(&a, &b, &mut c, m, k, n);
+            sgemm_naive(&a, &b, &mut expect, m, k, n);
+            assert_close(&c, &expect);
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing() {
+        let a = vec![1.0f32, 0.0, 0.0, 1.0];
+        let b = vec![2.0f32, 3.0, 4.0, 5.0];
+        let mut c = vec![10.0f32; 4];
+        sgemm_acc(&a, &b, &mut c, 2, 2, 2, true);
+        assert_eq!(c, vec![12.0, 13.0, 14.0, 15.0]);
+        sgemm_acc(&a, &b, &mut c, 2, 2, 2, false);
+        assert_eq!(c, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn zero_dimensions_are_noops() {
+        let mut c = vec![7.0f32; 4];
+        sgemm(&[], &[], &mut c, 0, 0, 0);
+        // m*n = 0: nothing written.
+        assert_eq!(c, vec![7.0; 4]);
+        let mut c2 = vec![7.0f32; 4];
+        sgemm(&[], &[], &mut c2, 2, 0, 2);
+        // k = 0: C is cleared but no products accumulate.
+        assert_eq!(&c2[..4], &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A too short")]
+    fn short_input_panics() {
+        let mut c = vec![0.0f32; 4];
+        sgemm(&[1.0], &[1.0; 4], &mut c, 2, 2, 2);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

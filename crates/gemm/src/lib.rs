@@ -1,0 +1,17 @@
+//! # wino-gemm — single-precision GEMM substrate
+//!
+//! A from-scratch cache-blocked SGEMM with packed panels and a
+//! register-tiled micro-kernel, plus the batched variant the Winograd
+//! multiplication stage is reframed into (§3.2.2 of the paper). Used
+//! by the im2col convolution baseline, the non-fused CPU Winograd
+//! engine, and (as a cost reference) the GPU kernel generators.
+
+#![warn(missing_docs)]
+
+mod batched;
+mod blocked;
+mod strassen;
+
+pub use batched::{batched_sgemm, BatchedGemmShape};
+pub use blocked::{gemm_flops, sgemm, sgemm_acc, sgemm_naive, GemmConfig};
+pub use strassen::{sgemm_strassen, strassen_multiplies};

@@ -1,0 +1,191 @@
+//! Strassen matrix multiplication — the third complexity-reduction
+//! family the paper's related work discusses (§5, after Cong & Xiao,
+//! who cut convolution runtime with it). Seven recursive multiplies
+//! instead of eight; below the cutoff the blocked SGEMM takes over.
+
+use crate::blocked::sgemm;
+
+/// Recursion cutoff: subproblems at or below this edge go to the
+/// blocked kernel (Strassen's extra additions dominate below it).
+const CUTOFF: usize = 64;
+
+/// `C = A·B` for row-major square matrices of any size via Strassen's
+/// algorithm (internally padded to the next power of two).
+///
+/// Panics if a slice is shorter than `n²`; shapes are the caller's
+/// contract.
+pub fn sgemm_strassen(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {
+    assert!(a.len() >= n * n, "A too short");
+    assert!(b.len() >= n * n, "B too short");
+    assert!(c.len() >= n * n, "C too short");
+    if n == 0 {
+        return;
+    }
+    if n <= CUTOFF {
+        sgemm(a, b, c, n, n, n);
+        return;
+    }
+    let p = n.next_power_of_two();
+    if p == n {
+        let mut out = vec![0.0f32; n * n];
+        strassen_rec(a, b, &mut out, n);
+        c[..n * n].copy_from_slice(&out);
+    } else {
+        // Pad to the power of two, multiply, crop.
+        let mut ap = vec![0.0f32; p * p];
+        let mut bp = vec![0.0f32; p * p];
+        let mut cp = vec![0.0f32; p * p];
+        for r in 0..n {
+            ap[r * p..r * p + n].copy_from_slice(&a[r * n..(r + 1) * n]);
+            bp[r * p..r * p + n].copy_from_slice(&b[r * n..(r + 1) * n]);
+        }
+        strassen_rec(&ap, &bp, &mut cp, p);
+        for r in 0..n {
+            c[r * n..(r + 1) * n].copy_from_slice(&cp[r * p..r * p + n]);
+        }
+    }
+}
+
+/// Recursive step; `n` is a power of two here.
+fn strassen_rec(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {
+    if n <= CUTOFF {
+        sgemm(a, b, c, n, n, n);
+        return;
+    }
+    let h = n / 2;
+    let quad = |m: &[f32], qi: usize, qj: usize| -> Vec<f32> {
+        let mut out = vec![0.0f32; h * h];
+        for r in 0..h {
+            let src = (qi * h + r) * n + qj * h;
+            out[r * h..(r + 1) * h].copy_from_slice(&m[src..src + h]);
+        }
+        out
+    };
+    let add = |x: &[f32], y: &[f32]| -> Vec<f32> { x.iter().zip(y).map(|(p, q)| p + q).collect() };
+    let sub = |x: &[f32], y: &[f32]| -> Vec<f32> { x.iter().zip(y).map(|(p, q)| p - q).collect() };
+
+    let a11 = quad(a, 0, 0);
+    let a12 = quad(a, 0, 1);
+    let a21 = quad(a, 1, 0);
+    let a22 = quad(a, 1, 1);
+    let b11 = quad(b, 0, 0);
+    let b12 = quad(b, 0, 1);
+    let b21 = quad(b, 1, 0);
+    let b22 = quad(b, 1, 1);
+
+    let mut m = vec![vec![0.0f32; h * h]; 7];
+    strassen_rec(&add(&a11, &a22), &add(&b11, &b22), &mut m[0], h);
+    strassen_rec(&add(&a21, &a22), &b11, &mut m[1], h);
+    strassen_rec(&a11, &sub(&b12, &b22), &mut m[2], h);
+    strassen_rec(&a22, &sub(&b21, &b11), &mut m[3], h);
+    strassen_rec(&add(&a11, &a12), &b22, &mut m[4], h);
+    strassen_rec(&sub(&a21, &a11), &add(&b11, &b12), &mut m[5], h);
+    strassen_rec(&sub(&a12, &a22), &add(&b21, &b22), &mut m[6], h);
+
+    // C quadrants.
+    for r in 0..h {
+        for col in 0..h {
+            let i = r * h + col;
+            let c11 = m[0][i] + m[3][i] - m[4][i] + m[6][i];
+            let c12 = m[2][i] + m[4][i];
+            let c21 = m[1][i] + m[3][i];
+            let c22 = m[0][i] - m[1][i] + m[2][i] + m[5][i];
+            c[r * n + col] = c11;
+            c[r * n + col + h] = c12;
+            c[(r + h) * n + col] = c21;
+            c[(r + h) * n + col + h] = c22;
+        }
+    }
+}
+
+/// Multiplication count of Strassen vs. the classical algorithm for an
+/// `n × n` problem — used by documentation and the complexity test.
+pub fn strassen_multiplies(n: usize) -> u64 {
+    let p = n.next_power_of_two().max(CUTOFF);
+    if p <= CUTOFF {
+        return (p as u64).pow(3);
+    }
+    7 * strassen_multiplies(p / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocked::sgemm_naive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= tol * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [32usize, 128, 256] {
+            let a = random_mat(&mut rng, n * n);
+            let b = random_mat(&mut rng, n * n);
+            let mut c = vec![0.0f32; n * n];
+            let mut expect = vec![0.0f32; n * n];
+            sgemm_strassen(&a, &b, &mut c, n);
+            sgemm_naive(&a, &b, &mut expect, n, n, n);
+            // Strassen loses a little precision to its additions.
+            assert_close(&c, &expect, 1e-3);
+        }
+    }
+
+    #[test]
+    fn matches_naive_odd_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100;
+        let a = random_mat(&mut rng, n * n);
+        let b = random_mat(&mut rng, n * n);
+        let mut c = vec![0.0f32; n * n];
+        let mut expect = vec![0.0f32; n * n];
+        sgemm_strassen(&a, &b, &mut c, n);
+        sgemm_naive(&a, &b, &mut expect, n, n, n);
+        assert_close(&c, &expect, 1e-3);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let n = 96;
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = random_mat(&mut rng, n * n);
+        let mut c = vec![0.0f32; n * n];
+        sgemm_strassen(&eye, &b, &mut c, n);
+        assert_close(&c, &b, 1e-4);
+        let zero = vec![0.0f32; n * n];
+        sgemm_strassen(&zero, &b, &mut c, n);
+        assert!(c.iter().all(|&v| v == 0.0));
+        // n = 0 is a no-op.
+        sgemm_strassen(&[], &[], &mut [], 0);
+    }
+
+    #[test]
+    fn complexity_beats_cubic() {
+        // 7^k vs 8^k: at n = 1024 (k = 4 levels above the cutoff),
+        // Strassen does (7/8)^4 ≈ 59% of the classical multiplies.
+        let classical = 1024u64.pow(3);
+        let strassen = strassen_multiplies(1024);
+        let ratio = strassen as f64 / classical as f64;
+        assert!((0.55..0.65).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "A too short")]
+    fn short_input_panics() {
+        let mut c = vec![0.0f32; 4];
+        sgemm_strassen(&[1.0], &[1.0; 4], &mut c, 2);
+    }
+}

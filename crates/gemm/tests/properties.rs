@@ -1,0 +1,80 @@
+//! Property tests: the blocked SGEMM must agree with the reference
+//! triple loop on arbitrary shapes, and respect algebraic structure.
+
+use proptest::prelude::*;
+use wino_gemm::{batched_sgemm, sgemm, sgemm_naive, BatchedGemmShape};
+
+fn close(a: &[f32], b: &[f32]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| (x - y).abs() <= 1e-3 * (1.0 + y.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_matches_naive(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut c = vec![0.0f32; m * n];
+        let mut expect = vec![0.0f32; m * n];
+        sgemm(&a, &b, &mut c, m, k, n);
+        sgemm_naive(&a, &b, &mut expect, m, k, n);
+        prop_assert!(close(&c, &expect));
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition(
+        m in 1usize..8,
+        k in 1usize..8,
+        n in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b1: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b2: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let bsum: Vec<f32> = b1.iter().zip(&b2).map(|(x, y)| x + y).collect();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        let mut cs = vec![0.0f32; m * n];
+        sgemm(&a, &b1, &mut c1, m, k, n);
+        sgemm(&a, &b2, &mut c2, m, k, n);
+        sgemm(&a, &bsum, &mut cs, m, k, n);
+        let csum: Vec<f32> = c1.iter().zip(&c2).map(|(x, y)| x + y).collect();
+        prop_assert!(close(&cs, &csum));
+    }
+
+    #[test]
+    fn batched_equals_loop_of_singles(
+        batches in 1usize..6,
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let shape = BatchedGemmShape { batches, m, k, n };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..shape.a_len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..shape.b_len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut c = vec![0.0f32; shape.c_len()];
+        batched_sgemm(&shape, &a, &b, &mut c);
+        for batch in 0..batches {
+            let mut single = vec![0.0f32; m * n];
+            sgemm(&a[batch * m * k..(batch + 1) * m * k],
+                  &b[batch * k * n..(batch + 1) * k * n],
+                  &mut single, m, k, n);
+            prop_assert!(close(&c[batch * m * n..(batch + 1) * m * n], &single));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Analytic kernel and plan timing.
+//!
+//! `time(kernel) = launch_overhead + max(compute, memory)` — a
+//! roofline with three corrections derived from the kernel descriptor:
+//! occupancy (latency hiding), device saturation (small grids cannot
+//! fill a big GPU), and the generator's control-overhead factor
+//! (loop/branch instructions the unroller removes).
+
+use wino_ir::{Kernel, KernelPlan};
+
+use crate::device::DeviceProfile;
+use crate::occupancy::{occupancy, LaunchRejection};
+
+/// Time estimate breakdown for one kernel, in seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelTime {
+    /// Compute-bound time.
+    pub compute: f64,
+    /// Memory-bound time.
+    pub memory: f64,
+    /// Fixed launch overhead.
+    pub launch: f64,
+    /// Achieved occupancy.
+    pub occupancy: f64,
+}
+
+impl KernelTime {
+    /// Total wall time of the kernel.
+    pub fn total(&self) -> f64 {
+        self.launch + self.compute.max(self.memory)
+    }
+}
+
+/// Estimates one kernel's runtime on `device`.
+///
+/// # Errors
+/// [`LaunchRejection`] when the kernel cannot launch on this device —
+/// the signal the variant selector uses to fall back to the non-fused
+/// implementation (§3.2.2).
+pub fn estimate_kernel(
+    device: &DeviceProfile,
+    kernel: &Kernel,
+) -> Result<KernelTime, LaunchRejection> {
+    let occ = occupancy(device, &kernel.launch)?;
+    // Half occupancy is generally enough to hide latency; below that,
+    // throughput degrades roughly linearly.
+    let occ_eff = (occ / 0.5).min(1.0);
+    // A grid smaller than the device leaves SMs idle.
+    let saturation =
+        (kernel.launch.total_threads() as f64 / device.saturation_threads() as f64).min(1.0);
+    let eff = (occ_eff * saturation).max(1e-3);
+    let compute =
+        kernel.cost.flops as f64 * kernel.cost.control_overhead / (device.peak_flops() * eff);
+    let memory = kernel.cost.global_bytes() as f64
+        / (device.peak_bandwidth() * kernel.cost.coalescing * saturation.max(0.25));
+    Ok(KernelTime {
+        compute,
+        memory,
+        launch: device.launch_overhead_us * 1e-6,
+        occupancy: occ,
+    })
+}
+
+/// Estimates a full plan (sum over kernels), in seconds.
+///
+/// # Errors
+/// Propagates the first launch rejection.
+pub fn estimate_plan(device: &DeviceProfile, plan: &KernelPlan) -> Result<f64, LaunchRejection> {
+    let mut total = 0.0;
+    for k in &plan.kernels {
+        total += estimate_kernel(device, k)?.total();
+    }
+    Ok(total)
+}
+
+/// Estimate in milliseconds (the unit of every figure in the paper).
+///
+/// # Errors
+/// Propagates launch rejections.
+pub fn estimate_plan_ms(device: &DeviceProfile, plan: &KernelPlan) -> Result<f64, LaunchRejection> {
+    Ok(estimate_plan(device, plan)? * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{gtx_1080_ti, mali_g71};
+    use wino_ir::{Backend, CostProfile, KernelKind, LaunchConfig};
+
+    fn kernel(flops: u64, bytes: u64, threads_total: usize) -> Kernel {
+        Kernel {
+            name: "k".into(),
+            backend: Backend::Cuda,
+            kind: KernelKind::DirectConv,
+            launch: LaunchConfig::linear(threads_total, 256),
+            cost: CostProfile {
+                flops,
+                global_load_bytes: bytes,
+                global_store_bytes: 0,
+                shared_bytes: 0,
+                coalescing: 1.0,
+                control_overhead: 1.0,
+            },
+            source: "src".into(),
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernel_tracks_peak() {
+        let dev = gtx_1080_ti();
+        // 1e9 FLOPs, negligible memory, saturating grid.
+        let k = kernel(1_000_000_000, 1024, dev.saturation_threads() * 2);
+        let t = estimate_kernel(&dev, &k).unwrap();
+        let ideal = 1e9 / dev.peak_flops();
+        assert!((t.compute - ideal).abs() / ideal < 0.05);
+        assert!(t.compute > t.memory);
+    }
+
+    #[test]
+    fn memory_bound_kernel_tracks_bandwidth() {
+        let dev = gtx_1080_ti();
+        // 1 GB of traffic, trivial compute.
+        let k = kernel(1000, 1_000_000_000, dev.saturation_threads() * 2);
+        let t = estimate_kernel(&dev, &k).unwrap();
+        let ideal = 1e9 / dev.peak_bandwidth();
+        assert!((t.memory - ideal).abs() / ideal < 0.05);
+        assert!(t.total() > t.compute);
+    }
+
+    #[test]
+    fn small_grids_underutilize() {
+        let dev = gtx_1080_ti();
+        let big = kernel(1_000_000_000, 0, dev.saturation_threads() * 2);
+        let small = kernel(1_000_000_000, 0, 512);
+        let tb = estimate_kernel(&dev, &big).unwrap();
+        let ts = estimate_kernel(&dev, &small).unwrap();
+        assert!(ts.compute > 10.0 * tb.compute);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let dev = mali_g71();
+        let k = kernel(1000, 1000, 1024);
+        let t = estimate_kernel(&dev, &k).unwrap();
+        assert!(t.launch > t.compute + t.memory);
+        assert!((t.launch - 60e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_time_sums_kernels() {
+        let dev = gtx_1080_ti();
+        let plan = KernelPlan {
+            desc: wino_tensor::ConvDesc::new(3, 1, 1, 8, 1, 8, 8, 4),
+            variant: "v".into(),
+            kernels: vec![kernel(1_000_000, 0, 100_000), kernel(2_000_000, 0, 100_000)],
+        };
+        let single: f64 = plan
+            .kernels
+            .iter()
+            .map(|k| estimate_kernel(&dev, k).unwrap().total())
+            .sum();
+        assert!((estimate_plan(&dev, &plan).unwrap() - single).abs() < 1e-12);
+        assert!(estimate_plan_ms(&dev, &plan).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn control_overhead_slows_compute() {
+        let dev = gtx_1080_ti();
+        let mut k = kernel(1_000_000_000, 0, dev.saturation_threads() * 2);
+        let base = estimate_kernel(&dev, &k).unwrap().compute;
+        k.cost.control_overhead = 1.5;
+        let slowed = estimate_kernel(&dev, &k).unwrap().compute;
+        assert!((slowed / base - 1.5).abs() < 1e-6);
+    }
+}

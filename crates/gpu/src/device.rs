@@ -1,0 +1,156 @@
+//! Device profiles for the simulated GPUs.
+//!
+//! Parameters are taken from public specification sheets of the three
+//! platforms in the paper's Table 2. The simulator never claims
+//! absolute-time fidelity (DESIGN.md §2); the profiles exist so the
+//! *relative* behaviour — compute-vs-bandwidth bound, occupancy
+//! limits, launch overhead on mobile — matches each platform's
+//! character.
+
+/// A modelled GPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceProfile {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Streaming multiprocessors / compute units / shader cores.
+    pub sm_count: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak FLOPs per cycle per SM (FMA counted as 2).
+    pub flops_per_cycle_per_sm: usize,
+    /// Global memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Shared memory (scratchpad) per SM in bytes.
+    pub shared_per_sm: usize,
+    /// Maximum shared memory per block in bytes.
+    pub shared_per_block: usize,
+    /// Register file per SM (32-bit registers).
+    pub regs_per_sm: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// SIMT width (warp / wavefront / quad).
+    pub warp_size: usize,
+    /// Fixed cost of one kernel launch, in microseconds (driver +
+    /// dispatch; mobile drivers pay far more).
+    pub launch_overhead_us: f64,
+    /// FP16 arithmetic rate relative to FP32 (used by the ARM Compute
+    /// Library comparator, which runs its GEMMs in half precision).
+    pub fp16_speedup: f64,
+}
+
+impl DeviceProfile {
+    /// Peak FP32 throughput in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.sm_count as f64 * self.clock_ghz * 1e9 * self.flops_per_cycle_per_sm as f64
+    }
+
+    /// Peak memory bandwidth in bytes/s.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1e9
+    }
+
+    /// Thread count needed to consider the device saturated.
+    pub fn saturation_threads(&self) -> usize {
+        self.sm_count * self.max_threads_per_sm / 2
+    }
+}
+
+/// NVIDIA GTX 1080 Ti (Pascal, 28 SMs): the paper's desktop NVIDIA
+/// platform.
+pub fn gtx_1080_ti() -> DeviceProfile {
+    DeviceProfile {
+        name: "NVIDIA GTX 1080 Ti",
+        sm_count: 28,
+        clock_ghz: 1.58,
+        flops_per_cycle_per_sm: 256, // 128 FMA units × 2
+        mem_bandwidth_gbps: 484.0,
+        shared_per_sm: 96 * 1024,
+        shared_per_block: 48 * 1024,
+        regs_per_sm: 65536,
+        max_threads_per_sm: 2048,
+        max_threads_per_block: 1024,
+        warp_size: 32,
+        launch_overhead_us: 5.0,
+        fp16_speedup: 1.0, // Pascal consumer FP16 is crippled
+    }
+}
+
+/// AMD Radeon RX 580 (Polaris, 36 CUs): the paper's desktop AMD
+/// platform.
+pub fn rx_580() -> DeviceProfile {
+    DeviceProfile {
+        name: "AMD Radeon RX 580",
+        sm_count: 36,
+        clock_ghz: 1.257,
+        flops_per_cycle_per_sm: 128, // 64 lanes × 2
+        mem_bandwidth_gbps: 256.0,
+        shared_per_sm: 64 * 1024,
+        shared_per_block: 32 * 1024,
+        regs_per_sm: 65536,
+        max_threads_per_sm: 2048,
+        max_threads_per_block: 1024,
+        warp_size: 64,
+        launch_overhead_us: 8.0,
+        fp16_speedup: 1.0,
+    }
+}
+
+/// ARM Mali-G71 MP8 (Bifrost, HiKey 960): the paper's mobile platform.
+pub fn mali_g71() -> DeviceProfile {
+    DeviceProfile {
+        name: "ARM Mali-G71 MP8",
+        sm_count: 8,
+        clock_ghz: 0.85,
+        flops_per_cycle_per_sm: 32,
+        mem_bandwidth_gbps: 13.2, // shared LPDDR4
+        shared_per_sm: 32 * 1024,
+        shared_per_block: 32 * 1024,
+        regs_per_sm: 16384,
+        max_threads_per_sm: 384,
+        max_threads_per_block: 384,
+        warp_size: 4,
+        launch_overhead_us: 60.0, // mobile driver dispatch
+        fp16_speedup: 1.9,        // Bifrost doubles FP16 rate
+    }
+}
+
+/// All three paper platforms.
+pub fn paper_devices() -> Vec<DeviceProfile> {
+    vec![gtx_1080_ti(), rx_580(), mali_g71()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_match_spec_sheets() {
+        // 1080 Ti ≈ 11.3 TFLOPS.
+        let p = gtx_1080_ti().peak_flops();
+        assert!((p / 1e12 - 11.3).abs() < 0.2, "{p}");
+        // RX 580 ≈ 5.8–6.2 TFLOPS.
+        let p = rx_580().peak_flops();
+        assert!((5.5e12..6.5e12).contains(&p), "{p}");
+        // Mali G71 MP8 ≈ 0.2 TFLOPS.
+        let p = mali_g71().peak_flops();
+        assert!((0.15e12..0.3e12).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn platform_ordering() {
+        // Desktop GPUs dwarf the mobile part in both compute and
+        // bandwidth; the mobile part pays the largest launch overhead.
+        let (nv, amd, mali) = (gtx_1080_ti(), rx_580(), mali_g71());
+        assert!(nv.peak_flops() > amd.peak_flops());
+        assert!(amd.peak_flops() > 10.0 * mali.peak_flops());
+        assert!(mali.launch_overhead_us > 5.0 * nv.launch_overhead_us);
+        assert!(nv.peak_bandwidth() > 30.0 * mali.peak_bandwidth());
+    }
+
+    #[test]
+    fn saturation_threads_scale_with_size() {
+        assert!(gtx_1080_ti().saturation_threads() > mali_g71().saturation_threads());
+    }
+}

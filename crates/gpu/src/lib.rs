@@ -1,0 +1,22 @@
+//! # wino-gpu — the simulated GPU substrate
+//!
+//! No GPU hardware is available to this reproduction, so the paper's
+//! three platforms (Table 2) are *modelled*: device profiles from
+//! public spec sheets, the classic occupancy calculation, and a
+//! roofline timing model whose inputs are the static cost descriptors
+//! the meta-program derives while generating each kernel. A functional
+//! executor runs generated plans against real buffers so correctness
+//! and performance are validated separately (see DESIGN.md §2 for the
+//! substitution argument).
+
+#![warn(missing_docs)]
+
+mod cost;
+mod device;
+mod exec;
+mod occupancy;
+
+pub use cost::{estimate_kernel, estimate_plan, estimate_plan_ms, KernelTime};
+pub use device::{gtx_1080_ti, mali_g71, paper_devices, rx_580, DeviceProfile};
+pub use exec::{execute_plan, ExecError};
+pub use occupancy::{occupancy, LaunchRejection};

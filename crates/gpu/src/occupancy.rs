@@ -1,0 +1,157 @@
+//! Occupancy model: how many blocks of a kernel fit on one SM.
+
+use wino_ir::LaunchConfig;
+
+use crate::device::DeviceProfile;
+
+/// Why a kernel cannot run at all on a device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LaunchRejection {
+    /// Block exceeds the device's thread-per-block limit.
+    TooManyThreads {
+        /// Requested threads.
+        requested: usize,
+        /// Device limit.
+        limit: usize,
+    },
+    /// Block needs more shared memory than any block may use.
+    SharedMemoryExceeded {
+        /// Requested bytes.
+        requested: usize,
+        /// Device limit.
+        limit: usize,
+    },
+    /// One block's registers exceed the SM register file.
+    RegistersExceeded {
+        /// Requested registers for the whole block.
+        requested: usize,
+        /// Device register file.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for LaunchRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchRejection::TooManyThreads { requested, limit } => {
+                write!(
+                    f,
+                    "block of {requested} threads exceeds device limit {limit}"
+                )
+            }
+            LaunchRejection::SharedMemoryExceeded { requested, limit } => {
+                write!(
+                    f,
+                    "block needs {requested} B shared memory, limit {limit} B"
+                )
+            }
+            LaunchRejection::RegistersExceeded { requested, limit } => {
+                write!(f, "block needs {requested} registers, SM has {limit}")
+            }
+        }
+    }
+}
+
+/// Fraction of the SM's thread capacity a kernel keeps resident,
+/// limited by threads, shared memory, and registers — the classic
+/// CUDA occupancy calculation.
+///
+/// # Errors
+/// [`LaunchRejection`] when the kernel cannot launch at all (this is
+/// how the auto-tuner discovers that a fused configuration exceeds the
+/// device's shared memory, §3.2.2).
+pub fn occupancy(device: &DeviceProfile, launch: &LaunchConfig) -> Result<f64, LaunchRejection> {
+    let threads = launch.threads_per_block().max(1);
+    if threads > device.max_threads_per_block {
+        return Err(LaunchRejection::TooManyThreads {
+            requested: threads,
+            limit: device.max_threads_per_block,
+        });
+    }
+    if launch.shared_mem_bytes > device.shared_per_block {
+        return Err(LaunchRejection::SharedMemoryExceeded {
+            requested: launch.shared_mem_bytes,
+            limit: device.shared_per_block,
+        });
+    }
+    let block_regs = launch.regs_per_thread * threads;
+    if block_regs > device.regs_per_sm {
+        return Err(LaunchRejection::RegistersExceeded {
+            requested: block_regs,
+            limit: device.regs_per_sm,
+        });
+    }
+    let by_threads = device.max_threads_per_sm / threads;
+    let by_shared = if launch.shared_mem_bytes == 0 {
+        usize::MAX
+    } else {
+        device.shared_per_sm / launch.shared_mem_bytes
+    };
+    let by_regs = device.regs_per_sm / block_regs.max(1);
+    let blocks = by_threads.min(by_shared).min(by_regs).max(0);
+    if blocks == 0 {
+        // Fits per-block limits but not alongside anything: runs one
+        // block per SM at reduced residency.
+        return Ok(threads as f64 / device.max_threads_per_sm as f64);
+    }
+    Ok(((blocks * threads) as f64 / device.max_threads_per_sm as f64).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::gtx_1080_ti;
+    use wino_ir::Dim3;
+
+    fn launch(threads: usize, shared: usize, regs: usize) -> LaunchConfig {
+        LaunchConfig {
+            grid: Dim3::linear(1024),
+            block: Dim3::linear(threads),
+            shared_mem_bytes: shared,
+            regs_per_thread: regs,
+        }
+    }
+
+    #[test]
+    fn light_kernel_reaches_full_occupancy() {
+        let occ = occupancy(&gtx_1080_ti(), &launch(256, 0, 24)).unwrap();
+        assert_eq!(occ, 1.0);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        // 48 KB/block on a 96 KB SM: only 2 blocks of 256 threads →
+        // 512 / 2048 = 25%.
+        let occ = occupancy(&gtx_1080_ti(), &launch(256, 48 * 1024, 24)).unwrap();
+        assert!((occ - 0.25).abs() < 1e-9, "{occ}");
+    }
+
+    #[test]
+    fn registers_limit_occupancy() {
+        // 128 regs/thread × 512 threads = 64Ki regs: one block per SM.
+        let occ = occupancy(&gtx_1080_ti(), &launch(512, 0, 128)).unwrap();
+        assert!((occ - 0.25).abs() < 1e-9, "{occ}");
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        assert!(matches!(
+            occupancy(&gtx_1080_ti(), &launch(2048, 0, 16)),
+            Err(LaunchRejection::TooManyThreads { .. })
+        ));
+        assert!(matches!(
+            occupancy(&gtx_1080_ti(), &launch(256, 64 * 1024, 16)),
+            Err(LaunchRejection::SharedMemoryExceeded { .. })
+        ));
+        assert!(matches!(
+            occupancy(&gtx_1080_ti(), &launch(1024, 0, 70)),
+            Err(LaunchRejection::RegistersExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_one() {
+        let occ = occupancy(&gtx_1080_ti(), &launch(32, 0, 8)).unwrap();
+        assert!(occ <= 1.0);
+    }
+}

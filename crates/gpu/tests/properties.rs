@@ -1,0 +1,99 @@
+//! Property tests for the device model: occupancy and timing must be
+//! total, bounded, and monotone over arbitrary launch configurations.
+
+use proptest::prelude::*;
+use wino_gpu::{estimate_kernel, occupancy, paper_devices};
+use wino_ir::{Backend, CostProfile, Dim3, Kernel, KernelKind, LaunchConfig};
+
+fn arb_launch() -> impl Strategy<Value = LaunchConfig> {
+    (1usize..4096, 1usize..1024, 0usize..96 * 1024, 1usize..256).prop_map(
+        |(grid, block, shared, regs)| LaunchConfig {
+            grid: Dim3::linear(grid),
+            block: Dim3::linear(block),
+            shared_mem_bytes: shared,
+            regs_per_thread: regs,
+        },
+    )
+}
+
+fn kernel_with(launch: LaunchConfig, flops: u64, bytes: u64) -> Kernel {
+    Kernel {
+        name: "prop".into(),
+        backend: Backend::Cuda,
+        kind: KernelKind::DirectConv,
+        launch,
+        cost: CostProfile {
+            flops,
+            global_load_bytes: bytes,
+            global_store_bytes: 0,
+            shared_bytes: 0,
+            coalescing: 0.9,
+            control_overhead: 1.1,
+        },
+        source: "s".into(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Occupancy, when defined, is a fraction in (0, 1]; rejections
+    /// never panic.
+    #[test]
+    fn occupancy_is_a_fraction(launch in arb_launch()) {
+        for device in paper_devices() {
+            match occupancy(&device, &launch) {
+                Ok(occ) => prop_assert!(occ > 0.0 && occ <= 1.0, "{}: {occ}", device.name),
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Lower resource usage never lowers occupancy.
+    #[test]
+    fn occupancy_is_monotone_in_resources(launch in arb_launch()) {
+        let device = wino_gpu::gtx_1080_ti();
+        let lighter = LaunchConfig {
+            shared_mem_bytes: launch.shared_mem_bytes / 2,
+            regs_per_thread: (launch.regs_per_thread / 2).max(1),
+            ..launch
+        };
+        if let (Ok(base), Ok(light)) =
+            (occupancy(&device, &launch), occupancy(&device, &lighter))
+        {
+            prop_assert!(light >= base - 1e-12, "lighter {light} < base {base}");
+        }
+    }
+
+    /// Time estimates are finite, positive, and monotone in FLOPs.
+    #[test]
+    fn time_is_finite_and_monotone(
+        launch in arb_launch(),
+        flops in 1u64..10_000_000_000,
+        bytes in 0u64..1_000_000_000,
+    ) {
+        let device = wino_gpu::gtx_1080_ti();
+        let k1 = kernel_with(launch, flops, bytes);
+        let k2 = kernel_with(launch, flops.saturating_mul(2), bytes);
+        if let (Ok(t1), Ok(t2)) = (estimate_kernel(&device, &k1), estimate_kernel(&device, &k2)) {
+            prop_assert!(t1.total().is_finite() && t1.total() > 0.0);
+            prop_assert!(t2.compute >= t1.compute - 1e-18);
+            prop_assert!(t2.total() >= t1.total() - 1e-12);
+        }
+    }
+
+    /// A faster device (more SMs, same everything else) is never
+    /// slower on compute-bound kernels.
+    #[test]
+    fn bigger_device_is_faster(launch in arb_launch(), flops in 1_000_000u64..1_000_000_000) {
+        let small = wino_gpu::mali_g71();
+        let big = wino_gpu::gtx_1080_ti();
+        let k = kernel_with(launch, flops, 0);
+        if let (Ok(ts), Ok(tb)) = (estimate_kernel(&small, &k), estimate_kernel(&big, &k)) {
+            prop_assert!(
+                tb.compute <= ts.compute + 1e-15,
+                "1080Ti {} vs Mali {}", tb.compute, ts.compute
+            );
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # wino-graph — ConvNet compute graph and model zoo
+//!
+//! The front-end of the reproduced system (Figure 2 of the paper): a
+//! ConvNet model becomes a [`ComputeGraph`] suitable for graph-level
+//! optimization (ReLU fusion) and per-layer variant selection; the
+//! [`zoo`] module defines the convolution layers of AlexNet,
+//! Network-in-Network and InceptionV1 and regenerates the paper's 31
+//! benchmark convolutions (Table 4).
+
+#![warn(missing_docs)]
+
+mod graph;
+mod select;
+pub mod zoo;
+
+pub use graph::{run_conv, ComputeGraph, EngineChoice, GraphError, Node, NodeId, Op};
+pub use select::{default_tile_size, select_engine};
+pub use zoo::{
+    alexnet_convs, all_network_convs, build_alexnet_graph, build_inception_3a_3b,
+    build_inception_module, extract_benchmark_convs, inception_v1_convs, nin_convs, table4_convs,
+    table4_paper_flops, NamedConv,
+};

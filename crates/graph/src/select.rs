@@ -1,0 +1,90 @@
+//! Rule-based variant pre-selection.
+//!
+//! Before auto-tuning, the framework needs a sound default engine per
+//! layer ("once the framework picks a Winograd convolution according
+//! to the hardware and the convolution parameters", §3). These rules
+//! encode the paper's own findings: Winograd for unit-stride 3×3 and
+//! 5×5 layers (filters above five "are probably not suitable for
+//! deployment", §4.2), im2col + GEMM otherwise, with the output tile
+//! size picked by the paper's sweet-spot analysis (α = 8 where
+//! possible, §4.2: F(6,3) and F(4,5)).
+
+use wino_conv::{WinogradConfig, WinogradVariant};
+use wino_tensor::ConvDesc;
+
+use crate::graph::EngineChoice;
+
+/// Default output tile size for a filter size, from the paper's
+/// conclusion: "choosing the right output tile size m, depending on
+/// the filter size … e.g. F(m = 6, r = 3), F(m = 4, r = 5)".
+pub fn default_tile_size(r: usize) -> usize {
+    match r {
+        3 => 6,
+        5 => 4,
+        7 => 2,
+        _ => 2,
+    }
+}
+
+/// Picks the default engine for a convolution.
+pub fn select_engine(desc: &ConvDesc) -> EngineChoice {
+    if !desc.winograd_applicable() || desc.ksz > 5 || desc.ksz < 3 {
+        return EngineChoice::Im2col;
+    }
+    let m = default_tile_size(desc.ksz);
+    // Small output maps cannot amortize a large tile.
+    let m = m.min(desc.out_h().max(1)).max(2);
+    // Fused kernels suit small convolutions (small α and few
+    // channels); non-fused otherwise (§3.2.2's rule of thumb).
+    let variant = if desc.ksz == 3 && desc.in_ch <= 256 && m <= 4 {
+        WinogradVariant::Fused
+    } else {
+        WinogradVariant::NonFused
+    };
+    EngineChoice::Winograd(WinogradConfig::new(m).with_variant(variant))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_by_three_gets_winograd() {
+        let d = ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32);
+        assert!(matches!(select_engine(&d), EngineChoice::Winograd(cfg) if cfg.m == 6));
+    }
+
+    #[test]
+    fn five_by_five_gets_f45() {
+        let d = ConvDesc::new(5, 1, 2, 64, 1, 14, 14, 32);
+        assert!(matches!(select_engine(&d), EngineChoice::Winograd(cfg) if cfg.m == 4));
+    }
+
+    #[test]
+    fn strided_and_large_filters_fall_back() {
+        let strided = ConvDesc::new(3, 2, 1, 64, 1, 14, 14, 32);
+        assert!(matches!(select_engine(&strided), EngineChoice::Im2col));
+        let seven = ConvDesc::new(7, 1, 3, 64, 1, 14, 14, 32);
+        assert!(matches!(select_engine(&seven), EngineChoice::Im2col));
+        let one = ConvDesc::new(1, 1, 0, 64, 1, 14, 14, 32);
+        assert!(matches!(select_engine(&one), EngineChoice::Im2col));
+    }
+
+    #[test]
+    fn tiny_outputs_clamp_tile_size() {
+        let d = ConvDesc::new(3, 1, 1, 1024, 1, 6, 6, 384);
+        if let EngineChoice::Winograd(cfg) = select_engine(&d) {
+            assert!(cfg.m <= 6);
+            assert!(cfg.m >= 2);
+        } else {
+            panic!("expected Winograd");
+        }
+    }
+
+    #[test]
+    fn default_tiles_give_alpha_8() {
+        assert_eq!(default_tile_size(3) + 3 - 1, 8);
+        assert_eq!(default_tile_size(5) + 5 - 1, 8);
+        assert_eq!(default_tile_size(7) + 7 - 1, 8);
+    }
+}

@@ -1,0 +1,349 @@
+//! The model zoo and the paper's 31 benchmark convolutions (Table 4).
+//!
+//! The paper extracts every convolution with more than 1e8 FLOPs from
+//! AlexNet, Network-in-Network (ImageNet variant) and InceptionV1
+//! (GoogLeNet), at batch sizes 1 and 5 — "to model both a single
+//! inference and a streaming deployment scenario". This module defines
+//! the convolutional layers of those three networks and regenerates
+//! the selection; [`table4_convs`] is the literal table for
+//! cross-checking.
+
+use wino_tensor::ConvDesc;
+
+use crate::graph::{ComputeGraph, GraphError, NodeId};
+
+/// A named convolution layer of a reference network.
+#[derive(Clone, Debug)]
+pub struct NamedConv {
+    /// Network the layer belongs to.
+    pub network: &'static str,
+    /// Layer name.
+    pub layer: &'static str,
+    /// The convolution at batch size 1.
+    pub desc: ConvDesc,
+}
+
+fn c(
+    network: &'static str,
+    layer: &'static str,
+    ksz: usize,
+    stride: usize,
+    pad: usize,
+    oc: usize,
+    h: usize,
+    w: usize,
+    ic: usize,
+) -> NamedConv {
+    NamedConv {
+        network,
+        layer,
+        desc: ConvDesc::new(ksz, stride, pad, oc, 1, h, w, ic),
+    }
+}
+
+/// AlexNet convolution layers (spatial convs only).
+pub fn alexnet_convs() -> Vec<NamedConv> {
+    vec![
+        c("alexnet", "conv1", 11, 4, 0, 96, 227, 227, 3),
+        c("alexnet", "conv2", 5, 1, 2, 256, 27, 27, 96),
+        c("alexnet", "conv3", 3, 1, 1, 384, 13, 13, 256),
+        c("alexnet", "conv4", 3, 1, 1, 384, 13, 13, 384),
+        c("alexnet", "conv5", 3, 1, 1, 256, 13, 13, 384),
+    ]
+}
+
+/// Network-in-Network (ImageNet) spatial convolution layers.
+pub fn nin_convs() -> Vec<NamedConv> {
+    vec![
+        c("nin", "conv1", 11, 4, 0, 96, 227, 227, 3),
+        c("nin", "conv2", 5, 1, 2, 256, 27, 27, 96),
+        c("nin", "conv3", 3, 1, 1, 384, 13, 13, 256),
+        c("nin", "conv4-1024", 3, 1, 1, 1024, 6, 6, 384),
+    ]
+}
+
+/// InceptionV1 (GoogLeNet) spatial convolution layers: the stem 3×3
+/// plus the 3×3 and 5×5 branches of every inception module.
+pub fn inception_v1_convs() -> Vec<NamedConv> {
+    vec![
+        c("inception-v1", "conv2/3x3", 3, 1, 1, 192, 56, 56, 64),
+        // inception 3a
+        c("inception-v1", "3a/3x3", 3, 1, 1, 128, 28, 28, 96),
+        c("inception-v1", "3a/5x5", 5, 1, 2, 32, 28, 28, 16),
+        // inception 3b
+        c("inception-v1", "3b/3x3", 3, 1, 1, 192, 28, 28, 128),
+        c("inception-v1", "3b/5x5", 5, 1, 2, 96, 28, 28, 32),
+        // inception 4a
+        c("inception-v1", "4a/3x3", 3, 1, 1, 208, 14, 14, 96),
+        c("inception-v1", "4a/5x5", 5, 1, 2, 48, 14, 14, 16),
+        // inception 4b
+        c("inception-v1", "4b/3x3", 3, 1, 1, 224, 14, 14, 112),
+        c("inception-v1", "4b/5x5", 5, 1, 2, 64, 14, 14, 24),
+        // inception 4c
+        c("inception-v1", "4c/3x3", 3, 1, 1, 256, 14, 14, 128),
+        c("inception-v1", "4c/5x5", 5, 1, 2, 64, 14, 14, 24),
+        // inception 4d
+        c("inception-v1", "4d/3x3", 3, 1, 1, 288, 14, 14, 144),
+        c("inception-v1", "4d/5x5", 5, 1, 2, 64, 14, 14, 32),
+        // inception 4e
+        c("inception-v1", "4e/3x3", 3, 1, 1, 320, 14, 14, 160),
+        c("inception-v1", "4e/5x5", 5, 1, 2, 128, 14, 14, 32),
+        // inception 5a
+        c("inception-v1", "5a/3x3", 3, 1, 1, 320, 7, 7, 160),
+        c("inception-v1", "5a/5x5", 5, 1, 2, 128, 7, 7, 32),
+        // inception 5b
+        c("inception-v1", "5b/3x3", 3, 1, 1, 384, 7, 7, 192),
+        c("inception-v1", "5b/5x5", 5, 1, 2, 128, 7, 7, 48),
+    ]
+}
+
+/// All reference-network convolutions.
+pub fn all_network_convs() -> Vec<NamedConv> {
+    let mut v = alexnet_convs();
+    v.extend(nin_convs());
+    v.extend(inception_v1_convs());
+    v
+}
+
+/// Regenerates the paper's benchmark selection: every network
+/// convolution at batch sizes {1, 5} with at least 1e8 FLOPs,
+/// deduplicated and sorted by FLOPs.
+pub fn extract_benchmark_convs() -> Vec<ConvDesc> {
+    let mut out: Vec<ConvDesc> = Vec::new();
+    for named in all_network_convs() {
+        for batch in [1usize, 5] {
+            let mut d = named.desc;
+            d.batch = batch;
+            if d.flops() >= 100_000_000 && !out.contains(&d) {
+                out.push(d);
+            }
+        }
+    }
+    out.sort_by_key(ConvDesc::flops);
+    out
+}
+
+/// The 31 benchmark convolutions exactly as printed in Table 4 of the
+/// paper, sorted by FLOPs. Column order of the constructor mirrors the
+/// table: `(KSZ, S, P, OC, B, in_y, in_x, in_chan)`.
+pub fn table4_convs() -> Vec<ConvDesc> {
+    vec![
+        ConvDesc::new(5, 1, 2, 32, 5, 28, 28, 16),
+        ConvDesc::new(5, 1, 2, 64, 5, 14, 14, 32),
+        ConvDesc::new(3, 1, 1, 256, 1, 14, 14, 128),
+        ConvDesc::new(5, 1, 2, 96, 1, 28, 28, 32),
+        ConvDesc::new(3, 1, 1, 288, 1, 14, 14, 144),
+        ConvDesc::new(3, 1, 1, 128, 1, 28, 28, 96),
+        ConvDesc::new(3, 1, 1, 320, 1, 14, 14, 160),
+        ConvDesc::new(5, 1, 2, 128, 5, 14, 14, 32),
+        ConvDesc::new(3, 1, 1, 320, 5, 7, 7, 160),
+        ConvDesc::new(3, 1, 1, 1024, 1, 6, 6, 384),
+        ConvDesc::new(3, 1, 1, 256, 1, 13, 13, 384),
+        ConvDesc::new(3, 1, 1, 384, 1, 13, 13, 256),
+        ConvDesc::new(3, 1, 1, 384, 5, 7, 7, 192),
+        ConvDesc::new(3, 1, 1, 192, 1, 28, 28, 128),
+        ConvDesc::new(3, 1, 1, 208, 5, 14, 14, 96),
+        ConvDesc::new(3, 1, 1, 224, 5, 14, 14, 112),
+        ConvDesc::new(3, 1, 1, 384, 1, 13, 13, 384),
+        ConvDesc::new(3, 1, 1, 256, 5, 14, 14, 128),
+        ConvDesc::new(5, 1, 2, 96, 5, 28, 28, 32),
+        ConvDesc::new(3, 1, 1, 192, 1, 56, 56, 64),
+        ConvDesc::new(3, 1, 1, 288, 5, 14, 14, 144),
+        ConvDesc::new(3, 1, 1, 128, 5, 28, 28, 96),
+        ConvDesc::new(5, 1, 2, 256, 1, 27, 27, 96),
+        ConvDesc::new(3, 1, 1, 320, 5, 14, 14, 160),
+        ConvDesc::new(3, 1, 1, 1024, 5, 6, 6, 384),
+        ConvDesc::new(3, 1, 1, 384, 5, 13, 13, 256),
+        ConvDesc::new(3, 1, 1, 256, 5, 13, 13, 384),
+        ConvDesc::new(3, 1, 1, 192, 5, 28, 28, 128),
+        ConvDesc::new(3, 1, 1, 384, 5, 13, 13, 384),
+        ConvDesc::new(3, 1, 1, 192, 5, 56, 56, 64),
+        ConvDesc::new(5, 1, 2, 256, 5, 27, 27, 96),
+    ]
+}
+
+/// The FLOPs column as printed in Table 4 (for paper-vs-measured
+/// cross-checks).
+pub fn table4_paper_flops() -> Vec<f64> {
+    vec![
+        1.0e8, 1.0e8, 1.16e8, 1.2e8, 1.46e8, 1.73e8, 1.81e8, 2.01e8, 2.26e8, 2.55e8, 2.99e8,
+        2.99e8, 3.25e8, 3.47e8, 3.52e8, 4.43e8, 4.49e8, 5.78e8, 6.02e8, 6.94e8, 7.32e8, 8.67e8,
+        8.96e8, 9.03e8, 1.27e9, 1.5e9, 1.5e9, 1.73e9, 2.24e9, 3.47e9, 4.48e9,
+    ]
+}
+
+/// Builds the AlexNet convolution/pool topology as a compute graph
+/// (LRN layers elided — they do not affect shapes or the convolution
+/// workload). Returns the graph and the final conv node. Weights are
+/// not attached; use [`ComputeGraph::infer_shapes`] or attach weights
+/// before executing.
+pub fn build_alexnet_graph() -> Result<(ComputeGraph, NodeId), GraphError> {
+    let mut g = ComputeGraph::new();
+    let input = g.add_input();
+    let c1 = g.add_conv(input, ConvDesc::new(11, 4, 0, 96, 1, 227, 227, 3))?;
+    let r1 = g.add_relu(c1)?;
+    let p1 = g.add_max_pool(r1, 3, 2)?; // 55 → 27
+    let c2 = g.add_conv(p1, ConvDesc::new(5, 1, 2, 256, 1, 27, 27, 96))?;
+    let r2 = g.add_relu(c2)?;
+    let p2 = g.add_max_pool(r2, 3, 2)?; // 27 → 13
+    let c3 = g.add_conv(p2, ConvDesc::new(3, 1, 1, 384, 1, 13, 13, 256))?;
+    let r3 = g.add_relu(c3)?;
+    let c4 = g.add_conv(r3, ConvDesc::new(3, 1, 1, 384, 1, 13, 13, 384))?;
+    let r4 = g.add_relu(c4)?;
+    let c5 = g.add_conv(r4, ConvDesc::new(3, 1, 1, 256, 1, 13, 13, 384))?;
+    Ok((g, c5))
+}
+
+/// Appends one InceptionV1 module to `g`: the 1×1, 3×3 (with 1×1
+/// reduce), 5×5 (with 1×1 reduce) and pool-projection branches joined
+/// by a channel concat. `(h, w, c_in)` is the input shape;
+/// the channel plan `(c1, c3r, c3, c5r, c5, cp)` follows the paper's
+/// notation (reduce = the 1×1 bottleneck before a spatial conv).
+#[allow(clippy::too_many_arguments)]
+pub fn build_inception_module(
+    g: &mut ComputeGraph,
+    input: NodeId,
+    h: usize,
+    w: usize,
+    c_in: usize,
+    channels: (usize, usize, usize, usize, usize, usize),
+) -> Result<NodeId, GraphError> {
+    let (c1, c3r, c3, c5r, c5, cp) = channels;
+    // Branch 1: 1×1.
+    let b1 = g.add_conv(input, ConvDesc::new(1, 1, 0, c1, 1, h, w, c_in))?;
+    // Branch 2: 1×1 reduce → 3×3.
+    let b2r = g.add_conv(input, ConvDesc::new(1, 1, 0, c3r, 1, h, w, c_in))?;
+    let b2 = g.add_conv(b2r, ConvDesc::new(3, 1, 1, c3, 1, h, w, c3r))?;
+    // Branch 3: 1×1 reduce → 5×5.
+    let b3r = g.add_conv(input, ConvDesc::new(1, 1, 0, c5r, 1, h, w, c_in))?;
+    let b3 = g.add_conv(b3r, ConvDesc::new(5, 1, 2, c5, 1, h, w, c5r))?;
+    // Branch 4: 3×3 max-pool (stride 1 via pad — modelled as a same
+    // shape pool with window 1 here to keep shapes exact) → 1×1
+    // projection. GoogLeNet pads its pool; our MaxPool has no padding,
+    // so the projection consumes the input directly, which preserves
+    // both the channel plan and the convolution workload.
+    let b4 = g.add_conv(input, ConvDesc::new(1, 1, 0, cp, 1, h, w, c_in))?;
+    g.add_concat(&[b1, b2, b3, b4])
+}
+
+/// Builds the first two inception modules (3a, 3b) on a 28×28×192
+/// input — the fragment whose 3×3/5×5 branches supply several Table-4
+/// rows.
+pub fn build_inception_3a_3b() -> Result<(ComputeGraph, NodeId), GraphError> {
+    let mut g = ComputeGraph::new();
+    let input = g.add_input();
+    let m3a = build_inception_module(&mut g, input, 28, 28, 192, (64, 96, 128, 16, 32, 32))?;
+    // 3a output channels: 64 + 128 + 32 + 32 = 256.
+    let m3b = build_inception_module(&mut g, m3a, 28, 28, 256, (128, 128, 192, 32, 96, 64))?;
+    Ok((g, m3b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_has_31_rows_sorted_by_flops() {
+        let t = table4_convs();
+        assert_eq!(t.len(), 31);
+        for w in t.windows(2) {
+            assert!(w[0].flops() <= w[1].flops());
+        }
+    }
+
+    #[test]
+    fn table4_flops_match_paper_column() {
+        let t = table4_convs();
+        let paper = table4_paper_flops();
+        assert_eq!(t.len(), paper.len());
+        for (d, &pf) in t.iter().zip(&paper) {
+            let rel = (d.flops() as f64 - pf).abs() / pf;
+            assert!(rel < 0.02, "{d}: computed {} vs paper {pf}", d.flops());
+        }
+    }
+
+    #[test]
+    fn every_table4_conv_comes_from_a_zoo_network() {
+        let zoo = all_network_convs();
+        for d in table4_convs() {
+            let mut base = d;
+            base.batch = 1;
+            assert!(
+                zoo.iter().any(|n| n.desc == base),
+                "table-4 conv {d} not found in any network definition"
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_covers_table4() {
+        let extracted = extract_benchmark_convs();
+        for d in table4_convs() {
+            assert!(extracted.contains(&d), "extraction missed {d}");
+        }
+    }
+
+    #[test]
+    fn extraction_applies_flop_threshold() {
+        for d in extract_benchmark_convs() {
+            assert!(d.flops() >= 100_000_000);
+        }
+    }
+
+    #[test]
+    fn alexnet_graph_shapes() {
+        let (g, last) = build_alexnet_graph().unwrap();
+        let shapes = g.infer_shapes((1, 3, 227, 227)).unwrap();
+        // conv1: 227 → 55, pool → 27, conv2 same, pool → 13.
+        assert_eq!(shapes[1], (1, 96, 55, 55));
+        assert_eq!(shapes[3], (1, 96, 27, 27));
+        assert_eq!(shapes[4], (1, 256, 27, 27));
+        assert_eq!(shapes[last.0], (1, 256, 13, 13));
+    }
+
+    #[test]
+    fn inception_module_channel_plan() {
+        let (g, last) = build_inception_3a_3b().unwrap();
+        let shapes = g.infer_shapes((1, 192, 28, 28)).unwrap();
+        // 3b output: 128 + 192 + 96 + 64 = 480 channels.
+        assert_eq!(shapes[last.0], (1, 480, 28, 28));
+    }
+
+    #[test]
+    fn inception_module_executes() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use wino_tensor::Tensor4;
+        // A scaled-down module so execution is fast: 8×8 input, tiny
+        // channel plan.
+        let mut g = ComputeGraph::new();
+        let input = g.add_input();
+        let out = build_inception_module(&mut g, input, 8, 8, 4, (2, 3, 4, 2, 3, 2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        // Attach weights to every conv node.
+        for (id, desc) in g.conv_nodes() {
+            let w = Tensor4::random(
+                desc.out_ch,
+                desc.in_ch,
+                desc.ksz,
+                desc.ksz,
+                -0.5,
+                0.5,
+                &mut rng,
+            );
+            g.set_weights(id, w).unwrap();
+        }
+        let x = Tensor4::random(1, 4, 8, 8, -1.0, 1.0, &mut rng);
+        let y = g.execute(&x).unwrap();
+        assert_eq!(y.dims(), (1, 2 + 4 + 3 + 2, 8, 8));
+        let shapes = g.infer_shapes((1, 4, 8, 8)).unwrap();
+        assert_eq!(shapes[out.0], y.dims());
+    }
+
+    #[test]
+    fn network_layer_counts() {
+        assert_eq!(alexnet_convs().len(), 5);
+        assert_eq!(nin_convs().len(), 4);
+        assert_eq!(inception_v1_convs().len(), 19);
+    }
+}

@@ -1,0 +1,267 @@
+//! Kernel descriptors and per-operation execution plans.
+
+use std::fmt;
+
+use wino_tensor::ConvDesc;
+
+use crate::cost::CostProfile;
+use crate::launch::{Backend, LaunchConfig};
+
+/// What a generated kernel computes — the functional contract the GPU
+/// simulator executes and the code generator renders as source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Non-fused Winograd stage 1a: `U = G·g·Gᵀ` for every `(k, c)`
+    /// filter slice.
+    FilterTransform {
+        /// Output tile size.
+        m: usize,
+        /// Filter size.
+        r: usize,
+    },
+    /// Non-fused Winograd stage 1b: `V = Bᵀ·d·B` for every input tile.
+    InputTransform {
+        /// Output tile size.
+        m: usize,
+        /// Filter size.
+        r: usize,
+    },
+    /// Non-fused Winograd stage 2: the α² batched SGEMMs
+    /// `M(ξ,ν) = U(ξ,ν) · V(ξ,ν)` (§3.2.2, after Lavin & Gray).
+    BatchedGemm {
+        /// Number of independent multiplies (α²).
+        batches: usize,
+        /// Rows of each A (output channels K).
+        m_dim: usize,
+        /// Columns of each B (tile count P).
+        n_dim: usize,
+        /// Inner dimension (input channels C).
+        k_dim: usize,
+    },
+    /// Non-fused Winograd stage 3: `Y = Aᵀ·M·A` plus tile placement.
+    OutputTransform {
+        /// Output tile size.
+        m: usize,
+        /// Filter size.
+        r: usize,
+    },
+    /// The single-kernel fused Winograd variant (§3.2.2): transforms,
+    /// multiplication and output transform share one launch and keep
+    /// data in shared memory.
+    FusedWinograd {
+        /// Output tile size.
+        m: usize,
+        /// Filter size.
+        r: usize,
+    },
+    /// Straightforward direct convolution (the no-Winograd baseline).
+    DirectConv,
+    /// Patch-gathering kernel of the im2col + GEMM lowering.
+    Im2col,
+    /// A single dense SGEMM `C = A·B`.
+    Gemm {
+        /// Rows of A / C.
+        m_dim: usize,
+        /// Columns of B / C.
+        n_dim: usize,
+        /// Inner dimension.
+        k_dim: usize,
+    },
+}
+
+impl KernelKind {
+    /// Short stable identifier used in kernel names and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            KernelKind::FilterTransform { .. } => "wg_filt_xform",
+            KernelKind::InputTransform { .. } => "wg_in_xform",
+            KernelKind::BatchedGemm { .. } => "wg_batched_sgemm",
+            KernelKind::OutputTransform { .. } => "wg_out_xform",
+            KernelKind::FusedWinograd { .. } => "wg_fused",
+            KernelKind::DirectConv => "conv_direct",
+            KernelKind::Im2col => "im2col",
+            KernelKind::Gemm { .. } => "sgemm",
+        }
+    }
+}
+
+/// A generated GPU kernel: functional contract, launch geometry,
+/// static cost, and the emitted source text.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    /// Unique name within its plan.
+    pub name: String,
+    /// Programming interface the source targets.
+    pub backend: Backend,
+    /// Functional contract.
+    pub kind: KernelKind,
+    /// Launch geometry and per-block resources.
+    pub launch: LaunchConfig,
+    /// Static cost descriptor.
+    pub cost: CostProfile,
+    /// Emitted source code.
+    pub source: String,
+}
+
+impl Kernel {
+    /// Structural sanity checks shared by all generators.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("kernel has no name".into());
+        }
+        if self.launch.total_threads() == 0 {
+            return Err(format!("kernel {}: empty launch", self.name));
+        }
+        self.cost
+            .validate()
+            .map_err(|e| format!("kernel {}: {e}", self.name))?;
+        if self.source.is_empty() {
+            return Err(format!("kernel {}: no source emitted", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// The ordered kernel sequence implementing one convolution operation
+/// on one device, plus its launch-count-dependent fixed overhead.
+#[derive(Clone, Debug)]
+pub struct KernelPlan {
+    /// The convolution this plan implements.
+    pub desc: ConvDesc,
+    /// Human-readable variant label (e.g. `"winograd-fused m=4"`).
+    pub variant: String,
+    /// Kernels in launch order.
+    pub kernels: Vec<Kernel>,
+}
+
+impl KernelPlan {
+    /// Merged cost over all kernels.
+    pub fn total_cost(&self) -> CostProfile {
+        self.kernels
+            .iter()
+            .map(|k| &k.cost)
+            .fold(CostProfile::compute_only(0), |acc, c| acc.merge(c))
+    }
+
+    /// Number of kernel launches (each pays the device launch
+    /// overhead).
+    pub fn launches(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Validates every kernel.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.kernels.is_empty() {
+            return Err(format!("plan {} has no kernels", self.variant));
+        }
+        for k in &self.kernels {
+            k.validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for KernelPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan '{}' for {} ({} kernels)",
+            self.variant,
+            self.desc,
+            self.launches()
+        )?;
+        for k in &self.kernels {
+            writeln!(
+                f,
+                "  {} [{}] grid={} block={} flops={} gbytes={}",
+                k.name,
+                k.backend,
+                k.launch.grid,
+                k.launch.block,
+                k.cost.flops,
+                k.cost.global_bytes()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::Dim3;
+
+    fn sample_kernel(name: &str, flops: u64) -> Kernel {
+        Kernel {
+            name: name.into(),
+            backend: Backend::Cuda,
+            kind: KernelKind::DirectConv,
+            launch: LaunchConfig::linear(1024, 128),
+            cost: CostProfile::compute_only(flops),
+            source: "__global__ void k() {}".into(),
+        }
+    }
+
+    fn sample_desc() -> ConvDesc {
+        ConvDesc::new(3, 1, 1, 8, 1, 8, 8, 4)
+    }
+
+    #[test]
+    fn plan_cost_aggregates() {
+        let plan = KernelPlan {
+            desc: sample_desc(),
+            variant: "test".into(),
+            kernels: vec![sample_kernel("a", 100), sample_kernel("b", 50)],
+        };
+        assert_eq!(plan.total_cost().flops, 150);
+        assert_eq!(plan.launches(), 2);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_defects() {
+        let mut k = sample_kernel("a", 1);
+        k.source.clear();
+        assert!(k.validate().unwrap_err().contains("no source"));
+        let mut k = sample_kernel("", 1);
+        k.name.clear();
+        assert!(k.validate().is_err());
+        let mut k = sample_kernel("a", 1);
+        k.launch.grid = Dim3::linear(1);
+        k.launch.block = Dim3 { x: 0, y: 1, z: 1 };
+        assert!(k.validate().unwrap_err().contains("empty launch"));
+        let empty = KernelPlan {
+            desc: sample_desc(),
+            variant: "v".into(),
+            kernels: vec![],
+        };
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        assert_eq!(KernelKind::FusedWinograd { m: 2, r: 3 }.tag(), "wg_fused");
+        assert_eq!(
+            KernelKind::BatchedGemm {
+                batches: 16,
+                m_dim: 8,
+                n_dim: 8,
+                k_dim: 8
+            }
+            .tag(),
+            "wg_batched_sgemm"
+        );
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let plan = KernelPlan {
+            desc: sample_desc(),
+            variant: "winograd-fused".into(),
+            kernels: vec![sample_kernel("wg_fused_k", 10)],
+        };
+        let s = plan.to_string();
+        assert!(s.contains("winograd-fused"));
+        assert!(s.contains("wg_fused_k"));
+    }
+}

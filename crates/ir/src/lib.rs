@@ -1,0 +1,20 @@
+//! # wino-ir — kernel descriptors shared by codegen and the simulator
+//!
+//! The meta-programming layer (`wino-codegen`) produces [`Kernel`]
+//! values: a functional contract ([`KernelKind`]), launch geometry
+//! ([`LaunchConfig`]), a static cost descriptor ([`CostProfile`])
+//! derived from the same quantities that shaped the source, and the
+//! emitted source text itself. The GPU simulator (`wino-gpu`) consumes
+//! these descriptors to execute plans functionally and to estimate
+//! their runtime on modelled devices. Keeping the descriptor model in
+//! its own dependency-light crate decouples producer and consumer.
+
+#![warn(missing_docs)]
+
+mod cost;
+mod kernel;
+mod launch;
+
+pub use cost::CostProfile;
+pub use kernel::{Kernel, KernelKind, KernelPlan};
+pub use launch::{Backend, Dim3, LaunchConfig};

@@ -1,0 +1,752 @@
+//! Arbitrary-precision signed integers.
+//!
+//! The Toom-Cook matrix construction multiplies chains of rational
+//! point differences and inverts Vandermonde-like systems; intermediate
+//! numerators and denominators routinely overflow `i128` for large
+//! internal tile sizes. This module provides a compact sign-magnitude
+//! big integer sufficient for exact linear algebra over the rationals.
+//!
+//! Representation: little-endian `u32` limbs, normalized so that the
+//! most significant limb is non-zero and zero is the empty limb vector
+//! with positive sign. `u32` limbs keep the schoolbook division
+//! (Knuth's Algorithm D) simple because every intermediate fits in
+//! `u64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::error::NumError;
+
+/// Sign of a [`BigInt`]. Zero is canonically [`Sign::Plus`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// Arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian base-2³² magnitude; empty means zero.
+    limbs: Vec<u32>,
+}
+
+impl BigInt {
+    /// The integer 0.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            limbs: Vec::new(),
+        }
+    }
+
+    /// The integer 1.
+    pub fn one() -> Self {
+        BigInt::from(1i64)
+    }
+
+    /// Returns `true` if `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if `self == 1`.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: Sign::Plus,
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    /// Number of significant bits in the magnitude (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 32 * (self.limbs.len() - 1) + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn from_limbs(sign: Sign, mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        if limbs.is_empty() {
+            return BigInt::zero();
+        }
+        BigInt { sign, limbs }
+    }
+
+    /// Magnitude comparison, ignoring sign.
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            if a[i] != b[i] {
+                return a[i].cmp(&b[i]);
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Computes `a - b`; requires `a >= b` in magnitude.
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &bj) in b.iter().enumerate() {
+                let t = ai as u64 * bj as u64 + out[i + j] as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Divide magnitude by a single limb; returns (quotient, remainder).
+    fn divrem_mag_single(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+        debug_assert!(d != 0);
+        let mut q = vec![0u32; a.len()];
+        let mut rem = 0u64;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 32) | a[i] as u64;
+            q[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        (q, rem as u32)
+    }
+
+    /// Knuth Algorithm D long division on magnitudes.
+    /// Requires `d.len() >= 2` and returns (quotient, remainder).
+    fn divrem_mag_knuth(a: &[u32], d: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let n = d.len();
+        let m = a.len() - n; // a.len() >= n guaranteed by caller
+                             // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = d[n - 1].leading_zeros();
+        let mut v = shl_bits(d, shift);
+        let mut u = shl_bits(a, shift);
+        u.resize(a.len() + 1, 0); // one extra limb for the top
+        debug_assert_eq!(v.len(), n);
+        let vtop = v[n - 1] as u64;
+        let vsec = v[n - 2] as u64;
+        let mut q = vec![0u32; m + 1];
+        // D2-D7: main loop.
+        for j in (0..=m).rev() {
+            let numer = ((u[j + n] as u64) << 32) | u[j + n - 1] as u64;
+            let mut qhat = numer / vtop;
+            let mut rhat = numer % vtop;
+            // Correct qhat down (at most twice).
+            while qhat >= 1u64 << 32 || qhat * vsec > ((rhat << 32) | u[j + n - 2] as u64) {
+                qhat -= 1;
+                rhat += vtop;
+                if rhat >= 1u64 << 32 {
+                    break;
+                }
+            }
+            // D4: multiply and subtract u[j..j+n] -= qhat * v.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * v[i] as u64 + carry;
+                carry = p >> 32;
+                let t = u[j + i] as i64 - (p as u32) as i64 - borrow;
+                if t < 0 {
+                    u[j + i] = (t + (1i64 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    u[j + i] = t as u32;
+                    borrow = 0;
+                }
+            }
+            let t = u[j + n] as i64 - carry as i64 - borrow;
+            if t < 0 {
+                // D6: qhat was one too large; add back.
+                u[j + n] = (t + (1i64 << 32)) as u32;
+                qhat -= 1;
+                let mut carry2 = 0u64;
+                for i in 0..n {
+                    let s = u[j + i] as u64 + v[i] as u64 + carry2;
+                    u[j + i] = s as u32;
+                    carry2 = s >> 32;
+                }
+                u[j + n] = (u[j + n] as u64 + carry2) as u32;
+            } else {
+                u[j + n] = t as u32;
+            }
+            q[j] = qhat as u32;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        // D8: denormalize the remainder.
+        u.truncate(n);
+        v.clear();
+        let rem = shr_bits(&u, shift);
+        (q, rem)
+    }
+
+    /// Euclidean division of magnitudes: returns (quotient, remainder).
+    fn divrem_mag(a: &[u32], d: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        debug_assert!(!d.is_empty(), "division by zero magnitude");
+        match Self::cmp_mag(a, d) {
+            Ordering::Less => return (Vec::new(), a.to_vec()),
+            Ordering::Equal => return (vec![1], Vec::new()),
+            Ordering::Greater => {}
+        }
+        if d.len() == 1 {
+            let (q, r) = Self::divrem_mag_single(a, d[0]);
+            let rem = if r == 0 { Vec::new() } else { vec![r] };
+            return (q, rem);
+        }
+        Self::divrem_mag_knuth(a, d)
+    }
+
+    /// Truncated division with remainder: `self = q * rhs + r`, with
+    /// `|r| < |rhs|` and `r` carrying the sign of `self` (like Rust's
+    /// `i64` division).
+    ///
+    /// # Errors
+    /// Returns [`NumError::DivisionByZero`] if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &BigInt) -> Result<(BigInt, BigInt), NumError> {
+        if rhs.is_zero() {
+            return Err(NumError::DivisionByZero);
+        }
+        let (qm, rm) = Self::divrem_mag(&self.limbs, &rhs.limbs);
+        let qsign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        Ok((
+            BigInt::from_limbs(qsign, qm),
+            BigInt::from_limbs(self.sign, rm),
+        ))
+    }
+
+    /// Greatest common divisor of the magnitudes; `gcd(0, x) = |x|`.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b).expect("non-zero divisor");
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// Raises `self` to a non-negative integer power.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Lossy conversion to `f64`, correctly scaled for magnitudes that
+    /// exceed the `f64` range of exact integers.
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_len();
+        let mut v = 0.0f64;
+        // Fold limbs from most to least significant; past 96 bits the
+        // tail cannot affect the 53-bit mantissa.
+        let top = self.limbs.len();
+        let lo = top.saturating_sub(3);
+        for i in (lo..top).rev() {
+            v = v * 4294967296.0 + self.limbs[i] as f64;
+        }
+        v *= 2f64.powi((lo * 32) as i32);
+        let _ = bits;
+        if self.sign == Sign::Minus {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Exact conversion to `i64` when the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.limbs.len() > 2 {
+            return None;
+        }
+        let mag = self.limbs.get(0).copied().unwrap_or(0) as u128
+            | (self.limbs.get(1).copied().unwrap_or(0) as u128) << 32;
+        match self.sign {
+            Sign::Plus if mag <= i64::MAX as u128 => Some(mag as i64),
+            Sign::Minus if mag <= i64::MAX as u128 + 1 => Some((mag as i128).wrapping_neg() as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Shift a magnitude left by `shift < 32` bits.
+fn shl_bits(a: &[u32], shift: u32) -> Vec<u32> {
+    debug_assert!(shift < 32);
+    if shift == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u32;
+    for &w in a {
+        out.push((w << shift) | carry);
+        carry = (w >> (32 - shift)) as u32;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Shift a magnitude right by `shift < 32` bits.
+fn shr_bits(a: &[u32], shift: u32) -> Vec<u32> {
+    debug_assert!(shift < 32);
+    let mut out = a.to_vec();
+    if shift != 0 {
+        for i in 0..out.len() {
+            let hi = if i + 1 < a.len() { a[i + 1] } else { 0 };
+            out[i] = (a[i] >> shift) | (hi << (32 - shift));
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_limbs(Sign::Plus, vec![v as u32, (v >> 32) as u32])
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+        let mag = v.unsigned_abs();
+        BigInt::from_limbs(
+            sign,
+            vec![
+                mag as u32,
+                (mag >> 32) as u32,
+                (mag >> 64) as u32,
+                (mag >> 96) as u32,
+            ],
+        )
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = NumError;
+
+    fn from_str(s: &str) -> Result<Self, NumError> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(NumError::Parse(s.to_string()));
+        }
+        let mut acc = BigInt::zero();
+        let ten = BigInt::from(10i64);
+        for ch in digits.chars() {
+            let d = ch
+                .to_digit(10)
+                .ok_or_else(|| NumError::Parse(s.to_string()))?;
+            acc = &(&acc * &ten) + &BigInt::from(d as i64);
+        }
+        acc.sign = if acc.is_zero() { Sign::Plus } else { sign };
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut mag = self.limbs.clone();
+        while !mag.is_empty() {
+            let (q, r) = BigInt::divrem_mag_single(&mag, 1_000_000_000);
+            mag = q;
+            digits.push(r);
+        }
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        let mut it = digits.iter().rev();
+        if let Some(first) = it.next() {
+            write!(f, "{first}")?;
+        }
+        for chunk in it {
+            write!(f, "{chunk:09}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => Self::cmp_mag(&self.limbs, &other.limbs),
+            (Sign::Minus, Sign::Minus) => Self::cmp_mag(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        BigInt {
+            sign: self.sign.flip(),
+            limbs: self.limbs.clone(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        if !self.is_zero() {
+            self.sign = self.sign.flip();
+        }
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.sign == rhs.sign {
+            return BigInt::from_limbs(self.sign, BigInt::add_mag(&self.limbs, &rhs.limbs));
+        }
+        match BigInt::cmp_mag(&self.limbs, &rhs.limbs) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => {
+                BigInt::from_limbs(self.sign, BigInt::sub_mag(&self.limbs, &rhs.limbs))
+            }
+            Ordering::Less => {
+                BigInt::from_limbs(rhs.sign, BigInt::sub_mag(&rhs.limbs, &self.limbs))
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        BigInt::from_limbs(sign, BigInt::mul_mag(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    /// Truncated division. Panics on division by zero; use
+    /// [`BigInt::div_rem`] for a fallible version.
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).expect("BigInt division by zero").0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).expect("BigInt remainder by zero").1
+    }
+}
+
+macro_rules! forward_binop_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+    };
+}
+
+forward_binop_owned!(Add, add);
+forward_binop_owned!(Sub, sub);
+forward_binop_owned!(Mul, mul);
+forward_binop_owned!(Div, div);
+forward_binop_owned!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(&b(2) + &b(3), b(5));
+        assert_eq!(&b(2) - &b(3), b(-1));
+        assert_eq!(&b(-4) * &b(5), b(-20));
+        assert_eq!(&b(17) / &b(5), b(3));
+        assert_eq!(&b(17) % &b(5), b(2));
+        assert_eq!(&b(-17) / &b(5), b(-3));
+        assert_eq!(&b(-17) % &b(5), b(-2));
+    }
+
+    #[test]
+    fn zero_identities() {
+        assert!(b(0).is_zero());
+        assert_eq!(&b(0) + &b(0), b(0));
+        assert_eq!(&b(7) + &b(-7), b(0));
+        assert_eq!(-b(0), b(0));
+        assert_eq!(b(0).to_i64(), Some(0));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert_eq!(b(1).div_rem(&b(0)), Err(NumError::DivisionByZero));
+    }
+
+    #[test]
+    fn large_multiplication_and_division() {
+        let a = BigInt::from_str("123456789012345678901234567890").unwrap();
+        let c = BigInt::from_str("987654321098765432109876543210").unwrap();
+        let p = &a * &c;
+        assert_eq!(
+            p.to_string(),
+            "121932631137021795226185032733622923332237463801111263526900"
+        );
+        let (q, r) = p.div_rem(&a).unwrap();
+        assert_eq!(q, c);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn knuth_division_addback_path() {
+        // Crafted so the trial quotient needs correction.
+        let a = BigInt::from_str("340282366920938463463374607431768211455").unwrap(); // 2^128-1
+        let d = BigInt::from_str("18446744073709551617").unwrap(); // 2^64+1
+        let (q, r) = a.div_rem(&d).unwrap();
+        assert_eq!((&q * &d) + &r, a);
+        assert!(r.abs() < d.abs());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+        assert_eq!(b(1).gcd(&b(999)), b(1));
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(b(2).pow(10), b(1024));
+        assert_eq!(b(-3).pow(3), b(-27));
+        assert_eq!(b(7).pow(0), b(1));
+        assert_eq!(b(10).pow(30).to_string(), format!("1{}", "0".repeat(30)));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in ["0", "-1", "42", "-123456789012345678901234567890"] {
+            assert_eq!(BigInt::from_str(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BigInt::from_str("").is_err());
+        assert!(BigInt::from_str("-").is_err());
+        assert!(BigInt::from_str("12a3").is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(b(-2) < b(1));
+        assert!(b(3) > b(2));
+        assert!(b(-3) < b(-2));
+        let big = BigInt::from_str("99999999999999999999999").unwrap();
+        assert!(big > b(i64::MAX as i128));
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(b(12345).to_f64(), 12345.0);
+        assert_eq!(b(-7).to_f64(), -7.0);
+        let big = b(2).pow(100);
+        let rel = (big.to_f64() - 2f64.powi(100)).abs() / 2f64.powi(100);
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(b(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(b(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(b(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(b(i64::MIN as i128 - 1).to_i64(), None);
+    }
+
+    #[test]
+    fn bit_len() {
+        assert_eq!(b(0).bit_len(), 0);
+        assert_eq!(b(1).bit_len(), 1);
+        assert_eq!(b(255).bit_len(), 8);
+        assert_eq!(b(256).bit_len(), 9);
+        assert_eq!(b(2).pow(200).bit_len(), 201);
+    }
+}

@@ -1,0 +1,34 @@
+//! Error type shared by the exact-arithmetic primitives.
+
+use std::fmt;
+
+/// Errors produced by exact arithmetic and linear algebra.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NumError {
+    /// Division (or inversion) by zero.
+    DivisionByZero,
+    /// Matrix inversion attempted on a singular matrix.
+    SingularMatrix,
+    /// Operand shapes are incompatible (e.g. matrix product `a×b · c×d`
+    /// with `b != c`). Carries a human-readable description.
+    ShapeMismatch(String),
+    /// String parsing failed; carries the offending input.
+    Parse(String),
+    /// A set of interpolation points contained a duplicate, which makes
+    /// the Toom-Cook system singular.
+    DuplicatePoint(String),
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::DivisionByZero => write!(f, "division by zero"),
+            NumError::SingularMatrix => write!(f, "matrix is singular"),
+            NumError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            NumError::Parse(s) => write!(f, "cannot parse {s:?} as an exact number"),
+            NumError::DuplicatePoint(p) => write!(f, "duplicate interpolation point {p}"),
+        }
+    }
+}
+
+impl std::error::Error for NumError {}

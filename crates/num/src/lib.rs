@@ -1,0 +1,38 @@
+//! # wino-num — exact arithmetic for Winograd transform generation
+//!
+//! From-scratch arbitrary-precision integers ([`BigInt`]), exact
+//! rationals ([`Rational`]), dense matrices over ℚ ([`RatMat`]) and
+//! univariate polynomials ([`Poly`]).
+//!
+//! The paper generates Winograd transformation matrices with the
+//! modified Toom-Cook method **over rational numbers** so that no
+//! floating-point rounding contaminates the construction (§3.1.2).
+//! Rust has no standard arbitrary-precision arithmetic, so this crate
+//! provides the minimum exact-math substrate the rest of the workspace
+//! builds on.
+//!
+//! ```
+//! use wino_num::{Rational, RatMat};
+//!
+//! let g = RatMat::parse_rows(&[
+//!     "1 0 0",
+//!     "1/2 1/2 1/2",
+//!     "1/2 -1/2 1/2",
+//!     "0 0 1",
+//! ]).unwrap();
+//! assert_eq!(g[(1, 2)], Rational::from_frac(1, 2));
+//! ```
+
+#![warn(missing_docs)]
+
+mod bigint;
+mod error;
+mod matrix;
+mod poly;
+mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use error::NumError;
+pub use matrix::RatMat;
+pub use poly::Poly;
+pub use rational::Rational;

@@ -1,0 +1,420 @@
+//! Dense matrices over exact rationals.
+//!
+//! Sizes are tiny (α ≤ 16 for every Winograd configuration in the
+//! paper), so a straightforward row-major dense layout with
+//! Gauss-Jordan elimination is both simple and exact.
+
+use std::fmt;
+use std::ops::{Index, IndexMut, Mul};
+
+use crate::error::NumError;
+use crate::rational::Rational;
+
+/// A dense `rows × cols` matrix of [`Rational`] values.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RatMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl RatMat {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RatMat {
+            rows,
+            cols,
+            data: vec![Rational::zero(); rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = RatMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Rational::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Rational) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        RatMat { rows, cols, data }
+    }
+
+    /// Builds a matrix from integer literals, row by row. Panics if the
+    /// rows are ragged; intended for tests and fixed tables.
+    pub fn from_i64_rows(rows: &[&[i64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        RatMat::from_fn(r, c, |i, j| Rational::from_int(rows[i][j]))
+    }
+
+    /// Parses a matrix from rows of whitespace-separated rationals,
+    /// e.g. `&["1 0 -1", "1/2 1/2 1/2"]`.
+    ///
+    /// # Errors
+    /// Propagates parse failures and rejects ragged rows.
+    pub fn parse_rows(rows: &[&str]) -> Result<Self, NumError> {
+        let mut data = Vec::new();
+        let mut cols = None;
+        for row in rows {
+            let vals: Result<Vec<Rational>, NumError> =
+                row.split_whitespace().map(|t| t.parse()).collect();
+            let vals = vals?;
+            match cols {
+                None => cols = Some(vals.len()),
+                Some(c) if c != vals.len() => {
+                    return Err(NumError::ShapeMismatch(format!(
+                        "row has {} entries, expected {c}",
+                        vals.len()
+                    )))
+                }
+                _ => {}
+            }
+            data.extend(vals);
+        }
+        let cols = cols.unwrap_or(0);
+        Ok(RatMat {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> RatMat {
+        RatMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)].clone())
+    }
+
+    /// Matrix product.
+    ///
+    /// # Errors
+    /// Returns [`NumError::ShapeMismatch`] if the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &RatMat) -> Result<RatMat, NumError> {
+        if self.cols != rhs.rows {
+            return Err(NumError::ShapeMismatch(format!(
+                "{}x{} * {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = RatMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = &self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let term = a * &rhs[(k, j)];
+                    let cur = &out[(i, j)] + &term;
+                    out[(i, j)] = cur;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Errors
+    /// Returns [`NumError::ShapeMismatch`] if `v.len() != cols`.
+    pub fn matvec(&self, v: &[Rational]) -> Result<Vec<Rational>, NumError> {
+        if v.len() != self.cols {
+            return Err(NumError::ShapeMismatch(format!(
+                "{}x{} * vec{}",
+                self.rows,
+                self.cols,
+                v.len()
+            )));
+        }
+        let mut out = vec![Rational::zero(); self.rows];
+        for i in 0..self.rows {
+            let mut acc = Rational::zero();
+            for j in 0..self.cols {
+                if !self[(i, j)].is_zero() {
+                    acc += &(&self[(i, j)] * &v[j]);
+                }
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Exact inverse via Gauss-Jordan elimination with partial
+    /// (first-non-zero) pivoting.
+    ///
+    /// # Errors
+    /// [`NumError::ShapeMismatch`] if not square,
+    /// [`NumError::SingularMatrix`] if no inverse exists.
+    pub fn inverse(&self) -> Result<RatMat, NumError> {
+        if self.rows != self.cols {
+            return Err(NumError::ShapeMismatch(format!(
+                "inverse of {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = RatMat::identity(n);
+        for col in 0..n {
+            let pivot = (col..n)
+                .find(|&r| !a[(r, col)].is_zero())
+                .ok_or(NumError::SingularMatrix)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let p = a[(col, col)].clone();
+            let pinv = p.recip().expect("pivot is non-zero");
+            for j in 0..n {
+                a[(col, j)] = &a[(col, j)] * &pinv;
+                inv[(col, j)] = &inv[(col, j)] * &pinv;
+            }
+            for r in 0..n {
+                if r == col || a[(r, col)].is_zero() {
+                    continue;
+                }
+                let f = a[(r, col)].clone();
+                for j in 0..n {
+                    let t = &a[(col, j)] * &f;
+                    a[(r, j)] = &a[(r, j)] - &t;
+                    let t = &inv[(col, j)] * &f;
+                    inv[(r, j)] = &inv[(r, j)] - &t;
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Exact determinant via fraction-free-ish Gaussian elimination
+    /// (plain rational elimination; sizes are tiny).
+    ///
+    /// # Errors
+    /// [`NumError::ShapeMismatch`] if not square.
+    pub fn determinant(&self) -> Result<Rational, NumError> {
+        if self.rows != self.cols {
+            return Err(NumError::ShapeMismatch(format!(
+                "determinant of {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut det = Rational::one();
+        for col in 0..n {
+            let pivot = match (col..n).find(|&r| !a[(r, col)].is_zero()) {
+                Some(p) => p,
+                None => return Ok(Rational::zero()),
+            };
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                det = -det;
+            }
+            let p = a[(col, col)].clone();
+            det *= &p;
+            let pinv = p.recip().expect("pivot is non-zero");
+            for r in col + 1..n {
+                if a[(r, col)].is_zero() {
+                    continue;
+                }
+                let f = &a[(r, col)] * &pinv;
+                for j in col..n {
+                    let t = &a[(col, j)] * &f;
+                    a[(r, j)] = &a[(r, j)] - &t;
+                }
+            }
+        }
+        Ok(det)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+
+    /// Row-major `f32` rendering of the matrix.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        self.data.iter().map(Rational::to_f32).collect()
+    }
+
+    /// Row-major `f64` rendering of the matrix.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.data.iter().map(Rational::to_f64).collect()
+    }
+
+    /// Iterates over `(row, col, value)` of all non-zero entries.
+    pub fn non_zero_entries(&self) -> impl Iterator<Item = (usize, usize, &Rational)> {
+        self.data.iter().enumerate().filter_map(move |(idx, v)| {
+            if v.is_zero() {
+                None
+            } else {
+                Some((idx / self.cols, idx % self.cols, v))
+            }
+        })
+    }
+}
+
+impl Index<(usize, usize)> for RatMat {
+    type Output = Rational;
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RatMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul for &RatMat {
+    type Output = RatMat;
+    /// Panics on shape mismatch; use [`RatMat::matmul`] for a fallible
+    /// version.
+    fn mul(self, rhs: &RatMat) -> RatMat {
+        self.matmul(rhs).expect("matrix shape mismatch")
+    }
+}
+
+impl fmt::Display for RatMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column-aligned, human-readable layout for docs and debugging.
+        let strings: Vec<String> = self.data.iter().map(|v| v.to_string()).collect();
+        let width = strings.iter().map(String::len).max().unwrap_or(1);
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>width$}", strings[i * self.cols + j])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for RatMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RatMat {}x{}:\n{}", self.rows, self.cols, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = RatMat::from_i64_rows(&[&[1, 2], &[3, 4]]);
+        let i = RatMat::identity(2);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = RatMat::from_i64_rows(&[&[1, 2], &[3, 4]]);
+        let b = RatMat::from_i64_rows(&[&[5, 6], &[7, 8]]);
+        assert_eq!(&a * &b, RatMat::from_i64_rows(&[&[19, 22], &[43, 50]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = RatMat::zeros(2, 3);
+        let b = RatMat::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(NumError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn transpose() {
+        let a = RatMat::from_i64_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 1)], Rational::from_int(6));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = RatMat::from_i64_rows(&[&[2, 1, 0], &[1, 3, 1], &[0, 1, 4]]);
+        let inv = a.inverse().unwrap();
+        assert_eq!(&a * &inv, RatMat::identity(3));
+        assert_eq!(&inv * &a, RatMat::identity(3));
+    }
+
+    #[test]
+    fn inverse_requires_pivoting() {
+        let a = RatMat::from_i64_rows(&[&[0, 1], &[1, 0]]);
+        let inv = a.inverse().unwrap();
+        assert_eq!(&a * &inv, RatMat::identity(2));
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = RatMat::from_i64_rows(&[&[1, 2], &[2, 4]]);
+        assert_eq!(a.inverse(), Err(NumError::SingularMatrix));
+        assert_eq!(a.determinant().unwrap(), Rational::zero());
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = RatMat::from_i64_rows(&[&[1, 2], &[3, 4]]);
+        assert_eq!(a.determinant().unwrap(), Rational::from_int(-2));
+        assert_eq!(RatMat::identity(5).determinant().unwrap(), Rational::one());
+    }
+
+    #[test]
+    fn parse_rows() {
+        let m = RatMat::parse_rows(&["1 0 -1", "1/2 1/2 1/2"]).unwrap();
+        assert_eq!(m[(1, 0)], Rational::from_frac(1, 2));
+        assert_eq!(m[(0, 2)], Rational::from_int(-1));
+        assert!(RatMat::parse_rows(&["1 2", "3"]).is_err());
+    }
+
+    #[test]
+    fn matvec() {
+        let a = RatMat::from_i64_rows(&[&[1, 2], &[3, 4]]);
+        let v = vec![Rational::from_int(5), Rational::from_int(6)];
+        let out = a.matvec(&v).unwrap();
+        assert_eq!(out, vec![Rational::from_int(17), Rational::from_int(39)]);
+        assert!(a.matvec(&v[..1]).is_err());
+    }
+
+    #[test]
+    fn non_zero_entries() {
+        let m = RatMat::from_i64_rows(&[&[0, 1], &[2, 0]]);
+        let nz: Vec<_> = m.non_zero_entries().map(|(i, j, _)| (i, j)).collect();
+        assert_eq!(nz, vec![(0, 1), (1, 0)]);
+    }
+}

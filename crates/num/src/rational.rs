@@ -1,0 +1,415 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! Winograd transformation matrices are generated over ℚ so that no
+//! floating-point rounding enters the *construction* of the algorithm
+//! (§3.1.2 of the paper: "we use rational numbers instead of real
+//! floating-point numbers to avoid rounding errors"). Values are kept
+//! normalized: the denominator is strictly positive and
+//! `gcd(num, den) == 1`; zero is canonically `0/1`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::bigint::BigInt;
+use crate::error::NumError;
+
+/// An exact rational number `num / den` with `den > 0` and the fraction
+/// fully reduced.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// The rational 0.
+    pub fn zero() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Builds `num / den`, reducing to canonical form.
+    ///
+    /// # Errors
+    /// Returns [`NumError::DivisionByZero`] if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Result<Self, NumError> {
+        if den.is_zero() {
+            return Err(NumError::DivisionByZero);
+        }
+        let mut r = Rational { num, den };
+        r.reduce();
+        Ok(r)
+    }
+
+    /// Builds `a / b` from machine integers. Panics if `b == 0`; use
+    /// [`Rational::new`] for a fallible constructor.
+    pub fn from_frac(a: i64, b: i64) -> Self {
+        Rational::new(BigInt::from(a), BigInt::from(b)).expect("non-zero denominator")
+    }
+
+    /// Builds the integer `a`.
+    pub fn from_int(a: i64) -> Self {
+        Rational {
+            num: BigInt::from(a),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The (reduced) numerator.
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The (reduced, strictly positive) denominator.
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` if the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Returns `true` if the value is -1.
+    pub fn is_neg_one(&self) -> bool {
+        self.den.is_one() && (-&self.num).is_one()
+    }
+
+    /// Returns `true` if the value is a (positive or negative) integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    fn reduce(&mut self) {
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+            return;
+        }
+        if self.den.is_negative() {
+            self.num = -self.num.clone();
+            self.den = -self.den.clone();
+        }
+        let g = self.num.gcd(&self.den);
+        if !g.is_one() {
+            self.num = &self.num / &g;
+            self.den = &self.den / &g;
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    /// Returns [`NumError::DivisionByZero`] for zero.
+    pub fn recip(&self) -> Result<Rational, NumError> {
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Integer power; negative exponents invert the base.
+    ///
+    /// # Errors
+    /// Returns [`NumError::DivisionByZero`] when raising zero to a
+    /// negative power.
+    pub fn pow(&self, exp: i32) -> Result<Rational, NumError> {
+        if exp >= 0 {
+            Ok(Rational {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            })
+        } else {
+            self.recip()?.pow(-exp)
+        }
+    }
+
+    /// Nearest `f64` value.
+    pub fn to_f64(&self) -> f64 {
+        // Scale both magnitudes into f64 range before dividing so that
+        // huge intermediates do not saturate to infinity.
+        let nb = self.num.bit_len() as i64;
+        let db = self.den.bit_len() as i64;
+        if nb < 900 && db < 900 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        let num = self.num.to_f64();
+        let den = self.den.to_f64();
+        if num.is_finite() && den.is_finite() && den != 0.0 {
+            num / den
+        } else {
+            // Fall back to an exponent-adjusted estimate.
+            let exp = (nb - db) as f64 * std::f64::consts::LN_2;
+            exp.exp() * if self.num.is_negative() { -1.0 } else { 1.0 }
+        }
+    }
+
+    /// Nearest `f32` value.
+    pub fn to_f32(&self) -> f32 {
+        self.to_f64() as f32
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl Hash for Rational {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Canonical form makes (num, den) a sound hash key.
+        self.num.to_string().hash(state);
+        self.den.to_string().hash(state);
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl FromStr for Rational {
+    type Err = NumError;
+
+    /// Parses `"a"` or `"a/b"` with optional sign.
+    fn from_str(s: &str) -> Result<Self, NumError> {
+        match s.split_once('/') {
+            Some((n, d)) => Rational::new(n.trim().parse()?, d.trim().parse()?),
+            None => Ok(Rational {
+                num: s.trim().parse()?,
+                den: BigInt::one(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        let num = &(&self.num * &rhs.den) + &(&rhs.num * &self.den);
+        let den = &self.den * &rhs.den;
+        Rational::new(num, den).expect("product of non-zero denominators")
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+            .expect("product of non-zero denominators")
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    /// Panics on division by zero; use [`Rational::recip`] plus
+    /// multiplication for a fallible path.
+    fn div(self, rhs: &Rational) -> Rational {
+        self * &rhs.recip().expect("Rational division by zero")
+    }
+}
+
+macro_rules! forward_binop_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+    };
+}
+
+forward_binop_owned!(Add, add);
+forward_binop_owned!(Sub, sub);
+forward_binop_owned!(Mul, mul);
+forward_binop_owned!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: i64, b: i64) -> Rational {
+        Rational::from_frac(a, b)
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rational::zero());
+        assert_eq!(r(0, -5).to_string(), "0");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+        assert_eq!(&r(1, 2) - &r(1, 3), r(1, 6));
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(2, 3) / &r(4, 3), r(1, 2));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(r(2, 3).pow(2).unwrap(), r(4, 9));
+        assert_eq!(r(2, 3).pow(-2).unwrap(), r(9, 4));
+        assert_eq!(r(2, 3).pow(0).unwrap(), Rational::one());
+        assert_eq!(Rational::zero().pow(3).unwrap(), Rational::zero());
+        assert!(Rational::zero().pow(-1).is_err());
+        assert!(Rational::zero().recip().is_err());
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert!(Rational::new(BigInt::one(), BigInt::zero()).is_err());
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("1/2".parse::<Rational>().unwrap(), r(1, 2));
+        assert_eq!("-9/7".parse::<Rational>().unwrap(), r(-9, 7));
+        assert_eq!("4".parse::<Rational>().unwrap(), r(4, 1));
+        assert_eq!(" 3 / 6 ".parse::<Rational>().unwrap(), r(1, 2));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("x/2".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 1) > r(13, 2));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(-7, 4).to_f32(), -1.75);
+        assert_eq!(r(1, 3).to_f64(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(r(1, 1).is_one());
+        assert!(r(-1, 1).is_neg_one());
+        assert!(r(5, 1).is_integer());
+        assert!(!r(5, 2).is_integer());
+        assert!(r(-5, 2).is_negative());
+    }
+}

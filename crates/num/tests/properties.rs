@@ -1,0 +1,229 @@
+//! Property-based tests for the exact-arithmetic substrate.
+//!
+//! These check the algebraic laws the rest of the workspace silently
+//! relies on: ring axioms, Euclidean division invariants, gcd
+//! correctness, matrix inverse round-trips, and polynomial identities.
+
+use proptest::prelude::*;
+use std::str::FromStr;
+use wino_num::{BigInt, Poly, RatMat, Rational};
+
+/// Arbitrary BigInt spanning several limb counts (up to ~128 bits).
+fn arb_bigint() -> impl Strategy<Value = BigInt> {
+    any::<i128>().prop_map(BigInt::from)
+}
+
+/// BigInt with magnitude that definitely exceeds one u32 limb.
+fn arb_wide_bigint() -> impl Strategy<Value = BigInt> {
+    (any::<i128>(), any::<u64>()).prop_map(|(a, b)| {
+        let hi = BigInt::from(a);
+        let lo = BigInt::from(b);
+        &(&hi * &BigInt::from_str("18446744073709551616").unwrap()) + &lo
+    })
+}
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (any::<i64>(), 1i64..=1_000_000).prop_map(|(n, d)| Rational::from_frac(n, d))
+}
+
+/// Small rationals that keep matrix entries numerically tame.
+fn arb_small_rational() -> impl Strategy<Value = Rational> {
+    (-30i64..=30, 1i64..=9).prop_map(|(n, d)| Rational::from_frac(n, d))
+}
+
+proptest! {
+    #[test]
+    fn bigint_add_commutes(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn bigint_add_associates(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn bigint_mul_commutes(a in arb_wide_bigint(), b in arb_wide_bigint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn bigint_distributes(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn bigint_sub_is_add_neg(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&a - &b, &a + &(-&b));
+    }
+
+    #[test]
+    fn bigint_divrem_invariant(a in arb_wide_bigint(), b in arb_wide_bigint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Remainder carries the dividend's sign (or is zero).
+        if !r.is_zero() {
+            prop_assert_eq!(r.is_negative(), a.is_negative());
+        }
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in arb_bigint(), b in arb_bigint()) {
+        let g = a.gcd(&b);
+        if g.is_zero() {
+            prop_assert!(a.is_zero() && b.is_zero());
+        } else {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        }
+    }
+
+    #[test]
+    fn bigint_display_parse_round_trip(a in arb_wide_bigint()) {
+        let s = a.to_string();
+        prop_assert_eq!(BigInt::from_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn bigint_to_f64_tracks_i64(v in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(v).to_f64(), v as f64);
+    }
+
+    #[test]
+    fn bigint_to_i64_round_trip(v in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(v).to_i64(), Some(v));
+    }
+
+    #[test]
+    fn rational_field_laws(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn rational_recip_is_involution(a in arb_rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.recip().unwrap().recip().unwrap(), a.clone());
+        prop_assert_eq!(&a * &a.recip().unwrap(), Rational::one());
+    }
+
+    #[test]
+    fn rational_sub_add_cancel(a in arb_rational(), b in arb_rational()) {
+        prop_assert_eq!(&(&a - &b) + &b, a.clone());
+    }
+
+    #[test]
+    fn rational_ordering_consistent_with_f64(a in arb_rational(), b in arb_rational()) {
+        // f64 comparison can tie due to rounding, but must never
+        // disagree strictly.
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        if a < b {
+            prop_assert!(fa <= fb);
+        } else if a > b {
+            prop_assert!(fa >= fb);
+        }
+    }
+
+    #[test]
+    fn rational_pow_matches_repeated_mul(a in arb_small_rational(), e in 0i32..6) {
+        let mut expect = Rational::one();
+        for _ in 0..e {
+            expect = &expect * &a;
+        }
+        prop_assert_eq!(a.pow(e).unwrap(), expect);
+    }
+
+    #[test]
+    fn rational_parse_display_round_trip(a in arb_rational()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
+    }
+
+    #[test]
+    fn matrix_inverse_round_trip(vals in proptest::collection::vec(arb_small_rational(), 16)) {
+        let m = RatMat::from_fn(4, 4, |i, j| vals[i * 4 + j].clone());
+        if let Ok(inv) = m.inverse() {
+            prop_assert_eq!(m.matmul(&inv).unwrap(), RatMat::identity(4));
+            prop_assert_eq!(inv.matmul(&m).unwrap(), RatMat::identity(4));
+        } else {
+            prop_assert_eq!(m.determinant().unwrap(), Rational::zero());
+        }
+    }
+
+    #[test]
+    fn matrix_transpose_of_product(
+        a in proptest::collection::vec(arb_small_rational(), 6),
+        b in proptest::collection::vec(arb_small_rational(), 6),
+    ) {
+        let ma = RatMat::from_fn(2, 3, |i, j| a[i * 3 + j].clone());
+        let mb = RatMat::from_fn(3, 2, |i, j| b[i * 2 + j].clone());
+        // (AB)^T = B^T A^T
+        let lhs = ma.matmul(&mb).unwrap().transpose();
+        let rhs = mb.transpose().matmul(&ma.transpose()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn determinant_multiplicative(
+        a in proptest::collection::vec(arb_small_rational(), 9),
+        b in proptest::collection::vec(arb_small_rational(), 9),
+    ) {
+        let ma = RatMat::from_fn(3, 3, |i, j| a[i * 3 + j].clone());
+        let mb = RatMat::from_fn(3, 3, |i, j| b[i * 3 + j].clone());
+        let dab = ma.matmul(&mb).unwrap().determinant().unwrap();
+        let da = ma.determinant().unwrap();
+        let db = mb.determinant().unwrap();
+        prop_assert_eq!(dab, &da * &db);
+    }
+
+    #[test]
+    fn poly_roots_are_roots(roots in proptest::collection::vec(arb_small_rational(), 1..6)) {
+        let m = Poly::from_roots(&roots);
+        prop_assert_eq!(m.degree(), Some(roots.len()));
+        for root in &roots {
+            prop_assert!(m.eval(root).is_zero());
+        }
+    }
+
+    #[test]
+    fn poly_div_by_root_inverts_mul(roots in proptest::collection::vec(arb_small_rational(), 2..6)) {
+        let m = Poly::from_roots(&roots);
+        let q = m.div_by_root(&roots[0]).unwrap();
+        prop_assert_eq!(q.mul(&Poly::linear_root(&roots[0])), m);
+    }
+
+    #[test]
+    fn interpolation_inverts_evaluation(
+        coeffs in proptest::collection::vec(arb_small_rational(), 1..5),
+    ) {
+        // Evaluate a random polynomial at distinct points, interpolate,
+        // and recover it exactly.
+        let p = Poly::from_coeffs(coeffs);
+        let xs: Vec<Rational> = (0..5).map(|k| Rational::from_int(k as i64 - 2)).collect();
+        let pts: Vec<(Rational, Rational)> =
+            xs.iter().map(|x| (x.clone(), p.eval(x))).collect();
+        let q = Poly::interpolate(&pts).unwrap();
+        for x in &xs {
+            prop_assert_eq!(q.eval(x), p.eval(x));
+        }
+        // Degree < #points implies exact recovery when p is small.
+        if p.degree().unwrap_or(0) < pts.len() {
+            prop_assert_eq!(q, p);
+        }
+    }
+
+    #[test]
+    fn poly_eval_is_ring_hom(
+        a in proptest::collection::vec(arb_small_rational(), 1..5),
+        b in proptest::collection::vec(arb_small_rational(), 1..5),
+        x in arb_small_rational(),
+    ) {
+        let pa = Poly::from_coeffs(a);
+        let pb = Poly::from_coeffs(b);
+        prop_assert_eq!(pa.add(&pb).eval(&x), &pa.eval(&x) + &pb.eval(&x));
+        prop_assert_eq!(pa.mul(&pb).eval(&x), &pa.eval(&x) * &pb.eval(&x));
+    }
+}

@@ -1,0 +1,260 @@
+//! Common-subexpression elimination across transformation rows.
+//!
+//! Step 4 of the paper's recipe pipeline (§3.1.2): "We use the CSE
+//! algorithm to find the common terms among the vector rows. Thus, we
+//! can compute them once and reuse them multiple times."
+//!
+//! The implementation is a greedy *two-term* CSE, the standard approach
+//! for constant-matrix multiplication networks: repeatedly find the
+//! weighted pair of nodes `a + ρ·b` that occurs (up to a global scale
+//! factor) in the largest number of expressions, hoist it into a
+//! temporary, and substitute. Scale invariance is what lets
+//! `½·g0 + ½·g2` in one row and `-¼·g0 - ¼·g2` in another share the
+//! single temporary `t = g0 + g2`.
+
+use std::collections::HashMap;
+
+use wino_num::Rational;
+
+use crate::expr::{LinExpr, Node};
+
+/// Result of the CSE pass.
+#[derive(Clone, Debug)]
+pub struct CseProgram {
+    /// Temporary definitions, in dependency order: `Tmp(k)` is defined
+    /// by `defs[k]` and may reference inputs and earlier temporaries.
+    pub defs: Vec<LinExpr>,
+    /// The rewritten output rows, referencing inputs and temporaries.
+    pub rows: Vec<LinExpr>,
+}
+
+impl CseProgram {
+    /// Wraps rows without performing any elimination (used when the
+    /// optimization is disabled for baseline comparisons).
+    pub fn identity(rows: Vec<LinExpr>) -> Self {
+        CseProgram {
+            defs: Vec::new(),
+            rows,
+        }
+    }
+
+    /// Exact evaluation of all output rows for a given input vector —
+    /// the semantic reference used by property tests.
+    pub fn eval_exact(&self, input: &[Rational]) -> Vec<Rational> {
+        let mut tmps: Vec<Rational> = Vec::with_capacity(self.defs.len());
+        for def in &self.defs {
+            let v = def.eval_exact(input, &tmps);
+            tmps.push(v);
+        }
+        self.rows
+            .iter()
+            .map(|row| row.eval_exact(input, &tmps))
+            .collect()
+    }
+}
+
+/// A candidate pattern: the unordered pair `(a, b)` with the
+/// scale-invariant coefficient ratio `ρ = c_b / c_a` (after fixing
+/// `a < b` in node order).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Pattern {
+    a: Node,
+    b: Node,
+    ratio: Rational,
+}
+
+/// Runs greedy two-term CSE over the rows until no pair of terms occurs
+/// in more than one expression.
+///
+/// `min_count` is the minimum number of occurrences that justifies a
+/// temporary (2 in the paper's setting: compute once, reuse at least
+/// once).
+pub fn eliminate_common_subexpressions(rows: Vec<LinExpr>) -> CseProgram {
+    let mut defs: Vec<LinExpr> = Vec::new();
+    let mut exprs = rows;
+    loop {
+        match best_pattern(&exprs) {
+            Some((pat, count)) if count >= 2 => {
+                // Define tmp = a + ρ·b.
+                let mut def = LinExpr::term(pat.a, Rational::one());
+                def.add_term(pat.b, pat.ratio.clone());
+                let tmp = Node::Tmp(defs.len());
+                defs.push(def);
+                // Substitute into every row that contains the pattern:
+                // occurrences use scale λ = coeff(a). Definitions never
+                // need rewriting — each is exactly one binary pattern,
+                // and all of its occurrences were substituted away the
+                // moment it was created.
+                for e in exprs.iter_mut() {
+                    substitute(e, &pat, tmp);
+                }
+            }
+            _ => break,
+        }
+    }
+    CseProgram { defs, rows: exprs }
+}
+
+/// Finds the pattern with the highest occurrence count across the
+/// rows, breaking ties deterministically by pattern order.
+fn best_pattern(exprs: &[LinExpr]) -> Option<(Pattern, usize)> {
+    let mut counts: HashMap<Pattern, usize> = HashMap::new();
+    for e in exprs.iter() {
+        let terms: Vec<(&Node, &Rational)> = e.iter().collect();
+        for i in 0..terms.len() {
+            for j in i + 1..terms.len() {
+                let (na, ca) = terms[i];
+                let (nb, cb) = terms[j];
+                let pat = Pattern {
+                    a: *na,
+                    b: *nb,
+                    ratio: cb / ca,
+                };
+                *counts.entry(pat).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|(p1, c1), (p2, c2)| c1.cmp(c2).then_with(|| pattern_order(p2, p1)))
+        .map(|(p, c)| (p, c))
+}
+
+/// Deterministic total order on patterns for tie-breaking.
+fn pattern_order(x: &Pattern, y: &Pattern) -> std::cmp::Ordering {
+    (x.a, x.b, &x.ratio).cmp(&(y.a, y.b, &y.ratio))
+}
+
+/// If `e` contains `λ·(a + ρ·b)` for some λ, replaces those two terms
+/// by `λ·tmp`.
+fn substitute(e: &mut LinExpr, pat: &Pattern, tmp: Node) {
+    let ca = e.coeff(&pat.a);
+    if ca.is_zero() {
+        return;
+    }
+    let cb = e.coeff(&pat.b);
+    if cb.is_zero() {
+        return;
+    }
+    if &cb / &ca != pat.ratio {
+        return;
+    }
+    e.remove_term(&pat.a);
+    e.remove_term(&pat.b);
+    e.add_term(tmp, ca);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_num::RatMat;
+
+    use crate::expr::symbolic_matvec;
+
+    fn r(a: i64, b: i64) -> Rational {
+        Rational::from_frac(a, b)
+    }
+
+    /// The paper's running example (Figure 3): the F(2,3) filter
+    /// transform G with a sign-flipped first row. CSE must hoist
+    /// t = g0 + g2 shared by rows 1 and 2.
+    #[test]
+    fn figure3_filter_transform() {
+        let g = RatMat::parse_rows(&["-1 0 0", "1/2 1/2 1/2", "1/2 -1/2 1/2", "0 0 1"]).unwrap();
+        let rows = symbolic_matvec(&g);
+        let prog = eliminate_common_subexpressions(rows);
+        assert_eq!(prog.defs.len(), 1);
+        let def = &prog.defs[0];
+        assert_eq!(def.coeff(&Node::In(0)), r(1, 1));
+        assert_eq!(def.coeff(&Node::In(2)), r(1, 1));
+        // Rows 1 and 2 now reference the temporary.
+        assert!(prog.rows[1].contains(&Node::Tmp(0)));
+        assert!(prog.rows[2].contains(&Node::Tmp(0)));
+        assert_eq!(prog.rows[1].len(), 2);
+        assert_eq!(prog.rows[2].len(), 2);
+        // Rows 0 and 3 are untouched single terms.
+        assert_eq!(prog.rows[0].len(), 1);
+        assert_eq!(prog.rows[3].len(), 1);
+    }
+
+    #[test]
+    fn semantics_preserved_exactly() {
+        let g = RatMat::parse_rows(&["1 0 0", "1/2 1/2 1/2", "1/2 -1/2 1/2", "0 0 1"]).unwrap();
+        let rows = symbolic_matvec(&g);
+        let prog = eliminate_common_subexpressions(rows);
+        let input = vec![r(3, 1), r(-5, 7), r(11, 4)];
+        let got = prog.eval_exact(&input);
+        let expect = g.matvec(&input).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scale_invariant_matching() {
+        // r0 = 1/2 a + 1/2 b ; r1 = -1/4 a - 1/4 b — same pattern up to
+        // scale, must share one temporary t = a + b.
+        let mut r0 = LinExpr::term(Node::In(0), r(1, 2));
+        r0.add_term(Node::In(1), r(1, 2));
+        let mut r1 = LinExpr::term(Node::In(0), r(-1, 4));
+        r1.add_term(Node::In(1), r(-1, 4));
+        let prog = eliminate_common_subexpressions(vec![r0, r1]);
+        assert_eq!(prog.defs.len(), 1);
+        assert_eq!(prog.rows[0].coeff(&Node::Tmp(0)), r(1, 2));
+        assert_eq!(prog.rows[1].coeff(&Node::Tmp(0)), r(-1, 4));
+    }
+
+    #[test]
+    fn no_false_sharing() {
+        // a + b vs a - b: ratios differ; no temporary is worth it.
+        let mut r0 = LinExpr::term(Node::In(0), r(1, 1));
+        r0.add_term(Node::In(1), r(1, 1));
+        let mut r1 = LinExpr::term(Node::In(0), r(1, 1));
+        r1.add_term(Node::In(1), r(-1, 1));
+        let prog = eliminate_common_subexpressions(vec![r0.clone(), r1.clone()]);
+        assert!(prog.defs.is_empty());
+        assert_eq!(prog.rows, vec![r0, r1]);
+    }
+
+    #[test]
+    fn cascaded_temporaries() {
+        // Four rows sharing (a+b) and ((a+b)+c) chains exercise
+        // tmp-of-tmp patterns.
+        let mk = |coeffs: &[(usize, (i64, i64))]| {
+            let mut e = LinExpr::zero();
+            for (i, (n, d)) in coeffs {
+                e.add_term(Node::In(*i), r(*n, *d));
+            }
+            e
+        };
+        let rows = vec![
+            mk(&[(0, (1, 1)), (1, (1, 1)), (2, (1, 1))]),
+            mk(&[(0, (1, 2)), (1, (1, 2)), (2, (1, 2))]),
+            mk(&[(0, (1, 1)), (1, (1, 1))]),
+            mk(&[(0, (-1, 1)), (1, (-1, 1))]),
+        ];
+        let expect: Vec<Vec<Rational>> = {
+            let input = vec![r(2, 3), r(-7, 5), r(9, 2)];
+            vec![rows.iter().map(|e| e.eval_exact(&input, &[])).collect()]
+        };
+        let prog = eliminate_common_subexpressions(rows);
+        assert!(!prog.defs.is_empty());
+        let input = vec![r(2, 3), r(-7, 5), r(9, 2)];
+        assert_eq!(prog.eval_exact(&input), expect[0]);
+        // t0 = a + b must serve all four rows, directly or through a
+        // cascaded temporary (t1 = t0 + c).
+        let uses = prog
+            .rows
+            .iter()
+            .chain(prog.defs.iter().skip(1))
+            .filter(|e| e.contains(&Node::Tmp(0)))
+            .count();
+        assert!(uses >= 3, "expected wide reuse, got {uses} uses");
+    }
+
+    #[test]
+    fn empty_and_single_rows_pass_through() {
+        let rows = vec![LinExpr::zero(), LinExpr::term(Node::In(0), r(2, 1))];
+        let prog = eliminate_common_subexpressions(rows.clone());
+        assert!(prog.defs.is_empty());
+        assert_eq!(prog.rows, rows);
+    }
+}

@@ -1,0 +1,248 @@
+//! Sparse linear expressions over indexed symbols.
+//!
+//! Every value computed inside a Winograd transformation is a *linear*
+//! combination of input-tile (or filter-tile) elements with exact
+//! rational coefficients. Representing expressions as sparse
+//! `symbol → coefficient` maps makes the paper's step 1 ("elimination
+//! of unnecessary arithmetic operations", §3.1.2) automatic: terms
+//! multiplied by zero never exist, and multiplications by ±1 are
+//! visible as unit coefficients that the lowering stage emits without a
+//! multiply.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use wino_num::{RatMat, Rational};
+
+/// A value referenced by a linear expression: either an input symbol
+/// (element `i` of the vector being transformed) or a temporary
+/// introduced by common-subexpression elimination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Node {
+    /// The `i`-th input element (the paper's `g[i][j]` with the free
+    /// loop index `j` elided — recipes are one-dimensional and applied
+    /// column- or row-wise).
+    In(usize),
+    /// The `t`-th CSE temporary.
+    Tmp(usize),
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::In(i) => write!(f, "x{i}"),
+            Node::Tmp(t) => write!(f, "t{t}"),
+        }
+    }
+}
+
+/// A sparse linear combination `Σ cᵢ · nodeᵢ` with non-zero rational
+/// coefficients. The map is kept canonical: inserting a term that
+/// cancels to zero removes the entry.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<Node, Rational>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// The single term `c · node`.
+    pub fn term(node: Node, c: Rational) -> Self {
+        let mut e = LinExpr::zero();
+        e.add_term(node, c);
+        e
+    }
+
+    /// Returns `true` if the expression has no terms.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if there are no terms (alias of [`is_zero`]).
+    ///
+    /// [`is_zero`]: LinExpr::is_zero
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `c · node`, cancelling to zero when appropriate.
+    pub fn add_term(&mut self, node: Node, c: Rational) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(node).or_default();
+        *entry = &*entry + &c;
+        if entry.is_zero() {
+            self.terms.remove(&node);
+        }
+    }
+
+    /// Removes and returns the coefficient of `node`, if present.
+    pub fn remove_term(&mut self, node: &Node) -> Option<Rational> {
+        self.terms.remove(node)
+    }
+
+    /// The coefficient of `node` (zero if absent).
+    pub fn coeff(&self, node: &Node) -> Rational {
+        self.terms.get(node).cloned().unwrap_or_default()
+    }
+
+    /// Adds another expression scaled by `c`.
+    pub fn add_scaled(&mut self, other: &LinExpr, c: &Rational) {
+        for (node, k) in &other.terms {
+            self.add_term(*node, k * c);
+        }
+    }
+
+    /// Iterates over `(node, coefficient)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Node, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// Returns `true` if the expression references `node`.
+    pub fn contains(&self, node: &Node) -> bool {
+        self.terms.contains_key(node)
+    }
+
+    /// Exact evaluation given values for every referenced node.
+    ///
+    /// `input` supplies `Node::In(i)` values; `tmps` supplies
+    /// `Node::Tmp(t)` values. Panics on out-of-range references — the
+    /// recipe pipeline guarantees they cannot occur.
+    pub fn eval_exact(&self, input: &[Rational], tmps: &[Rational]) -> Rational {
+        let mut acc = Rational::zero();
+        for (node, c) in &self.terms {
+            let v = match node {
+                Node::In(i) => &input[*i],
+                Node::Tmp(t) => &tmps[*t],
+            };
+            acc += &(c * v);
+        }
+        acc
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (node, c) in &self.terms {
+            if first {
+                if c.is_one() {
+                    write!(f, "{node}")?;
+                } else if c.is_neg_one() {
+                    write!(f, "-{node}")?;
+                } else {
+                    write!(f, "{c}*{node}")?;
+                }
+                first = false;
+            } else if c.is_one() {
+                write!(f, " + {node}")?;
+            } else if c.is_neg_one() {
+                write!(f, " - {node}")?;
+            } else if c.is_negative() {
+                write!(f, " - {}*{node}", -c)?;
+            } else {
+                write!(f, " + {c}*{node}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the symbolic matrix-vector product `T · x`, where `x` is the
+/// symbol vector `(In(0), …, In(cols-1))`.
+///
+/// Rows of the result are the expressions the recipe pipeline
+/// optimizes. Zero matrix entries vanish here, which *is* the paper's
+/// "elimination of unnecessary arithmetic operations" step.
+pub fn symbolic_matvec(t: &RatMat) -> Vec<LinExpr> {
+    let mut rows = Vec::with_capacity(t.rows());
+    for i in 0..t.rows() {
+        let mut e = LinExpr::zero();
+        for j in 0..t.cols() {
+            e.add_term(Node::In(j), t[(i, j)].clone());
+        }
+        rows.push(e);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: i64, b: i64) -> Rational {
+        Rational::from_frac(a, b)
+    }
+
+    #[test]
+    fn zero_coefficients_never_stored() {
+        let mut e = LinExpr::zero();
+        e.add_term(Node::In(0), r(0, 1));
+        assert!(e.is_zero());
+        e.add_term(Node::In(1), r(1, 2));
+        e.add_term(Node::In(1), r(-1, 2));
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn terms_merge() {
+        let mut e = LinExpr::zero();
+        e.add_term(Node::In(0), r(1, 3));
+        e.add_term(Node::In(0), r(1, 6));
+        assert_eq!(e.coeff(&Node::In(0)), r(1, 2));
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn add_scaled_distributes() {
+        let mut a = LinExpr::term(Node::In(0), r(1, 1));
+        let b = {
+            let mut b = LinExpr::term(Node::In(0), r(1, 1));
+            b.add_term(Node::In(1), r(2, 1));
+            b
+        };
+        a.add_scaled(&b, &r(1, 2));
+        assert_eq!(a.coeff(&Node::In(0)), r(3, 2));
+        assert_eq!(a.coeff(&Node::In(1)), r(1, 1));
+    }
+
+    #[test]
+    fn symbolic_matvec_drops_zeros() {
+        let m = RatMat::parse_rows(&["1 0 -1 0", "0 1 1 0"]).unwrap();
+        let rows = symbolic_matvec(&m);
+        assert_eq!(rows[0].len(), 2);
+        assert_eq!(rows[0].coeff(&Node::In(2)), r(-1, 1));
+        assert!(!rows[0].contains(&Node::In(1)));
+        assert_eq!(rows[1].len(), 2);
+    }
+
+    #[test]
+    fn eval_exact() {
+        let mut e = LinExpr::term(Node::In(0), r(1, 2));
+        e.add_term(Node::Tmp(0), r(-2, 1));
+        let v = e.eval_exact(&[r(4, 1)], &[r(3, 1)]);
+        assert_eq!(v, r(-4, 1));
+    }
+
+    #[test]
+    fn display_formatting() {
+        let mut e = LinExpr::term(Node::In(0), r(1, 1));
+        e.add_term(Node::In(1), r(-1, 1));
+        e.add_term(Node::In(2), r(1, 2));
+        assert_eq!(e.to_string(), "x0 - x1 + 1/2*x2");
+        assert_eq!(LinExpr::zero().to_string(), "0");
+    }
+}

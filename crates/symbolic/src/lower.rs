@@ -1,0 +1,549 @@
+//! Factorization and lowering of expressions to recipe instructions.
+//!
+//! Implements steps 3 and 5 of the paper's pipeline (§3.1.2):
+//! *factorization* groups terms that share a rational coefficient
+//! magnitude so the scale is applied once (`½·a + ½·b → ½·(a+b)`), and
+//! *code generation* folds the resulting sums into a minimal
+//! straight-line instruction sequence, optionally fusing
+//! multiply-plus-add pairs into FMA instructions (§3.2.1).
+
+use std::collections::BTreeMap;
+
+use wino_num::{RatMat, Rational};
+
+use crate::cse::{eliminate_common_subexpressions, CseProgram};
+use crate::expr::{symbolic_matvec, LinExpr, Node};
+use crate::recipe::{Instr, Recipe, Reg};
+
+/// Switches for the optimization pipeline. Disabling individual stages
+/// yields the ablation variants compared in the paper's Figures 5–6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecipeOptions {
+    /// Run cross-row common-subexpression elimination (step 4).
+    pub cse: bool,
+    /// Group same-magnitude coefficients per row (step 3).
+    pub factorize: bool,
+    /// Emit fused multiply-add instructions where profitable (§3.2.1 —
+    /// disabled for targets without FMA support).
+    pub fma: bool,
+}
+
+impl Default for RecipeOptions {
+    fn default() -> Self {
+        RecipeOptions {
+            cse: true,
+            factorize: true,
+            fma: true,
+        }
+    }
+}
+
+impl RecipeOptions {
+    /// All optimizations enabled (the paper's "optimized" variant).
+    pub fn optimized() -> Self {
+        Self::default()
+    }
+
+    /// Everything off: straight lowering of the sparse rows. Trivial
+    /// ×0/×1 elimination still applies because it is inherent to the
+    /// sparse representation.
+    pub fn minimal() -> Self {
+        RecipeOptions {
+            cse: false,
+            factorize: false,
+            fma: false,
+        }
+    }
+}
+
+/// Generates an optimized recipe computing `t · x`.
+///
+/// This is the top-level entry of the symbolic pipeline: symbolic
+/// matrix-vector product → (optional) CSE → (optional) factorization →
+/// instruction lowering. The result always satisfies
+/// `recipe.eval_exact(x) == t.matvec(x)` — property-tested in this
+/// crate and again, per transform, in `wino-transform`.
+pub fn generate_recipe(t: &RatMat, opts: &RecipeOptions) -> Recipe {
+    let rows = symbolic_matvec(t);
+    let prog = if opts.cse {
+        eliminate_common_subexpressions(rows)
+    } else {
+        CseProgram::identity(rows)
+    };
+    lower_program(&prog, t.cols(), opts)
+}
+
+/// Generates the *naive* executable recipe: a dense dot product per
+/// output row that multiplies every matrix entry — zeros and ones
+/// included — exactly like the baseline matrix-multiplication kernels
+/// the paper compares against in Figures 5 and 6.
+pub fn generate_naive_recipe(t: &RatMat) -> Recipe {
+    let mut lw = Lowerer::new(0);
+    for i in 0..t.rows() {
+        let mut acc: Option<Reg> = None;
+        for j in 0..t.cols() {
+            let prod = lw.fresh();
+            lw.instrs.push(Instr::Mul {
+                dst: prod,
+                c: t[(i, j)].clone(),
+                a: Reg::In(j),
+            });
+            acc = Some(match acc {
+                None => prod,
+                Some(prev) => {
+                    let is_last = j == t.cols() - 1;
+                    let dst = if is_last { Reg::Out(i) } else { lw.fresh() };
+                    lw.instrs.push(Instr::Add {
+                        dst,
+                        a: prev,
+                        b: prod,
+                    });
+                    dst
+                }
+            });
+        }
+        match acc {
+            Some(Reg::Out(_)) => {}
+            Some(reg) => lw.instrs.push(Instr::Copy {
+                dst: Reg::Out(i),
+                src: reg,
+            }),
+            None => lw.instrs.push(Instr::Zero { dst: Reg::Out(i) }),
+        }
+    }
+    let recipe = Recipe {
+        n_in: t.cols(),
+        n_out: t.rows(),
+        n_tmp: lw.next_tmp,
+        instrs: lw.instrs,
+    };
+    debug_assert_eq!(recipe.validate(), Ok(()));
+    recipe
+}
+
+/// Lowers a CSE program into a recipe. `n_in` is the input arity (the
+/// transform matrix column count).
+pub fn lower_program(prog: &CseProgram, n_in: usize, opts: &RecipeOptions) -> Recipe {
+    let mut lw = Lowerer::new(prog.defs.len());
+    // Temporary definitions first, in dependency order.
+    for (k, def) in prog.defs.iter().enumerate() {
+        lw.lower_expr(def, Reg::Tmp(k), opts);
+    }
+    for (i, row) in prog.rows.iter().enumerate() {
+        lw.lower_expr(row, Reg::Out(i), opts);
+    }
+    let recipe = Recipe {
+        n_in,
+        n_out: prog.rows.len(),
+        n_tmp: lw.next_tmp,
+        instrs: lw.instrs,
+    };
+    debug_assert_eq!(recipe.validate(), Ok(()));
+    recipe
+}
+
+/// One additive contribution to a row: `coeff * reg`.
+struct Item {
+    coeff: Rational,
+    reg: Reg,
+}
+
+struct Lowerer {
+    instrs: Vec<Instr>,
+    next_tmp: usize,
+}
+
+impl Lowerer {
+    fn new(cse_tmps: usize) -> Self {
+        Lowerer {
+            instrs: Vec::new(),
+            next_tmp: cse_tmps,
+        }
+    }
+
+    fn fresh(&mut self) -> Reg {
+        let r = Reg::Tmp(self.next_tmp);
+        self.next_tmp += 1;
+        r
+    }
+
+    fn node_reg(node: &Node) -> Reg {
+        match node {
+            Node::In(i) => Reg::In(*i),
+            Node::Tmp(t) => Reg::Tmp(*t),
+        }
+    }
+
+    /// Lowers `expr` and writes the result to `dst`.
+    fn lower_expr(&mut self, expr: &LinExpr, dst: Reg, opts: &RecipeOptions) {
+        if expr.is_zero() {
+            self.instrs.push(Instr::Zero { dst });
+            return;
+        }
+        let items = self.build_items(expr, opts);
+        self.fold_items(items, dst, opts);
+    }
+
+    /// Turns an expression into additive items, materializing factored
+    /// group sums as scratch temporaries.
+    fn build_items(&mut self, expr: &LinExpr, opts: &RecipeOptions) -> Vec<Item> {
+        if !opts.factorize {
+            return expr
+                .iter()
+                .map(|(n, c)| Item {
+                    coeff: c.clone(),
+                    reg: Self::node_reg(n),
+                })
+                .collect();
+        }
+        // Group terms by coefficient magnitude.
+        let mut groups: BTreeMap<Rational, Vec<(Node, bool)>> = BTreeMap::new();
+        for (node, c) in expr.iter() {
+            groups
+                .entry(c.abs())
+                .or_default()
+                .push((*node, c.is_negative()));
+        }
+        let mut items = Vec::new();
+        for (mag, members) in groups {
+            let factorable = members.len() >= 2 && !mag.is_one();
+            if factorable {
+                // Σ ±tᵢ computed once, scaled once. Start from a
+                // positive member when one exists; otherwise factor
+                // out the negated magnitude.
+                let (coeff, members) = if let Some(pos) = members.iter().position(|(_, neg)| !neg) {
+                    let mut m = members;
+                    m.swap(0, pos);
+                    (mag.clone(), m)
+                } else {
+                    let flipped: Vec<(Node, bool)> =
+                        members.into_iter().map(|(n, _)| (n, false)).collect();
+                    (-&mag, flipped)
+                };
+                let mut acc = Self::node_reg(&members[0].0);
+                for (node, neg) in &members[1..] {
+                    let next = self.fresh();
+                    let reg = Self::node_reg(node);
+                    self.instrs.push(if *neg {
+                        Instr::Sub {
+                            dst: next,
+                            a: acc,
+                            b: reg,
+                        }
+                    } else {
+                        Instr::Add {
+                            dst: next,
+                            a: acc,
+                            b: reg,
+                        }
+                    });
+                    acc = next;
+                }
+                items.push(Item { coeff, reg: acc });
+            } else {
+                for (node, neg) in members {
+                    let coeff = if neg { -&mag } else { mag.clone() };
+                    items.push(Item {
+                        coeff,
+                        reg: Self::node_reg(&node),
+                    });
+                }
+            }
+        }
+        items
+    }
+
+    /// Folds additive items into `dst` with a minimal accumulation
+    /// chain.
+    fn fold_items(&mut self, mut items: Vec<Item>, dst: Reg, opts: &RecipeOptions) {
+        debug_assert!(!items.is_empty());
+        // Single item: one terminal instruction.
+        if items.len() == 1 {
+            let Item { coeff, reg } = items.pop().expect("non-empty");
+            self.instrs.push(if coeff.is_one() {
+                Instr::Copy { dst, src: reg }
+            } else if coeff.is_neg_one() {
+                Instr::Neg { dst, src: reg }
+            } else {
+                Instr::Mul {
+                    dst,
+                    c: coeff,
+                    a: reg,
+                }
+            });
+            return;
+        }
+        // All-negative sums are computed positively and negated once at
+        // the end — cheaper than a leading negation.
+        if items.iter().all(|i| i.coeff.is_negative()) {
+            for item in &mut items {
+                item.coeff = -&item.coeff;
+            }
+            let inner = self.fresh();
+            self.fold_items(items, inner, opts);
+            self.instrs.push(Instr::Neg { dst, src: inner });
+            return;
+        }
+        // Start the accumulator from a unit-coefficient item when one
+        // exists (no multiply), otherwise from any positive item.
+        let start = items
+            .iter()
+            .position(|i| i.coeff.is_one())
+            .or_else(|| items.iter().position(|i| !i.coeff.is_negative()))
+            .expect("at least one non-negative item");
+        items.swap(0, start);
+        let first = &items[0];
+        let mut acc = if first.coeff.is_one() {
+            first.reg
+        } else {
+            let t = self.fresh();
+            self.instrs.push(Instr::Mul {
+                dst: t,
+                c: first.coeff.clone(),
+                a: first.reg,
+            });
+            t
+        };
+        let n = items.len();
+        for (k, item) in items.iter().enumerate().skip(1) {
+            let target = if k == n - 1 { dst } else { self.fresh() };
+            if item.coeff.is_one() {
+                self.instrs.push(Instr::Add {
+                    dst: target,
+                    a: acc,
+                    b: item.reg,
+                });
+            } else if item.coeff.is_neg_one() {
+                self.instrs.push(Instr::Sub {
+                    dst: target,
+                    a: acc,
+                    b: item.reg,
+                });
+            } else if opts.fma {
+                self.instrs.push(Instr::Fma {
+                    dst: target,
+                    c: item.coeff.clone(),
+                    a: item.reg,
+                    b: acc,
+                });
+            } else if item.coeff.is_negative() {
+                let prod = self.fresh();
+                self.instrs.push(Instr::Mul {
+                    dst: prod,
+                    c: -&item.coeff,
+                    a: item.reg,
+                });
+                self.instrs.push(Instr::Sub {
+                    dst: target,
+                    a: acc,
+                    b: prod,
+                });
+            } else {
+                let prod = self.fresh();
+                self.instrs.push(Instr::Mul {
+                    dst: prod,
+                    c: item.coeff.clone(),
+                    a: item.reg,
+                });
+                self.instrs.push(Instr::Add {
+                    dst: target,
+                    a: acc,
+                    b: prod,
+                });
+            }
+            acc = target;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::OpCount;
+
+    fn f23_g() -> RatMat {
+        RatMat::parse_rows(&["1 0 0", "1/2 1/2 1/2", "1/2 -1/2 1/2", "0 0 1"]).unwrap()
+    }
+
+    fn f23_bt() -> RatMat {
+        RatMat::parse_rows(&["1 0 -1 0", "0 1 1 0", "0 -1 1 0", "0 1 0 -1"]).unwrap()
+    }
+
+    fn check_semantics(t: &RatMat, recipe: &Recipe) {
+        recipe.validate().unwrap();
+        // A handful of structured probes catches any linear-map error:
+        // unit vectors recover the matrix columns exactly.
+        for j in 0..t.cols() {
+            let mut x = vec![Rational::zero(); t.cols()];
+            x[j] = Rational::one();
+            let got = recipe.eval_exact(&x);
+            let expect = t.matvec(&x).unwrap();
+            assert_eq!(got, expect, "column {j} mismatch");
+        }
+        // And one dense rational probe for coefficient mixing.
+        let x: Vec<Rational> = (0..t.cols())
+            .map(|k| Rational::from_frac(2 * k as i64 + 1, 3))
+            .collect();
+        assert_eq!(recipe.eval_exact(&x), t.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn optimized_recipe_is_correct_and_small() {
+        let g = f23_g();
+        let recipe = generate_recipe(&g, &RecipeOptions::optimized());
+        check_semantics(&g, &recipe);
+        // Paper Figure 3: t = g0+g2; rows 1/2 are ½(t ± g1); rows 0/3
+        // are copies → 3 adds + 2 muls.
+        let c = recipe.op_count();
+        assert_eq!(c.add, 3, "recipe:\n{recipe}");
+        assert_eq!(c.mul, 2, "recipe:\n{recipe}");
+        assert_eq!(c.fma, 0);
+    }
+
+    #[test]
+    fn input_transform_needs_no_multiplies() {
+        let bt = f23_bt();
+        let recipe = generate_recipe(&bt, &RecipeOptions::optimized());
+        check_semantics(&bt, &recipe);
+        let c = recipe.op_count();
+        assert_eq!(c.mul, 0);
+        assert_eq!(c.fma, 0);
+        assert_eq!(c.add, 4); // one subtraction per output row
+    }
+
+    #[test]
+    fn naive_recipe_counts_everything() {
+        let g = f23_g();
+        let recipe = generate_naive_recipe(&g);
+        check_semantics(&g, &recipe);
+        let c = recipe.op_count();
+        let naive = OpCount::naive_matvec(4, 3);
+        assert_eq!(c.mul, naive.mul);
+        assert_eq!(c.add, naive.add);
+    }
+
+    #[test]
+    fn optimized_never_worse_than_minimal() {
+        let g = f23_g();
+        let opt = generate_recipe(&g, &RecipeOptions::optimized()).op_count();
+        let min = generate_recipe(&g, &RecipeOptions::minimal()).op_count();
+        assert!(opt.total_unfused() <= min.total_unfused());
+    }
+
+    #[test]
+    fn fma_toggle_changes_encoding_not_semantics() {
+        // Row with mixed coefficients exercises the FMA path.
+        let t = RatMat::parse_rows(&["1 1/2 -2/3"]).unwrap();
+        let with = generate_recipe(
+            &t,
+            &RecipeOptions {
+                fma: true,
+                ..Default::default()
+            },
+        );
+        let without = generate_recipe(
+            &t,
+            &RecipeOptions {
+                fma: false,
+                ..Default::default()
+            },
+        );
+        check_semantics(&t, &with);
+        check_semantics(&t, &without);
+        assert!(with.op_count().fma > 0);
+        assert_eq!(without.op_count().fma, 0);
+    }
+
+    #[test]
+    fn all_negative_row_is_negated_once() {
+        let t = RatMat::parse_rows(&["-1 -1 -1"]).unwrap();
+        let recipe = generate_recipe(&t, &RecipeOptions::optimized());
+        check_semantics(&t, &recipe);
+        let c = recipe.op_count();
+        assert_eq!(c.add, 2);
+        assert_eq!(c.mul, 0);
+        assert_eq!(c.neg, 1);
+    }
+
+    #[test]
+    fn zero_row_writes_zero() {
+        let t = RatMat::parse_rows(&["0 0", "1 1"]).unwrap();
+        let recipe = generate_recipe(&t, &RecipeOptions::optimized());
+        check_semantics(&t, &recipe);
+        assert!(recipe
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Zero { .. })));
+    }
+
+    #[test]
+    fn factorization_groups_magnitudes() {
+        // ½a + ½b + ½c → ½·((a+b)+c): 2 adds + 1 mul instead of 3 muls.
+        let t = RatMat::parse_rows(&["1/2 1/2 1/2"]).unwrap();
+        let recipe = generate_recipe(
+            &t,
+            &RecipeOptions {
+                cse: false,
+                factorize: true,
+                fma: false,
+            },
+        );
+        check_semantics(&t, &recipe);
+        let c = recipe.op_count();
+        assert_eq!(c.mul, 1);
+        assert_eq!(c.add, 2);
+    }
+
+    #[test]
+    fn mixed_sign_factor_group() {
+        // ¼a − ¼b: factor ¼·(a−b).
+        let t = RatMat::parse_rows(&["1/4 -1/4"]).unwrap();
+        let recipe = generate_recipe(&t, &RecipeOptions::optimized());
+        check_semantics(&t, &recipe);
+        let c = recipe.op_count();
+        assert_eq!(c.mul, 1);
+        assert_eq!(c.add, 1);
+    }
+
+    #[test]
+    fn all_negative_factor_group() {
+        // −⅓a − ⅓b = (−⅓)·(a+b).
+        let t = RatMat::parse_rows(&["-1/3 -1/3"]).unwrap();
+        let recipe = generate_recipe(&t, &RecipeOptions::optimized());
+        check_semantics(&t, &recipe);
+        let c = recipe.op_count();
+        assert_eq!(c.mul, 1);
+        assert_eq!(c.add, 1);
+        assert_eq!(c.neg, 0);
+    }
+
+    #[test]
+    fn larger_transform_all_variants_agree() {
+        // F(4,3) B^T-like structure with fractions: every pipeline
+        // combination must produce the same linear map.
+        let t = RatMat::parse_rows(&[
+            "4 0 -5 0 1 0",
+            "0 -4 -4 1 1 0",
+            "0 4 -4 -1 1 0",
+            "0 -2 -1 2 1 0",
+            "0 2 -1 -2 1 0",
+            "0 4 0 -5 0 1",
+        ])
+        .unwrap();
+        for cse in [false, true] {
+            for factorize in [false, true] {
+                for fma in [false, true] {
+                    let recipe = generate_recipe(
+                        &t,
+                        &RecipeOptions {
+                            cse,
+                            factorize,
+                            fma,
+                        },
+                    );
+                    check_semantics(&t, &recipe);
+                }
+            }
+        }
+    }
+}

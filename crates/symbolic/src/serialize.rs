@@ -1,0 +1,293 @@
+//! Text serialization for recipes.
+//!
+//! Figure 2 of the paper shows a persistent "transformation matrices
+//! DB" feeding the code generator. Recipes serialize to a compact,
+//! line-oriented text format so the database can live on disk and ship
+//! with deployments:
+//!
+//! ```text
+//! recipe 4 4 1          # n_in n_out n_tmp
+//! SUB y0 x0 x2
+//! ADD y1 x1 x2
+//! MUL t0 1/2 x1
+//! FMA y2 -1/3 x0 t0
+//! end
+//! ```
+
+use std::str::FromStr;
+
+use wino_num::Rational;
+
+use crate::recipe::{Instr, Recipe, Reg};
+
+/// Errors from parsing the recipe text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecipeParseError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for RecipeParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RecipeParseError {}
+
+fn reg_token(reg: Reg) -> String {
+    match reg {
+        Reg::In(i) => format!("x{i}"),
+        Reg::Tmp(t) => format!("t{t}"),
+        Reg::Out(o) => format!("y{o}"),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, RecipeParseError> {
+    let err = |msg: String| RecipeParseError { line, message: msg };
+    let (kind, idx) = tok.split_at(1);
+    let idx: usize = idx
+        .parse()
+        .map_err(|_| err(format!("bad register index in {tok:?}")))?;
+    match kind {
+        "x" => Ok(Reg::In(idx)),
+        "t" => Ok(Reg::Tmp(idx)),
+        "y" => Ok(Reg::Out(idx)),
+        _ => Err(err(format!("unknown register class in {tok:?}"))),
+    }
+}
+
+impl Recipe {
+    /// Serializes to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("recipe {} {} {}\n", self.n_in, self.n_out, self.n_tmp);
+        for ins in &self.instrs {
+            let line = match ins {
+                Instr::Zero { dst } => format!("ZERO {}", reg_token(*dst)),
+                Instr::Copy { dst, src } => {
+                    format!("COPY {} {}", reg_token(*dst), reg_token(*src))
+                }
+                Instr::Neg { dst, src } => {
+                    format!("NEG {} {}", reg_token(*dst), reg_token(*src))
+                }
+                Instr::Add { dst, a, b } => {
+                    format!(
+                        "ADD {} {} {}",
+                        reg_token(*dst),
+                        reg_token(*a),
+                        reg_token(*b)
+                    )
+                }
+                Instr::Sub { dst, a, b } => {
+                    format!(
+                        "SUB {} {} {}",
+                        reg_token(*dst),
+                        reg_token(*a),
+                        reg_token(*b)
+                    )
+                }
+                Instr::Mul { dst, c, a } => {
+                    format!("MUL {} {c} {}", reg_token(*dst), reg_token(*a))
+                }
+                Instr::Fma { dst, c, a, b } => format!(
+                    "FMA {} {c} {} {}",
+                    reg_token(*dst),
+                    reg_token(*a),
+                    reg_token(*b)
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the text format back into a validated recipe.
+    ///
+    /// # Errors
+    /// [`RecipeParseError`] on any malformed line or a recipe that
+    /// fails structural validation.
+    pub fn from_text(text: &str) -> Result<Recipe, RecipeParseError> {
+        let err = |line: usize, msg: String| RecipeParseError { line, message: msg };
+        let mut lines = text.lines().enumerate();
+        let (ln, header) = lines
+            .by_ref()
+            .find(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            .ok_or_else(|| err(0, "empty input".into()))?;
+        let ln = ln + 1;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "recipe" {
+            return Err(err(
+                ln,
+                format!("expected 'recipe n_in n_out n_tmp', got {header:?}"),
+            ));
+        }
+        let parse_dim = |tok: &str| -> Result<usize, RecipeParseError> {
+            tok.parse()
+                .map_err(|_| err(ln, format!("bad dimension {tok:?}")))
+        };
+        let (n_in, n_out, n_tmp) = (
+            parse_dim(parts[1])?,
+            parse_dim(parts[2])?,
+            parse_dim(parts[3])?,
+        );
+
+        let mut instrs = Vec::new();
+        let mut terminated = false;
+        for (ln0, raw) in lines {
+            let ln = ln0 + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "end" {
+                terminated = true;
+                break;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let need = |n: usize| -> Result<(), RecipeParseError> {
+                if toks.len() == n {
+                    Ok(())
+                } else {
+                    Err(err(ln, format!("{} expects {} operands", toks[0], n - 1)))
+                }
+            };
+            let rat = |tok: &str| -> Result<Rational, RecipeParseError> {
+                Rational::from_str(tok).map_err(|e| err(ln, format!("bad constant: {e}")))
+            };
+            let instr = match toks[0] {
+                "ZERO" => {
+                    need(2)?;
+                    Instr::Zero {
+                        dst: parse_reg(toks[1], ln)?,
+                    }
+                }
+                "COPY" => {
+                    need(3)?;
+                    Instr::Copy {
+                        dst: parse_reg(toks[1], ln)?,
+                        src: parse_reg(toks[2], ln)?,
+                    }
+                }
+                "NEG" => {
+                    need(3)?;
+                    Instr::Neg {
+                        dst: parse_reg(toks[1], ln)?,
+                        src: parse_reg(toks[2], ln)?,
+                    }
+                }
+                "ADD" => {
+                    need(4)?;
+                    Instr::Add {
+                        dst: parse_reg(toks[1], ln)?,
+                        a: parse_reg(toks[2], ln)?,
+                        b: parse_reg(toks[3], ln)?,
+                    }
+                }
+                "SUB" => {
+                    need(4)?;
+                    Instr::Sub {
+                        dst: parse_reg(toks[1], ln)?,
+                        a: parse_reg(toks[2], ln)?,
+                        b: parse_reg(toks[3], ln)?,
+                    }
+                }
+                "MUL" => {
+                    need(4)?;
+                    Instr::Mul {
+                        dst: parse_reg(toks[1], ln)?,
+                        c: rat(toks[2])?,
+                        a: parse_reg(toks[3], ln)?,
+                    }
+                }
+                "FMA" => {
+                    need(5)?;
+                    Instr::Fma {
+                        dst: parse_reg(toks[1], ln)?,
+                        c: rat(toks[2])?,
+                        a: parse_reg(toks[3], ln)?,
+                        b: parse_reg(toks[4], ln)?,
+                    }
+                }
+                other => return Err(err(ln, format!("unknown opcode {other:?}"))),
+            };
+            instrs.push(instr);
+        }
+        if !terminated {
+            return Err(err(text.lines().count(), "missing 'end' terminator".into()));
+        }
+        let recipe = Recipe {
+            n_in,
+            n_out,
+            n_tmp,
+            instrs,
+        };
+        recipe
+            .validate()
+            .map_err(|msg| err(0, format!("recipe fails validation: {msg}")))?;
+        Ok(recipe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{generate_recipe, RecipeOptions};
+    use wino_num::RatMat;
+
+    fn sample_recipe() -> Recipe {
+        let t = RatMat::parse_rows(&["1 0 -1 0", "1/2 1/2 1/2 0", "0 -1/3 0 2"]).unwrap();
+        generate_recipe(&t, &RecipeOptions::optimized())
+    }
+
+    #[test]
+    fn round_trip_preserves_recipe() {
+        let recipe = sample_recipe();
+        let text = recipe.to_text();
+        let parsed = Recipe::from_text(&text).unwrap();
+        assert_eq!(parsed, recipe);
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        use wino_num::Rational;
+        let recipe = sample_recipe();
+        let parsed = Recipe::from_text(&recipe.to_text()).unwrap();
+        let x: Vec<Rational> = (0..4)
+            .map(|k| Rational::from_frac(2 * k as i64 - 3, 7))
+            .collect();
+        assert_eq!(parsed.eval_exact(&x), recipe.eval_exact(&x));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_tolerated() {
+        let text = "\n# a comment\nrecipe 2 1 0\n\nADD y0 x0 x1  # inline comment\nend\n";
+        let recipe = Recipe::from_text(text).unwrap();
+        assert_eq!(recipe.instrs.len(), 1);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(Recipe::from_text("").is_err());
+        assert!(Recipe::from_text("recipe 2 1\nend").is_err());
+        assert!(Recipe::from_text("recipe 2 1 0\nFLY y0 x0\nend").is_err());
+        assert!(Recipe::from_text("recipe 2 1 0\nADD y0 x0 x1\n").is_err()); // no end
+        assert!(Recipe::from_text("recipe 2 1 0\nADD y0 x0\nend").is_err()); // arity
+        assert!(Recipe::from_text("recipe 2 1 0\nMUL y0 1/0 x0\nend").is_err()); // bad const
+        assert!(Recipe::from_text("recipe 2 1 0\nADD y0 q0 x1\nend").is_err()); // bad reg
+                                                                                // Validation failure: reads an unwritten temporary.
+        assert!(Recipe::from_text("recipe 1 1 1\nCOPY y0 t0\nend").is_err());
+    }
+
+    #[test]
+    fn constants_serialize_exactly() {
+        let text = "recipe 1 1 0\nMUL y0 -22/7 x0\nend\n";
+        let recipe = Recipe::from_text(text).unwrap();
+        let round = recipe.to_text();
+        assert!(round.contains("-22/7"));
+        assert_eq!(Recipe::from_text(&round).unwrap(), recipe);
+    }
+}

@@ -1,0 +1,160 @@
+//! Winograd tiling: overlapping input tiles and output tile placement.
+//!
+//! §2.1.1 of the paper: "the input is decomposed into α × α tiles with
+//! the vertical and horizontal stride of α − r + 1 (= m). This stride
+//! causes neighboring tiles to overlap by r − 1 elements." Tiles that
+//! extend past the image border are zero-padded, which is also why
+//! output dimensions not divisible by `m` cost extra work (§4.2).
+
+use crate::tensor::Tensor4;
+
+/// Number of tiles along H and W for an output of size `out_h × out_w`
+/// with output tile size `m`: `⌈out/m⌉` per axis (the paper's
+/// `P = N ⌈H/m⌉ ⌈W/m⌉` divided by N).
+pub fn tile_counts(out_h: usize, out_w: usize, m: usize) -> (usize, usize) {
+    (out_h.div_ceil(m), out_w.div_ceil(m))
+}
+
+/// Extracts the `α × α` input tile at tile coordinates
+/// `(tile_y, tile_x)` from the (already padded) input plane of image
+/// `n`, channel `c`, writing into `out` (length ≥ `α²`). Out-of-bounds
+/// reads produce zeros.
+pub fn extract_input_tile(
+    input: &Tensor4<f32>,
+    n: usize,
+    c: usize,
+    tile_y: usize,
+    tile_x: usize,
+    m: usize,
+    alpha: usize,
+    out: &mut [f32],
+) {
+    let y0 = tile_y * m;
+    let x0 = tile_x * m;
+    let (h, w) = (input.h(), input.w());
+    let plane = input.plane(n, c);
+    for dy in 0..alpha {
+        let y = y0 + dy;
+        for dx in 0..alpha {
+            let x = x0 + dx;
+            out[dy * alpha + dx] = if y < h && x < w {
+                plane[y * w + x]
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// Places an `m × m` output tile at tile coordinates
+/// `(tile_y, tile_x)` into the output plane of image `n`, channel `k`,
+/// clipping the ragged last row/column of tiles.
+pub fn place_output_tile(
+    output: &mut Tensor4<f32>,
+    n: usize,
+    k: usize,
+    tile_y: usize,
+    tile_x: usize,
+    m: usize,
+    tile: &[f32],
+) {
+    let y0 = tile_y * m;
+    let x0 = tile_x * m;
+    let (h, w) = (output.h(), output.w());
+    let plane = output.plane_mut(n, k);
+    for dy in 0..m {
+        let y = y0 + dy;
+        if y >= h {
+            break;
+        }
+        for dx in 0..m {
+            let x = x0 + dx;
+            if x >= w {
+                break;
+            }
+            plane[y * w + x] = tile[dy * m + dx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_counts_round_up() {
+        assert_eq!(tile_counts(4, 4, 2), (2, 2));
+        assert_eq!(tile_counts(5, 4, 2), (3, 2));
+        assert_eq!(tile_counts(14, 14, 6), (3, 3));
+        assert_eq!(tile_counts(1, 1, 4), (1, 1));
+    }
+
+    #[test]
+    fn extract_interior_tile() {
+        // 6×6 ramp, F(2,3): α = 4, stride m = 2.
+        let t = Tensor4::<f32>::from_fn(1, 1, 6, 6, |_, _, y, x| (y * 6 + x) as f32);
+        let mut tile = vec![0.0f32; 16];
+        extract_input_tile(&t, 0, 0, 1, 1, 2, 4, &mut tile);
+        // Tile origin at (2, 2).
+        assert_eq!(tile[0], 14.0);
+        assert_eq!(tile[5], 21.0); // (3, 3)
+        assert_eq!(tile[15], 35.0); // (5, 5)
+    }
+
+    #[test]
+    fn neighbouring_tiles_overlap_by_r_minus_1() {
+        let t = Tensor4::<f32>::from_fn(1, 1, 6, 6, |_, _, y, x| (y * 6 + x) as f32);
+        let (m, alpha) = (2, 4);
+        let mut a = vec![0.0f32; 16];
+        let mut b = vec![0.0f32; 16];
+        extract_input_tile(&t, 0, 0, 0, 0, m, alpha, &mut a);
+        extract_input_tile(&t, 0, 0, 0, 1, m, alpha, &mut b);
+        // Tile b starts at x = 2; columns 2..4 of a equal columns 0..2
+        // of b: overlap of r − 1 = 2 columns.
+        for y in 0..alpha {
+            assert_eq!(a[y * alpha + 2], b[y * alpha]);
+            assert_eq!(a[y * alpha + 3], b[y * alpha + 1]);
+        }
+    }
+
+    #[test]
+    fn border_tiles_are_zero_padded() {
+        let t = Tensor4::<f32>::from_fn(1, 1, 5, 5, |_, _, y, x| (y * 5 + x + 1) as f32);
+        let mut tile = vec![9.0f32; 16];
+        extract_input_tile(&t, 0, 0, 2, 2, 2, 4, &mut tile);
+        // Origin (4,4): only element (0,0) is in-bounds.
+        assert_eq!(tile[0], 25.0);
+        assert!(tile[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn place_clips_ragged_edge() {
+        let mut out = Tensor4::<f32>::zeros(1, 1, 3, 3);
+        let tile = vec![1.0, 2.0, 3.0, 4.0];
+        place_output_tile(&mut out, 0, 0, 1, 1, 2, &tile);
+        // Origin (2, 2): only (0,0) of the tile lands in-bounds.
+        assert_eq!(out[(0, 0, 2, 2)], 1.0);
+        assert_eq!(out.data().iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn extract_place_round_trip() {
+        let src = Tensor4::<f32>::from_fn(1, 1, 4, 4, |_, _, y, x| (y * 4 + x) as f32);
+        let mut dst = Tensor4::<f32>::zeros(1, 1, 4, 4);
+        let (m, alpha) = (2, 4);
+        for ty in 0..2 {
+            for tx in 0..2 {
+                let mut tile = vec![0.0f32; alpha * alpha];
+                extract_input_tile(&src, 0, 0, ty, tx, m, alpha, &mut tile);
+                // The top-left m×m of each α×α input tile is exactly
+                // the data at the tile origin.
+                let mtile: Vec<f32> = (0..m)
+                    .flat_map(|y| (0..m).map(move |x| (y, x)))
+                    .map(|(y, x)| tile[y * alpha + x])
+                    .collect();
+                place_output_tile(&mut dst, 0, 0, ty, tx, m, &mtile);
+            }
+        }
+        assert_eq!(dst, src);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the tensor substrate: layout, tiling overlap,
+//! padding, norm axioms, and convolution-shape arithmetic.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_tensor::{
+    extract_input_tile, l1_norm_nchw, place_output_tile, relative_error_l1, tile_counts, ConvDesc,
+    Tensor4,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Flat offsets are a bijection consistent with indexing.
+    #[test]
+    fn offsets_are_consistent(
+        n in 1usize..3, c in 1usize..4, h in 1usize..6, w in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor4::<f32>::random(n, c, h, w, -1.0, 1.0, &mut rng);
+        for ni in 0..n {
+            for ci in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        prop_assert_eq!(
+                            t.data()[t.offset(ni, ci, y, x)],
+                            t[(ni, ci, y, x)]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Padding preserves content and pads with exact zeros.
+    #[test]
+    fn pad_preserves_content(
+        h in 1usize..6, w in 1usize..6, pad in 0usize..4, seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor4::<f32>::random(1, 2, h, w, -1.0, 1.0, &mut rng);
+        let p = t.pad_spatial(pad);
+        prop_assert_eq!(p.dims(), (1, 2, h + 2 * pad, w + 2 * pad));
+        let mut interior_sum = 0.0f64;
+        for c in 0..2 {
+            for y in 0..h {
+                for x in 0..w {
+                    prop_assert_eq!(p[(0, c, y + pad, x + pad)], t[(0, c, y, x)]);
+                    interior_sum += t[(0, c, y, x)].abs() as f64;
+                }
+            }
+        }
+        let total: f64 = p.data().iter().map(|v| v.abs() as f64).sum();
+        prop_assert!((total - interior_sum).abs() < 1e-6, "padding is not zero");
+    }
+
+    /// Adjacent Winograd tiles overlap by exactly α − m elements.
+    #[test]
+    fn tiles_overlap_correctly(
+        m in 1usize..6, r in 2usize..6, seed in any::<u64>(),
+    ) {
+        let alpha = m + r - 1;
+        let size = alpha + 2 * m; // room for 3 tiles per axis
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor4::<f32>::random(1, 1, size, size, -1.0, 1.0, &mut rng);
+        let mut a = vec![0.0f32; alpha * alpha];
+        let mut b = vec![0.0f32; alpha * alpha];
+        extract_input_tile(&t, 0, 0, 0, 0, m, alpha, &mut a);
+        extract_input_tile(&t, 0, 0, 0, 1, m, alpha, &mut b);
+        let overlap = alpha - m; // = r − 1
+        for y in 0..alpha {
+            for k in 0..overlap {
+                prop_assert_eq!(a[y * alpha + m + k], b[y * alpha + k]);
+            }
+        }
+    }
+
+    /// Placing tiles back covers the output exactly once (the m×m
+    /// top-left of each α tile reassembles the image).
+    #[test]
+    fn tiling_partitions_the_image(
+        m in 1usize..5, extra in 0usize..3, seed in any::<u64>(),
+    ) {
+        let alpha = m + 2; // arbitrary r = 3
+        let size = 2 * m + extra; // possibly ragged
+        prop_assume!(size >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = Tensor4::<f32>::random(1, 1, size, size, -1.0, 1.0, &mut rng);
+        let (th, tw) = tile_counts(size, size, m);
+        let mut dst = Tensor4::<f32>::zeros(1, 1, size, size);
+        let mut tile = vec![0.0f32; alpha * alpha];
+        for ty in 0..th {
+            for tx in 0..tw {
+                extract_input_tile(&src, 0, 0, ty, tx, m, alpha, &mut tile);
+                let m_tile: Vec<f32> = (0..m * m)
+                    .map(|i| tile[(i / m) * alpha + i % m])
+                    .collect();
+                place_output_tile(&mut dst, 0, 0, ty, tx, m, &m_tile);
+            }
+        }
+        prop_assert_eq!(dst, src);
+    }
+
+    /// Norm axioms: non-negativity, homogeneity, triangle inequality.
+    #[test]
+    fn l1_norm_axioms(h in 1usize..5, w in 1usize..5, k in -3.0f64..3.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor4::<f32>::random(1, 2, h, w, -1.0, 1.0, &mut rng).to_f64();
+        let b = Tensor4::<f32>::random(1, 2, h, w, -1.0, 1.0, &mut rng).to_f64();
+        prop_assert!(l1_norm_nchw(&a) >= 0.0);
+        let scaled = a.map(|v| v * k);
+        prop_assert!((l1_norm_nchw(&scaled) - k.abs() * l1_norm_nchw(&a)).abs() < 1e-9);
+        let mut sum = Tensor4::<f64>::zeros(1, 2, h, w);
+        for i in 0..sum.len() {
+            sum.data_mut()[i] = a.data()[i] + b.data()[i];
+        }
+        prop_assert!(l1_norm_nchw(&sum) <= l1_norm_nchw(&a) + l1_norm_nchw(&b) + 1e-9);
+    }
+
+    /// Relative error is zero iff tensors are equal (for non-zero
+    /// references) and symmetric in scale.
+    #[test]
+    fn relative_error_basics(h in 1usize..5, w in 1usize..5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor4::<f32>::random(1, 1, h, w, 0.5, 1.0, &mut rng).to_f64();
+        prop_assert_eq!(relative_error_l1(&a, &a), 0.0);
+        let perturbed = a.map(|v| v * 1.01);
+        let err = relative_error_l1(&perturbed, &a);
+        prop_assert!(err > 0.0 && err < 0.02, "err = {err}");
+    }
+
+    /// Conv output shapes are consistent with a manual sliding-window
+    /// count.
+    #[test]
+    fn conv_shape_arithmetic(
+        ih in 1usize..20, ksz in 1usize..6, stride in 1usize..4, pad in 0usize..3,
+    ) {
+        prop_assume!(ih + 2 * pad >= ksz);
+        let d = ConvDesc::new(ksz, stride, pad, 1, 1, ih, ih, 1);
+        // Count positions the window fits.
+        let mut count = 0;
+        let padded = ih + 2 * pad;
+        let mut pos = 0;
+        while pos + ksz <= padded {
+            count += 1;
+            pos += stride;
+        }
+        prop_assert_eq!(d.out_h(), count);
+    }
+}

@@ -1,0 +1,267 @@
+//! Tile-level numerical accuracy measurement (§3.1.1, §4.1).
+//!
+//! Follows the paper's protocol: random input and filter tensors with
+//! a uniform distribution in (−1, 1) — "in practice, the weights of
+//! deep neural networks are primarily concentrated in this range" —
+//! Winograd evaluated in FP32, direct convolution in FP64, relative
+//! error via the L1 matrix norm `‖X‖₁ = max_j Σ_i |a_ij|`, and the
+//! median over many trials as the representative value.
+//!
+//! This module measures a single Winograd tile, which isolates exactly
+//! the transform-induced rounding the polynomial points control; the
+//! full-convolution variant (whole tensors, channel accumulation)
+//! lives in `wino-conv::accuracy` and is what regenerates Table 3 and
+//! Figure 4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wino_num::Rational;
+
+use crate::error::TransformError;
+use crate::spec::WinogradSpec;
+use crate::toomcook::{toom_cook_matrices, TransformMatrices};
+
+/// Summary statistics of a set of per-trial relative errors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorStats {
+    /// Median relative error (the paper's representative value).
+    pub median: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Minimum observed error.
+    pub min: f64,
+    /// Maximum observed error.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl ErrorStats {
+    /// Computes the statistics of a non-empty error sample.
+    ///
+    /// Panics on an empty sample; callers always run ≥ 1 trial.
+    pub fn from_samples(mut samples: Vec<f64>) -> ErrorStats {
+        assert!(!samples.is_empty(), "error sample must be non-empty");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        let q = |f: f64| -> f64 {
+            let pos = f * (samples.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            samples[lo] * (1.0 - frac) + samples[hi] * frac
+        };
+        ErrorStats {
+            median: q(0.5),
+            q1: q(0.25),
+            q3: q(0.75),
+            min: samples[0],
+            max: *samples.last().expect("non-empty"),
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        }
+    }
+}
+
+/// The paper's L1 matrix norm: maximum absolute column sum.
+pub fn l1_matrix_norm(data: &[f64], rows: usize, cols: usize) -> f64 {
+    (0..cols)
+        .map(|j| (0..rows).map(|i| data[i * cols + j].abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Dense f32 row-major matmul for the tiny transform matrices.
+fn matmul_f32(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..m {
+                out[i * m + j] += av * b[p * m + j];
+            }
+        }
+    }
+    out
+}
+
+fn transpose_f32(a: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            out[j * rows + i] = a[i * cols + j];
+        }
+    }
+    out
+}
+
+/// One Winograd tile in FP32 through the transformation matrices:
+/// `Y = Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]·A`.
+pub fn winograd_tile_f32(mats: &TransformMatrices, d: &[f32], g: &[f32]) -> Vec<f32> {
+    let alpha = mats.alpha();
+    let (m, r) = (mats.spec.m, mats.spec.r);
+    let gm = mats.g.to_f32_vec();
+    let bt = mats.b_t.to_f32_vec();
+    let at = mats.a_t.to_f32_vec();
+    // U = G g Gᵀ : (α×r)(r×r)(r×α)
+    let u = matmul_f32(
+        &matmul_f32(&gm, g, alpha, r, r),
+        &transpose_f32(&gm, alpha, r),
+        alpha,
+        r,
+        alpha,
+    );
+    // V = Bᵀ d B : (α×α)(α×α)(α×α)
+    let v = matmul_f32(
+        &matmul_f32(&bt, d, alpha, alpha, alpha),
+        &transpose_f32(&bt, alpha, alpha),
+        alpha,
+        alpha,
+        alpha,
+    );
+    let prod: Vec<f32> = u.iter().zip(&v).map(|(a, b)| a * b).collect();
+    // Y = Aᵀ prod A : (m×α)(α×α)(α×m)
+    matmul_f32(
+        &matmul_f32(&at, &prod, m, alpha, alpha),
+        &transpose_f32(&at, m, alpha),
+        m,
+        alpha,
+        m,
+    )
+}
+
+/// Direct FP64 correlation of one tile — the reference result.
+pub fn direct_tile_f64(d: &[f64], g: &[f64], alpha: usize, r: usize) -> Vec<f64> {
+    let m = alpha + 1 - r;
+    let mut out = vec![0.0f64; m * m];
+    for y in 0..m {
+        for x in 0..m {
+            let mut acc = 0.0;
+            for i in 0..r {
+                for j in 0..r {
+                    acc += g[i * r + j] * d[(y + i) * alpha + (x + j)];
+                }
+            }
+            out[y * m + x] = acc;
+        }
+    }
+    out
+}
+
+/// Relative error of one random tile trial.
+pub fn tile_trial_error(mats: &TransformMatrices, rng: &mut StdRng) -> f64 {
+    let alpha = mats.alpha();
+    let r = mats.spec.r;
+    let m = mats.spec.m;
+    let d32: Vec<f32> = (0..alpha * alpha)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let g32: Vec<f32> = (0..r * r).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let d64: Vec<f64> = d32.iter().map(|&v| v as f64).collect();
+    let g64: Vec<f64> = g32.iter().map(|&v| v as f64).collect();
+    let wino = winograd_tile_f32(mats, &d32, &g32);
+    let direct = direct_tile_f64(&d64, &g64, alpha, r);
+    let diff: Vec<f64> = wino
+        .iter()
+        .zip(&direct)
+        .map(|(w, d)| *w as f64 - d)
+        .collect();
+    let denom = l1_matrix_norm(&direct, m, m);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    l1_matrix_norm(&diff, m, m) / denom
+}
+
+/// Runs `trials` random-tile error measurements for `spec` with the
+/// given points and returns the summary statistics.
+///
+/// # Errors
+/// Propagates matrix-construction failures.
+pub fn measure_tile_error(
+    spec: WinogradSpec,
+    points: &[Rational],
+    trials: usize,
+    seed: u64,
+) -> Result<ErrorStats, TransformError> {
+    let mats = toom_cook_matrices(spec, points)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples: Vec<f64> = (0..trials.max(1))
+        .map(|_| tile_trial_error(&mats, &mut rng))
+        .collect();
+    Ok(ErrorStats::from_samples(samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::table3_points;
+
+    fn spec(m: usize, r: usize) -> WinogradSpec {
+        WinogradSpec::new(m, r).unwrap()
+    }
+
+    #[test]
+    fn stats_quartiles() {
+        let s = ErrorStats::from_samples(vec![4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_norm_is_max_column_sum() {
+        // [[1, -2], [3, 4]] → columns sums 4 and 6.
+        let n = l1_matrix_norm(&[1.0, -2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(n, 6.0);
+    }
+
+    #[test]
+    fn f23_error_is_near_machine_epsilon() {
+        let stats = measure_tile_error(spec(2, 3), &table3_points(4).unwrap(), 200, 42).unwrap();
+        // Paper: 6.11e-8 for α = 4. Tile-level must be the same order.
+        assert!(stats.median < 1e-6, "median = {}", stats.median);
+        assert!(stats.median > 0.0);
+    }
+
+    #[test]
+    fn error_grows_with_alpha() {
+        let small = measure_tile_error(spec(2, 3), &table3_points(4).unwrap(), 100, 7).unwrap();
+        let large = measure_tile_error(spec(10, 7), &table3_points(16).unwrap(), 100, 7).unwrap();
+        assert!(
+            large.median > 10.0 * small.median,
+            "alpha=16 median {} should dwarf alpha=4 median {}",
+            large.median,
+            small.median
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = measure_tile_error(spec(4, 3), &table3_points(6).unwrap(), 50, 1).unwrap();
+        let b = measure_tile_error(spec(4, 3), &table3_points(6).unwrap(), 50, 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn winograd_tile_f32_matches_direct_closely() {
+        let mats = toom_cook_matrices(spec(2, 3), &table3_points(4).unwrap()).unwrap();
+        let d: Vec<f32> = (0..16).map(|k| (k as f32) / 16.0 - 0.5).collect();
+        let g: Vec<f32> = (0..9).map(|k| (k as f32) / 9.0 - 0.4).collect();
+        let wino = winograd_tile_f32(&mats, &d, &g);
+        let direct = direct_tile_f64(
+            &d.iter().map(|&v| v as f64).collect::<Vec<_>>(),
+            &g.iter().map(|&v| v as f64).collect::<Vec<_>>(),
+            4,
+            3,
+        );
+        for (w, e) in wino.iter().zip(&direct) {
+            assert!((*w as f64 - e).abs() < 1e-5, "wino {w} vs direct {e}");
+        }
+    }
+}

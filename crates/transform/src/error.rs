@@ -1,0 +1,63 @@
+//! Error type for transform construction.
+
+use std::fmt;
+
+use wino_num::NumError;
+
+/// Errors produced while constructing Winograd transformations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// Underlying exact-arithmetic failure.
+    Num(NumError),
+    /// The Winograd specification is invalid (e.g. `m < 2` or even
+    /// filter size).
+    BadSpec(String),
+    /// The point set has the wrong cardinality for the requested
+    /// `F(m, r)`: `m + r - 2` finite points are required.
+    WrongPointCount {
+        /// Points required (`m + r - 2`).
+        required: usize,
+        /// Points supplied.
+        got: usize,
+    },
+    /// Two interpolation points coincide, making the system singular.
+    DuplicatePoint(String),
+    /// No built-in point set exists for this internal tile size.
+    NoPointsForAlpha(usize),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Num(e) => write!(f, "exact arithmetic error: {e}"),
+            TransformError::BadSpec(msg) => write!(f, "invalid Winograd spec: {msg}"),
+            TransformError::WrongPointCount { required, got } => {
+                write!(f, "need {required} interpolation points, got {got}")
+            }
+            TransformError::DuplicatePoint(p) => {
+                write!(f, "duplicate interpolation point {p}")
+            }
+            TransformError::NoPointsForAlpha(alpha) => {
+                write!(
+                    f,
+                    "no built-in point set for alpha = {alpha} (supported: 4..=16)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransformError::Num(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for TransformError {
+    fn from(e: NumError) -> Self {
+        TransformError::Num(e)
+    }
+}

@@ -1,0 +1,293 @@
+//! Disk persistence for the recipe database.
+//!
+//! Figure 2 of the paper shows the transformation-matrices DB as a
+//! stored artifact feeding code generation across runs. This module
+//! serializes every cached configuration — spec, pipeline options,
+//! interpolation points, and the three recipes in the `wino-symbolic`
+//! text format — into one human-readable file, and loads it back with
+//! an exactness check against freshly constructed matrices (a
+//! corrupted or stale database is rejected, never silently used).
+
+use std::io;
+use std::path::Path;
+use std::str::FromStr;
+
+use wino_num::Rational;
+use wino_symbolic::{Recipe, RecipeOptions};
+
+use crate::db::RecipeDb;
+use crate::error::TransformError;
+use crate::recipes::TransformRecipes;
+use crate::spec::WinogradSpec;
+use crate::toomcook::toom_cook_matrices;
+
+/// One serialized database entry.
+#[derive(Clone, Debug)]
+pub struct PersistedEntry {
+    /// The specification.
+    pub spec: WinogradSpec,
+    /// Pipeline options the recipes were generated with.
+    pub options: RecipeOptions,
+    /// Whether these are the naive dense recipes.
+    pub naive: bool,
+    /// The interpolation points.
+    pub points: Vec<Rational>,
+    /// Filter / input / output recipes.
+    pub recipes: (Recipe, Recipe, Recipe),
+}
+
+fn bool_bit(b: bool) -> u8 {
+    u8::from(b)
+}
+
+/// Serializes entries to the text format.
+pub fn entries_to_text(entries: &[PersistedEntry]) -> String {
+    let mut out = String::from("# winograd-meta recipe database v1\n");
+    for e in entries {
+        out.push_str(&format!(
+            "[F {} {} cse={} factorize={} fma={} naive={}]\n",
+            e.spec.m,
+            e.spec.r,
+            bool_bit(e.options.cse),
+            bool_bit(e.options.factorize),
+            bool_bit(e.options.fma),
+            bool_bit(e.naive),
+        ));
+        let pts: Vec<String> = e.points.iter().map(|p| p.to_string()).collect();
+        out.push_str(&format!("points {}\n", pts.join(" ")));
+        for (tag, recipe) in [
+            ("filter", &e.recipes.0),
+            ("input", &e.recipes.1),
+            ("output", &e.recipes.2),
+        ] {
+            out.push_str(&format!("{tag}:\n"));
+            out.push_str(&recipe.to_text());
+        }
+    }
+    out
+}
+
+/// Parses the text format back into entries.
+///
+/// # Errors
+/// [`TransformError::BadSpec`] describing the first malformed section.
+pub fn entries_from_text(text: &str) -> Result<Vec<PersistedEntry>, TransformError> {
+    let bad = |msg: String| TransformError::BadSpec(format!("recipe DB parse: {msg}"));
+    let mut entries = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !line.starts_with('[') {
+            return Err(bad(format!("expected section header, got {line:?}")));
+        }
+        let inner = line.trim_start_matches('[').trim_end_matches(']');
+        let toks: Vec<&str> = inner.split_whitespace().collect();
+        if toks.len() != 7 || toks[0] != "F" {
+            return Err(bad(format!("malformed header {line:?}")));
+        }
+        let m: usize = toks[1]
+            .parse()
+            .map_err(|_| bad(format!("bad m in {line:?}")))?;
+        let r: usize = toks[2]
+            .parse()
+            .map_err(|_| bad(format!("bad r in {line:?}")))?;
+        let flag = |tok: &str, name: &str| -> Result<bool, TransformError> {
+            tok.strip_prefix(&format!("{name}="))
+                .and_then(|v| match v {
+                    "0" => Some(false),
+                    "1" => Some(true),
+                    _ => None,
+                })
+                .ok_or_else(|| bad(format!("bad flag {tok:?}")))
+        };
+        let options = RecipeOptions {
+            cse: flag(toks[3], "cse")?,
+            factorize: flag(toks[4], "factorize")?,
+            fma: flag(toks[5], "fma")?,
+        };
+        let naive = flag(toks[6], "naive")?;
+        let spec = WinogradSpec::new(m, r)?;
+
+        let pts_line = lines
+            .next()
+            .ok_or_else(|| bad("missing points line".into()))?
+            .trim();
+        let pts_str = pts_line
+            .strip_prefix("points")
+            .ok_or_else(|| bad(format!("expected points line, got {pts_line:?}")))?;
+        let points: Result<Vec<Rational>, _> =
+            pts_str.split_whitespace().map(Rational::from_str).collect();
+        let points = points.map_err(|e| bad(format!("bad point: {e}")))?;
+
+        let mut take_recipe = |tag: &str| -> Result<Recipe, TransformError> {
+            let head = lines
+                .next()
+                .ok_or_else(|| bad(format!("missing {tag} recipe")))?
+                .trim();
+            if head != format!("{tag}:") {
+                return Err(bad(format!("expected '{tag}:', got {head:?}")));
+            }
+            let mut body = String::new();
+            for rl in lines.by_ref() {
+                body.push_str(rl);
+                body.push('\n');
+                if rl.trim() == "end" {
+                    break;
+                }
+            }
+            Recipe::from_text(&body).map_err(|e| bad(format!("{tag} recipe: {e}")))
+        };
+        let filter = take_recipe("filter")?;
+        let input = take_recipe("input")?;
+        let output = take_recipe("output")?;
+        entries.push(PersistedEntry {
+            spec,
+            options,
+            naive,
+            points,
+            recipes: (filter, input, output),
+        });
+    }
+    Ok(entries)
+}
+
+/// Rebuilds a [`TransformRecipes`] from a persisted entry, verifying
+/// each recipe *exactly* against freshly constructed matrices.
+///
+/// # Errors
+/// Construction failures, or [`TransformError::BadSpec`] when a recipe
+/// does not compute its matrix (corruption / tampering).
+pub fn entry_to_recipes(e: &PersistedEntry) -> Result<TransformRecipes, TransformError> {
+    let matrices = toom_cook_matrices(e.spec, &e.points)?;
+    let (filter, input, output) = e.recipes.clone();
+    for (tag, recipe, mat) in [
+        ("filter", &filter, &matrices.g),
+        ("input", &input, &matrices.b_t),
+        ("output", &output, &matrices.a_t),
+    ] {
+        if recipe.n_in != mat.cols() || recipe.n_out != mat.rows() {
+            return Err(TransformError::BadSpec(format!(
+                "persisted {tag} recipe arity {}→{} does not match matrix {}x{}",
+                recipe.n_in,
+                recipe.n_out,
+                mat.rows(),
+                mat.cols()
+            )));
+        }
+        for j in 0..mat.cols() {
+            let mut x = vec![Rational::zero(); mat.cols()];
+            x[j] = Rational::one();
+            if recipe.eval_exact(&x) != mat.matvec(&x).expect("shape checked") {
+                return Err(TransformError::BadSpec(format!(
+                    "persisted {tag} recipe for {} is corrupt (column {j} mismatch)",
+                    e.spec
+                )));
+            }
+        }
+    }
+    Ok(TransformRecipes {
+        spec: e.spec,
+        matrices,
+        filter,
+        input,
+        output,
+        options: e.options,
+    })
+}
+
+impl RecipeDb {
+    /// Writes every cached configuration to `path`.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn save_to_file(&self, path: &Path) -> io::Result<()> {
+        let entries = self.export_entries();
+        std::fs::write(path, entries_to_text(&entries))
+    }
+
+    /// Loads a database from `path`, exactness-checking every entry.
+    ///
+    /// # Errors
+    /// I/O failures or corrupted entries (as `io::Error` with the
+    /// transform error message).
+    pub fn load_from_file(path: &Path) -> io::Result<RecipeDb> {
+        let text = std::fs::read_to_string(path)?;
+        let entries = entries_from_text(&text).map_err(io::Error::other)?;
+        let db = RecipeDb::new();
+        for e in &entries {
+            let recipes = entry_to_recipes(e).map_err(io::Error::other)?;
+            db.insert_loaded(e.spec, e.options, e.naive, recipes);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_symbolic::RecipeOptions;
+
+    fn populated_db() -> RecipeDb {
+        let db = RecipeDb::new();
+        db.get(WinogradSpec::new(2, 3).unwrap(), RecipeOptions::optimized())
+            .unwrap();
+        db.get(WinogradSpec::new(4, 3).unwrap(), RecipeOptions::optimized())
+            .unwrap();
+        db.get_naive(WinogradSpec::new(2, 3).unwrap()).unwrap();
+        db
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let db = populated_db();
+        let entries = db.export_entries();
+        assert_eq!(entries.len(), 3);
+        let text = entries_to_text(&entries);
+        let parsed = entries_from_text(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        for (a, b) in entries.iter().zip(&parsed) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.options, b.options);
+            assert_eq!(a.naive, b.naive);
+            assert_eq!(a.points, b.points);
+            assert_eq!(a.recipes.0, b.recipes.0);
+        }
+    }
+
+    #[test]
+    fn file_round_trip_with_verification() {
+        let db = populated_db();
+        let path = std::env::temp_dir().join("wino_recipe_db_test.txt");
+        db.save_to_file(&path).unwrap();
+        let loaded = RecipeDb::load_from_file(&path).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        // Loaded entries serve lookups without regeneration.
+        let hit = loaded.get(WinogradSpec::new(2, 3).unwrap(), RecipeOptions::optimized());
+        assert!(hit.is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let db = populated_db();
+        let mut entries = db.export_entries();
+        // Flip a constant inside a recipe: semantics change.
+        let bad = entries[0].recipes.1.to_text().replace("x1", "x0");
+        if let Ok(parsed) = Recipe::from_text(&bad) {
+            entries[0].recipes.1 = parsed;
+            let err = entry_to_recipes(&entries[0]).unwrap_err();
+            assert!(matches!(err, TransformError::BadSpec(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn malformed_files_rejected() {
+        assert!(entries_from_text("not a header").is_err());
+        assert!(entries_from_text("[F 2 3 cse=1 factorize=1 fma=1]").is_err());
+        assert!(entries_from_text("[F 2 3 cse=1 factorize=1 fma=1 naive=0]\nnope").is_err());
+        assert!(entries_from_text("# empty is fine\n").unwrap().is_empty());
+    }
+}

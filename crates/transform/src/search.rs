@@ -1,0 +1,213 @@
+//! Polynomial point search (§3.1.1).
+//!
+//! The paper begins with the ordered base set `(0, 1, −1)` and, when
+//! more points are required, searches the candidate pool
+//! `P = {a/b | −9 ≤ a ≤ 9, 1 ≤ b ≤ 9}` by measuring the median
+//! relative error of the resulting Winograd convolution over random
+//! tensors. The paper also notes that *recomputing the whole sequence*
+//! when a point is added beats reusing the previous prefix; we
+//! implement the search as a greedy sequence extension where every
+//! prefix is itself the best found, and expose the trial count so
+//! callers can trade accuracy for time (the paper uses 10 000 trials).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use wino_num::Rational;
+
+use crate::accuracy::measure_tile_error;
+use crate::error::TransformError;
+use crate::points::{base_points, candidate_pool};
+use crate::spec::WinogradSpec;
+
+/// Configuration of the point search.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Error-measurement trials per candidate (paper: 10 000; tests
+    /// use far fewer).
+    pub trials: usize,
+    /// RNG seed for the error measurement (shared across candidates so
+    /// they are compared on identical tensors).
+    pub seed: u64,
+    /// Optional cap on candidates examined per step (sampled uniformly
+    /// when the pool is larger); `None` means the full pool, which is
+    /// the paper's exhaustive per-step search.
+    pub max_candidates_per_step: Option<usize>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            trials: 500,
+            seed: 0x5eed,
+            max_candidates_per_step: None,
+        }
+    }
+}
+
+/// Result of a point search.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// The selected points, starting with the base set `(0, 1, −1)`.
+    pub points: Vec<Rational>,
+    /// Median relative error achieved by the full set.
+    pub median_error: f64,
+    /// Number of candidate evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Greedily selects interpolation points for `spec`, extending the
+/// base set one point at a time with the pool candidate that minimizes
+/// the measured median error.
+///
+/// # Errors
+/// Propagates construction failures; returns `BadSpec` if the spec
+/// needs fewer points than the base set provides (search is then
+/// unnecessary — use the base set directly).
+pub fn search_points(
+    spec: WinogradSpec,
+    config: &SearchConfig,
+) -> Result<SearchResult, TransformError> {
+    let needed = spec.points_needed();
+    let mut points = base_points();
+    if needed < points.len() {
+        return Err(TransformError::BadSpec(format!(
+            "{spec} needs only {needed} points; the base set suffices"
+        )));
+    }
+    points.truncate(needed.min(points.len()));
+    let pool = candidate_pool();
+    let mut evaluations = 0usize;
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e3779b97f4a7c15);
+
+    while points.len() < needed {
+        let mut candidates: Vec<&Rational> = pool.iter().filter(|c| !points.contains(c)).collect();
+        if let Some(cap) = config.max_candidates_per_step {
+            if candidates.len() > cap {
+                candidates.shuffle(&mut rng);
+                candidates.truncate(cap);
+            }
+        }
+        // A prefix of k points defines a smaller Winograd convolution
+        // (α = k + 1); candidates are scored on that prefix spec —
+        // the conditioning of a point set is essentially independent
+        // of how the α budget is split between m and r. When the
+        // prefix is too short for the real filter size, a 3-tap proxy
+        // spec is used.
+        let trial_len = points.len() + 1;
+        let eval_spec = prefix_spec(trial_len, spec.r)?;
+        let mut best: Option<(f64, &Rational)> = None;
+        for cand in candidates {
+            let mut trial_points = points.clone();
+            trial_points.push(cand.clone());
+            // Use a *fixed* seed so every candidate faces identical
+            // random tensors.
+            let stats =
+                match measure_tile_error(eval_spec, &trial_points, config.trials, config.seed) {
+                    Ok(s) => s,
+                    // A candidate that fails construction (cannot happen
+                    // for distinct points, but be defensive) is skipped.
+                    Err(_) => continue,
+                };
+            evaluations += 1;
+            let better = match &best {
+                None => true,
+                Some((err, _)) => stats.median < *err,
+            };
+            if better {
+                best = Some((stats.median, cand));
+            }
+        }
+        let (_, chosen) = best.ok_or_else(|| {
+            TransformError::BadSpec(format!("candidate pool exhausted for {spec}"))
+        })?;
+        points.push(chosen.clone());
+    }
+
+    let final_stats = measure_tile_error(spec, &points, config.trials, config.seed)?;
+    Ok(SearchResult {
+        points,
+        median_error: final_stats.median,
+        evaluations,
+    })
+}
+
+/// The spec used to score a point-set prefix of length `len`: the
+/// convolution with `α = len + 1` and the real filter size where
+/// possible, otherwise a 3-tap proxy.
+fn prefix_spec(len: usize, r: usize) -> Result<WinogradSpec, TransformError> {
+    let alpha = len + 1;
+    if alpha > r {
+        WinogradSpec::new(alpha - r + 1, r)
+    } else {
+        // Trial sets always extend the 3-point base set, so α ≥ 5 here
+        // and the 3-tap proxy spec F(α−2, 3) consumes exactly `len`
+        // points.
+        WinogradSpec::new(alpha - 2, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::table3_points;
+
+    fn cfg(trials: usize) -> SearchConfig {
+        SearchConfig {
+            trials,
+            seed: 99,
+            max_candidates_per_step: Some(12),
+        }
+    }
+
+    #[test]
+    fn base_set_needs_no_search() {
+        // F(2,3) needs exactly the 3 base points.
+        let spec = WinogradSpec::new(2, 3).unwrap();
+        let res = search_points(spec, &cfg(30)).unwrap();
+        assert_eq!(res.points, base_points());
+        assert_eq!(res.evaluations, 0);
+    }
+
+    #[test]
+    fn finds_a_fourth_point_for_f33() {
+        let spec = WinogradSpec::new(3, 3).unwrap();
+        let res = search_points(spec, &cfg(40)).unwrap();
+        assert_eq!(res.points.len(), 4);
+        assert_eq!(&res.points[..3], &base_points()[..]);
+        assert!(res.evaluations > 0);
+        assert!(res.median_error.is_finite());
+    }
+
+    #[test]
+    fn searched_points_are_competitive_with_table3() {
+        // The greedy search at modest trial counts should land within
+        // an order of magnitude of the paper's hand-picked set.
+        let spec = WinogradSpec::new(4, 3).unwrap(); // α = 6
+        let res = search_points(spec, &cfg(60)).unwrap();
+        let table = measure_tile_error(spec, &table3_points(6).unwrap(), 60, 99).unwrap();
+        assert!(
+            res.median_error < table.median * 10.0,
+            "searched {} vs table {}",
+            res.median_error,
+            table.median
+        );
+    }
+
+    #[test]
+    fn rejects_specs_below_base_set() {
+        let spec = WinogradSpec::new(1, 3).unwrap(); // needs 2 points
+        assert!(matches!(
+            search_points(spec, &cfg(10)),
+            Err(TransformError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_config() {
+        let spec = WinogradSpec::new(3, 3).unwrap();
+        let a = search_points(spec, &cfg(30)).unwrap();
+        let b = search_points(spec, &cfg(30)).unwrap();
+        assert_eq!(a.points, b.points);
+    }
+}

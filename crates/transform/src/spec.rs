@@ -1,0 +1,104 @@
+//! Winograd algorithm specifications.
+
+use std::fmt;
+
+use crate::error::TransformError;
+
+/// A Winograd minimal-filtering specification `F(m, r)`: `m` outputs
+/// computed with an `r`-tap filter. The 2-D convolution form
+/// `F(m², r²)` uses the same matrices applied along both axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WinogradSpec {
+    /// Output tile size `m` (freely choosable; the paper explores
+    /// `2 ≤ m ≤ 10`).
+    pub m: usize,
+    /// Filter (kernel) size `r` (fixed by the convolution layer; the
+    /// paper evaluates `r ∈ {3, 5, 7}`).
+    pub r: usize,
+}
+
+impl WinogradSpec {
+    /// Creates and validates a specification.
+    ///
+    /// # Errors
+    /// Rejects `m < 1` and `r < 2` (a 1-tap filter is a scale, not a
+    /// convolution), for which the Winograd construction degenerates.
+    pub fn new(m: usize, r: usize) -> Result<Self, TransformError> {
+        if m < 1 {
+            return Err(TransformError::BadSpec(
+                "output tile size m must be >= 1".into(),
+            ));
+        }
+        if r < 2 {
+            return Err(TransformError::BadSpec("filter size r must be >= 2".into()));
+        }
+        Ok(WinogradSpec { m, r })
+    }
+
+    /// The internal working tile size `α = m + r − 1`, which fixes the
+    /// shapes of all three transformation matrices.
+    pub fn alpha(&self) -> usize {
+        self.m + self.r - 1
+    }
+
+    /// Number of finite interpolation points required: `m + r − 2`
+    /// (the remaining point is the ∞ pseudo-point).
+    pub fn points_needed(&self) -> usize {
+        self.m + self.r - 2
+    }
+
+    /// Multiplications needed by the 1-D algorithm (`α = m + r − 1`,
+    /// versus `m·r` for the direct method).
+    pub fn multiplications_1d(&self) -> usize {
+        self.alpha()
+    }
+
+    /// Multiplications needed per 2-D output tile: `α²` versus
+    /// `m²·r²` direct.
+    pub fn multiplications_2d(&self) -> usize {
+        self.alpha() * self.alpha()
+    }
+}
+
+impl fmt::Display for WinogradSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F({}, {})", self.m, self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_and_point_count() {
+        let s = WinogradSpec::new(2, 3).unwrap();
+        assert_eq!(s.alpha(), 4);
+        assert_eq!(s.points_needed(), 3);
+        assert_eq!(s.to_string(), "F(2, 3)");
+    }
+
+    #[test]
+    fn multiplication_savings() {
+        let s = WinogradSpec::new(2, 3).unwrap();
+        assert_eq!(s.multiplications_1d(), 4); // vs 6 direct
+        assert_eq!(s.multiplications_2d(), 16); // vs 36 direct
+    }
+
+    #[test]
+    fn rejects_degenerate_specs() {
+        assert!(WinogradSpec::new(0, 3).is_err());
+        assert!(WinogradSpec::new(2, 1).is_err());
+        assert!(WinogradSpec::new(1, 2).is_ok());
+    }
+
+    #[test]
+    fn paper_range() {
+        for m in 2..=10 {
+            for r in [3, 5, 7] {
+                let s = WinogradSpec::new(m, r).unwrap();
+                assert_eq!(s.alpha(), m + r - 1);
+            }
+        }
+    }
+}

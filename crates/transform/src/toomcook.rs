@@ -1,0 +1,295 @@
+//! Modified Toom-Cook construction of Winograd transformation
+//! matrices over exact rationals (§3.1.2, after Barabasz et al.).
+//!
+//! For `F(m, r)` with `α = m + r − 1`, choose `n = α − 1` distinct
+//! finite points `p₀ … p₍ₙ₋₁₎`; the final evaluation point is the ∞
+//! pseudo-point. With the master polynomial `M(x) = Π (x − pᵢ)` and
+//! the Lagrange normalizers `Nᵢ = Π_{k≠i} (pᵢ − pₖ)`:
+//!
+//! * `G (α×r)` — rows `i < n`: `[1, pᵢ, …, pᵢ^{r−1}] / Nᵢ`; row `n`:
+//!   `e_{r−1}`.
+//! * `Aᵀ (m×α)` — columns `j < n`: `[1, pⱼ, …, pⱼ^{m−1}]ᵀ`; column
+//!   `n`: `e_{m−1}`.
+//! * `Bᵀ (α×α)` — rows `i < n`: coefficients of `M(x)/(x − pᵢ)`;
+//!   row `n`: coefficients of `M(x)`.
+//!
+//! The defining identity `Aᵀ[(G·g) ⊙ (Bᵀ·d)] = correlate(d, g)` holds
+//! *exactly* over ℚ and is property-tested in this crate.
+
+use wino_num::{Poly, RatMat, Rational};
+
+use crate::error::TransformError;
+use crate::points::validate_points;
+use crate::spec::WinogradSpec;
+
+/// The three exact transformation matrices of a Winograd convolution,
+/// together with the spec and points that produced them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransformMatrices {
+    /// The specification the matrices implement.
+    pub spec: WinogradSpec,
+    /// The finite interpolation points used.
+    pub points: Vec<Rational>,
+    /// Filter transform `G` (α × r): `U = G · g · Gᵀ`.
+    pub g: RatMat,
+    /// Input transform `Bᵀ` (α × α): `V = Bᵀ · d · B`.
+    pub b_t: RatMat,
+    /// Output transform `Aᵀ` (m × α): `Y = Aᵀ · M · A`.
+    pub a_t: RatMat,
+}
+
+impl TransformMatrices {
+    /// The internal tile size α.
+    pub fn alpha(&self) -> usize {
+        self.spec.alpha()
+    }
+}
+
+/// Builds the transformation matrices for `spec` from the given finite
+/// points using the modified Toom-Cook method.
+///
+/// # Errors
+/// Point-set validation failures ([`TransformError::WrongPointCount`],
+/// [`TransformError::DuplicatePoint`]).
+pub fn toom_cook_matrices(
+    spec: WinogradSpec,
+    points: &[Rational],
+) -> Result<TransformMatrices, TransformError> {
+    let alpha = spec.alpha();
+    let n = alpha - 1;
+    validate_points(points, n)?;
+
+    // Lagrange normalizers N_i = Π_{k≠i} (p_i − p_k). Distinctness is
+    // validated above, so every factor is non-zero.
+    let normalizers: Vec<Rational> = (0..n)
+        .map(|i| {
+            let mut acc = Rational::one();
+            for k in 0..n {
+                if k != i {
+                    acc *= &(&points[i] - &points[k]);
+                }
+            }
+            acc
+        })
+        .collect();
+
+    // G (α × r).
+    let g = RatMat::from_fn(alpha, spec.r, |i, j| {
+        if i < n {
+            let pij = points[i].pow(j as i32).expect("non-negative power");
+            &pij / &normalizers[i]
+        } else if j == spec.r - 1 {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
+    });
+
+    // Aᵀ (m × α).
+    let a_t = RatMat::from_fn(spec.m, alpha, |i, j| {
+        if j < n {
+            points[j].pow(i as i32).expect("non-negative power")
+        } else if i == spec.m - 1 {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
+    });
+
+    // Bᵀ (α × α): Lagrange numerator polynomials, then M itself.
+    let master = Poly::from_roots(points);
+    let mut b_t = RatMat::zeros(alpha, alpha);
+    for i in 0..n {
+        let mi = master
+            .div_by_root(&points[i])
+            .expect("points are roots of the master polynomial");
+        for j in 0..alpha {
+            b_t[(i, j)] = mi.coeff(j);
+        }
+    }
+    for j in 0..alpha {
+        b_t[(n, j)] = master.coeff(j);
+    }
+
+    Ok(TransformMatrices {
+        spec,
+        points: points.to_vec(),
+        g,
+        b_t,
+        a_t,
+    })
+}
+
+/// Reference 1-D correlation: `y_k = Σ_j g_j · d_{k+j}` — the ground
+/// truth the Winograd identity must reproduce.
+pub fn correlate_1d(d: &[Rational], g: &[Rational]) -> Vec<Rational> {
+    let m = d.len() + 1 - g.len();
+    (0..m)
+        .map(|k| {
+            let mut acc = Rational::zero();
+            for (j, gj) in g.iter().enumerate() {
+                acc += &(gj * &d[k + j]);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Runs the exact 1-D Winograd algorithm `Aᵀ[(G·g) ⊙ (Bᵀ·d)]`.
+///
+/// # Errors
+/// Shape mismatches from the underlying matrix products.
+pub fn winograd_1d_exact(
+    mats: &TransformMatrices,
+    d: &[Rational],
+    g: &[Rational],
+) -> Result<Vec<Rational>, TransformError> {
+    let u = mats.g.matvec(g)?;
+    let v = mats.b_t.matvec(d)?;
+    let c: Vec<Rational> = u.iter().zip(&v).map(|(a, b)| a * b).collect();
+    Ok(mats.a_t.matvec(&c)?)
+}
+
+/// Reference 2-D correlation of an `α×α` tile with an `r×r` filter
+/// producing an `m×m` tile.
+pub fn correlate_2d(d: &RatMat, g: &RatMat) -> RatMat {
+    let m = d.rows() + 1 - g.rows();
+    RatMat::from_fn(m, m, |y, x| {
+        let mut acc = Rational::zero();
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                acc += &(&g[(i, j)] * &d[(y + i, x + j)]);
+            }
+        }
+        acc
+    })
+}
+
+/// Runs the exact 2-D Winograd algorithm
+/// `Y = Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]·A`.
+///
+/// # Errors
+/// Shape mismatches from the underlying matrix products.
+pub fn winograd_2d_exact(
+    mats: &TransformMatrices,
+    d: &RatMat,
+    g: &RatMat,
+) -> Result<RatMat, TransformError> {
+    let u = mats.g.matmul(g)?.matmul(&mats.g.transpose())?;
+    let v = mats.b_t.matmul(d)?.matmul(&mats.b_t.transpose())?;
+    let alpha = mats.alpha();
+    let prod = RatMat::from_fn(alpha, alpha, |i, j| &u[(i, j)] * &v[(i, j)]);
+    Ok(mats.a_t.matmul(&prod)?.matmul(&mats.a_t.transpose())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::table3_points;
+
+    fn spec(m: usize, r: usize) -> WinogradSpec {
+        WinogradSpec::new(m, r).unwrap()
+    }
+
+    fn r64(a: i64, b: i64) -> Rational {
+        Rational::from_frac(a, b)
+    }
+
+    #[test]
+    fn f23_matrices_match_the_paper() {
+        // F(2,3) with points (0, 1, −1) — Equation 6/7 of the paper up
+        // to the documented sign convention (our G row 0 is −1·g0 and
+        // Bᵀ rows 0/3 flip correspondingly; the product is identical).
+        let mats = toom_cook_matrices(spec(2, 3), &table3_points(4).unwrap()).unwrap();
+        assert_eq!(mats.g.rows(), 4);
+        assert_eq!(mats.g.cols(), 3);
+        assert_eq!(mats.b_t.rows(), 4);
+        assert_eq!(mats.a_t.rows(), 2);
+        assert_eq!(mats.a_t.cols(), 4);
+        // Row 1 of G is the famous (½, ½, ½).
+        assert_eq!(mats.g[(1, 0)], r64(1, 2));
+        assert_eq!(mats.g[(1, 1)], r64(1, 2));
+        assert_eq!(mats.g[(1, 2)], r64(1, 2));
+        // Row 2 is (½, −½, ½).
+        assert_eq!(mats.g[(2, 1)], r64(-1, 2));
+        // ∞ rows.
+        assert_eq!(mats.g[(3, 2)], Rational::one());
+        assert_eq!(mats.g[(3, 0)], Rational::zero());
+    }
+
+    #[test]
+    fn winograd_identity_1d_f23() {
+        let mats = toom_cook_matrices(spec(2, 3), &table3_points(4).unwrap()).unwrap();
+        let d = vec![r64(1, 1), r64(2, 1), r64(3, 1), r64(4, 1)];
+        let g = vec![r64(1, 2), r64(-3, 1), r64(5, 7)];
+        assert_eq!(
+            winograd_1d_exact(&mats, &d, &g).unwrap(),
+            correlate_1d(&d, &g)
+        );
+    }
+
+    #[test]
+    fn winograd_identity_2d_f23() {
+        let mats = toom_cook_matrices(spec(2, 3), &table3_points(4).unwrap()).unwrap();
+        let d = RatMat::from_fn(4, 4, |i, j| r64((i * 4 + j) as i64 + 1, 3));
+        let g = RatMat::from_fn(3, 3, |i, j| r64(2 * i as i64 - j as i64, 5));
+        assert_eq!(
+            winograd_2d_exact(&mats, &d, &g).unwrap(),
+            correlate_2d(&d, &g)
+        );
+    }
+
+    #[test]
+    fn winograd_identity_all_table3_specs() {
+        // Every (m, r) pair in the paper's sweep whose α has a Table-3
+        // point set must satisfy the identity exactly.
+        for r in [3usize, 5, 7] {
+            for m in 2..=10usize {
+                let alpha = m + r - 1;
+                if !(4..=16).contains(&alpha) {
+                    continue;
+                }
+                let sp = spec(m, r);
+                let mats = toom_cook_matrices(sp, &table3_points(alpha).unwrap())
+                    .unwrap_or_else(|e| panic!("F({m},{r}): {e}"));
+                let d: Vec<Rational> = (0..alpha).map(|k| r64(3 * k as i64 - 5, 7)).collect();
+                let g: Vec<Rational> = (0..r).map(|k| r64(2 * k as i64 + 1, 9)).collect();
+                assert_eq!(
+                    winograd_1d_exact(&mats, &d, &g).unwrap(),
+                    correlate_1d(&d, &g),
+                    "1-D identity failed for F({m},{r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_point_count_rejected() {
+        let err = toom_cook_matrices(spec(4, 3), &table3_points(4).unwrap()).unwrap_err();
+        assert!(matches!(
+            err,
+            TransformError::WrongPointCount {
+                required: 5,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_points_rejected() {
+        let pts = vec![r64(0, 1), r64(1, 1), r64(1, 1)];
+        let err = toom_cook_matrices(spec(2, 3), &pts).unwrap_err();
+        assert!(matches!(err, TransformError::DuplicatePoint(_)));
+    }
+
+    #[test]
+    fn correlate_2d_known_value() {
+        // 3×3 ones filter over a 4×4 ramp: each output is the sum of a
+        // 3×3 window.
+        let d = RatMat::from_fn(4, 4, |i, j| Rational::from_int((i * 4 + j) as i64));
+        let g = RatMat::from_fn(3, 3, |_, _| Rational::one());
+        let y = correlate_2d(&d, &g);
+        assert_eq!(y[(0, 0)], Rational::from_int(45));
+        assert_eq!(y[(1, 1)], Rational::from_int(90));
+    }
+}

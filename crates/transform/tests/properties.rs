@@ -1,0 +1,103 @@
+//! Property tests: the Winograd identity must hold *exactly* over ℚ
+//! for arbitrary distinct rational points and arbitrary inputs — this
+//! is the theorem the whole system rests on.
+
+use proptest::prelude::*;
+use wino_num::{RatMat, Rational};
+use wino_symbolic::{generate_recipe, RecipeOptions};
+use wino_transform::{
+    correlate_1d, correlate_2d, toom_cook_matrices, winograd_1d_exact, winograd_2d_exact,
+    WinogradSpec,
+};
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (-9i64..=9, 1i64..=9).prop_map(|(a, b)| Rational::from_frac(a, b))
+}
+
+/// Distinct rational points of the requested cardinality.
+fn arb_points(n: usize) -> impl Strategy<Value = Vec<Rational>> {
+    proptest::collection::vec(arb_rational(), n * 4).prop_filter_map(
+        "need enough distinct points",
+        move |cands| {
+            let mut out: Vec<Rational> = Vec::new();
+            for c in cands {
+                if !out.contains(&c) {
+                    out.push(c);
+                    if out.len() == n {
+                        return Some(out);
+                    }
+                }
+            }
+            None
+        },
+    )
+}
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<Rational>> {
+    proptest::collection::vec(arb_rational(), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// 1-D: Aᵀ[(G·g) ⊙ (Bᵀ·d)] ≡ correlate(d, g) for random specs,
+    /// random distinct points, random inputs.
+    #[test]
+    fn winograd_identity_1d(
+        m in 1usize..=6,
+        r in 2usize..=5,
+        points in arb_points(9),
+        dv in arb_vec(10),
+        gv in arb_vec(5),
+    ) {
+        let spec = WinogradSpec::new(m, r).unwrap();
+        let pts = &points[..spec.points_needed()];
+        let d = &dv[..spec.alpha()];
+        let g = &gv[..r];
+        let mats = toom_cook_matrices(spec, pts).unwrap();
+        prop_assert_eq!(winograd_1d_exact(&mats, d, g).unwrap(), correlate_1d(d, g));
+    }
+
+    /// 2-D: the full tile identity with the paper's F(m², r²) form.
+    #[test]
+    fn winograd_identity_2d(
+        m in 1usize..=4,
+        r in 2usize..=4,
+        dv in proptest::collection::vec(arb_rational(), 64),
+        gv in proptest::collection::vec(arb_rational(), 16),
+        points in arb_points(8),
+    ) {
+        let spec = WinogradSpec::new(m, r).unwrap();
+        let alpha = spec.alpha();
+        prop_assume!(alpha * alpha <= dv.len() && r * r <= gv.len());
+        let pts = &points[..spec.points_needed()];
+        let mats = toom_cook_matrices(spec, pts).unwrap();
+        let d = RatMat::from_fn(alpha, alpha, |i, j| dv[i * alpha + j].clone());
+        let g = RatMat::from_fn(r, r, |i, j| gv[i * r + j].clone());
+        prop_assert_eq!(winograd_2d_exact(&mats, &d, &g).unwrap(), correlate_2d(&d, &g));
+    }
+
+    /// The generated recipes compute exactly the same linear maps as
+    /// the matrices they were derived from, for arbitrary point sets.
+    #[test]
+    fn recipes_equal_matrices_for_arbitrary_points(
+        m in 2usize..=5,
+        r in 2usize..=4,
+        points in arb_points(9),
+        x in proptest::collection::vec(arb_rational(), 12),
+        cse in any::<bool>(),
+        factorize in any::<bool>(),
+        fma in any::<bool>(),
+    ) {
+        let spec = WinogradSpec::new(m, r).unwrap();
+        let pts = &points[..spec.points_needed()];
+        let mats = toom_cook_matrices(spec, pts).unwrap();
+        let opts = RecipeOptions { cse, factorize, fma };
+        for mat in [&mats.g, &mats.b_t, &mats.a_t] {
+            let recipe = generate_recipe(mat, &opts);
+            recipe.validate().unwrap();
+            let input = &x[..mat.cols()];
+            prop_assert_eq!(recipe.eval_exact(input), mat.matvec(input).unwrap());
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Persistent tuning cache.
+//!
+//! Tuning a convolution costs a full space sweep; results are stable
+//! for a given (convolution, device) pair, so the framework caches
+//! them — mirroring the recipe database of §3.1.2 at the tuning layer.
+//! The cache serializes to JSON so deployments can ship pre-tuned
+//! parameter sets per platform.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use wino_codegen::{PlanVariant, Unroll};
+use wino_tensor::ConvDesc;
+
+use crate::space::TuningPoint;
+use crate::tuner::Evaluation;
+
+/// Serializable form of one cached tuning result.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct CacheEntry {
+    /// Variant tag: `"direct"`, `"im2col"`, `"nonfused"`, `"fused"`.
+    pub variant: String,
+    /// Winograd output tile size (0 for baselines).
+    pub m: usize,
+    /// Unroll factor (0 encodes ∞).
+    pub unroll: usize,
+    /// Register blocking.
+    pub mnt: usize,
+    /// Thread blocking.
+    pub mnb: usize,
+    /// Modelled runtime in milliseconds.
+    pub time_ms: f64,
+}
+
+impl CacheEntry {
+    /// Converts an evaluation into its serializable form.
+    pub fn from_evaluation(e: &Evaluation) -> Self {
+        let (variant, m) = match e.point.variant {
+            PlanVariant::Direct => ("direct", 0),
+            PlanVariant::Im2col => ("im2col", 0),
+            PlanVariant::WinogradNonFused { m } => ("nonfused", m),
+            PlanVariant::WinogradFused { m } => ("fused", m),
+        };
+        CacheEntry {
+            variant: variant.to_string(),
+            m,
+            unroll: match e.point.unroll {
+                Unroll::Factor(f) => f,
+                Unroll::Full => 0,
+            },
+            mnt: e.point.mnt,
+            mnb: e.point.mnb,
+            time_ms: e.time_ms,
+        }
+    }
+
+    /// Reconstructs the evaluation; `None` for unknown variant tags
+    /// (forward compatibility).
+    pub fn to_evaluation(&self) -> Option<Evaluation> {
+        let variant = match self.variant.as_str() {
+            "direct" => PlanVariant::Direct,
+            "im2col" => PlanVariant::Im2col,
+            "nonfused" => PlanVariant::WinogradNonFused { m: self.m },
+            "fused" => PlanVariant::WinogradFused { m: self.m },
+            _ => return None,
+        };
+        Some(Evaluation {
+            point: TuningPoint {
+                variant,
+                unroll: if self.unroll == 0 {
+                    Unroll::Full
+                } else {
+                    Unroll::Factor(self.unroll)
+                },
+                mnt: self.mnt,
+                mnb: self.mnb,
+            },
+            time_ms: self.time_ms,
+        })
+    }
+}
+
+/// Stable string key for a (convolution, device) pair.
+pub fn cache_key(desc: &ConvDesc, device_name: &str) -> String {
+    format!(
+        "{device_name}|k{}s{}p{}oc{}b{}h{}w{}c{}",
+        desc.ksz, desc.stride, desc.pad, desc.out_ch, desc.batch, desc.in_h, desc.in_w, desc.in_ch
+    )
+}
+
+/// Thread-safe tuning cache with JSON persistence.
+#[derive(Default)]
+pub struct TuningCache {
+    entries: RwLock<BTreeMap<String, CacheEntry>>,
+}
+
+impl TuningCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a cached result.
+    pub fn get(&self, desc: &ConvDesc, device_name: &str) -> Option<Evaluation> {
+        self.entries
+            .read()
+            .get(&cache_key(desc, device_name))
+            .and_then(CacheEntry::to_evaluation)
+    }
+
+    /// Stores a result.
+    pub fn put(&self, desc: &ConvDesc, device_name: &str, eval: &Evaluation) {
+        self.entries.write().insert(
+            cache_key(desc, device_name),
+            CacheEntry::from_evaluation(eval),
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    /// Serialization failures (effectively unreachable for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(&*self.entries.read())
+    }
+
+    /// Loads a cache from JSON.
+    ///
+    /// # Errors
+    /// Malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let entries: BTreeMap<String, CacheEntry> = serde_json::from_str(json)?;
+        Ok(TuningCache {
+            entries: RwLock::new(entries),
+        })
+    }
+
+    /// Writes the cache to a file.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = self.to_json().map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Reads a cache from a file.
+    ///
+    /// # Errors
+    /// I/O or parse failures.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_eval() -> Evaluation {
+        Evaluation {
+            point: TuningPoint {
+                variant: PlanVariant::WinogradFused { m: 4 },
+                unroll: Unroll::Full,
+                mnt: 4,
+                mnb: 16,
+            },
+            time_ms: 0.123,
+        }
+    }
+
+    fn sample_desc() -> ConvDesc {
+        ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let cache = TuningCache::new();
+        assert!(cache.get(&sample_desc(), "dev").is_none());
+        cache.put(&sample_desc(), "dev", &sample_eval());
+        let got = cache.get(&sample_desc(), "dev").unwrap();
+        assert_eq!(got.point, sample_eval().point);
+        assert_eq!(got.time_ms, 0.123);
+    }
+
+    #[test]
+    fn keys_distinguish_device_and_shape() {
+        let cache = TuningCache::new();
+        cache.put(&sample_desc(), "devA", &sample_eval());
+        assert!(cache.get(&sample_desc(), "devB").is_none());
+        let mut other = sample_desc();
+        other.batch = 5;
+        assert!(cache.get(&other, "devA").is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cache = TuningCache::new();
+        cache.put(&sample_desc(), "dev", &sample_eval());
+        let json = cache.to_json().unwrap();
+        let loaded = TuningCache::from_json(&json).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(
+            loaded.get(&sample_desc(), "dev").unwrap().point,
+            sample_eval().point
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let cache = TuningCache::new();
+        cache.put(&sample_desc(), "dev", &sample_eval());
+        let dir = std::env::temp_dir().join("wino_tuner_test_cache.json");
+        cache.save(&dir).unwrap();
+        let loaded = TuningCache::load(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn unroll_encoding() {
+        let mut e = sample_eval();
+        e.point.unroll = Unroll::Factor(6);
+        let entry = CacheEntry::from_evaluation(&e);
+        assert_eq!(entry.unroll, 6);
+        assert_eq!(
+            entry.to_evaluation().unwrap().point.unroll,
+            Unroll::Factor(6)
+        );
+        e.point.unroll = Unroll::Full;
+        let entry = CacheEntry::from_evaluation(&e);
+        assert_eq!(entry.unroll, 0);
+        assert_eq!(entry.to_evaluation().unwrap().point.unroll, Unroll::Full);
+    }
+
+    #[test]
+    fn unknown_variant_tag_ignored() {
+        let entry = CacheEntry {
+            variant: "quantum".into(),
+            m: 2,
+            unroll: 1,
+            mnt: 1,
+            mnb: 8,
+            time_ms: 1.0,
+        };
+        assert!(entry.to_evaluation().is_none());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(TuningCache::from_json("not json").is_err());
+    }
+}

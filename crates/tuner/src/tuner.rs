@@ -1,0 +1,274 @@
+//! The brute-force auto-tuner (§3.3).
+//!
+//! "By performing a brute-force … exploration of the space of variants
+//! and tuning parameters, we can find the best parameters for a given
+//! Winograd convolution operation and provide performance portability
+//! among different hardware platforms. Considering the manageable size
+//! of the search space, we used the brute-force method."
+//!
+//! Every point generates its kernel plan through `wino-codegen` and is
+//! timed by the `wino-gpu` model; points that fail to generate or
+//! cannot launch on the device (fused kernels whose shared memory or
+//! registers exceed the part) are counted as rejected — that rejection
+//! *is* the mechanism by which variant selection adapts per platform.
+
+use crossbeam::thread;
+use wino_codegen::{generate_plan, CodegenOptions, PlanVariant};
+use wino_gpu::{estimate_plan_ms, DeviceProfile};
+use wino_tensor::ConvDesc;
+
+use crate::space::{search_space, TuningPoint};
+
+/// Outcome of evaluating one tuning point.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// The point evaluated.
+    pub point: TuningPoint,
+    /// Modelled runtime in milliseconds.
+    pub time_ms: f64,
+}
+
+/// Result of tuning one convolution on one device.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    /// The winning point.
+    pub best: Evaluation,
+    /// Points successfully evaluated.
+    pub evaluated: usize,
+    /// Points rejected (generation or launch failure).
+    pub rejected: usize,
+    /// The best evaluation per variant (for variant-comparison plots).
+    pub per_variant_best: Vec<Evaluation>,
+}
+
+/// Errors from tuning.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TuneError {
+    /// Not a single point of the space ran on this device.
+    NothingRuns(String),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::NothingRuns(msg) => write!(f, "no tuning point runs: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+fn evaluate_point(
+    desc: &ConvDesc,
+    device: &DeviceProfile,
+    point: &TuningPoint,
+) -> Option<Evaluation> {
+    evaluate_point_public(desc, device, point)
+}
+
+/// Generates and prices one tuning point; `None` when the point cannot
+/// generate or launch. Shared by the brute-force and guided tuners.
+pub(crate) fn evaluate_point_public(
+    desc: &ConvDesc,
+    device: &DeviceProfile,
+    point: &TuningPoint,
+) -> Option<Evaluation> {
+    let opts = CodegenOptions {
+        unroll: point.unroll,
+        mnt: point.mnt,
+        mnb: point.mnb,
+        ..CodegenOptions::default()
+    };
+    let plan = generate_plan(desc, point.variant, &opts).ok()?;
+    let time_ms = estimate_plan_ms(device, &plan).ok()?;
+    Some(Evaluation {
+        point: *point,
+        time_ms,
+    })
+}
+
+/// Brute-force tunes `desc` on `device` over the full Table-1 space,
+/// evaluating points in parallel across `threads` workers.
+///
+/// # Errors
+/// [`TuneError::NothingRuns`] when every point is rejected.
+pub fn tune(
+    desc: &ConvDesc,
+    device: &DeviceProfile,
+    threads: usize,
+) -> Result<TuneReport, TuneError> {
+    tune_with_space(desc, device, threads, search_space(desc))
+}
+
+/// Tunes over an explicit (possibly filtered) point set — the paper's
+/// "guided or sampled exploration" alternative to full brute force,
+/// and the hook the benchmark harness uses to tune Winograd-only or
+/// baseline-only sub-spaces.
+///
+/// # Errors
+/// [`TuneError::NothingRuns`] when every point is rejected.
+pub fn tune_with_space(
+    desc: &ConvDesc,
+    device: &DeviceProfile,
+    threads: usize,
+    space: Vec<TuningPoint>,
+) -> Result<TuneReport, TuneError> {
+    let threads = threads.clamp(1, 16);
+    let chunks: Vec<&[TuningPoint]> = space.chunks(space.len().div_ceil(threads).max(1)).collect();
+    let results: Vec<Option<Evaluation>> = thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|p| evaluate_point(desc, device, p))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("tuning worker panicked"))
+            .collect()
+    })
+    .expect("tuning scope panicked");
+
+    let evaluations: Vec<Evaluation> = results.iter().flatten().cloned().collect();
+    let rejected = results.len() - evaluations.len();
+    let best = evaluations
+        .iter()
+        .min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("finite times"))
+        .cloned()
+        .ok_or_else(|| TuneError::NothingRuns(format!("{desc} on {}", device.name)))?;
+
+    // Best per variant.
+    let mut per_variant_best: Vec<Evaluation> = Vec::new();
+    for e in &evaluations {
+        match per_variant_best
+            .iter_mut()
+            .find(|b| b.point.variant == e.point.variant)
+        {
+            Some(b) => {
+                if e.time_ms < b.time_ms {
+                    *b = e.clone();
+                }
+            }
+            None => per_variant_best.push(e.clone()),
+        }
+    }
+    per_variant_best.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("finite"));
+
+    Ok(TuneReport {
+        best,
+        evaluated: evaluations.len(),
+        rejected,
+        per_variant_best,
+    })
+}
+
+/// The untuned reference configuration the paper uses on the mobile
+/// platform when auto-tuning is disabled: "We always used a non-fused
+/// implementation with m = 2, when auto-tuning is disabled" (§4.3),
+/// with neutral default parameters.
+pub fn untuned_point() -> TuningPoint {
+    TuningPoint {
+        variant: PlanVariant::WinogradNonFused { m: 2 },
+        unroll: wino_codegen::Unroll::Factor(1),
+        mnt: 2,
+        mnb: 16,
+    }
+}
+
+/// Evaluates the untuned reference on a device.
+///
+/// # Errors
+/// [`TuneError::NothingRuns`] if even the reference fails.
+pub fn evaluate_untuned(desc: &ConvDesc, device: &DeviceProfile) -> Result<Evaluation, TuneError> {
+    evaluate_point(desc, device, &untuned_point())
+        .or_else(|| {
+            // Strided or otherwise non-Winograd layers fall back to
+            // im2col, still untuned.
+            evaluate_point(
+                desc,
+                device,
+                &TuningPoint {
+                    variant: PlanVariant::Im2col,
+                    ..untuned_point()
+                },
+            )
+        })
+        .ok_or_else(|| TuneError::NothingRuns(format!("untuned {desc} on {}", device.name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_gpu::{gtx_1080_ti, mali_g71};
+
+    fn small_conv() -> ConvDesc {
+        ConvDesc::new(3, 1, 1, 32, 1, 14, 14, 16)
+    }
+
+    #[test]
+    fn tuning_finds_a_winner() {
+        let report = tune(&small_conv(), &gtx_1080_ti(), 4).unwrap();
+        assert!(report.evaluated > 0);
+        assert!(report.best.time_ms > 0.0);
+        // The winner must beat (or match) every per-variant best.
+        for v in &report.per_variant_best {
+            assert!(report.best.time_ms <= v.time_ms + 1e-12);
+        }
+    }
+
+    #[test]
+    fn some_points_are_rejected_on_mobile() {
+        // Mali's 384-thread block limit rejects every MNb = 32 point.
+        let report = tune(&small_conv(), &mali_g71(), 4).unwrap();
+        assert!(report.rejected > 0, "expected rejections on Mali");
+        assert!(report.best.point.mnb < 32);
+    }
+
+    #[test]
+    fn tuned_beats_untuned() {
+        let desc = small_conv();
+        for device in [gtx_1080_ti(), mali_g71()] {
+            let tuned = tune(&desc, &device, 4).unwrap();
+            let untuned = evaluate_untuned(&desc, &device).unwrap();
+            assert!(
+                tuned.best.time_ms <= untuned.time_ms,
+                "{}: tuned {} vs untuned {}",
+                device.name,
+                tuned.best.time_ms,
+                untuned.time_ms
+            );
+        }
+    }
+
+    #[test]
+    fn winograd_wins_on_suitable_layers() {
+        // A classic 3×3 layer: some Winograd variant should beat the
+        // direct baseline on the desktop GPU.
+        let report = tune(&small_conv(), &gtx_1080_ti(), 4).unwrap();
+        assert!(
+            report.best.point.variant.winograd_m().is_some(),
+            "best = {:?}",
+            report.best.point
+        );
+    }
+
+    #[test]
+    fn strided_conv_tunes_to_baseline() {
+        let desc = ConvDesc::new(3, 2, 1, 32, 1, 14, 14, 16);
+        let report = tune(&desc, &gtx_1080_ti(), 2).unwrap();
+        assert!(report.best.point.variant.winograd_m().is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tune(&small_conv(), &gtx_1080_ti(), 4).unwrap();
+        let b = tune(&small_conv(), &gtx_1080_ti(), 1).unwrap();
+        assert_eq!(a.best.point, b.best.point);
+        assert!((a.best.time_ms - b.best.time_ms).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! One meta-code, three GPU dialects: the same generated Winograd
+//! filter-transform kernel emitted as CUDA-C, OpenCL C, and GLSL
+//! compute (§3.2's bridging claim, live).
+//!
+//! ```sh
+//! cargo run --release --example backends
+//! ```
+
+use winograd_meta::codegen::{gen_filter_transform_kernel, CodegenOptions};
+use winograd_meta::ir::Backend;
+use winograd_meta::prelude::*;
+
+fn main() {
+    let desc = ConvDesc::new(3, 1, 1, 8, 1, 14, 14, 4);
+    let spec = WinogradSpec::new(2, 3).expect("valid spec");
+    let recipes =
+        TransformRecipes::generate(spec, RecipeOptions::optimized()).expect("supported spec");
+
+    for backend in [Backend::Cuda, Backend::OpenCl, Backend::Vulkan] {
+        let opts = CodegenOptions { backend, ..Default::default() };
+        let kernel = gen_filter_transform_kernel(&desc, &recipes, &opts).expect("generates");
+        println!("================ {backend} ================");
+        // The head of the kernel shows the dialect differences; the
+        // recipe body is identical math in every dialect.
+        for line in kernel.source.lines().take(18) {
+            println!("{line}");
+        }
+        println!("...\n");
+    }
+
+    println!(
+        "All three variants come from one template + one recipe; only the\n\
+         launch/indexing/buffer syntax differs — exactly the paper's point."
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: generate optimized Winograd recipes, run a convolution
+//! with them, verify against direct convolution, and peek at the
+//! generated GPU kernel source.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use winograd_meta::prelude::*;
+
+fn main() {
+    // --- 1. A Winograd configuration: F(6,3), the paper's 3×3 sweet
+    //        spot (α = 8).
+    let spec = WinogradSpec::new(6, 3).expect("valid spec");
+    let recipes =
+        TransformRecipes::generate(spec, RecipeOptions::optimized()).expect("supported spec");
+    println!("=== {spec} (alpha = {}) ===", spec.alpha());
+    println!(
+        "filter transform recipe : {:>3} ops  (naive matmul: {} ops)",
+        recipes.filter.op_count().total(),
+        OpCount::naive_matvec(spec.alpha(), spec.r).total_unfused(),
+    );
+    println!(
+        "input  transform recipe : {:>3} ops  (naive matmul: {} ops)",
+        recipes.input.op_count().total(),
+        OpCount::naive_matvec(spec.alpha(), spec.alpha()).total_unfused(),
+    );
+    println!(
+        "output transform recipe : {:>3} ops  (naive matmul: {} ops)",
+        recipes.output.op_count().total(),
+        OpCount::naive_matvec(spec.m, spec.alpha()).total_unfused(),
+    );
+
+    // --- 2. Run a real convolution with the recipes and check it.
+    let desc = ConvDesc::new(3, 1, 1, 64, 1, 28, 28, 32);
+    let mut rng = StdRng::seed_from_u64(42);
+    let input = Tensor4::<f32>::random(1, 32, 28, 28, -1.0, 1.0, &mut rng);
+    let filters = Tensor4::<f32>::random(64, 32, 3, 3, -1.0, 1.0, &mut rng);
+
+    let wino =
+        conv_winograd(&input, &filters, &desc, &WinogradConfig::new(6)).expect("winograd runs");
+    let direct = conv_direct_f32(&input, &filters, &desc).expect("direct runs");
+    let max_err = wino
+        .data()
+        .iter()
+        .zip(direct.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("\n=== {desc} ===");
+    println!("max |winograd - direct| = {max_err:.2e}  (FP32 rounding only)");
+
+    // --- 3. Generate the GPU kernel plan for the same layer and show
+    //        a fragment of the emitted CUDA source.
+    let plan = generate_plan(
+        &desc,
+        PlanVariant::WinogradNonFused { m: 6 },
+        &CodegenOptions::default(),
+    )
+    .expect("plan generates");
+    println!("\n=== generated plan ===\n{plan}");
+    let filt_kernel = &plan.kernels[0];
+    let preview: String = filt_kernel
+        .source
+        .lines()
+        .take(14)
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("--- {} (first lines) ---\n{preview}\n...", filt_kernel.name);
+
+    // --- 4. Estimate its runtime on the three modelled platforms.
+    println!("\n=== modelled runtimes ===");
+    for device in [gtx_1080_ti(), rx_580(), mali_g71()] {
+        match estimate_plan_ms(&device, &plan) {
+            Ok(ms) => println!("{:<22} {ms:.4} ms", device.name),
+            Err(e) => println!("{:<22} cannot launch: {e}", device.name),
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure output under results/ (release build).
+# WINO_TRIALS controls accuracy-experiment trial counts (paper: 10000).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+TRIALS="${WINO_TRIALS:-2000}"
+for bin in table1 table2 table4 figure5 figure6; do
+  echo ">> $bin"
+  cargo run -q --release -p wino-bench --bin "$bin" > "results/$bin.txt"
+done
+for bin in table3 figure4; do
+  echo ">> $bin (WINO_TRIALS=$TRIALS)"
+  WINO_TRIALS="$TRIALS" cargo run -q --release -p wino-bench --bin "$bin" > "results/$bin.txt"
+done
+for bin in figure7 figure8 figure9 network; do
+  echo ">> $bin (tuning sweep)"
+  cargo run -q --release -p wino-bench --bin "$bin" > "results/$bin.txt"
+done
+echo "done — outputs in results/"

@@ -1,0 +1,122 @@
+//! Invariants of the simulated-GPU substrate: the device model must
+//! behave like the hardware it stands in for, across all three
+//! platforms and every plan variant.
+
+use winograd_meta::gpu::{estimate_kernel, occupancy, paper_devices};
+use winograd_meta::prelude::*;
+
+fn plans_for(desc: &ConvDesc) -> Vec<winograd_meta::ir::KernelPlan> {
+    [
+        PlanVariant::Direct,
+        PlanVariant::Im2col,
+        PlanVariant::WinogradNonFused { m: 2 },
+        PlanVariant::WinogradNonFused { m: 6 },
+        PlanVariant::WinogradFused { m: 2 },
+    ]
+    .into_iter()
+    .filter_map(|v| generate_plan(desc, v, &CodegenOptions::default()).ok())
+    .collect()
+}
+
+/// More FLOPs at equal structure must never be faster.
+#[test]
+fn time_is_monotone_in_work() {
+    let small = ConvDesc::new(3, 1, 1, 32, 1, 14, 14, 16);
+    let big = ConvDesc::new(3, 1, 1, 128, 5, 28, 28, 64);
+    for device in paper_devices() {
+        let t_small = generate_plan(&small, PlanVariant::Direct, &CodegenOptions::default())
+            .ok()
+            .and_then(|p| estimate_plan_ms(&device, &p).ok())
+            .expect("small direct plan runs");
+        let t_big = generate_plan(&big, PlanVariant::Direct, &CodegenOptions::default())
+            .ok()
+            .and_then(|p| estimate_plan_ms(&device, &p).ok())
+            .expect("big direct plan runs");
+        assert!(
+            t_big > t_small,
+            "{}: {t_big} ms for 40x the work vs {t_small} ms",
+            device.name
+        );
+    }
+}
+
+/// The mobile part must be slower than both desktops on every plan it
+/// can launch at all.
+#[test]
+fn device_ordering_holds_across_variants() {
+    let desc = ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32);
+    let (nv, _amd, mali) = (gtx_1080_ti(), rx_580(), mali_g71());
+    for plan in plans_for(&desc) {
+        let t_nv = estimate_plan_ms(&nv, &plan).expect("desktop always launches");
+        if let Ok(t_mali) = estimate_plan_ms(&mali, &plan) {
+            assert!(
+                t_mali > t_nv,
+                "plan '{}': Mali {t_mali} ms vs 1080Ti {t_nv} ms",
+                plan.variant
+            );
+        }
+    }
+}
+
+/// Occupancy is a fraction, and launch rejections only ever come from
+/// real resource limits.
+#[test]
+fn occupancy_is_well_behaved() {
+    let desc = ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32);
+    for device in paper_devices() {
+        for plan in plans_for(&desc) {
+            for k in &plan.kernels {
+                match occupancy(&device, &k.launch) {
+                    Ok(occ) => assert!(
+                        (0.0..=1.0).contains(&occ) && occ > 0.0,
+                        "{}: occupancy {occ}",
+                        k.name
+                    ),
+                    Err(rej) => {
+                        // A rejection must reference an actual limit.
+                        let msg = rej.to_string();
+                        assert!(
+                            msg.contains("exceeds") || msg.contains("limit") || msg.contains("SM"),
+                            "uninformative rejection: {msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Kernel time decomposes sensibly: total ≥ launch overhead, and the
+/// compute/memory split is consistent with the max() roofline.
+#[test]
+fn kernel_time_decomposition() {
+    let desc = ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32);
+    let device = gtx_1080_ti();
+    for plan in plans_for(&desc) {
+        for k in &plan.kernels {
+            let t = estimate_kernel(&device, k).expect("desktop launches");
+            assert!(t.total() >= t.launch);
+            assert!(t.total() - t.launch >= t.compute.max(t.memory) - 1e-15);
+            assert!(t.compute >= 0.0 && t.memory >= 0.0);
+            assert!(t.occupancy > 0.0 && t.occupancy <= 1.0);
+        }
+    }
+}
+
+/// The functional executor and the cost model accept exactly the same
+/// plans (no plan that prices successfully may fail to execute).
+#[test]
+fn costable_plans_are_executable() {
+    use rand::SeedableRng;
+    let desc = ConvDesc::new(3, 1, 1, 8, 1, 10, 10, 4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let input = Tensor4::random(1, 4, 10, 10, -1.0, 1.0, &mut rng);
+    let filters = Tensor4::random(8, 4, 3, 3, -1.0, 1.0, &mut rng);
+    let device = gtx_1080_ti();
+    for plan in plans_for(&desc) {
+        if estimate_plan_ms(&device, &plan).is_ok() {
+            execute_plan(&plan, &input, &filters)
+                .unwrap_or_else(|e| panic!("plan '{}' prices but fails: {e}", plan.variant));
+        }
+    }
+}
