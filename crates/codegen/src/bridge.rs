@@ -90,13 +90,13 @@ fn to_glsl(src: &str, launch: &LaunchConfig) -> String {
         .replace("blockDim.y", "int(gl_WorkGroupSize.y)")
         .replace("__syncthreads()", "barrier()")
         .replace("__shared__", "shared")
-        .replace("fmaf(", "fma(")
-        .replace("return;", "return;"); // GLSL allows early return in main
-                                        // GLSL has no pointers: buffer-base offsets like
-                                        // `const float* Ab = A + k;` become index offsets. The generated
-                                        // kernels only ever form `base + offset` pointers, so rewrite the
-                                        // declaration to an int offset and uses stay `name[i]` → handled
-                                        // by declaring A as the flat buffer (indexing is unchanged).
+        .replace("fmaf(", "fma(");
+    // GLSL allows early return in main, so `return;` passes through.
+    // GLSL has no pointers: buffer-base offsets like
+    // `const float* Ab = A + k;` become index offsets. The generated
+    // kernels only ever form `base + offset` pointers, so rewrite the
+    // declaration to an int offset and uses stay `name[i]` → handled
+    // by declaring A as the flat buffer (indexing is unchanged).
     translated = translated.replace("const float* ", "/* base-offset */ const int ");
     translated = translated.replace("float* ", "/* base-offset */ const int ");
     for line in translated.lines() {
@@ -145,7 +145,7 @@ fn parse_signature(signature: &str) -> (String, Vec<(bool, String)>) {
             let is_const = p.contains("const");
             let pname = p
                 .trim()
-                .rsplit(|c: char| c == ' ' || c == '*')
+                .rsplit([' ', '*'])
                 .next()
                 .unwrap_or("buf")
                 .to_string();

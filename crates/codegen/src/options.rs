@@ -101,8 +101,10 @@ mod tests {
 
     #[test]
     fn bad_parameters_rejected() {
-        let mut o = CodegenOptions::default();
-        o.mnt = 3;
+        let mut o = CodegenOptions {
+            mnt: 3,
+            ..Default::default()
+        };
         assert!(o.validate().is_err());
         o.mnt = 4;
         o.mnb = 64;

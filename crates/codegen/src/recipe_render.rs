@@ -40,7 +40,7 @@ pub fn render_recipe_block(
             Reg::Tmp(t) => format!("t{t}"),
             Reg::Out(o) => out_expr(o),
         },
-        |c| float_literal(c),
+        float_literal,
     );
     for line in body.lines() {
         block.push_str("  ");

@@ -375,7 +375,7 @@ mod tests {
             .unwrap();
         k.validate().unwrap();
         // 14×14 output, m=2 → 49 tiles × 4 channels.
-        assert_eq!(k.launch.total_threads() >= 196, true);
+        assert!(k.launch.total_threads() >= 196);
         assert!(k.source.contains("V[(("));
         assert!(!k.source.contains("%("));
     }

@@ -50,10 +50,10 @@ pub fn effective_unroll(iters: usize, requested: Unroll) -> usize {
         Unroll::Full => iters,
         Unroll::Factor(f) => {
             let f = f.clamp(1, iters);
-            if iters % f == 0 {
+            if iters.is_multiple_of(f) {
                 return f;
             }
-            match (1..=f).rev().find(|d| iters % d == 0) {
+            match (1..=f).rev().find(|d| iters.is_multiple_of(*d)) {
                 Some(1) | None => iters, // no useful divisor: fully unroll
                 Some(d) => d,
             }

@@ -36,9 +36,8 @@ proptest! {
             let vars: BTreeMap<&str, String> =
                 names.iter().map(|n| (n.as_str(), value.clone())).collect();
             let rendered = t.render(&vars).expect("all placeholders bound");
-            for _ in &names {
+            if !names.is_empty() {
                 prop_assert!(rendered.contains(value.as_str()) || value.is_empty());
-                break; // containment check once is enough
             }
         }
     }

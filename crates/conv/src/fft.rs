@@ -31,6 +31,7 @@ impl Complex {
 
     /// Complex multiplication.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // tiny internal helper, not worth an ops impl
     pub fn mul(self, o: Complex) -> Complex {
         Complex::new(
             self.re * o.re - self.im * o.im,

@@ -35,5 +35,8 @@ pub use fft::conv_fft;
 pub use flops::{winograd_flops, winograd_flops_baseline, winograd_tile_total, WinogradFlops};
 pub use im2col::{conv_im2col, im2col_image};
 pub use tiles::TileTransformer;
-pub use winograd::{conv_winograd, conv_winograd_with_recipes, WinogradConfig, WinogradVariant};
+pub use winograd::{
+    conv_winograd, conv_winograd_rt, conv_winograd_with_recipes, conv_winograd_with_recipes_rt,
+    WinogradConfig, WinogradVariant,
+};
 pub use winograd1d::{conv1d_direct, conv1d_winograd};

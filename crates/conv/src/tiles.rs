@@ -96,7 +96,7 @@ mod tests {
         // Reference: Bᵀ d B in f64 through the exact matrices.
         let bt = mats.b_t.to_f64_vec();
         let d: Vec<f64> = tile.iter().map(|&v| v as f64).collect();
-        let mut mid = vec![0.0f64; 16];
+        let mut mid = [0.0f64; 16];
         for i in 0..4 {
             for j in 0..4 {
                 mid[i * 4 + j] = (0..4).map(|k| bt[i * 4 + k] * d[k * 4 + j]).sum();

@@ -11,9 +11,10 @@
 
 use std::sync::Arc;
 
-use wino_gemm::{batched_sgemm, BatchedGemmShape};
+use wino_gemm::{batched_sgemm_rt, BatchedGemmShape, GemmConfig};
+use wino_runtime::{DisjointSlice, Runtime};
 use wino_symbolic::RecipeOptions;
-use wino_tensor::{extract_input_tile, place_output_tile, tile_counts, ConvDesc, Tensor4};
+use wino_tensor::{extract_input_tile, tile_counts, ConvDesc, Tensor4};
 use wino_transform::{recipe_db, TransformRecipes, WinogradSpec};
 
 use crate::direct::check_shapes;
@@ -38,6 +39,9 @@ pub struct WinogradConfig {
     pub options: RecipeOptions,
     /// Kernel variant.
     pub variant: WinogradVariant,
+    /// Blocking of the multiplication stage's SGEMMs (tunable via the
+    /// autotuner's `MNt`/`MNb` axes).
+    pub gemm: GemmConfig,
 }
 
 impl WinogradConfig {
@@ -47,6 +51,7 @@ impl WinogradConfig {
             m,
             options: RecipeOptions::optimized(),
             variant: WinogradVariant::NonFused,
+            gemm: GemmConfig::default(),
         }
     }
 
@@ -59,6 +64,12 @@ impl WinogradConfig {
     /// Switches the recipe options.
     pub fn with_options(mut self, options: RecipeOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Switches the GEMM blocking.
+    pub fn with_gemm_config(mut self, gemm: GemmConfig) -> Self {
+        self.gemm = gemm;
         self
     }
 }
@@ -83,9 +94,25 @@ pub fn conv_winograd(
     desc: &ConvDesc,
     cfg: &WinogradConfig,
 ) -> Result<Tensor4<f32>, ConvError> {
+    conv_winograd_rt(input, filters, desc, cfg, Runtime::global())
+}
+
+/// [`conv_winograd`] on an explicit execution runtime. Outputs are
+/// bit-identical for every thread count: parallel tasks own disjoint
+/// tiles/panels and preserve the serial per-element operation order.
+///
+/// # Errors
+/// Shape mismatches, non-unit stride, or unsupported `F(m, r)`.
+pub fn conv_winograd_rt(
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+    cfg: &WinogradConfig,
+    rt: &Runtime,
+) -> Result<Tensor4<f32>, ConvError> {
     let spec = winograd_checks(desc, cfg.m)?;
     let recipes: Arc<TransformRecipes> = recipe_db().get(spec, cfg.options)?;
-    conv_winograd_with_recipes(input, filters, desc, &recipes, cfg.variant)
+    conv_winograd_with_recipes_rt(input, filters, desc, &recipes, cfg.variant, &cfg.gemm, rt)
 }
 
 /// Winograd convolution with explicitly supplied recipes (used by the
@@ -102,6 +129,32 @@ pub fn conv_winograd_with_recipes(
     recipes: &TransformRecipes,
     variant: WinogradVariant,
 ) -> Result<Tensor4<f32>, ConvError> {
+    conv_winograd_with_recipes_rt(
+        input,
+        filters,
+        desc,
+        recipes,
+        variant,
+        &GemmConfig::default(),
+        Runtime::global(),
+    )
+}
+
+/// [`conv_winograd_with_recipes`] with explicit GEMM blocking and
+/// execution runtime.
+///
+/// # Errors
+/// Shape mismatches, non-unit stride, or a recipe/descriptor spec
+/// mismatch.
+pub fn conv_winograd_with_recipes_rt(
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+    recipes: &TransformRecipes,
+    variant: WinogradVariant,
+    gemm: &GemmConfig,
+    rt: &Runtime,
+) -> Result<Tensor4<f32>, ConvError> {
     check_shapes(input, filters, desc)?;
     let spec = winograd_checks(desc, recipes.spec.m)?;
     if recipes.spec != spec {
@@ -111,8 +164,8 @@ pub fn conv_winograd_with_recipes(
         )));
     }
     match variant {
-        WinogradVariant::NonFused => nonfused(input, filters, desc, recipes),
-        WinogradVariant::Fused => fused(input, filters, desc, recipes),
+        WinogradVariant::NonFused => nonfused(input, filters, desc, recipes, gemm, rt),
+        WinogradVariant::Fused => fused(input, filters, desc, recipes, rt),
     }
 }
 
@@ -143,6 +196,8 @@ fn nonfused(
     filters: &Tensor4<f32>,
     desc: &ConvDesc,
     recipes: &TransformRecipes,
+    gemm: &GemmConfig,
+    rt: &Runtime,
 ) -> Result<Tensor4<f32>, ConvError> {
     let spec = recipes.spec;
     let (m, alpha) = (spec.m, spec.alpha());
@@ -164,28 +219,38 @@ fn nonfused(
         }
     }
 
-    // Stage 1b: V' scatter layout (ξ, c, p).
+    // Stage 1b: V' scatter layout (ξ, c, p), parallel over tiles `p`.
+    // A tile owns column `p` of every (ξ, c) matrix — strided but
+    // disjoint writes — and each chunk carries its own transformer
+    // scratch.
     let padded = input.pad_spatial(desc.pad);
-    let mut it = TileTransformer::new(&recipes.input);
     let mut v_scatter = vec![0.0f32; a2 * cc * p_total];
-    let mut in_tile = vec![0.0f32; a2];
-    let mut v_tile = vec![0.0f32; a2];
-    for n in 0..desc.batch {
-        for ty in 0..th {
-            for tx in 0..tw {
-                let p = (n * th + ty) * tw + tx;
+    {
+        let v_win = DisjointSlice::new(&mut v_scatter);
+        rt.parallel_for_chunks(0..p_total, 1, |tiles| {
+            let mut it = TileTransformer::new(&recipes.input);
+            let mut in_tile = vec![0.0f32; a2];
+            let mut v_tile = vec![0.0f32; a2];
+            for p in tiles {
+                let n = p / (th * tw);
+                let rem = p % (th * tw);
+                let (ty, tx) = (rem / tw, rem % tw);
                 for c in 0..cc {
                     extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
                     it.transform(&in_tile, &mut v_tile);
-                    for xi in 0..a2 {
-                        v_scatter[(xi * cc + c) * p_total + p] = v_tile[xi];
+                    for (xi, &val) in v_tile[..a2].iter().enumerate() {
+                        // SAFETY: only tile `p` writes column `p`.
+                        unsafe {
+                            v_win.write((xi * cc + c) * p_total + p, val);
+                        }
                     }
                 }
             }
-        }
+        });
     }
 
-    // Stage 2: α² batched SGEMMs M(ξ) = U'(ξ) · V'(ξ).
+    // Stage 2: α² batched SGEMMs M(ξ) = U'(ξ) · V'(ξ), parallel
+    // across the batch dimension.
     let shape = BatchedGemmShape {
         batches: a2,
         m: kc,
@@ -193,28 +258,59 @@ fn nonfused(
         n: p_total,
     };
     let mut m_scatter = vec![0.0f32; shape.c_len()];
-    batched_sgemm(&shape, &u_scatter, &v_scatter, &mut m_scatter);
+    batched_sgemm_rt(&shape, &u_scatter, &v_scatter, &mut m_scatter, gemm, rt);
 
-    // Stage 3: output transform + placement.
-    let mut ot = TileTransformer::new(&recipes.output);
+    // Stage 3: output transform + placement, parallel over (k, p)
+    // pairs. A pair owns one m×m output tile of one plane; its rows
+    // are written as disjoint segments.
     let mut out = Tensor4::<f32>::zeros(desc.batch, kc, oh, ow);
-    let mut m_tile = vec![0.0f32; a2];
-    let mut y_tile = vec![0.0f32; m * m];
-    for k in 0..kc {
-        for n in 0..desc.batch {
-            for ty in 0..th {
-                for tx in 0..tw {
-                    let p = (n * th + ty) * tw + tx;
-                    for xi in 0..a2 {
-                        m_tile[xi] = m_scatter[(xi * kc + k) * p_total + p];
-                    }
-                    ot.transform(&m_tile, &mut y_tile);
-                    place_output_tile(&mut out, n, k, ty, tx, m, &y_tile);
+    {
+        let out_win = DisjointSlice::new(out.data_mut());
+        rt.parallel_for_chunks(0..kc * p_total, 1, |pairs| {
+            let mut ot = TileTransformer::new(&recipes.output);
+            let mut m_tile = vec![0.0f32; a2];
+            let mut y_tile = vec![0.0f32; m * m];
+            for q in pairs {
+                let (k, p) = (q / p_total, q % p_total);
+                let n = p / (th * tw);
+                let rem = p % (th * tw);
+                let (ty, tx) = (rem / tw, rem % tw);
+                for xi in 0..a2 {
+                    m_tile[xi] = m_scatter[(xi * kc + k) * p_total + p];
                 }
+                ot.transform(&m_tile, &mut y_tile);
+                place_tile_rows(&out_win, n, k, kc, oh, ow, ty, tx, m, &y_tile);
             }
-        }
+        });
     }
     Ok(out)
+}
+
+/// Writes the clipped `m × m` tile at `(ty, tx)` of plane `(n, k)`
+/// into the shared output window, one disjoint row segment at a time.
+#[allow(clippy::too_many_arguments)]
+fn place_tile_rows(
+    out: &DisjointSlice<'_, f32>,
+    n: usize,
+    k: usize,
+    kc: usize,
+    oh: usize,
+    ow: usize,
+    ty: usize,
+    tx: usize,
+    m: usize,
+    tile: &[f32],
+) {
+    let h_eff = m.min(oh - ty * m);
+    let w_eff = m.min(ow - tx * m);
+    let plane = ((n * kc + k) * oh) * ow;
+    for dy in 0..h_eff {
+        let row = plane + (ty * m + dy) * ow + tx * m;
+        // SAFETY: exactly one (k, p) task owns this tile, and tiles
+        // partition the plane, so row segments never overlap.
+        let dst = unsafe { out.slice_mut(row..row + w_eff) };
+        dst.copy_from_slice(&tile[dy * m..dy * m + w_eff]);
+    }
 }
 
 fn fused(
@@ -222,6 +318,7 @@ fn fused(
     filters: &Tensor4<f32>,
     desc: &ConvDesc,
     recipes: &TransformRecipes,
+    rt: &Runtime,
 ) -> Result<Tensor4<f32>, ConvError> {
     let spec = recipes.spec;
     let (m, alpha) = (spec.m, spec.alpha());
@@ -235,39 +332,44 @@ fn fused(
     let u_kc = transform_filters(filters, desc, recipes);
 
     let padded = input.pad_spatial(desc.pad);
-    let mut it = TileTransformer::new(&recipes.input);
-    let mut ot = TileTransformer::new(&recipes.output);
     let mut out = Tensor4::<f32>::zeros(desc.batch, kc, oh, ow);
 
-    let mut in_tile = vec![0.0f32; a2];
-    let mut v_tiles = vec![0.0f32; cc * a2];
-    let mut acc = vec![0.0f32; a2];
-    let mut y_tile = vec![0.0f32; m * m];
-    for n in 0..desc.batch {
-        for ty in 0..th {
-            for tx in 0..tw {
-                // Input transform for every channel of this tile.
+    // Parallel over (n, ty, tx) tiles — the fused kernel's thread
+    // blocks. Each chunk owns transformer scratch; a tile writes its
+    // own region of every output plane, disjoint from other tiles.
+    let out_win = DisjointSlice::new(out.data_mut());
+    rt.parallel_for_chunks(0..desc.batch * th * tw, 1, |tiles| {
+        let mut it = TileTransformer::new(&recipes.input);
+        let mut ot = TileTransformer::new(&recipes.output);
+        let mut in_tile = vec![0.0f32; a2];
+        let mut v_tiles = vec![0.0f32; cc * a2];
+        let mut acc = vec![0.0f32; a2];
+        let mut y_tile = vec![0.0f32; m * m];
+        for t in tiles {
+            let n = t / (th * tw);
+            let rem = t % (th * tw);
+            let (ty, tx) = (rem / tw, rem % tw);
+            // Input transform for every channel of this tile.
+            for c in 0..cc {
+                extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
+                it.transform(&in_tile, &mut v_tiles[c * a2..(c + 1) * a2]);
+            }
+            // Channel-summed element-wise multiply + output transform
+            // per filter.
+            for k in 0..kc {
+                acc.fill(0.0);
                 for c in 0..cc {
-                    extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
-                    it.transform(&in_tile, &mut v_tiles[c * a2..(c + 1) * a2]);
-                }
-                // Channel-summed element-wise multiply + output
-                // transform per filter.
-                for k in 0..kc {
-                    acc.fill(0.0);
-                    for c in 0..cc {
-                        let u = &u_kc[(k * cc + c) * a2..(k * cc + c + 1) * a2];
-                        let v = &v_tiles[c * a2..(c + 1) * a2];
-                        for xi in 0..a2 {
-                            acc[xi] += u[xi] * v[xi];
-                        }
+                    let u = &u_kc[(k * cc + c) * a2..(k * cc + c + 1) * a2];
+                    let v = &v_tiles[c * a2..(c + 1) * a2];
+                    for xi in 0..a2 {
+                        acc[xi] += u[xi] * v[xi];
                     }
-                    ot.transform(&acc, &mut y_tile);
-                    place_output_tile(&mut out, n, k, ty, tx, m, &y_tile);
                 }
+                ot.transform(&acc, &mut y_tile);
+                place_tile_rows(&out_win, n, k, kc, oh, ow, ty, tx, m, &y_tile);
             }
         }
-    }
+    });
     Ok(out)
 }
 

@@ -1,0 +1,82 @@
+//! Parallel Winograd == serial Winograd, bit for bit.
+//!
+//! Both engines promise that the `wino-runtime` thread count is
+//! unobservable in the output: the non-fused path parallelizes the V
+//! scatter, the batched SGEMMs, and the output transform; the fused
+//! path parallelizes over tiles — in every case each output element is
+//! written once, in the serial operation order. Verified here with
+//! exact `f32::to_bits` equality over random shapes (including ragged
+//! tilings where `m` does not divide the output) and 1–8 lanes.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_conv::{conv_winograd_rt, WinogradConfig, WinogradVariant};
+use wino_runtime::Runtime;
+use wino_tensor::{ConvDesc, Tensor4};
+
+fn random_case(desc: &ConvDesc, seed: u64) -> (Tensor4<f32>, Tensor4<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = Tensor4::<f32>::random(
+        desc.batch, desc.in_ch, desc.in_h, desc.in_w, -1.0, 1.0, &mut rng,
+    );
+    let filt = Tensor4::<f32>::random(
+        desc.out_ch,
+        desc.in_ch,
+        desc.ksz,
+        desc.ksz,
+        -1.0,
+        1.0,
+        &mut rng,
+    );
+    (input, filt)
+}
+
+fn assert_bit_identical(desc: &ConvDesc, cfg: &WinogradConfig, threads: usize, seed: u64) {
+    let (input, filt) = random_case(desc, seed);
+    let serial = conv_winograd_rt(&input, &filt, desc, cfg, &Runtime::serial()).unwrap();
+    let rt = Runtime::with_threads(threads);
+    let parallel = conv_winograd_rt(&input, &filt, desc, cfg, &rt).unwrap();
+    assert_eq!(serial.dims(), parallel.dims());
+    let exact = serial
+        .data()
+        .iter()
+        .zip(parallel.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(exact, "parallel output diverged from serial bits");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn nonfused_parallel_is_bit_identical(
+        batch in 1usize..3,
+        in_ch in 1usize..6,
+        out_ch in 1usize..6,
+        hw in 4usize..14,
+        m in 2usize..5,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // Ragged tilings welcome: hw need not align with m.
+        let desc = ConvDesc::new(3, 1, 1, out_ch, batch, hw, hw, in_ch);
+        let cfg = WinogradConfig::new(m).with_variant(WinogradVariant::NonFused);
+        assert_bit_identical(&desc, &cfg, threads, seed);
+    }
+
+    #[test]
+    fn fused_parallel_is_bit_identical(
+        batch in 1usize..3,
+        in_ch in 1usize..6,
+        out_ch in 1usize..6,
+        hw in 4usize..14,
+        m in 2usize..5,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let desc = ConvDesc::new(3, 1, 1, out_ch, batch, hw, hw, in_ch);
+        let cfg = WinogradConfig::new(m).with_variant(WinogradVariant::Fused);
+        assert_bit_identical(&desc, &cfg, threads, seed);
+    }
+}

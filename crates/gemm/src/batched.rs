@@ -7,7 +7,8 @@
 //! the per-batch matrices live at a fixed stride inside three flat
 //! buffers.
 
-use crate::blocked::{gemm_flops, sgemm_acc};
+use crate::blocked::{gemm_flops, sgemm_acc_rt, GemmConfig};
+use wino_runtime::{DisjointSlice, Runtime};
 
 /// Shape of one batched-GEMM invocation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,21 +50,45 @@ impl BatchedGemmShape {
 ///
 /// Panics if a buffer is shorter than the shape requires.
 pub fn batched_sgemm(shape: &BatchedGemmShape, a: &[f32], b: &[f32], c: &mut [f32]) {
+    batched_sgemm_rt(shape, a, b, c, &GemmConfig::default(), Runtime::global());
+}
+
+/// [`batched_sgemm`] with explicit blocking config and runtime. The
+/// batch dimension carries the parallelism (the α² multiplies are
+/// independent and write disjoint `C` windows); each per-batch GEMM
+/// runs serially so its accumulation order — and therefore every
+/// output bit — matches the single-threaded path.
+pub fn batched_sgemm_rt(
+    shape: &BatchedGemmShape,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    cfg: &GemmConfig,
+    rt: &Runtime,
+) {
     assert!(a.len() >= shape.a_len(), "batched A too short");
     assert!(b.len() >= shape.b_len(), "batched B too short");
     assert!(c.len() >= shape.c_len(), "batched C too short");
     let (am, bm, cm) = (shape.m * shape.k, shape.k * shape.n, shape.m * shape.n);
-    for batch in 0..shape.batches {
-        sgemm_acc(
-            &a[batch * am..(batch + 1) * am],
-            &b[batch * bm..(batch + 1) * bm],
-            &mut c[batch * cm..(batch + 1) * cm],
-            shape.m,
-            shape.k,
-            shape.n,
-            false,
-        );
-    }
+    let serial = Runtime::serial();
+    let c_win = DisjointSlice::new(&mut c[..shape.c_len()]);
+    rt.parallel_for_chunks(0..shape.batches, 1, |batches| {
+        for batch in batches {
+            // SAFETY: batch-major C windows are disjoint across batches.
+            let c_batch = unsafe { c_win.slice_mut(batch * cm..(batch + 1) * cm) };
+            sgemm_acc_rt(
+                &a[batch * am..(batch + 1) * am],
+                &b[batch * bm..(batch + 1) * bm],
+                c_batch,
+                shape.m,
+                shape.k,
+                shape.n,
+                false,
+                cfg,
+                &serial,
+            );
+        }
+    });
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 //! paper exposes for its GPU SGEMM (`MNt` register blocking, `MNb`
 //! thread blocking, Table 1).
 
+use wino_runtime::{DisjointSlice, Runtime};
+
 /// Cache/register blocking parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GemmConfig {
@@ -34,6 +36,11 @@ impl Default for GemmConfig {
 const MR: usize = 4;
 const NR: usize = 4;
 
+/// Below this many FLOPs a single GEMM runs serially even on a
+/// parallel runtime: the fork/join round trip costs more than the
+/// multiply.
+const PARALLEL_FLOP_THRESHOLD: u64 = 1 << 19;
+
 /// `C = A·B` for row-major `A (m×k)`, `B (k×n)`, `C (m×n)`,
 /// overwriting `C`.
 ///
@@ -41,6 +48,20 @@ const NR: usize = 4;
 /// part of the caller's contract, not runtime input.
 pub fn sgemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     sgemm_acc(a, b, c, m, k, n, false);
+}
+
+/// [`sgemm`] with explicit blocking parameters (the autotuner's
+/// `MNt`/`MNb`-derived cache blocks end up here).
+pub fn sgemm_with_config(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    cfg: &GemmConfig,
+) {
+    sgemm_acc_rt(a, b, c, m, k, n, false, cfg, Runtime::global());
 }
 
 /// `C += A·B` (when `accumulate`) or `C = A·B`.
@@ -53,19 +74,62 @@ pub fn sgemm_acc(
     n: usize,
     accumulate: bool,
 ) {
+    sgemm_acc_rt(
+        a,
+        b,
+        c,
+        m,
+        k,
+        n,
+        accumulate,
+        &GemmConfig::default(),
+        Runtime::global(),
+    );
+}
+
+/// Fully-parameterized entry point: explicit blocking config and
+/// execution runtime. Output bits do not depend on the runtime's
+/// thread count (see the module docs of `wino-runtime`).
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_acc_rt(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    cfg: &GemmConfig,
+    rt: &Runtime,
+) {
     assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
     assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    assert!(
+        cfg.mc >= 1 && cfg.kc >= 1 && cfg.nc >= 1,
+        "degenerate GemmConfig"
+    );
     if !accumulate {
         c[..m * n].fill(0.0);
     }
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let cfg = GemmConfig::default();
-    sgemm_blocked(a, b, c, m, k, n, &cfg);
+    let serial = Runtime::serial();
+    let rt = if gemm_flops(m, k, n) < PARALLEL_FLOP_THRESHOLD {
+        &serial
+    } else {
+        rt
+    };
+    sgemm_blocked(a, b, &mut c[..m * n], m, k, n, cfg, rt);
 }
 
+/// Cache-blocked kernel, parallel across `NC`-wide column panels of
+/// `C`. Each panel is owned end-to-end by one task — it runs the whole
+/// `kk` loop for its columns with private pack buffers — so every `C`
+/// element sees the exact serial accumulation order and the result is
+/// bit-identical for any thread count.
+#[allow(clippy::too_many_arguments)]
 fn sgemm_blocked(
     a: &[f32],
     b: &[f32],
@@ -74,27 +138,31 @@ fn sgemm_blocked(
     k: usize,
     n: usize,
     cfg: &GemmConfig,
+    rt: &Runtime,
 ) {
-    let mut a_pack = vec![0.0f32; cfg.mc * cfg.kc];
-    let mut b_pack = vec![0.0f32; cfg.kc * cfg.nc];
-    let mut kk = 0;
-    while kk < k {
-        let kb = cfg.kc.min(k - kk);
-        let mut jj = 0;
-        while jj < n {
+    let panels = n.div_ceil(cfg.nc);
+    let c_win = DisjointSlice::new(c);
+    rt.parallel_for_chunks(0..panels, 1, |panel_range| {
+        let mut a_pack = vec![0.0f32; cfg.mc.next_multiple_of(MR) * cfg.kc];
+        let mut b_pack = vec![0.0f32; cfg.kc * cfg.nc.next_multiple_of(NR)];
+        for panel in panel_range {
+            let jj = panel * cfg.nc;
             let nb = cfg.nc.min(n - jj);
-            pack_b(&mut b_pack, b, kk, jj, kb, nb, n);
-            let mut ii = 0;
-            while ii < m {
-                let mb = cfg.mc.min(m - ii);
-                pack_a(&mut a_pack, a, ii, kk, mb, kb, k);
-                macro_kernel(&a_pack, &b_pack, c, ii, jj, mb, kb, nb, n);
-                ii += mb;
+            let mut kk = 0;
+            while kk < k {
+                let kb = cfg.kc.min(k - kk);
+                pack_b(&mut b_pack, b, kk, jj, kb, nb, n);
+                let mut ii = 0;
+                while ii < m {
+                    let mb = cfg.mc.min(m - ii);
+                    pack_a(&mut a_pack, a, ii, kk, mb, kb, k);
+                    macro_kernel(&a_pack, &b_pack, &c_win, ii, jj, mb, kb, nb, n);
+                    ii += mb;
+                }
+                kk += kb;
             }
-            jj += nb;
         }
-        kk += kb;
-    }
+    });
 }
 
 /// Packs `A[ii.., kk..]` (mb×kb) into MR-row slivers so the
@@ -139,12 +207,13 @@ fn pack_b(dst: &mut [f32], b: &[f32], kk: usize, jj: usize, kb: usize, nb: usize
 }
 
 /// Runs the MR×NR micro-kernel over one packed macro-block,
-/// accumulating into `C`.
+/// accumulating into `C` through the disjoint-write window (this
+/// task's column panel never overlaps another task's).
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
     a_pack: &[f32],
     b_pack: &[f32],
-    c: &mut [f32],
+    c: &DisjointSlice<'_, f32>,
     ii: usize,
     jj: usize,
     mb: usize,
@@ -184,7 +253,7 @@ fn macro_kernel(
 fn micro_kernel(
     a_sliver: &[f32],
     b_sliver: &[f32],
-    c: &mut [f32],
+    c: &DisjointSlice<'_, f32>,
     c_off: usize,
     rows: usize,
     cols: usize,
@@ -202,9 +271,13 @@ fn micro_kernel(
             }
         }
     }
-    for r in 0..rows {
-        for col in 0..cols {
-            c[c_off + r * ldc + col] += acc[r][col];
+    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        let base = c_off + r * ldc;
+        // SAFETY: this micro-tile's row segment lies inside the
+        // caller's column panel, which no other task touches.
+        let row = unsafe { c.slice_mut(base..base + cols) };
+        for (dst, &add) in row.iter_mut().zip(acc_row[..cols].iter()) {
+            *dst += add;
         }
     }
 }

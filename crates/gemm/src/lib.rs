@@ -12,6 +12,8 @@ mod batched;
 mod blocked;
 mod strassen;
 
-pub use batched::{batched_sgemm, BatchedGemmShape};
-pub use blocked::{gemm_flops, sgemm, sgemm_acc, sgemm_naive, GemmConfig};
+pub use batched::{batched_sgemm, batched_sgemm_rt, BatchedGemmShape};
+pub use blocked::{
+    gemm_flops, sgemm, sgemm_acc, sgemm_acc_rt, sgemm_naive, sgemm_with_config, GemmConfig,
+};
 pub use strassen::{sgemm_strassen, strassen_multiplies};

@@ -1,0 +1,77 @@
+//! Parallel == serial, bit for bit.
+//!
+//! The `wino-runtime` contract is that thread count never changes the
+//! result: every output element is written by exactly one task and the
+//! per-element accumulation order matches the serial loop. These
+//! properties pin that down with exact `f32::to_bits` equality across
+//! random shapes, ragged panel tilings, and 1–8 worker lanes.
+
+use proptest::prelude::*;
+use wino_gemm::{batched_sgemm_rt, sgemm_acc_rt, BatchedGemmShape, GemmConfig};
+use wino_runtime::Runtime;
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn random_vec(len: usize, seed: u64) -> Vec<f32> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sgemm_parallel_is_bit_identical(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..96,
+        // Ragged blocking: nc deliberately not a multiple of NR and
+        // often smaller than n, so panel boundaries fall everywhere.
+        mc in 4usize..40,
+        nc in 4usize..40,
+        threads in 1usize..9,
+        accumulate in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let a = random_vec(m * k, seed);
+        let b = random_vec(k * n, seed ^ 0x9e37);
+        let c_init = random_vec(m * n, seed ^ 0x79b9);
+        let cfg = GemmConfig { mc, kc: 16, nc };
+
+        let mut serial = c_init.clone();
+        sgemm_acc_rt(&a, &b, &mut serial, m, k, n, accumulate, &cfg, &Runtime::serial());
+
+        let rt = Runtime::with_threads(threads);
+        let mut parallel = c_init.clone();
+        sgemm_acc_rt(&a, &b, &mut parallel, m, k, n, accumulate, &cfg, &rt);
+
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn batched_sgemm_parallel_is_bit_identical(
+        batches in 1usize..10,
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..20,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let shape = BatchedGemmShape { batches, m, k, n };
+        let a = random_vec(shape.a_len(), seed);
+        let b = random_vec(shape.b_len(), seed ^ 0xabcd);
+        let cfg = GemmConfig { mc: 8, kc: 8, nc: 12 };
+
+        let mut serial = vec![0.0f32; shape.c_len()];
+        batched_sgemm_rt(&shape, &a, &b, &mut serial, &cfg, &Runtime::serial());
+
+        let rt = Runtime::with_threads(threads);
+        let mut parallel = vec![0.0f32; shape.c_len()];
+        batched_sgemm_rt(&shape, &a, &b, &mut parallel, &cfg, &rt);
+
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+    }
+}

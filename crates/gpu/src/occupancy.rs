@@ -82,13 +82,12 @@ pub fn occupancy(device: &DeviceProfile, launch: &LaunchConfig) -> Result<f64, L
         });
     }
     let by_threads = device.max_threads_per_sm / threads;
-    let by_shared = if launch.shared_mem_bytes == 0 {
-        usize::MAX
-    } else {
-        device.shared_per_sm / launch.shared_mem_bytes
-    };
+    let by_shared = device
+        .shared_per_sm
+        .checked_div(launch.shared_mem_bytes)
+        .unwrap_or(usize::MAX);
     let by_regs = device.regs_per_sm / block_regs.max(1);
-    let blocks = by_threads.min(by_shared).min(by_regs).max(0);
+    let blocks = by_threads.min(by_shared).min(by_regs);
     if blocks == 0 {
         // Fits per-block limits but not alongside anything: runs one
         // block per SM at reduced residency.

@@ -23,6 +23,7 @@ pub struct NamedConv {
     pub desc: ConvDesc,
 }
 
+#[allow(clippy::too_many_arguments)] // table row constructor mirrors ConvDesc's axes
 fn c(
     network: &'static str,
     layer: &'static str,

@@ -122,8 +122,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        for (i, &l) in long.iter().enumerate() {
+            let s = l as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
             out.push(s as u32);
             carry = s >> 32;
         }
@@ -138,8 +138,8 @@ impl BigInt {
         debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i64;
-        for i in 0..a.len() {
-            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        for (i, &ai) in a.iter().enumerate() {
+            let d = ai as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
             if d < 0 {
                 out.push((d + (1i64 << 32)) as u32);
                 borrow = 1;
@@ -359,7 +359,7 @@ impl BigInt {
         if self.limbs.len() > 2 {
             return None;
         }
-        let mag = self.limbs.get(0).copied().unwrap_or(0) as u128
+        let mag = self.limbs.first().copied().unwrap_or(0) as u128
             | (self.limbs.get(1).copied().unwrap_or(0) as u128) << 32;
         match self.sign {
             Sign::Plus if mag <= i64::MAX as u128 => Some(mag as i64),
@@ -379,7 +379,7 @@ fn shl_bits(a: &[u32], shift: u32) -> Vec<u32> {
     let mut carry = 0u32;
     for &w in a {
         out.push((w << shift) | carry);
-        carry = (w >> (32 - shift)) as u32;
+        carry = w >> (32 - shift);
     }
     if carry != 0 {
         out.push(carry);

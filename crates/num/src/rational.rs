@@ -295,6 +295,7 @@ impl Div for &Rational {
     type Output = Rational;
     /// Panics on division by zero; use [`Rational::recip`] plus
     /// multiplication for a fallible path.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division *is* multiply-by-reciprocal
     fn div(self, rhs: &Rational) -> Rational {
         self * &rhs.recip().expect("Rational division by zero")
     }

@@ -1,0 +1,607 @@
+//! A small work-stealing thread pool powering the parallel Winograd
+//! engines.
+//!
+//! The pool follows the classic crossbeam layout: one global
+//! [`Injector`] queue for submitted work plus one worker-local deque
+//! per thread whose [`Stealer`] side every other worker polls. Idle
+//! workers park on a condvar; pushing work wakes them.
+//!
+//! Determinism contract: [`Runtime::parallel_for`] and
+//! [`Runtime::parallel_for_chunks`] split an index range into
+//! fixed-boundary chunks that tasks claim with an atomic counter.
+//! Which thread runs a chunk is racy, but every index is executed
+//! exactly once and chunk boundaries do not depend on the schedule, so
+//! any kernel whose tasks write disjoint outputs (and keep the
+//! per-element accumulation order internal to one task) produces
+//! bit-identical results on 1 or N threads.
+//!
+//! Nested calls never deadlock: a `parallel_for` issued from inside a
+//! worker runs serially inline, so pool threads never block on a
+//! latch. The thread count comes from `WINO_THREADS` when set, else
+//! `std::thread::available_parallelism`; [`Runtime::serial`] is the
+//! zero-thread fallback that runs everything inline.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Target number of chunks per execution lane; more than one so a slow
+/// lane sheds work to fast ones (self-balancing), few enough that the
+/// claim counter stays cold.
+const CHUNKS_PER_LANE: usize = 4;
+
+thread_local! {
+    /// Set on pool threads; nested parallel calls detect it and run
+    /// inline instead of blocking a worker on a latch.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One unit of queued work.
+enum Task {
+    /// A share of a borrowed `parallel_for` job (pointer valid until
+    /// the job's latch opens — the submitting call blocks on it).
+    For(ForTask),
+    /// A boxed closure spawned by [`Scope::spawn`].
+    Boxed(Box<dyn FnOnce() + Send + 'static>),
+}
+
+struct ForTask {
+    job: *const (),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointer references a `ForJob` that outlives the task
+// (the submitting thread blocks until every task has finished), and
+// `ForJob` only holds `Sync` state.
+unsafe impl Send for ForTask {}
+
+/// Count-down latch on the shim mutex/condvar pair.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn add(&self, n: usize) {
+        *self.remaining.lock() += n;
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.done.wait(&mut remaining);
+        }
+    }
+}
+
+struct PoolState {
+    shutdown: bool,
+}
+
+struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    state: Mutex<PoolState>,
+    wakeup: Condvar,
+    /// Total execution lanes: workers plus the submitting caller.
+    threads: usize,
+}
+
+impl Shared {
+    /// Queues a task and wakes parked workers. Notifying under the
+    /// state lock pairs with the re-check workers do before parking,
+    /// so no wakeup is lost.
+    fn submit(&self, task: Task) {
+        self.injector.push(task);
+        let _state = self.state.lock();
+        self.wakeup.notify_all();
+    }
+
+    fn find_task(&self, local: &Worker<Task>, index: usize) -> Option<Task> {
+        if let Some(task) = local.pop() {
+            return Some(task);
+        }
+        loop {
+            match self.injector.steal() {
+                crossbeam::deque::Steal::Success(task) => return Some(task),
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+        for (i, stealer) in self.stealers.iter().enumerate() {
+            if i == index {
+                continue;
+            }
+            if let Some(task) = stealer.steal().success() {
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+fn run_task(task: Task) {
+    match task {
+        Task::For(t) => unsafe { (t.run)(t.job) },
+        Task::Boxed(f) => f(),
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, local: Worker<Task>, index: usize) {
+    IS_WORKER.with(|flag| flag.set(true));
+    loop {
+        if let Some(task) = shared.find_task(&local, index) {
+            run_task(task);
+            continue;
+        }
+        let mut state = shared.state.lock();
+        if state.shutdown {
+            return;
+        }
+        // Re-check under the lock: `submit` notifies while holding it,
+        // so a push racing with this parking attempt is never missed.
+        if !(local.is_empty() && shared.injector.is_empty()) {
+            continue;
+        }
+        shared.wakeup.wait(&mut state);
+    }
+}
+
+/// Shared state of one `parallel_for_chunks` call, borrowed by every
+/// task that helps execute it.
+struct ForJob<'a> {
+    body: &'a (dyn Fn(Range<usize>) + Sync),
+    next: AtomicUsize,
+    end: usize,
+    chunk: usize,
+    latch: Latch,
+    panicked: AtomicBool,
+}
+
+impl ForJob<'_> {
+    /// Claims and runs chunks until the range is exhausted. Panics in
+    /// the body are caught so peers and the submitter always drain the
+    /// range and the latch always opens; the submitter re-raises.
+    fn execute_chunks(&self) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.end {
+                break;
+            }
+            let end = self.end.min(start + self.chunk);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| (self.body)(start..end)));
+            if result.is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+unsafe fn run_for_task(job: *const ()) {
+    let job = unsafe { &*(job as *const ForJob) };
+    job.execute_chunks();
+    job.latch.count_down();
+}
+
+/// Handle for spawning borrowed tasks; see [`Runtime::scope`].
+pub struct Scope<'scope, 'rt> {
+    rt: &'rt Runtime,
+    state: Arc<ScopeState>,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+struct ScopeState {
+    latch: Latch,
+    panicked: AtomicBool,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Spawns `f` onto the pool. Runs inline when the runtime is
+    /// serial or when called from a pool worker (so workers never
+    /// block waiting on their own spawns).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let shared = match self.rt.shared.as_ref() {
+            Some(shared) if !IS_WORKER.with(|flag| flag.get()) => shared,
+            _ => {
+                f();
+                return;
+            }
+        };
+        self.state.latch.add(1);
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
+                state.panicked.store(true, Ordering::SeqCst);
+            }
+            state.latch.count_down();
+        });
+        // SAFETY: `Runtime::scope` blocks until the latch opens, so
+        // everything `f` borrows ('scope) outlives the task.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { mem::transmute(task) };
+        shared.submit(Task::Boxed(task));
+    }
+}
+
+/// A thread pool (or the inline serial stand-in) executing Winograd
+/// work. Dropping a pool shuts its workers down and joins them.
+pub struct Runtime {
+    shared: Option<Arc<Shared>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// A runtime with no worker threads; every call runs inline.
+    pub fn serial() -> Self {
+        Runtime {
+            shared: None,
+            handles: Vec::new(),
+        }
+    }
+
+    /// A pool with `threads` total execution lanes (the submitting
+    /// caller counts as one, so `threads - 1` workers are spawned).
+    /// `threads <= 1` yields the serial runtime.
+    pub fn with_threads(threads: usize) -> Self {
+        if threads <= 1 {
+            return Self::serial();
+        }
+        let workers: Vec<Worker<Task>> = (0..threads - 1).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            state: Mutex::new(PoolState { shutdown: false }),
+            wakeup: Condvar::new(),
+            threads,
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wino-worker-{index}"))
+                    .spawn(move || worker_loop(shared, local, index))
+                    .expect("failed to spawn wino-runtime worker")
+            })
+            .collect();
+        Runtime {
+            shared: Some(shared),
+            handles,
+        }
+    }
+
+    /// The process-wide pool, sized by [`default_threads`] on first
+    /// use. Never dropped.
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(|| Runtime::with_threads(default_threads()))
+    }
+
+    /// Total execution lanes (1 for the serial runtime).
+    pub fn threads(&self) -> usize {
+        self.shared.as_ref().map_or(1, |s| s.threads)
+    }
+
+    /// `true` when worker threads exist.
+    pub fn is_parallel(&self) -> bool {
+        self.threads() > 1
+    }
+
+    /// Runs `body` for every index in `range`, distributed across the
+    /// pool. Bit-identical to the serial loop whenever distinct
+    /// indices touch disjoint data.
+    pub fn parallel_for<F>(&self, range: Range<usize>, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_for_chunks(range, 1, |chunk| {
+            for index in chunk {
+                body(index);
+            }
+        });
+    }
+
+    /// Runs `body` once per claimed chunk of `range` (chunks never
+    /// shrink below `min_chunk` indices). The chunk granularity lets
+    /// callers amortize per-task scratch allocations.
+    pub fn parallel_for_chunks<F>(&self, range: Range<usize>, min_chunk: usize, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        let threads = self.threads();
+        let min_chunk = min_chunk.max(1);
+        if threads <= 1 || len <= min_chunk || IS_WORKER.with(|flag| flag.get()) {
+            body(range);
+            return;
+        }
+        let lanes = threads * CHUNKS_PER_LANE;
+        let chunk = len.div_ceil(lanes).max(min_chunk);
+        let chunks = len.div_ceil(chunk);
+        let helpers = (threads - 1).min(chunks.saturating_sub(1));
+        if helpers == 0 {
+            body(range);
+            return;
+        }
+        let shared = self.shared.as_ref().expect("threads > 1 implies a pool");
+        let job = ForJob {
+            body: &body,
+            next: AtomicUsize::new(range.start),
+            end: range.end,
+            chunk,
+            latch: Latch::new(helpers),
+            panicked: AtomicBool::new(false),
+        };
+        let job_ptr = &job as *const ForJob as *const ();
+        for _ in 0..helpers {
+            shared.injector.push(Task::For(ForTask {
+                job: job_ptr,
+                run: run_for_task,
+            }));
+        }
+        {
+            let _state = shared.state.lock();
+            shared.wakeup.notify_all();
+        }
+        // The caller is a full execution lane, then blocks until every
+        // helper has finished (the job is on this stack frame).
+        job.execute_chunks();
+        job.latch.wait();
+        if job.panicked.load(Ordering::SeqCst) {
+            panic!("wino-runtime: a parallel_for task panicked");
+        }
+    }
+
+    /// Structured spawning of heterogeneous borrowed tasks; returns
+    /// once every spawned task has finished.
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope, '_>) -> R,
+    {
+        let scope = Scope {
+            rt: self,
+            state: Arc::new(ScopeState {
+                latch: Latch::new(0),
+                panicked: AtomicBool::new(false),
+            }),
+            _marker: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.state.latch.wait();
+        if scope.state.panicked.load(Ordering::SeqCst) {
+            panic!("wino-runtime: a scoped task panicked");
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.state.lock().shutdown = true;
+            shared.wakeup.notify_all();
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Default for Runtime {
+    /// The default runtime is the global pool's configuration applied
+    /// to a fresh pool; prefer [`Runtime::global`] to share workers.
+    fn default() -> Self {
+        Runtime::with_threads(default_threads())
+    }
+}
+
+/// Thread count the global pool uses: `WINO_THREADS` when set to a
+/// positive integer, else `std::thread::available_parallelism`.
+pub fn default_threads() -> usize {
+    match std::env::var("WINO_THREADS") {
+        Ok(value) => value
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(available_threads),
+        Err(_) => available_threads(),
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A shared-write window over a mutable slice for kernels whose tasks
+/// write provably disjoint ranges (each output element has exactly one
+/// writer). The unsafe constructor of parallel scatter loops.
+pub struct DisjointSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: callers uphold disjointness (documented on `slice_mut`), so
+// concurrent access never aliases; `T: Send` makes moving elements
+// across threads sound.
+unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    /// Wraps `slice` for disjoint parallel writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes one element.
+    ///
+    /// # Safety
+    /// `index` must be in bounds and written by no other thread
+    /// concurrently.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).write(value) }
+    }
+
+    /// Reborrows `range` mutably.
+    ///
+    /// # Safety
+    /// `range` must be in bounds and disjoint from every range any
+    /// other thread accesses while the borrow lives.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &'a mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let rt = Runtime::with_threads(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel_for(0..1000, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn chunks_partition_the_range() {
+        let rt = Runtime::with_threads(3);
+        let seen = Mutex::new(Vec::new());
+        rt.parallel_for_chunks(10..250, 7, |chunk| {
+            assert!(chunk.len() >= 7 || chunk.end == 250);
+            seen.lock().push(chunk);
+        });
+        let mut chunks = seen.into_inner();
+        chunks.sort_by_key(|c| c.start);
+        assert_eq!(chunks.first().map(|c| c.start), Some(10));
+        assert_eq!(chunks.last().map(|c| c.end), Some(250));
+        for pair in chunks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn serial_runtime_runs_inline() {
+        let rt = Runtime::serial();
+        assert_eq!(rt.threads(), 1);
+        let sum = Mutex::new(0u64);
+        rt.parallel_for(0..10, |i| *sum.lock() += i as u64);
+        assert_eq!(sum.into_inner(), 45);
+    }
+
+    #[test]
+    fn nested_parallel_for_completes() {
+        let rt = Runtime::with_threads(4);
+        let total = AtomicUsize::new(0);
+        rt.parallel_for(0..8, |_| {
+            // Nested call: runs inline on workers, so no deadlock.
+            rt.parallel_for(0..8, |_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_joins_borrowed_tasks() {
+        let rt = Runtime::with_threads(4);
+        let data = [1u64, 2, 3, 4];
+        let (left, right) = (AtomicUsize::new(0), AtomicUsize::new(0));
+        rt.scope(|s| {
+            s.spawn(|| left.store(data[..2].iter().sum::<u64>() as usize, Ordering::SeqCst));
+            s.spawn(|| right.store(data[2..].iter().sum::<u64>() as usize, Ordering::SeqCst));
+        });
+        assert_eq!(left.load(Ordering::SeqCst), 3);
+        assert_eq!(right.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn disjoint_slice_parallel_writes() {
+        let rt = Runtime::with_threads(4);
+        let mut data = vec![0usize; 512];
+        {
+            let window = DisjointSlice::new(&mut data);
+            rt.parallel_for_chunks(0..512, 1, |chunk| {
+                // SAFETY: chunks from one parallel_for never overlap.
+                let out = unsafe { window.slice_mut(chunk.clone()) };
+                for (slot, index) in out.iter_mut().zip(chunk) {
+                    *slot = index * 3;
+                }
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_for task panicked")]
+    fn body_panic_propagates_to_caller() {
+        let rt = Runtime::with_threads(2);
+        rt.parallel_for(0..64, |i| {
+            if i == 33 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn with_threads_one_is_serial() {
+        let rt = Runtime::with_threads(1);
+        assert!(!rt.is_parallel());
+    }
+}

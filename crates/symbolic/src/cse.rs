@@ -117,7 +117,6 @@ fn best_pattern(exprs: &[LinExpr]) -> Option<(Pattern, usize)> {
     counts
         .into_iter()
         .max_by(|(p1, c1), (p2, c2)| c1.cmp(c2).then_with(|| pattern_order(p2, p1)))
-        .map(|(p, c)| (p, c))
 }
 
 /// Deterministic total order on patterns for tie-breaking.

@@ -15,7 +15,7 @@ mod tiling;
 
 pub use shape::ConvDesc;
 pub use tensor::Tensor4;
-pub use tiling::{extract_input_tile, place_output_tile, tile_counts};
+pub use tiling::{extract_input_tile, place_output_tile, place_output_tile_into, tile_counts};
 
 /// The paper's L1 matrix norm — maximum absolute column sum — extended
 /// to NCHW tensors by treating every `(n, c)` plane as an `H × W`

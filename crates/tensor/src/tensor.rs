@@ -209,7 +209,7 @@ mod tests {
         let t = Tensor4::<f32>::from_fn(2, 3, 4, 5, |n, c, y, x| {
             (n * 1000 + c * 100 + y * 10 + x) as f32
         });
-        assert_eq!(t.offset(1, 2, 3, 4), ((1 * 3 + 2) * 4 + 3) * 5 + 4);
+        assert_eq!(t.offset(1, 2, 3, 4), ((3 + 2) * 4 + 3) * 5 + 4);
         assert_eq!(t[(1, 2, 3, 4)], 1234.0);
         assert_eq!(t.data()[t.offset(0, 1, 2, 3)], 123.0);
     }

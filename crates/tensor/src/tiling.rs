@@ -19,6 +19,7 @@ pub fn tile_counts(out_h: usize, out_w: usize, m: usize) -> (usize, usize) {
 /// `(tile_y, tile_x)` from the (already padded) input plane of image
 /// `n`, channel `c`, writing into `out` (length ≥ `α²`). Out-of-bounds
 /// reads produce zeros.
+#[allow(clippy::too_many_arguments)] // tile geometry is irreducibly 6-coordinate
 pub fn extract_input_tile(
     input: &Tensor4<f32>,
     n: usize,
@@ -29,9 +30,24 @@ pub fn extract_input_tile(
     alpha: usize,
     out: &mut [f32],
 ) {
+    debug_assert!(alpha >= m, "alpha {alpha} must be >= tile stride m {m}");
+    debug_assert!(
+        out.len() >= alpha * alpha,
+        "tile buffer too short: {} < {}",
+        out.len(),
+        alpha * alpha
+    );
+    debug_assert!(
+        n < input.n() && c < input.c(),
+        "plane ({n}, {c}) out of range"
+    );
     let y0 = tile_y * m;
     let x0 = tile_x * m;
     let (h, w) = (input.h(), input.w());
+    debug_assert!(
+        tile_y * m < h + alpha && tile_x * m < w + alpha,
+        "tile ({tile_y}, {tile_x}) lies entirely outside the padded input"
+    );
     let plane = input.plane(n, c);
     for dy in 0..alpha {
         let y = y0 + dy;
@@ -58,10 +74,44 @@ pub fn place_output_tile(
     m: usize,
     tile: &[f32],
 ) {
-    let y0 = tile_y * m;
-    let x0 = tile_x * m;
+    debug_assert!(
+        n < output.n() && k < output.c(),
+        "plane ({n}, {k}) out of range"
+    );
     let (h, w) = (output.h(), output.w());
     let plane = output.plane_mut(n, k);
+    place_output_tile_into(plane, h, w, tile_y, tile_x, m, tile);
+}
+
+/// [`place_output_tile`] on a raw `h × w` output plane slice; the
+/// building block the parallel engines use with per-task plane views.
+pub fn place_output_tile_into(
+    plane: &mut [f32],
+    h: usize,
+    w: usize,
+    tile_y: usize,
+    tile_x: usize,
+    m: usize,
+    tile: &[f32],
+) {
+    debug_assert!(
+        plane.len() >= h * w,
+        "plane too short: {} < {}",
+        plane.len(),
+        h * w
+    );
+    debug_assert!(
+        tile.len() >= m * m,
+        "output tile too short: {} < {}",
+        tile.len(),
+        m * m
+    );
+    debug_assert!(
+        tile_y * m < h && tile_x * m < w,
+        "tile ({tile_y}, {tile_x}) lies entirely outside the {h}x{w} output"
+    );
+    let y0 = tile_y * m;
+    let x0 = tile_x * m;
     for dy in 0..m {
         let y = y0 + dy;
         if y >= h {

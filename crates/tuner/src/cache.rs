@@ -31,6 +31,8 @@ pub struct CacheEntry {
     pub mnt: usize,
     /// Thread blocking.
     pub mnb: usize,
+    /// CPU runtime lanes of the `wino-runtime` pool.
+    pub threads: usize,
     /// Modelled runtime in milliseconds.
     pub time_ms: f64,
 }
@@ -53,6 +55,7 @@ impl CacheEntry {
             },
             mnt: e.point.mnt,
             mnb: e.point.mnb,
+            threads: e.point.threads,
             time_ms: e.time_ms,
         }
     }
@@ -77,6 +80,7 @@ impl CacheEntry {
                 },
                 mnt: self.mnt,
                 mnb: self.mnb,
+                threads: self.threads,
             },
             time_ms: self.time_ms,
         })
@@ -178,6 +182,7 @@ mod tests {
                 unroll: Unroll::Full,
                 mnt: 4,
                 mnb: 16,
+                threads: 1,
             },
             time_ms: 0.123,
         }
@@ -255,6 +260,7 @@ mod tests {
             unroll: 1,
             mnt: 1,
             mnb: 8,
+            threads: 1,
             time_ms: 1.0,
         };
         assert!(entry.to_evaluation().is_none());

@@ -47,6 +47,7 @@ pub fn tune_guided(
                 unroll: Unroll::Full,
                 mnt: 4,
                 mnb: 16,
+                threads: 1,
             });
         }
     }

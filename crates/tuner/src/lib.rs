@@ -18,7 +18,9 @@ mod tuner;
 
 pub use cache::{cache_key, CacheEntry, TuningCache};
 pub use guided::{tune_guided, GuidedReport};
-pub use space::{reduced_space, search_space, TuningPoint, MNB_VALUES, MNT_VALUES, M_RANGE};
+pub use space::{
+    reduced_space, search_space, TuningPoint, MNB_VALUES, MNT_VALUES, M_RANGE, THREADS_VALUES,
+};
 pub use tuner::{
     evaluate_untuned, tune, tune_with_space, untuned_point, Evaluation, TuneError, TuneReport,
 };

@@ -17,7 +17,10 @@ fn main() {
         TransformRecipes::generate(spec, RecipeOptions::optimized()).expect("supported spec");
 
     for backend in [Backend::Cuda, Backend::OpenCl, Backend::Vulkan] {
-        let opts = CodegenOptions { backend, ..Default::default() };
+        let opts = CodegenOptions {
+            backend,
+            ..Default::default()
+        };
         let kernel = gen_filter_transform_kernel(&desc, &recipes, &opts).expect("generates");
         println!("================ {backend} ================");
         // The head of the kernel shows the dialect differences; the

@@ -66,7 +66,7 @@ fn main() {
     let t_direct = t0.elapsed();
 
     // Production: selector-chosen engines (Winograd where applicable).
-    let mut tuned_net = build_net(|d| select_engine(d));
+    let mut tuned_net = build_net(select_engine);
     tuned_net.fuse_relu();
     let t0 = Instant::now();
     let output = tuned_net.execute(&input).expect("tuned net runs");

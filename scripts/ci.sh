@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 verification the
+# roadmap requires (release build + full test suite). Run from the
+# workspace root before committing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: release build"
+cargo build --release --offline
+
+echo "== tier-1: test suite"
+cargo test -q --offline
+
+echo "CI OK"

@@ -1,0 +1,240 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this
+//! workspace uses: `StdRng` + `SeedableRng::seed_from_u64`, the `Rng`
+//! extension trait with `gen_range`, `SliceRandom::shuffle`, and the
+//! `SampleUniform` bound used by generic fill helpers.
+//!
+//! The generator is SplitMix64 — statistically fine for test-data
+//! generation, deterministic per seed, no external dependencies. The
+//! streams are *not* identical to the real `rand` crate's; everything
+//! in this workspace that cares about reproducibility seeds its own
+//! generator, so only within-workspace determinism matters.
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing extension trait (auto-implemented for every source).
+pub trait Rng: RngCore {
+    /// Uniform sample from `lo..hi` or `lo..=hi`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen_range(0.0f64..1.0) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding support (only the `seed_from_u64` entry point is needed).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64 here).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A process-local generator seeded from the wall clock.
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5eed);
+    rngs::StdRng::seed_from_u64(nanos)
+}
+
+pub mod distributions {
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// Types that can be sampled uniformly from a range.
+        pub trait SampleUniform: Sized + PartialOrd {
+            /// Uniform sample from `[lo, hi)` (`inclusive` widens to
+            /// `[lo, hi]`).
+            fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+                -> Self;
+        }
+
+        /// Range forms accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Draws one sample.
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "empty gen_range range");
+                T::sample_uniform(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty gen_range range");
+                T::sample_uniform(rng, lo, hi, true)
+            }
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let lo_w = lo as i128;
+                        let hi_w = hi as i128;
+                        let span = (hi_w - lo_w) as u128 + if inclusive { 1 } else { 0 };
+                        // Modulo bias is ~2^-64 for test-sized spans.
+                        let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                        (lo_w + r as i128) as Self
+                    }
+                }
+            )*};
+        }
+        impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, _incl: bool) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + (hi - lo) * unit
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self, _incl: bool) -> Self {
+                let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+                lo + (hi - lo) * unit
+            }
+        }
+    }
+}
+
+pub mod seq {
+    use crate::{Rng, RngCore};
+
+    /// Slice helpers (only what the workspace calls).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, `None` when empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let n = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&n));
+            let m = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&m));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,138 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde shim. Supports the shapes this workspace derives on: plain
+//! non-generic structs with named fields. Written against `proc_macro`
+//! directly (no `syn`/`quote` — this build environment is offline).
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Parsed struct: name plus named-field identifiers in order.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and field names from a derive input.
+/// Panics (surfacing as a compile error) on unsupported shapes.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+
+    // Skip attributes/visibility until the `struct` keyword, then take
+    // the name and the brace-delimited field group.
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "struct" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde shim derive: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            if id.to_string() == "enum" || id.to_string() == "union" {
+                panic!("serde shim derive supports only structs with named fields");
+            }
+        }
+    }
+    let name = name.expect("serde shim derive: no `struct` keyword found");
+
+    let body = tokens
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive does not support tuple structs")
+            }
+            _ => None,
+        })
+        .expect("serde shim derive: struct has no braced field list");
+
+    // Walk the field list: the ident immediately before a top-level
+    // `:` (Alone spacing, i.e. not `::`) is a field name. Generic
+    // argument commas are irrelevant because we never parse types.
+    let mut fields = Vec::new();
+    let mut prev_ident: Option<String> = None;
+    let mut angle_depth = 0i32;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                let _ = iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ':' && p.spacing() == Spacing::Alone && angle_depth == 0 =>
+            {
+                if let Some(field) = prev_ident.take() {
+                    fields.push(field);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && p.spacing() == Spacing::Joint => {
+                // `::` — consume the second colon.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => prev_ident = Some(id.to_string()),
+            _ => {}
+        }
+    }
+
+    StructShape { name, fields }
+}
+
+/// Derives `serde::Serialize` (shim trait `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let pushes: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}\n",
+        name = shape.name,
+    );
+    code.parse().expect("serde shim derive: generated code")
+}
+
+/// Derives `serde::Deserialize` (shim trait `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     v.get(\"{f}\").ok_or_else(|| ::serde::DeError::missing(\"{f}\"))?\
+                 )?,\n"
+            )
+        })
+        .collect();
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\"expected object\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}\n",
+        name = shape.name,
+    );
+    code.parse().expect("serde shim derive: generated code")
+}

@@ -175,11 +175,11 @@ fn claim_fused_feasibility_is_bounded() {
         PlanVariant::WinogradFused { m: 8 },
         &CodegenOptions::default(),
     );
-    match big {
-        Ok(plan) => assert!(
+    // Rejection at generation time is also acceptable.
+    if let Ok(plan) = big {
+        assert!(
             estimate_plan_ms(&device, &plan).is_err(),
             "F(8,3) fused should not launch on Mali"
-        ),
-        Err(_) => {} // rejected at generation time: also acceptable
+        );
     }
 }
