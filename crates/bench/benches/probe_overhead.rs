@@ -1,0 +1,45 @@
+//! Criterion timings backing EXPERIMENTS.md's claim that the probe's
+//! disabled path costs nothing measurable: the same Winograd
+//! convolution with tracing off vs. recording (summary mode). The
+//! off/baseline pair should agree to within run-to-run noise; summary
+//! mode shows the (small) price of actually recording spans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use wino_conv::{conv_winograd, WinogradConfig, WinogradVariant};
+use wino_probe::{self as probe, Mode};
+use wino_tensor::{ConvDesc, Tensor4};
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    let desc = ConvDesc::new(3, 1, 1, 32, 1, 28, 28, 16);
+    let mut rng = StdRng::seed_from_u64(9);
+    let input = Tensor4::<f32>::random(1, 16, 28, 28, -1.0, 1.0, &mut rng);
+    let filters = Tensor4::<f32>::random(32, 16, 3, 3, -1.0, 1.0, &mut rng);
+    let cfg = WinogradConfig::new(4).with_variant(WinogradVariant::NonFused);
+
+    let mut group = c.benchmark_group("probe_overhead_conv3x3_28x28x16to32");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+
+    probe::set_mode(Mode::Off);
+    group.bench_function("tracing-off", |b| {
+        b.iter(|| conv_winograd(black_box(&input), black_box(&filters), &desc, &cfg).unwrap())
+    });
+
+    probe::set_mode(Mode::Summary);
+    group.bench_function("tracing-summary", |b| {
+        b.iter(|| conv_winograd(black_box(&input), black_box(&filters), &desc, &cfg).unwrap())
+    });
+    probe::set_mode(Mode::Off);
+    // Drop the recorded spans so the buffers don't grow unbounded.
+    probe::reset();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_overhead);
+criterion_main!(benches);

@@ -3,14 +3,17 @@
 //!
 //! `WINO_TRIALS` overrides the trial count (default 2000).
 
-use wino_bench::{figure4_rows, fmt_sci, TablePrinter};
+use wino_bench::{figure4_rows, fmt_sci, Report, TablePrinter};
 
 fn main() {
     let trials: usize = std::env::var("WINO_TRIALS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2000);
-    println!("Figure 4 — L1-norm error analysis ({trials} trials per alpha)\n");
+    let mut report = Report::new(
+        "figure4",
+        &format!("Figure 4 — L1-norm error analysis ({trials} trials per alpha)"),
+    );
     let mut t = TablePrinter::new(&["alpha", "min", "q1", "median", "q3", "max", "increase rate"]);
     for row in figure4_rows(trials, 0xF16) {
         t.row(vec![
@@ -23,9 +26,10 @@ fn main() {
             format!("{:.2}", row.growth),
         ]);
     }
-    print!("{}", t.render());
-    println!(
+    report.table(&t);
+    report.line(
         "\nPaper's observation to check: error grows with every added point but NOT\n\
-         exponentially; even alpha values grow slower (alpha = 8 lowest rate region)."
+         exponentially; even alpha values grow slower (alpha = 8 lowest rate region).",
     );
+    report.finish();
 }

@@ -2,9 +2,14 @@
 //! transformation stages before and after symbolic optimization
 //! (r ∈ {3, 5, 7}, m ∈ [2, 10]), plus the overall reduction ratios.
 
-use wino_bench::{figure5_rows, peak_reduction, Figure5Row, StageOps, TablePrinter};
+use wino_bench::{figure5_rows, peak_reduction, Figure5Row, Report, StageOps, TablePrinter};
 
-fn stage_table(rows: &[Figure5Row], r: usize, pick: impl Fn(&Figure5Row) -> &StageOps) {
+fn stage_table(
+    report: &mut Report,
+    rows: &[Figure5Row],
+    r: usize,
+    pick: impl Fn(&Figure5Row) -> &StageOps,
+) {
     let mut t = TablePrinter::new(&[
         "F(m,r)",
         "alpha",
@@ -28,10 +33,14 @@ fn stage_table(rows: &[Figure5Row], r: usize, pick: impl Fn(&Figure5Row) -> &Sta
             format!("{:.2}", s.reduction()),
         ]);
     }
-    print!("{}", t.render());
+    report.table(&t);
 }
 
 fn main() {
+    let mut report = Report::new(
+        "figure5",
+        "Figure 5 — Transform op counts, symbolic optimization on/off",
+    );
     let rows = figure5_rows();
 
     for (panel, name, pick) in [
@@ -44,14 +53,17 @@ fn main() {
         ("5c", "Output transform", |row: &Figure5Row| &row.output),
     ] {
         for r in [3usize, 5, 7] {
-            println!("\nFigure {panel} — {name}, {r}x{r} conv");
-            stage_table(&rows, r, pick);
+            report.line(format!("\nFigure {panel} — {name}, {r}x{r} conv"));
+            stage_table(&mut report, &rows, r, pick);
             let (alpha, red) = peak_reduction(&rows, r, |row| pick(row).reduction());
-            println!("peak reduction: {:.0}% at alpha = {alpha}", red * 100.0);
+            report.line(format!(
+                "peak reduction: {:.0}% at alpha = {alpha}",
+                red * 100.0
+            ));
         }
     }
 
-    println!("\nFigure 5d — Overall reduction ratios (single tile)");
+    report.line("\nFigure 5d — Overall reduction ratios (single tile)");
     let mut t = TablePrinter::new(&["F(m,r)", "alpha", "transforms", "whole Winograd"]);
     for row in &rows {
         t.row(vec![
@@ -61,12 +73,13 @@ fn main() {
             format!("{:.2}", row.whole_winograd_reduction()),
         ]);
     }
-    print!("{}", t.render());
+    report.table(&t);
     for r in [3usize, 5, 7] {
         let (alpha, red) = peak_reduction(&rows, r, Figure5Row::transforms_reduction);
-        println!(
+        report.line(format!(
             "{r}x{r}: peak transform reduction {:.0}% at alpha = {alpha}",
             red * 100.0
-        );
+        ));
     }
+    report.finish();
 }

@@ -1,17 +1,18 @@
 //! Regenerates Figure 7: the 31 Table-4 convolutions against the
 //! cuDNN stand-in on the modelled GTX 1080 Ti.
 //!
-//! `WINO_THREADS` sets tuning parallelism (default 8).
+//! `WINO_THREADS` sets tuning parallelism (default 8); `WINO_TRACE`
+//! attaches per-candidate tuner spans to the probe artifact.
 
-use wino_bench::{figure7_rows, fmt_sci, geometric_mean, TablePrinter};
+use wino_bench::{env_threads, figure7_rows, fmt_sci, geometric_mean, Report, TablePrinter};
 use wino_graph::table4_convs;
 
 fn main() {
-    let threads: usize = std::env::var("WINO_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
-    println!("Figure 7 — vs cuDNN-sim on the GTX 1080 Ti model\n");
+    let mut report = Report::new(
+        "figure7",
+        "Figure 7 — vs cuDNN-sim on the GTX 1080 Ti model",
+    );
+    let threads = env_threads(8);
     let rows = figure7_rows(&table4_convs(), threads);
     let mut t = TablePrinter::new(&[
         "FLOPs",
@@ -35,10 +36,10 @@ fn main() {
                 .unwrap_or_else(|| "-".into()),
         ]);
     }
-    print!("{}", t.render());
+    report.table(&t);
     let speedups: Vec<f64> = rows.iter().filter_map(|r| r.winograd_speedup()).collect();
     let wins = speedups.iter().filter(|&&s| s > 1.0).count();
-    println!(
+    report.line(format!(
         "\n(all runtimes in ms) geometric-mean speedup over cuDNN-sim Winograd: {:.2}x,\n\
          max {:.2}x, wins on {wins}/{} supported convolutions.\n\
          Expected shape (paper): wins up to 8.1x concentrated on smaller convolutions;\n\
@@ -47,5 +48,6 @@ fn main() {
         geometric_mean(&speedups),
         speedups.iter().cloned().fold(0.0, f64::max),
         speedups.len(),
-    );
+    ));
+    report.finish();
 }

@@ -1,15 +1,15 @@
 //! Regenerates Figure 8: the 31 Table-4 convolutions against the
 //! MIOpen stand-in on the modelled RX 580.
+//!
+//! `WINO_THREADS` sets tuning parallelism (default 8); `WINO_TRACE`
+//! attaches per-candidate tuner spans to the probe artifact.
 
-use wino_bench::{figure8_rows, fmt_sci, geometric_mean, TablePrinter};
+use wino_bench::{env_threads, figure8_rows, fmt_sci, geometric_mean, Report, TablePrinter};
 use wino_graph::table4_convs;
 
 fn main() {
-    let threads: usize = std::env::var("WINO_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
-    println!("Figure 8 — vs MIOpen-sim on the RX 580 model\n");
+    let mut report = Report::new("figure8", "Figure 8 — vs MIOpen-sim on the RX 580 model");
+    let threads = env_threads(8);
     let rows = figure8_rows(&table4_convs(), threads);
     let mut t = TablePrinter::new(&[
         "FLOPs",
@@ -33,13 +33,14 @@ fn main() {
                 .unwrap_or_else(|| "-".into()),
         ]);
     }
-    print!("{}", t.render());
+    report.table(&t);
     let speedups: Vec<f64> = rows.iter().filter_map(|r| r.winograd_speedup()).collect();
-    println!(
+    report.line(format!(
         "\n(all runtimes in ms) geometric-mean speedup over MIOpen-sim Winograd: {:.2}x,\n\
          max {:.2}x. Expected shape (paper): MIOpen ahead on larger convolutions via\n\
          MIOpenGEMM; our kernels win by up to ~1.9x on specific cases.",
         geometric_mean(&speedups),
         speedups.iter().cloned().fold(0.0, f64::max),
-    );
+    ));
+    report.finish();
 }

@@ -1,15 +1,20 @@
 //! Regenerates Figure 9: auto-tuning on/off plus the ARM Compute
 //! Library stand-in on the modelled Mali G71.
+//!
+//! `WINO_THREADS` sets tuning parallelism (default 8); `WINO_TRACE`
+//! attaches per-candidate tuner spans to the probe artifact.
 
-use wino_bench::{figure9_rows, fmt_sci, geometric_mean, Figure9Row, TablePrinter};
+use wino_bench::{
+    env_threads, figure9_rows, fmt_sci, geometric_mean, Figure9Row, Report, TablePrinter,
+};
 use wino_graph::table4_convs;
 
 fn main() {
-    let threads: usize = std::env::var("WINO_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
-    println!("Figure 9 — Autotuning on/off + ACL-sim on the Mali G71 model\n");
+    let mut report = Report::new(
+        "figure9",
+        "Figure 9 — Autotuning on/off + ACL-sim on the Mali G71 model",
+    );
+    let threads = env_threads(8);
     let rows = figure9_rows(&table4_convs(), threads);
     let mut t = TablePrinter::new(&[
         "FLOPs",
@@ -29,17 +34,18 @@ fn main() {
             format!("{:.2}x", row.speedup()),
         ]);
     }
-    print!("{}", t.render());
+    report.table(&t);
     let speedups: Vec<f64> = rows.iter().map(Figure9Row::speedup).collect();
     let beats_acl = rows
         .iter()
         .filter(|r| r.acl_winograd_ms.is_some_and(|a| r.autotuning_ms < a))
         .count();
-    println!(
+    report.line(format!(
         "\n(all runtimes in ms) geometric-mean autotuning speedup {:.2}x (paper: 1.74x),\n\
          max {:.2}x; tuned kernels beat ACL-sim Winograd on {beats_acl} convolutions\n\
          (ACL's FP16 GEMM keeps it ahead elsewhere, as in the paper).",
         geometric_mean(&speedups),
         speedups.iter().cloned().fold(0.0, f64::max),
-    );
+    ));
+    report.finish();
 }

@@ -1,5 +1,13 @@
-//! Table formatting and summary statistics for the experiment
-//! binaries.
+//! Table formatting, summary statistics, and the shared [`Report`]
+//! sink for the experiment binaries.
+//!
+//! Every `table*`/`figure*` binary used to hand-roll its own env
+//! parsing and output plumbing; they now funnel through [`Report`],
+//! which also attaches the wino-probe artifacts (`WINO_TRACE=summary`
+//! appends the phase summary table, `WINO_TRACE=json[:path]` writes a
+//! chrome://tracing file under `results/`).
+
+use std::fmt::Write as _;
 
 /// Geometric mean — the paper's aggregate for speedups across
 /// convolutions ("All the average speedups reported across the
@@ -80,6 +88,90 @@ impl TablePrinter {
     }
 }
 
+/// Tuning-thread count for the experiment binaries: `WINO_THREADS`
+/// when set to a positive integer, else `default`. Malformed values
+/// warn through the probe diagnostics channel instead of being
+/// silently ignored.
+pub fn env_threads(default: usize) -> usize {
+    match std::env::var("WINO_THREADS") {
+        Err(_) => default,
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                wino_probe::diag(format!(
+                    "invalid WINO_THREADS={value:?} (expected a positive integer); \
+                     using {default} tuning workers"
+                ));
+                default
+            }
+        },
+    }
+}
+
+/// Output sink shared by the experiment binaries: accumulates the
+/// experiment's text, then [`Report::finish`] prints it and attaches
+/// whatever probe artifact `WINO_TRACE` asked for.
+pub struct Report {
+    artifact: &'static str,
+    body: String,
+}
+
+impl Report {
+    /// Starts the report for the binary named `artifact` (the default
+    /// trace file is `results/<artifact>.trace.json`), initializing
+    /// the probe layer from `WINO_TRACE` and printing `title`.
+    pub fn new(artifact: &'static str, title: &str) -> Self {
+        wino_probe::init_from_env();
+        Report {
+            artifact,
+            body: format!("{title}\n\n"),
+        }
+    }
+
+    /// Appends one line.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let _ = writeln!(self.body, "{}", text.as_ref());
+    }
+
+    /// Appends an empty line.
+    pub fn blank(&mut self) {
+        self.body.push('\n');
+    }
+
+    /// Appends a rendered table.
+    pub fn table(&mut self, table: &TablePrinter) {
+        self.body.push_str(&table.render());
+    }
+
+    /// Prints the accumulated report, then the probe artifact:
+    /// summary mode appends the per-span statistics table; json mode
+    /// writes the chrome://tracing file (path from `WINO_TRACE=
+    /// json:path`, default `results/<artifact>.trace.json`).
+    pub fn finish(self) {
+        print!("{}", self.body);
+        match wino_probe::mode() {
+            wino_probe::Mode::Off => {}
+            wino_probe::Mode::Summary => {
+                let data = wino_probe::collect();
+                println!("\n== wino-probe phase summary ==");
+                print!("{}", data.summary().render());
+            }
+            wino_probe::Mode::Json => {
+                let data = wino_probe::collect();
+                let path = wino_probe::trace_path()
+                    .unwrap_or_else(|| format!("results/{}.trace.json", self.artifact));
+                if let Some(dir) = std::path::Path::new(&path).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                match std::fs::write(&path, data.chrome_trace().to_json()) {
+                    Ok(()) => println!("\n[wino-probe] chrome trace written to {path}"),
+                    Err(e) => wino_probe::diag(format!("failed to write trace {path}: {e}")),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +211,26 @@ mod tests {
     fn arity_checked() {
         let mut t = TablePrinter::new(&["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = Report::new("test", "Title");
+        r.line("one");
+        r.blank();
+        let mut t = TablePrinter::new(&["h"]);
+        t.row(vec!["x".into()]);
+        r.table(&t);
+        assert!(r.body.starts_with("Title\n\n"));
+        assert!(r.body.contains("one\n\n"));
+        assert!(r.body.contains('h'));
+    }
+
+    #[test]
+    fn env_threads_default_without_var() {
+        // WINO_THREADS is not set in the test environment.
+        if std::env::var("WINO_THREADS").is_err() {
+            assert_eq!(env_threads(8), 8);
+        }
     }
 }

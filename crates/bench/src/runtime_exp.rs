@@ -2,9 +2,14 @@
 //! and Figures 7–9 (comparisons against the simulated vendor
 //! libraries on the three modelled platforms).
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
 use wino_codegen::{generate_plan, CodegenOptions, PlanVariant, Unroll};
+use wino_conv::{conv_winograd_rt, WinogradConfig, WinogradVariant};
 use wino_gpu::{estimate_plan_ms, gtx_1080_ti, mali_g71, rx_580, DeviceProfile};
-use wino_tensor::ConvDesc;
+use wino_runtime::{default_threads, Runtime};
+use wino_tensor::{ConvDesc, Tensor4};
 use wino_tuner::{evaluate_untuned, reduced_space, tune_with_space, TuneReport};
 use wino_vendor::{acl, cudnn, miopen, VendorLibrary};
 
@@ -71,6 +76,38 @@ pub fn figure6_rows() -> Vec<Figure6Row> {
         }
     }
     rows
+}
+
+/// Runs the Figure 6 representative layer once per engine on the real
+/// CPU pipeline, so a probe-enabled `figure6` run captures a
+/// *measured* per-phase breakdown (the subject of Figure 6) instead of
+/// only the device model's estimate. The pool uses at least two lanes
+/// so the work-stealing runtime's per-worker counters are exercised
+/// even on single-CPU hosts. Returns `(non-fused ms, fused ms)`
+/// wall-clock times.
+pub fn figure6_phase_capture(m: usize) -> (f64, f64) {
+    let desc = figure6_desc(3, 1);
+    let mut rng = StdRng::seed_from_u64(6);
+    let input = Tensor4::<f32>::random(
+        desc.batch, desc.in_ch, desc.in_h, desc.in_w, -1.0, 1.0, &mut rng,
+    );
+    let filters = Tensor4::<f32>::random(
+        desc.out_ch,
+        desc.in_ch,
+        desc.ksz,
+        desc.ksz,
+        -1.0,
+        1.0,
+        &mut rng,
+    );
+    let rt = Runtime::with_threads(default_threads().max(2));
+    let run = |variant: WinogradVariant| -> f64 {
+        let cfg = WinogradConfig::new(m).with_variant(variant);
+        let start = Instant::now();
+        conv_winograd_rt(&input, &filters, &desc, &cfg, &rt).expect("figure6 phase capture");
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    (run(WinogradVariant::NonFused), run(WinogradVariant::Fused))
 }
 
 /// One convolution's worth of a vendor-comparison figure (7 or 8).

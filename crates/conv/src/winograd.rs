@@ -21,6 +21,11 @@ use crate::direct::check_shapes;
 use crate::error::ConvError;
 use crate::tiles::TileTransformer;
 
+/// Tiles gathered into the transformed-input layout (both engines).
+static TILES_GATHERED: wino_probe::Counter = wino_probe::Counter::new("conv.tiles_gathered");
+/// Output tiles scattered back into NCHW planes (both engines).
+static TILES_SCATTERED: wino_probe::Counter = wino_probe::Counter::new("conv.tiles_scattered");
+
 /// Which kernel variant to model (tuning parameter `WV` of Table 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WinogradVariant {
@@ -199,6 +204,8 @@ fn nonfused(
     gemm: &GemmConfig,
     rt: &Runtime,
 ) -> Result<Tensor4<f32>, ConvError> {
+    let mut conv_span = wino_probe::span("conv.winograd.nonfused");
+    conv_span.arg("desc", || desc.to_string());
     let spec = recipes.spec;
     let (m, alpha) = (spec.m, spec.alpha());
     let a2 = alpha * alpha;
@@ -208,6 +215,7 @@ fn nonfused(
     let (kc, cc) = (desc.out_ch, desc.in_ch);
 
     // Stage 1a: U' scatter layout (ξ, k, c) for batched GEMM A-side.
+    let filter_span = wino_probe::span("conv.filter_transform");
     let u_kc = transform_filters(filters, desc, recipes);
     let mut u_scatter = vec![0.0f32; a2 * kc * cc];
     for k in 0..kc {
@@ -218,16 +226,20 @@ fn nonfused(
             }
         }
     }
+    drop(filter_span);
 
     // Stage 1b: V' scatter layout (ξ, c, p), parallel over tiles `p`.
     // A tile owns column `p` of every (ξ, c) matrix — strided but
     // disjoint writes — and each chunk carries its own transformer
     // scratch.
+    let input_span = wino_probe::span("conv.input_transform");
     let padded = input.pad_spatial(desc.pad);
     let mut v_scatter = vec![0.0f32; a2 * cc * p_total];
     {
         let v_win = DisjointSlice::new(&mut v_scatter);
         rt.parallel_for_chunks(0..p_total, 1, |tiles| {
+            let _chunk_span = wino_probe::span("conv.tile_gather");
+            TILES_GATHERED.add(tiles.len() as u64);
             let mut it = TileTransformer::new(&recipes.input);
             let mut in_tile = vec![0.0f32; a2];
             let mut v_tile = vec![0.0f32; a2];
@@ -249,8 +261,12 @@ fn nonfused(
         });
     }
 
+    drop(input_span);
+
     // Stage 2: α² batched SGEMMs M(ξ) = U'(ξ) · V'(ξ), parallel
     // across the batch dimension.
+    let mut gemm_span = wino_probe::span("conv.batched_sgemm");
+    gemm_span.arg("shape", || format!("{a2}x({kc}x{cc}x{p_total})"));
     let shape = BatchedGemmShape {
         batches: a2,
         m: kc,
@@ -259,14 +275,18 @@ fn nonfused(
     };
     let mut m_scatter = vec![0.0f32; shape.c_len()];
     batched_sgemm_rt(&shape, &u_scatter, &v_scatter, &mut m_scatter, gemm, rt);
+    drop(gemm_span);
 
     // Stage 3: output transform + placement, parallel over (k, p)
     // pairs. A pair owns one m×m output tile of one plane; its rows
     // are written as disjoint segments.
+    let output_span = wino_probe::span("conv.output_transform");
     let mut out = Tensor4::<f32>::zeros(desc.batch, kc, oh, ow);
     {
         let out_win = DisjointSlice::new(out.data_mut());
         rt.parallel_for_chunks(0..kc * p_total, 1, |pairs| {
+            let _chunk_span = wino_probe::span("conv.tile_scatter");
+            TILES_SCATTERED.add(pairs.len() as u64);
             let mut ot = TileTransformer::new(&recipes.output);
             let mut m_tile = vec![0.0f32; a2];
             let mut y_tile = vec![0.0f32; m * m];
@@ -283,6 +303,7 @@ fn nonfused(
             }
         });
     }
+    drop(output_span);
     Ok(out)
 }
 
@@ -320,6 +341,8 @@ fn fused(
     recipes: &TransformRecipes,
     rt: &Runtime,
 ) -> Result<Tensor4<f32>, ConvError> {
+    let mut conv_span = wino_probe::span("conv.winograd.fused");
+    conv_span.arg("desc", || desc.to_string());
     let spec = recipes.spec;
     let (m, alpha) = (spec.m, spec.alpha());
     let a2 = alpha * alpha;
@@ -329,7 +352,9 @@ fn fused(
 
     // Per-block filter transform (computed once here; the generated
     // kernel recomputes it per thread block from shared memory).
+    let filter_span = wino_probe::span("conv.filter_transform");
     let u_kc = transform_filters(filters, desc, recipes);
+    drop(filter_span);
 
     let padded = input.pad_spatial(desc.pad);
     let mut out = Tensor4::<f32>::zeros(desc.batch, kc, oh, ow);
@@ -337,8 +362,14 @@ fn fused(
     // Parallel over (n, ty, tx) tiles — the fused kernel's thread
     // blocks. Each chunk owns transformer scratch; a tile writes its
     // own region of every output plane, disjoint from other tiles.
+    // Per chunk, gather work (tile extraction + input transform) and
+    // scatter work (channel-summed multiply + output transform +
+    // placement) are interleaved per tile, so the two phases get
+    // chunk-level spans instead of stage-level ones.
     let out_win = DisjointSlice::new(out.data_mut());
     rt.parallel_for_chunks(0..desc.batch * th * tw, 1, |tiles| {
+        TILES_GATHERED.add(tiles.len() as u64);
+        TILES_SCATTERED.add(tiles.len() as u64);
         let mut it = TileTransformer::new(&recipes.input);
         let mut ot = TileTransformer::new(&recipes.output);
         let mut in_tile = vec![0.0f32; a2];
@@ -350,12 +381,15 @@ fn fused(
             let rem = t % (th * tw);
             let (ty, tx) = (rem / tw, rem % tw);
             // Input transform for every channel of this tile.
+            let gather_span = wino_probe::span("conv.tile_gather");
             for c in 0..cc {
                 extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
                 it.transform(&in_tile, &mut v_tiles[c * a2..(c + 1) * a2]);
             }
+            drop(gather_span);
             // Channel-summed element-wise multiply + output transform
             // per filter.
+            let _scatter_span = wino_probe::span("conv.tile_scatter");
             for k in 0..kc {
                 acc.fill(0.0);
                 for c in 0..cc {

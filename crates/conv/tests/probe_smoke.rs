@@ -1,0 +1,99 @@
+//! Tracing must be observation-only: both Winograd engines produce
+//! bit-identical output with the probe on vs. off, and an
+//! instrumented run records every phase span the engine promises.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_conv::{conv_winograd_rt, WinogradConfig, WinogradVariant};
+use wino_probe::{self as probe, Mode};
+use wino_runtime::Runtime;
+use wino_tensor::{ConvDesc, Tensor4};
+
+// Probe state is process-global; keep the two smoke tests serial.
+static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn random_case(desc: &ConvDesc, seed: u64) -> (Tensor4<f32>, Tensor4<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = Tensor4::<f32>::random(
+        desc.batch, desc.in_ch, desc.in_h, desc.in_w, -1.0, 1.0, &mut rng,
+    );
+    let filt = Tensor4::<f32>::random(
+        desc.out_ch,
+        desc.in_ch,
+        desc.ksz,
+        desc.ksz,
+        -1.0,
+        1.0,
+        &mut rng,
+    );
+    (input, filt)
+}
+
+fn run_traced_vs_untraced(variant: WinogradVariant, expected_spans: &[&str]) {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let desc = ConvDesc::new(3, 1, 1, 4, 2, 10, 10, 3);
+    let cfg = WinogradConfig::new(4).with_variant(variant);
+    let (input, filt) = random_case(&desc, 0xABCD);
+    let rt = Runtime::with_threads(2);
+
+    probe::set_mode(Mode::Off);
+    probe::reset();
+    let untraced = conv_winograd_rt(&input, &filt, &desc, &cfg, &rt).unwrap();
+    assert!(
+        probe::take_events().is_empty(),
+        "disabled probe must record nothing"
+    );
+
+    probe::set_mode(Mode::Summary);
+    let traced = conv_winograd_rt(&input, &filt, &desc, &cfg, &rt).unwrap();
+    probe::set_mode(Mode::Off);
+    let events = probe::take_events();
+
+    assert_eq!(untraced.dims(), traced.dims());
+    let exact = untraced
+        .data()
+        .iter()
+        .zip(traced.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(exact, "tracing changed the numerical output");
+
+    for span in expected_spans {
+        assert!(
+            events.iter().any(|e| e.name == *span),
+            "expected span {span:?} in traced run; got {:?}",
+            events
+                .iter()
+                .map(|e| e.name)
+                .collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+}
+
+#[test]
+fn nonfused_identical_with_tracing_and_spans_recorded() {
+    run_traced_vs_untraced(
+        WinogradVariant::NonFused,
+        &[
+            "conv.winograd.nonfused",
+            "conv.filter_transform",
+            "conv.input_transform",
+            "conv.batched_sgemm",
+            "conv.output_transform",
+            "conv.tile_gather",
+            "conv.tile_scatter",
+        ],
+    );
+}
+
+#[test]
+fn fused_identical_with_tracing_and_spans_recorded() {
+    run_traced_vs_untraced(
+        WinogradVariant::Fused,
+        &[
+            "conv.winograd.fused",
+            "conv.filter_transform",
+            "conv.tile_gather",
+            "conv.tile_scatter",
+        ],
+    );
+}

@@ -10,6 +10,9 @@
 use crate::blocked::{gemm_flops, sgemm_acc_rt, GemmConfig};
 use wino_runtime::{DisjointSlice, Runtime};
 
+/// Independent batch multiplies executed by `batched_sgemm_rt`.
+static GEMM_BATCHES: wino_probe::Counter = wino_probe::Counter::new("gemm.batches");
+
 /// Shape of one batched-GEMM invocation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BatchedGemmShape {
@@ -70,9 +73,12 @@ pub fn batched_sgemm_rt(
     assert!(b.len() >= shape.b_len(), "batched B too short");
     assert!(c.len() >= shape.c_len(), "batched C too short");
     let (am, bm, cm) = (shape.m * shape.k, shape.k * shape.n, shape.m * shape.n);
+    GEMM_BATCHES.add(shape.batches as u64);
     let serial = Runtime::serial();
     let c_win = DisjointSlice::new(&mut c[..shape.c_len()]);
     rt.parallel_for_chunks(0..shape.batches, 1, |batches| {
+        let mut batch_span = wino_probe::span("gemm.batch");
+        batch_span.arg("batches", || batches.len().to_string());
         for batch in batches {
             // SAFETY: batch-major C windows are disjoint across batches.
             let c_batch = unsafe { c_win.slice_mut(batch * cm..(batch + 1) * cm) };

@@ -10,6 +10,10 @@
 
 use wino_runtime::{DisjointSlice, Runtime};
 
+/// Multiply-add FLOPs retired by the blocked SGEMM (counted once per
+/// call, not per panel, to keep the enabled path cheap).
+static GEMM_FLOPS: wino_probe::Counter = wino_probe::Counter::new("gemm.flops");
+
 /// Cache/register blocking parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GemmConfig {
@@ -115,6 +119,7 @@ pub fn sgemm_acc_rt(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    GEMM_FLOPS.add(gemm_flops(m, k, n));
     let serial = Runtime::serial();
     let rt = if gemm_flops(m, k, n) < PARALLEL_FLOP_THRESHOLD {
         &serial
@@ -143,6 +148,8 @@ fn sgemm_blocked(
     let panels = n.div_ceil(cfg.nc);
     let c_win = DisjointSlice::new(c);
     rt.parallel_for_chunks(0..panels, 1, |panel_range| {
+        let mut panel_span = wino_probe::span("gemm.panel");
+        panel_span.arg("panels", || panel_range.len().to_string());
         let mut a_pack = vec![0.0f32; cfg.mc.next_multiple_of(MR) * cfg.kc];
         let mut b_pack = vec![0.0f32; cfg.kc * cfg.nc.next_multiple_of(NR)];
         for panel in panel_range {

@@ -1,0 +1,312 @@
+//! Exporters: a chrome://tracing-compatible JSON trace and a
+//! plain-text summary table (count / total / mean / p50 / p95 per span
+//! name), both rendered from one drained [`TraceData`] snapshot.
+
+use crate::{take_events, thread_names, SpanEvent};
+use serde::Value;
+
+/// Everything one export pass needs: the drained span events plus a
+/// counter snapshot. Grab it once via [`collect`] and render either
+/// (or both) formats from it.
+#[derive(Clone, Debug)]
+pub struct TraceData {
+    /// Finished spans, sorted by start time.
+    pub events: Vec<SpanEvent>,
+    /// `(name, value)` counter snapshot, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(tid, thread name)` pairs for chrome metadata events.
+    pub threads: Vec<(usize, String)>,
+}
+
+/// Drains all recorded spans and snapshots every counter. Draining is
+/// destructive for spans (buffers empty afterwards); counters keep
+/// their values.
+pub fn collect() -> TraceData {
+    TraceData {
+        events: take_events(),
+        counters: crate::counter_values(),
+        threads: thread_names(),
+    }
+}
+
+impl TraceData {
+    /// Aggregates spans by name into summary statistics.
+    pub fn summary(&self) -> Summary {
+        let mut rows: Vec<SummaryRow> = Vec::new();
+        for event in &self.events {
+            match rows.iter_mut().find(|r| r.name == event.name) {
+                Some(row) => row.samples_ns.push(event.dur_ns),
+                None => rows.push(SummaryRow {
+                    name: event.name.to_string(),
+                    samples_ns: vec![event.dur_ns],
+                }),
+            }
+        }
+        for row in &mut rows {
+            row.samples_ns.sort_unstable();
+        }
+        rows.sort_by_key(|row| std::cmp::Reverse(row.total_ns()));
+        Summary {
+            rows,
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Renders the chrome://tracing JSON object. Spans become complete
+    /// (`"ph": "X"`) events with microsecond timestamps; counters
+    /// become one `"ph": "C"` sample each at the trace end, so
+    /// chrome://tracing and Perfetto both load the file directly.
+    pub fn chrome_trace(&self) -> ChromeTrace {
+        let mut trace_events: Vec<Value> = Vec::new();
+        for (tid, name) in &self.threads {
+            trace_events.push(Value::Object(vec![
+                ("name".into(), Value::Str("thread_name".into())),
+                ("ph".into(), Value::Str("M".into())),
+                ("pid".into(), Value::UInt(1)),
+                ("tid".into(), Value::UInt(*tid as u64)),
+                (
+                    "args".into(),
+                    Value::Object(vec![("name".into(), Value::Str(name.clone()))]),
+                ),
+            ]));
+        }
+        let mut end_us = 0.0f64;
+        for event in &self.events {
+            let ts = event.start_ns as f64 / 1000.0;
+            let dur = event.dur_ns as f64 / 1000.0;
+            end_us = end_us.max(ts + dur);
+            let mut obj = vec![
+                ("name".into(), Value::Str(event.name.to_string())),
+                ("cat".into(), Value::Str("wino".into())),
+                ("ph".into(), Value::Str("X".into())),
+                ("ts".into(), Value::Float(ts)),
+                ("dur".into(), Value::Float(dur)),
+                ("pid".into(), Value::UInt(1)),
+                ("tid".into(), Value::UInt(event.tid as u64)),
+            ];
+            if !event.args.is_empty() {
+                obj.push((
+                    "args".into(),
+                    Value::Object(
+                        event
+                            .args
+                            .iter()
+                            .map(|(k, v)| (k.to_string(), Value::Str(v.clone())))
+                            .collect(),
+                    ),
+                ));
+            }
+            trace_events.push(Value::Object(obj));
+        }
+        for (name, value) in &self.counters {
+            trace_events.push(Value::Object(vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("cat".into(), Value::Str("wino".into())),
+                ("ph".into(), Value::Str("C".into())),
+                ("ts".into(), Value::Float(end_us)),
+                ("pid".into(), Value::UInt(1)),
+                ("tid".into(), Value::UInt(0)),
+                (
+                    "args".into(),
+                    Value::Object(vec![("value".into(), Value::UInt(*value))]),
+                ),
+            ]));
+        }
+        ChromeTrace {
+            root: Value::Object(vec![
+                ("traceEvents".into(), Value::Array(trace_events)),
+                ("displayTimeUnit".into(), Value::Str("ms".into())),
+            ]),
+        }
+    }
+}
+
+/// A rendered-on-demand chrome://tracing document.
+pub struct ChromeTrace {
+    root: Value,
+}
+
+impl ChromeTrace {
+    /// The JSON text (pretty-printed; chrome://tracing accepts both).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.root).expect("trace values are always finite")
+    }
+
+    /// The underlying value tree (test hook).
+    pub fn value(&self) -> &Value {
+        &self.root
+    }
+}
+
+/// Per-span-name aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct SummaryRow {
+    /// Span name.
+    pub name: String,
+    /// Sorted durations (ns) of every recorded span with this name.
+    pub samples_ns: Vec<u64>,
+}
+
+impl SummaryRow {
+    /// Number of spans recorded under this name.
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Summed duration in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.samples_ns.iter().sum()
+    }
+
+    /// Mean duration in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.total_ns() as f64 / self.count().max(1) as f64 / 1e6
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) duration in milliseconds, by the
+    /// nearest-rank method.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * self.samples_ns.len() as f64).ceil() as usize)
+            .clamp(1, self.samples_ns.len())
+            - 1;
+        self.samples_ns[rank] as f64 / 1e6
+    }
+}
+
+/// The plain-text summary artifact: one row per span name plus the
+/// counter snapshot.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Rows sorted by total time, descending.
+    pub rows: Vec<SummaryRow>,
+    /// `(name, value)` counter snapshot.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Summary {
+    /// Renders the fixed-width table (spans, then counters).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let headers = ["span", "count", "total ms", "mean ms", "p50 ms", "p95 ms"];
+        let mut table: Vec<[String; 6]> = vec![headers.map(String::from)];
+        for row in &self.rows {
+            table.push([
+                row.name.clone(),
+                row.count().to_string(),
+                format!("{:.3}", row.total_ns() as f64 / 1e6),
+                format!("{:.4}", row.mean_ms()),
+                format!("{:.4}", row.quantile_ms(0.50)),
+                format!("{:.4}", row.quantile_ms(0.95)),
+            ]);
+        }
+        let mut widths = [0usize; 6];
+        for row in &table {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        for (i, row) in table.iter().enumerate() {
+            for (col, (cell, w)) in row.iter().zip(widths).enumerate() {
+                if col > 0 {
+                    out.push_str("  ");
+                }
+                if col == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            out.push('\n');
+            if i == 0 {
+                let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        let live: Vec<_> = self.counters.iter().filter(|(_, v)| *v > 0).collect();
+        if !live.is_empty() {
+            out.push_str("\ncounters:\n");
+            let w = live.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, value) in live {
+                out.push_str(&format!("  {name:<w$}  {value}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str, tid: usize, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            tid,
+            start_ns: start,
+            dur_ns: dur,
+            depth: 0,
+            args: Vec::new(),
+        }
+    }
+
+    fn sample_data() -> TraceData {
+        TraceData {
+            events: vec![
+                event("a", 0, 0, 4_000_000),
+                event("b", 0, 500_000, 1_000_000),
+                event("a", 1, 2_000_000, 2_000_000),
+            ],
+            counters: vec![("hits".into(), 7), ("zeros".into(), 0)],
+            threads: vec![(0, "main".into()), (1, "wino-worker-0".into())],
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_by_name() {
+        let s = sample_data().summary();
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[0].name, "a"); // 6ms total sorts first
+        assert_eq!(s.rows[0].count(), 2);
+        assert!((s.rows[0].mean_ms() - 3.0).abs() < 1e-9);
+        assert!((s.rows[0].quantile_ms(0.5) - 2.0).abs() < 1e-9);
+        assert!((s.rows[0].quantile_ms(0.95) - 4.0).abs() < 1e-9);
+        let text = s.render();
+        assert!(text.contains("hits"));
+        assert!(!text.contains("zeros"), "zero counters are elided");
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_json() {
+        let json = sample_data().chrome_trace().to_json();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        let Some(Value::Array(events)) = value.get("traceEvents") else {
+            panic!("traceEvents must be an array");
+        };
+        // 2 thread_name metadata + 3 spans + 2 counters.
+        assert_eq!(events.len(), 7);
+        let span_count = events
+            .iter()
+            .filter(|e| e.get("ph") == Some(&Value::Str("X".into())))
+            .count();
+        assert_eq!(span_count, 3);
+        let counter_count = events
+            .iter()
+            .filter(|e| e.get("ph") == Some(&Value::Str("C".into())))
+            .count();
+        assert_eq!(counter_count, 2);
+    }
+
+    #[test]
+    fn quantiles_of_single_sample() {
+        let row = SummaryRow {
+            name: "x".into(),
+            samples_ns: vec![1_000_000],
+        };
+        assert!((row.quantile_ms(0.5) - 1.0).abs() < 1e-9);
+        assert!((row.quantile_ms(0.95) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,526 @@
+//! # wino-probe — observability for the Winograd pipeline
+//!
+//! Hierarchical spans with RAII guards, named atomic counters, and a
+//! diagnostics channel, all gated behind one relaxed-atomic mode check
+//! so the disabled path is a branch on a static and nothing else: no
+//! allocation, no locking, no timestamp read.
+//!
+//! The paper's results section lives and dies on per-phase attribution
+//! (Figure 6's optimized-vs-non-optimized kernel breakdown, Figure 9's
+//! per-candidate autotuner timings), so every pipeline stage — filter
+//! transform, input transform, batched SGEMM, output transform, tile
+//! scatter/gather, and the GEMM panel loops — opens a [`span`], and
+//! the work-stealing runtime exposes per-worker counters (tasks,
+//! steals, parks) through [`counter`].
+//!
+//! ## Span model
+//!
+//! [`span`] returns a [`SpanGuard`]; the span covers guard creation to
+//! drop. Guards nest lexically, and because each thread's clock reads
+//! are monotonic and a child guard always drops before its parent,
+//! same-thread spans are always properly bracketed. Events land in
+//! per-thread buffers (one uncontended mutex each); exporters drain
+//! every buffer and merge by timestamp.
+//!
+//! ## Control
+//!
+//! `WINO_TRACE=off|summary|json[:path]` parsed by [`init_from_env`]
+//! (binaries), or [`set_mode`] directly (tests). Exported either as a
+//! chrome://tracing-compatible JSON trace or a plain-text summary
+//! table — see the [`export`] module.
+
+#![warn(missing_docs)]
+
+pub mod export;
+
+pub use export::{collect, ChromeTrace, Summary, SummaryRow, TraceData};
+
+use parking_lot::Mutex;
+use std::cell::{Cell, OnceCell};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// What the probe layer records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Nothing — every probe call is one relaxed atomic load.
+    Off,
+    /// Record spans/counters; exporters render the text summary table.
+    Summary,
+    /// Record spans/counters; exporters write a chrome://tracing JSON
+    /// trace (and the summary is still available).
+    Json,
+}
+
+/// The single static gate every hot-path probe call branches on.
+/// 0 = off, 1 = summary, 2 = json.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// `true` when spans and counters are being recorded. The disabled
+/// fast path of every probe entry point reduces to this one relaxed
+/// load plus a branch.
+#[inline(always)]
+pub fn enabled() -> bool {
+    MODE.load(Ordering::Relaxed) != 0
+}
+
+/// Current recording mode.
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => Mode::Off,
+        1 => Mode::Summary,
+        _ => Mode::Json,
+    }
+}
+
+/// Switches the recording mode (primarily for tests; binaries use
+/// [`init_from_env`]). Spans already open keep recording; events are
+/// never recorded retroactively.
+pub fn set_mode(mode: Mode) {
+    // Pin the epoch before events can race to initialize it.
+    let _ = epoch();
+    let v = match mode {
+        Mode::Off => 0,
+        Mode::Summary => 1,
+        Mode::Json => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Parses `WINO_TRACE` (`off|summary|json[:path]`), applies the mode,
+/// and remembers an explicit `json:path` target for
+/// [`trace_path`]. Unknown values warn through [`diag`] and leave
+/// tracing off.
+pub fn init_from_env() -> Mode {
+    let raw = std::env::var("WINO_TRACE").unwrap_or_default();
+    let value = raw.trim();
+    let mode = if value.is_empty() || value == "off" || value == "0" {
+        Mode::Off
+    } else if value == "summary" {
+        Mode::Summary
+    } else if value == "json" {
+        set_trace_path(None);
+        Mode::Json
+    } else if let Some(path) = value.strip_prefix("json:") {
+        set_trace_path(Some(path.to_string()));
+        Mode::Json
+    } else {
+        diag(format!(
+            "ignoring unknown WINO_TRACE value {value:?} (expected off|summary|json[:path])"
+        ));
+        Mode::Off
+    };
+    set_mode(mode);
+    mode
+}
+
+fn trace_path_slot() -> &'static Mutex<Option<String>> {
+    static PATH: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    PATH.get_or_init(|| Mutex::new(None))
+}
+
+/// Explicit trace-output path from `WINO_TRACE=json:path`, if any.
+pub fn trace_path() -> Option<String> {
+    trace_path_slot().lock().clone()
+}
+
+/// Overrides the trace-output path.
+pub fn set_trace_path(path: Option<String>) {
+    *trace_path_slot().lock() = path;
+}
+
+/// The process-wide time origin all span timestamps are relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// One finished span, as stored in the thread buffers and handed to
+/// exporters.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Span name (a phase like `conv.input_transform`).
+    pub name: &'static str,
+    /// Small dense id of the recording thread (assigned on that
+    /// thread's first event, stable for the thread's lifetime).
+    pub tid: usize,
+    /// Start, nanoseconds since the probe epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Lexical nesting depth on the recording thread (0 = top level).
+    pub depth: usize,
+    /// Free-form key/value annotations (chrome trace `args`).
+    pub args: Vec<(&'static str, String)>,
+}
+
+impl SpanEvent {
+    /// End timestamp, nanoseconds since the probe epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// Per-thread event buffer. The owning thread appends through an
+/// uncontended mutex; exporters lock each buffer only while draining.
+struct ThreadBuf {
+    tid: usize,
+    name: String,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+struct Registry {
+    buffers: Mutex<Vec<Arc<ThreadBuf>>>,
+    counters: Mutex<Vec<(&'static str, &'static AtomicU64)>>,
+    diagnostics: Mutex<Vec<String>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        buffers: Mutex::new(Vec::new()),
+        counters: Mutex::new(Vec::new()),
+        diagnostics: Mutex::new(Vec::new()),
+    })
+}
+
+thread_local! {
+    static LOCAL_BUF: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn local_buf<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+    LOCAL_BUF.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                name: std::thread::current()
+                    .name()
+                    .unwrap_or("unnamed")
+                    .to_string(),
+                events: Mutex::new(Vec::new()),
+            });
+            registry().buffers.lock().push(Arc::clone(&buf));
+            buf
+        });
+        f(buf)
+    })
+}
+
+/// RAII span guard: the span runs from creation to drop. Inactive
+/// guards (probe disabled at creation) are a unit struct in a trench
+/// coat — drop does nothing.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start_ns: u64,
+    depth: usize,
+    args: Vec<(&'static str, String)>,
+}
+
+/// Opens a span named `name` on the current thread. When the probe is
+/// off this is a relaxed load, a branch, and a `None` — nothing else.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    span_slow(name)
+}
+
+#[cold]
+fn span_slow(name: &'static str) -> SpanGuard {
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            start_ns: now_ns(),
+            depth,
+            args: Vec::new(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// `true` when this guard is recording (probe was enabled at
+    /// creation).
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attaches a lazily-computed annotation; `value` is only invoked
+    /// on active guards, so callers pay nothing when tracing is off.
+    pub fn arg(&mut self, key: &'static str, value: impl FnOnce() -> String) {
+        if let Some(active) = &mut self.active {
+            active.args.push((key, value()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        local_buf(|buf| {
+            buf.events.lock().push(SpanEvent {
+                name: active.name,
+                tid: buf.tid,
+                start_ns: active.start_ns,
+                dur_ns: end_ns.saturating_sub(active.start_ns),
+                depth: active.depth,
+                args: active.args,
+            });
+        });
+    }
+}
+
+/// Interns `name`, returning its process-wide counter cell. Equal
+/// names alias the same cell, so interning is idempotent and the
+/// registry stays bounded even when callers re-derive names.
+fn intern_counter(name: &'static str) -> &'static AtomicU64 {
+    let mut counters = registry().counters.lock();
+    if let Some((_, cell)) = counters.iter().find(|(n, _)| *n == name) {
+        return cell;
+    }
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    counters.push((name, cell));
+    cell
+}
+
+/// A named counter usable from `static` context. The name is resolved
+/// to its interned cell on first use; afterwards [`Counter::add`] is a
+/// relaxed load, a branch, and a relaxed `fetch_add`.
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+impl Counter {
+    /// A counter handle for `name` (usable in a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Adds `n` when the probe is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.slot().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (0 until first touched).
+    pub fn get(&self) -> u64 {
+        self.slot().load(Ordering::Relaxed)
+    }
+
+    fn slot(&self) -> &'static AtomicU64 {
+        self.cell.get_or_init(|| intern_counter(self.name))
+    }
+}
+
+/// A counter handle for a runtime-constructed name (e.g. per-worker
+/// `runtime.worker3.steals`). The name is leaked once per *distinct*
+/// string — interning dedupes repeats — so handles are cheap to clone
+/// and [`CounterHandle::add`] matches [`Counter::add`]'s fast path.
+#[derive(Clone, Copy)]
+pub struct CounterHandle {
+    cell: &'static AtomicU64,
+}
+
+impl CounterHandle {
+    /// Adds `n` when the probe is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Interns a dynamically-built counter name and returns its handle.
+pub fn counter(name: &str) -> CounterHandle {
+    let mut counters = registry().counters.lock();
+    if let Some((_, cell)) = counters.iter().find(|(n, _)| *n == name) {
+        return CounterHandle { cell };
+    }
+    let name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    counters.push((name, cell));
+    CounterHandle { cell }
+}
+
+/// Snapshot of every registered counter, sorted by name.
+pub fn counter_values() -> Vec<(String, u64)> {
+    let mut values: Vec<(String, u64)> = registry()
+        .counters
+        .lock()
+        .iter()
+        .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+        .collect();
+    values.sort();
+    values
+}
+
+/// One-line diagnostics channel: always emits to stderr (it carries
+/// rare warnings like a malformed `WINO_THREADS`, not per-event
+/// traffic) and is recorded for tests via [`take_diagnostics`].
+pub fn diag(msg: impl Into<String>) {
+    let msg = msg.into();
+    eprintln!("[wino-probe] {msg}");
+    registry().diagnostics.lock().push(msg);
+}
+
+/// Drains the recorded diagnostics (test hook).
+pub fn take_diagnostics() -> Vec<String> {
+    std::mem::take(&mut *registry().diagnostics.lock())
+}
+
+/// Drains every thread's finished spans, merged and sorted by start
+/// time (ties broken longest-first so parents precede children).
+pub fn take_events() -> Vec<SpanEvent> {
+    let buffers: Vec<Arc<ThreadBuf>> = registry().buffers.lock().clone();
+    let mut events: Vec<SpanEvent> = Vec::new();
+    for buf in buffers {
+        events.append(&mut buf.events.lock());
+    }
+    events.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then(b.dur_ns.cmp(&a.dur_ns))
+            .then(a.tid.cmp(&b.tid))
+    });
+    events
+}
+
+/// Thread-name metadata for the chrome exporter: `(tid, name)` pairs.
+pub(crate) fn thread_names() -> Vec<(usize, String)> {
+    registry()
+        .buffers
+        .lock()
+        .iter()
+        .map(|b| (b.tid, b.name.clone()))
+        .collect()
+}
+
+/// Clears all recorded events, zeroes every counter, and drops stored
+/// diagnostics. The mode is left untouched. Test isolation hook.
+pub fn reset() {
+    for buf in registry().buffers.lock().iter() {
+        buf.events.lock().clear();
+    }
+    for (_, cell) in registry().counters.lock().iter() {
+        cell.store(0, Ordering::Relaxed);
+    }
+    registry().diagnostics.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as TestMutex;
+
+    // Probe state is process-global; unit tests serialize on this.
+    static LOCK: TestMutex<()> = TestMutex::new(());
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = LOCK.lock();
+        set_mode(Mode::Off);
+        reset();
+        static C: Counter = Counter::new("test.disabled");
+        {
+            let mut s = span("test.disabled_span");
+            s.arg("should", || unreachable!("args must not evaluate when off"));
+            assert!(!s.is_active());
+            C.add(5);
+        }
+        assert!(take_events().is_empty());
+        assert_eq!(C.get(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let _guard = LOCK.lock();
+        set_mode(Mode::Summary);
+        reset();
+        {
+            let _outer = span("test.outer");
+            let mut inner = span("test.inner");
+            inner.arg("k", || "v".into());
+        }
+        set_mode(Mode::Off);
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        let outer = events.iter().find(|e| e.name == "test.outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "test.inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+        assert_eq!(inner.args, vec![("k", "v".to_string())]);
+    }
+
+    #[test]
+    fn counters_intern_by_name() {
+        let _guard = LOCK.lock();
+        set_mode(Mode::Summary);
+        reset();
+        let a = counter("test.intern");
+        let b = counter("test.intern");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        static S: Counter = Counter::new("test.intern");
+        S.add(1);
+        assert_eq!(b.get(), 6);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn env_parsing() {
+        let _guard = LOCK.lock();
+        // No env manipulation (process-global); exercise the pieces.
+        set_trace_path(Some("x.json".into()));
+        assert_eq!(trace_path().as_deref(), Some("x.json"));
+        set_trace_path(None);
+        assert_eq!(trace_path(), None);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn diagnostics_are_recorded() {
+        let _guard = LOCK.lock();
+        reset();
+        diag("something odd");
+        let msgs = take_diagnostics();
+        assert_eq!(msgs, vec!["something odd".to_string()]);
+        assert!(take_diagnostics().is_empty());
+    }
+}

@@ -20,6 +20,11 @@
 //! latch. The thread count comes from `WINO_THREADS` when set, else
 //! `std::thread::available_parallelism`; [`Runtime::serial`] is the
 //! zero-thread fallback that runs everything inline.
+//!
+//! Observability: each worker maintains `wino-probe` counters
+//! `runtime.worker<i>.{tasks,steals,parks}` (tasks executed,
+//! successful steals from peer deques, condvar parks). When the probe
+//! is off every counter update is a single relaxed-load branch.
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
@@ -119,7 +124,7 @@ impl Shared {
         self.wakeup.notify_all();
     }
 
-    fn find_task(&self, local: &Worker<Task>, index: usize) -> Option<Task> {
+    fn find_task(&self, local: &Worker<Task>, index: usize, stats: &WorkerStats) -> Option<Task> {
         if let Some(task) = local.pop() {
             return Some(task);
         }
@@ -135,10 +140,30 @@ impl Shared {
                 continue;
             }
             if let Some(task) = stealer.steal().success() {
+                stats.steals.add(1);
                 return Some(task);
             }
         }
         None
+    }
+}
+
+/// Per-worker probe counters. Handles are interned once at worker
+/// startup; each `add` is wino-probe's disabled-path branch when
+/// tracing is off.
+struct WorkerStats {
+    tasks: wino_probe::CounterHandle,
+    steals: wino_probe::CounterHandle,
+    parks: wino_probe::CounterHandle,
+}
+
+impl WorkerStats {
+    fn new(index: usize) -> Self {
+        WorkerStats {
+            tasks: wino_probe::counter(&format!("runtime.worker{index}.tasks")),
+            steals: wino_probe::counter(&format!("runtime.worker{index}.steals")),
+            parks: wino_probe::counter(&format!("runtime.worker{index}.parks")),
+        }
     }
 }
 
@@ -151,8 +176,10 @@ fn run_task(task: Task) {
 
 fn worker_loop(shared: Arc<Shared>, local: Worker<Task>, index: usize) {
     IS_WORKER.with(|flag| flag.set(true));
+    let stats = WorkerStats::new(index);
     loop {
-        if let Some(task) = shared.find_task(&local, index) {
+        if let Some(task) = shared.find_task(&local, index, &stats) {
+            stats.tasks.add(1);
             run_task(task);
             continue;
         }
@@ -165,6 +192,7 @@ fn worker_loop(shared: Arc<Shared>, local: Worker<Task>, index: usize) {
         if !(local.is_empty() && shared.injector.is_empty()) {
             continue;
         }
+        stats.parks.add(1);
         shared.wakeup.wait(&mut state);
     }
 }
@@ -429,14 +457,21 @@ impl Default for Runtime {
 
 /// Thread count the global pool uses: `WINO_THREADS` when set to a
 /// positive integer, else `std::thread::available_parallelism`.
+/// Malformed values are not silently ignored: a one-line warning goes
+/// through wino-probe's diagnostics channel before falling back.
 pub fn default_threads() -> usize {
     match std::env::var("WINO_THREADS") {
-        Ok(value) => value
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(available_threads),
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                let fallback = available_threads();
+                wino_probe::diag(format!(
+                    "invalid WINO_THREADS={value:?} (expected a positive integer); \
+                     falling back to {fallback} threads"
+                ));
+                fallback
+            }
+        },
         Err(_) => available_threads(),
     }
 }

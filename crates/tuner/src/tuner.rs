@@ -73,18 +73,35 @@ pub(crate) fn evaluate_point_public(
     device: &DeviceProfile,
     point: &TuningPoint,
 ) -> Option<Evaluation> {
+    static EVALUATED: wino_probe::Counter = wino_probe::Counter::new("tuner.evaluated");
+    static REJECTED: wino_probe::Counter = wino_probe::Counter::new("tuner.rejected");
+    let mut span = wino_probe::span("tuner.evaluate");
+    span.arg("point", || format!("{point:?}"));
     let opts = CodegenOptions {
         unroll: point.unroll,
         mnt: point.mnt,
         mnb: point.mnb,
         ..CodegenOptions::default()
     };
-    let plan = generate_plan(desc, point.variant, &opts).ok()?;
-    let time_ms = estimate_plan_ms(device, &plan).ok()?;
-    Some(Evaluation {
-        point: *point,
-        time_ms,
-    })
+    let evaluation = (|| {
+        let plan = generate_plan(desc, point.variant, &opts).ok()?;
+        let time_ms = estimate_plan_ms(device, &plan).ok()?;
+        Some(Evaluation {
+            point: *point,
+            time_ms,
+        })
+    })();
+    match &evaluation {
+        Some(e) => {
+            EVALUATED.add(1);
+            span.arg("time_ms", || format!("{:.6}", e.time_ms));
+        }
+        None => {
+            REJECTED.add(1);
+            span.arg("outcome", || "rejected".into());
+        }
+    }
+    evaluation
 }
 
 /// Brute-force tunes `desc` on `device` over the full Table-1 space,

@@ -17,4 +17,14 @@ cargo build --release --offline
 echo "== tier-1: test suite"
 cargo test -q --offline
 
+echo "== probe smoke: figure6 with WINO_TRACE=summary"
+# (plain grep, not -q: an early pipe close would SIGPIPE the binary)
+WINO_TRACE=summary ./target/release/figure6 | grep "wino-probe phase summary" >/dev/null
+
+echo "== probe smoke: figure6 with WINO_TRACE=json, trace must parse"
+trace=results/ci-figure6.trace.json
+WINO_TRACE="json:$trace" ./target/release/figure6 >/dev/null
+python3 -m json.tool "$trace" >/dev/null
+rm -f "$trace"
+
 echo "CI OK"

@@ -9,6 +9,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`num`] | `wino-num` | exact big integers, rationals, matrices, polynomials |
+//! | [`probe`] | `wino-probe` | zero-overhead-when-off spans, counters, trace exporters |
 //! | [`symbolic`] | `wino-symbolic` | expression engine, CSE, factorization, recipes |
 //! | [`transform`] | `wino-transform` | modified Toom-Cook, point sets, recipe DB |
 //! | [`tensor`] | `wino-tensor` | NCHW tensors, tiling, norms, conv shapes |
@@ -50,6 +51,7 @@ pub use wino_gpu as gpu;
 pub use wino_graph as graph;
 pub use wino_ir as ir;
 pub use wino_num as num;
+pub use wino_probe as probe;
 pub use wino_symbolic as symbolic;
 pub use wino_tensor as tensor;
 pub use wino_transform as transform;
