@@ -13,6 +13,7 @@ pub mod network_exp;
 pub mod opcount_exp;
 pub mod report;
 pub mod runtime_exp;
+pub mod verification;
 
 pub use accuracy_exp::{figure4_rows, spec_for_alpha, table3_rows, Figure4Row, Table3Row};
 pub use network_exp::{estimate_networks, LayerEstimate, NetworkEstimate};
@@ -22,3 +23,4 @@ pub use runtime_exp::{
     figure6_desc, figure6_phase_capture, figure6_rows, figure7_rows, figure8_rows, figure9_rows,
     Figure6Row, Figure9Row, VendorCompareRow,
 };
+pub use verification::{append_stamp, verification_section};

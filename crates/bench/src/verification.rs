@@ -1,0 +1,88 @@
+//! Verifier integration: stamps figure artifacts with the proof
+//! status of the very recipes they tabulate, so a published table
+//! carries "these op counts come from recipes machine-proven
+//! equivalent to their transformation matrices" instead of relying on
+//! the reader trusting the pipeline.
+
+use wino_verify::{verify_recipe_db, RecipeSummary, VerificationReport};
+
+use crate::report::{Report, TablePrinter};
+
+/// Runs the recipe verifier over the full shipped DB sweep and
+/// appends the verification stamp plus per-recipe diagnostics to
+/// `report`. Returns whether every recipe proved out.
+pub fn verification_section(report: &mut Report) -> bool {
+    let recipes = verify_recipe_db();
+    let verification = VerificationReport {
+        recipes,
+        template_issues: Vec::new(),
+        plan_issues: Vec::new(),
+        audit_issues: Vec::new(),
+        debug_checks: wino_verify::debug_checks_enabled(),
+    };
+    append_stamp(report, &verification);
+    verification.failed_recipes().is_empty()
+}
+
+/// Appends the stamp + diagnostics for an already-computed
+/// [`VerificationReport`] (the binaries that also run the lints pass
+/// their full report through here).
+pub fn append_stamp(report: &mut Report, verification: &VerificationReport) {
+    let total = verification.recipes.len();
+    let failed = verification.failed_recipes();
+    report.blank();
+    report.line(format!(
+        "verified: {} ({}/{} recipes proven equivalent to their transformation \
+         matrices over exact rationals)",
+        if failed.is_empty() { "yes" } else { "NO" },
+        total - failed.len(),
+        total
+    ));
+    for summary in &failed {
+        if let Err(e) = &summary.result {
+            report.line(format!("  UNPROVEN {}: {e}", summary.label()));
+        }
+    }
+    if let Some((label, growth)) = verification.peak_coeff_growth() {
+        report.line(format!(
+            "peak intermediate coefficient growth: {growth:.2}x ({label})"
+        ));
+    }
+    report.blank();
+    report.line("Verifier diagnostics (optimized pipeline)");
+    report.table(&recipe_stats_table(&verification.recipes));
+}
+
+/// Per-recipe diagnostics table for the headline (optimized)
+/// pipeline: op counts and coefficient growth per proven recipe.
+fn recipe_stats_table(recipes: &[RecipeSummary]) -> TablePrinter {
+    let mut t = TablePrinter::new(&[
+        "recipe", "add", "mul", "fma", "instr", "tmps", "live", "growth",
+    ]);
+    for s in recipes.iter().filter(|s| s.pipeline == "optimized") {
+        if let Ok(p) = &s.result {
+            t.row(vec![
+                s.label(),
+                p.ops.add.to_string(),
+                p.ops.mul.to_string(),
+                p.ops.fma.to_string(),
+                p.n_instr.to_string(),
+                p.n_tmp.to_string(),
+                p.max_live_tmps.to_string(),
+                format!("{:.2}", p.coeff_growth()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_reports_verified_yes() {
+        let mut report = Report::new("test-verify", "t");
+        assert!(verification_section(&mut report));
+    }
+}

@@ -9,10 +9,10 @@ use wino_tensor::ConvDesc;
 use crate::error::CodegenError;
 use crate::gemm_kernel::gen_single_gemm_kernel;
 use crate::options::CodegenOptions;
-use crate::template::render_template;
+use crate::template::render_template_strict;
 use crate::unroll::{control_overhead, emit_unrolled_loop};
 
-const DIRECT_TEMPLATE: &str = r#"// generated: %(name) — direct convolution
+pub(crate) const DIRECT_TEMPLATE: &str = r#"// generated: %(name) — direct convolution
 // CUCL IN in img:chan:y:x IN filts K:C:r:r OUT out img:chan:y:x
 %(qualifier) %(name)(const float* __restrict__ in,
                      const float* __restrict__ filts,
@@ -70,7 +70,7 @@ pub fn gen_direct_conv_kernel(
     vars.insert("K", desc.out_ch.to_string());
     vars.insert("C", desc.in_ch.to_string());
     vars.insert("inner_taps", taps);
-    let source = render_template(DIRECT_TEMPLATE, &vars)?;
+    let source = render_template_strict(DIRECT_TEMPLATE, &vars)?;
 
     // Adjacent output threads share most of their receptive fields;
     // caches capture roughly an r-fold reuse of input rows.
@@ -96,7 +96,7 @@ pub fn gen_direct_conv_kernel(
     })
 }
 
-const IM2COL_TEMPLATE: &str = r#"// generated: %(name) — im2col patch gather
+pub(crate) const IM2COL_TEMPLATE: &str = r#"// generated: %(name) — im2col patch gather
 // CUCL IN in img:chan:y:x OUT cols img:(C*r*r):(OH*OW)
 %(qualifier) %(name)(const float* __restrict__ in, float* __restrict__ cols) {
   const int gid = blockIdx.x * blockDim.x + threadIdx.x;
@@ -144,7 +144,7 @@ pub fn gen_im2col_kernels(
     vars.insert("IH", desc.in_h.to_string());
     vars.insert("IW", desc.in_w.to_string());
     vars.insert("C", desc.in_ch.to_string());
-    let source = render_template(IM2COL_TEMPLATE, &vars)?;
+    let source = render_template_strict(IM2COL_TEMPLATE, &vars)?;
 
     let cost = CostProfile {
         flops: total as u64, // index arithmetic only; negligible FP

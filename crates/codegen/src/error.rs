@@ -9,6 +9,9 @@ use wino_transform::TransformError;
 pub enum CodegenError {
     /// A template referenced a placeholder with no binding.
     UnboundPlaceholder(String),
+    /// A substitution map bound a name no placeholder consumes —
+    /// generated code silently drifted from its template.
+    UnusedBinding(String),
     /// A template placeholder was malformed (unterminated `%(`).
     MalformedTemplate(String),
     /// Recipe/transform generation failed.
@@ -23,6 +26,9 @@ impl fmt::Display for CodegenError {
         match self {
             CodegenError::UnboundPlaceholder(name) => {
                 write!(f, "template placeholder %({name}) has no binding")
+            }
+            CodegenError::UnusedBinding(name) => {
+                write!(f, "binding {name:?} matches no template placeholder")
             }
             CodegenError::MalformedTemplate(msg) => write!(f, "malformed template: {msg}"),
             CodegenError::Transform(e) => write!(f, "transform error: {e}"),

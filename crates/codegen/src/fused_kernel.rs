@@ -17,10 +17,10 @@ use wino_transform::TransformRecipes;
 use crate::error::CodegenError;
 use crate::options::CodegenOptions;
 use crate::recipe_render::render_recipe_block;
-use crate::template::render_template;
+use crate::template::render_template_strict;
 use crate::unroll::control_overhead;
 
-const FUSED_TEMPLATE: &str = r#"// generated: %(name) — fused Winograd convolution F(%(M),%(R))
+pub(crate) const FUSED_TEMPLATE: &str = r#"// generated: %(name) — fused Winograd convolution F(%(M),%(R))
 // CUCL IN in img:chan:y:x IN filts K:C:r:r OUT out img:chan:y:x
 // block: %(BK) filters x %(BT) tiles, looping over %(C) channels
 %(qualifier) %(name)(const float* __restrict__ in,
@@ -170,7 +170,7 @@ pub fn gen_fused_winograd_kernel(
     );
     let mut inner: BTreeMap<&str, String> = BTreeMap::new();
     inner.insert("gather_acc", gather);
-    let out_transform_and_store = render_template(&out_store, &inner)?;
+    let out_transform_and_store = render_template_strict(&out_store, &inner)?;
 
     let mut vars: BTreeMap<&str, String> = BTreeMap::new();
     vars.insert("name", name.clone());
@@ -193,7 +193,7 @@ pub fn gen_fused_winograd_kernel(
     vars.insert("winograd_in_transform", in_transform);
     vars.insert("elementwise_multiply", elementwise);
     vars.insert("winograd_out_transform_and_store", out_transform_and_store);
-    let source = render_template(FUSED_TEMPLATE, &vars)?.replace("%%", "%");
+    let source = render_template_strict(FUSED_TEMPLATE, &vars)?.replace("%%", "%");
 
     // Cost: redundant transforms are the fused trade-off — filter
     // transforms repeat per tile-block, input transforms per

@@ -13,9 +13,9 @@ use wino_ir::{Backend, CostProfile, Dim3, Kernel, KernelKind, LaunchConfig};
 
 use crate::error::CodegenError;
 use crate::options::{gemm_micro_efficiency, CodegenOptions};
-use crate::template::render_template;
+use crate::template::render_template_strict;
 
-const GEMM_TEMPLATE: &str = r#"// generated: %(name) — batched tiled SGEMM (MNb=%(MNB), MNt=%(MNT))
+pub(crate) const GEMM_TEMPLATE: &str = r#"// generated: %(name) — batched tiled SGEMM (MNb=%(MNB), MNt=%(MNT))
 // CUCL IN A batch:M:K IN B batch:K:N OUT C batch:M:N
 %(qualifier) %(name)(const float* __restrict__ A, const float* __restrict__ B,
                      float* __restrict__ C) {
@@ -124,7 +124,7 @@ pub fn gen_gemm_kernel(
     vars.insert("panel_loads", panel_loads);
     vars.insert("micro_kernel", micro_kernel);
     vars.insert("store_results", store_results);
-    let source = render_template(GEMM_TEMPLATE, &vars)?;
+    let source = render_template_strict(GEMM_TEMPLATE, &vars)?;
 
     let blocks_x = dims.n.div_ceil(bn);
     let blocks_y = dims.m.div_ceil(bm);

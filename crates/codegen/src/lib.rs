@@ -45,8 +45,24 @@ pub use gemm_kernel::{gen_gemm_kernel, gen_single_gemm_kernel, GemmDims};
 pub use options::{gemm_micro_efficiency, CodegenOptions};
 pub use plan::{generate_plan, PlanVariant};
 pub use recipe_render::{float_literal, render_recipe_block};
-pub use template::{render_template, Template};
+pub use template::{render_template, render_template_strict, Template};
 pub use transform_kernels::{
     gen_filter_transform_kernel, gen_input_transform_kernel, gen_output_transform_kernel,
 };
 pub use unroll::{control_overhead, effective_unroll, emit_unrolled_loop, Unroll};
+
+/// Every static kernel template shipped by this crate, as
+/// `(name, source)` pairs. The wino-verify template linter parses each
+/// one, so a malformed placeholder fails CI even on code paths no test
+/// happens to generate.
+pub fn template_inventory() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("FILTER_TEMPLATE", transform_kernels::FILTER_TEMPLATE),
+        ("INPUT_TEMPLATE", transform_kernels::INPUT_TEMPLATE),
+        ("OUTPUT_TEMPLATE", transform_kernels::OUTPUT_TEMPLATE),
+        ("GEMM_TEMPLATE", gemm_kernel::GEMM_TEMPLATE),
+        ("FUSED_TEMPLATE", fused_kernel::FUSED_TEMPLATE),
+        ("DIRECT_TEMPLATE", baseline_kernels::DIRECT_TEMPLATE),
+        ("IM2COL_TEMPLATE", baseline_kernels::IM2COL_TEMPLATE),
+    ]
+}

@@ -110,6 +110,26 @@ impl Template {
         }
         Ok(out)
     }
+
+    /// [`Template::render`], additionally rejecting bindings no
+    /// placeholder consumes. A dangling binding means the generator's
+    /// substitution map and the template drifted apart (typo'd
+    /// placeholder, renamed variable) — the generators use this
+    /// variant so the drift is a hard error, not silently dropped
+    /// text.
+    ///
+    /// # Errors
+    /// [`CodegenError::UnboundPlaceholder`] or
+    /// [`CodegenError::UnusedBinding`].
+    pub fn render_strict(&self, vars: &BTreeMap<&str, String>) -> Result<String, CodegenError> {
+        let used = self.placeholders();
+        for key in vars.keys() {
+            if !used.contains(key) {
+                return Err(CodegenError::UnusedBinding((*key).to_string()));
+            }
+        }
+        self.render(vars)
+    }
 }
 
 /// One-shot parse + render.
@@ -118,6 +138,17 @@ impl Template {
 /// See [`Template::parse`] and [`Template::render`].
 pub fn render_template(src: &str, vars: &BTreeMap<&str, String>) -> Result<String, CodegenError> {
     Template::parse(src)?.render(vars)
+}
+
+/// One-shot parse + strict render (unused bindings are errors).
+///
+/// # Errors
+/// See [`Template::parse`] and [`Template::render_strict`].
+pub fn render_template_strict(
+    src: &str,
+    vars: &BTreeMap<&str, String>,
+) -> Result<String, CodegenError> {
+    Template::parse(src)?.render_strict(vars)
 }
 
 #[cfg(test)]
@@ -169,6 +200,18 @@ mod tests {
             Template::parse("%()"),
             Err(CodegenError::MalformedTemplate(_))
         ));
+    }
+
+    #[test]
+    fn strict_render_rejects_unused_binding() {
+        let err = render_template_strict("%(a)", &vars(&[("a", "1"), ("stale", "2")])).unwrap_err();
+        assert!(matches!(err, CodegenError::UnusedBinding(name) if name == "stale"));
+    }
+
+    #[test]
+    fn strict_render_accepts_exact_map() {
+        let out = render_template_strict("%(a)-%(b)", &vars(&[("a", "1"), ("b", "2")])).unwrap();
+        assert_eq!(out, "1-2");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use wino_transform::TransformRecipes;
 use crate::error::CodegenError;
 use crate::options::CodegenOptions;
 use crate::recipe_render::render_recipe_block;
-use crate::template::render_template;
+use crate::template::render_template_strict;
 use crate::unroll::{control_overhead, emit_unrolled_loop};
 
 /// FLOPs of one 2-D application of a recipe-based transform
@@ -69,7 +69,7 @@ fn two_pass_body(
     body
 }
 
-const FILTER_TEMPLATE: &str = r#"// generated: %(name) — Winograd filter transform U = G g G^T
+pub(crate) const FILTER_TEMPLATE: &str = r#"// generated: %(name) — Winograd filter transform U = G g G^T
 // CUCL IN filts K:C:r:r OUT U alpha2:K:C
 %(qualifier) %(name)(const float* __restrict__ filts, float* __restrict__ U) {
   const int gid = blockIdx.x * blockDim.x + threadIdx.x;
@@ -123,7 +123,7 @@ pub fn gen_filter_transform_kernel(
     vars.insert("filts_buf_loads", loads);
     vars.insert("winograd_filt_transform", transform);
     vars.insert("store_results", stores);
-    let source = render_template(FILTER_TEMPLATE, &vars)?;
+    let source = render_template_strict(FILTER_TEMPLATE, &vars)?;
 
     let recipe_ops = recipes.filter.op_count().total().max(1);
     let cost = CostProfile {
@@ -152,7 +152,7 @@ pub fn gen_filter_transform_kernel(
     })
 }
 
-const INPUT_TEMPLATE: &str = r#"// generated: %(name) — Winograd input transform V = B^T d B
+pub(crate) const INPUT_TEMPLATE: &str = r#"// generated: %(name) — Winograd input transform V = B^T d B
 // CUCL IN in img:chan:y:x OUT V alpha2:C:P
 %(qualifier) %(name)(const float* __restrict__ in, float* __restrict__ V) {
   const int gid = blockIdx.x * blockDim.x + threadIdx.x;
@@ -215,7 +215,7 @@ pub fn gen_input_transform_kernel(
     vars.insert("in_tile_loads", loads);
     vars.insert("winograd_in_transform", transform);
     vars.insert("store_results", stores);
-    let source = render_template(INPUT_TEMPLATE, &vars)?;
+    let source = render_template_strict(INPUT_TEMPLATE, &vars)?;
 
     let recipe_ops = recipes.input.op_count().total().max(1);
     let cost = CostProfile {
@@ -246,7 +246,7 @@ pub fn gen_input_transform_kernel(
     })
 }
 
-const OUTPUT_TEMPLATE: &str = r#"// generated: %(name) — Winograd output transform Y = A^T M A
+pub(crate) const OUTPUT_TEMPLATE: &str = r#"// generated: %(name) — Winograd output transform Y = A^T M A
 // CUCL IN M alpha2:K:P OUT out img:chan:y:x
 %(qualifier) %(name)(const float* __restrict__ M, float* __restrict__ out) {
   const int gid = blockIdx.x * blockDim.x + threadIdx.x;
@@ -308,7 +308,7 @@ pub fn gen_output_transform_kernel(
     vars.insert("m_tile_loads", loads);
     vars.insert("winograd_out_transform", transform);
     vars.insert("store_results", stores);
-    let source = render_template(OUTPUT_TEMPLATE, &vars)?;
+    let source = render_template_strict(OUTPUT_TEMPLATE, &vars)?;
 
     let recipe_ops = recipes.output.op_count().total().max(1);
     let cost = CostProfile {

@@ -372,8 +372,7 @@ impl Runtime {
             body(range);
             return;
         }
-        let lanes = threads * CHUNKS_PER_LANE;
-        let chunk = len.div_ceil(lanes).max(min_chunk);
+        let chunk = chunk_size(len, threads, min_chunk);
         let chunks = len.div_ceil(chunk);
         let helpers = (threads - 1).min(chunks.saturating_sub(1));
         if helpers == 0 {
@@ -480,12 +479,122 @@ fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Chunk granularity `parallel_for_chunks` uses for a `len`-index
+/// range on `threads` execution lanes.
+fn chunk_size(len: usize, threads: usize, min_chunk: usize) -> usize {
+    let lanes = threads * CHUNKS_PER_LANE;
+    len.div_ceil(lanes).max(min_chunk)
+}
+
+/// The exact chunk boundaries [`Runtime::parallel_for_chunks`] hands
+/// to its body for a runtime with `threads` total lanes. Exported so
+/// verification tooling (wino-verify's unsafe-invariant audit) can
+/// prove the schedule partitions the range: chunks are contiguous,
+/// non-overlapping, cover every index exactly once, and never shrink
+/// below `min_chunk` except for the final remainder.
+pub fn chunk_ranges(range: Range<usize>, threads: usize, min_chunk: usize) -> Vec<Range<usize>> {
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    if threads <= 1 || len <= min_chunk {
+        return vec![range];
+    }
+    let chunk = chunk_size(len, threads, min_chunk);
+    let mut out = Vec::with_capacity(len.div_ceil(chunk));
+    let mut start = range.start;
+    while start < range.end {
+        let end = range.end.min(start + chunk);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Debug-build ownership ledger behind [`DisjointSlice`]: one atomic
+/// owner word per element, claimed by the first writing thread.
+/// Compiled out of release builds entirely.
+#[cfg(debug_assertions)]
+mod claim_check {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Small per-thread token for the overlap ledger (0 means
+    /// "unclaimed"; real tokens start at 1).
+    fn thread_token() -> u32 {
+        static NEXT: AtomicU32 = AtomicU32::new(1);
+        thread_local! {
+            static TOKEN: Cell<u32> = const { Cell::new(0) };
+        }
+        TOKEN.with(|slot| {
+            let mut token = slot.get();
+            if token == 0 {
+                token = NEXT.fetch_add(1, Ordering::Relaxed);
+                slot.set(token);
+            }
+            token
+        })
+    }
+
+    pub(crate) struct Owners {
+        words: Box<[AtomicU32]>,
+    }
+
+    impl Owners {
+        pub(crate) fn new(len: usize) -> Self {
+            Owners {
+                words: (0..len).map(|_| AtomicU32::new(0)).collect(),
+            }
+        }
+
+        /// Claims `index` for the calling thread. Re-claims from the
+        /// same thread are fine (sequential rewrites are not a race);
+        /// a claim from a second thread is a violated disjointness
+        /// contract and panics.
+        #[inline]
+        pub(crate) fn claim(&self, index: usize) {
+            let token = thread_token();
+            match self.words[index].compare_exchange(0, token, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {}
+                Err(prev) if prev == token => {}
+                Err(prev) => panic!(
+                    "DisjointSlice disjointness violated: index {index} claimed by \
+                     thread token {prev}, then written by thread token {token}"
+                ),
+            }
+        }
+
+        pub(crate) fn claim_range(&self, range: std::ops::Range<usize>) {
+            for index in range {
+                self.claim(index);
+            }
+        }
+    }
+}
+
 /// A shared-write window over a mutable slice for kernels whose tasks
 /// write provably disjoint ranges (each output element has exactly one
 /// writer). The unsafe constructor of parallel scatter loops.
+///
+/// # Safety contract (centralized)
+/// Every unsafe method on this type relies on the same two caller
+/// obligations:
+/// 1. **Bounds** — indices/ranges lie inside the wrapped slice.
+/// 2. **Disjointness** — over the window's lifetime, no element is
+///    written by more than one thread.
+///
+/// Debug builds *check* both: bounds become hard asserts, and a
+/// per-element ownership ledger panics the moment two threads touch
+/// the same element ([`DisjointSlice::checks_enabled`] reports
+/// whether the ledger is compiled in). Release builds compile the
+/// checks out and trust the contract.
 pub struct DisjointSlice<'a, T> {
     ptr: *mut T,
     len: usize,
+    #[cfg(debug_assertions)]
+    owners: claim_check::Owners,
     _marker: PhantomData<&'a mut [T]>,
 }
 
@@ -501,8 +610,16 @@ impl<'a, T> DisjointSlice<'a, T> {
         DisjointSlice {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            #[cfg(debug_assertions)]
+            owners: claim_check::Owners::new(slice.len()),
             _marker: PhantomData,
         }
+    }
+
+    /// `true` when this build carries the debug-mode ownership ledger
+    /// (bounds witnesses + cross-thread overlap detection).
+    pub const fn checks_enabled() -> bool {
+        cfg!(debug_assertions)
     }
 
     /// Length of the underlying slice.
@@ -518,11 +635,19 @@ impl<'a, T> DisjointSlice<'a, T> {
     /// Writes one element.
     ///
     /// # Safety
-    /// `index` must be in bounds and written by no other thread
-    /// concurrently.
+    /// `index` must be in bounds and written by no other thread over
+    /// this window's lifetime (checked in debug builds).
     #[inline]
     pub unsafe fn write(&self, index: usize, value: T) {
-        debug_assert!(index < self.len);
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                index < self.len,
+                "DisjointSlice::write out of bounds: {index} >= {}",
+                self.len
+            );
+            self.owners.claim(index);
+        }
         unsafe { self.ptr.add(index).write(value) }
     }
 
@@ -530,10 +655,19 @@ impl<'a, T> DisjointSlice<'a, T> {
     ///
     /// # Safety
     /// `range` must be in bounds and disjoint from every range any
-    /// other thread accesses while the borrow lives.
+    /// other thread accesses while the borrow lives (checked in debug
+    /// builds).
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, range: Range<usize>) -> &'a mut [T] {
-        debug_assert!(range.start <= range.end && range.end <= self.len);
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                range.start <= range.end && range.end <= self.len,
+                "DisjointSlice::slice_mut out of bounds: {range:?} over len {}",
+                self.len
+            );
+            self.owners.claim_range(range.clone());
+        }
         unsafe {
             std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
         }
@@ -638,5 +772,91 @@ mod tests {
     fn with_threads_one_is_serial() {
         let rt = Runtime::with_threads(1);
         assert!(!rt.is_parallel());
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for (range, threads, min_chunk) in [
+            (0..1000, 4, 1),
+            (10..250, 3, 7),
+            (0..5, 8, 1),
+            (0..17, 2, 16),
+            (3..3, 4, 1),
+            (0..64, 1, 1),
+        ] {
+            let chunks = chunk_ranges(range.clone(), threads, min_chunk);
+            if range.is_empty() {
+                assert!(chunks.is_empty());
+                continue;
+            }
+            assert_eq!(chunks.first().map(|c| c.start), Some(range.start));
+            assert_eq!(chunks.last().map(|c| c.end), Some(range.end));
+            for pair in chunks.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gap or overlap");
+            }
+            for chunk in &chunks[..chunks.len() - 1] {
+                assert!(chunk.len() >= min_chunk.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_match_parallel_for_chunks() {
+        let rt = Runtime::with_threads(3);
+        let seen = Mutex::new(Vec::new());
+        rt.parallel_for_chunks(10..250, 7, |chunk| seen.lock().push(chunk));
+        let mut observed = seen.into_inner();
+        observed.sort_by_key(|c| c.start);
+        assert_eq!(observed, chunk_ranges(10..250, 3, 7));
+    }
+
+    #[test]
+    fn disjoint_slice_allows_same_thread_reclaims() {
+        let mut data = vec![0.0f32; 16];
+        let win = DisjointSlice::new(&mut data);
+        // Repeated claims of the same region from one thread model the
+        // blocked GEMM's kk-loop accumulation; they must not trip the
+        // debug ledger.
+        for _ in 0..3 {
+            let row = unsafe { win.slice_mut(4..8) };
+            for v in row.iter_mut() {
+                *v += 1.0;
+            }
+        }
+        unsafe { win.write(0, 7.0) };
+        unsafe { win.write(0, 8.0) };
+        drop(win);
+        assert_eq!(data[0], 8.0);
+        assert_eq!(&data[4..8], &[3.0; 4]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn disjoint_slice_detects_cross_thread_overlap() {
+        let mut data = vec![0u32; 64];
+        let win = DisjointSlice::new(&mut data);
+        // This thread claims 0..40; a second thread claiming the
+        // overlapping 32..48 must panic in the debug ledger.
+        let _mine = unsafe { win.slice_mut(0..40) };
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _theirs = unsafe { win.slice_mut(32..48) };
+                }));
+                caught.is_err()
+            })
+            .join()
+            .unwrap()
+        });
+        assert!(result, "overlapping cross-thread claim was not detected");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn disjoint_slice_write_bounds_checked() {
+        let mut data = vec![0u8; 4];
+        let win = DisjointSlice::new(&mut data);
+        unsafe { win.write(4, 1) };
     }
 }

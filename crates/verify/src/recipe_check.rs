@@ -1,0 +1,413 @@
+//! Recipe verification over the linear-form abstract domain.
+//!
+//! Every value a straight-line transformation recipe computes is a
+//! linear combination of its inputs with exact rational coefficients,
+//! so running the recipe with *symbolic* inputs — abstract
+//! interpretation over [`LinExpr`] — yields, for each output register,
+//! the exact row vector the recipe implements. Comparing those rows
+//! against the target transformation matrix `T` row-for-row is a
+//! machine-checked proof that the recipe computes `T · x` for **every**
+//! input, not just the sampled ones a numeric spot-check covers.
+
+use std::fmt;
+
+use wino_num::{RatMat, Rational};
+use wino_symbolic::{symbolic_matvec, Instr, LinExpr, Node, OpCount, Recipe, Reg};
+
+/// Why a recipe failed verification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecipeError {
+    /// The recipe's arity does not match the matrix shape.
+    Shape {
+        /// `(n_in, n_out)` of the recipe.
+        recipe: (usize, usize),
+        /// `(cols, rows)` of the target matrix.
+        matrix: (usize, usize),
+    },
+    /// A structural SSA invariant is violated (wraps
+    /// [`Recipe::validate`]'s description).
+    Structural(String),
+    /// An instruction writes a temporary no output ever depends on.
+    DeadStatement {
+        /// Index of the dead instruction.
+        index: usize,
+        /// The temporary it writes.
+        tmp: usize,
+    },
+    /// An output's proven linear form differs from the matrix row.
+    RowMismatch {
+        /// The output row that disagrees.
+        row: usize,
+        /// The linear form the recipe actually computes.
+        got: String,
+        /// The linear form the matrix row demands.
+        want: String,
+    },
+}
+
+impl fmt::Display for RecipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecipeError::Shape { recipe, matrix } => write!(
+                f,
+                "arity mismatch: recipe is {}→{}, matrix is {}→{}",
+                recipe.0, recipe.1, matrix.0, matrix.1
+            ),
+            RecipeError::Structural(msg) => write!(f, "structural: {msg}"),
+            RecipeError::DeadStatement { index, tmp } => {
+                write!(
+                    f,
+                    "instr {index}: dead statement (t{tmp} never reaches an output)"
+                )
+            }
+            RecipeError::RowMismatch { row, got, want } => {
+                write!(
+                    f,
+                    "row {row}: recipe computes [{got}], matrix demands [{want}]"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecipeError {}
+
+/// The successful outcome of verifying one recipe: the equivalence is
+/// proven, and these are the per-recipe diagnostics the paper's
+/// Table 3 / Figure 4 stability story cares about.
+#[derive(Clone, Debug)]
+pub struct RecipeProof {
+    /// Arithmetic-operation tally.
+    pub ops: OpCount,
+    /// Total instruction count (including free copies/negs).
+    pub n_instr: usize,
+    /// SSA temporary count.
+    pub n_tmp: usize,
+    /// Peak simultaneously-live temporaries.
+    pub max_live_tmps: usize,
+    /// Largest |entry| of the target matrix.
+    pub max_abs_matrix_coeff: Rational,
+    /// Largest |coefficient| in any intermediate linear form the
+    /// recipe ever materializes.
+    pub max_abs_intermediate_coeff: Rational,
+}
+
+impl RecipeProof {
+    /// Ratio of the peak intermediate coefficient magnitude to the
+    /// peak matrix coefficient magnitude — how much the factored
+    /// computation amplifies values beyond what the matrix itself
+    /// demands (1.0 = no growth). Large interpolation-point spreads
+    /// (Table 3) show up here before they show up as f32 error.
+    pub fn coeff_growth(&self) -> f64 {
+        let base = self.max_abs_matrix_coeff.to_f64();
+        if base == 0.0 {
+            return 1.0;
+        }
+        (self.max_abs_intermediate_coeff.to_f64() / base).max(1.0)
+    }
+}
+
+/// Indices of instructions whose results never reach an output — a
+/// backward liveness pass over the straight-line program. The SSA
+/// validator accepts such instructions (they are well-formed); the
+/// verifier rejects them because a shipped recipe carrying dead work
+/// means the lowering pipeline regressed.
+pub fn dead_statements(recipe: &Recipe) -> Vec<usize> {
+    let mut live = vec![false; recipe.n_tmp];
+    let mut dead = Vec::new();
+    for (k, ins) in recipe.instrs.iter().enumerate().rev() {
+        let needed = match ins.dst() {
+            Reg::Out(_) => true,
+            Reg::Tmp(t) => live[t],
+            Reg::In(_) => false,
+        };
+        if !needed {
+            dead.push(k);
+            continue;
+        }
+        for src in ins.srcs() {
+            if let Reg::Tmp(t) = src {
+                live[t] = true;
+            }
+        }
+    }
+    dead.reverse();
+    dead
+}
+
+/// Abstract state of one symbolic execution: each register holds the
+/// exact linear form of its current value.
+struct AbstractState {
+    tmps: Vec<LinExpr>,
+    outs: Vec<LinExpr>,
+    peak_coeff: Rational,
+}
+
+impl AbstractState {
+    fn read(&self, reg: Reg) -> LinExpr {
+        match reg {
+            Reg::In(i) => LinExpr::term(Node::In(i), Rational::one()),
+            Reg::Tmp(t) => self.tmps[t].clone(),
+            // Recipe::validate (run first) rejects output reads.
+            Reg::Out(o) => self.outs[o].clone(),
+        }
+    }
+
+    fn observe(&mut self, value: &LinExpr) {
+        for (_, c) in value.iter() {
+            let a = c.abs();
+            if a > self.peak_coeff {
+                self.peak_coeff = a;
+            }
+        }
+    }
+
+    fn write(&mut self, dst: Reg, value: LinExpr) {
+        self.observe(&value);
+        match dst {
+            Reg::In(_) => unreachable!("validate rejects input writes"),
+            Reg::Tmp(t) => self.tmps[t] = value,
+            Reg::Out(o) => self.outs[o] = value,
+        }
+    }
+}
+
+/// Symbolically executes `recipe` with symbolic inputs, returning the
+/// proven linear form of every output plus the peak intermediate
+/// coefficient magnitude. Requires a structurally valid recipe — run
+/// [`Recipe::validate`] first ([`verify_recipe`] does).
+pub fn abstract_outputs(recipe: &Recipe) -> (Vec<LinExpr>, Rational) {
+    let mut st = AbstractState {
+        tmps: vec![LinExpr::zero(); recipe.n_tmp],
+        outs: vec![LinExpr::zero(); recipe.n_out],
+        peak_coeff: Rational::zero(),
+    };
+    for ins in &recipe.instrs {
+        let value = match ins {
+            Instr::Zero { .. } => LinExpr::zero(),
+            Instr::Copy { src, .. } => st.read(*src),
+            Instr::Neg { src, .. } => {
+                let mut e = LinExpr::zero();
+                e.add_scaled(&st.read(*src), &-&Rational::one());
+                e
+            }
+            Instr::Add { a, b, .. } => {
+                let mut e = st.read(*a);
+                e.add_scaled(&st.read(*b), &Rational::one());
+                e
+            }
+            Instr::Sub { a, b, .. } => {
+                let mut e = st.read(*a);
+                e.add_scaled(&st.read(*b), &-&Rational::one());
+                e
+            }
+            Instr::Mul { c, a, .. } => {
+                let mut e = LinExpr::zero();
+                e.add_scaled(&st.read(*a), c);
+                e
+            }
+            Instr::Fma { c, a, b, .. } => {
+                let mut e = st.read(*b);
+                e.add_scaled(&st.read(*a), c);
+                e
+            }
+        };
+        st.write(ins.dst(), value);
+    }
+    (st.outs, st.peak_coeff)
+}
+
+/// Proves `recipe(x) ≡ t · x` for all `x`, over exact rationals.
+///
+/// The proof pipeline: shape check → structural SSA validation →
+/// dead-statement liveness → abstract interpretation over linear
+/// forms → row-for-row comparison against `t`.
+///
+/// # Errors
+/// The first [`RecipeError`] encountered, in pipeline order.
+pub fn verify_recipe(recipe: &Recipe, t: &RatMat) -> Result<RecipeProof, RecipeError> {
+    if recipe.n_in != t.cols() || recipe.n_out != t.rows() {
+        return Err(RecipeError::Shape {
+            recipe: (recipe.n_in, recipe.n_out),
+            matrix: (t.cols(), t.rows()),
+        });
+    }
+    recipe.validate().map_err(RecipeError::Structural)?;
+    if let Some(&index) = dead_statements(recipe).first() {
+        let tmp = match recipe.instrs[index].dst() {
+            Reg::Tmp(t) => t,
+            _ => unreachable!("dead statements always write temporaries"),
+        };
+        return Err(RecipeError::DeadStatement { index, tmp });
+    }
+    let (outs, peak) = abstract_outputs(recipe);
+    let targets = symbolic_matvec(t);
+    for (row, (got, want)) in outs.iter().zip(&targets).enumerate() {
+        if got != want {
+            return Err(RecipeError::RowMismatch {
+                row,
+                got: got.to_string(),
+                want: want.to_string(),
+            });
+        }
+    }
+    let mut max_matrix = Rational::zero();
+    for (_, _, c) in t.non_zero_entries() {
+        let a = c.abs();
+        if a > max_matrix {
+            max_matrix = a;
+        }
+    }
+    Ok(RecipeProof {
+        ops: recipe.op_count(),
+        n_instr: recipe.instrs.len(),
+        n_tmp: recipe.n_tmp,
+        max_live_tmps: recipe.max_live_tmps(),
+        max_abs_matrix_coeff: max_matrix,
+        max_abs_intermediate_coeff: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_symbolic::{generate_recipe, RecipeOptions};
+
+    fn r(a: i64, b: i64) -> Rational {
+        Rational::from_frac(a, b)
+    }
+
+    #[test]
+    fn identity_recipe_verifies() {
+        let t = RatMat::identity(3);
+        let recipe = generate_recipe(&t, &RecipeOptions::optimized());
+        let proof = verify_recipe(&recipe, &t).unwrap();
+        assert_eq!(proof.max_abs_matrix_coeff, r(1, 1));
+        assert!(proof.coeff_growth() >= 1.0);
+    }
+
+    #[test]
+    fn wrong_coefficient_rejected() {
+        let t = RatMat::parse_rows(&["1 1", "1 -1"]).unwrap();
+        let recipe = generate_recipe(&t, &RecipeOptions::minimal());
+        let wrong = RatMat::parse_rows(&["1 1", "1 1"]).unwrap();
+        let err = verify_recipe(&recipe, &wrong).unwrap_err();
+        assert!(
+            matches!(err, RecipeError::RowMismatch { row: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let t = RatMat::identity(3);
+        let recipe = generate_recipe(&t, &RecipeOptions::minimal());
+        let wide = RatMat::zeros(3, 4);
+        assert!(matches!(
+            verify_recipe(&recipe, &wide),
+            Err(RecipeError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn dead_statement_detected() {
+        use wino_symbolic::{Instr, Reg};
+        // y0 = x0 + x1 is live; t0 = x0 - x1 never reaches an output.
+        let recipe = Recipe {
+            n_in: 2,
+            n_out: 1,
+            n_tmp: 1,
+            instrs: vec![
+                Instr::Sub {
+                    dst: Reg::Tmp(0),
+                    a: Reg::In(0),
+                    b: Reg::In(1),
+                },
+                Instr::Add {
+                    dst: Reg::Out(0),
+                    a: Reg::In(0),
+                    b: Reg::In(1),
+                },
+            ],
+        };
+        assert_eq!(dead_statements(&recipe), vec![0]);
+        let t = RatMat::parse_rows(&["1 1"]).unwrap();
+        assert!(matches!(
+            verify_recipe(&recipe, &t),
+            Err(RecipeError::DeadStatement { index: 0, tmp: 0 })
+        ));
+    }
+
+    #[test]
+    fn transitively_dead_chains_detected() {
+        use wino_symbolic::{Instr, Reg};
+        // t0 feeds t1, t1 feeds nothing: both are dead.
+        let recipe = Recipe {
+            n_in: 1,
+            n_out: 1,
+            n_tmp: 2,
+            instrs: vec![
+                Instr::Copy {
+                    dst: Reg::Tmp(0),
+                    src: Reg::In(0),
+                },
+                Instr::Neg {
+                    dst: Reg::Tmp(1),
+                    src: Reg::Tmp(0),
+                },
+                Instr::Copy {
+                    dst: Reg::Out(0),
+                    src: Reg::In(0),
+                },
+            ],
+        };
+        assert_eq!(dead_statements(&recipe), vec![0, 1]);
+    }
+
+    #[test]
+    fn coefficient_growth_tracks_intermediates() {
+        use wino_symbolic::{Instr, Reg};
+        // y0 = (8·x0) − (15/2)·x0 = (1/2)·x0: the intermediate 8·x0
+        // carries a coefficient 16× the final matrix entry.
+        let recipe = Recipe {
+            n_in: 1,
+            n_out: 1,
+            n_tmp: 2,
+            instrs: vec![
+                Instr::Mul {
+                    dst: Reg::Tmp(0),
+                    c: r(8, 1),
+                    a: Reg::In(0),
+                },
+                Instr::Mul {
+                    dst: Reg::Tmp(1),
+                    c: r(-15, 16),
+                    a: Reg::Tmp(0),
+                },
+                Instr::Add {
+                    dst: Reg::Out(0),
+                    a: Reg::Tmp(0),
+                    b: Reg::Tmp(1),
+                },
+            ],
+        };
+        let t = RatMat::parse_rows(&["1/2"]).unwrap();
+        let proof = verify_recipe(&recipe, &t).unwrap();
+        assert_eq!(proof.max_abs_intermediate_coeff, r(8, 1));
+        assert!((proof.coeff_growth() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abstract_outputs_agree_with_exact_eval() {
+        let t = RatMat::parse_rows(&["1 0 -1 0", "0 1 1 0", "0 -1 1 0", "0 1 0 -1"]).unwrap();
+        let recipe = generate_recipe(&t, &RecipeOptions::optimized());
+        recipe.validate().unwrap();
+        let (outs, _) = abstract_outputs(&recipe);
+        // Evaluate both forms on a concrete input and compare.
+        let x: Vec<Rational> = (0..4).map(|i| r(i as i64 + 1, 3)).collect();
+        let direct = recipe.eval_exact(&x);
+        for (row, expr) in outs.iter().enumerate() {
+            assert_eq!(expr.eval_exact(&x, &[]), direct[row]);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Template and generated-kernel linting.
+//!
+//! Two layers: the *static* lint parses every kernel template the
+//! codegen crate ships — malformed `%(placeholder)` syntax fails even
+//! on code paths no test happens to exercise — and the *generated*
+//! lint drives the kernel generators over representative
+//! configurations, checking that the emitted source is hole-free and
+//! that every launch configuration fits at least one of the paper's
+//! devices.
+
+use wino_codegen::{generate_plan, template_inventory, CodegenOptions, PlanVariant, Template};
+use wino_gpu::{occupancy, paper_devices};
+use wino_ir::{Backend, Kernel};
+use wino_tensor::ConvDesc;
+
+/// Lints every static template in the codegen inventory. Returns one
+/// human-readable issue per violation; empty means clean.
+pub fn lint_static_templates() -> Vec<String> {
+    let mut issues = Vec::new();
+    for (name, src) in template_inventory() {
+        let template = match Template::parse(src) {
+            Ok(t) => t,
+            Err(e) => {
+                issues.push(format!("{name}: {e}"));
+                continue;
+            }
+        };
+        let placeholders = template.placeholders();
+        if placeholders.is_empty() {
+            issues.push(format!("{name}: template has no placeholders"));
+        }
+        for ph in placeholders {
+            if !ph.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                issues.push(format!("{name}: suspicious placeholder name %({ph})"));
+            }
+        }
+    }
+    issues
+}
+
+/// The convolution shapes the generated-plan lint sweeps: a small
+/// VGG-like layer and a deliberately awkward non-square one.
+fn lint_descs() -> Vec<ConvDesc> {
+    vec![
+        ConvDesc::new(3, 1, 1, 32, 1, 14, 14, 16),
+        ConvDesc::new(3, 1, 1, 24, 2, 13, 9, 8),
+    ]
+}
+
+fn lint_variants() -> Vec<PlanVariant> {
+    vec![
+        PlanVariant::Direct,
+        PlanVariant::Im2col,
+        PlanVariant::WinogradNonFused { m: 2 },
+        PlanVariant::WinogradNonFused { m: 4 },
+        PlanVariant::WinogradFused { m: 2 },
+    ]
+}
+
+/// Per-kernel checks shared by every generated plan: no residual
+/// placeholder syntax, balanced braces, structural validity, and a
+/// launch configuration at least one paper device accepts.
+fn check_kernel(context: &str, kernel: &Kernel, issues: &mut Vec<String>) {
+    if let Err(e) = kernel.validate() {
+        issues.push(format!("{context}/{}: {e}", kernel.name));
+    }
+    if kernel.source.contains("%(") {
+        issues.push(format!(
+            "{context}/{}: unfilled placeholder in generated source",
+            kernel.name
+        ));
+    }
+    let opens = kernel.source.matches('{').count();
+    let closes = kernel.source.matches('}').count();
+    if opens != closes {
+        issues.push(format!(
+            "{context}/{}: unbalanced braces ({opens} open, {closes} close)",
+            kernel.name
+        ));
+    }
+    let devices = paper_devices();
+    let rejections: Vec<String> = devices
+        .iter()
+        .filter_map(|d| {
+            occupancy(d, &kernel.launch)
+                .err()
+                .map(|e| format!("{}: {e}", d.name))
+        })
+        .collect();
+    if rejections.len() == devices.len() {
+        issues.push(format!(
+            "{context}/{}: launch config rejected by every paper device ({})",
+            kernel.name,
+            rejections.join("; ")
+        ));
+    }
+}
+
+/// Generates plans over the lint sweep (shapes × variants × backends)
+/// and checks every emitted kernel. Returns issues; empty means every
+/// generated kernel is hole-free and launchable.
+pub fn lint_generated_plans() -> Vec<String> {
+    let mut issues = Vec::new();
+    for desc in lint_descs() {
+        for variant in lint_variants() {
+            for backend in [Backend::Cuda, Backend::OpenCl, Backend::Vulkan] {
+                let opts = CodegenOptions {
+                    backend,
+                    ..Default::default()
+                };
+                let context = format!("{desc}/{variant:?}/{backend}");
+                match generate_plan(&desc, variant, &opts) {
+                    Ok(plan) => {
+                        if let Err(e) = plan.validate() {
+                            issues.push(format!("{context}: invalid plan: {e}"));
+                        }
+                        for kernel in &plan.kernels {
+                            check_kernel(&context, kernel, &mut issues);
+                        }
+                    }
+                    Err(e) => issues.push(format!("{context}: generation failed: {e}")),
+                }
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_templates_are_clean() {
+        assert_eq!(lint_static_templates(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn generated_plans_are_clean() {
+        assert_eq!(lint_generated_plans(), Vec::<String>::new());
+    }
+}

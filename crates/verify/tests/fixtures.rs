@@ -1,0 +1,145 @@
+//! Deliberately-broken fixtures: each class of defect the verifier
+//! exists to catch, asserted caught. If any of these starts passing,
+//! the analysis it exercises has silently lost its teeth.
+
+use wino_codegen::{render_template_strict, CodegenError};
+use wino_num::{RatMat, Rational};
+use wino_symbolic::{generate_recipe, Instr, Recipe, RecipeOptions, Reg};
+use wino_verify::{verify_recipe, RecipeError};
+
+/// Fixture 1: a recipe whose arithmetic is subtly wrong — one
+/// coefficient flipped relative to the matrix it claims to implement.
+#[test]
+fn wrong_coefficient_recipe_is_rejected() {
+    // F(2,3) input-transform-style matrix, then corrupt one instr.
+    let t = RatMat::parse_rows(&["1 0 -1 0", "0 1 1 0", "0 -1 1 0", "0 1 0 -1"]).unwrap();
+    let mut recipe = generate_recipe(&t, &RecipeOptions::minimal());
+    let flipped = recipe.instrs.iter_mut().find_map(|ins| match ins {
+        Instr::Sub { dst, a, b } => {
+            let fixed = Instr::Add {
+                dst: *dst,
+                a: *a,
+                b: *b,
+            };
+            Some((std::mem::replace(ins, fixed), ()))
+        }
+        _ => None,
+    });
+    assert!(flipped.is_some(), "expected a Sub to corrupt");
+    let err = verify_recipe(&recipe, &t).unwrap_err();
+    assert!(
+        matches!(err, RecipeError::RowMismatch { .. }),
+        "wrong coefficient must surface as a row mismatch, got: {err}"
+    );
+}
+
+/// Fixture 2: a structurally valid recipe carrying a dead temporary.
+#[test]
+fn dead_tmp_recipe_is_rejected() {
+    let recipe = Recipe {
+        n_in: 2,
+        n_out: 1,
+        n_tmp: 1,
+        instrs: vec![
+            Instr::Mul {
+                dst: Reg::Tmp(0),
+                c: Rational::from_frac(21, 4),
+                a: Reg::In(0),
+            },
+            Instr::Add {
+                dst: Reg::Out(0),
+                a: Reg::In(0),
+                b: Reg::In(1),
+            },
+        ],
+    };
+    // The SSA validator accepts it…
+    recipe.validate().unwrap();
+    // …but verification must not.
+    let t = RatMat::parse_rows(&["1 1"]).unwrap();
+    let err = verify_recipe(&recipe, &t).unwrap_err();
+    assert!(
+        matches!(err, RecipeError::DeadStatement { index: 0, tmp: 0 }),
+        "dead tmp must be reported, got: {err}"
+    );
+}
+
+/// Fixture 3: a temporary written twice — an SSA violation.
+#[test]
+fn double_written_tmp_recipe_is_rejected() {
+    let recipe = Recipe {
+        n_in: 1,
+        n_out: 1,
+        n_tmp: 1,
+        instrs: vec![
+            Instr::Copy {
+                dst: Reg::Tmp(0),
+                src: Reg::In(0),
+            },
+            Instr::Neg {
+                dst: Reg::Tmp(0),
+                src: Reg::In(0),
+            },
+            Instr::Copy {
+                dst: Reg::Out(0),
+                src: Reg::Tmp(0),
+            },
+        ],
+    };
+    let t = RatMat::parse_rows(&["-1"]).unwrap();
+    let err = verify_recipe(&recipe, &t).unwrap_err();
+    assert!(
+        matches!(&err, RecipeError::Structural(msg) if msg.contains("twice")),
+        "double write must be a structural error, got: {err}"
+    );
+}
+
+/// Fixture 4a: a template referencing a placeholder the substitution
+/// map never binds.
+#[test]
+fn typoed_template_placeholder_is_rejected() {
+    let template = "__kernel void k(__global float* %(dst_ptr)) { %(bodyy) }";
+    let vars = [
+        ("dst_ptr", "out".to_string()),
+        ("body", "out[0] = 0.0f;".to_string()),
+    ]
+    .into_iter()
+    .collect();
+    let err = render_template_strict(template, &vars).unwrap_err();
+    // The typo manifests twice over: `bodyy` is unbound, and the
+    // intended `body` binding goes unused. Either diagnosis stops the
+    // drift; the renderer reports whichever it hits first.
+    assert!(
+        matches!(
+            &err,
+            CodegenError::UnboundPlaceholder(name) if name == "bodyy"
+        ) || matches!(
+            &err,
+            CodegenError::UnusedBinding(name) if name == "body"
+        ),
+        "typo must surface as unbound placeholder or unused binding, got: {err}"
+    );
+}
+
+/// Fixture 4b: the complementary direction — every placeholder bound,
+/// but the map carries a stale binding nothing consumes.
+#[test]
+fn stale_template_binding_is_rejected() {
+    let template = "kernel: %(name)";
+    let vars = [("name", "gemm".to_string()), ("unroll", "4".to_string())]
+        .into_iter()
+        .collect();
+    let err = render_template_strict(template, &vars).unwrap_err();
+    assert!(
+        matches!(&err, CodegenError::UnusedBinding(name) if name == "unroll"),
+        "stale binding must be rejected, got: {err}"
+    );
+}
+
+/// Fixture 5: malformed placeholder syntax is a parse error, not a
+/// silently-emitted hole.
+#[test]
+fn unterminated_placeholder_is_rejected() {
+    let vars = std::collections::BTreeMap::new();
+    assert!(render_template_strict("leading %(oops", &vars).is_err());
+}

@@ -1,0 +1,159 @@
+//! Property tests for the verifier itself: any recipe the lowering
+//! pipeline produces — for random matrices or real `F(m,r)`
+//! transforms, under every pipeline-switch combination — must verify
+//! against its generating matrix, and the CSE stage must never change
+//! the proven linear form.
+
+use proptest::prelude::*;
+use wino_num::{RatMat, Rational};
+use wino_symbolic::{
+    eliminate_common_subexpressions, generate_naive_recipe, generate_recipe, symbolic_matvec,
+    LinExpr, RecipeOptions,
+};
+use wino_transform::{TransformRecipes, WinogradSpec};
+use wino_verify::{abstract_outputs, verify_recipe};
+
+/// Small rationals weighted toward the values Winograd matrices
+/// actually contain (0, ±1, ±1/2, ±2, …).
+fn arb_coeff() -> impl Strategy<Value = Rational> {
+    prop_oneof![
+        3 => Just(Rational::zero()),
+        2 => Just(Rational::one()),
+        2 => Just(Rational::from_int(-1)),
+        1 => Just(Rational::from_frac(1, 2)),
+        1 => Just(Rational::from_frac(-1, 2)),
+        1 => Just(Rational::from_int(2)),
+        1 => Just(Rational::from_int(-2)),
+        1 => (-12i64..=12, 1i64..=6).prop_map(|(a, b)| Rational::from_frac(a, b)),
+    ]
+}
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = RatMat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(rows, cols)| {
+        proptest::collection::vec(arb_coeff(), rows * cols)
+            .prop_map(move |vals| RatMat::from_fn(rows, cols, |i, j| vals[i * cols + j].clone()))
+    })
+}
+
+/// Valid `F(m,r)` specs within the Table-3 α range.
+fn arb_spec() -> impl Strategy<Value = WinogradSpec> {
+    (2usize..=10, prop_oneof![Just(3usize), Just(5), Just(7)]).prop_filter_map(
+        "alpha in [4,16]",
+        |(m, r)| {
+            WinogradSpec::new(m, r)
+                .ok()
+                .filter(|s| (4..=16).contains(&s.alpha()))
+        },
+    )
+}
+
+/// Inlines a CSE program's binary definitions back into closed linear
+/// forms over the original inputs, so its rows can be compared against
+/// the pre-CSE symbolic rows.
+fn inline_cse_rows(prog: &wino_symbolic::CseProgram) -> Vec<LinExpr> {
+    let mut defs: Vec<LinExpr> = Vec::with_capacity(prog.defs.len());
+    for def in &prog.defs {
+        let mut closed = LinExpr::zero();
+        for (node, coeff) in def.iter() {
+            match node {
+                wino_symbolic::Node::In(_) => {
+                    closed.add_scaled(&LinExpr::term(*node, Rational::one()), coeff)
+                }
+                wino_symbolic::Node::Tmp(d) => closed.add_scaled(&defs[*d], coeff),
+            }
+        }
+        defs.push(closed);
+    }
+    prog.rows
+        .iter()
+        .map(|row| {
+            let mut closed = LinExpr::zero();
+            for (node, coeff) in row.iter() {
+                match node {
+                    wino_symbolic::Node::In(_) => {
+                        closed.add_scaled(&LinExpr::term(*node, Rational::one()), coeff)
+                    }
+                    wino_symbolic::Node::Tmp(d) => closed.add_scaled(&defs[*d], coeff),
+                }
+            }
+            closed
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any recipe the lowering pipeline produces for any matrix, under
+    /// any switch combination, is proven equivalent to that matrix.
+    #[test]
+    fn lowered_recipes_verify_against_their_matrix(
+        t in arb_matrix(7),
+        cse in any::<bool>(),
+        factorize in any::<bool>(),
+        fma in any::<bool>(),
+    ) {
+        let recipe = generate_recipe(&t, &RecipeOptions { cse, factorize, fma });
+        let proof = verify_recipe(&recipe, &t);
+        prop_assert!(proof.is_ok(), "pipeline produced an unprovable recipe: {}", proof.unwrap_err());
+    }
+
+    /// The naive dense lowering also verifies.
+    #[test]
+    fn naive_recipes_verify(t in arb_matrix(6)) {
+        let recipe = generate_naive_recipe(&t);
+        let proof = verify_recipe(&recipe, &t);
+        prop_assert!(proof.is_ok(), "{}", proof.unwrap_err());
+    }
+
+    /// CSE never changes the proven linear form: inlining its
+    /// definitions reproduces the raw symbolic rows exactly.
+    #[test]
+    fn cse_preserves_the_proven_linear_form(t in arb_matrix(7)) {
+        let rows = symbolic_matvec(&t);
+        let prog = eliminate_common_subexpressions(rows.clone());
+        let inlined = inline_cse_rows(&prog);
+        prop_assert_eq!(inlined, rows);
+    }
+
+    /// Real `F(m,r)` transform bundles verify under any switch
+    /// combination — the property the CI sweep relies on, sampled
+    /// across the whole grid instead of enumerated.
+    #[test]
+    fn transform_bundles_verify(
+        spec in arb_spec(),
+        cse in any::<bool>(),
+        factorize in any::<bool>(),
+        fma in any::<bool>(),
+    ) {
+        let tr = TransformRecipes::generate(spec, RecipeOptions { cse, factorize, fma }).unwrap();
+        for (recipe, matrix) in [
+            (&tr.filter, &tr.matrices.g),
+            (&tr.input, &tr.matrices.b_t),
+            (&tr.output, &tr.matrices.a_t),
+        ] {
+            let proof = verify_recipe(recipe, matrix);
+            prop_assert!(proof.is_ok(), "F({},{}): {}", spec.m, spec.r, proof.unwrap_err());
+        }
+    }
+
+    /// The abstract interpreter agrees with concrete exact evaluation
+    /// on random inputs — a self-check of the verifier's own core.
+    #[test]
+    fn abstract_interpretation_matches_concrete_eval(
+        t in arb_matrix(6),
+        seed in proptest::collection::vec((-20i64..=20, 1i64..=7), 6),
+    ) {
+        let recipe = generate_recipe(&t, &RecipeOptions::optimized());
+        recipe.validate().unwrap();
+        let (outs, _) = abstract_outputs(&recipe);
+        let x: Vec<Rational> = seed[..t.cols()]
+            .iter()
+            .map(|&(a, b)| Rational::from_frac(a, b))
+            .collect();
+        let direct = recipe.eval_exact(&x);
+        for (row, expr) in outs.iter().enumerate() {
+            prop_assert_eq!(expr.eval_exact(&x, &[]), direct[row].clone());
+        }
+    }
+}

@@ -17,6 +17,9 @@ cargo build --release --offline
 echo "== tier-1: test suite"
 cargo test -q --offline
 
+echo "== wino-verify: static verification (recipes, templates, unsafe invariants)"
+./target/release/wino-verify
+
 echo "== probe smoke: figure6 with WINO_TRACE=summary"
 # (plain grep, not -q: an early pipe close would SIGPIPE the binary)
 WINO_TRACE=summary ./target/release/figure6 | grep "wino-probe phase summary" >/dev/null
