@@ -1,0 +1,55 @@
+//! Criterion timings backing EXPERIMENTS.md's claim that the guard
+//! layer is free when you don't use its checks: the same fused
+//! Winograd convolution run raw, through `GuardedConv` with guardrails
+//! disabled (chain dispatch + one disarmed fault check only), and
+//! through `GuardedConv` with the full policy (finite scan + direct
+//! spot-check). The first two should agree to within run-to-run
+//! noise; the third shows the price of the guardrails themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use wino_conv::{conv_winograd, WinogradConfig, WinogradVariant};
+use wino_guard::{GuardedConv, GuardrailPolicy};
+use wino_tensor::{ConvDesc, Tensor4};
+
+fn bench_guard_overhead(c: &mut Criterion) {
+    let desc = ConvDesc::new(3, 1, 1, 32, 1, 28, 28, 16);
+    let mut rng = StdRng::seed_from_u64(11);
+    let input = Tensor4::<f32>::random(1, 16, 28, 28, -1.0, 1.0, &mut rng);
+    let filters = Tensor4::<f32>::random(32, 16, 3, 3, -1.0, 1.0, &mut rng);
+    let cfg = WinogradConfig::new(4).with_variant(WinogradVariant::Fused);
+
+    let mut group = c.benchmark_group("guard_overhead_conv3x3_28x28x16to32");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+
+    group.bench_function("raw-winograd", |b| {
+        b.iter(|| conv_winograd(black_box(&input), black_box(&filters), &desc, &cfg).unwrap())
+    });
+
+    let disabled = GuardedConv::new(4).with_policy(GuardrailPolicy::disabled());
+    group.bench_function("guarded-checks-off", |b| {
+        b.iter(|| {
+            disabled
+                .run(black_box(&input), black_box(&filters), &desc)
+                .unwrap()
+        })
+    });
+
+    let full = GuardedConv::new(4).with_policy(GuardrailPolicy::full());
+    group.bench_function("guarded-full-policy", |b| {
+        b.iter(|| {
+            full.run(black_box(&input), black_box(&filters), &desc)
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_guard_overhead);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Fault-injection drill: one process that exercises every guard
+//! surface under whatever `WINO_FAULT` is armed, then dumps the probe
+//! counters as grep-friendly `counter name=value` lines.
+//!
+//! `scripts/ci.sh` runs this binary once per fault site and asserts
+//! the expected quarantine/demotion counters — proving the guard
+//! layer absorbs each fault class end to end, in a real process
+//! rather than a unit test.
+//!
+//! Stages, in order (each site's hooks only fire at that site, so the
+//! order only matters for `:n` one-shot specs within a single site):
+//!
+//! 1. `GuardedConv` default chain (fused head) on a small layer.
+//! 2. `GuardedConv` non-fused-head chain (the path a GEMM fault hits).
+//! 3. A hardened tuning sweep over the reduced space.
+//! 4. A tuning-cache save → load round trip.
+
+use std::path::PathBuf;
+
+use wino_codegen::{PlanVariant, Unroll};
+use wino_gpu::gtx_1080_ti;
+use wino_guard::{fault, Denylist, Engine, GuardedConv, SandboxBudget};
+use wino_probe::{self as probe, Mode};
+use wino_tensor::{ConvDesc, Tensor4};
+use wino_tuner::{reduced_space, tune_hardened, Evaluation, TuningCache, TuningPoint};
+
+/// Counters the CI fault matrix asserts on; printed even when zero so
+/// `grep -x` can distinguish "no fault absorbed" from "not printed".
+const DRILL_COUNTERS: &[&str] = &[
+    "guard.demote.panic",
+    "guard.demote.guardrail",
+    "guard.demote.unsupported",
+    "guard.served_by_fallback",
+    "tuner.quarantine.panic",
+    "tuner.quarantine.timeout",
+    "tuner.quarantine.nonfinite",
+    "tuner.denylist.skipped",
+    "tuner.cache.rebuilt",
+    "runtime.body_panics",
+];
+
+fn conv_fixture() -> (Tensor4<f32>, Tensor4<f32>, ConvDesc) {
+    let desc = ConvDesc::new(3, 1, 1, 2, 1, 8, 8, 3);
+    let input = Tensor4::from_fn(1, 3, 8, 8, |n, c, y, x| {
+        ((n + 2 * c + 3 * y + 5 * x) % 7) as f32 * 0.25 - 0.5
+    });
+    let filters = Tensor4::from_fn(2, 3, 3, 3, |k, c, y, x| {
+        ((k + c + y + 2 * x) % 5) as f32 * 0.125 - 0.25
+    });
+    (input, filters, desc)
+}
+
+fn drill_guarded_conv() {
+    let (input, filters, desc) = conv_fixture();
+    let fused_head = GuardedConv::new(4);
+    match fused_head.run(&input, &filters, &desc) {
+        Ok(out) => println!(
+            "drill: fused-head chain served by {} after {} demotions",
+            out.served_by,
+            out.demotions.len()
+        ),
+        Err(e) => println!("drill: fused-head chain exhausted: {e}"),
+    }
+
+    let nonfused_head = GuardedConv::new(4).with_chain(vec![
+        Engine::NonFusedWinograd(4),
+        Engine::Im2col,
+        Engine::Direct,
+    ]);
+    match nonfused_head.run(&input, &filters, &desc) {
+        Ok(out) => println!(
+            "drill: nonfused-head chain served by {} after {} demotions",
+            out.served_by,
+            out.demotions.len()
+        ),
+        Err(e) => println!("drill: nonfused-head chain exhausted: {e}"),
+    }
+}
+
+fn drill_hardened_sweep() {
+    let desc = ConvDesc::new(3, 1, 1, 32, 1, 14, 14, 16);
+    let device = gtx_1080_ti();
+    let denylist = Denylist::new();
+    match tune_hardened(
+        &desc,
+        &device,
+        reduced_space(&desc),
+        &SandboxBudget::default(),
+        &denylist,
+        None,
+    ) {
+        Ok(report) => println!(
+            "drill: sweep evaluated {} points, quarantined {}, best {:?}",
+            report.report.evaluated,
+            report.quarantined.len(),
+            report.report.best.point.variant
+        ),
+        Err(e) => println!("drill: sweep failed: {e}"),
+    }
+}
+
+fn drill_cache_round_trip() {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("wino_guard_drill_{}.json", std::process::id()));
+    let desc = ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32);
+    let cache = TuningCache::new();
+    cache.put(
+        &desc,
+        "drill-dev",
+        &Evaluation {
+            point: TuningPoint {
+                variant: PlanVariant::WinogradFused { m: 4 },
+                unroll: Unroll::Full,
+                mnt: 4,
+                mnb: 16,
+                threads: 1,
+            },
+            time_ms: 0.5,
+        },
+    );
+    if let Err(e) = cache.save(&path) {
+        println!("drill: cache save failed: {e}");
+        return;
+    }
+    let loaded = TuningCache::load_or_rebuild(&path);
+    println!("drill: cache reloaded with {} entries", loaded.len());
+    let _ = std::fs::remove_file(&path);
+}
+
+fn main() {
+    // Injected panics are expected traffic here: keep stderr quiet so
+    // the counter lines stay greppable.
+    std::panic::set_hook(Box::new(|_| {}));
+    probe::set_mode(Mode::Summary);
+    match fault::init_from_env() {
+        Some(spec) => println!("drill: fault armed: {spec}"),
+        None => println!("drill: no fault armed"),
+    }
+
+    drill_guarded_conv();
+    drill_hardened_sweep();
+    drill_cache_round_trip();
+
+    // Intern the asserted counters first so zeros still print.
+    for name in DRILL_COUNTERS {
+        probe::counter(name);
+    }
+    for (name, value) in probe::counter_values() {
+        println!("counter {name}={value}");
+    }
+}

@@ -71,6 +71,9 @@ impl TileTransformer {
                 .run(&self.vec_in, &mut self.vec_out, &mut self.scratch);
             out[i * p..i * p + p].copy_from_slice(&self.vec_out[..p]);
         }
+        // WINO_FAULT hook (transform-output site): one relaxed load
+        // when disarmed.
+        wino_probe::fault::inject_f32(wino_probe::fault::Site::Transform, &mut out[..p * p]);
     }
 }
 

@@ -27,7 +27,7 @@ static TILES_GATHERED: wino_probe::Counter = wino_probe::Counter::new("conv.tile
 static TILES_SCATTERED: wino_probe::Counter = wino_probe::Counter::new("conv.tiles_scattered");
 
 /// Which kernel variant to model (tuning parameter `WV` of Table 1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum WinogradVariant {
     /// Separate kernels per stage + batched SGEMM.
     NonFused,

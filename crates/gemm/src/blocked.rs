@@ -127,6 +127,10 @@ pub fn sgemm_acc_rt(
         rt
     };
     sgemm_blocked(a, b, &mut c[..m * n], m, k, n, cfg, rt);
+    // WINO_FAULT hook (GEMM-kernel site): one relaxed load when
+    // disarmed. Sits on the one entry point every GEMM path (plain,
+    // blocked-config, batched, im2col) funnels through.
+    wino_probe::fault::inject_f32(wino_probe::fault::Site::Gemm, &mut c[..m * n]);
 }
 
 /// Cache-blocked kernel, parallel across `NC`-wide column panels of

@@ -1,0 +1,248 @@
+//! Persistent quarantine of misbehaving tuning candidates.
+//!
+//! When the sandbox catches a candidate panicking, overrunning its
+//! watchdog budget, or producing non-finite numbers, the candidate's
+//! `model_key` goes here and every subsequent sweep skips it. The list
+//! is string-keyed on purpose: it stores *whatever identity the caller
+//! uses* for candidates, so this crate does not need to know the
+//! tuner's types (which keeps the dependency arrow pointing
+//! tuner → guard, not the reverse).
+//!
+//! Persistence is tolerant by design: a missing, truncated, or
+//! corrupted denylist file loads as an *empty* list with a
+//! `probe::diag` note — fault-tolerance metadata must never itself
+//! become a crash source.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+/// Why a candidate was quarantined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DenyCause {
+    /// The candidate panicked during evaluation.
+    Panic,
+    /// The candidate exceeded the sandbox wall-clock budget.
+    Timeout,
+    /// The candidate produced NaN or ±Inf.
+    NonFinite,
+    /// The candidate's output failed the accuracy spot-check.
+    Inaccurate,
+}
+
+impl DenyCause {
+    /// Stable serialization tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DenyCause::Panic => "panic",
+            DenyCause::Timeout => "timeout",
+            DenyCause::NonFinite => "nonfinite",
+            DenyCause::Inaccurate => "inaccurate",
+        }
+    }
+
+    /// Parses a serialization tag; `None` for unknown tags (forward
+    /// compatibility — an unknown cause still denies, see
+    /// [`Denylist::from_json`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "panic" => Some(DenyCause::Panic),
+            "timeout" => Some(DenyCause::Timeout),
+            "nonfinite" => Some(DenyCause::NonFinite),
+            "inaccurate" => Some(DenyCause::Inaccurate),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DenyCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Thread-safe set of quarantined candidate keys with JSON
+/// persistence.
+#[derive(Default)]
+pub struct Denylist {
+    entries: Mutex<BTreeMap<String, DenyCause>>,
+}
+
+impl Denylist {
+    /// An empty denylist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `key` is quarantined.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.lock().contains_key(key)
+    }
+
+    /// The recorded cause for `key`, if quarantined.
+    pub fn cause(&self, key: &str) -> Option<DenyCause> {
+        self.entries.lock().get(key).copied()
+    }
+
+    /// Quarantines `key`. A later cause overwrites an earlier one
+    /// (most recent diagnosis wins).
+    pub fn insert(&self, key: impl Into<String>, cause: DenyCause) {
+        self.entries.lock().insert(key.into(), cause);
+    }
+
+    /// Number of quarantined keys.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Sorted snapshot of `(key, cause)` pairs.
+    pub fn entries(&self) -> Vec<(String, DenyCause)> {
+        self.entries
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Serializes to pretty JSON (`{key: cause_tag}`).
+    pub fn to_json(&self) -> String {
+        let tags: BTreeMap<String, String> = self
+            .entries
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_str().to_string()))
+            .collect();
+        serde_json::to_string_pretty(&tags).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Parses a denylist from JSON.
+    ///
+    /// Unknown cause tags map to [`DenyCause::Panic`] — a key written
+    /// by a newer version is still *denied*, just with a degraded
+    /// cause, because dropping it would un-quarantine a known-bad
+    /// candidate.
+    ///
+    /// # Errors
+    /// Malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let tags: BTreeMap<String, String> = serde_json::from_str(json)?;
+        let entries = tags
+            .into_iter()
+            .map(|(k, tag)| {
+                let cause = DenyCause::parse(&tag).unwrap_or(DenyCause::Panic);
+                (k, cause)
+            })
+            .collect();
+        Ok(Denylist {
+            entries: Mutex::new(entries),
+        })
+    }
+
+    /// Writes the denylist to `path`.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a denylist from `path`, degrading to empty on any
+    /// failure.
+    ///
+    /// A missing file is the normal first-run case (no diagnostic); a
+    /// present-but-unreadable or corrupt file emits `probe::diag` and
+    /// yields an empty list.
+    pub fn load_or_default(path: &Path) -> Self {
+        if !path.exists() {
+            return Denylist::new();
+        }
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                wino_probe::diag(format!(
+                    "denylist: could not read {}: {e}; starting empty",
+                    path.display()
+                ));
+                Denylist::new()
+            }
+            Ok(json) => match Denylist::from_json(&json) {
+                Ok(list) => list,
+                Err(e) => {
+                    wino_probe::diag(format!(
+                        "denylist: corrupt JSON in {}: {e}; starting empty",
+                        path.display()
+                    ));
+                    Denylist::new()
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_cause() {
+        let list = Denylist::new();
+        assert!(list.is_empty());
+        assert!(!list.contains("fused:m9"));
+        list.insert("fused:m9", DenyCause::NonFinite);
+        assert!(list.contains("fused:m9"));
+        assert_eq!(list.cause("fused:m9"), Some(DenyCause::NonFinite));
+        list.insert("fused:m9", DenyCause::Panic);
+        assert_eq!(list.cause("fused:m9"), Some(DenyCause::Panic));
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let list = Denylist::new();
+        list.insert("a", DenyCause::Timeout);
+        list.insert("b", DenyCause::Inaccurate);
+        let loaded = Denylist::from_json(&list.to_json()).unwrap();
+        assert_eq!(loaded.entries(), list.entries());
+    }
+
+    #[test]
+    fn unknown_cause_tag_still_denies() {
+        let loaded = Denylist::from_json(r#"{"x": "future-cause"}"#).unwrap();
+        assert!(loaded.contains("x"));
+        assert_eq!(loaded.cause("x"), Some(DenyCause::Panic));
+    }
+
+    #[test]
+    fn missing_file_loads_empty_silently() {
+        let path = std::env::temp_dir().join("wino_guard_denylist_missing.json");
+        let _ = std::fs::remove_file(&path);
+        let list = Denylist::load_or_default(&path);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn corrupt_file_loads_empty_with_diag() {
+        let path = std::env::temp_dir().join("wino_guard_denylist_corrupt.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let list = Denylist::load_or_default(&path);
+        assert!(list.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join("wino_guard_denylist_rt.json");
+        let list = Denylist::new();
+        list.insert("fused:m7", DenyCause::Timeout);
+        list.save(&path).unwrap();
+        let loaded = Denylist::load_or_default(&path);
+        assert_eq!(loaded.cause("fused:m7"), Some(DenyCause::Timeout));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,370 @@
+//! The graceful-degradation chain: `GuardedConv`.
+//!
+//! A caller asking for "the fast engine" should never receive a panic
+//! or a tensor full of NaN because the fast engine misbehaved on their
+//! shape. [`GuardedConv`] runs a *chain* of engines — by default fused
+//! Winograd → non-fused Winograd → im2col → direct — and demotes to
+//! the next entry whenever the current one:
+//!
+//! * panics (caught with `catch_unwind`),
+//! * returns a [`wino_conv::ConvError`] (shape/stride/α unsupported),
+//! * or produces output the [`guardrail`](crate::guardrail) rejects
+//!   (NaN/Inf, or spot-check disagreement with the direct formula).
+//!
+//! Every demotion emits a `probe::diag` line and bumps a per-cause
+//! counter (`guard.demote.panic` / `guard.demote.guardrail` /
+//! `guard.demote.unsupported`), so a fleet that is silently riding its
+//! fallback shows up in any probe summary. The chain ends at direct
+//! convolution, which has no numeric failure mode short of bad inputs;
+//! if even it fails, [`GuardError::Exhausted`] reports the full
+//! demotion history instead of panicking.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use wino_conv::{
+    conv_direct_f32, conv_im2col, conv_winograd, ConvError, WinogradConfig, WinogradVariant,
+};
+use wino_probe::Counter;
+use wino_tensor::{ConvDesc, Tensor4};
+
+use crate::guardrail::{scan_finite, spot_check, GuardrailPolicy, NumericFault};
+use crate::sandbox::payload_to_string;
+
+static DEMOTE_PANIC: Counter = Counter::new("guard.demote.panic");
+static DEMOTE_GUARDRAIL: Counter = Counter::new("guard.demote.guardrail");
+static DEMOTE_UNSUPPORTED: Counter = Counter::new("guard.demote.unsupported");
+static SERVED_FALLBACK: Counter = Counter::new("guard.served_by_fallback");
+
+/// One engine in the degradation chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Fused Winograd with output tile `m`.
+    FusedWinograd(usize),
+    /// Non-fused (batched-SGEMM) Winograd with output tile `m`.
+    NonFusedWinograd(usize),
+    /// im2col + blocked SGEMM.
+    Im2col,
+    /// Direct sliding-window (the terminal fallback).
+    Direct,
+}
+
+impl Engine {
+    fn run(
+        &self,
+        input: &Tensor4<f32>,
+        filters: &Tensor4<f32>,
+        desc: &ConvDesc,
+    ) -> Result<Tensor4<f32>, ConvError> {
+        match *self {
+            Engine::FusedWinograd(m) => {
+                let cfg = WinogradConfig::new(m).with_variant(WinogradVariant::Fused);
+                conv_winograd(input, filters, desc, &cfg)
+            }
+            Engine::NonFusedWinograd(m) => {
+                let cfg = WinogradConfig::new(m).with_variant(WinogradVariant::NonFused);
+                conv_winograd(input, filters, desc, &cfg)
+            }
+            Engine::Im2col => conv_im2col(input, filters, desc),
+            Engine::Direct => conv_direct_f32(input, filters, desc),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::FusedWinograd(m) => write!(f, "winograd-fused(m={m})"),
+            Engine::NonFusedWinograd(m) => write!(f, "winograd-nonfused(m={m})"),
+            Engine::Im2col => f.write_str("im2col"),
+            Engine::Direct => f.write_str("direct"),
+        }
+    }
+}
+
+/// Why an engine was demoted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DemotionCause {
+    /// The engine panicked; payload rendered as a string.
+    Panic(String),
+    /// The output failed a numeric guardrail.
+    Guardrail(NumericFault),
+    /// The engine refused the convolution (shape/stride/α).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for DemotionCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DemotionCause::Panic(msg) => write!(f, "panic: {msg}"),
+            DemotionCause::Guardrail(fault) => write!(f, "guardrail: {fault}"),
+            DemotionCause::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+/// A recorded demotion: which engine failed, and why.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Demotion {
+    /// The engine that was abandoned.
+    pub engine: Engine,
+    /// What it did wrong.
+    pub cause: DemotionCause,
+}
+
+/// Every engine in the chain failed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuardError {
+    /// The full demotion history, in chain order.
+    pub demotions: Vec<Demotion>,
+}
+
+impl std::fmt::Display for GuardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "all {} engines in the chain failed:",
+            self.demotions.len()
+        )?;
+        for d in &self.demotions {
+            write!(f, " [{}: {}]", d.engine, d.cause)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+/// A successful guarded convolution: the output plus the provenance of
+/// how it was obtained.
+#[derive(Clone, Debug)]
+pub struct GuardedOutput {
+    /// The convolution result.
+    pub output: Tensor4<f32>,
+    /// The engine that produced it.
+    pub served_by: Engine,
+    /// Engines tried and abandoned before `served_by`, in order.
+    pub demotions: Vec<Demotion>,
+}
+
+/// Convolution with a graceful-degradation chain and numeric
+/// guardrails.
+pub struct GuardedConv {
+    chain: Vec<Engine>,
+    policy: GuardrailPolicy,
+}
+
+impl GuardedConv {
+    /// The default chain for output tile `m`:
+    /// fused Winograd → non-fused Winograd → im2col → direct.
+    pub fn new(m: usize) -> Self {
+        GuardedConv {
+            chain: vec![
+                Engine::FusedWinograd(m),
+                Engine::NonFusedWinograd(m),
+                Engine::Im2col,
+                Engine::Direct,
+            ],
+            policy: GuardrailPolicy::full(),
+        }
+    }
+
+    /// Replaces the chain (first entry is tried first).
+    pub fn with_chain(mut self, chain: Vec<Engine>) -> Self {
+        self.chain = chain;
+        self
+    }
+
+    /// Replaces the guardrail policy.
+    pub fn with_policy(mut self, policy: GuardrailPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configured chain.
+    pub fn chain(&self) -> &[Engine] {
+        &self.chain
+    }
+
+    /// Runs the chain until an engine completes *and* passes the
+    /// guardrails.
+    ///
+    /// # Errors
+    /// [`GuardError`] when every engine in the chain failed; the error
+    /// carries the per-engine causes.
+    pub fn run(
+        &self,
+        input: &Tensor4<f32>,
+        filters: &Tensor4<f32>,
+        desc: &ConvDesc,
+    ) -> Result<GuardedOutput, GuardError> {
+        let mut demotions = Vec::new();
+        for (i, engine) in self.chain.iter().enumerate() {
+            match self.attempt(*engine, input, filters, desc) {
+                Ok(output) => {
+                    if i > 0 {
+                        SERVED_FALLBACK.add(1);
+                    }
+                    return Ok(GuardedOutput {
+                        output,
+                        served_by: *engine,
+                        demotions,
+                    });
+                }
+                Err(cause) => {
+                    match cause {
+                        DemotionCause::Panic(_) => DEMOTE_PANIC.add(1),
+                        DemotionCause::Guardrail(_) => DEMOTE_GUARDRAIL.add(1),
+                        DemotionCause::Unsupported(_) => DEMOTE_UNSUPPORTED.add(1),
+                    }
+                    wino_probe::diag(format!("guard: demoting from {engine}: {cause}"));
+                    demotions.push(Demotion {
+                        engine: *engine,
+                        cause,
+                    });
+                }
+            }
+        }
+        Err(GuardError { demotions })
+    }
+
+    /// One engine attempt: sandboxed run + guardrails.
+    fn attempt(
+        &self,
+        engine: Engine,
+        input: &Tensor4<f32>,
+        filters: &Tensor4<f32>,
+        desc: &ConvDesc,
+    ) -> Result<Tensor4<f32>, DemotionCause> {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| engine.run(input, filters, desc)));
+        let output = match result {
+            Err(payload) => return Err(DemotionCause::Panic(payload_to_string(payload))),
+            Ok(Err(e)) => return Err(DemotionCause::Unsupported(e.to_string())),
+            Ok(Ok(out)) => out,
+        };
+        if self.policy.check_finite {
+            scan_finite(output.data()).map_err(DemotionCause::Guardrail)?;
+        }
+        spot_check(&output, input, filters, desc, &self.policy)
+            .map_err(DemotionCause::Guardrail)?;
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_probe::fault;
+
+    fn fixture() -> (Tensor4<f32>, Tensor4<f32>, ConvDesc) {
+        let desc = ConvDesc::new(3, 1, 1, 2, 1, 8, 8, 3);
+        let input = Tensor4::from_fn(1, 3, 8, 8, |n, c, y, x| {
+            ((n + 2 * c + 3 * y + 5 * x) % 7) as f32 * 0.25 - 0.5
+        });
+        let filters = Tensor4::from_fn(2, 3, 3, 3, |k, c, y, x| {
+            ((k + c + y + 2 * x) % 5) as f32 * 0.125 - 0.25
+        });
+        (input, filters, desc)
+    }
+
+    #[test]
+    fn healthy_chain_serves_from_the_head() {
+        let _scope = fault::scoped("");
+        let (input, filters, desc) = fixture();
+        let guarded = GuardedConv::new(4);
+        let out = guarded.run(&input, &filters, &desc).unwrap();
+        assert_eq!(out.served_by, Engine::FusedWinograd(4));
+        assert!(out.demotions.is_empty());
+        let reference = conv_direct_f32(&input, &filters, &desc).unwrap();
+        for i in 0..reference.len() {
+            assert!((out.output.data()[i] - reference.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn unsupported_stride_demotes_to_im2col() {
+        let _scope = fault::scoped("");
+        // Stride 2: both Winograd engines refuse, im2col serves.
+        let desc = ConvDesc::new(3, 2, 1, 2, 1, 8, 8, 3);
+        let input = Tensor4::from_fn(1, 3, 8, 8, |_, c, y, x| (c + y + x) as f32 * 0.1);
+        let filters = Tensor4::from_fn(2, 3, 3, 3, |k, c, y, x| (k + c + y + x) as f32 * 0.1);
+        let guarded = GuardedConv::new(4);
+        let out = guarded.run(&input, &filters, &desc).unwrap();
+        assert_eq!(out.served_by, Engine::Im2col);
+        assert_eq!(out.demotions.len(), 2);
+        assert!(out
+            .demotions
+            .iter()
+            .all(|d| matches!(d.cause, DemotionCause::Unsupported(_))));
+    }
+
+    #[test]
+    fn injected_transform_nan_demotes_past_winograd() {
+        let _scope = fault::scoped("transform:nan");
+        let (input, filters, desc) = fixture();
+        let guarded = GuardedConv::new(4);
+        let out = guarded.run(&input, &filters, &desc).unwrap();
+        // Both Winograd engines use the tile transformer; im2col does
+        // not, so it serves.
+        assert_eq!(out.served_by, Engine::Im2col);
+        assert_eq!(out.demotions.len(), 2);
+        assert!(out
+            .demotions
+            .iter()
+            .all(|d| matches!(d.cause, DemotionCause::Guardrail(_))));
+    }
+
+    #[test]
+    fn injected_transform_panic_is_caught_and_demoted() {
+        let _scope = fault::scoped("transform:panic");
+        let (input, filters, desc) = fixture();
+        let guarded = GuardedConv::new(4);
+        let out = guarded.run(&input, &filters, &desc).unwrap();
+        assert_eq!(out.served_by, Engine::Im2col);
+        assert!(out
+            .demotions
+            .iter()
+            .all(|d| matches!(d.cause, DemotionCause::Panic(_))));
+    }
+
+    #[test]
+    fn injected_gemm_fault_reaches_direct() {
+        // The GEMM hook poisons every SGEMM: the non-fused engine and
+        // im2col both fail, only direct survives. Start the chain at
+        // non-fused (the fused engine does its multiply tile-locally
+        // and never calls SGEMM).
+        let _scope = fault::scoped("gemm:nan");
+        let (input, filters, desc) = fixture();
+        let guarded = GuardedConv::new(4).with_chain(vec![
+            Engine::NonFusedWinograd(4),
+            Engine::Im2col,
+            Engine::Direct,
+        ]);
+        let out = guarded.run(&input, &filters, &desc).unwrap();
+        assert_eq!(out.served_by, Engine::Direct);
+        assert_eq!(out.demotions.len(), 2);
+    }
+
+    #[test]
+    fn exhausted_chain_reports_all_causes() {
+        let _scope = fault::scoped("gemm:panic");
+        let (input, filters, desc) = fixture();
+        // A chain with no SGEMM-free fallback: everything fails.
+        let guarded =
+            GuardedConv::new(4).with_chain(vec![Engine::NonFusedWinograd(4), Engine::Im2col]);
+        let err = guarded.run(&input, &filters, &desc).unwrap_err();
+        assert_eq!(err.demotions.len(), 2);
+        assert!(err.to_string().contains("im2col"));
+    }
+
+    #[test]
+    fn disabled_policy_skips_guardrails() {
+        let _scope = fault::scoped("transform:nan");
+        let (input, filters, desc) = fixture();
+        // With guardrails off, the poisoned fused output is served
+        // as-is — proving the checks (not the engines) catch NaN.
+        let guarded = GuardedConv::new(4).with_policy(GuardrailPolicy::disabled());
+        let out = guarded.run(&input, &filters, &desc).unwrap();
+        assert_eq!(out.served_by, Engine::FusedWinograd(4));
+        assert!(out.output.data().iter().any(|v| v.is_nan()));
+    }
+}

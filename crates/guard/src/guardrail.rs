@@ -1,0 +1,267 @@
+//! Numeric guardrails: finite-scan and direct-conv spot-check.
+//!
+//! A Winograd engine that completes is not necessarily an engine that
+//! computed the convolution: large-α transforms can overflow to ±Inf,
+//! cancellation can produce NaN, and a mis-tuned recipe can return
+//! numbers that are finite but wrong. The guardrails here are the
+//! cheap, always-applicable subset of the paper's §4.1 accuracy
+//! protocol:
+//!
+//! * [`scan_finite`] — O(len) sweep rejecting the first NaN/Inf;
+//! * [`spot_check`] — recompute a handful of output positions with the
+//!   direct sliding-window formula (f64 accumulation) and reject if
+//!   the relative error at any sampled position exceeds the policy
+//!   threshold.
+//!
+//! The spot-check recomputes *single output elements* — cost is
+//! `samples × C × r²` multiply-adds, independent of output size — so
+//! it is safe to leave on in production. [`GuardrailPolicy::disabled`]
+//! turns both checks off for overhead-sensitive callers.
+
+use wino_tensor::{ConvDesc, Tensor4};
+
+/// What a guardrail found wrong with an output tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NumericFault {
+    /// A NaN or ±Inf at flat index `index`.
+    NonFinite {
+        /// Flat index of the first offending element.
+        index: usize,
+        /// The offending value (as bits survive formatting).
+        value: f32,
+    },
+    /// A sampled position disagreed with the direct reference.
+    Inaccurate {
+        /// Flat index of the worst sampled position.
+        index: usize,
+        /// Observed relative error at that position.
+        rel_err: f64,
+        /// The policy threshold that was exceeded.
+        max_rel_err: f64,
+    },
+}
+
+impl std::fmt::Display for NumericFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumericFault::NonFinite { index, value } => {
+                write!(f, "non-finite value {value} at flat index {index}")
+            }
+            NumericFault::Inaccurate {
+                index,
+                rel_err,
+                max_rel_err,
+            } => write!(
+                f,
+                "relative error {rel_err:.3e} at flat index {index} exceeds {max_rel_err:.1e}"
+            ),
+        }
+    }
+}
+
+/// Which checks run after an engine produces an output.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardrailPolicy {
+    /// Run the NaN/Inf scan.
+    pub check_finite: bool,
+    /// Number of output positions to spot-check against the direct
+    /// formula (0 disables the spot-check).
+    pub spot_samples: usize,
+    /// Maximum tolerated relative error at a sampled position.
+    pub max_rel_err: f64,
+}
+
+impl GuardrailPolicy {
+    /// Both checks off: the guarded path adds only its gating branch.
+    pub fn disabled() -> Self {
+        GuardrailPolicy {
+            check_finite: false,
+            spot_samples: 0,
+            max_rel_err: f64::INFINITY,
+        }
+    }
+
+    /// NaN/Inf scan only.
+    pub fn finite_only() -> Self {
+        GuardrailPolicy {
+            check_finite: true,
+            spot_samples: 0,
+            max_rel_err: f64::INFINITY,
+        }
+    }
+
+    /// Scan + spot-check (the default). The 5e-2 threshold is loose on
+    /// purpose: it admits every usable `m` from the paper's Table 3
+    /// while rejecting the catastrophic blow-ups the gate exists for.
+    pub fn full() -> Self {
+        GuardrailPolicy {
+            check_finite: true,
+            spot_samples: 8,
+            max_rel_err: 5e-2,
+        }
+    }
+
+    /// Whether any check is active.
+    pub fn any_enabled(&self) -> bool {
+        self.check_finite || self.spot_samples > 0
+    }
+}
+
+impl Default for GuardrailPolicy {
+    fn default() -> Self {
+        GuardrailPolicy::full()
+    }
+}
+
+/// Rejects the first NaN or ±Inf in `data`.
+pub fn scan_finite(data: &[f32]) -> Result<(), NumericFault> {
+    for (index, &value) in data.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(NumericFault::NonFinite { index, value });
+        }
+    }
+    Ok(())
+}
+
+/// One output element of the direct convolution, accumulated in f64.
+fn direct_at(
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+    n: usize,
+    k: usize,
+    oy: usize,
+    ox: usize,
+) -> f64 {
+    let (ih, iw) = (desc.in_h as isize, desc.in_w as isize);
+    let base_y = (oy * desc.stride) as isize - desc.pad as isize;
+    let base_x = (ox * desc.stride) as isize - desc.pad as isize;
+    let mut acc = 0.0f64;
+    for c in 0..desc.in_ch {
+        for fy in 0..desc.ksz {
+            let y = base_y + fy as isize;
+            if y < 0 || y >= ih {
+                continue;
+            }
+            for fx in 0..desc.ksz {
+                let x = base_x + fx as isize;
+                if x < 0 || x >= iw {
+                    continue;
+                }
+                acc +=
+                    input[(n, c, y as usize, x as usize)] as f64 * filters[(k, c, fy, fx)] as f64;
+            }
+        }
+    }
+    acc
+}
+
+/// Deterministic sample positions: a Weyl-style stride through the
+/// flattened output. Knuth's multiplicative constant gives good
+/// scatter without any RNG state.
+fn sample_indices(total: usize, samples: usize) -> impl Iterator<Item = usize> {
+    const STRIDE: usize = 2654435761;
+    (0..samples).map(move |s| (s.wrapping_mul(STRIDE).wrapping_add(STRIDE / 2)) % total)
+}
+
+/// Spot-checks `output` against the direct formula at
+/// `policy.spot_samples` deterministic positions.
+///
+/// The relative error denominator is clamped at 1e-3 so near-zero
+/// reference values (common with symmetric test data) don't turn
+/// rounding noise into false rejections.
+pub fn spot_check(
+    output: &Tensor4<f32>,
+    input: &Tensor4<f32>,
+    filters: &Tensor4<f32>,
+    desc: &ConvDesc,
+    policy: &GuardrailPolicy,
+) -> Result<(), NumericFault> {
+    if policy.spot_samples == 0 || output.is_empty() {
+        return Ok(());
+    }
+    let (_, _, oh, ow) = output.dims();
+    let total = output.len();
+    for flat in sample_indices(total, policy.spot_samples) {
+        let ox = flat % ow;
+        let oy = (flat / ow) % oh;
+        let k = (flat / (ow * oh)) % desc.out_ch;
+        let n = flat / (ow * oh * desc.out_ch);
+        let reference = direct_at(input, filters, desc, n, k, oy, ox);
+        let got = output[(n, k, oy, ox)] as f64;
+        let rel_err = (got - reference).abs() / reference.abs().max(1e-3);
+        if rel_err > policy.max_rel_err {
+            return Err(NumericFault::Inaccurate {
+                index: flat,
+                rel_err,
+                max_rel_err: policy.max_rel_err,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_conv::conv_direct_f32;
+
+    fn fixture() -> (Tensor4<f32>, Tensor4<f32>, ConvDesc) {
+        let desc = ConvDesc::new(3, 1, 1, 2, 1, 6, 6, 3);
+        let input = Tensor4::from_fn(1, 3, 6, 6, |n, c, y, x| {
+            ((n + 2 * c + 3 * y + 5 * x) % 7) as f32 * 0.25 - 0.5
+        });
+        let filters = Tensor4::from_fn(2, 3, 3, 3, |k, c, y, x| {
+            ((k + c + y + 2 * x) % 5) as f32 * 0.125 - 0.25
+        });
+        (input, filters, desc)
+    }
+
+    #[test]
+    fn scan_accepts_finite_rejects_nan_and_inf() {
+        assert!(scan_finite(&[0.0, -1.5, 3.0e8]).is_ok());
+        let err = scan_finite(&[1.0, f32::NAN, 2.0]).unwrap_err();
+        assert!(matches!(err, NumericFault::NonFinite { index: 1, .. }));
+        let err = scan_finite(&[1.0, 2.0, f32::NEG_INFINITY]).unwrap_err();
+        assert!(matches!(err, NumericFault::NonFinite { index: 2, .. }));
+    }
+
+    #[test]
+    fn spot_check_accepts_the_true_output() {
+        let (input, filters, desc) = fixture();
+        let out = conv_direct_f32(&input, &filters, &desc).unwrap();
+        spot_check(&out, &input, &filters, &desc, &GuardrailPolicy::full()).unwrap();
+    }
+
+    #[test]
+    fn spot_check_rejects_a_corrupted_output() {
+        let (input, filters, desc) = fixture();
+        let mut out = conv_direct_f32(&input, &filters, &desc).unwrap();
+        // Corrupt every element so any sample set catches it.
+        for v in out.data_mut() {
+            *v += 100.0;
+        }
+        let err = spot_check(&out, &input, &filters, &desc, &GuardrailPolicy::full()).unwrap_err();
+        assert!(matches!(err, NumericFault::Inaccurate { .. }));
+    }
+
+    #[test]
+    fn disabled_policy_checks_nothing() {
+        let (input, filters, desc) = fixture();
+        let mut out = conv_direct_f32(&input, &filters, &desc).unwrap();
+        for v in out.data_mut() {
+            *v = f32::NAN;
+        }
+        let policy = GuardrailPolicy::disabled();
+        assert!(!policy.any_enabled());
+        spot_check(&out, &input, &filters, &desc, &policy).unwrap();
+    }
+
+    #[test]
+    fn sample_positions_are_deterministic_and_in_range() {
+        let a: Vec<usize> = sample_indices(1000, 8).collect();
+        let b: Vec<usize> = sample_indices(1000, 8).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 1000));
+    }
+}

@@ -1,0 +1,160 @@
+//! Sandboxed execution of untrusted work.
+//!
+//! Tuner candidates run arbitrary generated plans; a panicking or
+//! runaway candidate must cost the sweep one quarantine entry, not the
+//! whole run. [`run_sandboxed`] wraps a closure in `catch_unwind` and
+//! a wall-clock watchdog: the closure's panic is captured (payload
+//! stringified for diagnostics), and a run whose elapsed time exceeds
+//! the budget is classified [`SandboxOutcome::TimedOut`].
+//!
+//! Rust cannot preempt a thread, so the watchdog is *detective*, not
+//! preventive: an overrunning candidate finishes, is flagged, and is
+//! quarantined so it never runs again — which is the property the
+//! tuner needs (no candidate gets a second chance to stall a sweep).
+//! Deterministic tests never rely on the clock: the
+//! `tuner:timeout[:n]` fault trigger marks the watchdog expired
+//! through [`fault::take_injected_timeout`] without sleeping.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
+
+use wino_probe::fault;
+
+/// Wall-clock budget for one sandboxed run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SandboxBudget {
+    /// Maximum tolerated wall-clock milliseconds.
+    pub wall_ms: f64,
+}
+
+impl SandboxBudget {
+    /// A budget of `wall_ms` milliseconds.
+    pub fn from_ms(wall_ms: f64) -> Self {
+        SandboxBudget { wall_ms }
+    }
+}
+
+impl Default for SandboxBudget {
+    /// Generous default (1 s): modelled candidate evaluations take
+    /// microseconds, so only a genuinely wedged candidate trips it.
+    fn default() -> Self {
+        SandboxBudget { wall_ms: 1000.0 }
+    }
+}
+
+/// Classified result of one sandboxed run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SandboxOutcome<T> {
+    /// The closure returned within budget.
+    Completed(T),
+    /// The closure panicked; the payload rendered as a string.
+    Panicked(String),
+    /// The closure exceeded the wall-clock budget (or an injected
+    /// timeout fired inside it).
+    TimedOut {
+        /// Elapsed milliseconds (0 for injected timeouts observed
+        /// before the clock is read).
+        elapsed_ms: f64,
+        /// The budget that was exceeded.
+        budget_ms: f64,
+    },
+}
+
+impl<T> SandboxOutcome<T> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            SandboxOutcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a panic payload the way the default hook would.
+pub(crate) fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` under `catch_unwind` and the watchdog `budget`.
+///
+/// Outcome precedence: a panic wins over a timeout (the panic is the
+/// more actionable diagnosis); an injected timeout wins over the
+/// wall clock (tests are deterministic).
+pub fn run_sandboxed<T>(budget: &SandboxBudget, f: impl FnOnce() -> T) -> SandboxOutcome<T> {
+    let start = Instant::now();
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    match result {
+        Err(payload) => SandboxOutcome::Panicked(payload_to_string(payload)),
+        Ok(value) => {
+            if fault::take_injected_timeout() {
+                SandboxOutcome::TimedOut {
+                    elapsed_ms: 0.0,
+                    budget_ms: budget.wall_ms,
+                }
+            } else if elapsed_ms > budget.wall_ms {
+                SandboxOutcome::TimedOut {
+                    elapsed_ms,
+                    budget_ms: budget.wall_ms,
+                }
+            } else {
+                SandboxOutcome::Completed(value)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_within_budget() {
+        let outcome = run_sandboxed(&SandboxBudget::default(), || 41 + 1);
+        assert_eq!(outcome, SandboxOutcome::Completed(42));
+    }
+
+    #[test]
+    fn panic_is_captured_with_message() {
+        let outcome = run_sandboxed(&SandboxBudget::default(), || -> i32 {
+            panic!("candidate exploded")
+        });
+        match outcome {
+            SandboxOutcome::Panicked(msg) => assert!(msg.contains("candidate exploded")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_timeout_is_deterministic() {
+        let _scope = fault::scoped("tuner:timeout:1");
+        let outcome = run_sandboxed(&SandboxBudget::default(), || {
+            // The candidate body checks its site, as the tuner does.
+            let _ = fault::fire(fault::Site::TunerCandidate);
+            7
+        });
+        assert!(matches!(outcome, SandboxOutcome::TimedOut { .. }));
+        // Second run: the one-shot fault is spent.
+        let outcome = run_sandboxed(&SandboxBudget::default(), || {
+            let _ = fault::fire(fault::Site::TunerCandidate);
+            7
+        });
+        assert_eq!(outcome, SandboxOutcome::Completed(7));
+    }
+
+    #[test]
+    fn wall_clock_overrun_is_flagged() {
+        // A zero-millisecond budget: any real work overruns it. This
+        // is the only clock-dependent test and it only relies on
+        // elapsed > 0.
+        let budget = SandboxBudget::from_ms(0.0);
+        let outcome = run_sandboxed(&budget, || std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(matches!(outcome, SandboxOutcome::TimedOut { .. }));
+    }
+}

@@ -1,0 +1,130 @@
+//! Degradation-chain properties.
+//!
+//! Two promises, checked over random shapes:
+//!
+//! 1. **Transparency** — with no fault armed, `GuardedConv` is
+//!    invisible: its output is bit-identical to calling the head
+//!    engine directly. The guardrails read the output but never
+//!    rewrite it.
+//! 2. **Equivalence under demotion** — under each injected fault
+//!    class, the guarded output is bit-identical to running the
+//!    engine that ends up serving, on its own. Demotion changes the
+//!    provenance, never the arithmetic of the survivor.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_conv::{conv_direct_f32, conv_im2col, conv_winograd, WinogradConfig, WinogradVariant};
+use wino_guard::{fault, Engine, GuardedConv};
+use wino_tensor::{ConvDesc, Tensor4};
+
+fn random_case(desc: &ConvDesc, seed: u64) -> (Tensor4<f32>, Tensor4<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = Tensor4::<f32>::random(
+        desc.batch, desc.in_ch, desc.in_h, desc.in_w, -1.0, 1.0, &mut rng,
+    );
+    let filt = Tensor4::<f32>::random(
+        desc.out_ch,
+        desc.in_ch,
+        desc.ksz,
+        desc.ksz,
+        -1.0,
+        1.0,
+        &mut rng,
+    );
+    (input, filt)
+}
+
+fn assert_bits_equal(guarded: &Tensor4<f32>, reference: &Tensor4<f32>) {
+    assert_eq!(guarded.dims(), reference.dims());
+    let exact = guarded
+        .data()
+        .iter()
+        .zip(reference.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(exact, "guarded output diverged from the reference bits");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn no_fault_is_bit_identical_to_the_unguarded_head(
+        in_ch in 1usize..5,
+        out_ch in 1usize..5,
+        hw in 6usize..12,
+        m in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let _scope = fault::scoped("");
+        let desc = ConvDesc::new(3, 1, 1, out_ch, 1, hw, hw, in_ch);
+        let (input, filt) = random_case(&desc, seed);
+        let out = GuardedConv::new(m).run(&input, &filt, &desc).unwrap();
+        prop_assert_eq!(out.served_by, Engine::FusedWinograd(m));
+        prop_assert!(out.demotions.is_empty());
+        let cfg = WinogradConfig::new(m).with_variant(WinogradVariant::Fused);
+        let reference = conv_winograd(&input, &filt, &desc, &cfg).unwrap();
+        assert_bits_equal(&out.output, &reference);
+    }
+
+    #[test]
+    fn transform_nan_serves_exactly_im2col(
+        in_ch in 1usize..5,
+        out_ch in 1usize..5,
+        hw in 6usize..12,
+        m in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let _scope = fault::scoped("transform:nan");
+        let desc = ConvDesc::new(3, 1, 1, out_ch, 1, hw, hw, in_ch);
+        let (input, filt) = random_case(&desc, seed);
+        let out = GuardedConv::new(m).run(&input, &filt, &desc).unwrap();
+        prop_assert_eq!(out.served_by, Engine::Im2col);
+        prop_assert_eq!(out.demotions.len(), 2);
+        let reference = conv_im2col(&input, &filt, &desc).unwrap();
+        assert_bits_equal(&out.output, &reference);
+    }
+
+    #[test]
+    fn transform_panic_serves_exactly_im2col(
+        in_ch in 1usize..5,
+        out_ch in 1usize..5,
+        hw in 6usize..12,
+        m in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let _scope = fault::scoped("transform:panic");
+        let desc = ConvDesc::new(3, 1, 1, out_ch, 1, hw, hw, in_ch);
+        let (input, filt) = random_case(&desc, seed);
+        let out = GuardedConv::new(m).run(&input, &filt, &desc).unwrap();
+        prop_assert_eq!(out.served_by, Engine::Im2col);
+        let reference = conv_im2col(&input, &filt, &desc).unwrap();
+        assert_bits_equal(&out.output, &reference);
+    }
+
+    #[test]
+    fn gemm_nan_serves_exactly_direct(
+        in_ch in 1usize..5,
+        out_ch in 1usize..5,
+        hw in 6usize..12,
+        m in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Poisoning SGEMM kills the non-fused engine and im2col; the
+        // fused engine never calls SGEMM, so start past it to force
+        // the chain all the way down to direct.
+        let _scope = fault::scoped("gemm:nan");
+        let desc = ConvDesc::new(3, 1, 1, out_ch, 1, hw, hw, in_ch);
+        let (input, filt) = random_case(&desc, seed);
+        let guarded = GuardedConv::new(m).with_chain(vec![
+            Engine::NonFusedWinograd(m),
+            Engine::Im2col,
+            Engine::Direct,
+        ]);
+        let out = guarded.run(&input, &filt, &desc).unwrap();
+        prop_assert_eq!(out.served_by, Engine::Direct);
+        prop_assert_eq!(out.demotions.len(), 2);
+        let reference = conv_direct_f32(&input, &filt, &desc).unwrap();
+        assert_bits_equal(&out.output, &reference);
+    }
+}

@@ -1,0 +1,474 @@
+//! Deterministic fault injection (`WINO_FAULT`).
+//!
+//! The guard layer (`wino-guard`) promises that every recovery path —
+//! tuner quarantine, guardrail demotion, cache rebuild — actually
+//! fires. Proving that requires *causing* the faults on demand, at the
+//! exact sites where real failures originate: the transform output of
+//! a tile, the GEMM kernel, the body of a tuner candidate, and cache
+//! deserialization. This module is that facility.
+//!
+//! It lives in `wino-probe` (the instrumentation substrate every crate
+//! already depends on) rather than in `wino-guard` itself, because the
+//! injection *hooks* sit in low-level crates (`wino-conv`,
+//! `wino-gemm`, `wino-tuner`) that the guard crate builds on top of —
+//! hooks at the bottom, policy at the top. `wino-guard` re-exports
+//! this module as its public fault API.
+//!
+//! ## Determinism contract
+//!
+//! Nothing here reads a clock or a random source. A fault spec is
+//! `site:trigger[:n]`; without `:n` the fault fires on **every** check
+//! of the site, with `:n` it fires exactly once, on the `n`-th check
+//! (1-based, counted by a per-site atomic). Two runs with the same
+//! spec and workload inject at identical points.
+//!
+//! ## Overhead contract
+//!
+//! When no fault is armed, every hook reduces to one relaxed atomic
+//! load and a branch ([`armed`]), exactly like the probe's span and
+//! counter gates — hot loops pay nothing else.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::MutexGuard;
+
+use parking_lot::Mutex;
+
+/// Injection sites — the four places real failures originate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Site {
+    /// Output of a Winograd tile transform (`TileTransformer`).
+    Transform,
+    /// The blocked SGEMM kernel (covers plain, batched, im2col use).
+    Gemm,
+    /// Body of one tuner candidate evaluation.
+    TunerCandidate,
+    /// Tuning-cache deserialization.
+    CacheDeser,
+}
+
+/// All sites, for matrix-style iteration in tests and CI.
+pub const SITES: [Site; 4] = [
+    Site::Transform,
+    Site::Gemm,
+    Site::TunerCandidate,
+    Site::CacheDeser,
+];
+
+impl Site {
+    fn bit(self) -> u8 {
+        match self {
+            Site::Transform => 1,
+            Site::Gemm => 2,
+            Site::TunerCandidate => 4,
+            Site::CacheDeser => 8,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Site::Transform => 0,
+            Site::Gemm => 1,
+            Site::TunerCandidate => 2,
+            Site::CacheDeser => 3,
+        }
+    }
+
+    /// Spec-string name of the site.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Site::Transform => "transform",
+            Site::Gemm => "gemm",
+            Site::TunerCandidate => "tuner",
+            Site::CacheDeser => "cache",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Site> {
+        Some(match s {
+            "transform" => Site::Transform,
+            "gemm" => Site::Gemm,
+            "tuner" => Site::TunerCandidate,
+            "cache" => Site::CacheDeser,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What an armed fault does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// Panic at the site (`panic!` with a recognizable message).
+    Panic,
+    /// Poison a float output with NaN.
+    Nan,
+    /// Poison a float output with +∞.
+    Inf,
+    /// Mark the enclosing sandbox's watchdog as expired (no sleeping —
+    /// virtual time only, so tests stay wall-clock free).
+    Timeout,
+    /// Corrupt serialized bytes before deserialization.
+    Corrupt,
+}
+
+impl Trigger {
+    /// Spec-string name of the trigger.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Trigger::Panic => "panic",
+            Trigger::Nan => "nan",
+            Trigger::Inf => "inf",
+            Trigger::Timeout => "timeout",
+            Trigger::Corrupt => "corrupt",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Trigger> {
+        Some(match s {
+            "panic" => Trigger::Panic,
+            "nan" => Trigger::Nan,
+            "inf" => Trigger::Inf,
+            "timeout" => Trigger::Timeout,
+            "corrupt" => Trigger::Corrupt,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Trigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed fault specification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Where to inject.
+    pub site: Site,
+    /// What to do there.
+    pub trigger: Trigger,
+    /// `None`: fire on every check. `Some(n)`: fire exactly once, on
+    /// the n-th check of the site (1-based).
+    pub nth: Option<u64>,
+}
+
+impl FaultSpec {
+    /// Parses `site:trigger[:n]` (e.g. `transform:nan`,
+    /// `tuner:panic:3`).
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let mut parts = spec.trim().split(':');
+        let site = parts.next().and_then(Site::parse).ok_or_else(|| {
+            format!("unknown fault site in {spec:?} (expected transform|gemm|tuner|cache)")
+        })?;
+        let trigger = parts.next().and_then(Trigger::parse).ok_or_else(|| {
+            format!("unknown fault trigger in {spec:?} (expected panic|nan|inf|timeout|corrupt)")
+        })?;
+        let nth =
+            match parts.next() {
+                None => None,
+                Some(n) => Some(n.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("fault count in {spec:?} must be a positive integer")
+                })?),
+            };
+        if parts.next().is_some() {
+            return Err(format!("trailing fields in fault spec {spec:?}"));
+        }
+        Ok(FaultSpec { site, trigger, nth })
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.nth {
+            Some(n) => write!(f, "{}:{}:{n}", self.site, self.trigger),
+            None => write!(f, "{}:{}", self.site, self.trigger),
+        }
+    }
+}
+
+/// Bitmask of armed sites — the single word every hook branches on.
+static ARMED: AtomicU8 = AtomicU8::new(0);
+/// The armed spec's trigger + nth, readable without a lock once armed.
+static TRIGGER: AtomicU8 = AtomicU8::new(0);
+static NTH: AtomicU64 = AtomicU64::new(0);
+/// Per-site check counters (indexed by `Site::index`).
+static HITS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+/// Set when a `Timeout` trigger fires; consumed by the sandbox.
+static TIMEOUT_PENDING: AtomicBool = AtomicBool::new(false);
+
+/// Serializes tests that arm faults (global process state).
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+fn trigger_code(t: Trigger) -> u8 {
+    match t {
+        Trigger::Panic => 1,
+        Trigger::Nan => 2,
+        Trigger::Inf => 3,
+        Trigger::Timeout => 4,
+        Trigger::Corrupt => 5,
+    }
+}
+
+fn trigger_from_code(code: u8) -> Trigger {
+    match code {
+        1 => Trigger::Panic,
+        2 => Trigger::Nan,
+        3 => Trigger::Inf,
+        4 => Trigger::Timeout,
+        _ => Trigger::Corrupt,
+    }
+}
+
+/// `true` when a fault is armed at `site`. The disabled path is one
+/// relaxed load and a branch — the same cost class as [`crate::enabled`].
+#[inline(always)]
+pub fn armed(site: Site) -> bool {
+    ARMED.load(Ordering::Relaxed) & site.bit() != 0
+}
+
+/// Arms `spec` (replacing any armed fault) or disarms everything with
+/// `None`. Hit counters and any pending injected timeout are reset.
+pub fn set_fault(spec: Option<FaultSpec>) {
+    // Disarm first so hooks never observe a half-written spec.
+    ARMED.store(0, Ordering::SeqCst);
+    for hit in &HITS {
+        hit.store(0, Ordering::SeqCst);
+    }
+    TIMEOUT_PENDING.store(false, Ordering::SeqCst);
+    if let Some(spec) = spec {
+        TRIGGER.store(trigger_code(spec.trigger), Ordering::SeqCst);
+        NTH.store(spec.nth.unwrap_or(0), Ordering::SeqCst);
+        ARMED.store(spec.site.bit(), Ordering::SeqCst);
+    }
+}
+
+/// Parses `WINO_FAULT` and arms it. Unset or empty disarms; malformed
+/// specs warn through [`crate::diag`] and disarm.
+pub fn init_from_env() -> Option<FaultSpec> {
+    let raw = std::env::var("WINO_FAULT").unwrap_or_default();
+    let value = raw.trim();
+    if value.is_empty() || value == "off" {
+        set_fault(None);
+        return None;
+    }
+    match FaultSpec::parse(value) {
+        Ok(spec) => {
+            set_fault(Some(spec));
+            Some(spec)
+        }
+        Err(msg) => {
+            crate::diag(format!("ignoring WINO_FAULT: {msg}"));
+            set_fault(None);
+            None
+        }
+    }
+}
+
+/// Cold half of a hook: counts the check and decides whether the armed
+/// fault fires here. Call only after [`armed`] returned `true`.
+#[cold]
+pub fn fire(site: Site) -> Option<Trigger> {
+    if !armed(site) {
+        return None;
+    }
+    let hit = HITS[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
+    let nth = NTH.load(Ordering::Relaxed);
+    if nth != 0 && hit != nth {
+        return None;
+    }
+    let trigger = trigger_from_code(TRIGGER.load(Ordering::Relaxed));
+    crate::counter(&format!("fault.injected.{site}")).add(1);
+    if trigger == Trigger::Timeout {
+        TIMEOUT_PENDING.store(true, Ordering::SeqCst);
+    }
+    Some(trigger)
+}
+
+/// Float-output hook: poisons `out` (NaN/Inf triggers) or panics
+/// (Panic trigger). Other triggers are ignored at float sites. The
+/// not-armed path is [`armed`]'s single load.
+#[inline]
+pub fn inject_f32(site: Site, out: &mut [f32]) {
+    if !armed(site) {
+        return;
+    }
+    inject_f32_slow(site, out);
+}
+
+#[cold]
+fn inject_f32_slow(site: Site, out: &mut [f32]) {
+    match fire(site) {
+        Some(Trigger::Panic) => panic!("wino-fault: injected panic at {site}"),
+        Some(Trigger::Nan) => {
+            if let Some(v) = out.first_mut() {
+                *v = f32::NAN;
+            }
+        }
+        Some(Trigger::Inf) => {
+            if let Some(v) = out.first_mut() {
+                *v = f32::INFINITY;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Byte-stream hook for deserialization sites: corrupts `bytes`
+/// (Corrupt trigger flips the middle byte) or panics. Returns `true`
+/// when a corruption was applied.
+pub fn inject_bytes(site: Site, bytes: &mut [u8]) -> bool {
+    if !armed(site) {
+        return false;
+    }
+    match fire(site) {
+        Some(Trigger::Panic) => panic!("wino-fault: injected panic at {site}"),
+        Some(Trigger::Corrupt) => {
+            if bytes.is_empty() {
+                return false;
+            }
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x5a;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Consumes the pending injected-timeout flag (set by a `Timeout`
+/// trigger). Sandboxes call this to decide the outcome without ever
+/// sleeping or reading a clock in tests.
+pub fn take_injected_timeout() -> bool {
+    TIMEOUT_PENDING.swap(false, Ordering::SeqCst)
+}
+
+/// RAII guard arming `spec` for the duration of a test, serialized on
+/// a process-wide lock so concurrent tests never observe each other's
+/// faults. Disarms on drop.
+pub struct ScopedFault {
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Arms `spec` (parse errors panic — test-only API) and returns the
+/// scope guard. Pass an empty string to hold the serialization lock
+/// with no fault armed (for baseline halves of fault tests).
+pub fn scoped(spec: &str) -> ScopedFault {
+    let lock = SCOPE_LOCK.lock();
+    let parsed = if spec.trim().is_empty() {
+        None
+    } else {
+        Some(FaultSpec::parse(spec).expect("valid fault spec"))
+    };
+    set_fault(parsed);
+    ScopedFault { _lock: lock }
+}
+
+impl Drop for ScopedFault {
+    fn drop(&mut self) {
+        set_fault(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            FaultSpec::parse("transform:nan").unwrap(),
+            FaultSpec {
+                site: Site::Transform,
+                trigger: Trigger::Nan,
+                nth: None
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("tuner:panic:3").unwrap(),
+            FaultSpec {
+                site: Site::TunerCandidate,
+                trigger: Trigger::Panic,
+                nth: Some(3)
+            }
+        );
+        assert!(FaultSpec::parse("quantum:nan").is_err());
+        assert!(FaultSpec::parse("gemm:melt").is_err());
+        assert!(FaultSpec::parse("gemm:nan:0").is_err());
+        assert!(FaultSpec::parse("gemm:nan:2:junk").is_err());
+        let spec = FaultSpec::parse("cache:corrupt").unwrap();
+        assert_eq!(spec.to_string(), "cache:corrupt");
+    }
+
+    #[test]
+    fn disarmed_is_inert() {
+        let _scope = scoped("");
+        assert!(!armed(Site::Transform));
+        let mut out = [1.0f32; 4];
+        inject_f32(Site::Transform, &mut out);
+        assert_eq!(out, [1.0; 4]);
+        assert!(!take_injected_timeout());
+    }
+
+    #[test]
+    fn every_call_nan_poisons_each_time() {
+        let _scope = scoped("transform:nan");
+        for _ in 0..3 {
+            let mut out = [1.0f32; 4];
+            inject_f32(Site::Transform, &mut out);
+            assert!(out[0].is_nan());
+        }
+        // Other sites stay clean.
+        let mut out = [1.0f32; 4];
+        inject_f32(Site::Gemm, &mut out);
+        assert_eq!(out, [1.0; 4]);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let _scope = scoped("gemm:inf:2");
+        let mut hits = 0;
+        for _ in 0..5 {
+            let mut out = [0.0f32; 1];
+            inject_f32(Site::Gemm, &mut out);
+            if out[0].is_infinite() {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn timeout_sets_pending_flag_once() {
+        let _scope = scoped("tuner:timeout:1");
+        assert_eq!(fire(Site::TunerCandidate), Some(Trigger::Timeout));
+        assert!(take_injected_timeout());
+        assert!(!take_injected_timeout());
+        assert_eq!(fire(Site::TunerCandidate), None);
+    }
+
+    #[test]
+    fn corrupt_flips_a_byte() {
+        let _scope = scoped("cache:corrupt");
+        let mut bytes = b"hello world".to_vec();
+        assert!(inject_bytes(Site::CacheDeser, &mut bytes));
+        assert_ne!(bytes, b"hello world");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic at transform")]
+    fn panic_trigger_panics() {
+        let _scope = scoped("transform:panic");
+        let mut out = [0.0f32; 1];
+        inject_f32(Site::Transform, &mut out);
+    }
+}

@@ -28,10 +28,18 @@
 //! (binaries), or [`set_mode`] directly (tests). Exported either as a
 //! chrome://tracing-compatible JSON trace or a plain-text summary
 //! table — see the [`export`] module.
+//!
+//! ## Fault injection
+//!
+//! The [`fault`] module is the deterministic `WINO_FAULT` injection
+//! facility backing `wino-guard`'s recovery-path tests: hooks at four
+//! sites (transform output, GEMM kernel, tuner candidate, cache
+//! deserialization), each one relaxed atomic load when disarmed.
 
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod fault;
 
 pub use export::{collect, ChromeTrace, Summary, SummaryRow, TraceData};
 

@@ -25,17 +25,78 @@
 //! `runtime.worker<i>.{tasks,steals,parks}` (tasks executed,
 //! successful steals from peer deques, condvar parks). When the probe
 //! is off every counter update is a single relaxed-load branch.
+//!
+//! # Panic contract
+//!
+//! A panic in a `parallel_for`/`parallel_for_chunks` body or a scoped
+//! task never unwinds through a worker thread (which would abort the
+//! pool) and never deadlocks a latch. The guarantees, in order:
+//!
+//! 1. **Containment** — every body invocation runs under
+//!    `catch_unwind`; workers survive and return to their queues.
+//! 2. **Drain-then-report** — after a body panics, the *remaining
+//!    chunks still execute*. The range is always fully claimed, so
+//!    sibling chunks' writes (e.g. through a [`DisjointSlice`]) are
+//!    complete and their ownership claims undisturbed; only the
+//!    panicking chunk's own writes may be partial.
+//! 3. **First payload wins** — the submitting caller re-raises via
+//!    `resume_unwind` with the payload of the first panic observed
+//!    (first to store it, under racy chunk scheduling); later panics
+//!    in the same call are recorded only as a `runtime.body_panics`
+//!    probe count. The original message therefore survives to the
+//!    caller — `wino-guard` depends on this to classify injected
+//!    faults — rather than being replaced by a generic string.
+//! 4. **Reusability** — the pool remains fully operational after a
+//!    caught panic: latches opened, no poisoned state, subsequent
+//!    `parallel_for` calls run normally.
+//!
+//! `Runtime::scope` follows the same rules; when both the scope
+//! closure and a spawned task panic, the spawned task's payload is
+//! re-raised (it is the root cause; the closure's unwind is usually
+//! the latch wait being abandoned).
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
+use std::any::Any;
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::mem;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+
+/// Body panics caught by the pool (all of them, including the ones
+/// whose payload was re-raised to the caller).
+static BODY_PANICS: wino_probe::Counter = wino_probe::Counter::new("runtime.body_panics");
+
+/// First-panic-wins payload slot shared by a `parallel_for` call or a
+/// scope: the first panicking task stores its payload, later ones
+/// only count.
+struct PanicSlot {
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl PanicSlot {
+    fn new() -> Self {
+        PanicSlot {
+            payload: Mutex::new(None),
+        }
+    }
+
+    fn record(&self, payload: Box<dyn Any + Send>) {
+        BODY_PANICS.add(1);
+        let mut slot = self.payload.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take(&self) -> Option<Box<dyn Any + Send>> {
+        self.payload.lock().take()
+    }
+}
 
 /// Target number of chunks per execution lane; more than one so a slow
 /// lane sheds work to fast ones (self-balancing), few enough that the
@@ -205,13 +266,14 @@ struct ForJob<'a> {
     end: usize,
     chunk: usize,
     latch: Latch,
-    panicked: AtomicBool,
+    panic: PanicSlot,
 }
 
 impl ForJob<'_> {
     /// Claims and runs chunks until the range is exhausted. Panics in
     /// the body are caught so peers and the submitter always drain the
-    /// range and the latch always opens; the submitter re-raises.
+    /// range and the latch always opens; the submitter re-raises the
+    /// first payload (see the module-level panic contract).
     fn execute_chunks(&self) {
         loop {
             let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
@@ -220,8 +282,8 @@ impl ForJob<'_> {
             }
             let end = self.end.min(start + self.chunk);
             let result = panic::catch_unwind(AssertUnwindSafe(|| (self.body)(start..end)));
-            if result.is_err() {
-                self.panicked.store(true, Ordering::SeqCst);
+            if let Err(payload) = result {
+                self.panic.record(payload);
             }
         }
     }
@@ -242,7 +304,7 @@ pub struct Scope<'scope, 'rt> {
 
 struct ScopeState {
     latch: Latch,
-    panicked: AtomicBool,
+    panic: PanicSlot,
 }
 
 impl<'scope> Scope<'scope, '_> {
@@ -263,8 +325,8 @@ impl<'scope> Scope<'scope, '_> {
         self.state.latch.add(1);
         let state = Arc::clone(&self.state);
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-            if panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
-                state.panicked.store(true, Ordering::SeqCst);
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                state.panic.record(payload);
             }
             state.latch.count_down();
         });
@@ -386,7 +448,7 @@ impl Runtime {
             end: range.end,
             chunk,
             latch: Latch::new(helpers),
-            panicked: AtomicBool::new(false),
+            panic: PanicSlot::new(),
         };
         let job_ptr = &job as *const ForJob as *const ();
         for _ in 0..helpers {
@@ -403,8 +465,10 @@ impl Runtime {
         // helper has finished (the job is on this stack frame).
         job.execute_chunks();
         job.latch.wait();
-        if job.panicked.load(Ordering::SeqCst) {
-            panic!("wino-runtime: a parallel_for task panicked");
+        if let Some(payload) = job.panic.take() {
+            // First payload wins; the original message reaches the
+            // caller (module-level panic contract, rule 3).
+            panic::resume_unwind(payload);
         }
     }
 
@@ -418,14 +482,16 @@ impl Runtime {
             rt: self,
             state: Arc::new(ScopeState {
                 latch: Latch::new(0),
-                panicked: AtomicBool::new(false),
+                panic: PanicSlot::new(),
             }),
             _marker: PhantomData,
         };
         let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
         scope.state.latch.wait();
-        if scope.state.panicked.load(Ordering::SeqCst) {
-            panic!("wino-runtime: a scoped task panicked");
+        // A spawned task's payload outranks the closure's own unwind:
+        // the task panic is the root cause (panic contract, rule 3).
+        if let Some(payload) = scope.state.panic.take() {
+            panic::resume_unwind(payload);
         }
         match result {
             Ok(value) => value,
@@ -758,14 +824,72 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "parallel_for task panicked")]
-    fn body_panic_propagates_to_caller() {
+    #[should_panic(expected = "boom")]
+    fn body_panic_propagates_to_caller_with_original_payload() {
         let rt = Runtime::with_threads(2);
         rt.parallel_for(0..64, |i| {
             if i == 33 {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "spawned boom")]
+    fn scope_panic_propagates_with_original_payload() {
+        let rt = Runtime::with_threads(2);
+        rt.scope(|s| {
+            s.spawn(|| panic!("spawned boom"));
+        });
+    }
+
+    #[test]
+    fn panic_in_one_chunk_leaves_other_chunks_and_the_pool_intact() {
+        let threads = 4;
+        let rt = Runtime::with_threads(threads);
+        let mut data = vec![0usize; 256];
+        {
+            let window = DisjointSlice::new(&mut data);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                rt.parallel_for_chunks(0..256, 1, |chunk| {
+                    if chunk.contains(&97) {
+                        // Panic before claiming anything: this chunk's
+                        // ownership stays untouched.
+                        panic!("chunk fault");
+                    }
+                    // SAFETY: chunks from one parallel_for never
+                    // overlap.
+                    let out = unsafe { window.slice_mut(chunk.clone()) };
+                    for (slot, index) in out.iter_mut().zip(chunk) {
+                        *slot = index + 1;
+                    }
+                });
+            }));
+            let payload = result.expect_err("the chunk panic must reach the caller");
+            assert_eq!(
+                payload.downcast_ref::<&str>(),
+                Some(&"chunk fault"),
+                "original payload must survive"
+            );
+        }
+        // Drain-then-report: every chunk except the panicking one ran
+        // to completion and wrote through the window without tripping
+        // the debug ownership ledger.
+        let faulty = chunk_ranges(0..256, threads, 1)
+            .into_iter()
+            .find(|c| c.contains(&97))
+            .expect("some chunk holds index 97");
+        for (index, &value) in data.iter().enumerate() {
+            if !faulty.contains(&index) {
+                assert_eq!(value, index + 1, "chunk holding {index} did not complete");
+            }
+        }
+        // Reusability: the pool still works after the caught panic.
+        let total = AtomicUsize::new(0);
+        rt.parallel_for(0..64, |_| {
+            total.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 64);
     }
 
     #[test]

@@ -5,6 +5,20 @@
 //! them — mirroring the recipe database of §3.1.2 at the tuning layer.
 //! The cache serializes to JSON so deployments can ship pre-tuned
 //! parameter sets per platform.
+//!
+//! ## Hardened on-disk format
+//!
+//! A cache file a deployment ships around is exactly the kind of
+//! input that rots: truncated copies, partial writes, edits by hand,
+//! files from an older build. The on-disk envelope therefore carries
+//! a format version and an FNV-1a checksum of the canonical entry
+//! serialization, and every entry is sanity-checked on load
+//! (finite positive time, plausible blocking parameters). The strict
+//! loaders ([`TuningCache::from_json`], [`TuningCache::load`]) report
+//! [`CacheLoadError`]; [`TuningCache::load_or_rebuild`] is the
+//! serving-path entry point — it *never* fails, degrading to an empty
+//! cache (a re-tune) with a `probe::diag` note and a bump of the
+//! `tuner.cache.rebuilt` counter.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -17,6 +31,11 @@ use wino_tensor::ConvDesc;
 
 use crate::space::TuningPoint;
 use crate::tuner::Evaluation;
+
+/// Version tag of the on-disk envelope. Bump on any change to
+/// [`CacheEntry`]'s semantics; older files then rebuild rather than
+/// deserialize into wrong meanings.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Serializable form of one cached tuning result.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -58,6 +77,20 @@ impl CacheEntry {
             threads: e.point.threads,
             time_ms: e.time_ms,
         }
+    }
+
+    /// Whether the entry's numbers are plausible: finite positive
+    /// time, non-zero blocking, tile size within the α ≤ 16 pruning
+    /// bound. Entries failing this are dropped on load — a bit-flip
+    /// that survives JSON parsing must not become a selected plan.
+    pub fn is_sane(&self) -> bool {
+        self.time_ms.is_finite()
+            && self.time_ms > 0.0
+            && (1..=1024).contains(&self.threads)
+            && (1..=64).contains(&self.mnt)
+            && (1..=256).contains(&self.mnb)
+            && self.m <= 16
+            && self.unroll <= 64
     }
 
     /// Reconstructs the evaluation; `None` for unknown variant tags
@@ -133,20 +166,56 @@ impl TuningCache {
         self.entries.read().is_empty()
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to the versioned, checksummed envelope (pretty
+    /// JSON).
     ///
     /// # Errors
     /// Serialization failures (effectively unreachable for this type).
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(&*self.entries.read())
+        let entries = self.entries.read();
+        let file = CacheFile {
+            version: CACHE_FORMAT_VERSION,
+            checksum: entries_checksum(&entries)?,
+            entries: entries.clone(),
+        };
+        serde_json::to_string_pretty(&file)
     }
 
-    /// Loads a cache from JSON.
+    /// Parses and validates the versioned envelope.
+    ///
+    /// Individual entries that parse but fail [`CacheEntry::is_sane`]
+    /// are dropped with a `probe::diag` note rather than failing the
+    /// load: one damaged row should not discard a whole device's
+    /// tuning results.
     ///
     /// # Errors
-    /// Malformed JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        let entries: BTreeMap<String, CacheEntry> = serde_json::from_str(json)?;
+    /// [`CacheLoadError`] for malformed JSON, a version mismatch, or a
+    /// checksum mismatch.
+    pub fn from_json(json: &str) -> Result<Self, CacheLoadError> {
+        let file: CacheFile = serde_json::from_str(json).map_err(CacheLoadError::Parse)?;
+        if file.version != CACHE_FORMAT_VERSION {
+            return Err(CacheLoadError::VersionMismatch {
+                found: file.version,
+                expected: CACHE_FORMAT_VERSION,
+            });
+        }
+        let recomputed = entries_checksum(&file.entries).map_err(CacheLoadError::Parse)?;
+        if recomputed != file.checksum {
+            return Err(CacheLoadError::ChecksumMismatch {
+                stored: file.checksum,
+                recomputed,
+            });
+        }
+        let mut entries = file.entries;
+        entries.retain(|key, entry| {
+            let sane = entry.is_sane();
+            if !sane {
+                wino_probe::diag(format!(
+                    "tuning cache: dropping implausible entry {key:?}: {entry:?}"
+                ));
+            }
+            sane
+        });
         Ok(TuningCache {
             entries: RwLock::new(entries),
         })
@@ -161,13 +230,123 @@ impl TuningCache {
         std::fs::write(path, json)
     }
 
-    /// Reads a cache from a file.
+    /// Reads a cache from a file (strict: validation failures are
+    /// errors).
     ///
     /// # Errors
-    /// I/O or parse failures.
+    /// I/O or validation failures.
     pub fn load(path: &Path) -> io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
         Self::from_json(&json).map_err(io::Error::other)
+    }
+
+    /// Reads a cache from a file, degrading to an empty cache on any
+    /// failure — the serving-path loader, guaranteed not to fail.
+    ///
+    /// A missing file is the normal first-run case (empty cache, no
+    /// diagnostic). A present-but-invalid file — unreadable,
+    /// truncated, bit-flipped, or from another format version — emits
+    /// a `probe::diag` note, bumps `tuner.cache.rebuilt`, and yields
+    /// an empty cache so the caller re-tunes instead of crashing or
+    /// trusting damaged parameters.
+    pub fn load_or_rebuild(path: &Path) -> Self {
+        static REBUILT: wino_probe::Counter = wino_probe::Counter::new("tuner.cache.rebuilt");
+        if !path.exists() {
+            return TuningCache::new();
+        }
+        let mut bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                wino_probe::diag(format!(
+                    "tuning cache: could not read {}: {e}; rebuilding",
+                    path.display()
+                ));
+                REBUILT.add(1);
+                return TuningCache::new();
+            }
+        };
+        // WINO_FAULT hook (cache-deserialization site): one relaxed
+        // load when disarmed.
+        wino_probe::fault::inject_bytes(wino_probe::fault::Site::CacheDeser, &mut bytes);
+        match Self::from_json(&String::from_utf8_lossy(&bytes)) {
+            Ok(cache) => cache,
+            Err(e) => {
+                wino_probe::diag(format!(
+                    "tuning cache: invalid file {}: {e}; rebuilding",
+                    path.display()
+                ));
+                REBUILT.add(1);
+                TuningCache::new()
+            }
+        }
+    }
+}
+
+/// On-disk envelope: entries plus integrity metadata.
+#[derive(Serialize, Deserialize)]
+struct CacheFile {
+    version: u32,
+    checksum: String,
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+/// FNV-1a over the canonical (compact, sorted — `BTreeMap` iteration
+/// order) serialization of the entries, rendered as 16 hex digits.
+fn entries_checksum(entries: &BTreeMap<String, CacheEntry>) -> Result<String, serde_json::Error> {
+    let canonical = serde_json::to_string(entries)?;
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in canonical.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    Ok(format!("{hash:016x}"))
+}
+
+/// Why a strict cache load was refused.
+#[derive(Debug)]
+pub enum CacheLoadError {
+    /// The JSON failed to parse (truncation, corruption, hand edits).
+    Parse(serde_json::Error),
+    /// The file was written by a different format version.
+    VersionMismatch {
+        /// Version tag found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The entries do not match the stored checksum (bit rot or
+    /// partial modification that still parses as JSON).
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: String,
+        /// Checksum recomputed from the parsed entries.
+        recomputed: String,
+    },
+}
+
+impl std::fmt::Display for CacheLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheLoadError::Parse(e) => write!(f, "parse error: {e}"),
+            CacheLoadError::VersionMismatch { found, expected } => {
+                write!(f, "format version {found} (this build reads {expected})")
+            }
+            CacheLoadError::ChecksumMismatch { stored, recomputed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored}, recomputed {recomputed}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheLoadError::Parse(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
@@ -268,6 +447,86 @@ mod tests {
 
     #[test]
     fn malformed_json_rejected() {
-        assert!(TuningCache::from_json("not json").is_err());
+        assert!(matches!(
+            TuningCache::from_json("not json"),
+            Err(CacheLoadError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn envelope_carries_version_and_checksum() {
+        let cache = TuningCache::new();
+        cache.put(&sample_desc(), "dev", &sample_eval());
+        let json = cache.to_json().unwrap();
+        assert!(json.contains("\"version\""));
+        assert!(json.contains("\"checksum\""));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let entries: BTreeMap<String, CacheEntry> = BTreeMap::new();
+        let file = CacheFile {
+            version: CACHE_FORMAT_VERSION + 1,
+            checksum: entries_checksum(&entries).unwrap(),
+            entries,
+        };
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        assert!(matches!(
+            TuningCache::from_json(&json),
+            Err(CacheLoadError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_mismatch_rejected() {
+        let cache = TuningCache::new();
+        cache.put(&sample_desc(), "dev", &sample_eval());
+        // Alter an entry value without touching the stored checksum.
+        let json = cache
+            .to_json()
+            .unwrap()
+            .replace("\"mnb\": 16", "\"mnb\": 17");
+        assert!(matches!(
+            TuningCache::from_json(&json),
+            Err(CacheLoadError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn insane_entry_dropped_on_load() {
+        let mut entries = BTreeMap::new();
+        let mut bad = CacheEntry::from_evaluation(&sample_eval());
+        bad.threads = 0; // no runtime can have zero lanes
+        entries.insert("bad".to_string(), bad);
+        entries.insert(
+            "good".to_string(),
+            CacheEntry::from_evaluation(&sample_eval()),
+        );
+        let file = CacheFile {
+            version: CACHE_FORMAT_VERSION,
+            checksum: entries_checksum(&entries).unwrap(),
+            entries,
+        };
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        let cache = TuningCache::from_json(&json).unwrap();
+        assert_eq!(cache.len(), 1, "insane entry should be dropped");
+    }
+
+    #[test]
+    fn sanity_predicate() {
+        let good = CacheEntry::from_evaluation(&sample_eval());
+        assert!(good.is_sane());
+        for mutate in [
+            |e: &mut CacheEntry| e.time_ms = f64::NAN,
+            |e: &mut CacheEntry| e.time_ms = -1.0,
+            |e: &mut CacheEntry| e.threads = 0,
+            |e: &mut CacheEntry| e.mnt = 0,
+            |e: &mut CacheEntry| e.mnb = 100_000,
+            |e: &mut CacheEntry| e.m = 99,
+        ] {
+            let mut e = good.clone();
+            mutate(&mut e);
+            assert!(!e.is_sane(), "mutated entry should be insane: {e:?}");
+        }
     }
 }

@@ -1,0 +1,53 @@
+//! Typed errors for the tuning layer.
+//!
+//! The tuner is library code reachable from long-running services
+//! (the bench harness, the graph planner), so conditions a caller can
+//! hit — an empty feasible space, a panicking evaluation worker, a
+//! damaged cache file — are typed variants here, not `expect` calls.
+//! Panics remain only for internal invariants, and their messages say
+//! so explicitly.
+
+use std::any::Any;
+
+/// Errors from tuning.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TunerError {
+    /// Not a single point of the space ran on this device.
+    NothingRuns(String),
+    /// A tuning worker thread panicked; the payload rendered as a
+    /// string. Seen only from the *unhardened* parallel sweep —
+    /// `tune_hardened` catches candidate panics per-point instead.
+    WorkerPanicked(String),
+    /// A persisted artifact (cache file) failed validation. Callers
+    /// that prefer degradation over failure should use
+    /// `TuningCache::load_or_rebuild`, which never returns this.
+    CacheInvalid(String),
+}
+
+impl std::fmt::Display for TunerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunerError::NothingRuns(msg) => write!(f, "no tuning point runs: {msg}"),
+            TunerError::WorkerPanicked(msg) => write!(f, "tuning worker panicked: {msg}"),
+            TunerError::CacheInvalid(msg) => write!(f, "tuning cache invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TunerError {}
+
+/// Backwards-compatible name: earlier revisions exposed the error as
+/// `TuneError` with the single `NothingRuns` variant.
+pub type TuneError = TunerError;
+
+/// Renders a panic payload (from `ScopedJoinHandle::join` or
+/// `catch_unwind`) as a diagnostic string.
+pub(crate) fn panic_payload_string(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

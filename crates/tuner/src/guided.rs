@@ -13,8 +13,9 @@ use wino_codegen::Unroll;
 use wino_gpu::DeviceProfile;
 use wino_tensor::ConvDesc;
 
+use crate::error::TuneError;
 use crate::space::{search_space, TuningPoint, MNB_VALUES, MNT_VALUES};
-use crate::tuner::{evaluate_point_public as evaluate_point, Evaluation, TuneError};
+use crate::tuner::{evaluate_candidate as evaluate_point, Evaluation};
 
 /// Result of a guided search.
 #[derive(Clone, Debug)]
@@ -74,7 +75,7 @@ pub fn tune_guided(
     if seeded.is_empty() {
         return Err(TuneError::NothingRuns(format!("{desc} on {}", device.name)));
     }
-    seeded.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("finite"));
+    seeded.sort_by(|a, b| a.time_ms.total_cmp(&b.time_ms));
     seeded.truncate(survivors.max(1));
 
     // Phase 2: coordinate descent per survivor.
@@ -143,10 +144,11 @@ pub fn tune_guided(
             _ => best = Some(current),
         }
     }
-    Ok(GuidedReport {
-        best: best.expect("survivors non-empty"),
-        evaluated,
-    })
+    // `seeded` was non-empty and every survivor yields a `current`,
+    // so `best` is always `Some` here — but a typed error beats an
+    // unwind if that invariant ever shifts.
+    let best = best.ok_or_else(|| TuneError::NothingRuns(format!("{desc} on {}", device.name)))?;
+    Ok(GuidedReport { best, evaluated })
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use wino_codegen::{generate_plan, CodegenOptions, PlanVariant};
 use wino_gpu::{estimate_plan_ms, DeviceProfile};
 use wino_tensor::ConvDesc;
 
+use crate::error::{panic_payload_string, TuneError, TunerError};
 use crate::space::{search_space, TuningPoint};
 
 /// Outcome of evaluating one tuning point.
@@ -41,40 +42,40 @@ pub struct TuneReport {
     pub per_variant_best: Vec<Evaluation>,
 }
 
-/// Errors from tuning.
-#[derive(Clone, Debug, PartialEq)]
-pub enum TuneError {
-    /// Not a single point of the space ran on this device.
-    NothingRuns(String),
-}
-
-impl std::fmt::Display for TuneError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TuneError::NothingRuns(msg) => write!(f, "no tuning point runs: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for TuneError {}
-
 fn evaluate_point(
     desc: &ConvDesc,
     device: &DeviceProfile,
     point: &TuningPoint,
 ) -> Option<Evaluation> {
-    evaluate_point_public(desc, device, point)
+    evaluate_candidate(desc, device, point)
 }
 
 /// Generates and prices one tuning point; `None` when the point cannot
-/// generate or launch. Shared by the brute-force and guided tuners.
-pub(crate) fn evaluate_point_public(
+/// generate or launch. Shared by the brute-force, guided, and hardened
+/// tuners — and public so external harnesses (and the guard layer's
+/// sandbox) can evaluate a single candidate in isolation.
+///
+/// This is the tuner-candidate fault-injection site: with
+/// `WINO_FAULT=tuner:<trigger>` armed, the selected call panics,
+/// reports a non-finite time, or marks the sandbox watchdog expired —
+/// exercising the quarantine paths of `tune_hardened`.
+pub fn evaluate_candidate(
     desc: &ConvDesc,
     device: &DeviceProfile,
     point: &TuningPoint,
 ) -> Option<Evaluation> {
     static EVALUATED: wino_probe::Counter = wino_probe::Counter::new("tuner.evaluated");
     static REJECTED: wino_probe::Counter = wino_probe::Counter::new("tuner.rejected");
+    // WINO_FAULT hook (tuner-candidate site): one relaxed load when
+    // disarmed.
+    let injected = if wino_probe::fault::armed(wino_probe::fault::Site::TunerCandidate) {
+        wino_probe::fault::fire(wino_probe::fault::Site::TunerCandidate)
+    } else {
+        None
+    };
+    if matches!(injected, Some(wino_probe::fault::Trigger::Panic)) {
+        panic!("wino-fault: injected panic at tuner candidate");
+    }
     let mut span = wino_probe::span("tuner.evaluate");
     span.arg("point", || format!("{point:?}"));
     let opts = CodegenOptions {
@@ -83,7 +84,7 @@ pub(crate) fn evaluate_point_public(
         mnb: point.mnb,
         ..CodegenOptions::default()
     };
-    let evaluation = (|| {
+    let mut evaluation = (|| {
         let plan = generate_plan(desc, point.variant, &opts).ok()?;
         let time_ms = estimate_plan_ms(device, &plan).ok()?;
         Some(Evaluation {
@@ -91,6 +92,14 @@ pub(crate) fn evaluate_point_public(
             time_ms,
         })
     })();
+    if matches!(
+        injected,
+        Some(wino_probe::fault::Trigger::Nan) | Some(wino_probe::fault::Trigger::Inf)
+    ) {
+        if let Some(e) = evaluation.as_mut() {
+            e.time_ms = f64::NAN;
+        }
+    }
     match &evaluation {
         Some(e) => {
             EVALUATED.add(1);
@@ -154,18 +163,24 @@ pub fn tune_with_space(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("tuning worker panicked"))
-            .collect()
+        let mut all = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(chunk_results) => all.extend(chunk_results),
+                Err(payload) => {
+                    return Err(TunerError::WorkerPanicked(panic_payload_string(payload)))
+                }
+            }
+        }
+        Ok(all)
     })
-    .expect("tuning scope panicked");
+    .unwrap_or_else(|payload| Err(TunerError::WorkerPanicked(panic_payload_string(payload))))?;
 
     let evaluations: Vec<Evaluation> = results.iter().flatten().cloned().collect();
     let rejected = results.len() - evaluations.len();
     let best = evaluations
         .iter()
-        .min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("finite times"))
+        .min_by(|a, b| a.time_ms.total_cmp(&b.time_ms))
         .cloned()
         .ok_or_else(|| TuneError::NothingRuns(format!("{desc} on {}", device.name)))?;
 
@@ -184,7 +199,7 @@ pub fn tune_with_space(
             None => per_variant_best.push(e.clone()),
         }
     }
-    per_variant_best.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).expect("finite"));
+    per_variant_best.sort_by(|a, b| a.time_ms.total_cmp(&b.time_ms));
 
     Ok(TuneReport {
         best,

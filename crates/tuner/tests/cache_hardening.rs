@@ -1,0 +1,111 @@
+//! Regression tests for the hardened cache loader: damaged files must
+//! degrade to a rebuild (empty cache + diagnostic), never unwrap or
+//! serve corrupted parameters.
+
+use std::path::PathBuf;
+
+use wino_codegen::{PlanVariant, Unroll};
+use wino_tensor::ConvDesc;
+use wino_tuner::{Evaluation, TuningCache, TuningPoint};
+
+fn sample_desc() -> ConvDesc {
+    ConvDesc::new(3, 1, 1, 64, 1, 14, 14, 32)
+}
+
+fn populated_cache() -> TuningCache {
+    let cache = TuningCache::new();
+    cache.put(
+        &sample_desc(),
+        "dev",
+        &Evaluation {
+            point: TuningPoint {
+                variant: PlanVariant::WinogradFused { m: 4 },
+                unroll: Unroll::Full,
+                mnt: 4,
+                mnb: 16,
+                threads: 1,
+            },
+            time_ms: 0.123,
+        },
+    );
+    cache
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wino_cache_hardening_{name}.json"))
+}
+
+#[test]
+fn intact_file_round_trips() {
+    let path = temp_path("intact");
+    populated_cache().save(&path).unwrap();
+    let loaded = TuningCache::load_or_rebuild(&path);
+    assert_eq!(loaded.len(), 1);
+    assert!(loaded.get(&sample_desc(), "dev").is_some());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_file_is_an_empty_cache() {
+    let path = temp_path("missing");
+    let _ = std::fs::remove_file(&path);
+    let loaded = TuningCache::load_or_rebuild(&path);
+    assert!(loaded.is_empty());
+}
+
+#[test]
+fn truncated_file_rebuilds() {
+    let path = temp_path("truncated");
+    populated_cache().save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    let loaded = TuningCache::load_or_rebuild(&path);
+    assert!(loaded.is_empty(), "truncated cache must rebuild empty");
+    let diags = wino_probe::take_diagnostics();
+    assert!(
+        diags.iter().any(|d| d.contains("rebuilding")),
+        "expected a rebuild diagnostic, got {diags:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bit_flipped_value_rebuilds() {
+    let path = temp_path("bitflip");
+    populated_cache().save(&path).unwrap();
+    // Flip one payload bit inside an entry value: the JSON still
+    // parses but the checksum no longer matches.
+    let json = std::fs::read_to_string(&path).unwrap();
+    let flipped = json.replace("\"mnb\": 16", "\"mnb\": 48");
+    assert_ne!(json, flipped, "fixture must actually contain mnb: 16");
+    std::fs::write(&path, flipped).unwrap();
+    let loaded = TuningCache::load_or_rebuild(&path);
+    assert!(loaded.is_empty(), "bit-flipped cache must rebuild empty");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stale_version_rebuilds() {
+    let path = temp_path("stale");
+    populated_cache().save(&path).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    let version_field = format!("\"version\": {}", wino_tuner::CACHE_FORMAT_VERSION);
+    assert!(json.contains(&version_field));
+    std::fs::write(&path, json.replace(&version_field, "\"version\": 1")).unwrap();
+    let loaded = TuningCache::load_or_rebuild(&path);
+    assert!(loaded.is_empty(), "stale-version cache must rebuild empty");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn injected_cache_corruption_rebuilds() {
+    let _scope = wino_guard::fault::scoped("cache:corrupt");
+    let path = temp_path("injected");
+    populated_cache().save(&path).unwrap();
+    let loaded = TuningCache::load_or_rebuild(&path);
+    assert!(
+        loaded.is_empty(),
+        "fault-corrupted cache must rebuild empty"
+    );
+    let _ = std::fs::remove_file(&path);
+}

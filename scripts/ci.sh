@@ -30,4 +30,33 @@ WINO_TRACE="json:$trace" ./target/release/figure6 >/dev/null
 python3 -m json.tool "$trace" >/dev/null
 rm -f "$trace"
 
+echo "== wino-guard: fault-injection drill matrix"
+# Each drill run arms one WINO_FAULT site and asserts the exact probe
+# counters the guard layer must produce. Injection is check-counted
+# (never timed), so these values are deterministic.
+drill() {
+  local fault="$1"; shift
+  local out
+  out=$(WINO_FAULT="$fault" ./target/release/guard_drill)
+  for expect in "$@"; do
+    if ! grep -qx "counter $expect" <<<"$out"; then
+      echo "FAIL: WINO_FAULT='$fault' expected 'counter $expect', got:" >&2
+      grep "^counter " <<<"$out" >&2
+      exit 1
+    fi
+  done
+  echo "   ok: WINO_FAULT='${fault:-<unset>}' -> $*"
+}
+drill "" \
+  guard.demote.panic=0 guard.demote.guardrail=0 guard.served_by_fallback=0 \
+  tuner.quarantine.panic=0 tuner.quarantine.timeout=0 \
+  tuner.quarantine.nonfinite=0 tuner.cache.rebuilt=0
+drill "transform:nan"   guard.demote.guardrail=3 guard.served_by_fallback=2
+drill "transform:panic" guard.demote.panic=3     guard.served_by_fallback=2
+drill "gemm:nan"        guard.demote.guardrail=2 guard.served_by_fallback=1
+drill "tuner:panic:3"   tuner.quarantine.panic=1
+drill "tuner:timeout:2" tuner.quarantine.timeout=1
+drill "tuner:nan:4"     tuner.quarantine.nonfinite=1
+drill "cache:corrupt"   tuner.cache.rebuilt=1
+
 echo "CI OK"
