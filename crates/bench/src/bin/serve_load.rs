@@ -1,0 +1,310 @@
+//! Load generator for the batching inference server.
+//!
+//! Three modes:
+//!
+//! - `--smoke`: a deterministic 8-request drill on a tiny layer with
+//!   coalescing disabled (`max_wait = 0`, concurrency 1), dumping the
+//!   probe counters as grep-friendly `counter name=value` lines.
+//!   `scripts/ci.sh` asserts the exact values, with and without an
+//!   armed `WINO_FAULT`, proving admission/batch/execution accounting
+//!   and the guard fallback under injected faults.
+//! - closed loop (default): N submitter threads, each submitting and
+//!   waiting in lock-step — measures service latency under a fixed
+//!   concurrency level.
+//! - `--open-loop <rate>`: one submitter at a fixed request rate with
+//!   a collector draining responses — measures latency and shedding
+//!   when arrival rate, not concurrency, is the control variable.
+//!
+//! Both load modes print latency percentiles and throughput, and
+//! append the report to `results/serve_load.txt`.
+
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_probe::{self as probe, fault, Mode};
+use wino_serve::{ConvRequest, PlanRegistry, ServeError, Server, ServerConfig};
+use wino_tensor::{ConvDesc, Tensor4};
+
+/// Counters the CI smoke asserts on; printed even when zero so
+/// `grep -x` can distinguish "zero" from "not printed".
+const SMOKE_COUNTERS: &[&str] = &[
+    "serve.enqueued",
+    "serve.shed",
+    "serve.batches",
+    "serve.batched",
+    "serve.executed",
+    "serve.deadline_demotions",
+    "conv.filter_transforms",
+    "guard.demote.guardrail",
+    "guard.demote.panic",
+    "guard.served_by_fallback",
+];
+
+struct Args {
+    smoke: bool,
+    open_loop_rate: Option<f64>,
+    requests: usize,
+    concurrency: usize,
+    network: String,
+    max_batch: usize,
+    max_wait_ms: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            smoke: false,
+            open_loop_rate: None,
+            requests: 64,
+            concurrency: 4,
+            network: "alexnet".to_string(),
+            max_batch: 4,
+            max_wait_ms: 2,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--smoke" => args.smoke = true,
+                "--open-loop" => {
+                    args.open_loop_rate = Some(value("--open-loop").parse().expect("rate"));
+                }
+                "--requests" => args.requests = value("--requests").parse().expect("count"),
+                "--concurrency" => {
+                    args.concurrency = value("--concurrency").parse().expect("count");
+                }
+                "--network" => args.network = value("--network"),
+                "--max-batch" => args.max_batch = value("--max-batch").parse().expect("count"),
+                "--max-wait-ms" => {
+                    args.max_wait_ms = value("--max-wait-ms").parse().expect("millis");
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        args
+    }
+}
+
+/// The smoke fixture: one tiny Winograd-eligible layer.
+fn smoke_registry() -> Arc<PlanRegistry> {
+    let registry = PlanRegistry::new();
+    let desc = ConvDesc::new(3, 1, 1, 8, 1, 16, 16, 8);
+    let mut rng = StdRng::seed_from_u64(0x10ad);
+    let weights = Tensor4::random(8, 8, 3, 3, -0.25, 0.25, &mut rng);
+    registry
+        .register_layer("smoke/conv", desc, weights)
+        .expect("smoke layer registers");
+    Arc::new(registry)
+}
+
+/// Eight sequential requests, no coalescing: the counter values are
+/// exact (enqueued = batches = executed = 8, batched = shed = 0).
+fn run_smoke() {
+    const REQUESTS: usize = 8;
+    let registry = smoke_registry();
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(0xf00d);
+    for i in 0..REQUESTS {
+        let input = Tensor4::random(1, 8, 16, 16, -1.0, 1.0, &mut rng);
+        match server.infer(ConvRequest::new("smoke/conv", input)) {
+            Ok(resp) => println!("smoke: request {i} served by {}", resp.served_by),
+            Err(e) => println!("smoke: request {i} failed: {e}"),
+        }
+    }
+    server.shutdown();
+    for name in SMOKE_COUNTERS {
+        probe::counter(name);
+    }
+    for (name, value) in probe::counter_values() {
+        println!("counter {name}={value}");
+    }
+}
+
+/// Per-layer request inputs, pre-generated so the measured latency is
+/// pure service time.
+fn layer_inputs(registry: &PlanRegistry, names: &[String]) -> Vec<(String, Tensor4<f32>)> {
+    let mut rng = StdRng::seed_from_u64(0x10ad2);
+    names
+        .iter()
+        .map(|name| {
+            let d = registry.get(name).expect("registered").desc;
+            let input = Tensor4::random(1, d.in_ch, d.in_h, d.in_w, -1.0, 1.0, &mut rng);
+            (name.clone(), input)
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct LoadReport {
+    mode: String,
+    served: usize,
+    shed: usize,
+    wall: Duration,
+    latencies: Vec<Duration>,
+}
+
+impl LoadReport {
+    fn render(&self) -> String {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let throughput = self.served as f64 / self.wall.as_secs_f64().max(1e-9);
+        format!(
+            "mode={} served={} shed={} wall={:.2}s throughput={:.1} req/s \
+             p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
+            self.mode,
+            self.served,
+            self.shed,
+            self.wall.as_secs_f64(),
+            throughput,
+            percentile(&sorted, 50.0).as_secs_f64() * 1e3,
+            percentile(&sorted, 90.0).as_secs_f64() * 1e3,
+            percentile(&sorted, 99.0).as_secs_f64() * 1e3,
+            percentile(&sorted, 100.0).as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Closed loop: `concurrency` threads, each submitting and waiting in
+/// lock-step over the layer mix.
+fn run_closed_loop(server: &Server, cases: &[(String, Tensor4<f32>)], args: &Args) -> LoadReport {
+    let latencies = Mutex::new(Vec::with_capacity(args.requests));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..args.concurrency.max(1) {
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let per_worker = args.requests / args.concurrency.max(1);
+                for i in 0..per_worker {
+                    let (name, input) = &cases[(worker + i) % cases.len()];
+                    let t0 = Instant::now();
+                    let req = ConvRequest::new(name.clone(), input.clone());
+                    if server.infer(req).is_ok() {
+                        latencies.lock().unwrap().push(t0.elapsed());
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let latencies = latencies.into_inner().unwrap();
+    LoadReport {
+        mode: format!("closed-loop(c={})", args.concurrency),
+        served: latencies.len(),
+        shed: 0,
+        wall,
+        latencies,
+    }
+}
+
+/// Open loop: submit at a fixed rate regardless of completion; a
+/// collector thread drains responses. Overload sheds are counted, not
+/// retried.
+fn run_open_loop(
+    server: &Server,
+    cases: &[(String, Tensor4<f32>)],
+    args: &Args,
+    rate: f64,
+) -> LoadReport {
+    let interval = Duration::from_secs_f64(1.0 / rate.max(1e-3));
+    let mut shed = 0usize;
+    let mut latencies = Vec::with_capacity(args.requests);
+    let mut in_flight = Vec::new();
+    let start = Instant::now();
+    for i in 0..args.requests {
+        let target = start + interval * i as u32;
+        if let Some(sleep) = target.checked_duration_since(Instant::now()) {
+            std::thread::sleep(sleep);
+        }
+        let (name, input) = &cases[i % cases.len()];
+        let t0 = Instant::now();
+        match server.submit(ConvRequest::new(name.clone(), input.clone())) {
+            Ok(handle) => in_flight.push((t0, handle)),
+            Err(ServeError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    }
+    for (t0, handle) in in_flight {
+        if handle.wait().is_ok() {
+            latencies.push(t0.elapsed());
+        }
+    }
+    let wall = start.elapsed();
+    LoadReport {
+        mode: format!("open-loop(rate={rate}/s)"),
+        served: latencies.len(),
+        shed,
+        wall,
+        latencies,
+    }
+}
+
+fn main() {
+    // Injected faults panic on purpose; keep stderr quiet so the
+    // counter lines stay greppable.
+    std::panic::set_hook(Box::new(|_| {}));
+    probe::set_mode(Mode::Summary);
+    match fault::init_from_env() {
+        Some(spec) => println!("serve-load: fault armed: {spec}"),
+        None => println!("serve-load: no fault armed"),
+    }
+    let args = Args::parse();
+    if args.smoke {
+        run_smoke();
+        return;
+    }
+
+    let registry = Arc::new(PlanRegistry::new());
+    let names = registry
+        .register_network(&args.network)
+        .unwrap_or_else(|e| panic!("cannot register {:?}: {e}", args.network));
+    println!(
+        "serve-load: registered {} layers of {}",
+        names.len(),
+        args.network
+    );
+    let cases = layer_inputs(&registry, &names);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            max_batch: args.max_batch,
+            max_wait: Duration::from_millis(args.max_wait_ms),
+            executors: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let report = match args.open_loop_rate {
+        Some(rate) => run_open_loop(&server, &cases, &args, rate),
+        None => run_closed_loop(&server, &cases, &args),
+    };
+    server.shutdown();
+    let line = report.render();
+    println!("serve-load: {line}");
+    let _ = std::fs::create_dir_all("results");
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("results/serve_load.txt")
+    {
+        let _ = writeln!(f, "{} {line}", args.network);
+    }
+}

@@ -9,7 +9,7 @@
 //! output transform — without materializing intermediates, mirroring
 //! the single-kernel variant's dataflow.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use wino_gemm::{batched_sgemm_rt, BatchedGemmShape, GemmConfig};
 use wino_runtime::{DisjointSlice, Runtime};
@@ -25,6 +25,10 @@ use crate::tiles::TileTransformer;
 static TILES_GATHERED: wino_probe::Counter = wino_probe::Counter::new("conv.tiles_gathered");
 /// Output tiles scattered back into NCHW planes (both engines).
 static TILES_SCATTERED: wino_probe::Counter = wino_probe::Counter::new("conv.tiles_scattered");
+/// Whole-filter-bank transforms `U = G·g·Gᵀ` performed. A serving
+/// layer that warms its filters sees exactly one bump per registered
+/// layer, never per request.
+static FILTER_TRANSFORMS: wino_probe::Counter = wino_probe::Counter::new("conv.filter_transforms");
 
 /// Which kernel variant to model (tuning parameter `WV` of Table 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -115,9 +119,11 @@ pub fn conv_winograd_rt(
     cfg: &WinogradConfig,
     rt: &Runtime,
 ) -> Result<Tensor4<f32>, ConvError> {
+    check_shapes(input, filters, desc)?;
     let spec = winograd_checks(desc, cfg.m)?;
     let recipes: Arc<TransformRecipes> = recipe_db().get(spec, cfg.options)?;
-    conv_winograd_with_recipes_rt(input, filters, desc, &recipes, cfg.variant, &cfg.gemm, rt)
+    let pre = PrecomputedFilters::new(filters, desc, recipes)?;
+    conv_winograd_precomputed_rt(input, &pre, desc, cfg.variant, &cfg.gemm, rt)
 }
 
 /// Winograd convolution with explicitly supplied recipes (used by the
@@ -161,51 +167,220 @@ pub fn conv_winograd_with_recipes_rt(
     rt: &Runtime,
 ) -> Result<Tensor4<f32>, ConvError> {
     check_shapes(input, filters, desc)?;
-    let spec = winograd_checks(desc, recipes.spec.m)?;
-    if recipes.spec != spec {
-        return Err(ConvError::Shape(format!(
-            "recipes are for {} but descriptor implies {spec}",
-            recipes.spec
-        )));
+    let pre = PrecomputedFilters::new(filters, desc, Arc::new(recipes.clone()))?;
+    conv_winograd_precomputed_rt(input, &pre, desc, variant, gemm, rt)
+}
+
+/// Transformed filters `U = G·g·Gᵀ` for one filter bank, computed once
+/// and reusable across convolution calls.
+///
+/// Both engines consume this type: the fused engine reads the
+/// `(k, c, ξ)` layout directly, and the non-fused engine reads the
+/// `(ξ, k, c)` scatter layout (derived lazily — a pure element
+/// reorder, so a warm run stays bit-identical to a cold one). The
+/// serving layer's plan registry builds one per registered layer so
+/// steady-state requests skip the filter-transform phase entirely;
+/// transforms are visible as the `conv.filter_transforms` counter and
+/// the `conv.filter_transform` span.
+///
+/// The transform depends only on the filter bank, the recipes, and
+/// the channel counts — batch size and spatial extent of later inputs
+/// are free to vary.
+pub struct PrecomputedFilters {
+    recipes: Arc<TransformRecipes>,
+    out_ch: usize,
+    in_ch: usize,
+    /// `(k, c, ξ)` layout (`ξ = α²` positions), the fused engine's
+    /// access pattern.
+    u_kc: Vec<f32>,
+    /// `(ξ, k, c)` scatter layout, the non-fused engine's batched-GEMM
+    /// A-side; built on first non-fused use.
+    u_scatter: OnceLock<Vec<f32>>,
+}
+
+impl PrecomputedFilters {
+    /// Transforms `filters` (K,C,r,r) once under `recipes`.
+    ///
+    /// # Errors
+    /// Filter dims inconsistent with `desc`, non-unit stride, or a
+    /// recipe/descriptor spec mismatch.
+    pub fn new(
+        filters: &Tensor4<f32>,
+        desc: &ConvDesc,
+        recipes: Arc<TransformRecipes>,
+    ) -> Result<Self, ConvError> {
+        let spec = winograd_checks(desc, recipes.spec.m)?;
+        if recipes.spec != spec {
+            return Err(ConvError::Shape(format!(
+                "recipes are for {} but descriptor implies {spec}",
+                recipes.spec
+            )));
+        }
+        if filters.dims() != (desc.out_ch, desc.in_ch, desc.ksz, desc.ksz) {
+            return Err(ConvError::Shape(format!(
+                "filter dims {:?} do not match descriptor {desc}",
+                filters.dims()
+            )));
+        }
+        let filter_span = wino_probe::span("conv.filter_transform");
+        let alpha = spec.alpha();
+        let a2 = alpha * alpha;
+        let mut ft = TileTransformer::new(&recipes.filter);
+        let mut u_kc = vec![0.0f32; desc.out_ch * desc.in_ch * a2];
+        let mut tile = vec![0.0f32; a2];
+        for k in 0..desc.out_ch {
+            for c in 0..desc.in_ch {
+                ft.transform(filters.plane(k, c), &mut tile);
+                let base = (k * desc.in_ch + c) * a2;
+                u_kc[base..base + a2].copy_from_slice(&tile);
+            }
+        }
+        drop(filter_span);
+        FILTER_TRANSFORMS.add(1);
+        Ok(PrecomputedFilters {
+            recipes,
+            out_ch: desc.out_ch,
+            in_ch: desc.in_ch,
+            u_kc,
+            u_scatter: OnceLock::new(),
+        })
     }
-    match variant {
-        WinogradVariant::NonFused => nonfused(input, filters, desc, recipes, gemm, rt),
-        WinogradVariant::Fused => fused(input, filters, desc, recipes, rt),
+
+    /// [`PrecomputedFilters::new`] resolving recipes for `cfg` from
+    /// the process-wide database.
+    ///
+    /// # Errors
+    /// As [`PrecomputedFilters::new`], plus unsupported `F(m, r)`.
+    pub fn for_config(
+        filters: &Tensor4<f32>,
+        desc: &ConvDesc,
+        cfg: &WinogradConfig,
+    ) -> Result<Self, ConvError> {
+        let spec = winograd_checks(desc, cfg.m)?;
+        let recipes = recipe_db().get(spec, cfg.options)?;
+        Self::new(filters, desc, recipes)
+    }
+
+    /// The recipes the transform was computed with.
+    pub fn recipes(&self) -> &Arc<TransformRecipes> {
+        &self.recipes
+    }
+
+    /// The `F(m, r)` specification.
+    pub fn spec(&self) -> WinogradSpec {
+        self.recipes.spec
+    }
+
+    /// Output-channel count `K` of the transformed bank.
+    pub fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Input-channel count `C` of the transformed bank.
+    pub fn in_ch(&self) -> usize {
+        self.in_ch
+    }
+
+    /// `U` in `(k, c, ξ)` order.
+    pub fn u_kc(&self) -> &[f32] {
+        &self.u_kc
+    }
+
+    /// `U'` in `(ξ, k, c)` scatter order, building it on first use.
+    fn u_scatter(&self) -> &[f32] {
+        self.u_scatter.get_or_init(|| {
+            let _span = wino_probe::span("conv.filter_transform");
+            let a2 = self.spec().alpha() * self.spec().alpha();
+            let (kc, cc) = (self.out_ch, self.in_ch);
+            let mut u_scatter = vec![0.0f32; a2 * kc * cc];
+            for k in 0..kc {
+                for c in 0..cc {
+                    let base = (k * cc + c) * a2;
+                    for xi in 0..a2 {
+                        u_scatter[(xi * kc + k) * cc + c] = self.u_kc[base + xi];
+                    }
+                }
+            }
+            u_scatter
+        })
+    }
+
+    /// Validates that `desc` is servable by this transform: same
+    /// channel counts and the same implied `F(m, r)`.
+    fn check_desc(&self, desc: &ConvDesc) -> Result<(), ConvError> {
+        let spec = winograd_checks(desc, self.recipes.spec.m)?;
+        if self.recipes.spec != spec {
+            return Err(ConvError::Shape(format!(
+                "precomputed filters are for {} but descriptor implies {spec}",
+                self.recipes.spec
+            )));
+        }
+        if (desc.out_ch, desc.in_ch) != (self.out_ch, self.in_ch) {
+            return Err(ConvError::Shape(format!(
+                "precomputed filters are {}x{} channels but descriptor {desc} wants {}x{}",
+                self.out_ch, self.in_ch, desc.out_ch, desc.in_ch
+            )));
+        }
+        Ok(())
     }
 }
 
-/// Shared pre-computation: transformed filters `U` in `(k, c, ξ)`
-/// order (`ξ = α²` positions).
-fn transform_filters(
-    filters: &Tensor4<f32>,
+/// Winograd convolution reusing an already-transformed filter bank
+/// (skips the filter-transform phase entirely).
+///
+/// # Errors
+/// Shape mismatches, non-unit stride, or a transform/descriptor
+/// mismatch.
+pub fn conv_winograd_precomputed(
+    input: &Tensor4<f32>,
+    pre: &PrecomputedFilters,
     desc: &ConvDesc,
-    recipes: &TransformRecipes,
-) -> Vec<f32> {
-    let alpha = recipes.spec.alpha();
-    let a2 = alpha * alpha;
-    let mut ft = TileTransformer::new(&recipes.filter);
-    let mut u = vec![0.0f32; desc.out_ch * desc.in_ch * a2];
-    let mut tile = vec![0.0f32; a2];
-    for k in 0..desc.out_ch {
-        for c in 0..desc.in_ch {
-            ft.transform(filters.plane(k, c), &mut tile);
-            let base = (k * desc.in_ch + c) * a2;
-            u[base..base + a2].copy_from_slice(&tile);
-        }
+    variant: WinogradVariant,
+    gemm: &GemmConfig,
+) -> Result<Tensor4<f32>, ConvError> {
+    conv_winograd_precomputed_rt(input, pre, desc, variant, gemm, Runtime::global())
+}
+
+/// [`conv_winograd_precomputed`] on an explicit execution runtime.
+///
+/// Output is bit-identical to the cold-path
+/// [`conv_winograd_with_recipes_rt`] with the same recipes: the warm
+/// `U` is the same values, only computed earlier.
+///
+/// # Errors
+/// Shape mismatches, non-unit stride, or a transform/descriptor
+/// mismatch.
+pub fn conv_winograd_precomputed_rt(
+    input: &Tensor4<f32>,
+    pre: &PrecomputedFilters,
+    desc: &ConvDesc,
+    variant: WinogradVariant,
+    gemm: &GemmConfig,
+    rt: &Runtime,
+) -> Result<Tensor4<f32>, ConvError> {
+    if input.dims() != (desc.batch, desc.in_ch, desc.in_h, desc.in_w) {
+        return Err(ConvError::Shape(format!(
+            "input dims {:?} do not match descriptor {desc}",
+            input.dims()
+        )));
     }
-    u
+    pre.check_desc(desc)?;
+    match variant {
+        WinogradVariant::NonFused => nonfused(input, pre, desc, gemm, rt),
+        WinogradVariant::Fused => fused(input, pre, desc, rt),
+    }
 }
 
 fn nonfused(
     input: &Tensor4<f32>,
-    filters: &Tensor4<f32>,
+    pre: &PrecomputedFilters,
     desc: &ConvDesc,
-    recipes: &TransformRecipes,
     gemm: &GemmConfig,
     rt: &Runtime,
 ) -> Result<Tensor4<f32>, ConvError> {
     let mut conv_span = wino_probe::span("conv.winograd.nonfused");
     conv_span.arg("desc", || desc.to_string());
+    let recipes = pre.recipes();
     let spec = recipes.spec;
     let (m, alpha) = (spec.m, spec.alpha());
     let a2 = alpha * alpha;
@@ -214,19 +389,9 @@ fn nonfused(
     let p_total = desc.batch * th * tw;
     let (kc, cc) = (desc.out_ch, desc.in_ch);
 
-    // Stage 1a: U' scatter layout (ξ, k, c) for batched GEMM A-side.
-    let filter_span = wino_probe::span("conv.filter_transform");
-    let u_kc = transform_filters(filters, desc, recipes);
-    let mut u_scatter = vec![0.0f32; a2 * kc * cc];
-    for k in 0..kc {
-        for c in 0..cc {
-            let base = (k * cc + c) * a2;
-            for xi in 0..a2 {
-                u_scatter[(xi * kc + k) * cc + c] = u_kc[base + xi];
-            }
-        }
-    }
-    drop(filter_span);
+    // Stage 1a: U' scatter layout (ξ, k, c) for batched GEMM A-side
+    // (already resident on a warm run).
+    let u_scatter = pre.u_scatter();
 
     // Stage 1b: V' scatter layout (ξ, c, p), parallel over tiles `p`.
     // A tile owns column `p` of every (ξ, c) matrix — strided but
@@ -274,7 +439,7 @@ fn nonfused(
         n: p_total,
     };
     let mut m_scatter = vec![0.0f32; shape.c_len()];
-    batched_sgemm_rt(&shape, &u_scatter, &v_scatter, &mut m_scatter, gemm, rt);
+    batched_sgemm_rt(&shape, u_scatter, &v_scatter, &mut m_scatter, gemm, rt);
     drop(gemm_span);
 
     // Stage 3: output transform + placement, parallel over (k, p)
@@ -336,13 +501,13 @@ fn place_tile_rows(
 
 fn fused(
     input: &Tensor4<f32>,
-    filters: &Tensor4<f32>,
+    pre: &PrecomputedFilters,
     desc: &ConvDesc,
-    recipes: &TransformRecipes,
     rt: &Runtime,
 ) -> Result<Tensor4<f32>, ConvError> {
     let mut conv_span = wino_probe::span("conv.winograd.fused");
     conv_span.arg("desc", || desc.to_string());
+    let recipes = pre.recipes();
     let spec = recipes.spec;
     let (m, alpha) = (spec.m, spec.alpha());
     let a2 = alpha * alpha;
@@ -350,11 +515,9 @@ fn fused(
     let (th, tw) = tile_counts(oh, ow, m);
     let (kc, cc) = (desc.out_ch, desc.in_ch);
 
-    // Per-block filter transform (computed once here; the generated
-    // kernel recomputes it per thread block from shared memory).
-    let filter_span = wino_probe::span("conv.filter_transform");
-    let u_kc = transform_filters(filters, desc, recipes);
-    drop(filter_span);
+    // The (k, c, ξ) filter bank (the generated kernel recomputes it
+    // per thread block from shared memory; here it is resident).
+    let u_kc = pre.u_kc();
 
     let padded = input.pad_spatial(desc.pad);
     let mut out = Tensor4::<f32>::zeros(desc.batch, kc, oh, ow);
@@ -509,6 +672,75 @@ mod tests {
         let direct = conv_direct_f32(&input, &filt, &desc).unwrap();
         let wino = conv_winograd(&input, &filt, &desc, &WinogradConfig::new(3)).unwrap();
         assert_close(&wino, &direct, 1e-4);
+    }
+
+    fn assert_bits_equal(a: &Tensor4<f32>, b: &Tensor4<f32>) {
+        assert_eq!(a.dims(), b.dims());
+        for i in 0..a.len() {
+            assert_eq!(
+                a.data()[i].to_bits(),
+                b.data()[i].to_bits(),
+                "bit mismatch at {i}: {} vs {}",
+                a.data()[i],
+                b.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn precomputed_filters_bit_identical_to_cold_path() {
+        let desc = ConvDesc::new(3, 1, 1, 4, 3, 10, 10, 2);
+        let (input, filt) = random_case(&desc, 41);
+        for variant in [WinogradVariant::NonFused, WinogradVariant::Fused] {
+            let cfg = WinogradConfig::new(4).with_variant(variant);
+            let cold = conv_winograd(&input, &filt, &desc, &cfg).unwrap();
+            let pre = PrecomputedFilters::for_config(&filt, &desc, &cfg).unwrap();
+            let warm = conv_winograd_precomputed(&input, &pre, &desc, variant, &cfg.gemm).unwrap();
+            assert_bits_equal(&warm, &cold);
+            // The same warm bank serves a different batch size too.
+            let desc2 = ConvDesc { batch: 5, ..desc };
+            let (input2, _) = random_case(&desc2, 42);
+            let cold2 = conv_winograd(&input2, &filt, &desc2, &cfg).unwrap();
+            let warm2 =
+                conv_winograd_precomputed(&input2, &pre, &desc2, variant, &cfg.gemm).unwrap();
+            assert_bits_equal(&warm2, &cold2);
+        }
+    }
+
+    #[test]
+    fn precomputed_filters_reject_mismatches() {
+        let desc = ConvDesc::new(3, 1, 1, 2, 2, 8, 8, 2);
+        let (input, filt) = random_case(&desc, 43);
+        let cfg = WinogradConfig::new(2);
+        let pre = PrecomputedFilters::for_config(&filt, &desc, &cfg).unwrap();
+        // Wrong channel count.
+        let bad = ConvDesc { in_ch: 3, ..desc };
+        let (bad_input, _) = random_case(&bad, 44);
+        assert!(conv_winograd_precomputed(
+            &bad_input,
+            &pre,
+            &bad,
+            WinogradVariant::NonFused,
+            &GemmConfig::default()
+        )
+        .is_err());
+        // Wrong filter size for the descriptor.
+        let desc5 = ConvDesc::new(5, 1, 2, 2, 2, 8, 8, 2);
+        assert!(PrecomputedFilters::for_config(&filt, &desc5, &cfg).is_err());
+        // Input dims inconsistent with the descriptor.
+        let small = ConvDesc {
+            in_h: 4,
+            in_w: 4,
+            ..desc
+        };
+        assert!(conv_winograd_precomputed(
+            &input,
+            &pre,
+            &small,
+            WinogradVariant::NonFused,
+            &GemmConfig::default()
+        )
+        .is_err());
     }
 
     #[test]

@@ -280,6 +280,12 @@ impl ComputeGraph {
         &self.nodes[id.0]
     }
 
+    /// The filter weights attached to a conv node, if any (the serving
+    /// registry reads these when registering a whole graph).
+    pub fn weights(&self, id: NodeId) -> Option<&Tensor4<f32>> {
+        self.weights.get(&id)
+    }
+
     /// All convolution nodes with their descriptors.
     pub fn conv_nodes(&self) -> Vec<(NodeId, ConvDesc)> {
         self.nodes

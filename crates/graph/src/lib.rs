@@ -14,7 +14,10 @@ mod select;
 pub mod zoo;
 
 pub use graph::{run_conv, ComputeGraph, EngineChoice, GraphError, Node, NodeId, Op};
-pub use select::{default_tile_size, select_engine};
+pub use select::{
+    default_tile_size, engine_from_evaluation, select_engine, select_engine_cached,
+    select_engine_static,
+};
 pub use zoo::{
     alexnet_convs, all_network_convs, build_alexnet_graph, build_inception_3a_3b,
     build_inception_module, extract_benchmark_convs, inception_v1_convs, nin_convs, table4_convs,

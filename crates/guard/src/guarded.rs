@@ -22,8 +22,10 @@
 use std::panic::{self, AssertUnwindSafe};
 
 use wino_conv::{
-    conv_direct_f32, conv_im2col, conv_winograd, ConvError, WinogradConfig, WinogradVariant,
+    conv_direct_f32, conv_im2col, conv_winograd, conv_winograd_precomputed, ConvError,
+    PrecomputedFilters, WinogradConfig, WinogradVariant,
 };
+use wino_gemm::GemmConfig;
 use wino_probe::Counter;
 use wino_tensor::{ConvDesc, Tensor4};
 
@@ -54,16 +56,26 @@ impl Engine {
         input: &Tensor4<f32>,
         filters: &Tensor4<f32>,
         desc: &ConvDesc,
+        gemm: &GemmConfig,
+        warm: Option<&PrecomputedFilters>,
     ) -> Result<Tensor4<f32>, ConvError> {
+        let winograd = |m: usize, variant: WinogradVariant| match warm {
+            // A warm bank with matching m skips the filter transform.
+            // Its values equal the cold transform's (same recipes), so
+            // the output is bit-identical either way.
+            Some(pre) if pre.spec().m == m => {
+                conv_winograd_precomputed(input, pre, desc, variant, gemm)
+            }
+            _ => {
+                let cfg = WinogradConfig::new(m)
+                    .with_variant(variant)
+                    .with_gemm_config(*gemm);
+                conv_winograd(input, filters, desc, &cfg)
+            }
+        };
         match *self {
-            Engine::FusedWinograd(m) => {
-                let cfg = WinogradConfig::new(m).with_variant(WinogradVariant::Fused);
-                conv_winograd(input, filters, desc, &cfg)
-            }
-            Engine::NonFusedWinograd(m) => {
-                let cfg = WinogradConfig::new(m).with_variant(WinogradVariant::NonFused);
-                conv_winograd(input, filters, desc, &cfg)
-            }
+            Engine::FusedWinograd(m) => winograd(m, WinogradVariant::Fused),
+            Engine::NonFusedWinograd(m) => winograd(m, WinogradVariant::NonFused),
             Engine::Im2col => conv_im2col(input, filters, desc),
             Engine::Direct => conv_direct_f32(input, filters, desc),
         }
@@ -151,6 +163,7 @@ pub struct GuardedOutput {
 pub struct GuardedConv {
     chain: Vec<Engine>,
     policy: GuardrailPolicy,
+    gemm: GemmConfig,
 }
 
 impl GuardedConv {
@@ -165,6 +178,7 @@ impl GuardedConv {
                 Engine::Direct,
             ],
             policy: GuardrailPolicy::full(),
+            gemm: GemmConfig::default(),
         }
     }
 
@@ -177,6 +191,13 @@ impl GuardedConv {
     /// Replaces the guardrail policy.
     pub fn with_policy(mut self, policy: GuardrailPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the GEMM blocking used by the Winograd engines (e.g. the
+    /// tuner's winning `MNt`/`MNb` for this layer).
+    pub fn with_gemm_config(mut self, gemm: GemmConfig) -> Self {
+        self.gemm = gemm;
         self
     }
 
@@ -197,9 +218,31 @@ impl GuardedConv {
         filters: &Tensor4<f32>,
         desc: &ConvDesc,
     ) -> Result<GuardedOutput, GuardError> {
+        self.run_warm(input, filters, desc, None)
+    }
+
+    /// [`GuardedConv::run`] with an optional warm filter bank: chain
+    /// entries whose Winograd `m` matches `warm` skip the filter
+    /// transform (the serving layer's steady state). `filters` is
+    /// still required — fallback engines and the spot-check guardrail
+    /// consume the raw bank. Output is bit-identical to the cold
+    /// [`GuardedConv::run`] as long as `warm` was built with the same
+    /// recipes the cold path would resolve (optimized options, the
+    /// chain's default).
+    ///
+    /// # Errors
+    /// [`GuardError`] when every engine in the chain failed; the error
+    /// carries the per-engine causes.
+    pub fn run_warm(
+        &self,
+        input: &Tensor4<f32>,
+        filters: &Tensor4<f32>,
+        desc: &ConvDesc,
+        warm: Option<&PrecomputedFilters>,
+    ) -> Result<GuardedOutput, GuardError> {
         let mut demotions = Vec::new();
         for (i, engine) in self.chain.iter().enumerate() {
-            match self.attempt(*engine, input, filters, desc) {
+            match self.attempt(*engine, input, filters, desc, warm) {
                 Ok(output) => {
                     if i > 0 {
                         SERVED_FALLBACK.add(1);
@@ -234,8 +277,11 @@ impl GuardedConv {
         input: &Tensor4<f32>,
         filters: &Tensor4<f32>,
         desc: &ConvDesc,
+        warm: Option<&PrecomputedFilters>,
     ) -> Result<Tensor4<f32>, DemotionCause> {
-        let result = panic::catch_unwind(AssertUnwindSafe(|| engine.run(input, filters, desc)));
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.run(input, filters, desc, &self.gemm, warm)
+        }));
         let output = match result {
             Err(payload) => return Err(DemotionCause::Panic(payload_to_string(payload))),
             Ok(Err(e)) => return Err(DemotionCause::Unsupported(e.to_string())),
@@ -354,6 +400,40 @@ mod tests {
         let err = guarded.run(&input, &filters, &desc).unwrap_err();
         assert_eq!(err.demotions.len(), 2);
         assert!(err.to_string().contains("im2col"));
+    }
+
+    #[test]
+    fn warm_filters_bit_identical_to_cold_run() {
+        let _scope = fault::scoped("");
+        let (input, filters, desc) = fixture();
+        let guarded = GuardedConv::new(4);
+        let cold = guarded.run(&input, &filters, &desc).unwrap();
+        let pre = PrecomputedFilters::for_config(&filters, &desc, &WinogradConfig::new(4)).unwrap();
+        let warm = guarded
+            .run_warm(&input, &filters, &desc, Some(&pre))
+            .unwrap();
+        assert_eq!(warm.served_by, Engine::FusedWinograd(4));
+        assert!(warm.demotions.is_empty());
+        for (a, b) in warm.output.data().iter().zip(cold.output.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_chain_still_demotes_under_fault() {
+        // A poisoned GEMM kills the warm non-fused head; the chain
+        // must still land on direct even though warm filters were
+        // supplied.
+        let (input, filters, desc) = fixture();
+        let pre = PrecomputedFilters::for_config(&filters, &desc, &WinogradConfig::new(4)).unwrap();
+        let _scope = fault::scoped("gemm:nan");
+        let guarded =
+            GuardedConv::new(4).with_chain(vec![Engine::NonFusedWinograd(4), Engine::Direct]);
+        let out = guarded
+            .run_warm(&input, &filters, &desc, Some(&pre))
+            .unwrap();
+        assert_eq!(out.served_by, Engine::Direct);
+        assert_eq!(out.demotions.len(), 1);
     }
 
     #[test]

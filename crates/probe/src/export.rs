@@ -14,17 +14,20 @@ pub struct TraceData {
     pub events: Vec<SpanEvent>,
     /// `(name, value)` counter snapshot, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `(name, current, peak)` gauge snapshot, sorted by name.
+    pub gauges: Vec<(String, i64, i64)>,
     /// `(tid, thread name)` pairs for chrome metadata events.
     pub threads: Vec<(usize, String)>,
 }
 
-/// Drains all recorded spans and snapshots every counter. Draining is
-/// destructive for spans (buffers empty afterwards); counters keep
-/// their values.
+/// Drains all recorded spans and snapshots every counter and gauge.
+/// Draining is destructive for spans (buffers empty afterwards);
+/// counters and gauges keep their values.
 pub fn collect() -> TraceData {
     TraceData {
         events: take_events(),
         counters: crate::counter_values(),
+        gauges: crate::gauge_values(),
         threads: thread_names(),
     }
 }
@@ -49,6 +52,7 @@ impl TraceData {
         Summary {
             rows,
             counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
         }
     }
 
@@ -109,6 +113,23 @@ impl TraceData {
                 (
                     "args".into(),
                     Value::Object(vec![("value".into(), Value::UInt(*value))]),
+                ),
+            ]));
+        }
+        for (name, current, peak) in &self.gauges {
+            trace_events.push(Value::Object(vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("cat".into(), Value::Str("wino".into())),
+                ("ph".into(), Value::Str("C".into())),
+                ("ts".into(), Value::Float(end_us)),
+                ("pid".into(), Value::UInt(1)),
+                ("tid".into(), Value::UInt(0)),
+                (
+                    "args".into(),
+                    Value::Object(vec![
+                        ("value".into(), Value::Int(*current)),
+                        ("peak".into(), Value::Int(*peak)),
+                    ]),
                 ),
             ]));
         }
@@ -184,6 +205,8 @@ pub struct Summary {
     pub rows: Vec<SummaryRow>,
     /// `(name, value)` counter snapshot.
     pub counters: Vec<(String, u64)>,
+    /// `(name, current, peak)` gauge snapshot.
+    pub gauges: Vec<(String, i64, i64)>,
 }
 
 impl Summary {
@@ -234,6 +257,18 @@ impl Summary {
                 out.push_str(&format!("  {name:<w$}  {value}\n"));
             }
         }
+        let live: Vec<_> = self
+            .gauges
+            .iter()
+            .filter(|(_, current, peak)| *current != 0 || *peak != 0)
+            .collect();
+        if !live.is_empty() {
+            out.push_str("\ngauges:\n");
+            let w = live.iter().map(|(n, _, _)| n.len()).max().unwrap_or(0);
+            for (name, current, peak) in live {
+                out.push_str(&format!("  {name:<w$}  {current} (peak {peak})\n"));
+            }
+        }
         out
     }
 }
@@ -261,6 +296,7 @@ mod tests {
                 event("a", 1, 2_000_000, 2_000_000),
             ],
             counters: vec![("hits".into(), 7), ("zeros".into(), 0)],
+            gauges: vec![("depth".into(), 2, 5), ("idle".into(), 0, 0)],
             threads: vec![(0, "main".into()), (1, "wino-worker-0".into())],
         }
     }
@@ -277,6 +313,9 @@ mod tests {
         let text = s.render();
         assert!(text.contains("hits"));
         assert!(!text.contains("zeros"), "zero counters are elided");
+        assert!(text.contains("depth"));
+        assert!(text.contains("(peak 5)"));
+        assert!(!text.contains("idle"), "all-zero gauges are elided");
     }
 
     #[test]
@@ -286,8 +325,8 @@ mod tests {
         let Some(Value::Array(events)) = value.get("traceEvents") else {
             panic!("traceEvents must be an array");
         };
-        // 2 thread_name metadata + 3 spans + 2 counters.
-        assert_eq!(events.len(), 7);
+        // 2 thread_name metadata + 3 spans + 2 counters + 2 gauges.
+        assert_eq!(events.len(), 9);
         let span_count = events
             .iter()
             .filter(|e| e.get("ph") == Some(&Value::Str("X".into())))
@@ -297,7 +336,7 @@ mod tests {
             .iter()
             .filter(|e| e.get("ph") == Some(&Value::Str("C".into())))
             .count();
-        assert_eq!(counter_count, 2);
+        assert_eq!(counter_count, 4, "2 counters + 2 gauges as C events");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use export::{collect, ChromeTrace, Summary, SummaryRow, TraceData};
 
 use parking_lot::Mutex;
 use std::cell::{Cell, OnceCell};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -185,6 +185,7 @@ struct ThreadBuf {
 struct Registry {
     buffers: Mutex<Vec<Arc<ThreadBuf>>>,
     counters: Mutex<Vec<(&'static str, &'static AtomicU64)>>,
+    gauges: Mutex<Vec<(&'static str, &'static GaugeCell)>>,
     diagnostics: Mutex<Vec<String>>,
 }
 
@@ -193,6 +194,7 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         buffers: Mutex::new(Vec::new()),
         counters: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
         diagnostics: Mutex::new(Vec::new()),
     })
 }
@@ -384,6 +386,100 @@ pub fn counter(name: &str) -> CounterHandle {
     CounterHandle { cell }
 }
 
+/// Backing storage of one gauge: the current level plus the maximum
+/// level ever set (both relaxed — gauges are observability, not
+/// synchronization).
+struct GaugeCell {
+    current: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl GaugeCell {
+    const fn new() -> Self {
+        GaugeCell {
+            current: AtomicI64::new(0),
+            peak: AtomicI64::new(0),
+        }
+    }
+}
+
+/// A named level gauge (e.g. a queue depth) usable from `static`
+/// context. Unlike a [`Counter`], a gauge tracks a *current* value
+/// that can go up and down, and remembers its high-water mark.
+/// [`Gauge::set`] on the disabled probe is the usual relaxed load and
+/// branch.
+pub struct Gauge {
+    name: &'static str,
+    cell: OnceLock<&'static GaugeCell>,
+}
+
+impl Gauge {
+    /// A gauge handle for `name` (usable in a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Sets the current level (and raises the peak) when the probe is
+    /// enabled.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if !enabled() {
+            return;
+        }
+        let cell = self.slot();
+        cell.current.store(value, Ordering::Relaxed);
+        cell.peak.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current level (0 until first set).
+    pub fn get(&self) -> i64 {
+        self.slot().current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of every [`Gauge::set`] so far.
+    pub fn peak(&self) -> i64 {
+        self.slot().peak.load(Ordering::Relaxed)
+    }
+
+    fn slot(&self) -> &'static GaugeCell {
+        self.cell.get_or_init(|| intern_gauge(self.name))
+    }
+}
+
+/// Interns `name`, returning its process-wide gauge cell (same
+/// idempotent-aliasing contract as [`Counter`] interning).
+fn intern_gauge(name: &'static str) -> &'static GaugeCell {
+    let mut gauges = registry().gauges.lock();
+    if let Some((_, cell)) = gauges.iter().find(|(n, _)| *n == name) {
+        return cell;
+    }
+    let cell: &'static GaugeCell = Box::leak(Box::new(GaugeCell::new()));
+    gauges.push((name, cell));
+    cell
+}
+
+/// Snapshot of every registered gauge as `(name, current, peak)`,
+/// sorted by name.
+pub fn gauge_values() -> Vec<(String, i64, i64)> {
+    let mut values: Vec<(String, i64, i64)> = registry()
+        .gauges
+        .lock()
+        .iter()
+        .map(|(name, cell)| {
+            (
+                name.to_string(),
+                cell.current.load(Ordering::Relaxed),
+                cell.peak.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    values.sort();
+    values
+}
+
 /// Snapshot of every registered counter, sorted by name.
 pub fn counter_values() -> Vec<(String, u64)> {
     let mut values: Vec<(String, u64)> = registry()
@@ -446,6 +542,10 @@ pub fn reset() {
     for (_, cell) in registry().counters.lock().iter() {
         cell.store(0, Ordering::Relaxed);
     }
+    for (_, cell) in registry().gauges.lock().iter() {
+        cell.current.store(0, Ordering::Relaxed);
+        cell.peak.store(0, Ordering::Relaxed);
+    }
     registry().diagnostics.lock().clear();
 }
 
@@ -471,6 +571,29 @@ mod tests {
         }
         assert!(take_events().is_empty());
         assert_eq!(C.get(), 0);
+    }
+
+    #[test]
+    fn gauges_track_level_and_peak() {
+        let _guard = LOCK.lock();
+        set_mode(Mode::Off);
+        reset();
+        static G: Gauge = Gauge::new("test.gauge");
+        G.set(9);
+        assert_eq!(G.get(), 0, "disabled probe ignores gauge sets");
+        set_mode(Mode::Summary);
+        G.set(3);
+        G.set(7);
+        G.set(2);
+        assert_eq!(G.get(), 2);
+        assert_eq!(G.peak(), 7);
+        let values = gauge_values();
+        let row = values.iter().find(|(n, _, _)| n == "test.gauge").unwrap();
+        assert_eq!((row.1, row.2), (2, 7));
+        set_mode(Mode::Off);
+        reset();
+        assert_eq!(G.get(), 0);
+        assert_eq!(G.peak(), 0, "reset clears the high-water mark");
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! `wino-serve`: a batching inference server over the guarded
+//! convolution stack.
+//!
+//! The paper's tuned Winograd plans are only worth their tuning cost
+//! when the same layer runs many times — exactly the serving regime.
+//! This crate closes that loop:
+//!
+//! - [`PlanRegistry`] resolves each registered layer to a pinned plan
+//!   (persisted tuner cache first, static heuristic as fallback) and
+//!   precomputes the filter transform `U = G·g·Gᵀ` once per layer, so
+//!   steady-state requests skip the filter-transform phase entirely.
+//!   Whole reference networks register by name from the zoo, and any
+//!   [`wino_graph::ComputeGraph`] by walking its conv nodes.
+//! - [`Server`] accepts [`ConvRequest`]s on a bounded submission
+//!   queue, coalesces same-layer requests into dynamic batches under
+//!   `max_batch`/`max_wait`, and executes them through
+//!   [`wino_guard::GuardedConv`] with the warm filters. Batched
+//!   responses are bit-identical to one-at-a-time runs.
+//! - Admission control sheds at capacity ([`ServeError::Overloaded`]),
+//!   per-request deadlines demote near-late members to the terminal
+//!   fallback engine, and shutdown drains in-flight work while
+//!   refusing late submissions ([`ServeError::ShuttingDown`]).
+//!
+//! Everything is threads and channels — no async runtime.
+
+mod error;
+mod registry;
+mod server;
+
+pub use error::ServeError;
+pub use registry::{LayerPlan, PlanRegistry};
+pub use server::{ConvRequest, ConvResponse, ResponseHandle, Server, ServerConfig};

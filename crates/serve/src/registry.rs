@@ -1,0 +1,371 @@
+//! The plan registry: layer name → pinned plan + warm filters.
+//!
+//! Serving must pin a *specific* tuned `(m, variant)` plan per layer
+//! rather than re-deciding per request. Registration resolves each
+//! layer's engine through the persisted tuner cache (falling back to
+//! the static heuristic via [`wino_graph::select_engine_cached`]) and
+//! precomputes the filter transform `U = G·g·Gᵀ` once, so steady-state
+//! requests skip the filter-transform phase entirely. Whole reference
+//! networks are registrable by name from the zoo, and arbitrary
+//! [`ComputeGraph`]s by walking their conv nodes.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_conv::{PrecomputedFilters, WinogradVariant};
+use wino_gemm::GemmConfig;
+use wino_graph::{
+    alexnet_convs, inception_v1_convs, nin_convs, select_engine_cached, ComputeGraph, EngineChoice,
+    NamedConv,
+};
+use wino_guard::Engine;
+use wino_tensor::{ConvDesc, Tensor4};
+use wino_tuner::TuningCache;
+
+use crate::error::ServeError;
+
+static REGISTERED: wino_probe::Counter = wino_probe::Counter::new("serve.layers_registered");
+
+/// One registered layer: its pinned engine plan, raw weights (for
+/// fallback engines and guardrails), and the warm filter transform.
+pub struct LayerPlan {
+    /// Registry key.
+    pub name: String,
+    /// Canonical descriptor at batch 1 (requests may carry any batch).
+    pub desc: ConvDesc,
+    /// The selected engine (tuned plan or static heuristic).
+    pub engine: EngineChoice,
+    /// Raw filter bank `(K, C, r, r)`.
+    pub weights: Tensor4<f32>,
+    /// Warm `U = G·g·Gᵀ`, present for Winograd plans; shared by every
+    /// request so the per-request filter-transform phase disappears.
+    pub warm: Option<PrecomputedFilters>,
+    /// Degradation chain headed by the selected engine.
+    pub chain: Vec<Engine>,
+    /// GEMM blocking for the Winograd multiplication stage.
+    pub gemm: GemmConfig,
+}
+
+impl LayerPlan {
+    /// The engine serving requests when nothing demotes.
+    pub fn head_engine(&self) -> Engine {
+        self.chain[0]
+    }
+
+    /// The cheapest engine (the chain's terminal fallback) — what a
+    /// near-deadline request demotes to.
+    pub fn tail_engine(&self) -> Engine {
+        *self.chain.last().expect("chains are never empty")
+    }
+}
+
+/// Maps an engine choice onto its degradation chain (head first,
+/// terminal direct fallback last).
+fn chain_for(engine: &EngineChoice) -> Vec<Engine> {
+    match engine {
+        EngineChoice::Winograd(cfg) => {
+            let mut chain = Vec::new();
+            if cfg.variant == WinogradVariant::Fused {
+                chain.push(Engine::FusedWinograd(cfg.m));
+            }
+            chain.push(Engine::NonFusedWinograd(cfg.m));
+            chain.push(Engine::Im2col);
+            chain.push(Engine::Direct);
+            chain
+        }
+        EngineChoice::Im2col => vec![Engine::Im2col, Engine::Direct],
+        EngineChoice::Direct => vec![Engine::Direct],
+    }
+}
+
+/// Thread-safe registry of serving plans.
+pub struct PlanRegistry {
+    layers: RwLock<BTreeMap<String, Arc<LayerPlan>>>,
+    cache: TuningCache,
+    device: String,
+}
+
+impl Default for PlanRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanRegistry {
+    /// Empty registry with an empty tuning cache (every layer falls
+    /// back to the static heuristic) and device key `"cpu"`.
+    pub fn new() -> Self {
+        PlanRegistry {
+            layers: RwLock::new(BTreeMap::new()),
+            cache: TuningCache::new(),
+            device: "cpu".to_string(),
+        }
+    }
+
+    /// Registry resolving plans against an explicit tuning cache and
+    /// device key.
+    pub fn with_cache(cache: TuningCache, device: impl Into<String>) -> Self {
+        PlanRegistry {
+            layers: RwLock::new(BTreeMap::new()),
+            cache,
+            device: device.into(),
+        }
+    }
+
+    /// Registry whose cache is loaded from `path` with the
+    /// never-failing loader (damage degrades to the static heuristic).
+    pub fn from_cache_file(path: &Path, device: impl Into<String>) -> Self {
+        Self::with_cache(TuningCache::load_or_rebuild(path), device)
+    }
+
+    /// Registers one layer, resolving its engine from the tuning cache
+    /// with static fallback. The filter transform runs here, once.
+    ///
+    /// # Errors
+    /// [`ServeError::Shape`] when `weights` do not match `desc`.
+    pub fn register_layer(
+        &self,
+        name: impl Into<String>,
+        desc: ConvDesc,
+        weights: Tensor4<f32>,
+    ) -> Result<(), ServeError> {
+        let mut canonical = desc;
+        canonical.batch = 1;
+        let engine = select_engine_cached(&canonical, &self.cache, &self.device);
+        self.register_with_engine(name, desc, weights, engine)
+    }
+
+    /// Registers one layer with an explicitly pinned engine (no cache
+    /// consultation).
+    ///
+    /// # Errors
+    /// [`ServeError::Shape`] when `weights` do not match `desc`.
+    pub fn register_with_engine(
+        &self,
+        name: impl Into<String>,
+        desc: ConvDesc,
+        weights: Tensor4<f32>,
+        engine: EngineChoice,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        let mut span = wino_probe::span("serve.register");
+        span.arg("layer", || name.clone());
+        let mut canonical = desc;
+        canonical.batch = 1;
+        if weights.dims() != (desc.out_ch, desc.in_ch, desc.ksz, desc.ksz) {
+            return Err(ServeError::Shape(format!(
+                "weights {:?} do not match {desc}",
+                weights.dims()
+            )));
+        }
+        let (warm, gemm) = match &engine {
+            EngineChoice::Winograd(cfg) => {
+                let pre = PrecomputedFilters::for_config(&weights, &canonical, cfg)
+                    .map_err(|e| ServeError::Shape(e.to_string()))?;
+                (Some(pre), cfg.gemm)
+            }
+            _ => (None, GemmConfig::default()),
+        };
+        let plan = LayerPlan {
+            chain: chain_for(&engine),
+            name: name.clone(),
+            desc: canonical,
+            engine,
+            weights,
+            warm,
+            gemm,
+        };
+        self.layers.write().insert(name, Arc::new(plan));
+        REGISTERED.add(1);
+        Ok(())
+    }
+
+    /// Registers every weighted conv node of a compute graph as
+    /// `"{prefix}/node{i}"`. Nodes without attached weights are
+    /// skipped (they cannot serve). Returns the registered names.
+    ///
+    /// # Errors
+    /// [`ServeError::Shape`] when any node's weights disagree with its
+    /// descriptor (the graph validates this on attach, so effectively
+    /// unreachable).
+    pub fn register_graph(
+        &self,
+        prefix: &str,
+        graph: &ComputeGraph,
+    ) -> Result<Vec<String>, ServeError> {
+        let mut names = Vec::new();
+        for (id, desc) in graph.conv_nodes() {
+            let Some(weights) = graph.weights(id) else {
+                continue;
+            };
+            let name = format!("{prefix}/node{}", id.0);
+            self.register_layer(name.clone(), desc, weights.clone())?;
+            names.push(name);
+        }
+        Ok(names)
+    }
+
+    /// Registers a zoo network by name (`"alexnet"`, `"nin"`,
+    /// `"inception-v1"`) with deterministic seeded weights, one layer
+    /// per spatial convolution, named `"{network}/{layer}"`. Returns
+    /// the registered names.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] for names outside the zoo.
+    pub fn register_network(&self, network: &str) -> Result<Vec<String>, ServeError> {
+        let convs: Vec<NamedConv> = match network {
+            "alexnet" => alexnet_convs(),
+            "nin" => nin_convs(),
+            "inception-v1" => inception_v1_convs(),
+            _ => return Err(ServeError::UnknownModel(network.to_string())),
+        };
+        let mut names = Vec::new();
+        for named in convs {
+            let name = format!("{}/{}", named.network, named.layer);
+            let d = named.desc;
+            // Deterministic per-layer weights, kept small so guardrail
+            // spot checks stay comfortably within tolerance.
+            let mut rng = StdRng::seed_from_u64(fnv1a(&name));
+            let weights =
+                Tensor4::<f32>::random(d.out_ch, d.in_ch, d.ksz, d.ksz, -0.1, 0.1, &mut rng);
+            self.register_layer(name.clone(), d, weights)?;
+            names.push(name);
+        }
+        Ok(names)
+    }
+
+    /// Looks up a registered plan.
+    pub fn get(&self, name: &str) -> Option<Arc<LayerPlan>> {
+        self.layers.read().get(name).cloned()
+    }
+
+    /// Registered layer names, sorted.
+    pub fn layer_names(&self) -> Vec<String> {
+        self.layers.read().keys().cloned().collect()
+    }
+
+    /// Number of registered layers.
+    pub fn len(&self) -> usize {
+        self.layers.read().len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.layers.read().is_empty()
+    }
+}
+
+/// FNV-1a of a layer name — the stable weight seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_tuner::{Evaluation, TuningPoint};
+
+    fn small_desc() -> ConvDesc {
+        ConvDesc::new(3, 1, 1, 4, 1, 8, 8, 2)
+    }
+
+    fn small_weights() -> Tensor4<f32> {
+        let mut rng = StdRng::seed_from_u64(7);
+        Tensor4::random(4, 2, 3, 3, -0.5, 0.5, &mut rng)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = PlanRegistry::new();
+        reg.register_layer("net/c1", small_desc(), small_weights())
+            .unwrap();
+        let plan = reg.get("net/c1").unwrap();
+        assert_eq!(plan.desc.batch, 1);
+        assert!(matches!(plan.engine, EngineChoice::Winograd(_)));
+        assert!(plan.warm.is_some(), "winograd plans carry warm filters");
+        assert_eq!(plan.tail_engine(), Engine::Direct);
+        assert!(reg.get("net/none").is_none());
+        assert_eq!(reg.layer_names(), vec!["net/c1".to_string()]);
+    }
+
+    #[test]
+    fn weights_must_match_desc() {
+        let reg = PlanRegistry::new();
+        let mut bad = small_desc();
+        bad.out_ch = 5;
+        assert!(matches!(
+            reg.register_layer("x", bad, small_weights()),
+            Err(ServeError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn tuned_plan_pins_the_engine() {
+        use wino_codegen::{PlanVariant, Unroll};
+        let cache = TuningCache::new();
+        let mut canonical = small_desc();
+        canonical.batch = 1;
+        cache.put(
+            &canonical,
+            "test-dev",
+            &Evaluation {
+                point: TuningPoint {
+                    variant: PlanVariant::WinogradNonFused { m: 3 },
+                    unroll: Unroll::Full,
+                    mnt: 2,
+                    mnb: 4,
+                    threads: 1,
+                },
+                time_ms: 0.1,
+            },
+        );
+        let reg = PlanRegistry::with_cache(cache, "test-dev");
+        reg.register_layer("net/c1", small_desc(), small_weights())
+            .unwrap();
+        let plan = reg.get("net/c1").unwrap();
+        assert_eq!(plan.head_engine(), Engine::NonFusedWinograd(3));
+        assert_eq!(plan.warm.as_ref().unwrap().spec().m, 3);
+    }
+
+    #[test]
+    fn zoo_networks_register_by_name() {
+        let reg = PlanRegistry::new();
+        let names = reg.register_network("alexnet").unwrap();
+        assert_eq!(names.len(), 5);
+        assert!(reg.get("alexnet/conv3").is_some());
+        // conv1 is 11x11 stride 4: no Winograd, no warm filters.
+        let conv1 = reg.get("alexnet/conv1").unwrap();
+        assert_eq!(conv1.head_engine(), Engine::Im2col);
+        assert!(conv1.warm.is_none());
+        // conv3 is a unit-stride 3x3: Winograd with warm filters.
+        let conv3 = reg.get("alexnet/conv3").unwrap();
+        assert!(matches!(conv3.head_engine(), Engine::NonFusedWinograd(_)));
+        assert!(conv3.warm.is_some());
+        assert!(matches!(
+            reg.register_network("resnet-9000"),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn graph_registration_walks_conv_nodes() {
+        let mut g = ComputeGraph::new();
+        let input = g.add_input();
+        let desc = small_desc();
+        let conv = g.add_conv(input, desc).unwrap();
+        g.set_weights(conv, small_weights()).unwrap();
+        let reg = PlanRegistry::new();
+        let names = reg.register_graph("toy", &g).unwrap();
+        assert_eq!(names.len(), 1);
+        assert!(reg.get(&names[0]).is_some());
+    }
+}

@@ -1,0 +1,564 @@
+//! The serving loop: submission queue, batch coalescing, execution.
+//!
+//! Threads and channels only (no async): callers [`submit`] requests
+//! onto a bounded queue; a scheduler thread coalesces same-layer
+//! requests into dynamic batches under `max_batch`/`max_wait`; a pool
+//! of executor threads runs each batch through [`GuardedConv`] with
+//! the layer's warm filter transform. Admission control sheds work at
+//! capacity ([`ServeError::Overloaded`]), per-request deadlines demote
+//! near-late members to the layer's terminal fallback engine, and
+//! [`Server::shutdown`] drains: in-flight requests complete, late
+//! submissions get [`ServeError::ShuttingDown`].
+//!
+//! Bit-identity: coalescing stacks inputs along the batch dimension,
+//! and every engine treats images independently (tiles never cross
+//! images), so a batched response is bit-identical to a one-at-a-time
+//! run of the same plan.
+//!
+//! [`submit`]: Server::submit
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use wino_guard::{Engine, GuardedConv, GuardrailPolicy};
+use wino_tensor::Tensor4;
+
+use crate::error::ServeError;
+use crate::registry::{LayerPlan, PlanRegistry};
+
+static ENQUEUED: wino_probe::Counter = wino_probe::Counter::new("serve.enqueued");
+static SHED: wino_probe::Counter = wino_probe::Counter::new("serve.shed");
+static BATCHES: wino_probe::Counter = wino_probe::Counter::new("serve.batches");
+static BATCHED: wino_probe::Counter = wino_probe::Counter::new("serve.batched");
+static EXECUTED: wino_probe::Counter = wino_probe::Counter::new("serve.executed");
+static DEADLINE_DEMOTIONS: wino_probe::Counter =
+    wino_probe::Counter::new("serve.deadline_demotions");
+static QUEUE_DEPTH: wino_probe::Gauge = wino_probe::Gauge::new("serve.queue_depth");
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Largest coalesced batch (requests, not images).
+    pub max_batch: usize,
+    /// Longest a request waits for batch-mates before dispatch. Zero
+    /// dispatches every request immediately (no coalescing).
+    pub max_wait: Duration,
+    /// Submission-queue capacity; requests beyond it are shed.
+    pub queue_capacity: usize,
+    /// Executor thread count.
+    pub executors: usize,
+    /// Deadline applied to requests that carry none.
+    pub default_deadline: Option<Duration>,
+    /// Margin subtracted from deadlines when deciding demotion: a
+    /// request within `slack` of its deadline at execution time runs
+    /// on the terminal fallback engine instead of the full chain.
+    pub deadline_slack: Duration,
+    /// Guardrails applied to every execution.
+    pub policy: GuardrailPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch: 5,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            executors: 1,
+            default_deadline: None,
+            deadline_slack: Duration::from_micros(500),
+            policy: GuardrailPolicy::full(),
+        }
+    }
+}
+
+/// One inference request.
+pub struct ConvRequest {
+    /// Registered layer name.
+    pub layer: String,
+    /// Input images `(N, C, H, W)`; `C/H/W` must match the layer,
+    /// any `N ≥ 1`.
+    pub input: Tensor4<f32>,
+    /// Time budget from submission; near-late requests demote to the
+    /// terminal fallback engine. `None` uses the server default.
+    pub deadline: Option<Duration>,
+}
+
+impl ConvRequest {
+    /// Request with the server's default deadline.
+    pub fn new(layer: impl Into<String>, input: Tensor4<f32>) -> Self {
+        ConvRequest {
+            layer: layer.into(),
+            input,
+            deadline: None,
+        }
+    }
+
+    /// Sets an explicit deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// One completed request.
+#[derive(Clone, Debug)]
+pub struct ConvResponse {
+    /// Output `(N, K, H_out, W_out)` for this request's images.
+    pub output: Tensor4<f32>,
+    /// Which engine produced it (after any demotions).
+    pub served_by: Engine,
+    /// Size of the coalesced batch this request rode in (1 when it
+    /// executed alone).
+    pub batched_with: usize,
+}
+
+/// Caller-side handle for an admitted request.
+pub struct ResponseHandle {
+    rx: channel::Receiver<Result<ConvResponse, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the response arrives. A server torn down before
+    /// executing the request yields [`ServeError::ShuttingDown`].
+    pub fn wait(self) -> Result<ConvResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+}
+
+/// A request admitted to the queue.
+struct Pending {
+    plan: Arc<LayerPlan>,
+    input: Tensor4<f32>,
+    enqueued_at: Instant,
+    deadline: Option<Duration>,
+    tx: channel::Sender<Result<ConvResponse, ServeError>>,
+}
+
+struct QueueState {
+    open: bool,
+    pending: VecDeque<Pending>,
+}
+
+/// The submission queue. `std::sync` primitives on purpose: the
+/// scheduler needs a timed condition wait, which the `parking_lot`
+/// shim does not provide.
+struct SubmissionQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// The batching inference server.
+///
+/// Dropping the server shuts it down (idempotent with an explicit
+/// [`Server::shutdown`]).
+pub struct Server {
+    registry: Arc<PlanRegistry>,
+    config: ServerConfig,
+    queue: Arc<SubmissionQueue>,
+    scheduler: Mutex<Option<JoinHandle<()>>>,
+    executors: Mutex<Vec<JoinHandle<()>>>,
+    shutting_down: AtomicBool,
+}
+
+impl Server {
+    /// Starts the scheduler and executor threads.
+    pub fn start(registry: Arc<PlanRegistry>, config: ServerConfig) -> Self {
+        let queue = Arc::new(SubmissionQueue {
+            state: Mutex::new(QueueState {
+                open: true,
+                pending: VecDeque::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        // The batch channel's only sender lives on the scheduler
+        // thread, so executor `recv` disconnects exactly when the
+        // scheduler exits (after the drain loop empties the queue).
+        let (batch_tx, batch_rx) = channel::bounded::<Vec<Pending>>(config.executors.max(1) * 2);
+        let scheduler = {
+            let queue = Arc::clone(&queue);
+            let max_batch = config.max_batch.max(1);
+            let max_wait = config.max_wait;
+            std::thread::spawn(move || scheduler_loop(&queue, max_batch, max_wait, &batch_tx))
+        };
+        let executors = (0..config.executors.max(1))
+            .map(|_| {
+                let rx = batch_rx.clone();
+                let policy = config.policy;
+                let slack = config.deadline_slack;
+                std::thread::spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        execute_batch(batch, policy, slack);
+                    }
+                })
+            })
+            .collect();
+        Server {
+            registry,
+            config,
+            queue,
+            scheduler: Mutex::new(Some(scheduler)),
+            executors: Mutex::new(executors),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    /// The plan registry this server executes against.
+    pub fn registry(&self) -> &Arc<PlanRegistry> {
+        &self.registry
+    }
+
+    /// Admits a request, returning a handle to wait on.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownLayer`] for unregistered names,
+    /// [`ServeError::Shape`] on input mismatch,
+    /// [`ServeError::ShuttingDown`] after drain began, and
+    /// [`ServeError::Overloaded`] when the queue is full (the request
+    /// is shed; nothing was enqueued).
+    pub fn submit(&self, req: ConvRequest) -> Result<ResponseHandle, ServeError> {
+        let plan = self
+            .registry
+            .get(&req.layer)
+            .ok_or_else(|| ServeError::UnknownLayer(req.layer.clone()))?;
+        let (n, c, h, w) = req.input.dims();
+        let d = &plan.desc;
+        if n == 0 || c != d.in_ch || h != d.in_h || w != d.in_w {
+            return Err(ServeError::Shape(format!(
+                "input ({n}, {c}, {h}, {w}) does not match layer {:?} expecting \
+                 (N, {}, {}, {})",
+                plan.name, d.in_ch, d.in_h, d.in_w
+            )));
+        }
+        let (tx, rx) = channel::bounded(1);
+        let deadline = req.deadline.or(self.config.default_deadline);
+        {
+            let mut st = self.queue.state.lock().expect("queue mutex poisoned");
+            if !st.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.pending.len() >= self.config.queue_capacity {
+                SHED.add(1);
+                return Err(ServeError::Overloaded {
+                    depth: st.pending.len(),
+                    capacity: self.config.queue_capacity,
+                });
+            }
+            st.pending.push_back(Pending {
+                plan,
+                input: req.input,
+                enqueued_at: Instant::now(),
+                deadline,
+                tx,
+            });
+            ENQUEUED.add(1);
+            QUEUE_DEPTH.set(st.pending.len() as i64);
+        }
+        self.queue.cv.notify_all();
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Convenience: submit and block for the response.
+    ///
+    /// # Errors
+    /// As [`Server::submit`] and [`ResponseHandle::wait`].
+    pub fn infer(&self, req: ConvRequest) -> Result<ConvResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Current submission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue
+            .state
+            .lock()
+            .expect("queue mutex poisoned")
+            .pending
+            .len()
+    }
+
+    /// Drains and stops: closes admission, lets the scheduler flush
+    /// every pending batch, waits for executors to finish in-flight
+    /// work. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut st = self.queue.state.lock().expect("queue mutex poisoned");
+            st.open = false;
+        }
+        self.queue.cv.notify_all();
+        if let Some(handle) = self
+            .scheduler
+            .lock()
+            .expect("scheduler mutex poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+        // The scheduler owned the only batch sender; executors drain
+        // the channel and observe the disconnect.
+        for handle in self
+            .executors
+            .lock()
+            .expect("executor mutex poisoned")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Scheduler: coalesce same-layer requests into batches. Dispatches a
+/// batch when `max_batch` same-layer requests are waiting, when the
+/// head request has waited `max_wait`, or immediately during drain.
+fn scheduler_loop(
+    queue: &SubmissionQueue,
+    max_batch: usize,
+    max_wait: Duration,
+    batch_tx: &channel::Sender<Vec<Pending>>,
+) {
+    let mut st = queue.state.lock().expect("queue mutex poisoned");
+    loop {
+        if st.pending.is_empty() {
+            if !st.open {
+                return; // drained
+            }
+            st = queue.cv.wait(st).expect("queue mutex poisoned");
+            continue;
+        }
+        let head_layer = st.pending[0].plan.name.clone();
+        let same = st
+            .pending
+            .iter()
+            .filter(|p| p.plan.name == head_layer)
+            .count();
+        let age = st.pending[0].enqueued_at.elapsed();
+        if same < max_batch && age < max_wait && st.open {
+            let (guard, _timeout) = queue
+                .cv
+                .wait_timeout(st, max_wait.saturating_sub(age))
+                .expect("queue mutex poisoned");
+            st = guard;
+            continue;
+        }
+        // Extract up to max_batch same-layer requests, FIFO order.
+        let mut batch = Vec::with_capacity(same.min(max_batch));
+        let mut i = 0;
+        while i < st.pending.len() && batch.len() < max_batch {
+            if st.pending[i].plan.name == head_layer {
+                batch.push(st.pending.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        QUEUE_DEPTH.set(st.pending.len() as i64);
+        drop(st);
+        if batch_tx.send(batch).is_err() {
+            // Executors are gone (shutdown already joined them);
+            // nothing left to serve.
+            return;
+        }
+        st = queue.state.lock().expect("queue mutex poisoned");
+    }
+}
+
+/// Executes one coalesced batch: near-deadline members demote to the
+/// terminal fallback engine, everyone else runs the full chain with
+/// the layer's warm filters.
+fn execute_batch(batch: Vec<Pending>, policy: GuardrailPolicy, slack: Duration) {
+    if batch.is_empty() {
+        return;
+    }
+    BATCHES.add(1);
+    if batch.len() > 1 {
+        BATCHED.add(batch.len() as u64);
+    }
+    let plan = Arc::clone(&batch[0].plan);
+    let mut on_time = Vec::new();
+    let mut late = Vec::new();
+    for p in batch {
+        let is_late = p
+            .deadline
+            .is_some_and(|d| p.enqueued_at.elapsed() + slack >= d);
+        if is_late {
+            DEADLINE_DEMOTIONS.add(1);
+            late.push(p);
+        } else {
+            on_time.push(p);
+        }
+    }
+    run_group(&plan, on_time, plan.chain.clone(), policy);
+    run_group(&plan, late, vec![plan.tail_engine()], policy);
+}
+
+/// Runs one group of requests as a single stacked convolution and
+/// scatters the output back per request.
+fn run_group(plan: &LayerPlan, group: Vec<Pending>, chain: Vec<Engine>, policy: GuardrailPolicy) {
+    if group.is_empty() {
+        return;
+    }
+    let batched_with = group.len();
+    let (_, c, h, w) = group[0].input.dims();
+    let total: usize = group.iter().map(|p| p.input.dims().0).sum();
+    // NCHW is n-major and contiguous: stacking along N is a straight
+    // copy, which is what keeps batched outputs bit-identical to
+    // one-at-a-time runs.
+    let mut input = Tensor4::<f32>::zeros(total, c, h, w);
+    let image = c * h * w;
+    let mut offset = 0;
+    for p in &group {
+        let n = p.input.dims().0;
+        input.data_mut()[offset..offset + n * image].copy_from_slice(p.input.data());
+        offset += n * image;
+    }
+    let mut desc = plan.desc;
+    desc.batch = total;
+    let m = plan.warm.as_ref().map_or(4, |pre| pre.spec().m);
+    let conv = GuardedConv::new(m)
+        .with_chain(chain)
+        .with_policy(policy)
+        .with_gemm_config(plan.gemm);
+    let result = {
+        let mut span = wino_probe::span("serve.execute");
+        span.arg("layer", || plan.name.clone());
+        span.arg("requests", || batched_with.to_string());
+        span.arg("images", || total.to_string());
+        conv.run_warm(&input, &plan.weights, &desc, plan.warm.as_ref())
+    };
+    match result {
+        Ok(out) => {
+            EXECUTED.add(batched_with as u64);
+            let (_, k, oh, ow) = out.output.dims();
+            let out_image = k * oh * ow;
+            let mut offset = 0;
+            for p in group {
+                let n = p.input.dims().0;
+                let mut piece = Tensor4::<f32>::zeros(n, k, oh, ow);
+                piece
+                    .data_mut()
+                    .copy_from_slice(&out.output.data()[offset..offset + n * out_image]);
+                offset += n * out_image;
+                let _ = p.tx.send(Ok(ConvResponse {
+                    output: piece,
+                    served_by: out.served_by,
+                    batched_with,
+                }));
+            }
+        }
+        Err(err) => {
+            let msg = err.to_string();
+            for p in group {
+                let _ = p.tx.send(Err(ServeError::Engine(msg.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wino_tensor::ConvDesc;
+
+    fn small_registry() -> Arc<PlanRegistry> {
+        let reg = PlanRegistry::new();
+        let desc = ConvDesc::new(3, 1, 1, 4, 1, 8, 8, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let weights = Tensor4::random(4, 2, 3, 3, -0.5, 0.5, &mut rng);
+        reg.register_layer("toy/c1", desc, weights).unwrap();
+        Arc::new(reg)
+    }
+
+    fn input(seed: u64) -> Tensor4<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor4::random(1, 2, 8, 8, -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let reg = small_registry();
+        let server = Server::start(Arc::clone(&reg), ServerConfig::default());
+        let resp = server.infer(ConvRequest::new("toy/c1", input(1))).unwrap();
+        assert_eq!(resp.output.dims(), (1, 4, 8, 8));
+        // Direct comparison against an unbatched GuardedConv run.
+        let plan = reg.get("toy/c1").unwrap();
+        let cold = GuardedConv::new(plan.warm.as_ref().unwrap().spec().m)
+            .with_chain(plan.chain.clone())
+            .with_gemm_config(plan.gemm)
+            .run(&input(1), &plan.weights, &plan.desc)
+            .unwrap();
+        assert_eq!(resp.output.data(), cold.output.data());
+        assert_eq!(resp.served_by, cold.served_by);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_layer_and_bad_shape_are_refused() {
+        let server = Server::start(small_registry(), ServerConfig::default());
+        assert!(matches!(
+            server.submit(ConvRequest::new("nope", input(1))),
+            Err(ServeError::UnknownLayer(_))
+        ));
+        let mut rng = StdRng::seed_from_u64(3);
+        let bad = Tensor4::random(1, 2, 9, 9, -1.0, 1.0, &mut rng);
+        assert!(matches!(
+            server.submit(ConvRequest::new("toy/c1", bad)),
+            Err(ServeError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn multi_image_requests_are_served() {
+        let server = Server::start(small_registry(), ServerConfig::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let three = Tensor4::random(3, 2, 8, 8, -1.0, 1.0, &mut rng);
+        let resp = server.infer(ConvRequest::new("toy/c1", three)).unwrap();
+        assert_eq!(resp.output.dims(), (3, 4, 8, 8));
+    }
+
+    #[test]
+    fn zero_deadline_demotes_to_tail_engine() {
+        let reg = small_registry();
+        let server = Server::start(Arc::clone(&reg), ServerConfig::default());
+        let resp = server
+            .infer(ConvRequest::new("toy/c1", input(2)).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert_eq!(resp.served_by, reg.get("toy/c1").unwrap().tail_engine());
+    }
+
+    #[test]
+    fn overload_sheds_when_queue_full() {
+        // Capacity 0 sheds everything at admission.
+        let config = ServerConfig {
+            queue_capacity: 0,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(small_registry(), config);
+        assert!(matches!(
+            server.submit(ConvRequest::new("toy/c1", input(4))),
+            Err(ServeError::Overloaded { capacity: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let server = Server::start(small_registry(), ServerConfig::default());
+        server.shutdown();
+        assert!(matches!(
+            server.submit(ConvRequest::new("toy/c1", input(5))),
+            Err(ServeError::ShuttingDown)
+        ));
+        server.shutdown(); // idempotent
+    }
+}

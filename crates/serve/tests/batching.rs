@@ -1,0 +1,109 @@
+//! Batch coalescing is invisible to callers: a coalesced batch's
+//! per-request outputs are bit-identical to one-at-a-time direct runs,
+//! for arbitrary layer shapes and request splits.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_guard::GuardedConv;
+use wino_serve::{ConvRequest, PlanRegistry, Server, ServerConfig};
+use wino_tensor::{ConvDesc, Tensor4};
+
+/// Serves `splits.len()` same-layer requests (each carrying
+/// `splits[i]` images) through a coalescing server and checks every
+/// response against a cold, unbatched [`GuardedConv`] run.
+fn assert_coalesced_bit_identity(
+    out_ch: usize,
+    in_ch: usize,
+    hw: usize,
+    splits: &[usize],
+    seed: u64,
+) {
+    let desc = ConvDesc::new(3, 1, 1, out_ch, 1, hw, hw, in_ch);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = Tensor4::random(out_ch, in_ch, 3, 3, -0.5, 0.5, &mut rng);
+    let registry = Arc::new(PlanRegistry::new());
+    registry
+        .register_layer("prop/layer", desc, weights)
+        .unwrap();
+    let plan = registry.get("prop/layer").unwrap();
+
+    let inputs: Vec<Tensor4<f32>> = splits
+        .iter()
+        .map(|&n| Tensor4::random(n, in_ch, hw, hw, -1.0, 1.0, &mut rng))
+        .collect();
+    let references: Vec<Tensor4<f32>> = inputs
+        .iter()
+        .map(|input| {
+            let mut d = plan.desc;
+            d.batch = input.dims().0;
+            let m = plan.warm.as_ref().map_or(4, |pre| pre.spec().m);
+            GuardedConv::new(m)
+                .with_chain(plan.chain.clone())
+                .with_gemm_config(plan.gemm)
+                .run(input, &plan.weights, &d)
+                .unwrap()
+                .output
+        })
+        .collect();
+
+    // max_batch = request count and a generous max_wait force the
+    // scheduler to coalesce everything into one batch (submissions
+    // take microseconds).
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            max_batch: splits.len(),
+            max_wait: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    );
+    let handles: Vec<_> = inputs
+        .into_iter()
+        .map(|input| {
+            server
+                .submit(ConvRequest::new("prop/layer", input))
+                .unwrap()
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let resp = handle.wait().unwrap();
+        assert_eq!(
+            resp.batched_with,
+            splits.len(),
+            "all requests must ride one coalesced batch"
+        );
+        assert_eq!(resp.output.dims(), references[i].dims());
+        let exact = resp
+            .output
+            .data()
+            .iter()
+            .zip(references[i].data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(exact, "request {i} diverged from its unbatched reference");
+    }
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn coalesced_batches_are_bit_identical_to_one_at_a_time(
+        out_ch in 1usize..5,
+        in_ch in 1usize..4,
+        hw in 6usize..12,
+        splits in proptest::collection::vec(1usize..3, 2..5),
+        seed in any::<u64>(),
+    ) {
+        assert_coalesced_bit_identity(out_ch, in_ch, hw, &splits, seed);
+    }
+}
+
+#[test]
+fn four_requests_coalesce_into_one_batch() {
+    assert_coalesced_bit_identity(4, 2, 10, &[1, 2, 1, 3], 0xba7c4);
+}

@@ -1,0 +1,68 @@
+//! Shutdown semantics: drain completes every admitted request, late
+//! submissions are refused, and teardown is idempotent.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_serve::{ConvRequest, PlanRegistry, ServeError, Server, ServerConfig};
+use wino_tensor::{ConvDesc, Tensor4};
+
+fn registry() -> Arc<PlanRegistry> {
+    let reg = PlanRegistry::new();
+    let desc = ConvDesc::new(3, 1, 1, 4, 1, 10, 10, 3);
+    let mut rng = StdRng::seed_from_u64(42);
+    let weights = Tensor4::random(4, 3, 3, 3, -0.5, 0.5, &mut rng);
+    reg.register_layer("net/l", desc, weights).unwrap();
+    Arc::new(reg)
+}
+
+fn input(seed: u64) -> Tensor4<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor4::random(1, 3, 10, 10, -1.0, 1.0, &mut rng)
+}
+
+#[test]
+fn drain_completes_every_admitted_request() {
+    let server = Server::start(
+        registry(),
+        ServerConfig {
+            // A long max_wait parks requests in the queue; shutdown's
+            // drain must flush them without waiting it out.
+            max_wait: Duration::from_secs(5),
+            max_batch: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let handles: Vec<_> = (0..6)
+        .map(|i| server.submit(ConvRequest::new("net/l", input(i))).unwrap())
+        .collect();
+    server.shutdown();
+    for handle in handles {
+        let resp = handle.wait().expect("in-flight requests complete on drain");
+        assert_eq!(resp.output.dims(), (1, 4, 10, 10));
+    }
+}
+
+#[test]
+fn late_submissions_get_shutting_down() {
+    let server = Server::start(registry(), ServerConfig::default());
+    let admitted = server.submit(ConvRequest::new("net/l", input(0))).unwrap();
+    server.shutdown();
+    assert!(matches!(
+        server.submit(ConvRequest::new("net/l", input(1))),
+        Err(ServeError::ShuttingDown)
+    ));
+    assert!(admitted.wait().is_ok(), "pre-shutdown request still served");
+    server.shutdown(); // idempotent
+}
+
+#[test]
+fn drop_tears_the_server_down() {
+    let server = Server::start(registry(), ServerConfig::default());
+    let handle = server.submit(ConvRequest::new("net/l", input(7))).unwrap();
+    drop(server);
+    // Drop runs the same drain: the admitted request was served.
+    assert!(handle.wait().is_ok());
+}

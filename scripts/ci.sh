@@ -59,4 +59,32 @@ drill "tuner:timeout:2" tuner.quarantine.timeout=1
 drill "tuner:nan:4"     tuner.quarantine.nonfinite=1
 drill "cache:corrupt"   tuner.cache.rebuilt=1
 
+echo "== wino-serve: load smoke (admission/batch accounting, fault fallback)"
+# The smoke drill serves 8 sequential requests with coalescing off, so
+# every serve.* counter is exact: nothing sheds at low load, each
+# request is its own batch, and the filter transform runs once at
+# registration. Under an armed transform fault the Winograd head is
+# poisoned every execution, the guard demotes to im2col, and all 8
+# requests are still served.
+serve_smoke() {
+  local fault="$1"; shift
+  local out
+  out=$(WINO_FAULT="$fault" ./target/release/wino-serve-load --smoke)
+  for expect in "$@"; do
+    if ! grep -qx "counter $expect" <<<"$out"; then
+      echo "FAIL: serve smoke WINO_FAULT='$fault' expected 'counter $expect', got:" >&2
+      grep "^counter " <<<"$out" >&2
+      exit 1
+    fi
+  done
+  echo "   ok: WINO_FAULT='${fault:-<unset>}' -> $*"
+}
+serve_smoke "" \
+  serve.enqueued=8 serve.shed=0 serve.batches=8 serve.batched=0 \
+  serve.executed=8 serve.deadline_demotions=0 conv.filter_transforms=1 \
+  guard.demote.guardrail=0 guard.served_by_fallback=0
+serve_smoke "transform:nan" \
+  serve.enqueued=8 serve.shed=0 serve.batches=8 serve.executed=8 \
+  conv.filter_transforms=1 guard.demote.guardrail=8 guard.served_by_fallback=8
+
 echo "CI OK"
