@@ -1,0 +1,326 @@
+//! Baseline perf artifact for the CI bench-smoke stage.
+//!
+//! One fast, deterministic-shaped run that writes
+//! `BENCH_baseline.json` — the perf trajectory every later PR is
+//! measured against. Three sections:
+//!
+//! - **zoo layer**: one real model-zoo convolution timed with the
+//!   dispatch level pinned to the scalar interpreted path and then to
+//!   the compiled-SIMD path, in the same process (same allocator
+//!   state, same recipes, same runtime). `speedup` is the headline.
+//! - **phases**: wall time and GFLOP/s per Winograd phase (filter /
+//!   input transform, batched SGEMM, output transform), attributed by
+//!   wino-probe spans and the exact per-recipe FLOP counts.
+//! - **serve**: a short closed-loop load on the batching server —
+//!   throughput and p50/p90/p99 latency.
+//!
+//! Numbers from the CI container are smoke-scale (one CPU, short
+//! runs): they establish direction and order of magnitude, not
+//! steady-state peaks.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_conv::{
+    conv_winograd_precomputed_level, winograd_flops, PrecomputedFilters, WinogradConfig,
+};
+use wino_gemm::{detect_simd, SimdLevel};
+use wino_probe::{self as probe, Mode};
+use wino_runtime::Runtime;
+use wino_serve::{ConvRequest, PlanRegistry, Server, ServerConfig};
+use wino_tensor::{ConvDesc, Tensor4};
+
+/// Timed zoo layer: AlexNet conv5 (3×3, 13×13 spatial, 384→256) at
+/// batch 1 — the classic Winograd-friendly late layer, small enough
+/// for a smoke run.
+const ZOO_LAYER: &str = "alexnet/conv5";
+
+/// Phases reported in the per-phase section, in pipeline order.
+const PHASES: &[&str] = &[
+    "conv.filter_transform",
+    "conv.input_transform",
+    "conv.batched_sgemm",
+    "conv.output_transform",
+];
+
+fn zoo_desc() -> ConvDesc {
+    wino_graph::zoo::alexnet_convs()
+        .into_iter()
+        .find(|c| format!("{}/{}", c.network, c.layer) == ZOO_LAYER)
+        .expect("zoo layer exists")
+        .desc
+}
+
+/// Best-of-`n` wall time of the layer under a pinned dispatch level.
+fn time_level(
+    input: &Tensor4<f32>,
+    pre: &PrecomputedFilters,
+    desc: &ConvDesc,
+    cfg: &WinogradConfig,
+    level: SimdLevel,
+    n: usize,
+) -> Duration {
+    let rt = Runtime::global();
+    let mut best = Duration::MAX;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        conv_winograd_precomputed_level(input, pre, desc, cfg.variant, &cfg.gemm, rt, level)
+            .expect("zoo layer conv");
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// Sums recorded span durations by phase name over one instrumented
+/// run and pairs each with its exact FLOP count.
+fn measure_phases(
+    input: &Tensor4<f32>,
+    pre: &PrecomputedFilters,
+    desc: &ConvDesc,
+    cfg: &WinogradConfig,
+    level: SimdLevel,
+) -> Vec<(String, f64, f64)> {
+    probe::set_mode(Mode::Summary);
+    let _ = probe::take_events();
+    // Re-transform the filters inside the instrumented window so the
+    // conv.filter_transform phase is captured too.
+    let pre_fresh = PrecomputedFilters::new(
+        &Tensor4::zeros(desc.out_ch, desc.in_ch, desc.ksz, desc.ksz),
+        desc,
+        Arc::clone(pre.recipes()),
+    )
+    .expect("filter transform");
+    drop(pre_fresh);
+    conv_winograd_precomputed_level(
+        input,
+        pre,
+        desc,
+        cfg.variant,
+        &cfg.gemm,
+        Runtime::global(),
+        level,
+    )
+    .expect("instrumented run");
+    let events = probe::take_events();
+    probe::set_mode(Mode::Off);
+
+    let flops = winograd_flops(desc, pre.recipes()).expect("flop accounting");
+    PHASES
+        .iter()
+        .map(|&phase| {
+            let ns: u64 = events
+                .iter()
+                .filter(|e| e.name == phase)
+                .map(|e| e.dur_ns)
+                .sum();
+            let phase_flops = match phase {
+                "conv.filter_transform" => flops.filter_transform,
+                "conv.input_transform" => flops.input_transform,
+                "conv.batched_sgemm" => flops.multiplication,
+                "conv.output_transform" => flops.output_transform,
+                _ => unreachable!(),
+            };
+            let secs = ns as f64 / 1e9;
+            let gflops = if secs > 0.0 {
+                phase_flops as f64 / secs / 1e9
+            } else {
+                0.0
+            };
+            (phase.to_string(), ns as f64 / 1e6, gflops)
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+struct ServeNumbers {
+    requests: usize,
+    served: usize,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+}
+
+/// Closed-loop load on one registered layer: 2 submitter threads in
+/// lock-step, coalescing enabled.
+fn measure_serve() -> ServeNumbers {
+    const REQUESTS: usize = 48;
+    const CONCURRENCY: usize = 2;
+    let registry = PlanRegistry::new();
+    let desc = ConvDesc::new(3, 1, 1, 32, 1, 32, 32, 16);
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    let weights = Tensor4::random(32, 16, 3, 3, -0.25, 0.25, &mut rng);
+    registry
+        .register_layer("baseline/conv3x3", desc, weights)
+        .expect("layer registers");
+    let registry = Arc::new(registry);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            executors: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let input = Tensor4::random(1, 16, 32, 32, -1.0, 1.0, &mut rng);
+    let latencies = Mutex::new(Vec::with_capacity(REQUESTS));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CONCURRENCY {
+            let latencies = &latencies;
+            let server = &server;
+            let input = &input;
+            scope.spawn(move || {
+                for _ in 0..REQUESTS / CONCURRENCY {
+                    let t0 = Instant::now();
+                    let req = ConvRequest::new("baseline/conv3x3", input.clone());
+                    if server.infer(req).is_ok() {
+                        latencies.lock().unwrap().push(t0.elapsed());
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    server.shutdown();
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort();
+    ServeNumbers {
+        requests: REQUESTS,
+        served: latencies.len(),
+        throughput_rps: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies, 50.0),
+        p90_ms: percentile(&latencies, 90.0),
+        p99_ms: percentile(&latencies, 99.0),
+    }
+}
+
+fn main() {
+    let out_path = {
+        let mut it = std::env::args().skip(1);
+        let mut path = "BENCH_baseline.json".to_string();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--out" => path = it.next().expect("--out requires a path"),
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        path
+    };
+
+    let detected = detect_simd();
+    let active = wino_gemm::simd_level();
+    let desc = zoo_desc();
+    let m = 4usize;
+    let cfg = WinogradConfig::new(m);
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let input = Tensor4::random(
+        desc.batch, desc.in_ch, desc.in_h, desc.in_w, -1.0, 1.0, &mut rng,
+    );
+    let filters = Tensor4::random(
+        desc.out_ch,
+        desc.in_ch,
+        desc.ksz,
+        desc.ksz,
+        -0.5,
+        0.5,
+        &mut rng,
+    );
+    let pre = PrecomputedFilters::for_config(&filters, &desc, &cfg).expect("precompute");
+
+    // Warm both paths once, then best-of-3 each.
+    time_level(&input, &pre, &desc, &cfg, SimdLevel::Scalar, 1);
+    let scalar = time_level(&input, &pre, &desc, &cfg, SimdLevel::Scalar, 3);
+    let simd_level = if detected == SimdLevel::Avx2 {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    };
+    time_level(&input, &pre, &desc, &cfg, simd_level, 1);
+    let simd = time_level(&input, &pre, &desc, &cfg, simd_level, 3);
+
+    let direct_flops = desc.flops() as f64;
+    let scalar_ms = scalar.as_secs_f64() * 1e3;
+    let simd_ms = simd.as_secs_f64() * 1e3;
+    let speedup = scalar_ms / simd_ms.max(1e-9);
+    println!(
+        "bench-smoke: {ZOO_LAYER} F({m},3) scalar={scalar_ms:.2}ms simd={simd_ms:.2}ms \
+         speedup={speedup:.2} (detected={}, active={})",
+        detected.name(),
+        active.name()
+    );
+
+    let phases = measure_phases(&input, &pre, &desc, &cfg, simd_level);
+    for (name, ms, gflops) in &phases {
+        println!("bench-smoke: phase {name} {ms:.3}ms {gflops:.2} GFLOP/s");
+    }
+
+    let serve = measure_serve();
+    println!(
+        "bench-smoke: serve served={}/{} throughput={:.1} req/s p50={:.2}ms p90={:.2}ms \
+         p99={:.2}ms",
+        serve.served,
+        serve.requests,
+        serve.throughput_rps,
+        serve.p50_ms,
+        serve.p90_ms,
+        serve.p99_ms
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"wino-bench-baseline/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"simd\": {{\"detected\": \"{}\", \"active\": \"{}\"}},",
+        detected.name(),
+        active.name()
+    );
+    let _ = writeln!(
+        json,
+        "  \"zoo_layer\": {{\n    \"layer\": \"{ZOO_LAYER}\", \"m\": {m},\n    \
+         \"desc\": \"{desc}\",\n    \
+         \"scalar_interpreted_ms\": {scalar_ms:.4},\n    \
+         \"simd_compiled_ms\": {simd_ms:.4},\n    \
+         \"speedup\": {speedup:.4},\n    \
+         \"effective_gflops_scalar\": {:.4},\n    \
+         \"effective_gflops_simd\": {:.4}\n  }},",
+        direct_flops / (scalar_ms / 1e3) / 1e9,
+        direct_flops / (simd_ms / 1e3) / 1e9,
+    );
+    json.push_str("  \"phases\": [\n");
+    for (i, (name, ms, gflops)) in phases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"phase\": \"{name}\", \"ms\": {ms:.4}, \"gflops\": {gflops:.4}}}{}",
+            if i + 1 < phases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"serve\": {{\n    \"layer\": \"baseline/conv3x3\", \"requests\": {}, \
+         \"served\": {},\n    \"throughput_rps\": {:.2},\n    \
+         \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4}\n  }}",
+        serve.requests,
+        serve.served,
+        serve.throughput_rps,
+        serve.p50_ms,
+        serve.p90_ms,
+        serve.p99_ms
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write baseline artifact");
+    println!("bench-smoke: wrote {out_path}");
+}

@@ -131,6 +131,12 @@ fn run_smoke() {
     for (name, value) in probe::counter_values() {
         println!("counter {name}={value}");
     }
+    // Gauges print current *and* peak: CI asserts serve.queue_depth
+    // drained to exactly zero after shutdown while the peak shows the
+    // queue was actually exercised.
+    for (name, current, peak) in probe::gauge_values() {
+        println!("gauge {name}={current} peak={peak}");
+    }
 }
 
 /// Per-layer request inputs, pre-generated so the measured latency is

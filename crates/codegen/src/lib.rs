@@ -33,6 +33,7 @@ mod gemm_kernel;
 mod options;
 mod plan;
 mod recipe_render;
+mod rust_transform;
 mod template;
 mod transform_kernels;
 mod unroll;
@@ -45,6 +46,7 @@ pub use gemm_kernel::{gen_gemm_kernel, gen_single_gemm_kernel, GemmDims};
 pub use options::{gemm_micro_efficiency, CodegenOptions};
 pub use plan::{generate_plan, PlanVariant};
 pub use recipe_render::{float_literal, render_recipe_block};
+pub use rust_transform::{emit_soa_transform, rust_f32_literal, soa_prelude};
 pub use template::{render_template, render_template_strict, Template};
 pub use transform_kernels::{
     gen_filter_transform_kernel, gen_input_transform_kernel, gen_output_transform_kernel,

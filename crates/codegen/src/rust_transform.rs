@@ -1,0 +1,269 @@
+//! Recipe → Rust compilation for the CPU engines.
+//!
+//! The GPU half of this crate splices recipes into CUCL templates; this
+//! module is the same meta-programming move aimed at the host: each
+//! straight-line recipe that `wino-verify` proves `≡ T·x` is emitted as
+//! a specialized, fully-unrolled Rust function applied
+//! structure-of-arrays across a batch of `L` tiles. Every recipe
+//! statement becomes exactly one vector operation over the lane batch,
+//! so the optimized op counts of Figure 5 translate one-to-one into
+//! retired vector instructions.
+//!
+//! Emitted code expects a small prelude of lane-wise helpers
+//! ([`soa_prelude`]) in scope and comes in two entry points per
+//! kernel: a plain `_scalar` function and an `_avx2` wrapper compiled
+//! under `#[target_feature(enable = "avx2,fma")]` so the same body
+//! autovectorizes. Per lane the dataflow is identical to the
+//! interpreted [`wino_symbolic::CompiledRecipe`] — same operation
+//! order, same `mul_add` fusion, constants baked in by f32 bit
+//! pattern — so the scalar entry is bit-identical to interpretation.
+
+use wino_num::Rational;
+use wino_symbolic::{Instr, Recipe, Reg};
+
+/// Lane-wise helper functions the emitted kernels call. Generated
+/// files include this once at the top; keeping it data rather than a
+/// crate dependency means the generated file is self-contained apart
+/// from `f32` itself.
+pub fn soa_prelude() -> &'static str {
+    r#"// Lane-wise vector helpers shared by the generated kernels.
+// Per lane these are exactly the CompiledRecipe scalar ops, so a
+// kernel's output is bit-identical to interpreting its recipe.
+
+#[inline(always)]
+fn vneg<const L: usize>(a: [f32; L]) -> [f32; L] {
+    let mut o = [0.0f32; L];
+    for l in 0..L {
+        o[l] = -a[l];
+    }
+    o
+}
+
+#[inline(always)]
+fn vadd<const L: usize>(a: [f32; L], b: [f32; L]) -> [f32; L] {
+    let mut o = [0.0f32; L];
+    for l in 0..L {
+        o[l] = a[l] + b[l];
+    }
+    o
+}
+
+#[inline(always)]
+fn vsub<const L: usize>(a: [f32; L], b: [f32; L]) -> [f32; L] {
+    let mut o = [0.0f32; L];
+    for l in 0..L {
+        o[l] = a[l] - b[l];
+    }
+    o
+}
+
+#[inline(always)]
+fn vmul<const L: usize>(c: f32, a: [f32; L]) -> [f32; L] {
+    let mut o = [0.0f32; L];
+    for l in 0..L {
+        o[l] = c * a[l];
+    }
+    o
+}
+
+#[inline(always)]
+fn vfma<const L: usize>(c: f32, a: [f32; L], b: [f32; L]) -> [f32; L] {
+    let mut o = [0.0f32; L];
+    for l in 0..L {
+        o[l] = c.mul_add(a[l], b[l]);
+    }
+    o
+}
+"#
+}
+
+/// Formats a rational constant as a bit-exact Rust f32 expression.
+/// `from_bits` sidesteps decimal round-tripping entirely: the emitted
+/// kernel bakes in *the same bits* `CompiledRecipe` computes via
+/// [`Rational::to_f32`], which is what the bit-identity contract needs.
+pub fn rust_f32_literal(c: &Rational) -> String {
+    let v = c.to_f32();
+    format!("f32::from_bits(0x{:08x}) /* {c} */", v.to_bits())
+}
+
+/// Emits the 2-D structure-of-arrays transform kernel for `recipe`.
+///
+/// The kernel computes `T · X · Tᵀ` for a batch of `L` tiles held in
+/// position-major SoA layout: `src[pos][lane]` with `pos` running over
+/// the `n_in × n_in` input tile, `dst[pos][lane]` over the
+/// `n_out × n_out` output tile. The 1-D recipe is unrolled once into
+/// an inner `pass` function and applied column-wise then row-wise —
+/// the paper's column-/row-wise index-based representation, with the
+/// element dimension replaced by the lane batch.
+///
+/// Three items are emitted per kernel: `{name}_scalar`,
+/// `{name}_avx2` (x86_64 only, caller checks CPUID), and
+/// `{NAME}_FINGERPRINT` pairing the kernel with its source recipe.
+pub fn emit_soa_transform(name: &str, recipe: &Recipe, doc: &str) -> String {
+    let n_in = recipe.n_in;
+    let n_out = recipe.n_out;
+    let mut s = String::new();
+    let upper = name.to_ascii_uppercase();
+
+    s.push_str(&format!(
+        "/// {doc}\n\
+         ///\n\
+         /// Generated from a verified straight-line recipe \
+         (fingerprint below);\n\
+         /// {n_in}×{n_in} SoA tile batch in, {n_out}×{n_out} out. \
+         Do not edit.\n"
+    ));
+    s.push_str(&format!(
+        "#[inline(always)]\n\
+         fn {name}_body<const L: usize>(src: &[[f32; L]], dst: &mut [[f32; L]]) {{\n\
+         \x20   debug_assert!(src.len() >= {});\n\
+         \x20   debug_assert!(dst.len() >= {});\n",
+        n_in * n_in,
+        n_out * n_out
+    ));
+
+    // The unrolled 1-D recipe: one statement per instruction, each a
+    // single lane-batch vector op.
+    s.push_str(&format!(
+        "    #[inline(always)]\n\
+         \x20   fn pass<const L: usize>(x: [[f32; L]; {n_in}]) -> [[f32; L]; {n_out}] {{\n"
+    ));
+    let reg = |r: Reg| -> String {
+        match r {
+            Reg::In(i) => format!("x[{i}]"),
+            Reg::Tmp(t) => format!("t{t}"),
+            Reg::Out(o) => format!("y{o}"),
+        }
+    };
+    for ins in &recipe.instrs {
+        let dst = reg(ins.dst());
+        let rhs = match ins {
+            Instr::Zero { .. } => "[0.0f32; L]".to_string(),
+            Instr::Copy { src, .. } => reg(*src),
+            Instr::Neg { src, .. } => format!("vneg({})", reg(*src)),
+            Instr::Add { a, b, .. } => format!("vadd({}, {})", reg(*a), reg(*b)),
+            Instr::Sub { a, b, .. } => format!("vsub({}, {})", reg(*a), reg(*b)),
+            Instr::Mul { c, a, .. } => format!("vmul({}, {})", rust_f32_literal(c), reg(*a)),
+            Instr::Fma { c, a, b, .. } => {
+                format!("vfma({}, {}, {})", rust_f32_literal(c), reg(*a), reg(*b))
+            }
+        };
+        s.push_str(&format!("        let {dst} = {rhs};\n"));
+    }
+    s.push_str("        [");
+    for o in 0..n_out {
+        if o > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("y{o}"));
+    }
+    s.push_str("]\n    }\n");
+
+    // Pass 1: columns of the input tile (stride n_in), then pass 2:
+    // rows of the intermediate (contiguous).
+    s.push_str(&format!(
+        "    let mut mid = [[0.0f32; L]; {}];\n\
+         \x20   for j in 0..{n_in} {{\n\
+         \x20       let y = pass([",
+        n_out * n_in
+    ));
+    for i in 0..n_in {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        if i == 0 {
+            s.push_str("src[j]");
+        } else {
+            s.push_str(&format!("src[{} + j]", i * n_in));
+        }
+    }
+    s.push_str(&format!(
+        "]);\n\
+         \x20       for (i, v) in y.into_iter().enumerate() {{\n\
+         \x20           mid[i * {n_in} + j] = v;\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         \x20   for i in 0..{n_out} {{\n\
+         \x20       let y = pass([",
+    ));
+    for j in 0..n_in {
+        if j > 0 {
+            s.push_str(", ");
+        }
+        if j == 0 {
+            s.push_str(&format!("mid[i * {n_in}]"));
+        } else {
+            s.push_str(&format!("mid[i * {n_in} + {j}]"));
+        }
+    }
+    s.push_str(&format!(
+        "]);\n\
+         \x20       for (j, v) in y.into_iter().enumerate() {{\n\
+         \x20           dst[i * {n_out} + j] = v;\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n\n"
+    ));
+
+    // Entry points + fingerprint.
+    s.push_str(&format!(
+        "/// Portable entry: per lane bit-identical to interpreting the recipe.\n\
+         pub fn {name}_scalar<const L: usize>(src: &[[f32; L]], dst: &mut [[f32; L]]) {{\n\
+         \x20   {name}_body(src, dst);\n\
+         }}\n\n\
+         /// AVX2+FMA entry: the same body compiled under target features so the\n\
+         /// lane loops vectorize.\n\
+         ///\n\
+         /// # Safety\n\
+         /// The CPU must support `avx2` and `fma` (callers dispatch on CPUID).\n\
+         #[cfg(target_arch = \"x86_64\")]\n\
+         #[target_feature(enable = \"avx2\", enable = \"fma\")]\n\
+         pub unsafe fn {name}_avx2<const L: usize>(src: &[[f32; L]], dst: &mut [[f32; L]]) {{\n\
+         \x20   {name}_body(src, dst);\n\
+         }}\n\n\
+         /// Fingerprint of the recipe this kernel was generated from.\n\
+         pub const {upper}_FINGERPRINT: u64 = 0x{:016x};\n",
+        recipe.fingerprint()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_symbolic::{generate_recipe, RecipeOptions};
+    use wino_transform::{table3_points, toom_cook_matrices, WinogradSpec};
+
+    fn input_recipe(m: usize, r: usize) -> Recipe {
+        let spec = WinogradSpec::new(m, r).unwrap();
+        let mats = toom_cook_matrices(spec, &table3_points(spec.alpha()).unwrap()).unwrap();
+        generate_recipe(&mats.b_t, &RecipeOptions::optimized())
+    }
+
+    #[test]
+    fn emitted_kernel_has_expected_structure() {
+        let recipe = input_recipe(2, 3);
+        let code = emit_soa_transform("f2x3_input", &recipe, "F(2,3) input transform");
+        assert!(code.contains("fn f2x3_input_body<const L: usize>"));
+        assert!(code.contains("pub fn f2x3_input_scalar<const L: usize>"));
+        assert!(code.contains("pub unsafe fn f2x3_input_avx2<const L: usize>"));
+        assert!(code.contains("target_feature(enable = \"avx2\", enable = \"fma\")"));
+        assert!(code.contains("F2X3_INPUT_FINGERPRINT"));
+        assert!(code.contains(&format!("0x{:016x}", recipe.fingerprint())));
+        // One emitted statement per recipe instruction in the pass
+        // body, plus the two `let y = pass(...)` applications.
+        let lets = code.matches("        let ").count();
+        assert_eq!(lets, recipe.instrs.len() + 2);
+    }
+
+    #[test]
+    fn constants_are_bit_exact() {
+        assert_eq!(
+            rust_f32_literal(&Rational::from_frac(1, 2)),
+            "f32::from_bits(0x3f000000) /* 1/2 */"
+        );
+        let neg = rust_f32_literal(&Rational::from_frac(-2, 3));
+        let bits = Rational::from_frac(-2, 3).to_f32().to_bits();
+        assert!(neg.contains(&format!("0x{bits:08x}")), "{neg}");
+    }
+}

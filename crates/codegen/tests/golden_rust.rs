@@ -1,0 +1,59 @@
+//! Golden-file tests for the recipe → Rust SoA emitter.
+//!
+//! The emitted source for a fixed recipe is part of the crate's
+//! contract: conv's build script compiles it verbatim into the hot
+//! path, so silent drift in emission (operand order, constant
+//! encoding, wrapper attributes) must fail loudly here, next to a
+//! reviewable diff. Regenerate with `BLESS=1 cargo test -p
+//! wino-codegen --test golden_rust` after an intentional change.
+
+use std::path::PathBuf;
+
+use wino_codegen::emit_soa_transform;
+use wino_symbolic::{generate_recipe, RecipeOptions};
+use wino_transform::{table3_points, toom_cook_matrices, WinogradSpec};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, emitted: &str) {
+    let path = golden_path(name);
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(&path, emitted).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        emitted, expected,
+        "emitted Rust for {name} drifted from the golden file; \
+         if intentional, regenerate with BLESS=1"
+    );
+}
+
+fn recipes(m: usize, r: usize) -> (wino_symbolic::Recipe, wino_symbolic::Recipe) {
+    let spec = WinogradSpec::new(m, r).unwrap();
+    let mats = toom_cook_matrices(spec, &table3_points(spec.alpha()).unwrap()).unwrap();
+    let opts = RecipeOptions::optimized();
+    (
+        generate_recipe(&mats.b_t, &opts),
+        generate_recipe(&mats.a_t, &opts),
+    )
+}
+
+#[test]
+fn f2x3_input_kernel_matches_golden() {
+    let (input, _) = recipes(2, 3);
+    let code = emit_soa_transform("f2x3_input", &input, "F(2,3) input transform `Bᵀ·d·B`.");
+    check_golden("f2x3_input.rs.golden", &code);
+}
+
+#[test]
+fn f4x3_output_kernel_matches_golden() {
+    let (_, output) = recipes(4, 3);
+    let code = emit_soa_transform("f4x3_output", &output, "F(4,3) output transform `Aᵀ·M·A`.");
+    check_golden("f4x3_output.rs.golden", &code);
+}

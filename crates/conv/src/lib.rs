@@ -14,11 +14,14 @@
 //!
 //! The [`accuracy`] module reproduces the paper's error-measurement
 //! protocol (Table 3, Figure 4); [`flops`] accounts Winograd work for
-//! Figure 5d and the GPU cost model.
+//! Figure 5d and the GPU cost model. The [`compiled`] module holds the
+//! build-time-compiled SoA transform kernels both Winograd engines
+//! dispatch to when SIMD is enabled (see `DESIGN.md` §5.9).
 
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod compiled;
 mod direct;
 mod error;
 pub mod fft;
@@ -36,8 +39,8 @@ pub use flops::{winograd_flops, winograd_flops_baseline, winograd_tile_total, Wi
 pub use im2col::{conv_im2col, im2col_image};
 pub use tiles::TileTransformer;
 pub use winograd::{
-    conv_winograd, conv_winograd_precomputed, conv_winograd_precomputed_rt, conv_winograd_rt,
-    conv_winograd_with_recipes, conv_winograd_with_recipes_rt, PrecomputedFilters, WinogradConfig,
-    WinogradVariant,
+    conv_winograd, conv_winograd_precomputed, conv_winograd_precomputed_level,
+    conv_winograd_precomputed_rt, conv_winograd_rt, conv_winograd_with_recipes,
+    conv_winograd_with_recipes_rt, PrecomputedFilters, WinogradConfig, WinogradVariant,
 };
 pub use winograd1d::{conv1d_direct, conv1d_winograd};

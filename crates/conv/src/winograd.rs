@@ -11,12 +11,13 @@
 
 use std::sync::{Arc, OnceLock};
 
-use wino_gemm::{batched_sgemm_rt, BatchedGemmShape, GemmConfig};
+use wino_gemm::{BatchedGemmShape, GemmConfig, SimdLevel};
 use wino_runtime::{DisjointSlice, Runtime};
 use wino_symbolic::RecipeOptions;
 use wino_tensor::{extract_input_tile, tile_counts, ConvDesc, Tensor4};
 use wino_transform::{recipe_db, TransformRecipes, WinogradSpec};
 
+use crate::compiled::{compiled_for, CompiledTransforms, LANES};
 use crate::direct::check_shapes;
 use crate::error::ConvError;
 use crate::tiles::TileTransformer;
@@ -358,6 +359,54 @@ pub fn conv_winograd_precomputed_rt(
     gemm: &GemmConfig,
     rt: &Runtime,
 ) -> Result<Tensor4<f32>, ConvError> {
+    conv_winograd_precomputed_level(input, pre, desc, variant, gemm, rt, wino_gemm::simd_level())
+}
+
+/// The engines with the transform dispatch level pinned (the public
+/// entry points pass the process-wide [`wino_gemm::simd_level`]).
+/// Public as a benchmarking/testing hook: it lets one process measure
+/// the scalar interpreted path against the compiled SIMD path without
+/// re-resolving `WINO_SIMD`.
+///
+/// Under [`SimdLevel::Scalar`] both engines run the interpreted
+/// per-tile transform paths unchanged; under [`SimdLevel::Avx2`] they
+/// batch full groups of [`LANES`] tiles through the compiled SoA
+/// kernels (when [`compiled_for`] approves them) and interpret the
+/// ragged remainder. The transform kernels have no cross-lane
+/// operations, so their outputs are bit-identical across levels; only
+/// the GEMM stage's micro-kernel differs per level.
+///
+/// # Errors
+/// As [`conv_winograd_precomputed_rt`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv_winograd_precomputed_level(
+    input: &Tensor4<f32>,
+    pre: &PrecomputedFilters,
+    desc: &ConvDesc,
+    variant: WinogradVariant,
+    gemm: &GemmConfig,
+    rt: &Runtime,
+    level: SimdLevel,
+) -> Result<Tensor4<f32>, ConvError> {
+    conv_winograd_precomputed_levels(input, pre, desc, variant, gemm, rt, level, level)
+}
+
+/// The engines with the transform and GEMM dispatch levels pinned
+/// *independently* — a test hook: holding the GEMM level fixed while
+/// varying the transform level isolates the compiled-SoA wiring from
+/// the micro-kernel's FMA-vs-mul+add rounding difference, so the
+/// transform halves can be compared bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn conv_winograd_precomputed_levels(
+    input: &Tensor4<f32>,
+    pre: &PrecomputedFilters,
+    desc: &ConvDesc,
+    variant: WinogradVariant,
+    gemm: &GemmConfig,
+    rt: &Runtime,
+    transform_level: SimdLevel,
+    gemm_level: SimdLevel,
+) -> Result<Tensor4<f32>, ConvError> {
     if input.dims() != (desc.batch, desc.in_ch, desc.in_h, desc.in_w) {
         return Err(ConvError::Shape(format!(
             "input dims {:?} do not match descriptor {desc}",
@@ -365,18 +414,44 @@ pub fn conv_winograd_precomputed_rt(
         )));
     }
     pre.check_desc(desc)?;
+    let compiled = match transform_level {
+        SimdLevel::Scalar => None,
+        SimdLevel::Avx2 => compiled_for(pre.recipes()),
+    };
     match variant {
-        WinogradVariant::NonFused => nonfused(input, pre, desc, gemm, rt),
-        WinogradVariant::Fused => fused(input, pre, desc, rt),
+        WinogradVariant::NonFused => nonfused(
+            input,
+            pre,
+            desc,
+            gemm,
+            rt,
+            transform_level,
+            gemm_level,
+            compiled,
+        ),
+        WinogradVariant::Fused => fused(input, pre, desc, rt, transform_level, compiled),
     }
 }
 
+/// Decomposes a linear tile index into `(batch, tile_y, tile_x)`.
+fn tile_coords(p: usize, th: usize, tw: usize) -> (usize, usize, usize) {
+    let n = p / (th * tw);
+    let rem = p % (th * tw);
+    (n, rem / tw, rem % tw)
+}
+
+// Lane loops index `lane l ↔ tile t0 + l` in parallel; an iterator
+// form would hide that pairing.
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 fn nonfused(
     input: &Tensor4<f32>,
     pre: &PrecomputedFilters,
     desc: &ConvDesc,
     gemm: &GemmConfig,
     rt: &Runtime,
+    level: SimdLevel,
+    gemm_level: SimdLevel,
+    compiled: Option<CompiledTransforms>,
 ) -> Result<Tensor4<f32>, ConvError> {
     let mut conv_span = wino_probe::span("conv.winograd.nonfused");
     conv_span.arg("desc", || desc.to_string());
@@ -400,7 +475,63 @@ fn nonfused(
     let input_span = wino_probe::span("conv.input_transform");
     let padded = input.pad_spatial(desc.pad);
     let mut v_scatter = vec![0.0f32; a2 * cc * p_total];
-    {
+    if let Some(ct) = compiled {
+        // Compiled SoA path: full groups of LANES tiles go through the
+        // generated kernel; the ragged tail group is interpreted.
+        let v_win = DisjointSlice::new(&mut v_scatter);
+        rt.parallel_for_chunks(0..p_total.div_ceil(LANES), 1, |groups| {
+            let _chunk_span = wino_probe::span("conv.tile_gather");
+            let mut it = TileTransformer::new(&recipes.input);
+            let mut in_tile = vec![0.0f32; a2];
+            let mut v_tile = vec![0.0f32; a2];
+            let mut src = vec![[0.0f32; LANES]; a2];
+            let mut dst = vec![[0.0f32; LANES]; a2];
+            for g in groups {
+                let p0 = g * LANES;
+                let count = LANES.min(p_total - p0);
+                TILES_GATHERED.add(count as u64);
+                if count == LANES {
+                    for c in 0..cc {
+                        for l in 0..LANES {
+                            let (n, ty, tx) = tile_coords(p0 + l, th, tw);
+                            extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
+                            for (xi, &val) in in_tile[..a2].iter().enumerate() {
+                                src[xi][l] = val;
+                            }
+                        }
+                        ct.input.run(level, &src, &mut dst);
+                        wino_probe::fault::inject_f32(
+                            wino_probe::fault::Site::Transform,
+                            dst.as_flattened_mut(),
+                        );
+                        for l in 0..LANES {
+                            let p = p0 + l;
+                            for (xi, lanes) in dst[..a2].iter().enumerate() {
+                                // SAFETY: only tile `p` writes column `p`.
+                                unsafe {
+                                    v_win.write((xi * cc + c) * p_total + p, lanes[l]);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for p in p0..p_total {
+                        let (n, ty, tx) = tile_coords(p, th, tw);
+                        for c in 0..cc {
+                            extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
+                            it.transform(&in_tile, &mut v_tile);
+                            for (xi, &val) in v_tile[..a2].iter().enumerate() {
+                                // SAFETY: only tile `p` writes column `p`.
+                                unsafe {
+                                    v_win.write((xi * cc + c) * p_total + p, val);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    } else {
         let v_win = DisjointSlice::new(&mut v_scatter);
         rt.parallel_for_chunks(0..p_total, 1, |tiles| {
             let _chunk_span = wino_probe::span("conv.tile_gather");
@@ -409,9 +540,7 @@ fn nonfused(
             let mut in_tile = vec![0.0f32; a2];
             let mut v_tile = vec![0.0f32; a2];
             for p in tiles {
-                let n = p / (th * tw);
-                let rem = p % (th * tw);
-                let (ty, tx) = (rem / tw, rem % tw);
+                let (n, ty, tx) = tile_coords(p, th, tw);
                 for c in 0..cc {
                     extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
                     it.transform(&in_tile, &mut v_tile);
@@ -439,7 +568,15 @@ fn nonfused(
         n: p_total,
     };
     let mut m_scatter = vec![0.0f32; shape.c_len()];
-    batched_sgemm_rt(&shape, u_scatter, &v_scatter, &mut m_scatter, gemm, rt);
+    wino_gemm::batched_sgemm_rt_level(
+        &shape,
+        u_scatter,
+        &v_scatter,
+        &mut m_scatter,
+        gemm,
+        rt,
+        gemm_level,
+    );
     drop(gemm_span);
 
     // Stage 3: output transform + placement, parallel over (k, p)
@@ -447,7 +584,54 @@ fn nonfused(
     // are written as disjoint segments.
     let output_span = wino_probe::span("conv.output_transform");
     let mut out = Tensor4::<f32>::zeros(desc.batch, kc, oh, ow);
-    {
+    if let Some(ct) = compiled {
+        let total = kc * p_total;
+        let out_win = DisjointSlice::new(out.data_mut());
+        rt.parallel_for_chunks(0..total.div_ceil(LANES), 1, |groups| {
+            let _chunk_span = wino_probe::span("conv.tile_scatter");
+            let mut ot = TileTransformer::new(&recipes.output);
+            let mut m_tile = vec![0.0f32; a2];
+            let mut y_tile = vec![0.0f32; m * m];
+            let mut src = vec![[0.0f32; LANES]; a2];
+            let mut dst = vec![[0.0f32; LANES]; m * m];
+            for g in groups {
+                let q0 = g * LANES;
+                let count = LANES.min(total - q0);
+                TILES_SCATTERED.add(count as u64);
+                if count == LANES {
+                    for l in 0..LANES {
+                        let (k, p) = ((q0 + l) / p_total, (q0 + l) % p_total);
+                        for (xi, lanes) in src[..a2].iter_mut().enumerate() {
+                            lanes[l] = m_scatter[(xi * kc + k) * p_total + p];
+                        }
+                    }
+                    ct.output.run(level, &src, &mut dst);
+                    wino_probe::fault::inject_f32(
+                        wino_probe::fault::Site::Transform,
+                        dst.as_flattened_mut(),
+                    );
+                    for l in 0..LANES {
+                        let (k, p) = ((q0 + l) / p_total, (q0 + l) % p_total);
+                        let (n, ty, tx) = tile_coords(p, th, tw);
+                        for (pos, val) in y_tile.iter_mut().enumerate() {
+                            *val = dst[pos][l];
+                        }
+                        place_tile_rows(&out_win, n, k, kc, oh, ow, ty, tx, m, &y_tile);
+                    }
+                } else {
+                    for q in q0..total {
+                        let (k, p) = (q / p_total, q % p_total);
+                        let (n, ty, tx) = tile_coords(p, th, tw);
+                        for xi in 0..a2 {
+                            m_tile[xi] = m_scatter[(xi * kc + k) * p_total + p];
+                        }
+                        ot.transform(&m_tile, &mut y_tile);
+                        place_tile_rows(&out_win, n, k, kc, oh, ow, ty, tx, m, &y_tile);
+                    }
+                }
+            }
+        });
+    } else {
         let out_win = DisjointSlice::new(out.data_mut());
         rt.parallel_for_chunks(0..kc * p_total, 1, |pairs| {
             let _chunk_span = wino_probe::span("conv.tile_scatter");
@@ -457,9 +641,7 @@ fn nonfused(
             let mut y_tile = vec![0.0f32; m * m];
             for q in pairs {
                 let (k, p) = (q / p_total, q % p_total);
-                let n = p / (th * tw);
-                let rem = p % (th * tw);
-                let (ty, tx) = (rem / tw, rem % tw);
+                let (n, ty, tx) = tile_coords(p, th, tw);
                 for xi in 0..a2 {
                     m_tile[xi] = m_scatter[(xi * kc + k) * p_total + p];
                 }
@@ -499,11 +681,16 @@ fn place_tile_rows(
     }
 }
 
+// Lane loops index `lane l ↔ tile t0 + l` in parallel; an iterator
+// form would hide that pairing.
+#[allow(clippy::needless_range_loop)]
 fn fused(
     input: &Tensor4<f32>,
     pre: &PrecomputedFilters,
     desc: &ConvDesc,
     rt: &Runtime,
+    level: SimdLevel,
+    compiled: Option<CompiledTransforms>,
 ) -> Result<Tensor4<f32>, ConvError> {
     let mut conv_span = wino_probe::span("conv.winograd.fused");
     conv_span.arg("desc", || desc.to_string());
@@ -530,6 +717,98 @@ fn fused(
     // placement) are interleaved per tile, so the two phases get
     // chunk-level spans instead of stage-level ones.
     let out_win = DisjointSlice::new(out.data_mut());
+    if let Some(ct) = compiled {
+        // Compiled SoA path: LANES spatial tiles advance together
+        // through transform, channel-summed multiply, and output
+        // transform; the ragged tail group runs the interpreted body.
+        let total = desc.batch * th * tw;
+        rt.parallel_for_chunks(0..total.div_ceil(LANES), 1, |groups| {
+            let mut it = TileTransformer::new(&recipes.input);
+            let mut ot = TileTransformer::new(&recipes.output);
+            let mut in_tile = vec![0.0f32; a2];
+            let mut v_tiles = vec![0.0f32; cc * a2];
+            let mut acc = vec![0.0f32; a2];
+            let mut y_tile = vec![0.0f32; m * m];
+            let mut src = vec![[0.0f32; LANES]; a2];
+            let mut v_soa = vec![[0.0f32; LANES]; cc * a2];
+            let mut acc_soa = vec![[0.0f32; LANES]; a2];
+            let mut y_soa = vec![[0.0f32; LANES]; m * m];
+            for g in groups {
+                let t0 = g * LANES;
+                let count = LANES.min(total - t0);
+                TILES_GATHERED.add(count as u64);
+                TILES_SCATTERED.add(count as u64);
+                if count == LANES {
+                    let gather_span = wino_probe::span("conv.tile_gather");
+                    for c in 0..cc {
+                        for l in 0..LANES {
+                            let (n, ty, tx) = tile_coords(t0 + l, th, tw);
+                            extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
+                            for (xi, &val) in in_tile[..a2].iter().enumerate() {
+                                src[xi][l] = val;
+                            }
+                        }
+                        let v = &mut v_soa[c * a2..(c + 1) * a2];
+                        ct.input.run(level, &src, v);
+                        wino_probe::fault::inject_f32(
+                            wino_probe::fault::Site::Transform,
+                            v.as_flattened_mut(),
+                        );
+                    }
+                    drop(gather_span);
+                    let _scatter_span = wino_probe::span("conv.tile_scatter");
+                    for k in 0..kc {
+                        acc_soa.fill([0.0; LANES]);
+                        for c in 0..cc {
+                            let u = &u_kc[(k * cc + c) * a2..(k * cc + c + 1) * a2];
+                            let v = &v_soa[c * a2..(c + 1) * a2];
+                            for xi in 0..a2 {
+                                for l in 0..LANES {
+                                    acc_soa[xi][l] += u[xi] * v[xi][l];
+                                }
+                            }
+                        }
+                        ct.output.run(level, &acc_soa, &mut y_soa);
+                        wino_probe::fault::inject_f32(
+                            wino_probe::fault::Site::Transform,
+                            y_soa.as_flattened_mut(),
+                        );
+                        for l in 0..LANES {
+                            let (n, ty, tx) = tile_coords(t0 + l, th, tw);
+                            for (pos, val) in y_tile.iter_mut().enumerate() {
+                                *val = y_soa[pos][l];
+                            }
+                            place_tile_rows(&out_win, n, k, kc, oh, ow, ty, tx, m, &y_tile);
+                        }
+                    }
+                } else {
+                    for t in t0..total {
+                        let (n, ty, tx) = tile_coords(t, th, tw);
+                        let gather_span = wino_probe::span("conv.tile_gather");
+                        for c in 0..cc {
+                            extract_input_tile(&padded, n, c, ty, tx, m, alpha, &mut in_tile);
+                            it.transform(&in_tile, &mut v_tiles[c * a2..(c + 1) * a2]);
+                        }
+                        drop(gather_span);
+                        let _scatter_span = wino_probe::span("conv.tile_scatter");
+                        for k in 0..kc {
+                            acc.fill(0.0);
+                            for c in 0..cc {
+                                let u = &u_kc[(k * cc + c) * a2..(k * cc + c + 1) * a2];
+                                let v = &v_tiles[c * a2..(c + 1) * a2];
+                                for xi in 0..a2 {
+                                    acc[xi] += u[xi] * v[xi];
+                                }
+                            }
+                            ot.transform(&acc, &mut y_tile);
+                            place_tile_rows(&out_win, n, k, kc, oh, ow, ty, tx, m, &y_tile);
+                        }
+                    }
+                }
+            }
+        });
+        return Ok(out);
+    }
     rt.parallel_for_chunks(0..desc.batch * th * tw, 1, |tiles| {
         TILES_GATHERED.add(tiles.len() as u64);
         TILES_SCATTERED.add(tiles.len() as u64);
@@ -540,9 +819,7 @@ fn fused(
         let mut acc = vec![0.0f32; a2];
         let mut y_tile = vec![0.0f32; m * m];
         for t in tiles {
-            let n = t / (th * tw);
-            let rem = t % (th * tw);
-            let (ty, tx) = (rem / tw, rem % tw);
+            let (n, ty, tx) = tile_coords(t, th, tw);
             // Input transform for every channel of this tile.
             let gather_span = wino_probe::span("conv.tile_gather");
             for c in 0..cc {
@@ -704,6 +981,48 @@ mod tests {
             let warm2 =
                 conv_winograd_precomputed(&input2, &pre, &desc2, variant, &cfg.gemm).unwrap();
             assert_bits_equal(&warm2, &cold2);
+        }
+    }
+
+    #[test]
+    fn compiled_engines_bit_identical_to_interpreted() {
+        // Forcing the *transform* dispatch level must not change
+        // output bits: the compiled SoA kernels retire the
+        // interpreter's per-lane ops in the interpreter's order. The
+        // GEMM level is pinned to Scalar on both sides — the
+        // micro-kernel's FMA rounding is the one legitimate
+        // cross-level difference, and holding it fixed isolates the
+        // transform wiring. Gated on actual AVX2 support because
+        // Avx2-level kernels require it.
+        if wino_gemm::detect_simd() != SimdLevel::Avx2 {
+            return;
+        }
+        let desc = ConvDesc::new(3, 1, 1, 4, 3, 12, 12, 3);
+        let (input, filt) = random_case(&desc, 55);
+        for m in [2usize, 4, 6] {
+            let cfg = WinogradConfig::new(m);
+            let pre = PrecomputedFilters::for_config(&filt, &desc, &cfg).unwrap();
+            assert!(
+                compiled_for(pre.recipes()).is_some(),
+                "expected compiled kernels for F({m},3)"
+            );
+            for variant in [WinogradVariant::NonFused, WinogradVariant::Fused] {
+                let rt = Runtime::global();
+                let run = |transform_level| {
+                    conv_winograd_precomputed_levels(
+                        &input,
+                        &pre,
+                        &desc,
+                        variant,
+                        &cfg.gemm,
+                        rt,
+                        transform_level,
+                        SimdLevel::Scalar,
+                    )
+                    .unwrap()
+                };
+                assert_bits_equal(&run(SimdLevel::Avx2), &run(SimdLevel::Scalar));
+            }
         }
     }
 

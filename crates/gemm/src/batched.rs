@@ -7,7 +7,8 @@
 //! the per-batch matrices live at a fixed stride inside three flat
 //! buffers.
 
-use crate::blocked::{gemm_flops, sgemm_acc_rt, GemmConfig};
+use crate::blocked::{gemm_flops, sgemm_acc_rt_level, GemmConfig};
+use crate::simd::{simd_level, SimdLevel};
 use wino_runtime::{DisjointSlice, Runtime};
 
 /// Independent batch multiplies executed by `batched_sgemm_rt`.
@@ -69,6 +70,23 @@ pub fn batched_sgemm_rt(
     cfg: &GemmConfig,
     rt: &Runtime,
 ) {
+    batched_sgemm_rt_level(shape, a, b, c, cfg, rt, simd_level());
+}
+
+/// [`batched_sgemm_rt`] with the SIMD dispatch level pinned instead of
+/// resolved from the process-wide [`simd_level`] — the hook the
+/// Winograd engines use so one pinned level governs transforms and
+/// multiplication alike (and benchmarks can compare levels in one
+/// process).
+pub fn batched_sgemm_rt_level(
+    shape: &BatchedGemmShape,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    cfg: &GemmConfig,
+    rt: &Runtime,
+    level: SimdLevel,
+) {
     assert!(a.len() >= shape.a_len(), "batched A too short");
     assert!(b.len() >= shape.b_len(), "batched B too short");
     assert!(c.len() >= shape.c_len(), "batched C too short");
@@ -82,7 +100,7 @@ pub fn batched_sgemm_rt(
         for batch in batches {
             // SAFETY: batch-major C windows are disjoint across batches.
             let c_batch = unsafe { c_win.slice_mut(batch * cm..(batch + 1) * cm) };
-            sgemm_acc_rt(
+            sgemm_acc_rt_level(
                 &a[batch * am..(batch + 1) * am],
                 &b[batch * bm..(batch + 1) * bm],
                 c_batch,
@@ -92,6 +110,7 @@ pub fn batched_sgemm_rt(
                 false,
                 cfg,
                 &serial,
+                level,
             );
         }
     });

@@ -8,6 +8,7 @@
 //! paper exposes for its GPU SGEMM (`MNt` register blocking, `MNb`
 //! thread blocking, Table 1).
 
+use crate::simd::{simd_level, SimdLevel};
 use wino_runtime::{DisjointSlice, Runtime};
 
 /// Multiply-add FLOPs retired by the blocked SGEMM (counted once per
@@ -35,10 +36,27 @@ impl Default for GemmConfig {
     }
 }
 
-/// Register micro-tile extents. Fixed at compile time so the inner
-/// loops fully unroll.
+/// Register micro-tile extents of the portable scalar kernel. Fixed
+/// at compile time so the inner loops fully unroll. These are the
+/// pre-SIMD values; changing them would change scalar accumulation
+/// order and break the `WINO_SIMD=off` bit-identity contract.
 const MR: usize = 4;
 const NR: usize = 4;
+
+/// Micro-tile extents of the AVX2 kernel: six rows of one 8-lane
+/// vector each keeps 6 accumulator registers + a broadcast + a B
+/// vector within the 16 ymm registers.
+const MR_AVX2: usize = 6;
+const NR_AVX2: usize = 8;
+
+/// Micro-tile extents for a dispatch level (packing and the macro
+/// loop are parameterized on these).
+fn tile_extents(level: SimdLevel) -> (usize, usize) {
+    match level {
+        SimdLevel::Scalar => (MR, NR),
+        SimdLevel::Avx2 => (MR_AVX2, NR_AVX2),
+    }
+}
 
 /// Below this many FLOPs a single GEMM runs serially even on a
 /// parallel runtime: the fork/join round trip costs more than the
@@ -106,6 +124,26 @@ pub fn sgemm_acc_rt(
     cfg: &GemmConfig,
     rt: &Runtime,
 ) {
+    sgemm_acc_rt_level(a, b, c, m, k, n, accumulate, cfg, rt, simd_level());
+}
+
+/// [`sgemm_acc_rt`] with the SIMD dispatch level pinned by the caller
+/// instead of resolved from `WINO_SIMD`/detection. This is the A/B
+/// hook the benchmarks and cross-kernel tests use; production paths
+/// go through [`sgemm_acc_rt`].
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_acc_rt_level(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    cfg: &GemmConfig,
+    rt: &Runtime,
+    level: SimdLevel,
+) {
     assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
     assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
@@ -126,7 +164,7 @@ pub fn sgemm_acc_rt(
     } else {
         rt
     };
-    sgemm_blocked(a, b, &mut c[..m * n], m, k, n, cfg, rt);
+    sgemm_blocked(a, b, &mut c[..m * n], m, k, n, cfg, rt, level);
     // WINO_FAULT hook (GEMM-kernel site): one relaxed load when
     // disarmed. Sits on the one entry point every GEMM path (plain,
     // blocked-config, batched, im2col) funnels through.
@@ -148,26 +186,28 @@ fn sgemm_blocked(
     n: usize,
     cfg: &GemmConfig,
     rt: &Runtime,
+    level: SimdLevel,
 ) {
+    let (mr, nr) = tile_extents(level);
     let panels = n.div_ceil(cfg.nc);
     let c_win = DisjointSlice::new(c);
     rt.parallel_for_chunks(0..panels, 1, |panel_range| {
         let mut panel_span = wino_probe::span("gemm.panel");
         panel_span.arg("panels", || panel_range.len().to_string());
-        let mut a_pack = vec![0.0f32; cfg.mc.next_multiple_of(MR) * cfg.kc];
-        let mut b_pack = vec![0.0f32; cfg.kc * cfg.nc.next_multiple_of(NR)];
+        let mut a_pack = vec![0.0f32; cfg.mc.next_multiple_of(mr) * cfg.kc];
+        let mut b_pack = vec![0.0f32; cfg.kc * cfg.nc.next_multiple_of(nr)];
         for panel in panel_range {
             let jj = panel * cfg.nc;
             let nb = cfg.nc.min(n - jj);
             let mut kk = 0;
             while kk < k {
                 let kb = cfg.kc.min(k - kk);
-                pack_b(&mut b_pack, b, kk, jj, kb, nb, n);
+                pack_b(&mut b_pack, b, kk, jj, kb, nb, n, nr);
                 let mut ii = 0;
                 while ii < m {
                     let mb = cfg.mc.min(m - ii);
-                    pack_a(&mut a_pack, a, ii, kk, mb, kb, k);
-                    macro_kernel(&a_pack, &b_pack, &c_win, ii, jj, mb, kb, nb, n);
+                    pack_a(&mut a_pack, a, ii, kk, mb, kb, k, mr);
+                    macro_kernel(&a_pack, &b_pack, &c_win, ii, jj, mb, kb, nb, n, level);
                     ii += mb;
                 }
                 kk += kb;
@@ -176,15 +216,25 @@ fn sgemm_blocked(
     });
 }
 
-/// Packs `A[ii.., kk..]` (mb×kb) into MR-row slivers so the
+/// Packs `A[ii.., kk..]` (mb×kb) into `mr`-row slivers so the
 /// micro-kernel reads it with unit stride.
-fn pack_a(dst: &mut [f32], a: &[f32], ii: usize, kk: usize, mb: usize, kb: usize, lda: usize) {
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    dst: &mut [f32],
+    a: &[f32],
+    ii: usize,
+    kk: usize,
+    mb: usize,
+    kb: usize,
+    lda: usize,
+    mr: usize,
+) {
     let mut idx = 0;
     let mut i = 0;
     while i < mb {
-        let rows = MR.min(mb - i);
+        let rows = mr.min(mb - i);
         for p in 0..kb {
-            for r in 0..MR {
+            for r in 0..mr {
                 dst[idx] = if r < rows {
                     a[(ii + i + r) * lda + kk + p]
                 } else {
@@ -197,14 +247,24 @@ fn pack_a(dst: &mut [f32], a: &[f32], ii: usize, kk: usize, mb: usize, kb: usize
     }
 }
 
-/// Packs `B[kk.., jj..]` (kb×nb) into NR-column slivers.
-fn pack_b(dst: &mut [f32], b: &[f32], kk: usize, jj: usize, kb: usize, nb: usize, ldb: usize) {
+/// Packs `B[kk.., jj..]` (kb×nb) into `nr`-column slivers.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    dst: &mut [f32],
+    b: &[f32],
+    kk: usize,
+    jj: usize,
+    kb: usize,
+    nb: usize,
+    ldb: usize,
+    nr: usize,
+) {
     let mut idx = 0;
     let mut j = 0;
     while j < nb {
-        let cols = NR.min(nb - j);
+        let cols = nr.min(nb - j);
         for p in 0..kb {
-            for col in 0..NR {
+            for col in 0..nr {
                 dst[idx] = if col < cols {
                     b[(kk + p) * ldb + jj + j + col]
                 } else {
@@ -217,7 +277,7 @@ fn pack_b(dst: &mut [f32], b: &[f32], kk: usize, jj: usize, kb: usize, nb: usize
     }
 }
 
-/// Runs the MR×NR micro-kernel over one packed macro-block,
+/// Runs the mr×nr micro-kernel over one packed macro-block,
 /// accumulating into `C` through the disjoint-write window (this
 /// task's column panel never overlaps another task's).
 #[allow(clippy::too_many_arguments)]
@@ -231,29 +291,39 @@ fn macro_kernel(
     kb: usize,
     nb: usize,
     ldc: usize,
+    level: SimdLevel,
 ) {
+    let (mr, nr) = tile_extents(level);
     let mut j = 0;
     let mut b_off = 0;
     while j < nb {
-        let cols = NR.min(nb - j);
+        let cols = nr.min(nb - j);
         let mut i = 0;
         let mut a_off = 0;
         while i < mb {
-            let rows = MR.min(mb - i);
-            micro_kernel(
-                &a_pack[a_off..a_off + kb * MR],
-                &b_pack[b_off..b_off + kb * NR],
-                c,
-                (ii + i) * ldc + jj + j,
-                rows,
-                cols,
-                ldc,
-                kb,
-            );
-            a_off += kb * MR;
+            let rows = mr.min(mb - i);
+            let a_sliver = &a_pack[a_off..a_off + kb * mr];
+            let b_sliver = &b_pack[b_off..b_off + kb * nr];
+            let c_off = (ii + i) * ldc + jj + j;
+            match level {
+                SimdLevel::Scalar => {
+                    micro_kernel(a_sliver, b_sliver, c, c_off, rows, cols, ldc, kb);
+                }
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Avx2 => {
+                    // SAFETY: Avx2 is only ever resolved when CPUID
+                    // reports avx2+fma (see `simd::resolve_simd`).
+                    unsafe {
+                        micro_kernel_avx2(a_sliver, b_sliver, c, c_off, rows, cols, ldc, kb);
+                    }
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                SimdLevel::Avx2 => unreachable!("avx2 level on non-x86_64"),
+            }
+            a_off += kb * mr;
             i += rows;
         }
-        b_off += kb * NR;
+        b_off += kb * nr;
         j += cols;
     }
 }
@@ -289,6 +359,62 @@ fn micro_kernel(
         let row = unsafe { c.slice_mut(base..base + cols) };
         for (dst, &add) in row.iter_mut().zip(acc_row[..cols].iter()) {
             *dst += add;
+        }
+    }
+}
+
+/// The AVX2/FMA inner kernel: MR_AVX2 rows × one 8-lane vector of
+/// accumulators live in ymm registers across the k loop; each step
+/// broadcasts one A element per row and fuses into the accumulator
+/// with `vfmaddps`. Numerics differ from the scalar kernel (fused
+/// rounding, different tile walk) — covered by the per-dispatch-level
+/// determinism contract, not cross-level bit-identity.
+///
+/// # Safety
+/// Caller must ensure the CPU supports `avx2` and `fma` (the dispatch
+/// in [`macro_kernel`] only selects this after CPUID detection).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_kernel_avx2(
+    a_sliver: &[f32],
+    b_sliver: &[f32],
+    c: &DisjointSlice<'_, f32>,
+    c_off: usize,
+    rows: usize,
+    cols: usize,
+    ldc: usize,
+    kb: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(a_sliver.len() >= kb * MR_AVX2);
+    debug_assert!(b_sliver.len() >= kb * NR_AVX2);
+    let mut acc = [_mm256_setzero_ps(); MR_AVX2];
+    let mut ap = a_sliver.as_ptr();
+    let mut bp = b_sliver.as_ptr();
+    for _ in 0..kb {
+        let bv = _mm256_loadu_ps(bp);
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*ap.add(r));
+            *acc_r = _mm256_fmadd_ps(av, bv, *acc_r);
+        }
+        ap = ap.add(MR_AVX2);
+        bp = bp.add(NR_AVX2);
+    }
+    for (r, acc_r) in acc.iter().enumerate().take(rows) {
+        let base = c_off + r * ldc;
+        // SAFETY: this micro-tile's row segment lies inside the
+        // caller's column panel, which no other task touches.
+        let row = c.slice_mut(base..base + cols);
+        if cols == NR_AVX2 {
+            let cv = _mm256_loadu_ps(row.as_ptr());
+            _mm256_storeu_ps(row.as_mut_ptr(), _mm256_add_ps(cv, *acc_r));
+        } else {
+            let mut spill = [0.0f32; NR_AVX2];
+            _mm256_storeu_ps(spill.as_mut_ptr(), *acc_r);
+            for (dst, &add) in row.iter_mut().zip(spill[..cols].iter()) {
+                *dst += add;
+            }
         }
     }
 }
@@ -388,5 +514,116 @@ mod tests {
     #[test]
     fn flop_accounting() {
         assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+
+    fn sgemm_level(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        lv: SimdLevel,
+    ) {
+        sgemm_acc_rt_level(
+            a,
+            b,
+            c,
+            m,
+            k,
+            n,
+            false,
+            &GemmConfig::default(),
+            Runtime::global(),
+            lv,
+        );
+    }
+
+    #[test]
+    fn avx2_matches_naive_on_awkward_shapes() {
+        if crate::simd::detect_simd() != SimdLevel::Avx2 {
+            return; // no AVX2+FMA on this machine; kernel untestable here
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        // Shapes straddling every tile boundary: full 6×8 tiles,
+        // partial rows, partial cols, single elements, and sizes
+        // crossing the mc/kc/nc cache blocks.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (6, 4, 8),
+            (5, 3, 7),
+            (13, 17, 19),
+            (65, 129, 130),
+            (70, 64, 257),
+        ] {
+            let a = random_mat(&mut rng, m * k);
+            let b = random_mat(&mut rng, k * n);
+            let mut c = vec![0.0f32; m * n];
+            let mut expect = vec![0.0f32; m * n];
+            sgemm_level(&a, &b, &mut c, m, k, n, SimdLevel::Avx2);
+            sgemm_naive(&a, &b, &mut expect, m, k, n);
+            assert_close(&c, &expect);
+        }
+    }
+
+    #[test]
+    fn avx2_and_scalar_agree_within_tolerance() {
+        if crate::simd::detect_simd() != SimdLevel::Avx2 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, k, n) = (37, 53, 41);
+        let a = random_mat(&mut rng, m * k);
+        let b = random_mat(&mut rng, k * n);
+        let mut c_simd = vec![0.0f32; m * n];
+        let mut c_scalar = vec![0.0f32; m * n];
+        sgemm_level(&a, &b, &mut c_simd, m, k, n, SimdLevel::Avx2);
+        sgemm_level(&a, &b, &mut c_scalar, m, k, n, SimdLevel::Scalar);
+        // Different accumulation order + FMA: close, not bit-equal.
+        assert_close(&c_simd, &c_scalar);
+    }
+
+    #[test]
+    fn scalar_level_accumulate_matches_plain_path() {
+        // The pinned-scalar entry must take the exact same code path
+        // as sgemm under WINO_SIMD=off: accumulate twice and compare
+        // bitwise.
+        let mut rng = StdRng::seed_from_u64(9);
+        let (m, k, n) = (9, 11, 10);
+        let a = random_mat(&mut rng, m * k);
+        let b = random_mat(&mut rng, k * n);
+        let mut c1 = vec![0.5f32; m * n];
+        let mut c2 = vec![0.5f32; m * n];
+        for acc in [true, false] {
+            sgemm_acc_rt_level(
+                &a,
+                &b,
+                &mut c1,
+                m,
+                k,
+                n,
+                acc,
+                &GemmConfig::default(),
+                Runtime::global(),
+                SimdLevel::Scalar,
+            );
+            sgemm_acc_rt(
+                &a,
+                &b,
+                &mut c2,
+                m,
+                k,
+                n,
+                acc,
+                &GemmConfig::default(),
+                Runtime::global(),
+            );
+        }
+        // Only bit-equal when the ambient dispatch is also scalar.
+        if simd_level() == SimdLevel::Scalar {
+            assert_eq!(c1, c2);
+        } else {
+            assert_close(&c1, &c2);
+        }
     }
 }

@@ -10,10 +10,13 @@
 
 mod batched;
 mod blocked;
+pub mod simd;
 mod strassen;
 
-pub use batched::{batched_sgemm, batched_sgemm_rt, BatchedGemmShape};
+pub use batched::{batched_sgemm, batched_sgemm_rt, batched_sgemm_rt_level, BatchedGemmShape};
 pub use blocked::{
-    gemm_flops, sgemm, sgemm_acc, sgemm_acc_rt, sgemm_naive, sgemm_with_config, GemmConfig,
+    gemm_flops, sgemm, sgemm_acc, sgemm_acc_rt, sgemm_acc_rt_level, sgemm_naive, sgemm_with_config,
+    GemmConfig,
 };
+pub use simd::{detect_simd, resolve_simd, simd_level, SimdLevel};
 pub use strassen::{sgemm_strassen, strassen_multiplies};

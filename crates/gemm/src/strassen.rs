@@ -9,8 +9,25 @@ use crate::blocked::sgemm;
 /// blocked kernel (Strassen's extra additions dominate below it).
 const CUTOFF: usize = 64;
 
+/// Smallest `p ≥ n` of the form `c · 2^k` with `c ≤ CUTOFF`: the
+/// minimal padding that still lets every recursion level split evenly
+/// until the blocked kernel takes over. Padding to the next power of
+/// two — the obvious choice — overshoots badly just past a boundary
+/// (n = 65 would pad to 128 and do 7·64³ ≈ 1.8 M multiplies; padding
+/// to 66 recurses once into 33×33 blocked calls, ≈ 0.25 M).
+fn padded_size(n: usize) -> usize {
+    debug_assert!(n > CUTOFF);
+    let mut k = 0u32;
+    while n.div_ceil(1 << k) > CUTOFF {
+        k += 1;
+    }
+    n.div_ceil(1 << k) << k
+}
+
 /// `C = A·B` for row-major square matrices of any size via Strassen's
-/// algorithm (internally padded to the next power of two).
+/// algorithm. Sizes above the cutoff are padded to the smallest
+/// `c · 2^k` (`c ≤ CUTOFF`) so the recursion always splits evenly —
+/// see [`padded_size`].
 ///
 /// Panics if a slice is shorter than `n²`; shapes are the caller's
 /// contract.
@@ -25,13 +42,13 @@ pub fn sgemm_strassen(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {
         sgemm(a, b, c, n, n, n);
         return;
     }
-    let p = n.next_power_of_two();
+    let p = padded_size(n);
     if p == n {
         let mut out = vec![0.0f32; n * n];
         strassen_rec(a, b, &mut out, n);
         c[..n * n].copy_from_slice(&out);
     } else {
-        // Pad to the power of two, multiply, crop.
+        // Pad to c·2^k, multiply, crop.
         let mut ap = vec![0.0f32; p * p];
         let mut bp = vec![0.0f32; p * p];
         let mut cp = vec![0.0f32; p * p];
@@ -46,7 +63,8 @@ pub fn sgemm_strassen(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {
     }
 }
 
-/// Recursive step; `n` is a power of two here.
+/// Recursive step; `n = c · 2^k` with `c ≤ CUTOFF` here, so every
+/// level above the cutoff is even and splits into equal quadrants.
 fn strassen_rec(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {
     if n <= CUTOFF {
         sgemm(a, b, c, n, n, n);
@@ -100,12 +118,21 @@ fn strassen_rec(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {
 
 /// Multiplication count of Strassen vs. the classical algorithm for an
 /// `n × n` problem — used by documentation and the complexity test.
+/// Mirrors what [`sgemm_strassen`] actually executes: below the cutoff
+/// the blocked kernel's `n³` (the old accounting charged `CUTOFF³` to
+/// every small problem), above it the padded recursion's `7^k · c³`.
 pub fn strassen_multiplies(n: usize) -> u64 {
-    let p = n.next_power_of_two().max(CUTOFF);
-    if p <= CUTOFF {
-        return (p as u64).pow(3);
+    if n <= CUTOFF {
+        return (n as u64).pow(3);
     }
-    7 * strassen_multiplies(p / 2)
+    fn rec(p: usize) -> u64 {
+        if p <= CUTOFF {
+            (p as u64).pow(3)
+        } else {
+            7 * rec(p / 2)
+        }
+    }
+    rec(padded_size(n))
 }
 
 #[cfg(test)]
@@ -187,5 +214,60 @@ mod tests {
     fn short_input_panics() {
         let mut c = vec![0.0f32; 4];
         sgemm_strassen(&[1.0], &[1.0; 4], &mut c, 2);
+    }
+
+    #[test]
+    fn multiply_count_matches_dispatch() {
+        // Below the cutoff the blocked kernel runs: n³, not CUTOFF³.
+        assert_eq!(strassen_multiplies(10), 1000);
+        assert_eq!(strassen_multiplies(64), 64u64.pow(3));
+        // Just past the boundary: pad 65 → 66, one split, 33³ leaves.
+        assert_eq!(strassen_multiplies(65), 7 * 33u64.pow(3));
+        // The padded count must never exceed the old
+        // next-power-of-two scheme's and should beat classical at 65.
+        assert!(strassen_multiplies(65) < 65u64.pow(3));
+        assert_eq!(strassen_multiplies(129), 49 * 33u64.pow(3));
+    }
+
+    #[test]
+    fn padding_is_minimal() {
+        assert_eq!(padded_size(65), 66);
+        assert_eq!(padded_size(100), 100);
+        assert_eq!(padded_size(127), 128);
+        assert_eq!(padded_size(128), 128);
+        assert_eq!(padded_size(129), 132);
+        assert_eq!(padded_size(257), 264);
+        for n in 65..1025 {
+            let p = padded_size(n);
+            assert!(p >= n, "p {p} < n {n}");
+            let mut c = p;
+            while c > CUTOFF {
+                assert_eq!(c % 2, 0, "n {n}: {p} has odd factor {c} above cutoff");
+                c /= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn pad_crop_is_exact_past_the_boundary() {
+        // Integer-valued inputs keep every intermediate representable,
+        // so padded Strassen must agree with naive *bitwise* — any
+        // pad/crop indexing drift shows up as a hard mismatch.
+        for n in [65usize, 66, 96, 129] {
+            let mut state = 42u64 ^ n as u64;
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % 7) as f32 - 3.0
+            };
+            let a: Vec<f32> = (0..n * n).map(|_| next()).collect();
+            let b: Vec<f32> = (0..n * n).map(|_| next()).collect();
+            let mut c = vec![0.0f32; n * n];
+            let mut expect = vec![0.0f32; n * n];
+            sgemm_strassen(&a, &b, &mut c, n);
+            sgemm_naive(&a, &b, &mut expect, n, n, n);
+            assert_eq!(c, expect, "n = {n}");
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! triple loop on arbitrary shapes, and respect algebraic structure.
 
 use proptest::prelude::*;
-use wino_gemm::{batched_sgemm, sgemm, sgemm_naive, BatchedGemmShape};
+use wino_gemm::{batched_sgemm, sgemm, sgemm_naive, sgemm_strassen, BatchedGemmShape};
 
 fn close(a: &[f32], b: &[f32]) -> bool {
     a.iter()
@@ -29,6 +29,46 @@ proptest! {
         sgemm(&a, &b, &mut c, m, k, n);
         sgemm_naive(&a, &b, &mut expect, m, k, n);
         prop_assert!(close(&c, &expect));
+    }
+
+    #[test]
+    fn strassen_matches_naive_any_size(
+        n in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        // Arbitrary n, odd sizes included: exercises the blocked
+        // cutoff (n ≤ 64), the even-split recursion, and the
+        // pad-and-crop path (odd n > 64). Integer-valued entries keep
+        // all intermediates exactly representable, so equality is
+        // bitwise — indexing drift in pad/crop cannot hide inside a
+        // float tolerance.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-3i8..4) as f32).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-3i8..4) as f32).collect();
+        let mut c = vec![0.0f32; n * n];
+        let mut expect = vec![0.0f32; n * n];
+        sgemm_strassen(&a, &b, &mut c, n);
+        sgemm_naive(&a, &b, &mut expect, n, n, n);
+        prop_assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn strassen_matches_naive_float(
+        n in 60usize..80,
+        seed in any::<u64>(),
+    ) {
+        // Real-valued spot check around the cutoff boundary with the
+        // usual tolerance (Strassen's extra additions cost a few ulp).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut c = vec![0.0f32; n * n];
+        let mut expect = vec![0.0f32; n * n];
+        sgemm_strassen(&a, &b, &mut c, n);
+        sgemm_naive(&a, &b, &mut expect, n, n, n);
+        prop_assert!(c.iter().zip(&expect).all(|(x, y)| (x - y).abs() <= 1e-3 * (1.0 + y.abs())));
     }
 
     #[test]

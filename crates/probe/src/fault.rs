@@ -256,7 +256,15 @@ pub fn set_fault(spec: Option<FaultSpec>) {
 /// Parses `WINO_FAULT` and arms it. Unset or empty disarms; malformed
 /// specs warn through [`crate::diag`] and disarm.
 pub fn init_from_env() -> Option<FaultSpec> {
-    let raw = std::env::var("WINO_FAULT").unwrap_or_default();
+    init_from_value(&std::env::var("WINO_FAULT").unwrap_or_default())
+}
+
+/// Resolves one `WINO_FAULT` value and arms it — the whole contract
+/// behind [`init_from_env`], factored out so tests can drive the
+/// fall-back paths without touching process environment. Empty or
+/// `off` disarms silently; a malformed spec warns through
+/// [`crate::diag`] and disarms explicitly (never a silent ignore).
+pub fn init_from_value(raw: &str) -> Option<FaultSpec> {
     let value = raw.trim();
     if value.is_empty() || value == "off" {
         set_fault(None);
@@ -407,6 +415,36 @@ mod tests {
         assert!(FaultSpec::parse("gemm:nan:2:junk").is_err());
         let spec = FaultSpec::parse("cache:corrupt").unwrap();
         assert_eq!(spec.to_string(), "cache:corrupt");
+    }
+
+    #[test]
+    fn malformed_env_value_diags_and_disarms() {
+        // This test drains the process-global diagnostics buffer, so
+        // it serializes with the lib tests that use it too.
+        let _diag_lock = crate::TEST_LOCK.lock();
+        // Arm something first so the test proves malformed input
+        // *disarms* rather than leaving a stale fault live.
+        let _scope = scoped("transform:nan");
+        assert!(armed(Site::Transform));
+        assert_eq!(init_from_value("quantum:flux"), None);
+        assert!(!armed(Site::Transform), "malformed spec must disarm");
+        let diags = crate::take_diagnostics();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.contains("ignoring WINO_FAULT") && d.contains("quantum")),
+            "missing malformed-value diagnostic: {diags:?}"
+        );
+        // Well-formed values and the off switch stay silent.
+        assert!(init_from_value("gemm:nan:2").is_some());
+        assert_eq!(init_from_value("off"), None);
+        assert_eq!(init_from_value("  "), None);
+        assert!(
+            !crate::take_diagnostics()
+                .iter()
+                .any(|d| d.contains("WINO_FAULT")),
+            "valid values must not warn"
+        );
     }
 
     #[test]

@@ -549,13 +549,17 @@ pub fn reset() {
     registry().diagnostics.lock().clear();
 }
 
+/// Serializes unit tests that touch process-global probe state (the
+/// mode, counters, and the diagnostics buffer) — shared with the
+/// fault-module tests, which drain diagnostics too.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex as TestMutex;
 
-    // Probe state is process-global; unit tests serialize on this.
-    static LOCK: TestMutex<()> = TestMutex::new(());
+    use crate::TEST_LOCK as LOCK;
 
     #[test]
     fn disabled_records_nothing() {

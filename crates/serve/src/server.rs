@@ -309,6 +309,15 @@ impl Server {
         {
             let _ = handle.join();
         }
+        // With every thread joined nothing can admit or extract work:
+        // fail anything the scheduler left behind (it only leaves the
+        // queue non-empty if it died) and pin the depth gauge at zero
+        // so `serve.queue_depth` always drains with the server.
+        let mut st = self.queue.state.lock().expect("queue mutex poisoned");
+        for p in st.pending.drain(..) {
+            let _ = p.tx.send(Err(ServeError::ShuttingDown));
+        }
+        QUEUE_DEPTH.set(0);
     }
 }
 
@@ -363,9 +372,20 @@ fn scheduler_loop(
         }
         QUEUE_DEPTH.set(st.pending.len() as i64);
         drop(st);
-        if batch_tx.send(batch).is_err() {
-            // Executors are gone (shutdown already joined them);
-            // nothing left to serve.
+        if let Err(channel::SendError(batch)) = batch_tx.send(batch) {
+            // Executors are gone (every receiver dropped, i.e. the
+            // pool died). Nothing can serve the extracted batch or
+            // anything still queued: fail them all explicitly so
+            // waiters unblock, and zero the depth gauge rather than
+            // leaving it stuck at the last set() value.
+            for p in batch {
+                let _ = p.tx.send(Err(ServeError::ShuttingDown));
+            }
+            let mut st = queue.state.lock().expect("queue mutex poisoned");
+            for p in st.pending.drain(..) {
+                let _ = p.tx.send(Err(ServeError::ShuttingDown));
+            }
+            QUEUE_DEPTH.set(0);
             return;
         }
         st = queue.state.lock().expect("queue mutex poisoned");
@@ -549,6 +569,33 @@ mod tests {
             server.submit(ConvRequest::new("toy/c1", input(4))),
             Err(ServeError::Overloaded { capacity: 0, .. })
         ));
+    }
+
+    #[test]
+    fn queue_depth_gauge_drains_to_zero_on_shutdown() {
+        wino_probe::set_mode(wino_probe::Mode::Summary);
+        // Long wait + large batch keeps submissions parked in the
+        // queue until shutdown forces the drain dispatch.
+        let config = ServerConfig {
+            max_batch: 8,
+            max_wait: Duration::from_secs(5),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(small_registry(), config);
+        let handles: Vec<_> = (0..3u64)
+            .map(|i| {
+                server
+                    .submit(ConvRequest::new("toy/c1", input(20 + i)))
+                    .unwrap()
+            })
+            .collect();
+        assert!(QUEUE_DEPTH.get() > 0, "submissions should raise the gauge");
+        server.shutdown();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        assert_eq!(server.queue_depth(), 0);
+        assert_eq!(QUEUE_DEPTH.get(), 0, "gauge must drain with the server");
     }
 
     #[test]

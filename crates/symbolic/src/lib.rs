@@ -41,10 +41,14 @@ pub mod cse;
 pub mod expr;
 pub mod lower;
 pub mod recipe;
+pub mod recipe_check;
 pub mod serialize;
 
 pub use cse::{eliminate_common_subexpressions, CseProgram};
 pub use expr::{symbolic_matvec, LinExpr, Node};
 pub use lower::{generate_naive_recipe, generate_recipe, lower_program, RecipeOptions};
 pub use recipe::{CompiledRecipe, Instr, OpCount, Recipe, RecipeScalar, Reg};
+pub use recipe_check::{
+    abstract_outputs, dead_statements, verify_recipe, RecipeError, RecipeProof,
+};
 pub use serialize::RecipeParseError;

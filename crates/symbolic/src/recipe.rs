@@ -334,6 +334,52 @@ impl Recipe {
         out
     }
 
+    /// Order-sensitive 64-bit FNV-1a fingerprint of the recipe's
+    /// structure: arities, instruction sequence, register operands,
+    /// and constants hashed by their f32 bit pattern (exactly the
+    /// value a compiled kernel bakes in). Generated kernels carry the
+    /// fingerprint of the recipe they were emitted from; runtime
+    /// dispatch refuses a kernel whose fingerprint does not match the
+    /// recipe it would replace.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x100000001b3;
+        fn eat(h: u64, bytes: &[u8]) -> u64 {
+            bytes
+                .iter()
+                .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(PRIME))
+        }
+        fn eat_reg(h: u64, r: Reg) -> u64 {
+            let (kind, idx) = match r {
+                Reg::In(i) => (0u8, i),
+                Reg::Tmp(t) => (1u8, t),
+                Reg::Out(o) => (2u8, o),
+            };
+            eat(eat(h, &[kind]), &(idx as u32).to_le_bytes())
+        }
+        let mut h = 0xcbf29ce484222325u64;
+        for arity in [self.n_in, self.n_out, self.n_tmp] {
+            h = eat(h, &(arity as u32).to_le_bytes());
+        }
+        for ins in &self.instrs {
+            h = match ins {
+                Instr::Zero { dst } => eat_reg(eat(h, &[0]), *dst),
+                Instr::Copy { dst, src } => eat_reg(eat_reg(eat(h, &[1]), *dst), *src),
+                Instr::Neg { dst, src } => eat_reg(eat_reg(eat(h, &[2]), *dst), *src),
+                Instr::Add { dst, a, b } => eat_reg(eat_reg(eat_reg(eat(h, &[3]), *dst), *a), *b),
+                Instr::Sub { dst, a, b } => eat_reg(eat_reg(eat_reg(eat(h, &[4]), *dst), *a), *b),
+                Instr::Mul { dst, c, a } => {
+                    let h = eat(eat(h, &[5]), &c.to_f32().to_bits().to_le_bytes());
+                    eat_reg(eat_reg(h, *dst), *a)
+                }
+                Instr::Fma { dst, c, a, b } => {
+                    let h = eat(eat(h, &[6]), &c.to_f32().to_bits().to_le_bytes());
+                    eat_reg(eat_reg(eat_reg(h, *dst), *a), *b)
+                }
+            };
+        }
+        h
+    }
+
     /// Maximum number of *simultaneously live* temporaries — what a
     /// register allocator actually needs, as opposed to the SSA count
     /// `n_tmp`. A temporary is live from its defining instruction to
@@ -810,6 +856,31 @@ mod tests {
             instrs,
         };
         assert_eq!(recipe.max_live_tmps(), 3);
+    }
+
+    #[test]
+    fn fingerprint_separates_and_is_stable() {
+        let a = f23_input_recipe();
+        assert_eq!(a.fingerprint(), f23_input_recipe().fingerprint());
+        let mut b = f23_input_recipe();
+        b.instrs.swap(0, 1); // order matters
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = f23_input_recipe();
+        c.instrs.pop();
+        c.n_out = 3;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Constants participate through their f32 bit pattern.
+        let mul = |v: Rational| Recipe {
+            n_in: 1,
+            n_out: 1,
+            n_tmp: 0,
+            instrs: vec![Instr::Mul {
+                dst: Reg::Out(0),
+                c: v,
+                a: Reg::In(0),
+            }],
+        };
+        assert_ne!(mul(r(1, 2)).fingerprint(), mul(r(1, 4)).fingerprint());
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use std::fmt;
 
+use crate::{symbolic_matvec, Instr, LinExpr, Node, OpCount, Recipe, Reg};
 use wino_num::{RatMat, Rational};
-use wino_symbolic::{symbolic_matvec, Instr, LinExpr, Node, OpCount, Recipe, Reg};
 
 /// Why a recipe failed verification.
 #[derive(Clone, Debug, PartialEq)]
@@ -271,7 +271,7 @@ pub fn verify_recipe(recipe: &Recipe, t: &RatMat) -> Result<RecipeProof, RecipeE
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wino_symbolic::{generate_recipe, RecipeOptions};
+    use crate::{generate_recipe, RecipeOptions};
 
     fn r(a: i64, b: i64) -> Rational {
         Rational::from_frac(a, b)
@@ -311,7 +311,7 @@ mod tests {
 
     #[test]
     fn dead_statement_detected() {
-        use wino_symbolic::{Instr, Reg};
+        use crate::{Instr, Reg};
         // y0 = x0 + x1 is live; t0 = x0 - x1 never reaches an output.
         let recipe = Recipe {
             n_in: 2,
@@ -340,7 +340,7 @@ mod tests {
 
     #[test]
     fn transitively_dead_chains_detected() {
-        use wino_symbolic::{Instr, Reg};
+        use crate::{Instr, Reg};
         // t0 feeds t1, t1 feeds nothing: both are dead.
         let recipe = Recipe {
             n_in: 1,
@@ -366,7 +366,7 @@ mod tests {
 
     #[test]
     fn coefficient_growth_tracks_intermediates() {
-        use wino_symbolic::{Instr, Reg};
+        use crate::{Instr, Reg};
         // y0 = (8·x0) − (15/2)·x0 = (1/2)·x0: the intermediate 8·x0
         // carries a coefficient 16× the final matrix entry.
         let recipe = Recipe {

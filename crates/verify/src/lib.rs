@@ -8,7 +8,11 @@
 //!    SSA well-formedness and dead-statement checks. This upgrades the
 //!    paper's correctness claim for the symbolically optimized recipes
 //!    (§3.1.2) from "numerically spot-checked" to "machine-proved for
-//!    all inputs".
+//!    all inputs". (The implementation lives in
+//!    `wino_symbolic::recipe_check`, re-exported here, so build
+//!    scripts low in the crate graph — notably wino-conv's compiled
+//!    transform generator — can use the same proof gate without
+//!    pulling in the GPU linting stack.)
 //! 2. **Template/kernel linter** ([`template_lint`]) — parses every
 //!    shipped kernel template, drives the generators over a
 //!    representative sweep, and validates the emitted sources and
@@ -19,16 +23,16 @@
 
 #![warn(missing_docs)]
 
-pub mod recipe_check;
 pub mod template_lint;
 pub mod unsafe_audit;
 
-pub use recipe_check::{
-    abstract_outputs, dead_statements, verify_recipe, RecipeError, RecipeProof,
-};
 pub use template_lint::{lint_generated_plans, lint_static_templates};
 pub use unsafe_audit::{
     audit_all, audit_chunk_partition, audit_scatter_coverage, debug_checks_enabled,
+};
+pub use wino_symbolic::recipe_check;
+pub use wino_symbolic::recipe_check::{
+    abstract_outputs, dead_statements, verify_recipe, RecipeError, RecipeProof,
 };
 
 use wino_symbolic::RecipeOptions;

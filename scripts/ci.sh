@@ -13,12 +13,29 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== tier-1: release build"
 cargo build --release --offline
+# The later stages drive binaries from member crates (wino-verify,
+# guard_drill, wino-serve-load, wino-bench-smoke); the root package
+# build above does not produce those, so build the workspace too.
+cargo build --release --offline --workspace
 
 echo "== tier-1: test suite"
 cargo test -q --offline
 
 echo "== wino-verify: static verification (recipes, templates, unsafe invariants)"
-./target/release/wino-verify
+verify_out=$(./target/release/wino-verify)
+echo "$verify_out" | tail -n 4
+# The compiled-kernel table (wino-conv's build script) generates its
+# recipes from exactly these specs with the optimized pipeline; assert
+# the sweep proved each one, so only proven recipes are ever compiled.
+for spec in "F(2,3)" "F(4,3)" "F(6,3)"; do
+  for stage in input output; do
+    if ! grep -q "$spec/$stage/optimized" <<<"$verify_out"; then
+      echo "FAIL: wino-verify sweep did not cover $spec/$stage/optimized" >&2
+      exit 1
+    fi
+  done
+done
+echo "   ok: compiled-kernel recipe inputs covered by the proof sweep"
 
 echo "== probe smoke: figure6 with WINO_TRACE=summary"
 # (plain grep, not -q: an early pipe close would SIGPIPE the binary)
@@ -37,15 +54,15 @@ echo "== wino-guard: fault-injection drill matrix"
 drill() {
   local fault="$1"; shift
   local out
-  out=$(WINO_FAULT="$fault" ./target/release/guard_drill)
+  out=$(WINO_FAULT="$fault" WINO_SIMD="${drill_simd:-auto}" ./target/release/guard_drill)
   for expect in "$@"; do
     if ! grep -qx "counter $expect" <<<"$out"; then
-      echo "FAIL: WINO_FAULT='$fault' expected 'counter $expect', got:" >&2
+      echo "FAIL: WINO_FAULT='$fault' WINO_SIMD='${drill_simd:-auto}' expected 'counter $expect', got:" >&2
       grep "^counter " <<<"$out" >&2
       exit 1
     fi
   done
-  echo "   ok: WINO_FAULT='${fault:-<unset>}' -> $*"
+  echo "   ok: WINO_FAULT='${fault:-<unset>}' WINO_SIMD='${drill_simd:-auto}' -> $*"
 }
 drill "" \
   guard.demote.panic=0 guard.demote.guardrail=0 guard.served_by_fallback=0 \
@@ -58,6 +75,19 @@ drill "tuner:panic:3"   tuner.quarantine.panic=1
 drill "tuner:timeout:2" tuner.quarantine.timeout=1
 drill "tuner:nan:4"     tuner.quarantine.nonfinite=1
 drill "cache:corrupt"   tuner.cache.rebuilt=1
+
+echo "== wino-guard: drill spot-checks with the SIMD path pinned on"
+# Same drill, dispatch level pinned to the compiled AVX2 kernels (on
+# hosts without avx2+fma this diags and falls back to scalar, which
+# still must pass). The clean run proves the f64 guardrail spot-checks
+# accept the SIMD outputs at the documented tolerance (zero demotions);
+# the fault runs prove injection and demotion still work on that path.
+drill_simd=avx2
+drill "" \
+  guard.demote.panic=0 guard.demote.guardrail=0 guard.served_by_fallback=0
+drill "transform:nan"   guard.demote.guardrail=3 guard.served_by_fallback=2
+drill "gemm:nan"        guard.demote.guardrail=2 guard.served_by_fallback=1
+unset drill_simd
 
 echo "== wino-serve: load smoke (admission/batch accounting, fault fallback)"
 # The smoke drill serves 8 sequential requests with coalescing off, so
@@ -77,7 +107,14 @@ serve_smoke() {
       exit 1
     fi
   done
-  echo "   ok: WINO_FAULT='${fault:-<unset>}' -> $*"
+  # Sequential requests never stack, so the depth gauge peaks at
+  # exactly 1 and must drain to exactly 0 once the server shuts down.
+  if ! grep -qx "gauge serve.queue_depth=0 peak=1" <<<"$out"; then
+    echo "FAIL: serve smoke WINO_FAULT='$fault': serve.queue_depth did not drain to 0 (peak 1), got:" >&2
+    grep "^gauge " <<<"$out" >&2
+    exit 1
+  fi
+  echo "   ok: WINO_FAULT='${fault:-<unset>}' -> $* + queue_depth drained"
 }
 serve_smoke "" \
   serve.enqueued=8 serve.shed=0 serve.batches=8 serve.batched=0 \
@@ -86,5 +123,18 @@ serve_smoke "" \
 serve_smoke "transform:nan" \
   serve.enqueued=8 serve.shed=0 serve.batches=8 serve.executed=8 \
   conv.filter_transforms=1 guard.demote.guardrail=8 guard.served_by_fallback=8
+
+echo "== bench smoke: baseline perf artifact (BENCH_baseline.json)"
+# One zoo layer timed scalar-interpreted vs compiled-SIMD in the same
+# process, per-phase GFLOP/s from probe spans, and a short closed-loop
+# serve run. The artifact is the perf trajectory later PRs beat.
+WINO_SIMD=auto ./target/release/wino-bench-smoke --out BENCH_baseline.json
+python3 -m json.tool BENCH_baseline.json >/dev/null
+speedup=$(python3 -c "import json; print(json.load(open('BENCH_baseline.json'))['zoo_layer']['speedup'])")
+if ! python3 -c "import sys; sys.exit(0 if float('$speedup') >= 1.0 else 1)"; then
+  echo "FAIL: SIMD+compiled path slower than scalar interpreted (speedup=$speedup)" >&2
+  exit 1
+fi
+echo "   ok: BENCH_baseline.json written (zoo-layer speedup ${speedup}x)"
 
 echo "CI OK"
