@@ -1,8 +1,10 @@
 //! Criterion timings backing EXPERIMENTS.md's claim that the probe's
 //! disabled path costs nothing measurable: the same Winograd
-//! convolution with tracing off vs. recording (summary mode). The
-//! off/baseline pair should agree to within run-to-run noise; summary
-//! mode shows the (small) price of actually recording spans.
+//! convolution with tracing off vs. recording (summary mode), plus
+//! microbenchmarks of the telemetry primitives themselves — a
+//! histogram record with stats off vs. on, and a span completion with
+//! the flight recorder armed (one ring append) vs. disarmed. The
+//! off/baseline pairs should agree to within run-to-run noise.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -41,5 +43,57 @@ fn bench_probe_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_probe_overhead);
+/// The telemetry primitives in isolation: what one histogram record
+/// and one flight-ring append cost, against their disabled paths.
+fn bench_telemetry_primitives(c: &mut Criterion) {
+    static H: probe::Histogram = probe::Histogram::new("bench.hist_overhead");
+
+    let mut group = c.benchmark_group("probe_primitives");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+
+    // Disabled: a relaxed load and a branch, no interning.
+    probe::set_mode(Mode::Off);
+    probe::set_telemetry(false);
+    group.bench_function("hist-record-off", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(977);
+            H.record(black_box(v));
+        })
+    });
+
+    // Enabled: bucket/count/sum fetch_add plus a fetch_max.
+    probe::set_telemetry(true);
+    group.bench_function("hist-record-on", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(977);
+            H.record(black_box(v));
+        })
+    });
+    probe::set_telemetry(false);
+
+    // Span completion with the recorder disarmed (tracing off too, so
+    // the span is fully inert) vs. armed (one ring append on drop).
+    group.bench_function("span-flight-off", |b| {
+        b.iter(|| {
+            let s = probe::span(black_box("bench.flight_overhead"));
+            drop(s);
+        })
+    });
+    probe::flight::set_enabled(true);
+    group.bench_function("span-flight-append", |b| {
+        b.iter(|| {
+            let s = probe::span(black_box("bench.flight_overhead"));
+            drop(s);
+        })
+    });
+    probe::flight::set_enabled(false);
+    probe::reset();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_overhead, bench_telemetry_primitives);
 criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Perf-trajectory gate: diff a head bench-smoke artifact against the
+//! committed baseline and exit nonzero on regression.
+//!
+//! ```text
+//! wino-bench-compare BENCH_baseline.json BENCH_head.json
+//! ```
+//!
+//! Both paths must be `wino-bench-baseline/v2` artifacts as written by
+//! `wino-bench-smoke`. The gated metrics and their tolerances live in
+//! `wino_telemetry::benchcmp::default_specs` — deliberately wide, so
+//! the gate trips on trajectory breaks (a kernel falling back to
+//! scalar, a serve path serializing), not CI-host jitter. A metric
+//! missing from either artifact is a failure too: a silently vanished
+//! metric is how gates rot.
+//!
+//! Exit status: 0 when every gated metric is within tolerance, 1 on
+//! any regression or missing metric, 2 on unreadable/unparseable
+//! input.
+
+use std::process::ExitCode;
+
+use serde::Value;
+use wino_telemetry::benchcmp::{compare, default_specs};
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, head_path] = args.as_slice() else {
+        eprintln!("usage: wino-bench-compare <baseline.json> <head.json>");
+        return ExitCode::from(2);
+    };
+    let (baseline, head) = match (load(baseline_path), load(head_path)) {
+        (Ok(b), Ok(h)) => (b, h),
+        (b, h) => {
+            for err in [b.err(), h.err()].into_iter().flatten() {
+                eprintln!("bench-compare: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(Value::Str(schema)) = baseline.get("schema") {
+        if let Some(Value::Str(head_schema)) = head.get("schema") {
+            if schema != head_schema {
+                eprintln!(
+                    "bench-compare: schema mismatch: baseline {schema:?} vs head \
+                     {head_schema:?} (regenerate the baseline with wino-bench-smoke)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = compare(&baseline, &head, &default_specs());
+    println!(
+        "bench-compare: {baseline_path} (baseline) vs {head_path} (head)\n{}",
+        report.render()
+    );
+    if report.pass() {
+        println!("bench-compare: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench-compare: FAIL (perf trajectory regressed)");
+        ExitCode::FAILURE
+    }
+}

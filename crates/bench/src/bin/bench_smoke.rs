@@ -1,18 +1,25 @@
-//! Baseline perf artifact for the CI bench-smoke stage.
+//! Perf artifact for the CI bench-smoke + bench-compare stages.
 //!
-//! One fast, deterministic-shaped run that writes
-//! `BENCH_baseline.json` — the perf trajectory every later PR is
-//! measured against. Three sections:
+//! One fast, deterministic-shaped run that writes a
+//! `wino-bench-baseline/v2` artifact — by default `BENCH_head.json`,
+//! which `wino-bench-compare` diffs against the committed
+//! `BENCH_baseline.json` to gate the perf trajectory. Three sections:
 //!
 //! - **zoo layer**: one real model-zoo convolution timed with the
 //!   dispatch level pinned to the scalar interpreted path and then to
 //!   the compiled-SIMD path, in the same process (same allocator
 //!   state, same recipes, same runtime). `speedup` is the headline.
-//! - **phases**: wall time and GFLOP/s per Winograd phase (filter /
-//!   input transform, batched SGEMM, output transform), attributed by
-//!   wino-probe spans and the exact per-recipe FLOP counts.
+//! - **phases**: wall time and GFLOP/s per Winograd phase, attributed
+//!   by wino-probe spans and the exact per-recipe FLOP counts — split
+//!   into `cold` (the once-per-model filter transform) and `steady`
+//!   (the per-inference input transform / SGEMM / output transform),
+//!   so the gate only watches phases that run on every request.
 //! - **serve**: a short closed-loop load on the batching server —
-//!   throughput and p50/p90/p99 latency.
+//!   throughput plus p50/p90/p99 latency *from the log2 histogram*,
+//!   cross-checked in-process against the exact sorted-array
+//!   percentiles (they must land in the same bucket, the histogram's
+//!   documented error bound). The exact values ride along as
+//!   `exact_*_ms` for eyeballing.
 //!
 //! Numbers from the CI container are smoke-scale (one CPU, short
 //! runs): they establish direction and order of magnitude, not
@@ -28,7 +35,7 @@ use wino_conv::{
     conv_winograd_precomputed_level, winograd_flops, PrecomputedFilters, WinogradConfig,
 };
 use wino_gemm::{detect_simd, SimdLevel};
-use wino_probe::{self as probe, Mode};
+use wino_probe::{self as probe, hist, HistogramSnapshot, Mode};
 use wino_runtime::Runtime;
 use wino_serve::{ConvRequest, PlanRegistry, Server, ServerConfig};
 use wino_tensor::{ConvDesc, Tensor4};
@@ -38,9 +45,12 @@ use wino_tensor::{ConvDesc, Tensor4};
 /// for a smoke run.
 const ZOO_LAYER: &str = "alexnet/conv5";
 
-/// Phases reported in the per-phase section, in pipeline order.
-const PHASES: &[&str] = &[
-    "conv.filter_transform",
+/// The once-per-model phase: reported under `phases/cold`.
+const COLD_PHASES: &[&str] = &["conv.filter_transform"];
+
+/// Per-inference phases: reported under `phases/steady` and gated by
+/// `wino-bench-compare`.
+const STEADY_PHASES: &[&str] = &[
     "conv.input_transform",
     "conv.batched_sgemm",
     "conv.output_transform",
@@ -108,8 +118,9 @@ fn measure_phases(
     probe::set_mode(Mode::Off);
 
     let flops = winograd_flops(desc, pre.recipes()).expect("flop accounting");
-    PHASES
+    COLD_PHASES
         .iter()
+        .chain(STEADY_PHASES)
         .map(|&phase| {
             let ns: u64 = events
                 .iter()
@@ -134,25 +145,37 @@ fn measure_phases(
         .collect()
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> f64 {
+/// Exact nearest-rank percentile: the `⌈p/100·n⌉`-th smallest value —
+/// the same rank convention [`HistogramSnapshot::quantile`] estimates,
+/// so the two are directly comparable.
+fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
-        return 0.0;
+        return 0;
     }
-    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
-    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 struct ServeNumbers {
     requests: usize,
     served: usize,
     throughput_rps: f64,
+    /// Histogram-estimated percentiles (what the gate reads).
     p50_ms: f64,
     p90_ms: f64,
     p99_ms: f64,
+    /// Exact sorted-array percentiles (for eyeballing drift).
+    exact_p50_ms: f64,
+    exact_p90_ms: f64,
+    exact_p99_ms: f64,
+    max_ms: f64,
 }
 
 /// Closed-loop load on one registered layer: 2 submitter threads in
-/// lock-step, coalescing enabled.
+/// lock-step, coalescing enabled. Latencies land in both a sorted
+/// array and a [`HistogramSnapshot`]; the reported percentiles come
+/// from the histogram and are asserted to sit in the same log2 bucket
+/// as the exact rank statistic.
 fn measure_serve() -> ServeNumbers {
     const REQUESTS: usize = 48;
     const CONCURRENCY: usize = 2;
@@ -186,7 +209,8 @@ fn measure_serve() -> ServeNumbers {
                     let t0 = Instant::now();
                     let req = ConvRequest::new("baseline/conv3x3", input.clone());
                     if server.infer(req).is_ok() {
-                        latencies.lock().unwrap().push(t0.elapsed());
+                        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        latencies.lock().unwrap().push(ns);
                     }
                 }
             });
@@ -194,22 +218,50 @@ fn measure_serve() -> ServeNumbers {
     });
     let wall = start.elapsed();
     server.shutdown();
-    let mut latencies = latencies.into_inner().unwrap();
-    latencies.sort();
+    let mut sorted = latencies.into_inner().unwrap();
+    sorted.sort_unstable();
+    let mut h = HistogramSnapshot::named("serve.e2e.client");
+    for &ns in &sorted {
+        h.observe(ns);
+    }
+
+    // Cross-check the estimator against ground truth: a mismatch here
+    // means the histogram math regressed, so fail the artifact run
+    // loudly rather than emit numbers the gate would trust.
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut est = [0.0f64; 3];
+    let mut exact = [0.0f64; 3];
+    for (i, q) in [0.5f64, 0.9, 0.99].into_iter().enumerate() {
+        let e = h.quantile(q);
+        let t = percentile_ns(&sorted, q * 100.0);
+        assert_eq!(
+            hist::bucket_index(e),
+            hist::bucket_index(t),
+            "histogram p{} estimate {e}ns not in the same bucket as exact {t}ns",
+            q * 100.0,
+        );
+        est[i] = ms(e);
+        exact[i] = ms(t);
+    }
+
     ServeNumbers {
         requests: REQUESTS,
-        served: latencies.len(),
-        throughput_rps: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
-        p50_ms: percentile(&latencies, 50.0),
-        p90_ms: percentile(&latencies, 90.0),
-        p99_ms: percentile(&latencies, 99.0),
+        served: sorted.len(),
+        throughput_rps: sorted.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: est[0],
+        p90_ms: est[1],
+        p99_ms: est[2],
+        exact_p50_ms: exact[0],
+        exact_p90_ms: exact[1],
+        exact_p99_ms: exact[2],
+        max_ms: ms(h.max),
     }
 }
 
 fn main() {
     let out_path = {
         let mut it = std::env::args().skip(1);
-        let mut path = "BENCH_baseline.json".to_string();
+        let mut path = "BENCH_head.json".to_string();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--out" => path = it.next().expect("--out requires a path"),
@@ -262,25 +314,34 @@ fn main() {
     );
 
     let phases = measure_phases(&input, &pre, &desc, &cfg, simd_level);
-    for (name, ms, gflops) in &phases {
-        println!("bench-smoke: phase {name} {ms:.3}ms {gflops:.2} GFLOP/s");
+    let (cold, steady): (Vec<_>, Vec<_>) = phases
+        .into_iter()
+        .partition(|(name, _, _)| COLD_PHASES.contains(&name.as_str()));
+    for (kind, list) in [("cold", &cold), ("steady", &steady)] {
+        for (name, ms, gflops) in list.iter() {
+            println!("bench-smoke: phase {kind:<6} {name} {ms:.3}ms {gflops:.2} GFLOP/s");
+        }
     }
 
     let serve = measure_serve();
     println!(
         "bench-smoke: serve served={}/{} throughput={:.1} req/s p50={:.2}ms p90={:.2}ms \
-         p99={:.2}ms",
+         p99={:.2}ms (exact p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms)",
         serve.served,
         serve.requests,
         serve.throughput_rps,
         serve.p50_ms,
         serve.p90_ms,
-        serve.p99_ms
+        serve.p99_ms,
+        serve.exact_p50_ms,
+        serve.exact_p90_ms,
+        serve.exact_p99_ms,
+        serve.max_ms,
     );
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"wino-bench-baseline/v1\",\n");
+    json.push_str("  \"schema\": \"wino-bench-baseline/v2\",\n");
     let _ = writeln!(
         json,
         "  \"simd\": {{\"detected\": \"{}\", \"active\": \"{}\"}},",
@@ -299,28 +360,38 @@ fn main() {
         direct_flops / (scalar_ms / 1e3) / 1e9,
         direct_flops / (simd_ms / 1e3) / 1e9,
     );
-    json.push_str("  \"phases\": [\n");
-    for (i, (name, ms, gflops)) in phases.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"phase\": \"{name}\", \"ms\": {ms:.4}, \"gflops\": {gflops:.4}}}{}",
-            if i + 1 < phases.len() { "," } else { "" }
-        );
+    json.push_str("  \"phases\": {\n");
+    for (section, list, last) in [("cold", &cold, false), ("steady", &steady, true)] {
+        let _ = writeln!(json, "    \"{section}\": [");
+        for (i, (name, ms, gflops)) in list.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{\"phase\": \"{name}\", \"ms\": {ms:.4}, \"gflops\": {gflops:.4}}}{}",
+                if i + 1 < list.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "    ]{}", if last { "" } else { "," });
     }
-    json.push_str("  ],\n");
+    json.push_str("  },\n");
     let _ = writeln!(
         json,
         "  \"serve\": {{\n    \"layer\": \"baseline/conv3x3\", \"requests\": {}, \
          \"served\": {},\n    \"throughput_rps\": {:.2},\n    \
-         \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4}\n  }}",
+         \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4},\n    \
+         \"exact_p50_ms\": {:.4}, \"exact_p90_ms\": {:.4}, \"exact_p99_ms\": {:.4},\n    \
+         \"max_ms\": {:.4}\n  }}",
         serve.requests,
         serve.served,
         serve.throughput_rps,
         serve.p50_ms,
         serve.p90_ms,
-        serve.p99_ms
+        serve.p99_ms,
+        serve.exact_p50_ms,
+        serve.exact_p90_ms,
+        serve.exact_p99_ms,
+        serve.max_ms,
     );
     json.push_str("}\n");
-    std::fs::write(&out_path, json).expect("write baseline artifact");
+    std::fs::write(&out_path, json).expect("write bench artifact");
     println!("bench-smoke: wrote {out_path}");
 }

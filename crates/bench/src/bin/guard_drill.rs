@@ -37,6 +37,7 @@ const DRILL_COUNTERS: &[&str] = &[
     "tuner.denylist.skipped",
     "tuner.cache.rebuilt",
     "runtime.body_panics",
+    "flight.dumps",
 ];
 
 fn conv_fixture() -> (Tensor4<f32>, Tensor4<f32>, ConvDesc) {
@@ -132,6 +133,10 @@ fn main() {
     // the counter lines stay greppable.
     std::panic::set_hook(Box::new(|_| {}));
     probe::set_mode(Mode::Summary);
+    // With WINO_METRICS armed this also enables the flight recorder,
+    // so demotions triggered below dump incident files (the CI flight
+    // drill asserts one exists and names the faulting span).
+    wino_telemetry::init_from_env();
     match fault::init_from_env() {
         Some(spec) => println!("drill: fault armed: {spec}"),
         None => println!("drill: no fault armed"),

@@ -4,10 +4,14 @@
 //!
 //! - `--smoke`: a deterministic 8-request drill on a tiny layer with
 //!   coalescing disabled (`max_wait = 0`, concurrency 1), dumping the
-//!   probe counters as grep-friendly `counter name=value` lines.
+//!   probe counters, gauges, and histograms as grep-friendly
+//!   `counter name=value` / `gauge ...` / `hist ...` lines.
 //!   `scripts/ci.sh` asserts the exact values, with and without an
 //!   armed `WINO_FAULT`, proving admission/batch/execution accounting
-//!   and the guard fallback under injected faults.
+//!   and the guard fallback under injected faults. With `WINO_METRICS`
+//!   armed (honored via `wino_telemetry::init_from_env`) the server
+//!   also emits a Prometheus-style snapshot on shutdown, which CI
+//!   cross-checks against the same counters.
 //! - closed loop (default): N submitter threads, each submitting and
 //!   waiting in lock-step — measures service latency under a fixed
 //!   concurrency level.
@@ -24,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wino_probe::{self as probe, fault, Mode};
+use wino_probe::{self as probe, fault, HistogramSnapshot, Mode};
 use wino_serve::{ConvRequest, PlanRegistry, ServeError, Server, ServerConfig};
 use wino_tensor::{ConvDesc, Tensor4};
 
@@ -42,6 +46,10 @@ const SMOKE_COUNTERS: &[&str] = &[
     "guard.demote.panic",
     "guard.served_by_fallback",
 ];
+
+/// Histograms the CI smoke asserts on; interned even when untouched
+/// so a zero-count line still prints.
+const SMOKE_HISTS: &[&str] = &["serve.queue_wait", "serve.execute", "serve.e2e"];
 
 struct Args {
     smoke: bool,
@@ -137,6 +145,23 @@ fn run_smoke() {
     for (name, current, peak) in probe::gauge_values() {
         println!("gauge {name}={current} peak={peak}");
     }
+    // Histogram counts are exact under the no-coalescing smoke config
+    // (one serve.queue_wait/execute/e2e record per request), so CI can
+    // assert `hist serve.queue_wait count=8 ...` by prefix.
+    for name in SMOKE_HISTS {
+        probe::histogram(name);
+    }
+    for h in probe::hist_values() {
+        println!(
+            "hist {} count={} p50_ns={} p90_ns={} p99_ns={} max_ns={}",
+            h.name,
+            h.count,
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max
+        );
+    }
 }
 
 /// Per-layer request inputs, pre-generated so the measured latency is
@@ -153,14 +178,6 @@ fn layer_inputs(registry: &PlanRegistry, names: &[String]) -> Vec<(String, Tenso
         .collect()
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 struct LoadReport {
     mode: String,
     served: usize,
@@ -170,9 +187,15 @@ struct LoadReport {
 }
 
 impl LoadReport {
+    /// Percentiles come from a log2 [`HistogramSnapshot`] (the same
+    /// estimator the server's own `serve.e2e` metric uses, within one
+    /// bucket of the exact rank); the max is exact.
     fn render(&self) -> String {
-        let mut sorted = self.latencies.clone();
-        sorted.sort();
+        let mut h = HistogramSnapshot::named("client.e2e");
+        for d in &self.latencies {
+            h.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+        let ms = |ns: u64| ns as f64 / 1e6;
         let throughput = self.served as f64 / self.wall.as_secs_f64().max(1e-9);
         format!(
             "mode={} served={} shed={} wall={:.2}s throughput={:.1} req/s \
@@ -182,10 +205,10 @@ impl LoadReport {
             self.shed,
             self.wall.as_secs_f64(),
             throughput,
-            percentile(&sorted, 50.0).as_secs_f64() * 1e3,
-            percentile(&sorted, 90.0).as_secs_f64() * 1e3,
-            percentile(&sorted, 99.0).as_secs_f64() * 1e3,
-            percentile(&sorted, 100.0).as_secs_f64() * 1e3,
+            ms(h.quantile(0.5)),
+            ms(h.quantile(0.9)),
+            ms(h.quantile(0.99)),
+            ms(h.max),
         )
     }
 }
@@ -269,6 +292,8 @@ fn main() {
     // counter lines stay greppable.
     std::panic::set_hook(Box::new(|_| {}));
     probe::set_mode(Mode::Summary);
+    wino_telemetry::init_from_env();
+    println!("serve-load: metrics mode: {:?}", wino_telemetry::mode());
     match fault::init_from_env() {
         Some(spec) => println!("serve-load: fault armed: {spec}"),
         None => println!("serve-load: no fault armed"),

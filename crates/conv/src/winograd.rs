@@ -31,6 +31,15 @@ static TILES_SCATTERED: wino_probe::Counter = wino_probe::Counter::new("conv.til
 /// layer, never per request.
 static FILTER_TRANSFORMS: wino_probe::Counter = wino_probe::Counter::new("conv.filter_transforms");
 
+/// Per-phase duration histograms for the non-fused pipeline (the
+/// fused engine interleaves phases per tile, so it records nothing
+/// here). These record whenever tracing *or* telemetry is armed, so
+/// a serving process sees phase distributions without span buffers.
+static H_FILTER: wino_probe::Histogram = wino_probe::Histogram::new("conv.filter_transform");
+static H_INPUT: wino_probe::Histogram = wino_probe::Histogram::new("conv.input_transform");
+static H_SGEMM: wino_probe::Histogram = wino_probe::Histogram::new("conv.batched_sgemm");
+static H_OUTPUT: wino_probe::Histogram = wino_probe::Histogram::new("conv.output_transform");
+
 /// Which kernel variant to model (tuning parameter `WV` of Table 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum WinogradVariant {
@@ -224,6 +233,7 @@ impl PrecomputedFilters {
             )));
         }
         let filter_span = wino_probe::span("conv.filter_transform");
+        let filter_hist = H_FILTER.start();
         let alpha = spec.alpha();
         let a2 = alpha * alpha;
         let mut ft = TileTransformer::new(&recipes.filter);
@@ -237,6 +247,7 @@ impl PrecomputedFilters {
             }
         }
         drop(filter_span);
+        drop(filter_hist);
         FILTER_TRANSFORMS.add(1);
         Ok(PrecomputedFilters {
             recipes,
@@ -291,6 +302,7 @@ impl PrecomputedFilters {
     fn u_scatter(&self) -> &[f32] {
         self.u_scatter.get_or_init(|| {
             let _span = wino_probe::span("conv.filter_transform");
+            let _hist = H_FILTER.start();
             let a2 = self.spec().alpha() * self.spec().alpha();
             let (kc, cc) = (self.out_ch, self.in_ch);
             let mut u_scatter = vec![0.0f32; a2 * kc * cc];
@@ -473,6 +485,7 @@ fn nonfused(
     // disjoint writes — and each chunk carries its own transformer
     // scratch.
     let input_span = wino_probe::span("conv.input_transform");
+    let input_hist = H_INPUT.start();
     let padded = input.pad_spatial(desc.pad);
     let mut v_scatter = vec![0.0f32; a2 * cc * p_total];
     if let Some(ct) = compiled {
@@ -556,10 +569,12 @@ fn nonfused(
     }
 
     drop(input_span);
+    drop(input_hist);
 
     // Stage 2: α² batched SGEMMs M(ξ) = U'(ξ) · V'(ξ), parallel
     // across the batch dimension.
     let mut gemm_span = wino_probe::span("conv.batched_sgemm");
+    let gemm_hist = H_SGEMM.start();
     gemm_span.arg("shape", || format!("{a2}x({kc}x{cc}x{p_total})"));
     let shape = BatchedGemmShape {
         batches: a2,
@@ -578,11 +593,13 @@ fn nonfused(
         gemm_level,
     );
     drop(gemm_span);
+    drop(gemm_hist);
 
     // Stage 3: output transform + placement, parallel over (k, p)
     // pairs. A pair owns one m×m output tile of one plane; its rows
     // are written as disjoint segments.
     let output_span = wino_probe::span("conv.output_transform");
+    let output_hist = H_OUTPUT.start();
     let mut out = Tensor4::<f32>::zeros(desc.batch, kc, oh, ow);
     if let Some(ct) = compiled {
         let total = kc * p_total;
@@ -651,6 +668,7 @@ fn nonfused(
         });
     }
     drop(output_span);
+    drop(output_hist);
     Ok(out)
 }
 

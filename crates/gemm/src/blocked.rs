@@ -14,6 +14,9 @@ use wino_runtime::{DisjointSlice, Runtime};
 /// Multiply-add FLOPs retired by the blocked SGEMM (counted once per
 /// call, not per panel, to keep the enabled path cheap).
 static GEMM_FLOPS: wino_probe::Counter = wino_probe::Counter::new("gemm.flops");
+/// Wall-clock distribution of worker panel chunks (the unit of GEMM
+/// parallelism); records whenever tracing or telemetry is armed.
+static H_PANEL: wino_probe::Histogram = wino_probe::Histogram::new("gemm.panel");
 
 /// Cache/register blocking parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -194,6 +197,7 @@ fn sgemm_blocked(
     rt.parallel_for_chunks(0..panels, 1, |panel_range| {
         let mut panel_span = wino_probe::span("gemm.panel");
         panel_span.arg("panels", || panel_range.len().to_string());
+        let _panel_hist = H_PANEL.start();
         let mut a_pack = vec![0.0f32; cfg.mc.next_multiple_of(mr) * cfg.kc];
         let mut b_pack = vec![0.0f32; cfg.kc * cfg.nc.next_multiple_of(nr)];
         for panel in panel_range {

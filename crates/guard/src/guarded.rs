@@ -254,12 +254,25 @@ impl GuardedConv {
                     });
                 }
                 Err(cause) => {
-                    match cause {
-                        DemotionCause::Panic(_) => DEMOTE_PANIC.add(1),
-                        DemotionCause::Guardrail(_) => DEMOTE_GUARDRAIL.add(1),
-                        DemotionCause::Unsupported(_) => DEMOTE_UNSUPPORTED.add(1),
-                    }
+                    let reason = match cause {
+                        DemotionCause::Panic(_) => {
+                            DEMOTE_PANIC.add(1);
+                            "guard.demote.panic"
+                        }
+                        DemotionCause::Guardrail(_) => {
+                            DEMOTE_GUARDRAIL.add(1);
+                            "guard.demote.guardrail"
+                        }
+                        DemotionCause::Unsupported(_) => {
+                            DEMOTE_UNSUPPORTED.add(1);
+                            "guard.demote.unsupported"
+                        }
+                    };
                     wino_probe::diag(format!("guard: demoting from {engine}: {cause}"));
+                    // With the flight recorder armed, every demotion
+                    // dumps the last-N-events context that led to it
+                    // (a no-op returning None when disarmed).
+                    wino_probe::flight::dump_incident(reason);
                     demotions.push(Demotion {
                         engine: *engine,
                         cause,
@@ -267,6 +280,7 @@ impl GuardedConv {
                 }
             }
         }
+        wino_probe::flight::dump_incident("guard.exhausted");
         Err(GuardError { demotions })
     }
 

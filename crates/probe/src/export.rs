@@ -2,6 +2,7 @@
 //! plain-text summary table (count / total / mean / p50 / p95 per span
 //! name), both rendered from one drained [`TraceData`] snapshot.
 
+use crate::hist::HistogramSnapshot;
 use crate::{take_events, thread_names, SpanEvent};
 use serde::Value;
 
@@ -16,18 +17,21 @@ pub struct TraceData {
     pub counters: Vec<(String, u64)>,
     /// `(name, current, peak)` gauge snapshot, sorted by name.
     pub gauges: Vec<(String, i64, i64)>,
+    /// Histogram snapshots, sorted by name.
+    pub hists: Vec<HistogramSnapshot>,
     /// `(tid, thread name)` pairs for chrome metadata events.
     pub threads: Vec<(usize, String)>,
 }
 
-/// Drains all recorded spans and snapshots every counter and gauge.
-/// Draining is destructive for spans (buffers empty afterwards);
-/// counters and gauges keep their values.
+/// Drains all recorded spans and snapshots every counter, gauge, and
+/// histogram. Draining is destructive for spans (buffers empty
+/// afterwards); counters, gauges, and histograms keep their values.
 pub fn collect() -> TraceData {
     TraceData {
         events: take_events(),
         counters: crate::counter_values(),
         gauges: crate::gauge_values(),
+        hists: crate::hist_values(),
         threads: thread_names(),
     }
 }
@@ -53,6 +57,7 @@ impl TraceData {
             rows,
             counters: self.counters.clone(),
             gauges: self.gauges.clone(),
+            hists: self.hists.clone(),
         }
     }
 
@@ -133,6 +138,25 @@ impl TraceData {
                 ),
             ]));
         }
+        for h in &self.hists {
+            trace_events.push(Value::Object(vec![
+                ("name".into(), Value::Str(h.name.clone())),
+                ("cat".into(), Value::Str("wino".into())),
+                ("ph".into(), Value::Str("C".into())),
+                ("ts".into(), Value::Float(end_us)),
+                ("pid".into(), Value::UInt(1)),
+                ("tid".into(), Value::UInt(0)),
+                (
+                    "args".into(),
+                    Value::Object(vec![
+                        ("count".into(), Value::UInt(h.count)),
+                        ("p50_ns".into(), Value::UInt(h.quantile(0.50))),
+                        ("p99_ns".into(), Value::UInt(h.quantile(0.99))),
+                        ("max_ns".into(), Value::UInt(h.max)),
+                    ]),
+                ),
+            ]));
+        }
         ChromeTrace {
             root: Value::Object(vec![
                 ("traceEvents".into(), Value::Array(trace_events)),
@@ -207,6 +231,8 @@ pub struct Summary {
     pub counters: Vec<(String, u64)>,
     /// `(name, current, peak)` gauge snapshot.
     pub gauges: Vec<(String, i64, i64)>,
+    /// Histogram snapshots, sorted by name.
+    pub hists: Vec<HistogramSnapshot>,
 }
 
 impl Summary {
@@ -269,6 +295,22 @@ impl Summary {
                 out.push_str(&format!("  {name:<w$}  {current} (peak {peak})\n"));
             }
         }
+        let live: Vec<_> = self.hists.iter().filter(|h| h.count > 0).collect();
+        if !live.is_empty() {
+            out.push_str("\nhistograms:\n");
+            let w = live.iter().map(|h| h.name.len()).max().unwrap_or(0);
+            for h in live {
+                out.push_str(&format!(
+                    "  {:<w$}  count={} p50={} p90={} p99={} max={}\n",
+                    h.name,
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.max,
+                ));
+            }
+        }
         out
     }
 }
@@ -289,6 +331,9 @@ mod tests {
     }
 
     fn sample_data() -> TraceData {
+        let mut lat = HistogramSnapshot::named("lat");
+        lat.observe(1_000);
+        lat.observe(3_000);
         TraceData {
             events: vec![
                 event("a", 0, 0, 4_000_000),
@@ -297,6 +342,7 @@ mod tests {
             ],
             counters: vec![("hits".into(), 7), ("zeros".into(), 0)],
             gauges: vec![("depth".into(), 2, 5), ("idle".into(), 0, 0)],
+            hists: vec![lat, HistogramSnapshot::named("empty")],
             threads: vec![(0, "main".into()), (1, "wino-worker-0".into())],
         }
     }
@@ -316,6 +362,10 @@ mod tests {
         assert!(text.contains("depth"));
         assert!(text.contains("(peak 5)"));
         assert!(!text.contains("idle"), "all-zero gauges are elided");
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("lat"));
+        assert!(text.contains("count=2"));
+        assert!(!text.contains("empty"), "never-recorded hists are elided");
     }
 
     #[test]
@@ -325,8 +375,9 @@ mod tests {
         let Some(Value::Array(events)) = value.get("traceEvents") else {
             panic!("traceEvents must be an array");
         };
-        // 2 thread_name metadata + 3 spans + 2 counters + 2 gauges.
-        assert_eq!(events.len(), 9);
+        // 2 thread_name metadata + 3 spans + 2 counters + 2 gauges
+        // + 2 histograms.
+        assert_eq!(events.len(), 11);
         let span_count = events
             .iter()
             .filter(|e| e.get("ph") == Some(&Value::Str("X".into())))
@@ -336,7 +387,10 @@ mod tests {
             .iter()
             .filter(|e| e.get("ph") == Some(&Value::Str("C".into())))
             .count();
-        assert_eq!(counter_count, 4, "2 counters + 2 gauges as C events");
+        assert_eq!(
+            counter_count, 6,
+            "2 counters + 2 gauges + 2 hists as C events"
+        );
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Fixed log2-bucketed, lock-free latency histograms.
+//!
+//! A [`Histogram`] is the third probe primitive next to [`Counter`]
+//! and [`Gauge`](crate::Gauge): a set of 65 atomic bucket counters
+//! (bucket 0 holds exact zeros, bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i)`), plus an exact count, sum, and maximum. Recording
+//! is wait-free — one bucket `fetch_add`, plus the count/sum adds and
+//! a `fetch_max` — so any number of threads can record into the same
+//! histogram concurrently and the merged totals are exact.
+//!
+//! Quantiles are *estimated* from the bucket counts: the reported
+//! value is the upper edge of the bucket containing the nearest-rank
+//! order statistic, so every estimate is within one bucket boundary of
+//! the true sorted-array quantile (for a true quantile `t > 0` the
+//! estimate `e` satisfies `t ≤ e < 2·t`). The maximum is exact.
+//!
+//! Like every probe primitive, the disabled path is a relaxed atomic
+//! load and a branch: with tracing *and* telemetry off,
+//! [`Histogram::record`] neither allocates nor interns.
+//!
+//! [`Counter`]: crate::Counter
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use crate::{registry, stats_enabled};
+
+/// Number of buckets: one for exact zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of `v`: 0 for `v == 0`, else `64 - leading_zeros(v)`
+/// (so bucket `i` covers `[2^(i-1), 2^i)`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower edge of bucket `i`.
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper edge of bucket `i` (the value quantile estimation
+/// reports for ranks landing in the bucket).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Atomic backing storage of one histogram.
+pub(crate) struct HistCell {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    pub(crate) fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        HistCell {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A named histogram usable from `static` context, mirroring
+/// [`Counter`](crate::Counter)'s intern-on-first-use discipline.
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<&'static HistCell>,
+}
+
+impl Histogram {
+    /// A histogram handle for `name` (usable in a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Records one observation when tracing or telemetry is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !stats_enabled() {
+            return;
+        }
+        self.slot().record(v);
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        if !stats_enabled() {
+            return;
+        }
+        self.slot().record(saturating_ns(d));
+    }
+
+    /// Starts a timer that records the elapsed nanoseconds on drop.
+    /// Disabled probes return an inert timer without reading the
+    /// clock.
+    #[inline]
+    pub fn start(&self) -> HistTimer<'_> {
+        if !stats_enabled() {
+            return HistTimer { inner: None };
+        }
+        HistTimer {
+            inner: Some((self, Instant::now())),
+        }
+    }
+
+    /// Current snapshot of this histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.slot().snapshot(self.name)
+    }
+
+    fn slot(&self) -> &'static HistCell {
+        self.cell.get_or_init(|| intern_hist(self.name))
+    }
+}
+
+/// RAII timer from [`Histogram::start`].
+pub struct HistTimer<'a> {
+    inner: Option<(&'a Histogram, Instant)>,
+}
+
+impl Drop for HistTimer<'_> {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.inner.take() {
+            hist.record_duration(start.elapsed());
+        }
+    }
+}
+
+fn duration_to_ns(d: Duration) -> u128 {
+    d.as_nanos()
+}
+
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(duration_to_ns(d)).unwrap_or(u64::MAX)
+}
+
+/// Interns `name`, returning its process-wide histogram cell (same
+/// idempotent-aliasing contract as counter interning).
+fn intern_hist(name: &'static str) -> &'static HistCell {
+    let mut hists = registry().hists.lock();
+    if let Some((_, cell)) = hists.iter().find(|(n, _)| *n == name) {
+        return cell;
+    }
+    let cell: &'static HistCell = Box::leak(Box::new(HistCell::new()));
+    hists.push((name, cell));
+    cell
+}
+
+/// Interns a dynamically-built histogram name and returns a recording
+/// handle (the histogram analogue of [`crate::counter`]).
+pub fn histogram(name: &str) -> HistogramHandle {
+    let mut hists = registry().hists.lock();
+    if let Some((n, cell)) = hists.iter().find(|(n, _)| *n == name) {
+        return HistogramHandle { name: n, cell };
+    }
+    let name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let cell: &'static HistCell = Box::leak(Box::new(HistCell::new()));
+    hists.push((name, cell));
+    HistogramHandle { name, cell }
+}
+
+/// A histogram handle for a runtime-constructed name.
+#[derive(Clone, Copy)]
+pub struct HistogramHandle {
+    name: &'static str,
+    cell: &'static HistCell,
+}
+
+impl HistogramHandle {
+    /// Records one observation when tracing or telemetry is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !stats_enabled() {
+            return;
+        }
+        self.cell.record(v);
+    }
+
+    /// Current snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.snapshot(self.name)
+    }
+}
+
+/// Snapshot of every registered histogram, sorted by name. Histograms
+/// that never recorded (only interned) report `count == 0`.
+pub fn hist_values() -> Vec<HistogramSnapshot> {
+    let mut values: Vec<HistogramSnapshot> = registry()
+        .hists
+        .lock()
+        .iter()
+        .map(|(name, cell)| cell.snapshot(name))
+        .collect();
+    values.sort_by(|a, b| a.name.cmp(&b.name));
+    values
+}
+
+/// An owned, mergeable histogram state: what exporters and tests work
+/// with, and also usable standalone as a single-threaded accumulator
+/// (see [`HistogramSnapshot::observe`]).
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Per-bucket observation counts (`BUCKETS` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Exact maximum observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (a local accumulator for code that wants
+    /// histogram quantiles without touching the global registry).
+    pub fn named(name: impl Into<String>) -> Self {
+        HistogramSnapshot {
+            name: name.into(),
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Adds one observation to this owned snapshot.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another snapshot into this one (bucket-wise sums; the
+    /// result is exactly the histogram of the union of observations).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimated `q`-quantile (0 < q ≤ 1) by nearest rank: the upper
+    /// edge of the bucket containing the `⌈q·count⌉`-th smallest
+    /// observation. Within one bucket boundary of the true sorted
+    /// quantile; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                // Never report past the exact maximum.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_consistent() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "v={v} i={i}");
+        }
+    }
+
+    #[test]
+    fn owned_snapshot_quantiles_track_sorted_ranks() {
+        let mut h = HistogramSnapshot::named("t");
+        let values = [3u64, 10, 10, 90, 1000, 1001, 5000, 5000, 65000, 70000];
+        for v in values {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 10);
+        assert_eq!(h.max, 70000);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in [0.5f64, 0.9, 0.99, 1.0] {
+            let rank = ((q * 10.0).ceil() as usize).clamp(1, 10) - 1;
+            let truth = sorted[rank];
+            let est = h.quantile(q);
+            assert_eq!(
+                bucket_index(est),
+                bucket_index(truth),
+                "q={q}: est {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = HistogramSnapshot::named("m");
+        let mut b = HistogramSnapshot::named("m");
+        a.observe(5);
+        a.observe(7);
+        b.observe(100);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 112);
+        assert_eq!(a.max, 100);
+    }
+}

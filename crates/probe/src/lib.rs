@@ -40,12 +40,15 @@
 
 pub mod export;
 pub mod fault;
+pub mod flight;
+pub mod hist;
 
 pub use export::{collect, ChromeTrace, Summary, SummaryRow, TraceData};
+pub use hist::{hist_values, histogram, Histogram, HistogramHandle, HistogramSnapshot};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::cell::{Cell, OnceCell};
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -72,6 +75,46 @@ static MODE: AtomicU8 = AtomicU8::new(0);
 pub fn enabled() -> bool {
     MODE.load(Ordering::Relaxed) != 0
 }
+
+/// Second gate: metrics-only recording, armed by `wino-telemetry`
+/// when `WINO_METRICS` is active. Distinct from [`MODE`] so a serving
+/// process can collect counters/gauges/histograms indefinitely
+/// without spans accumulating in the (unbounded) thread buffers.
+static TELEMETRY: AtomicBool = AtomicBool::new(false);
+
+/// `true` when metrics-only recording is armed (see [`set_telemetry`]).
+#[inline(always)]
+pub fn telemetry_enabled() -> bool {
+    TELEMETRY.load(Ordering::Relaxed)
+}
+
+/// Arms or disarms metrics-only recording: counters, gauges, and
+/// histograms record, but spans still only land in thread buffers
+/// under an active [`Mode`]. Normally driven by
+/// `wino-telemetry::init_from_env`.
+pub fn set_telemetry(on: bool) {
+    let _ = epoch();
+    TELEMETRY.store(on, Ordering::Relaxed);
+}
+
+/// `true` when scalar stats (counters, gauges, histograms) record:
+/// tracing on *or* telemetry on. Still two relaxed loads and a branch
+/// on the all-off path.
+#[inline(always)]
+pub fn stats_enabled() -> bool {
+    enabled() || telemetry_enabled()
+}
+
+/// Serializes [`reset`] against in-flight mutations of the resettable
+/// state (span buffers, gauge pairs, diagnostics). Mutators take the
+/// read side — shared, uncontended among themselves — and `reset`
+/// takes the write side, so a reset never interleaves halfway through
+/// a multi-word update. Counter and histogram increments stay plain
+/// relaxed atomics to keep those hot paths lock-free; a reset racing
+/// a counter add keeps or drops the whole increment (single word),
+/// while exact histogram assertions require recording threads to be
+/// quiesced first — the same contract `take_events` already has.
+static STATE_LOCK: RwLock<()> = RwLock::new(());
 
 /// Current recording mode.
 pub fn mode() -> Mode {
@@ -144,7 +187,7 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
@@ -180,12 +223,14 @@ struct ThreadBuf {
     tid: usize,
     name: String,
     events: Mutex<Vec<SpanEvent>>,
+    ring: Mutex<flight::Ring>,
 }
 
 struct Registry {
     buffers: Mutex<Vec<Arc<ThreadBuf>>>,
     counters: Mutex<Vec<(&'static str, &'static AtomicU64)>>,
     gauges: Mutex<Vec<(&'static str, &'static GaugeCell)>>,
+    hists: Mutex<Vec<(&'static str, &'static hist::HistCell)>>,
     diagnostics: Mutex<Vec<String>>,
 }
 
@@ -195,6 +240,7 @@ fn registry() -> &'static Registry {
         buffers: Mutex::new(Vec::new()),
         counters: Mutex::new(Vec::new()),
         gauges: Mutex::new(Vec::new()),
+        hists: Mutex::new(Vec::new()),
         diagnostics: Mutex::new(Vec::new()),
     })
 }
@@ -204,7 +250,7 @@ thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
-fn local_buf<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+pub(crate) fn local_buf<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
     LOCAL_BUF.with(|cell| {
         let buf = cell.get_or_init(|| {
             static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
@@ -215,6 +261,7 @@ fn local_buf<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
                     .unwrap_or("unnamed")
                     .to_string(),
                 events: Mutex::new(Vec::new()),
+                ring: Mutex::new(flight::Ring::new()),
             });
             registry().buffers.lock().push(Arc::clone(&buf));
             buf
@@ -234,14 +281,19 @@ struct ActiveSpan {
     name: &'static str,
     start_ns: u64,
     depth: usize,
+    /// Whether the span lands in the thread buffer on drop (tracing
+    /// was on at creation). Spans opened with only the flight
+    /// recorder armed time themselves but feed the bounded ring only.
+    record_buf: bool,
     args: Vec<(&'static str, String)>,
 }
 
-/// Opens a span named `name` on the current thread. When the probe is
-/// off this is a relaxed load, a branch, and a `None` — nothing else.
+/// Opens a span named `name` on the current thread. When both tracing
+/// and the flight recorder are off this is two relaxed loads, a
+/// branch, and a `None` — nothing else.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !enabled() {
+    if !enabled() && !flight::enabled() {
         return SpanGuard { active: None };
     }
     span_slow(name)
@@ -259,6 +311,7 @@ fn span_slow(name: &'static str) -> SpanGuard {
             name,
             start_ns: now_ns(),
             depth,
+            record_buf: enabled(),
             args: Vec::new(),
         }),
     }
@@ -286,13 +339,19 @@ impl Drop for SpanGuard {
             return;
         };
         let end_ns = now_ns();
+        let dur_ns = end_ns.saturating_sub(active.start_ns);
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        flight::note_span(active.name, end_ns, dur_ns);
+        if !active.record_buf {
+            return;
+        }
+        let _state = STATE_LOCK.read();
         local_buf(|buf| {
             buf.events.lock().push(SpanEvent {
                 name: active.name,
                 tid: buf.tid,
                 start_ns: active.start_ns,
-                dur_ns: end_ns.saturating_sub(active.start_ns),
+                dur_ns,
                 depth: active.depth,
                 args: active.args,
             });
@@ -330,13 +389,14 @@ impl Counter {
         }
     }
 
-    /// Adds `n` when the probe is enabled.
+    /// Adds `n` when tracing or telemetry is enabled.
     #[inline]
     pub fn add(&self, n: u64) {
-        if !enabled() {
+        if !stats_enabled() {
             return;
         }
         self.slot().fetch_add(n, Ordering::Relaxed);
+        flight::note_count(self.name, n);
     }
 
     /// Current value (0 until first touched).
@@ -355,17 +415,19 @@ impl Counter {
 /// and [`CounterHandle::add`] matches [`Counter::add`]'s fast path.
 #[derive(Clone, Copy)]
 pub struct CounterHandle {
+    name: &'static str,
     cell: &'static AtomicU64,
 }
 
 impl CounterHandle {
-    /// Adds `n` when the probe is enabled.
+    /// Adds `n` when tracing or telemetry is enabled.
     #[inline]
     pub fn add(&self, n: u64) {
-        if !enabled() {
+        if !stats_enabled() {
             return;
         }
         self.cell.fetch_add(n, Ordering::Relaxed);
+        flight::note_count(self.name, n);
     }
 
     /// Current value.
@@ -377,13 +439,13 @@ impl CounterHandle {
 /// Interns a dynamically-built counter name and returns its handle.
 pub fn counter(name: &str) -> CounterHandle {
     let mut counters = registry().counters.lock();
-    if let Some((_, cell)) = counters.iter().find(|(n, _)| *n == name) {
-        return CounterHandle { cell };
+    if let Some((n, cell)) = counters.iter().find(|(n, _)| *n == name) {
+        return CounterHandle { name: n, cell };
     }
     let name: &'static str = Box::leak(name.to_string().into_boxed_str());
     let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
     counters.push((name, cell));
-    CounterHandle { cell }
+    CounterHandle { name, cell }
 }
 
 /// Backing storage of one gauge: the current level plus the maximum
@@ -422,16 +484,20 @@ impl Gauge {
         }
     }
 
-    /// Sets the current level (and raises the peak) when the probe is
-    /// enabled.
+    /// Sets the current level (and raises the peak) when tracing or
+    /// telemetry is enabled.
     #[inline]
     pub fn set(&self, value: i64) {
-        if !enabled() {
+        if !stats_enabled() {
             return;
         }
         let cell = self.slot();
-        cell.current.store(value, Ordering::Relaxed);
+        // Under the shared state lock (so reset can't interleave the
+        // pair), peak first: lock-free readers then always observe
+        // current <= peak.
+        let _state = STATE_LOCK.read();
         cell.peak.fetch_max(value, Ordering::Relaxed);
+        cell.current.store(value, Ordering::Relaxed);
     }
 
     /// Current level (0 until first set).
@@ -498,6 +564,8 @@ pub fn counter_values() -> Vec<(String, u64)> {
 pub fn diag(msg: impl Into<String>) {
     let msg = msg.into();
     eprintln!("[wino-probe] {msg}");
+    flight::note_diag(&msg);
+    let _state = STATE_LOCK.read();
     registry().diagnostics.lock().push(msg);
 }
 
@@ -533,9 +601,18 @@ pub(crate) fn thread_names() -> Vec<(usize, String)> {
         .collect()
 }
 
-/// Clears all recorded events, zeroes every counter, and drops stored
-/// diagnostics. The mode is left untouched. Test isolation hook.
+/// Clears all recorded events, zeroes every counter, gauge, and
+/// histogram, empties the flight rings, and drops stored diagnostics.
+/// The mode is left untouched. Test isolation hook.
+///
+/// Runs under the exclusive side of the state lock, so threads racing
+/// through the locked mutation paths (span buffer pushes, gauge
+/// set pairs, diag) observe either the pre-reset or post-reset state,
+/// never a half-applied one. Lock-free counter/histogram increments
+/// in flight may individually land on either side of the reset — see
+/// [`STATE_LOCK`]'s contract.
 pub fn reset() {
+    let _state = STATE_LOCK.write();
     for buf in registry().buffers.lock().iter() {
         buf.events.lock().clear();
     }
@@ -543,10 +620,49 @@ pub fn reset() {
         cell.store(0, Ordering::Relaxed);
     }
     for (_, cell) in registry().gauges.lock().iter() {
+        // current before peak, mirroring Gauge::set's peak-first
+        // order: lock-free readers never observe current > peak.
         cell.current.store(0, Ordering::Relaxed);
         cell.peak.store(0, Ordering::Relaxed);
     }
+    for (_, cell) in registry().hists.lock().iter() {
+        cell.reset();
+    }
+    flight::clear_all();
     registry().diagnostics.lock().clear();
+}
+
+/// Marks the current position of this thread's span buffer; pair with
+/// [`local_spans_since`] to attribute only the spans this thread
+/// recorded after the mark (e.g. one conv call's phase breakdown).
+/// Returns 0 when tracing is off.
+pub fn local_event_mark() -> usize {
+    if !enabled() {
+        return 0;
+    }
+    local_buf(|buf| buf.events.lock().len())
+}
+
+/// Per-name summed durations (ns) of the spans this thread recorded
+/// since `mark` (from [`local_event_mark`]). Reads only the calling
+/// thread's buffer — no cross-thread attribution leaks in — and does
+/// not drain it. Empty when tracing is off; a mark taken before a
+/// concurrent [`reset`] simply yields fewer (or no) spans.
+pub fn local_spans_since(mark: usize) -> Vec<(&'static str, u64)> {
+    if !enabled() {
+        return Vec::new();
+    }
+    local_buf(|buf| {
+        let events = buf.events.lock();
+        let mut out: Vec<(&'static str, u64)> = Vec::new();
+        for e in events.iter().skip(mark) {
+            match out.iter_mut().find(|(n, _)| *n == e.name) {
+                Some((_, d)) => *d += e.dur_ns,
+                None => out.push((e.name, e.dur_ns)),
+            }
+        }
+        out
+    })
 }
 
 /// Serializes unit tests that touch process-global probe state (the

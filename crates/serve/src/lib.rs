@@ -26,7 +26,9 @@
 mod error;
 mod registry;
 mod server;
+mod stats;
 
 pub use error::ServeError;
 pub use registry::{LayerPlan, PlanRegistry};
 pub use server::{ConvRequest, ConvResponse, ResponseHandle, Server, ServerConfig};
+pub use stats::{RequestTrace, ServerStats, RECENT_CAP};

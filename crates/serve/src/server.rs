@@ -29,6 +29,7 @@ use wino_tensor::Tensor4;
 
 use crate::error::ServeError;
 use crate::registry::{LayerPlan, PlanRegistry};
+use crate::stats::{RequestTrace, ServerStats, StatsInner};
 
 static ENQUEUED: wino_probe::Counter = wino_probe::Counter::new("serve.enqueued");
 static SHED: wino_probe::Counter = wino_probe::Counter::new("serve.shed");
@@ -38,6 +39,9 @@ static EXECUTED: wino_probe::Counter = wino_probe::Counter::new("serve.executed"
 static DEADLINE_DEMOTIONS: wino_probe::Counter =
     wino_probe::Counter::new("serve.deadline_demotions");
 static QUEUE_DEPTH: wino_probe::Gauge = wino_probe::Gauge::new("serve.queue_depth");
+static H_QUEUE_WAIT: wino_probe::Histogram = wino_probe::Histogram::new("serve.queue_wait");
+static H_EXECUTE: wino_probe::Histogram = wino_probe::Histogram::new("serve.execute");
+static H_E2E: wino_probe::Histogram = wino_probe::Histogram::new("serve.e2e");
 
 /// Server tunables.
 #[derive(Clone, Debug)]
@@ -59,6 +63,9 @@ pub struct ServerConfig {
     pub deadline_slack: Duration,
     /// Guardrails applied to every execution.
     pub policy: GuardrailPolicy,
+    /// Interval between periodic metric emissions when `WINO_METRICS`
+    /// is active (the emitter thread is only spawned then).
+    pub metrics_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +78,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             deadline_slack: Duration::from_micros(500),
             policy: GuardrailPolicy::full(),
+            metrics_interval: Duration::from_secs(5),
         }
     }
 }
@@ -114,14 +122,25 @@ pub struct ConvResponse {
     /// Size of the coalesced batch this request rode in (1 when it
     /// executed alone).
     pub batched_with: usize,
+    /// The full per-request trace (queue wait, batch peers, phase
+    /// breakdown).
+    pub trace: RequestTrace,
 }
 
 /// Caller-side handle for an admitted request.
 pub struct ResponseHandle {
+    id: u64,
     rx: channel::Receiver<Result<ConvResponse, ServeError>>,
 }
 
 impl ResponseHandle {
+    /// The request id assigned at submission (matches
+    /// [`RequestTrace::id`] in the response and in
+    /// [`ServerStats::recent`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Blocks until the response arrives. A server torn down before
     /// executing the request yields [`ServeError::ShuttingDown`].
     pub fn wait(self) -> Result<ConvResponse, ServeError> {
@@ -131,6 +150,7 @@ impl ResponseHandle {
 
 /// A request admitted to the queue.
 struct Pending {
+    id: u64,
     plan: Arc<LayerPlan>,
     input: Tensor4<f32>,
     enqueued_at: Instant,
@@ -159,13 +179,16 @@ pub struct Server {
     registry: Arc<PlanRegistry>,
     config: ServerConfig,
     queue: Arc<SubmissionQueue>,
+    stats: Arc<StatsInner>,
     scheduler: Mutex<Option<JoinHandle<()>>>,
     executors: Mutex<Vec<JoinHandle<()>>>,
+    emitter: Mutex<Option<wino_telemetry::PeriodicEmitter>>,
     shutting_down: AtomicBool,
 }
 
 impl Server {
-    /// Starts the scheduler and executor threads.
+    /// Starts the scheduler and executor threads (plus the periodic
+    /// metrics emitter when `WINO_METRICS` is active).
     pub fn start(registry: Arc<PlanRegistry>, config: ServerConfig) -> Self {
         let queue = Arc::new(SubmissionQueue {
             state: Mutex::new(QueueState {
@@ -174,6 +197,7 @@ impl Server {
             }),
             cv: Condvar::new(),
         });
+        let stats = Arc::new(StatsInner::new());
         // The batch channel's only sender lives on the scheduler
         // thread, so executor `recv` disconnects exactly when the
         // scheduler exits (after the drain loop empties the queue).
@@ -189,19 +213,30 @@ impl Server {
                 let rx = batch_rx.clone();
                 let policy = config.policy;
                 let slack = config.deadline_slack;
+                let stats = Arc::clone(&stats);
                 std::thread::spawn(move || {
                     while let Ok(batch) = rx.recv() {
-                        execute_batch(batch, policy, slack);
+                        execute_batch(batch, policy, slack, &stats);
                     }
                 })
             })
             .collect();
+        let emitter = if wino_telemetry::mode() != wino_telemetry::MetricsMode::Off {
+            Some(wino_telemetry::PeriodicEmitter::start(
+                config.metrics_interval,
+                "serve.periodic",
+            ))
+        } else {
+            None
+        };
         Server {
             registry,
             config,
             queue,
+            stats,
             scheduler: Mutex::new(Some(scheduler)),
             executors: Mutex::new(executors),
+            emitter: Mutex::new(emitter),
             shutting_down: AtomicBool::new(false),
         }
     }
@@ -235,6 +270,7 @@ impl Server {
         }
         let (tx, rx) = channel::bounded(1);
         let deadline = req.deadline.or(self.config.default_deadline);
+        let id = self.stats.assign_id();
         {
             let mut st = self.queue.state.lock().expect("queue mutex poisoned");
             if !st.open {
@@ -248,6 +284,7 @@ impl Server {
                 });
             }
             st.pending.push_back(Pending {
+                id,
                 plan,
                 input: req.input,
                 enqueued_at: Instant::now(),
@@ -258,7 +295,7 @@ impl Server {
             QUEUE_DEPTH.set(st.pending.len() as i64);
         }
         self.queue.cv.notify_all();
-        Ok(ResponseHandle { rx })
+        Ok(ResponseHandle { id, rx })
     }
 
     /// Convenience: submit and block for the response.
@@ -277,6 +314,30 @@ impl Server {
             .expect("queue mutex poisoned")
             .pending
             .len()
+    }
+
+    /// Point-in-time statistics snapshot: the serve counters, current
+    /// queue depth, and the recent request traces. Counter values
+    /// come from the process-global probe registry (see
+    /// [`ServerStats`] for the aggregation caveat).
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            enqueued: ENQUEUED.get(),
+            shed: SHED.get(),
+            batches: BATCHES.get(),
+            batched: BATCHED.get(),
+            executed: EXECUTED.get(),
+            deadline_demotions: DEADLINE_DEMOTIONS.get(),
+            queue_depth: self.queue_depth(),
+            recent: self.stats.recent(),
+        }
+    }
+
+    /// Prometheus-style text exposition of every live metric
+    /// (counters, gauges, histograms), regardless of the
+    /// `WINO_METRICS` mode.
+    pub fn render_metrics(&self) -> String {
+        wino_telemetry::render_prometheus()
     }
 
     /// Drains and stops: closes admission, lets the scheduler flush
@@ -318,6 +379,13 @@ impl Server {
             let _ = p.tx.send(Err(ServeError::ShuttingDown));
         }
         QUEUE_DEPTH.set(0);
+        drop(st);
+        // Stop the periodic emitter, then emit one final snapshot so
+        // a `text:path` scrape file always reflects the drained state.
+        if let Some(emitter) = self.emitter.lock().expect("emitter mutex poisoned").take() {
+            emitter.stop();
+        }
+        wino_telemetry::emit("serve.shutdown");
     }
 }
 
@@ -394,8 +462,15 @@ fn scheduler_loop(
 
 /// Executes one coalesced batch: near-deadline members demote to the
 /// terminal fallback engine, everyone else runs the full chain with
-/// the layer's warm filters.
-fn execute_batch(batch: Vec<Pending>, policy: GuardrailPolicy, slack: Duration) {
+/// the layer's warm filters. Queue wait is recorded here, at
+/// execution start, for every member — so `serve.queue_wait`'s count
+/// always equals the number of requests that reached an executor.
+fn execute_batch(
+    batch: Vec<Pending>,
+    policy: GuardrailPolicy,
+    slack: Duration,
+    stats: &StatsInner,
+) {
     if batch.is_empty() {
         return;
     }
@@ -403,10 +478,12 @@ fn execute_batch(batch: Vec<Pending>, policy: GuardrailPolicy, slack: Duration) 
     if batch.len() > 1 {
         BATCHED.add(batch.len() as u64);
     }
+    let batch_ids: Vec<u64> = batch.iter().map(|p| p.id).collect();
     let plan = Arc::clone(&batch[0].plan);
     let mut on_time = Vec::new();
     let mut late = Vec::new();
     for p in batch {
+        H_QUEUE_WAIT.record_duration(p.enqueued_at.elapsed());
         let is_late = p
             .deadline
             .is_some_and(|d| p.enqueued_at.elapsed() + slack >= d);
@@ -417,13 +494,38 @@ fn execute_batch(batch: Vec<Pending>, policy: GuardrailPolicy, slack: Duration) 
             on_time.push(p);
         }
     }
-    run_group(&plan, on_time, plan.chain.clone(), policy);
-    run_group(&plan, late, vec![plan.tail_engine()], policy);
+    run_group(
+        &plan,
+        on_time,
+        plan.chain.clone(),
+        policy,
+        &batch_ids,
+        false,
+        stats,
+    );
+    run_group(
+        &plan,
+        late,
+        vec![plan.tail_engine()],
+        policy,
+        &batch_ids,
+        true,
+        stats,
+    );
 }
 
 /// Runs one group of requests as a single stacked convolution and
-/// scatters the output back per request.
-fn run_group(plan: &LayerPlan, group: Vec<Pending>, chain: Vec<Engine>, policy: GuardrailPolicy) {
+/// scatters the output back per request, attaching a [`RequestTrace`]
+/// to every response.
+fn run_group(
+    plan: &LayerPlan,
+    group: Vec<Pending>,
+    chain: Vec<Engine>,
+    policy: GuardrailPolicy,
+    batch_ids: &[u64],
+    deadline_demoted: bool,
+    stats: &StatsInner,
+) {
     if group.is_empty() {
         return;
     }
@@ -448,6 +550,11 @@ fn run_group(plan: &LayerPlan, group: Vec<Pending>, chain: Vec<Engine>, policy: 
         .with_chain(chain)
         .with_policy(policy)
         .with_gemm_config(plan.gemm);
+    // Phase attribution reads only this executor thread's spans
+    // recorded during the conv call (the phase spans open on the
+    // calling thread), so concurrent executors never cross-pollute.
+    let mark = wino_probe::local_event_mark();
+    let execute_start = Instant::now();
     let result = {
         let mut span = wino_probe::span("serve.execute");
         span.arg("layer", || plan.name.clone());
@@ -455,9 +562,15 @@ fn run_group(plan: &LayerPlan, group: Vec<Pending>, chain: Vec<Engine>, policy: 
         span.arg("images", || total.to_string());
         conv.run_warm(&input, &plan.weights, &desc, plan.warm.as_ref())
     };
+    let execute = execute_start.elapsed();
+    let phases: Vec<(&'static str, u64)> = wino_probe::local_spans_since(mark)
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("conv."))
+        .collect();
     match result {
         Ok(out) => {
             EXECUTED.add(batched_with as u64);
+            H_EXECUTE.record_duration(execute);
             let (_, k, oh, ow) = out.output.dims();
             let out_image = k * oh * ow;
             let mut offset = 0;
@@ -468,10 +581,27 @@ fn run_group(plan: &LayerPlan, group: Vec<Pending>, chain: Vec<Engine>, policy: 
                     .data_mut()
                     .copy_from_slice(&out.output.data()[offset..offset + n * out_image]);
                 offset += n * out_image;
+                let e2e = p.enqueued_at.elapsed();
+                H_E2E.record_duration(e2e);
+                let trace = RequestTrace {
+                    id: p.id,
+                    layer: plan.name.clone(),
+                    queue_wait: execute_start.saturating_duration_since(p.enqueued_at),
+                    execute,
+                    e2e,
+                    batch_size: batch_ids.len(),
+                    batch_peers: batch_ids.iter().copied().filter(|&i| i != p.id).collect(),
+                    served_by: out.served_by,
+                    demotions: out.demotions.len(),
+                    deadline_demoted,
+                    phases: phases.clone(),
+                };
+                stats.push(trace.clone());
                 let _ = p.tx.send(Ok(ConvResponse {
                     output: piece,
                     served_by: out.served_by,
                     batched_with,
+                    trace,
                 }));
             }
         }
@@ -596,6 +726,43 @@ mod tests {
         }
         assert_eq!(server.queue_depth(), 0);
         assert_eq!(QUEUE_DEPTH.get(), 0, "gauge must drain with the server");
+    }
+
+    #[test]
+    fn responses_carry_traces_with_unique_ids() {
+        let server = Server::start(small_registry(), ServerConfig::default());
+        let h1 = server
+            .submit(ConvRequest::new("toy/c1", input(31)))
+            .unwrap();
+        let id1 = h1.id();
+        let r1 = h1.wait().unwrap();
+        let r2 = server.infer(ConvRequest::new("toy/c1", input(32))).unwrap();
+        assert_eq!(r1.trace.id, id1);
+        assert_ne!(r1.trace.id, r2.trace.id, "request ids are unique");
+        assert_eq!(r1.trace.layer, "toy/c1");
+        assert_eq!(r1.trace.batch_size, 1, "sequential requests ride alone");
+        assert!(r1.trace.batch_peers.is_empty());
+        assert!(r1.trace.queue_wait <= r1.trace.e2e);
+        assert!(r1.trace.execute <= r1.trace.e2e);
+        assert!(!r1.trace.deadline_demoted);
+        assert_eq!(r1.trace.demotions, 0);
+        let stats = server.stats();
+        assert!(
+            stats.recent.iter().any(|t| t.id == r2.trace.id),
+            "recent ring holds completed traces"
+        );
+        assert_eq!(stats.queue_depth, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_demotion_is_visible_in_the_trace() {
+        let server = Server::start(small_registry(), ServerConfig::default());
+        let resp = server
+            .infer(ConvRequest::new("toy/c1", input(33)).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert!(resp.trace.deadline_demoted);
+        server.shutdown();
     }
 
     #[test]

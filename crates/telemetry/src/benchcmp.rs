@@ -1,0 +1,292 @@
+//! Perf-trajectory comparison: diff two bench-smoke artifacts with
+//! per-metric ratio tolerances.
+//!
+//! `BENCH_baseline.json` is the committed trajectory anchor;
+//! bench-smoke writes `BENCH_head.json` on every run. The
+//! `wino-bench-compare` binary feeds both through [`compare`] and
+//! fails CI when any gated metric regresses beyond its tolerance —
+//! or disappears from the head artifact, which is treated as a
+//! failure too (a silently vanished metric is how gates rot).
+//!
+//! Tolerances are deliberately wide: the CI host timeshares with
+//! other builds, so run-to-run noise of 2-3x on wall-clock metrics is
+//! normal. The gate exists to catch order-of-magnitude trajectory
+//! breaks (a kernel silently falling back to scalar, a serve path
+//! serializing), not 10% jitter.
+
+use serde::Value;
+
+/// Whether a bigger head value is an improvement or a regression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: regression means head fell below baseline.
+    HigherBetter,
+    /// Latency-like: regression means head rose above baseline.
+    LowerBetter,
+}
+
+/// One gated metric: where to find it and how much relative
+/// regression to tolerate.
+#[derive(Clone, Debug)]
+pub struct MetricSpec {
+    /// `/`-separated path into the artifact (phase names contain
+    /// dots, so dots stay literal): e.g. `zoo_layer/speedup` or
+    /// `phases/steady/conv.batched_sgemm/gflops`. A path segment
+    /// hitting an array selects the element whose `"phase"` field
+    /// equals the segment.
+    pub key: &'static str,
+    /// Which way regressions point.
+    pub direction: Direction,
+    /// Maximum tolerated relative regression: `HigherBetter` passes
+    /// while `head >= baseline * (1 - tol)`, `LowerBetter` while
+    /// `head <= baseline * (1 + tol)`.
+    pub ratio_tol: f64,
+}
+
+/// The default CI gate: speedup, compiled-kernel latency, steady-phase
+/// GFLOP/s, and serve tail latency/throughput.
+pub fn default_specs() -> Vec<MetricSpec> {
+    use Direction::*;
+    vec![
+        MetricSpec {
+            key: "zoo_layer/speedup",
+            direction: HigherBetter,
+            ratio_tol: 0.55,
+        },
+        MetricSpec {
+            key: "zoo_layer/simd_compiled_ms",
+            direction: LowerBetter,
+            ratio_tol: 1.8,
+        },
+        MetricSpec {
+            key: "phases/steady/conv.input_transform/gflops",
+            direction: HigherBetter,
+            ratio_tol: 0.80,
+        },
+        MetricSpec {
+            key: "phases/steady/conv.batched_sgemm/gflops",
+            direction: HigherBetter,
+            ratio_tol: 0.80,
+        },
+        MetricSpec {
+            key: "phases/steady/conv.output_transform/gflops",
+            direction: HigherBetter,
+            ratio_tol: 0.80,
+        },
+        MetricSpec {
+            key: "serve/p99_ms",
+            direction: LowerBetter,
+            ratio_tol: 3.0,
+        },
+        MetricSpec {
+            key: "serve/throughput_rps",
+            direction: HigherBetter,
+            ratio_tol: 0.40,
+        },
+    ]
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Resolves a `/`-separated metric path in an artifact. Objects are
+/// walked by key; arrays are searched for the element whose `"phase"`
+/// field matches the segment.
+pub fn lookup(root: &Value, path: &str) -> Option<f64> {
+    let mut cur = root;
+    for seg in path.split('/') {
+        cur = match cur {
+            Value::Object(_) => cur.get(seg)?,
+            Value::Array(items) => items
+                .iter()
+                .find(|item| matches!(item.get("phase"), Some(Value::Str(name)) if name == seg))?,
+            _ => return None,
+        };
+    }
+    as_f64(cur)
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// The metric path.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Head value.
+    pub head: f64,
+    /// `head / baseline` (infinite when the baseline is 0).
+    pub ratio: f64,
+    /// The spec that gated this row.
+    pub direction: Direction,
+    /// Tolerated relative regression.
+    pub ratio_tol: f64,
+    /// Whether the metric stayed within tolerance.
+    pub ok: bool,
+}
+
+/// The full comparison result.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// Per-metric outcomes, in spec order.
+    pub rows: Vec<CompareRow>,
+    /// Metric paths missing from either artifact (always a failure).
+    pub missing: Vec<String>,
+}
+
+impl CompareReport {
+    /// `true` when every gated metric resolved and stayed within
+    /// tolerance.
+    pub fn pass(&self) -> bool {
+        self.missing.is_empty() && self.rows.iter().all(|r| r.ok)
+    }
+
+    /// Renders the readable comparison table CI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let headers = ["metric", "baseline", "head", "ratio", "allowed", "verdict"];
+        let mut table: Vec<[String; 6]> = vec![headers.map(String::from)];
+        for row in &self.rows {
+            let allowed = match row.direction {
+                Direction::HigherBetter => format!(">= {:.2}x", 1.0 - row.ratio_tol),
+                Direction::LowerBetter => format!("<= {:.2}x", 1.0 + row.ratio_tol),
+            };
+            table.push([
+                row.key.clone(),
+                format!("{:.4}", row.baseline),
+                format!("{:.4}", row.head),
+                format!("{:.2}x", row.ratio),
+                allowed,
+                if row.ok { "ok" } else { "REGRESSED" }.to_string(),
+            ]);
+        }
+        let mut widths = [0usize; 6];
+        for row in &table {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        for (i, row) in table.iter().enumerate() {
+            for (col, (cell, w)) in row.iter().zip(widths).enumerate() {
+                if col > 0 {
+                    out.push_str("  ");
+                }
+                if col == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            out.push('\n');
+            if i == 0 {
+                let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        for key in &self.missing {
+            out.push_str(&format!("MISSING: {key} (absent from an artifact)\n"));
+        }
+        out
+    }
+}
+
+/// Compares a head artifact against a baseline under the given specs.
+pub fn compare(baseline: &Value, head: &Value, specs: &[MetricSpec]) -> CompareReport {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for spec in specs {
+        let (Some(b), Some(h)) = (lookup(baseline, spec.key), lookup(head, spec.key)) else {
+            missing.push(spec.key.to_string());
+            continue;
+        };
+        let ratio = if b == 0.0 { f64::INFINITY } else { h / b };
+        let ok = match spec.direction {
+            Direction::HigherBetter => h >= b * (1.0 - spec.ratio_tol),
+            Direction::LowerBetter => h <= b * (1.0 + spec.ratio_tol),
+        };
+        rows.push(CompareRow {
+            key: spec.key.to_string(),
+            baseline: b,
+            head: h,
+            ratio,
+            direction: spec.direction,
+            ratio_tol: spec.ratio_tol,
+            ok,
+        });
+    }
+    CompareReport { rows, missing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(speedup: f64, sgemm_gflops: f64, p99: f64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{
+                "zoo_layer": {{"speedup": {speedup}, "simd_compiled_ms": 10.0}},
+                "phases": {{
+                    "cold": [{{"phase": "conv.filter_transform", "ms": 56.0, "gflops": 0.2}}],
+                    "steady": [
+                        {{"phase": "conv.input_transform", "ms": 1.5, "gflops": 1.2}},
+                        {{"phase": "conv.batched_sgemm", "ms": 9.5, "gflops": {sgemm_gflops}}},
+                        {{"phase": "conv.output_transform", "ms": 0.3, "gflops": 2.2}}
+                    ]
+                }},
+                "serve": {{"p99_ms": {p99}, "throughput_rps": 800.0}}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_walks_objects_and_phase_arrays() {
+        let a = artifact(2.0, 11.9, 6.0);
+        assert_eq!(lookup(&a, "zoo_layer/speedup"), Some(2.0));
+        assert_eq!(
+            lookup(&a, "phases/steady/conv.batched_sgemm/gflops"),
+            Some(11.9)
+        );
+        assert_eq!(lookup(&a, "phases/steady/no.such.phase/gflops"), None);
+        assert_eq!(lookup(&a, "serve/nope"), None);
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = artifact(2.0, 11.9, 6.0);
+        let report = compare(&a, &a, &default_specs());
+        assert!(report.pass(), "{}", report.render());
+    }
+
+    #[test]
+    fn deep_regression_fails_with_readable_table() {
+        let baseline = artifact(2.0, 11.9, 6.0);
+        // Speedup collapsed below the 45% floor, sgemm GFLOP/s to a
+        // tenth, p99 5x over baseline: three gated metrics regress.
+        let head = artifact(0.5, 1.1, 30.0);
+        let report = compare(&baseline, &head, &default_specs());
+        assert!(!report.pass());
+        let bad: Vec<_> = report.rows.iter().filter(|r| !r.ok).collect();
+        assert_eq!(bad.len(), 3, "{}", report.render());
+        let text = report.render();
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("zoo_layer/speedup"));
+    }
+
+    #[test]
+    fn missing_metric_is_a_failure() {
+        let baseline = artifact(2.0, 11.9, 6.0);
+        let head: Value = serde_json::from_str(r#"{"zoo_layer": {"speedup": 2.0}}"#).unwrap();
+        let report = compare(&baseline, &head, &default_specs());
+        assert!(!report.pass());
+        assert!(!report.missing.is_empty());
+        assert!(report.render().contains("MISSING"));
+    }
+}

@@ -1,0 +1,271 @@
+//! # wino-telemetry — the metrics policy layer over `wino-probe`
+//!
+//! `wino-probe` owns the recording primitives (spans, counters,
+//! gauges, histograms, the flight-recorder rings); this crate owns
+//! *policy*: when metrics recording is armed, how snapshots are
+//! rendered for operators and scrapers, and how one benchmark
+//! artifact is judged against another.
+//!
+//! ## Control
+//!
+//! `WINO_METRICS=off|summary|text[:path]`, parsed by
+//! [`init_from_env`] with the same discipline as `WINO_TRACE`:
+//! malformed values warn through `probe::diag` and fall back to
+//! `off`. Any active mode arms probe's telemetry gate (counters,
+//! gauges, histograms record without span buffers growing) and the
+//! flight recorder.
+//!
+//! - `summary` — compact `name=value` metric lines to stderr on each
+//!   [`emit`].
+//! - `text` — Prometheus-style text exposition ([`render_prometheus`])
+//!   to stdout, or overwriting `path` when given (a scrape file).
+//!
+//! ## Perf trajectory
+//!
+//! The [`benchcmp`] module diffs two bench-smoke artifacts
+//! (`BENCH_baseline.json` vs `BENCH_head.json`) with per-metric
+//! ratio tolerances; `wino-bench-compare` wires it into CI.
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::sync::mpsc;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+pub mod benchcmp;
+
+/// What the telemetry layer does with metric snapshots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Nothing is armed; [`emit`] is a no-op.
+    Off,
+    /// Compact `name=value` lines to stderr.
+    Summary,
+    /// Prometheus-style text to stdout (`None`) or a file (`Some`).
+    Text(Option<String>),
+}
+
+fn mode_slot() -> &'static Mutex<MetricsMode> {
+    static MODE: OnceLock<Mutex<MetricsMode>> = OnceLock::new();
+    MODE.get_or_init(|| Mutex::new(MetricsMode::Off))
+}
+
+/// Current metrics mode.
+pub fn mode() -> MetricsMode {
+    mode_slot().lock().clone()
+}
+
+/// Switches the metrics mode and arms/disarms probe's telemetry gate
+/// and flight recorder accordingly (tests call this directly;
+/// binaries use [`init_from_env`]).
+pub fn set_mode(mode: MetricsMode) {
+    let on = mode != MetricsMode::Off;
+    *mode_slot().lock() = mode;
+    wino_probe::set_telemetry(on);
+    wino_probe::flight::set_enabled(on);
+}
+
+/// Parses one `WINO_METRICS` value; `None` means unrecognized — the
+/// caller decides how to complain.
+pub fn mode_from_value(value: &str) -> Option<MetricsMode> {
+    let value = value.trim();
+    if value.is_empty() || value == "off" || value == "0" {
+        Some(MetricsMode::Off)
+    } else if value == "summary" {
+        Some(MetricsMode::Summary)
+    } else if value == "text" {
+        Some(MetricsMode::Text(None))
+    } else {
+        value
+            .strip_prefix("text:")
+            .map(|path| MetricsMode::Text(Some(path.to_string())))
+    }
+}
+
+/// Parses `WINO_METRICS` (`off|summary|text[:path]`) and applies the
+/// mode. Unknown values warn through `probe::diag` and leave metrics
+/// off, mirroring `WINO_TRACE` handling.
+pub fn init_from_env() -> MetricsMode {
+    let raw = std::env::var("WINO_METRICS").unwrap_or_default();
+    let mode = match mode_from_value(&raw) {
+        Some(mode) => mode,
+        None => {
+            wino_probe::diag(format!(
+                "ignoring unknown WINO_METRICS value {:?} (expected off|summary|text[:path])",
+                raw.trim()
+            ));
+            MetricsMode::Off
+        }
+    };
+    set_mode(mode.clone());
+    mode
+}
+
+/// Rewrites a probe metric name (`serve.queue_wait`) as a
+/// Prometheus-compatible identifier (`serve_queue_wait`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders every live probe counter, gauge, and histogram as
+/// Prometheus-style text exposition. Counters and gauges appear under
+/// their sanitized names; gauges add a `_peak` series; histograms
+/// expose `_count`, `_sum_ns`, `{quantile="..."}` estimates, and
+/// `_max_ns` (durations are recorded in nanoseconds throughout).
+pub fn render_prometheus() -> String {
+    let mut out = String::new();
+    for (name, value) in wino_probe::counter_values() {
+        out.push_str(&format!("{} {}\n", sanitize(&name), value));
+    }
+    for (name, current, peak) in wino_probe::gauge_values() {
+        let name = sanitize(&name);
+        out.push_str(&format!("{name} {current}\n"));
+        out.push_str(&format!("{name}_peak {peak}\n"));
+    }
+    for h in wino_probe::hist_values() {
+        let name = sanitize(&h.name);
+        out.push_str(&format!("{name}_count {}\n", h.count));
+        out.push_str(&format!("{name}_sum_ns {}\n", h.sum));
+        for (q, label) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
+            out.push_str(&format!(
+                "{name}_ns{{quantile=\"{label}\"}} {}\n",
+                h.quantile(q)
+            ));
+        }
+        out.push_str(&format!("{name}_max_ns {}\n", h.max));
+    }
+    out
+}
+
+/// Compact `name=value` rendering for the `summary` mode: one line
+/// per counter/gauge, one per histogram with its quantile estimates.
+fn render_summary_lines() -> String {
+    let mut out = String::new();
+    for (name, value) in wino_probe::counter_values() {
+        if value > 0 {
+            out.push_str(&format!("  {name}={value}\n"));
+        }
+    }
+    for (name, current, peak) in wino_probe::gauge_values() {
+        if current != 0 || peak != 0 {
+            out.push_str(&format!("  {name}={current} peak={peak}\n"));
+        }
+    }
+    for h in wino_probe::hist_values() {
+        if h.count > 0 {
+            out.push_str(&format!(
+                "  {}: count={} p50={}ns p90={}ns p99={}ns max={}ns\n",
+                h.name,
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max,
+            ));
+        }
+    }
+    out
+}
+
+/// Emits one metrics snapshot according to the current mode. `tag`
+/// labels the emission (e.g. `serve.periodic`, `serve.shutdown`).
+/// I/O failures diag and are otherwise swallowed — metrics must never
+/// take the serving path down.
+pub fn emit(tag: &str) {
+    match mode() {
+        MetricsMode::Off => {}
+        MetricsMode::Summary => {
+            eprint!("[wino-telemetry] {tag}\n{}", render_summary_lines());
+        }
+        MetricsMode::Text(None) => {
+            print!("{}", render_prometheus());
+        }
+        MetricsMode::Text(Some(path)) => {
+            if let Some(dir) = std::path::Path::new(&path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(e) = std::fs::write(&path, render_prometheus()) {
+                wino_probe::diag(format!("metrics write to {path:?} failed: {e}"));
+            }
+        }
+    }
+}
+
+/// A background thread emitting one snapshot per interval until
+/// [`PeriodicEmitter::stop`] (or drop). Used by `wino-serve` for the
+/// periodic summary emission; each tick calls [`emit`] with the given
+/// tag.
+pub struct PeriodicEmitter {
+    stop_tx: mpsc::Sender<()>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PeriodicEmitter {
+    /// Spawns the emitter thread. With metrics off the thread still
+    /// runs but every tick is a no-op (the mode is re-read per tick,
+    /// so tests can flip it live).
+    pub fn start(interval: Duration, tag: &str) -> Self {
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let tag = tag.to_string();
+        let handle = std::thread::Builder::new()
+            .name("wino-metrics".into())
+            .spawn(move || loop {
+                match stop_rx.recv_timeout(interval) {
+                    Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                    Err(mpsc::RecvTimeoutError::Timeout) => emit(&tag),
+                }
+            })
+            .expect("spawn metrics emitter");
+        PeriodicEmitter {
+            stop_tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the emitter and joins its thread.
+    pub fn stop(mut self) {
+        let _ = self.stop_tx.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PeriodicEmitter {
+    fn drop(&mut self) {
+        let _ = self.stop_tx.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_values_parse() {
+        assert_eq!(mode_from_value(""), Some(MetricsMode::Off));
+        assert_eq!(mode_from_value("off"), Some(MetricsMode::Off));
+        assert_eq!(mode_from_value("0"), Some(MetricsMode::Off));
+        assert_eq!(mode_from_value("summary"), Some(MetricsMode::Summary));
+        assert_eq!(mode_from_value("text"), Some(MetricsMode::Text(None)));
+        assert_eq!(
+            mode_from_value("text:/tmp/m.prom"),
+            Some(MetricsMode::Text(Some("/tmp/m.prom".into())))
+        );
+        assert_eq!(mode_from_value(" summary "), Some(MetricsMode::Summary));
+        assert!(mode_from_value("json").is_none());
+        assert!(mode_from_value("prometheus").is_none());
+    }
+
+    #[test]
+    fn sanitize_maps_dots_to_underscores() {
+        assert_eq!(sanitize("serve.queue_wait"), "serve_queue_wait");
+        assert_eq!(sanitize("guard.demote.panic"), "guard_demote_panic");
+    }
+}

@@ -67,7 +67,7 @@ drill() {
 drill "" \
   guard.demote.panic=0 guard.demote.guardrail=0 guard.served_by_fallback=0 \
   tuner.quarantine.panic=0 tuner.quarantine.timeout=0 \
-  tuner.quarantine.nonfinite=0 tuner.cache.rebuilt=0
+  tuner.quarantine.nonfinite=0 tuner.cache.rebuilt=0 flight.dumps=0
 drill "transform:nan"   guard.demote.guardrail=3 guard.served_by_fallback=2
 drill "transform:panic" guard.demote.panic=3     guard.served_by_fallback=2
 drill "gemm:nan"        guard.demote.guardrail=2 guard.served_by_fallback=1
@@ -124,17 +124,96 @@ serve_smoke "transform:nan" \
   serve.enqueued=8 serve.shed=0 serve.batches=8 serve.executed=8 \
   conv.filter_transforms=1 guard.demote.guardrail=8 guard.served_by_fallback=8
 
-echo "== bench smoke: baseline perf artifact (BENCH_baseline.json)"
+echo "== wino-telemetry: metrics smoke (histograms + Prometheus snapshot)"
+# The same 8-request smoke with WINO_METRICS armed: every request must
+# show up in the serve histograms (queue_wait/execute/e2e count exactly
+# 8 — one record per request, nothing double-counted, nothing lost),
+# and the shutdown emission must land the matching lines in the
+# Prometheus-style text file.
+prom=results/ci-metrics.prom
+rm -f "$prom"
+metrics_out=$(WINO_METRICS="text:$prom" ./target/release/wino-serve-load --smoke)
+for h in serve.queue_wait serve.execute serve.e2e; do
+  if ! grep -q "^hist $h count=8 " <<<"$metrics_out"; then
+    echo "FAIL: metrics smoke: expected 'hist $h count=8 ...', got:" >&2
+    grep "^hist " <<<"$metrics_out" >&2
+    exit 1
+  fi
+done
+if [ ! -f "$prom" ]; then
+  echo "FAIL: metrics smoke: WINO_METRICS=text:$prom wrote no snapshot" >&2
+  exit 1
+fi
+for line in "serve_queue_wait_count 8" "serve_enqueued 8" "serve_executed 8"; do
+  if ! grep -qx "$line" "$prom"; then
+    echo "FAIL: metrics smoke: expected '$line' in $prom, got:" >&2
+    cat "$prom" >&2
+    exit 1
+  fi
+done
+rm -f "$prom"
+echo "   ok: serve histograms count all 8 requests; Prometheus snapshot matches"
+
+echo "== wino-probe: flight recorder drill (incident dump on demotion)"
+# Re-run the transform:nan drill with telemetry armed: each of the 3
+# guardrail demotions must dump a flight file that parses, names the
+# demotion reason, and contains the recent conv.* span history — the
+# context an incident responder actually needs.
+flight_dir=results/ci-flight
+rm -rf "$flight_dir"
+flight_out=$(WINO_METRICS=summary WINO_FLIGHT_DIR="$flight_dir" WINO_FAULT=transform:nan \
+  ./target/release/guard_drill)
+if ! grep -qx "counter flight.dumps=3" <<<"$flight_out"; then
+  echo "FAIL: flight drill: expected 'counter flight.dumps=3', got:" >&2
+  grep "^counter " <<<"$flight_out" >&2
+  exit 1
+fi
+dumps=("$flight_dir"/flight-*.json)
+if [ "${#dumps[@]}" -ne 3 ]; then
+  echo "FAIL: flight drill: expected 3 dump files in $flight_dir, found ${#dumps[@]}" >&2
+  exit 1
+fi
+for dump in "${dumps[@]}"; do
+  python3 -m json.tool "$dump" >/dev/null
+  if ! grep -q '"guard.demote.guardrail"' "$dump"; then
+    echo "FAIL: flight dump $dump does not carry the demotion reason" >&2
+    exit 1
+  fi
+  if ! grep -q '"conv\.' "$dump"; then
+    echo "FAIL: flight dump $dump has no conv.* span context" >&2
+    exit 1
+  fi
+done
+rm -rf "$flight_dir"
+echo "   ok: 3 demotions -> 3 parseable dumps with reason + conv.* span context"
+
+echo "== bench smoke: head perf artifact (BENCH_head.json)"
 # One zoo layer timed scalar-interpreted vs compiled-SIMD in the same
-# process, per-phase GFLOP/s from probe spans, and a short closed-loop
-# serve run. The artifact is the perf trajectory later PRs beat.
-WINO_SIMD=auto ./target/release/wino-bench-smoke --out BENCH_baseline.json
-python3 -m json.tool BENCH_baseline.json >/dev/null
-speedup=$(python3 -c "import json; print(json.load(open('BENCH_baseline.json'))['zoo_layer']['speedup'])")
+# process, per-phase GFLOP/s from probe spans (split cold/steady), and
+# a short closed-loop serve run whose histogram percentiles are
+# cross-checked in-process against exact sorted-array ranks.
+WINO_SIMD=auto ./target/release/wino-bench-smoke --out BENCH_head.json
+python3 -m json.tool BENCH_head.json >/dev/null
+speedup=$(python3 -c "import json; print(json.load(open('BENCH_head.json'))['zoo_layer']['speedup'])")
 if ! python3 -c "import sys; sys.exit(0 if float('$speedup') >= 1.0 else 1)"; then
   echo "FAIL: SIMD+compiled path slower than scalar interpreted (speedup=$speedup)" >&2
   exit 1
 fi
-echo "   ok: BENCH_baseline.json written (zoo-layer speedup ${speedup}x)"
+echo "   ok: BENCH_head.json written (zoo-layer speedup ${speedup}x)"
+
+echo "== bench compare: perf-trajectory gate (head vs committed baseline)"
+# First prove the gate itself can fail: the committed regressed fixture
+# (SIMD fell back to scalar, sgemm at a tenth, serve p99 8x) must trip
+# it. A gate that cannot fail is not a gate.
+if ./target/release/wino-bench-compare \
+    crates/bench/fixtures/cmp_baseline.json crates/bench/fixtures/cmp_regressed.json \
+    >/dev/null 2>&1; then
+  echo "FAIL: bench-compare passed the regressed fixture — the gate is broken" >&2
+  exit 1
+fi
+./target/release/wino-bench-compare \
+  crates/bench/fixtures/cmp_baseline.json crates/bench/fixtures/cmp_baseline.json >/dev/null
+echo "   ok: gate trips on the regressed fixture, passes the identical one"
+./target/release/wino-bench-compare BENCH_baseline.json BENCH_head.json
 
 echo "CI OK"
