@@ -42,6 +42,7 @@ const SMOKE_COUNTERS: &[&str] = &[
     "serve.executed",
     "serve.deadline_demotions",
     "conv.filter_transforms",
+    "conv.compiled_fallback",
     "guard.demote.guardrail",
     "guard.demote.panic",
     "guard.served_by_fallback",

@@ -18,6 +18,16 @@ pub fn verification_section(report: &mut Report) -> bool {
         template_issues: Vec::new(),
         plan_issues: Vec::new(),
         audit_issues: Vec::new(),
+        // The figure stamp only re-proves the recipes it tabulates;
+        // the kernel/index/safety analyses run in the wino-verify CLI.
+        kernel_checks: Vec::new(),
+        index_checks: Vec::new(),
+        safety: wino_verify::SafetyReport {
+            files_scanned: 0,
+            unsafe_sites: 0,
+            issues: Vec::new(),
+        },
+        pointer_audit: Vec::new(),
         debug_checks: wino_verify::debug_checks_enabled(),
     };
     append_stamp(report, &verification);

@@ -17,6 +17,14 @@ use wino_gemm::SimdLevel;
 use wino_symbolic::RecipeOptions;
 use wino_transform::TransformRecipes;
 
+/// Counts every convolution call whose optimized-pipeline recipes were
+/// expected to have compiled kernels but fingerprint-mismatched the
+/// build-time table — the silent-drift case. Steady-state serving must
+/// keep this at zero (asserted by the ci.sh serve smoke); any bump
+/// means a kernel proven at build time no longer covers the recipe in
+/// use and the engine quietly lost its compiled fast path.
+static COMPILED_FALLBACK: wino_probe::Counter = wino_probe::Counter::new("conv.compiled_fallback");
+
 /// Tiles processed together by one SoA kernel application. Eight f32
 /// lanes = one AVX2 vector; every emitted vector op covers the whole
 /// batch in one instruction on the `_avx2` entry points.
@@ -26,8 +34,12 @@ pub const LANES: usize = 8;
 /// position-major SoA layout (`src[pos][lane]`).
 type SoaFn = fn(&[[f32; LANES]], &mut [[f32; LANES]]);
 
-/// The AVX2+FMA entry of the same kernel; unsafe because the caller
-/// asserts CPUID support (which [`SimdLevel::Avx2`] encodes).
+/// The AVX2+FMA entry of the same kernel.
+///
+/// # Safety
+/// Calling through this pointer requires AVX2+FMA on the host; the
+/// [`SimdLevel::Avx2`] dispatch token (CPUID-gated) encodes exactly
+/// that proof, so every call site threads it through.
 #[cfg(target_arch = "x86_64")]
 type SoaAvx2Fn = unsafe fn(&[[f32; LANES]], &mut [[f32; LANES]]);
 
@@ -107,6 +119,7 @@ pub fn compiled_for(recipes: &TransformRecipes) -> Option<CompiledTransforms> {
     if input.fingerprint != recipes.input.fingerprint()
         || output.fingerprint != recipes.output.fingerprint()
     {
+        COMPILED_FALLBACK.add(1);
         wino_probe::diag(format!(
             "compiled transform kernels for {spec} do not match the runtime \
              recipes (build-time fingerprint {:016x}/{:016x}, runtime \
@@ -129,6 +142,21 @@ pub fn compiled_for(recipes: &TransformRecipes) -> Option<CompiledTransforms> {
 mod gen {
     use super::{SoaKernel, LANES};
     include!(concat!(env!("OUT_DIR"), "/compiled_transforms.rs"));
+}
+
+/// The `(m, r)` configurations this build compiled kernels for, from
+/// the generated table itself (no drift against `build.rs`).
+pub fn compiled_specs() -> &'static [(usize, usize)] {
+    gen::SPECS
+}
+
+/// The exact Rust source of the build-script-generated kernels this
+/// binary is running. `wino-verify`'s compiled-kernel analysis parses
+/// this text back into a statement IR and proves each kernel
+/// equivalent to its transform — the shipped machine code (modulo
+/// rustc) is what gets verified, not a regenerated lookalike.
+pub fn generated_source() -> &'static str {
+    include_str!(concat!(env!("OUT_DIR"), "/compiled_transforms.rs"))
 }
 
 #[cfg(test)]

@@ -8,6 +8,10 @@
 //! paper exposes for its GPU SGEMM (`MNt` register blocking, `MNb`
 //! thread blocking, Table 1).
 
+use crate::schedule::{
+    col_panel, dim_blocks, micro_tiles, pack_capacities, tile_extents, MR_AVX2, MR_SCALAR, NR_AVX2,
+    NR_SCALAR,
+};
 use crate::simd::{simd_level, SimdLevel};
 use wino_runtime::{DisjointSlice, Runtime};
 
@@ -36,28 +40,6 @@ impl Default for GemmConfig {
             kc: 128,
             nc: 256,
         }
-    }
-}
-
-/// Register micro-tile extents of the portable scalar kernel. Fixed
-/// at compile time so the inner loops fully unroll. These are the
-/// pre-SIMD values; changing them would change scalar accumulation
-/// order and break the `WINO_SIMD=off` bit-identity contract.
-const MR: usize = 4;
-const NR: usize = 4;
-
-/// Micro-tile extents of the AVX2 kernel: six rows of one 8-lane
-/// vector each keeps 6 accumulator registers + a broadcast + a B
-/// vector within the 16 ymm registers.
-const MR_AVX2: usize = 6;
-const NR_AVX2: usize = 8;
-
-/// Micro-tile extents for a dispatch level (packing and the macro
-/// loop are parameterized on these).
-fn tile_extents(level: SimdLevel) -> (usize, usize) {
-    match level {
-        SimdLevel::Scalar => (MR, NR),
-        SimdLevel::Avx2 => (MR_AVX2, NR_AVX2),
     }
 }
 
@@ -179,6 +161,11 @@ pub fn sgemm_acc_rt_level(
 /// `kk` loop for its columns with private pack buffers — so every `C`
 /// element sees the exact serial accumulation order and the result is
 /// bit-identical for any thread count.
+///
+/// The loop nest walks the descriptors exported by [`crate::schedule`]
+/// (`col_panel` → `dim_blocks` → `micro_tiles` inside `macro_kernel`),
+/// so the blocking structure wino-verify's index analysis proves
+/// coverage/disjointness/bounds over is the structure running here.
 #[allow(clippy::too_many_arguments)]
 fn sgemm_blocked(
     a: &[f32],
@@ -193,37 +180,38 @@ fn sgemm_blocked(
 ) {
     let (mr, nr) = tile_extents(level);
     let panels = n.div_ceil(cfg.nc);
+    let (a_cap, b_cap) = pack_capacities(cfg, mr, nr);
     let c_win = DisjointSlice::new(c);
     rt.parallel_for_chunks(0..panels, 1, |panel_range| {
         let mut panel_span = wino_probe::span("gemm.panel");
         panel_span.arg("panels", || panel_range.len().to_string());
         let _panel_hist = H_PANEL.start();
-        let mut a_pack = vec![0.0f32; cfg.mc.next_multiple_of(mr) * cfg.kc];
-        let mut b_pack = vec![0.0f32; cfg.kc * cfg.nc.next_multiple_of(nr)];
+        let mut a_pack = vec![0.0f32; a_cap];
+        let mut b_pack = vec![0.0f32; b_cap];
         for panel in panel_range {
-            let jj = panel * cfg.nc;
-            let nb = cfg.nc.min(n - jj);
-            let mut kk = 0;
-            while kk < k {
-                let kb = cfg.kc.min(k - kk);
+            let jp = col_panel(n, cfg.nc, panel);
+            let (jj, nb) = (jp.start, jp.len);
+            for kp in dim_blocks(k, cfg.kc) {
+                let (kk, kb) = (kp.start, kp.len);
                 pack_b(&mut b_pack, b, kk, jj, kb, nb, n, nr);
-                let mut ii = 0;
-                while ii < m {
-                    let mb = cfg.mc.min(m - ii);
+                for ip in dim_blocks(m, cfg.mc) {
+                    let (ii, mb) = (ip.start, ip.len);
                     pack_a(&mut a_pack, a, ii, kk, mb, kb, k, mr);
                     macro_kernel(&a_pack, &b_pack, &c_win, ii, jj, mb, kb, nb, n, level);
-                    ii += mb;
                 }
-                kk += kb;
             }
         }
     });
 }
 
 /// Packs `A[ii.., kk..]` (mb×kb) into `mr`-row slivers so the
-/// micro-kernel reads it with unit stride.
+/// micro-kernel reads it with unit stride. Writes exactly
+/// [`crate::schedule::packed_a_len`]`(mb, kb, mr)` slots, laid out as
+/// [`crate::schedule::pack_a_model`] describes (property-tested
+/// equal); public so the static index analysis can cross-check the
+/// running code against that model.
 #[allow(clippy::too_many_arguments)]
-fn pack_a(
+pub fn pack_a(
     dst: &mut [f32],
     a: &[f32],
     ii: usize,
@@ -233,6 +221,8 @@ fn pack_a(
     lda: usize,
     mr: usize,
 ) {
+    debug_assert!(dst.len() >= crate::schedule::packed_a_len(mb, kb, mr));
+    debug_assert!(mb == 0 || kb == 0 || (ii + mb - 1) * lda + kk + kb <= a.len());
     let mut idx = 0;
     let mut i = 0;
     while i < mb {
@@ -251,9 +241,11 @@ fn pack_a(
     }
 }
 
-/// Packs `B[kk.., jj..]` (kb×nb) into `nr`-column slivers.
+/// Packs `B[kk.., jj..]` (kb×nb) into `nr`-column slivers. Mirrors
+/// [`pack_a`]: layout per [`crate::schedule::pack_b_model`], public
+/// for the cross-check.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+pub fn pack_b(
     dst: &mut [f32],
     b: &[f32],
     kk: usize,
@@ -263,6 +255,8 @@ fn pack_b(
     ldb: usize,
     nr: usize,
 ) {
+    debug_assert!(dst.len() >= crate::schedule::packed_b_len(kb, nb, nr));
+    debug_assert!(kb == 0 || nb == 0 || (kk + kb - 1) * ldb + jj + nb <= b.len());
     let mut idx = 0;
     let mut j = 0;
     while j < nb {
@@ -283,7 +277,8 @@ fn pack_b(
 
 /// Runs the mr×nr micro-kernel over one packed macro-block,
 /// accumulating into `C` through the disjoint-write window (this
-/// task's column panel never overlaps another task's).
+/// task's column panel never overlaps another task's). The tile walk
+/// is the exported [`micro_tiles`] schedule, in its order.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
     a_pack: &[f32],
@@ -298,37 +293,29 @@ fn macro_kernel(
     level: SimdLevel,
 ) {
     let (mr, nr) = tile_extents(level);
-    let mut j = 0;
-    let mut b_off = 0;
-    while j < nb {
-        let cols = nr.min(nb - j);
-        let mut i = 0;
-        let mut a_off = 0;
-        while i < mb {
-            let rows = mr.min(mb - i);
-            let a_sliver = &a_pack[a_off..a_off + kb * mr];
-            let b_sliver = &b_pack[b_off..b_off + kb * nr];
-            let c_off = (ii + i) * ldc + jj + j;
-            match level {
-                SimdLevel::Scalar => {
-                    micro_kernel(a_sliver, b_sliver, c, c_off, rows, cols, ldc, kb);
-                }
-                #[cfg(target_arch = "x86_64")]
-                SimdLevel::Avx2 => {
-                    // SAFETY: Avx2 is only ever resolved when CPUID
-                    // reports avx2+fma (see `simd::resolve_simd`).
-                    unsafe {
-                        micro_kernel_avx2(a_sliver, b_sliver, c, c_off, rows, cols, ldc, kb);
-                    }
-                }
-                #[cfg(not(target_arch = "x86_64"))]
-                SimdLevel::Avx2 => unreachable!("avx2 level on non-x86_64"),
+    for t in micro_tiles(mb, nb, kb, mr, nr) {
+        let a_sliver = &a_pack[t.a_off..t.a_off + kb * mr];
+        let b_sliver = &b_pack[t.b_off..t.b_off + kb * nr];
+        let c_off = (ii + t.i) * ldc + jj + t.j;
+        // Invariant (proven by wino-verify's index analysis over this
+        // exact schedule): the tile's row segments stay inside this
+        // task's column panel and inside C.
+        debug_assert!(c_off + (t.rows - 1) * ldc + t.cols <= c.len());
+        match level {
+            SimdLevel::Scalar => {
+                micro_kernel(a_sliver, b_sliver, c, c_off, t.rows, t.cols, ldc, kb);
             }
-            a_off += kb * mr;
-            i += rows;
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => {
+                // SAFETY: Avx2 is only ever resolved when CPUID
+                // reports avx2+fma (see `simd::resolve_simd`).
+                unsafe {
+                    micro_kernel_avx2(a_sliver, b_sliver, c, c_off, t.rows, t.cols, ldc, kb);
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdLevel::Avx2 => unreachable!("avx2 level on non-x86_64"),
         }
-        b_off += kb * nr;
-        j += cols;
     }
 }
 
@@ -345,13 +332,13 @@ fn micro_kernel(
     ldc: usize,
     kb: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
+    let mut acc = [[0.0f32; NR_SCALAR]; MR_SCALAR];
     for p in 0..kb {
-        let av = &a_sliver[p * MR..p * MR + MR];
-        let bv = &b_sliver[p * NR..p * NR + NR];
-        for r in 0..MR {
+        let av = &a_sliver[p * MR_SCALAR..p * MR_SCALAR + MR_SCALAR];
+        let bv = &b_sliver[p * NR_SCALAR..p * NR_SCALAR + NR_SCALAR];
+        for r in 0..MR_SCALAR {
             let ar = av[r];
-            for col in 0..NR {
+            for col in 0..NR_SCALAR {
                 acc[r][col] += ar * bv[col];
             }
         }
@@ -391,8 +378,16 @@ unsafe fn micro_kernel_avx2(
     kb: usize,
 ) {
     use std::arch::x86_64::*;
+    // Audited invariants (wino-verify `avx2_pointer_audit` re-derives
+    // each of these from the exported schedule): every `ap` read is at
+    // offset p·MR + r < kb·MR and every 8-wide `bp` load ends at
+    // p·NR + 8 ≤ kb·NR, so the pointer walk never leaves the slivers;
+    // the C store below writes `rows ≤ MR` row segments of `cols ≤ NR`
+    // elements through the bounds-checked `DisjointSlice` window.
     debug_assert!(a_sliver.len() >= kb * MR_AVX2);
     debug_assert!(b_sliver.len() >= kb * NR_AVX2);
+    debug_assert!((1..=MR_AVX2).contains(&rows));
+    debug_assert!((1..=NR_AVX2).contains(&cols));
     let mut acc = [_mm256_setzero_ps(); MR_AVX2];
     let mut ap = a_sliver.as_ptr();
     let mut bp = b_sliver.as_ptr();

@@ -118,3 +118,147 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Packing and micro-kernel properties (PR 8): the pack routines must
+// realize the exported pack models slot-for-slot and round-trip every
+// block element, and the blocked kernel must agree with the reference
+// triple loop on adversarial shapes (primes, sub-micro-tile slivers)
+// at both dispatch levels. These are the dynamic counterparts of
+// wino-verify's static index analysis over the same schedule.
+// ---------------------------------------------------------------------
+
+use wino_gemm::{
+    pack_a, pack_a_model, pack_b, pack_b_model, packed_a_len, packed_b_len, sgemm_acc_rt_level,
+    GemmConfig, PackSlot, SimdLevel, MR_AVX2, MR_SCALAR, NR_AVX2, NR_SCALAR,
+};
+
+/// Shapes that stress remainder handling: primes (never a multiple of
+/// any micro-tile or cache-block extent) and sub-micro-tile slivers.
+fn adversarial_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        3 => prop_oneof![
+            Just(2usize), Just(3), Just(5), Just(7), Just(11), Just(13),
+            Just(17), Just(19), Just(23), Just(29), Just(31), Just(37),
+        ],
+        2 => 1usize..6,   // smaller than every micro-tile extent
+        2 => 1usize..48,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pack_a_matches_model_and_roundtrips(
+        mb in 1usize..20,
+        kb in 1usize..12,
+        ii in 0usize..3,
+        kk in 0usize..3,
+        pad in 0usize..3,
+        use_avx2_tile in any::<bool>(),
+    ) {
+        let mr = if use_avx2_tile { MR_AVX2 } else { MR_SCALAR };
+        let lda = kk + kb + pad;
+        // Distinct values (flat index + 1) make slot equality pin the
+        // exact source element, not just a plausible one.
+        let a: Vec<f32> = (0..(ii + mb) * lda).map(|i| i as f32 + 1.0).collect();
+        let mut dst = vec![f32::NAN; packed_a_len(mb, kb, mr)];
+        pack_a(&mut dst, &a, ii, kk, mb, kb, lda, mr);
+
+        // Forward: the packed buffer is the model, slot for slot.
+        let model = pack_a_model(mb, kb, mr);
+        prop_assert_eq!(model.len(), dst.len());
+        for (idx, slot) in model.iter().enumerate() {
+            let want = match *slot {
+                PackSlot::Src { row, col } => a[(ii + row) * lda + kk + col],
+                PackSlot::Zero => 0.0,
+            };
+            prop_assert_eq!(dst[idx].to_bits(), want.to_bits());
+        }
+
+        // Round-trip: every element of the mb×kb block is recovered
+        // from the packed buffer exactly once.
+        let mut seen = vec![false; mb * kb];
+        for (idx, slot) in model.iter().enumerate() {
+            if let PackSlot::Src { row, col } = *slot {
+                prop_assert_eq!(dst[idx].to_bits(), a[(ii + row) * lda + kk + col].to_bits());
+                prop_assert!(!seen[row * kb + col], "duplicate slot for ({}, {})", row, col);
+                seen[row * kb + col] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "block element never packed");
+    }
+
+    #[test]
+    fn pack_b_matches_model_and_roundtrips(
+        kb in 1usize..12,
+        nb in 1usize..24,
+        kk in 0usize..3,
+        jj in 0usize..3,
+        pad in 0usize..3,
+        use_avx2_tile in any::<bool>(),
+    ) {
+        let nr = if use_avx2_tile { NR_AVX2 } else { NR_SCALAR };
+        let ldb = jj + nb + pad;
+        let b: Vec<f32> = (0..(kk + kb) * ldb).map(|i| i as f32 + 1.0).collect();
+        let mut dst = vec![f32::NAN; packed_b_len(kb, nb, nr)];
+        pack_b(&mut dst, &b, kk, jj, kb, nb, ldb, nr);
+
+        let model = pack_b_model(kb, nb, nr);
+        prop_assert_eq!(model.len(), dst.len());
+        let mut seen = vec![false; kb * nb];
+        for (idx, slot) in model.iter().enumerate() {
+            match *slot {
+                PackSlot::Src { row, col } => {
+                    let want = b[(kk + row) * ldb + jj + col];
+                    prop_assert_eq!(dst[idx].to_bits(), want.to_bits());
+                    prop_assert!(!seen[row * nb + col], "duplicate slot for ({}, {})", row, col);
+                    seen[row * nb + col] = true;
+                }
+                PackSlot::Zero => prop_assert_eq!(dst[idx].to_bits(), 0.0f32.to_bits()),
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "block element never packed");
+    }
+
+    #[test]
+    fn micro_kernel_matches_naive_adversarial_shapes_both_levels(
+        m in adversarial_dim(),
+        k in adversarial_dim(),
+        n in adversarial_dim(),
+        accumulate in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let init: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // A tiny blocking config forces ragged remainders in every
+        // dimension even for small shapes.
+        let cfg = GemmConfig { mc: 8, kc: 8, nc: 16 };
+        let rt = wino_runtime::Runtime::global();
+
+        let mut expect = if accumulate { init.clone() } else { vec![0.0; m * n] };
+        let mut expect_term = vec![0.0f32; m * n];
+        sgemm_naive(&a, &b, &mut expect_term, m, k, n);
+        for (e, t) in expect.iter_mut().zip(&expect_term) {
+            if accumulate { *e += t } else { *e = *t }
+        }
+
+        let mut levels = vec![SimdLevel::Scalar];
+        if wino_gemm::detect_simd() == SimdLevel::Avx2 {
+            levels.push(SimdLevel::Avx2);
+        }
+        for level in levels {
+            let mut c = init.clone();
+            sgemm_acc_rt_level(&a, &b, &mut c, m, k, n, accumulate, &cfg, rt, level);
+            prop_assert!(
+                close(&c, &expect),
+                "level {:?} diverges from naive at m={} k={} n={} accumulate={}",
+                level, m, k, n, accumulate
+            );
+        }
+    }
+}

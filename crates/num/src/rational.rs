@@ -175,6 +175,44 @@ impl Rational {
     pub fn to_f32(&self) -> f32 {
         self.to_f64() as f32
     }
+
+    /// The *exact* rational value of a finite `f32`. Every finite
+    /// float is a dyadic rational `±m · 2^e`, so this conversion is
+    /// lossless: `Rational::from_f32_exact(v).unwrap().to_f32() == v`.
+    ///
+    /// This is the bridge the compiled-kernel verifier uses to reason
+    /// about generated code: the `f32::from_bits` constants baked into
+    /// emitted kernels are lifted back into ℚ without introducing any
+    /// rounding of their own, so the abstract interpretation of the
+    /// kernel text is exact. Returns `None` for NaN or infinities.
+    pub fn from_f32_exact(v: f32) -> Option<Rational> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(Rational::zero());
+        }
+        let bits = v.to_bits();
+        let negative = bits >> 31 == 1;
+        let raw_exp = ((bits >> 23) & 0xff) as i32;
+        let frac = (bits & 0x7f_ffff) as i64;
+        // Normal numbers carry an implicit leading mantissa bit and an
+        // exponent bias of 127 over a 23-bit fraction; subnormals have
+        // no implicit bit and a fixed exponent of -149.
+        let (mantissa, exp) = if raw_exp == 0 {
+            (frac, -149)
+        } else {
+            (frac | (1 << 23), raw_exp - 150)
+        };
+        let mantissa = BigInt::from(if negative { -mantissa } else { mantissa });
+        let scale = BigInt::from(2).pow(exp.unsigned_abs());
+        let value = if exp >= 0 {
+            Rational::new(&mantissa * &scale, BigInt::one())
+        } else {
+            Rational::new(mantissa, scale)
+        };
+        Some(value.expect("power-of-two denominator is non-zero"))
+    }
 }
 
 impl Default for Rational {
@@ -403,6 +441,36 @@ mod tests {
         assert_eq!(r(1, 2).to_f64(), 0.5);
         assert_eq!(r(-7, 4).to_f32(), -1.75);
         assert_eq!(r(1, 3).to_f64(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn from_f32_exact_is_lossless() {
+        // Dyadic values convert to the obvious fractions.
+        assert_eq!(Rational::from_f32_exact(0.5).unwrap(), r(1, 2));
+        assert_eq!(Rational::from_f32_exact(-1.75).unwrap(), r(-7, 4));
+        assert_eq!(Rational::from_f32_exact(0.0).unwrap(), r(0, 1));
+        assert_eq!(Rational::from_f32_exact(3.0).unwrap(), r(3, 1));
+        // Non-dyadic rationals round on the way *into* f32; lifting
+        // back must reproduce the rounded bits exactly, not 1/3.
+        let third = Rational::from_f32_exact(1.0f32 / 3.0).unwrap();
+        assert_ne!(third, r(1, 3));
+        assert_eq!(third.to_f32(), 1.0f32 / 3.0);
+        // Round-trips over a spread of magnitudes, including a
+        // subnormal and the extremes of the normal range.
+        for v in [
+            1.0e-40f32,
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            -f32::MAX,
+            2.0f32 / 3.0,
+            1.234567e-12,
+            -9.8765e33,
+        ] {
+            let exact = Rational::from_f32_exact(v).unwrap();
+            assert_eq!(exact.to_f32(), v, "round-trip of {v}");
+        }
+        assert!(Rational::from_f32_exact(f32::NAN).is_none());
+        assert!(Rational::from_f32_exact(f32::INFINITY).is_none());
     }
 
     #[test]

@@ -120,6 +120,9 @@ enum Task {
 
 struct ForTask {
     job: *const (),
+    // SAFETY: `run` may only be called with this task's `job` pointer
+    // while the ForJob behind it is alive; the submitting call blocks
+    // on the job latch until every task has run, guaranteeing that.
     run: unsafe fn(*const ()),
 }
 
@@ -230,6 +233,9 @@ impl WorkerStats {
 
 fn run_task(task: Task) {
     match task {
+        // SAFETY: `t.job` points at the ForJob this task was built
+        // from, and the submitting thread blocks on the job latch, so
+        // the pointee is alive for the whole call.
         Task::For(t) => unsafe { (t.run)(t.job) },
         Task::Boxed(f) => f(),
     }
@@ -289,7 +295,11 @@ impl ForJob<'_> {
     }
 }
 
+/// # Safety
+/// `job` must point at a live `ForJob` (upheld by the latch protocol
+/// on [`ForTask::run`]).
 unsafe fn run_for_task(job: *const ()) {
+    // SAFETY: caller contract above — `job` is a live `ForJob`.
     let job = unsafe { &*(job as *const ForJob) };
     job.execute_chunks();
     job.latch.count_down();
@@ -668,6 +678,8 @@ pub struct DisjointSlice<'a, T> {
 // concurrent access never aliases; `T: Send` makes moving elements
 // across threads sound.
 unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+// SAFETY: same argument — `&DisjointSlice` only exposes writes whose
+// disjointness the caller vouches for (and debug builds verify).
 unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
 
 impl<'a, T> DisjointSlice<'a, T> {
@@ -714,6 +726,8 @@ impl<'a, T> DisjointSlice<'a, T> {
             );
             self.owners.claim(index);
         }
+        // SAFETY: caller contract (`# Safety` above) — `index` is in
+        // bounds and exclusively ours for this window's lifetime.
         unsafe { self.ptr.add(index).write(value) }
     }
 
@@ -734,6 +748,8 @@ impl<'a, T> DisjointSlice<'a, T> {
             );
             self.owners.claim_range(range.clone());
         }
+        // SAFETY: caller contract (`# Safety` above) — `range` is in
+        // bounds and disjoint from every other thread's accesses.
         unsafe {
             std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
         }
@@ -942,12 +958,15 @@ mod tests {
         // blocked GEMM's kk-loop accumulation; they must not trip the
         // debug ledger.
         for _ in 0..3 {
+            // SAFETY: in bounds; only this thread touches the window.
             let row = unsafe { win.slice_mut(4..8) };
             for v in row.iter_mut() {
                 *v += 1.0;
             }
         }
+        // SAFETY: in bounds; only this thread touches the window.
         unsafe { win.write(0, 7.0) };
+        // SAFETY: same — a same-thread rewrite is the point of the test.
         unsafe { win.write(0, 8.0) };
         drop(win);
         assert_eq!(data[0], 8.0);
@@ -961,10 +980,15 @@ mod tests {
         let win = DisjointSlice::new(&mut data);
         // This thread claims 0..40; a second thread claiming the
         // overlapping 32..48 must panic in the debug ledger.
+        // SAFETY: deliberately violates disjointness with the claim
+        // below — this debug-build test asserts the ledger panics
+        // before any aliased access happens.
         let _mine = unsafe { win.slice_mut(0..40) };
         let result = std::thread::scope(|s| {
             s.spawn(|| {
                 let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                    // SAFETY: overlapping on purpose; the ledger must
+                    // panic here before the slice is ever used.
                     let _theirs = unsafe { win.slice_mut(32..48) };
                 }));
                 caught.is_err()
@@ -981,6 +1005,8 @@ mod tests {
     fn disjoint_slice_write_bounds_checked() {
         let mut data = vec![0u8; 4];
         let win = DisjointSlice::new(&mut data);
+        // SAFETY: deliberately out of bounds; the debug assert must
+        // panic before the raw write executes.
         unsafe { win.write(4, 1) };
     }
 }

@@ -1,0 +1,690 @@
+//! Static index analysis of the blocked-GEMM packing and tiling.
+//!
+//! `wino-gemm` exports its loop nest as data ([`wino_gemm::dim_blocks`],
+//! [`wino_gemm::col_panel`], [`wino_gemm::micro_tiles`], the pack
+//! models) and `sgemm_blocked` *consumes those descriptors*, so the
+//! schedule this module reasons about is the schedule that executes —
+//! by construction, not by transcription. Over that data the analysis
+//! proves, for a grid of problem shapes × blocking configs × both SIMD
+//! dispatch levels:
+//!
+//! - **Coverage:** every `(i, j)` of `C` is written exactly once per
+//!   k-block — no element missed (a wrong result) and none touched
+//!   twice (a data race under panel parallelism).
+//! - **Disjointness:** column panels partition `[0, n)`, so the
+//!   per-panel tasks' write sets never intersect and the
+//!   `DisjointSlice` windows in the micro-kernels are sound.
+//! - **In-bounds:** packed buffer lengths fit the allocated
+//!   capacities, every micro-tile's A/B sliver lies inside its pack
+//!   buffer, and every `C` row segment stays inside both the matrix
+//!   and its task's column panel — including every ragged remainder
+//!   combination (`m % mr`, `n % nr`, tail blocks of `mc`/`kc`/`nc`).
+//!
+//! The reasoning is interval/affine arithmetic over loop bounds: all
+//! quantities are affine in the block descriptors, so checking every
+//! descriptor (there are finitely many per shape) *is* the proof for
+//! that shape. The model-vs-implementation gap for the packing loops —
+//! `pack_a`/`pack_b` are hand-written while the analysis walks
+//! [`wino_gemm::pack_a_model`]/[`wino_gemm::pack_b_model`] — is closed
+//! by [`cross_check_packing`], which runs the real loops on
+//! sentinel-valued matrices and compares slot-for-slot against the
+//! model.
+
+use std::fmt;
+
+use wino_gemm::{
+    col_panel, dim_blocks, micro_tiles, pack_a, pack_a_model, pack_b, pack_b_model,
+    pack_capacities, packed_a_len, packed_b_len, tile_extents, GemmConfig, MicroTile, PackSlot,
+    SimdLevel,
+};
+
+/// One defect found by the index analysis.
+#[derive(Clone, Debug)]
+pub struct IndexIssue {
+    /// Which configuration/loop the defect is in.
+    pub context: String,
+    /// The violated property, with concrete indices.
+    pub detail: String,
+}
+
+impl fmt::Display for IndexIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.detail)
+    }
+}
+
+/// The analysis outcome for one `(shape, config, level)` point.
+#[derive(Clone, Debug)]
+pub struct IndexCheck {
+    /// Human label, e.g. `gemm 65x129x257 cfg(64,128,256) avx2`.
+    pub label: String,
+    /// All defects found (empty = proven clean).
+    pub issues: Vec<IndexIssue>,
+}
+
+impl IndexCheck {
+    /// Whether this point proved clean.
+    pub fn passed(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Problem shapes the sweep proves: exact block multiples, primes,
+/// sub-micro-tile extents, singletons, and shapes straddling every
+/// cache-block boundary.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (4, 4, 4),
+    (5, 3, 7),
+    (6, 1, 8),
+    (13, 17, 19),
+    (37, 53, 41),
+    (64, 128, 256),
+    (65, 129, 257),
+    (3, 2, 131),
+];
+
+/// Blocking configs the sweep proves: the default, a tiny config that
+/// maximizes block-count edge cases, and an awkward config whose steps
+/// divide nothing evenly (every tail is ragged).
+fn sweep_configs() -> Vec<GemmConfig> {
+    vec![
+        GemmConfig::default(),
+        GemmConfig {
+            mc: 8,
+            kc: 8,
+            nc: 16,
+        },
+        GemmConfig {
+            mc: 5,
+            kc: 3,
+            nc: 7,
+        },
+    ]
+}
+
+fn issue(context: &str, detail: impl Into<String>) -> IndexIssue {
+    IndexIssue {
+        context: context.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Checks that `blocks` partitions `[0, total)` in order with only the
+/// final block ragged. The blocks must come from the exported
+/// iterators; this re-derives the partition property instead of
+/// trusting it.
+fn check_partition(
+    ctx: &str,
+    dim: &str,
+    blocks: &[wino_gemm::DimBlock],
+    total: usize,
+    step: usize,
+    issues: &mut Vec<IndexIssue>,
+) {
+    let mut expect_start = 0usize;
+    for (idx, b) in blocks.iter().enumerate() {
+        if b.start != expect_start {
+            issues.push(issue(
+                ctx,
+                format!(
+                    "{dim} block {idx} starts at {} (expected {expect_start})",
+                    b.start
+                ),
+            ));
+            return;
+        }
+        if b.len == 0 || b.len > step {
+            issues.push(issue(
+                ctx,
+                format!(
+                    "{dim} block {idx} has degenerate extent {} (step {step})",
+                    b.len
+                ),
+            ));
+            return;
+        }
+        if b.len < step && idx != blocks.len() - 1 {
+            issues.push(issue(
+                ctx,
+                format!("{dim} block {idx} is ragged ({} < {step}) but not last — remainder handled early", b.len),
+            ));
+            return;
+        }
+        expect_start = b.end();
+    }
+    if expect_start != total {
+        issues.push(issue(
+            ctx,
+            format!("{dim} blocks cover [0, {expect_start}), dimension is {total} — remainder unhandled"),
+        ));
+    }
+}
+
+/// Checks one macro-block's micro-tile schedule: coverage of the
+/// `mb × nb` block exactly once, tiles inside the block, slivers
+/// inside the pack buffers. Takes the tiles as a slice so negative
+/// fixtures can feed a tampered schedule.
+#[allow(clippy::too_many_arguments)]
+fn check_micro_tiles(
+    ctx: &str,
+    tiles: &[MicroTile],
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    mr: usize,
+    nr: usize,
+    issues: &mut Vec<IndexIssue>,
+) {
+    let a_len = packed_a_len(mb, kb, mr);
+    let b_len = packed_b_len(kb, nb, nr);
+    let mut cover = vec![0u32; mb * nb];
+    for t in tiles {
+        if t.rows == 0 || t.rows > mr || t.cols == 0 || t.cols > nr {
+            issues.push(issue(
+                ctx,
+                format!(
+                    "tile ({},{}) has degenerate extent {}x{}",
+                    t.i, t.j, t.rows, t.cols
+                ),
+            ));
+            return;
+        }
+        if t.i + t.rows > mb || t.j + t.cols > nb {
+            issues.push(issue(
+                ctx,
+                format!(
+                    "tile ({},{}) extent {}x{} escapes the {mb}x{nb} macro-block",
+                    t.i, t.j, t.rows, t.cols
+                ),
+            ));
+            return;
+        }
+        if t.a_off + kb * mr > a_len {
+            issues.push(issue(
+                ctx,
+                format!(
+                    "tile ({},{}) A sliver [{}, {}) escapes packed A of {a_len}",
+                    t.i,
+                    t.j,
+                    t.a_off,
+                    t.a_off + kb * mr
+                ),
+            ));
+            return;
+        }
+        if t.b_off + kb * nr > b_len {
+            issues.push(issue(
+                ctx,
+                format!(
+                    "tile ({},{}) B sliver [{}, {}) escapes packed B of {b_len}",
+                    t.i,
+                    t.j,
+                    t.b_off,
+                    t.b_off + kb * nr
+                ),
+            ));
+            return;
+        }
+        for r in 0..t.rows {
+            for c in 0..t.cols {
+                cover[(t.i + r) * nb + t.j + c] += 1;
+            }
+        }
+    }
+    for (pos, &count) in cover.iter().enumerate() {
+        if count != 1 {
+            let (i, j) = (pos / nb, pos % nb);
+            issues.push(issue(
+                ctx,
+                format!("C tile element ({i},{j}) written {count} times (want exactly 1)"),
+            ));
+            return;
+        }
+    }
+}
+
+/// Proves the full schedule for one `(m, k, n)` × config × level
+/// point. Every property is derived from the exported descriptors;
+/// nothing about the shape is assumed beyond what the descriptors say.
+pub fn check_schedule(
+    m: usize,
+    k: usize,
+    n: usize,
+    cfg: &GemmConfig,
+    level: SimdLevel,
+) -> IndexCheck {
+    let (mr, nr) = tile_extents(level);
+    let label = format!(
+        "gemm {m}x{k}x{n} cfg({},{},{}) {}",
+        cfg.mc,
+        cfg.kc,
+        cfg.nc,
+        match level {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    );
+    let mut issues = Vec::new();
+    let ctx = label.clone();
+
+    // Panel disjointness + partition of the n dimension. The panels
+    // are what `parallel_for_chunks` hands to concurrent tasks, so
+    // this is the data-race freedom argument for DisjointSlice.
+    let panels: Vec<_> = (0..n.div_ceil(cfg.nc))
+        .map(|p| col_panel(n, cfg.nc, p))
+        .collect();
+    check_partition(&ctx, "column-panel", &panels, n, cfg.nc, &mut issues);
+    let kblocks: Vec<_> = dim_blocks(k, cfg.kc).collect();
+    check_partition(&ctx, "k", &kblocks, k, cfg.kc, &mut issues);
+    let mblocks: Vec<_> = dim_blocks(m, cfg.mc).collect();
+    check_partition(&ctx, "m", &mblocks, m, cfg.mc, &mut issues);
+    if !issues.is_empty() {
+        return IndexCheck { label, issues };
+    }
+
+    let (a_cap, b_cap) = pack_capacities(cfg, mr, nr);
+    // Per k-block coverage of all of C exactly once, across every
+    // panel and row block — one pass proves both "no element missed"
+    // and "no element written twice".
+    let mut cover = vec![0u32; m * n];
+    for jp in &panels {
+        for kp in &kblocks {
+            // Pack buffers must fit the per-task allocation.
+            if packed_b_len(kp.len, jp.len, nr) > b_cap {
+                issues.push(issue(
+                    &ctx,
+                    format!(
+                        "packed B for k-block {} panel {} needs {} > capacity {b_cap}",
+                        kp.start,
+                        jp.start,
+                        packed_b_len(kp.len, jp.len, nr)
+                    ),
+                ));
+            }
+            for ip in &mblocks {
+                if packed_a_len(ip.len, kp.len, mr) > a_cap {
+                    issues.push(issue(
+                        &ctx,
+                        format!(
+                            "packed A for m-block {} k-block {} needs {} > capacity {a_cap}",
+                            ip.start,
+                            kp.start,
+                            packed_a_len(ip.len, kp.len, mr)
+                        ),
+                    ));
+                }
+                let tiles: Vec<_> = micro_tiles(ip.len, jp.len, kp.len, mr, nr).collect();
+                let mctx = format!("{ctx} macro({},{})", ip.start, jp.start);
+                check_micro_tiles(&mctx, &tiles, ip.len, jp.len, kp.len, mr, nr, &mut issues);
+                for t in &tiles {
+                    // The C write window of this tile, in matrix
+                    // coordinates: rows [ii+t.i, ii+t.i+rows), cols
+                    // [jj+t.j, jj+t.j+cols). Three affine facts:
+                    let (i0, j0) = (ip.start + t.i, jp.start + t.j);
+                    // (1) inside C (the debug_assert in macro_kernel);
+                    if (i0 + t.rows - 1) * n + j0 + t.cols > m * n {
+                        issues.push(issue(
+                            &mctx,
+                            format!(
+                                "tile C window rows {i0}..{} cols {j0}..{} escapes {m}x{n}",
+                                i0 + t.rows,
+                                j0 + t.cols
+                            ),
+                        ));
+                    }
+                    // (2) row segments never wrap into the next matrix
+                    // row (segment end within the row's columns);
+                    if j0 + t.cols > n {
+                        issues.push(issue(
+                            &mctx,
+                            format!(
+                                "tile row segment cols {j0}..{} wrap past n={n}",
+                                j0 + t.cols
+                            ),
+                        ));
+                    }
+                    // (3) inside this task's column panel — the
+                    // disjointness half of the DisjointSlice argument.
+                    if j0 < jp.start || j0 + t.cols > jp.end() {
+                        issues.push(issue(
+                            &mctx,
+                            format!(
+                                "tile cols {j0}..{} escape panel [{}, {})",
+                                j0 + t.cols,
+                                jp.start,
+                                jp.end()
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Count coverage only for the first k-block: each k-block
+            // repeats the identical (panel × m-block × tile) walk, so
+            // one count proves all of them.
+            if Some(kp) == kblocks.first() {
+                for ip in &mblocks {
+                    for t in micro_tiles(ip.len, jp.len, kp.len, mr, nr) {
+                        for r in 0..t.rows {
+                            for c in 0..t.cols {
+                                cover[(ip.start + t.i + r) * n + jp.start + t.j + c] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !kblocks.is_empty() {
+        for (pos, &count) in cover.iter().enumerate() {
+            if count != 1 {
+                issues.push(issue(
+                    &ctx,
+                    format!(
+                        "C[{}, {}] written {count} times per k-block (want exactly 1)",
+                        pos / n,
+                        pos % n
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    IndexCheck { label, issues }
+}
+
+/// Checks one pack model: declared length, every source reference
+/// inside the block, every block element packed exactly once, padding
+/// exactly where the model says (the sliver tails).
+fn check_pack_model(
+    ctx: &str,
+    model: &[PackSlot],
+    rows: usize,
+    cols: usize,
+    declared_len: usize,
+    issues: &mut Vec<IndexIssue>,
+) {
+    if model.len() != declared_len {
+        issues.push(issue(
+            ctx,
+            format!(
+                "model has {} slots, declared length is {declared_len}",
+                model.len()
+            ),
+        ));
+        return;
+    }
+    let mut cover = vec![0u32; rows * cols];
+    let mut zeros = 0usize;
+    for (s, slot) in model.iter().enumerate() {
+        match slot {
+            PackSlot::Src { row, col } => {
+                if *row >= rows || *col >= cols {
+                    issues.push(issue(
+                        ctx,
+                        format!("slot {s} reads block[{row}, {col}] outside {rows}x{cols}"),
+                    ));
+                    return;
+                }
+                cover[row * cols + col] += 1;
+            }
+            PackSlot::Zero => zeros += 1,
+        }
+    }
+    if let Some((pos, &count)) = cover.iter().enumerate().find(|(_, &c)| c != 1) {
+        issues.push(issue(
+            ctx,
+            format!(
+                "block element ({}, {}) packed {count} times (want exactly 1)",
+                pos / cols,
+                pos % cols
+            ),
+        ));
+        return;
+    }
+    if zeros != declared_len - rows * cols {
+        issues.push(issue(
+            ctx,
+            format!(
+                "{zeros} zero slots, expected {}",
+                declared_len - rows * cols
+            ),
+        ));
+    }
+}
+
+/// Runs the full schedule proof over the shape × config × level grid.
+pub fn analyze_gemm_indexing() -> Vec<IndexCheck> {
+    let mut out = Vec::new();
+    for cfg in sweep_configs() {
+        for &(m, k, n) in SHAPES {
+            for level in [SimdLevel::Scalar, SimdLevel::Avx2] {
+                out.push(check_schedule(m, k, n, &cfg, level));
+            }
+        }
+    }
+    // Pack-model structure for every (block, sliver) extent the grid
+    // can produce, plus primes and sub-sliver extents.
+    for &(mb, kb, mr) in &[
+        (64usize, 128usize, 4usize),
+        (64, 128, 6),
+        (1, 1, 4),
+        (5, 3, 6),
+        (13, 7, 4),
+        (6, 8, 6),
+        (3, 2, 4),
+    ] {
+        let label = format!("pack_a model {mb}x{kb}/mr{mr}");
+        let mut issues = Vec::new();
+        check_pack_model(
+            &label,
+            &pack_a_model(mb, kb, mr),
+            mb,
+            kb,
+            packed_a_len(mb, kb, mr),
+            &mut issues,
+        );
+        out.push(IndexCheck { label, issues });
+    }
+    for &(kb, nb, nr) in &[
+        (128usize, 256usize, 4usize),
+        (128, 256, 8),
+        (1, 1, 8),
+        (3, 7, 8),
+        (7, 13, 4),
+        (8, 8, 8),
+        (2, 3, 8),
+    ] {
+        let label = format!("pack_b model {kb}x{nb}/nr{nr}");
+        let mut issues = Vec::new();
+        // The B model packs a kb×nb block element-for-element; its
+        // "rows × cols" coverage domain is kb × nb.
+        check_pack_model(
+            &label,
+            &pack_b_model(kb, nb, nr),
+            kb,
+            nb,
+            packed_b_len(kb, nb, nr),
+            &mut issues,
+        );
+        out.push(IndexCheck { label, issues });
+    }
+    out
+}
+
+/// Closes the model/implementation gap: runs the real
+/// [`wino_gemm::pack_a`]/[`wino_gemm::pack_b`] loops over matrices
+/// whose every element encodes its own flat index (exact in f32 for
+/// these extents) and demands the buffer match the model slot for
+/// slot, with capacity padding untouched.
+pub fn cross_check_packing() -> Vec<IndexCheck> {
+    const SENTINEL: f32 = -1.0;
+    let mut out = Vec::new();
+    for &(mb, kb, mr, ii, kk) in &[
+        (13usize, 5usize, 4usize, 3usize, 2usize),
+        (6, 8, 6, 0, 0),
+        (1, 1, 4, 7, 7),
+        (5, 3, 6, 1, 0),
+        (4, 4, 4, 0, 5),
+    ] {
+        let label = format!("pack_a impl {mb}x{kb}/mr{mr}@({ii},{kk})");
+        let mut issues = Vec::new();
+        let lda = kk + kb + 3;
+        let a: Vec<f32> = (0..(ii + mb) * lda).map(|v| v as f32 + 2.0).collect();
+        let len = packed_a_len(mb, kb, mr);
+        let mut dst = vec![SENTINEL; len + 5];
+        pack_a(&mut dst, &a, ii, kk, mb, kb, lda, mr);
+        for (s, slot) in pack_a_model(mb, kb, mr).iter().enumerate() {
+            let want = match slot {
+                PackSlot::Src { row, col } => a[(ii + row) * lda + kk + col],
+                PackSlot::Zero => 0.0,
+            };
+            if dst[s] != want {
+                issues.push(issue(
+                    &label,
+                    format!("slot {s}: impl wrote {}, model says {want}", dst[s]),
+                ));
+                break;
+            }
+        }
+        if dst[len..].iter().any(|&v| v != SENTINEL) {
+            issues.push(issue(&label, "impl wrote past the model length"));
+        }
+        out.push(IndexCheck { label, issues });
+    }
+    for &(kb, nb, nr, kk, jj) in &[
+        (5usize, 13usize, 8usize, 2usize, 3usize),
+        (8, 8, 8, 0, 0),
+        (1, 1, 8, 4, 4),
+        (3, 7, 4, 0, 1),
+        (4, 4, 8, 5, 0),
+    ] {
+        let label = format!("pack_b impl {kb}x{nb}/nr{nr}@({kk},{jj})");
+        let mut issues = Vec::new();
+        let ldb = jj + nb + 3;
+        let b: Vec<f32> = (0..(kk + kb) * ldb).map(|v| v as f32 + 2.0).collect();
+        let len = packed_b_len(kb, nb, nr);
+        let mut dst = vec![SENTINEL; len + 5];
+        pack_b(&mut dst, &b, kk, jj, kb, nb, ldb, nr);
+        for (s, slot) in pack_b_model(kb, nb, nr).iter().enumerate() {
+            let want = match slot {
+                PackSlot::Src { row, col } => b[(kk + row) * ldb + jj + col],
+                PackSlot::Zero => 0.0,
+            };
+            if dst[s] != want {
+                issues.push(issue(
+                    &label,
+                    format!("slot {s}: impl wrote {}, model says {want}", dst[s]),
+                ));
+                break;
+            }
+        }
+        if dst[len..].iter().any(|&v| v != SENTINEL) {
+            issues.push(issue(&label, "impl wrote past the model length"));
+        }
+        out.push(IndexCheck { label, issues });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_proves_clean() {
+        for check in analyze_gemm_indexing() {
+            assert!(
+                check.passed(),
+                "{}: {}",
+                check.label,
+                check.issues.first().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn packing_impl_matches_models() {
+        for check in cross_check_packing() {
+            assert!(
+                check.passed(),
+                "{}: {}",
+                check.label,
+                check.issues.first().unwrap()
+            );
+        }
+    }
+
+    // ---- negative fixtures (ISSUE satellite c): a tampered schedule
+    // is rejected with a precise diagnostic ----
+
+    #[test]
+    fn missing_remainder_handling_rejected() {
+        // Drop the ragged tail tile column: 13x17 under 4x4 tiles has
+        // a j=16 remainder column; a schedule without it leaves a
+        // coverage hole the analysis must name.
+        let (mb, nb, kb, mr, nr) = (13usize, 17usize, 5usize, 4usize, 4usize);
+        let tiles: Vec<MicroTile> = micro_tiles(mb, nb, kb, mr, nr)
+            .filter(|t| t.cols == nr)
+            .collect();
+        let mut issues = Vec::new();
+        check_micro_tiles("fixture", &tiles, mb, nb, kb, mr, nr, &mut issues);
+        let detail = &issues.first().expect("hole must be found").detail;
+        assert!(
+            detail.contains("written 0 times"),
+            "diagnostic should name the uncovered element: {detail}"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_panel_index_rejected() {
+        // Shift one tile's sliver offset past the pack buffer — the
+        // panel-index arithmetic a refactor is most likely to break.
+        let (mb, nb, kb, mr, nr) = (8usize, 8usize, 3usize, 4usize, 4usize);
+        let mut tiles: Vec<MicroTile> = micro_tiles(mb, nb, kb, mr, nr).collect();
+        tiles[0].b_off = packed_b_len(kb, nb, nr);
+        let mut issues = Vec::new();
+        check_micro_tiles("fixture", &tiles, mb, nb, kb, mr, nr, &mut issues);
+        let detail = &issues.first().expect("escape must be found").detail;
+        assert!(detail.contains("escapes packed B"), "{detail}");
+    }
+
+    #[test]
+    fn overlapping_tiles_rejected() {
+        let (mb, nb, kb, mr, nr) = (4usize, 4usize, 2usize, 4usize, 4usize);
+        let mut tiles: Vec<MicroTile> = micro_tiles(mb, nb, kb, mr, nr).collect();
+        let dup = tiles[0];
+        tiles.push(dup);
+        let mut issues = Vec::new();
+        check_micro_tiles("fixture", &tiles, mb, nb, kb, mr, nr, &mut issues);
+        assert!(issues.first().unwrap().detail.contains("written 2 times"));
+    }
+
+    #[test]
+    fn non_partitioning_panels_rejected() {
+        // A panel set that skips columns [4, 7) of n=10.
+        let blocks = vec![
+            wino_gemm::DimBlock { start: 0, len: 4 },
+            wino_gemm::DimBlock { start: 7, len: 3 },
+        ];
+        let mut issues = Vec::new();
+        check_partition("fixture", "column-panel", &blocks, 10, 4, &mut issues);
+        assert!(issues.first().unwrap().detail.contains("starts at 7"));
+    }
+
+    #[test]
+    fn tampered_pack_model_rejected() {
+        // A model that reads one row past the block.
+        let mut model = pack_a_model(5, 3, 4);
+        for slot in model.iter_mut() {
+            if let PackSlot::Src { row, .. } = slot {
+                if *row == 4 {
+                    *row = 5;
+                }
+            }
+        }
+        let mut issues = Vec::new();
+        check_pack_model("fixture", &model, 5, 3, packed_a_len(5, 3, 4), &mut issues);
+        assert!(issues.first().unwrap().detail.contains("outside 5x3"));
+    }
+}

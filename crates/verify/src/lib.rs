@@ -1,6 +1,6 @@
 //! # wino-verify — static verification of the Winograd pipeline
 //!
-//! Three analyses, one CLI (`wino-verify`), all wired into CI:
+//! Six analyses, one CLI (`wino-verify`), all wired into CI:
 //!
 //! 1. **Recipe verifier** ([`recipe_check`]) — proves every
 //!    straight-line recipe equivalent to its transformation matrix by
@@ -20,12 +20,36 @@
 //! 3. **Unsafe-invariant audit** ([`unsafe_audit`]) — proves the
 //!    parallel chunk schedule partitions its range and exercises the
 //!    debug-mode ownership ledger behind `DisjointSlice`.
+//! 4. **Compiled-kernel verifier** ([`compiled_kernel`]) — parses the
+//!    build-embedded SoA kernels (and fresh emitter output) back into
+//!    a statement IR and proves each computes `T·X·Tᵀ` by abstract
+//!    interpretation over exact rational linear forms, upgrading the
+//!    runtime fingerprint gate to a proof gate.
+//! 5. **Index analysis** ([`index_analysis`]) — proves coverage,
+//!    panel disjointness, and in-bounds access for the blocked-GEMM
+//!    packing and micro-tiling over the loop schedule wino-gemm
+//!    exports (and executes).
+//! 6. **Safety lint** ([`safety_lint`]) — a tokenizer-based fallback
+//!    behind clippy's `undocumented_unsafe_blocks` demanding a
+//!    rationale at every workspace `unsafe` site, plus the AVX2
+//!    pointer-walk audit anchored to runtime debug-asserts.
 
 #![warn(missing_docs)]
 
+pub mod compiled_kernel;
+pub mod index_analysis;
+pub mod safety_lint;
 pub mod template_lint;
 pub mod unsafe_audit;
 
+pub use compiled_kernel::{
+    eval_parsed_pass, parse_kernels, verify_embedded_kernels, verify_emitter_kernels,
+    verify_kernel, KernelCheck, KernelError, KernelProof, ParsedKernel,
+};
+pub use index_analysis::{
+    analyze_gemm_indexing, check_schedule, cross_check_packing, IndexCheck, IndexIssue,
+};
+pub use safety_lint::{audit_avx2_pointer_paths, scan_workspace_unsafe, SafetyIssue, SafetyReport};
 pub use template_lint::{lint_generated_plans, lint_static_templates};
 pub use unsafe_audit::{
     audit_all, audit_chunk_partition, audit_scatter_coverage, debug_checks_enabled,
@@ -160,7 +184,7 @@ pub fn verify_recipe_db() -> Vec<RecipeSummary> {
     out
 }
 
-/// Aggregate outcome of all three analyses.
+/// Aggregate outcome of all analyses.
 #[derive(Clone, Debug)]
 pub struct VerificationReport {
     /// Per-recipe verification results over the full DB sweep.
@@ -171,6 +195,16 @@ pub struct VerificationReport {
     pub plan_issues: Vec<String>,
     /// Unsafe-invariant audit issues.
     pub audit_issues: Vec<String>,
+    /// Compiled-kernel proofs: the build-embedded SoA kernels plus a
+    /// fresh emitter sweep, each parsed back from source and proven.
+    pub kernel_checks: Vec<KernelCheck>,
+    /// GEMM packing/tiling index-analysis results over the
+    /// shape × config × SIMD-level grid.
+    pub index_checks: Vec<IndexCheck>,
+    /// SAFETY-comment lint over every workspace `.rs` file.
+    pub safety: SafetyReport,
+    /// AVX2 pointer-walk audit findings (empty = proven + anchored).
+    pub pointer_audit: Vec<SafetyIssue>,
     /// Whether this build carries the debug ownership ledger.
     pub debug_checks: bool,
 }
@@ -181,12 +215,26 @@ impl VerificationReport {
         self.recipes.iter().filter(|s| s.result.is_err()).collect()
     }
 
+    /// Compiled-kernel checks whose proof failed.
+    pub fn failed_kernels(&self) -> Vec<&KernelCheck> {
+        self.kernel_checks.iter().filter(|c| !c.passed()).collect()
+    }
+
+    /// Index-analysis points with at least one defect.
+    pub fn failed_index_checks(&self) -> Vec<&IndexCheck> {
+        self.index_checks.iter().filter(|c| !c.passed()).collect()
+    }
+
     /// `true` when every analysis came back clean.
     pub fn passed(&self) -> bool {
         self.failed_recipes().is_empty()
             && self.template_issues.is_empty()
             && self.plan_issues.is_empty()
             && self.audit_issues.is_empty()
+            && self.failed_kernels().is_empty()
+            && self.failed_index_checks().is_empty()
+            && self.safety.passed()
+            && self.pointer_audit.is_empty()
     }
 
     /// Largest coefficient growth proven across all verified recipes,
@@ -204,13 +252,21 @@ impl VerificationReport {
     }
 }
 
-/// Runs all three analyses over the whole workspace.
+/// Runs every analysis over the whole workspace.
 pub fn run_full_verification() -> VerificationReport {
+    let mut kernel_checks = verify_embedded_kernels();
+    kernel_checks.extend(verify_emitter_kernels());
+    let mut index_checks = analyze_gemm_indexing();
+    index_checks.extend(cross_check_packing());
     VerificationReport {
         recipes: verify_recipe_db(),
         template_issues: lint_static_templates(),
         plan_issues: lint_generated_plans(),
         audit_issues: audit_all(),
+        kernel_checks,
+        index_checks,
+        safety: scan_workspace_unsafe(),
+        pointer_audit: audit_avx2_pointer_paths(),
         debug_checks: debug_checks_enabled(),
     }
 }

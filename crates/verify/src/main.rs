@@ -83,6 +83,53 @@ fn main() -> ExitCode {
         println!("FAIL {issue}");
     }
 
+    let kernels_ok = report.kernel_checks.iter().filter(|c| c.passed()).count();
+    println!(
+        "compiled kernels: {kernels_ok}/{} proven equal to their transforms",
+        report.kernel_checks.len()
+    );
+    for c in &report.kernel_checks {
+        match &c.result {
+            Ok(p) => println!(
+                "  {:<28} {:>3} stmts, {}→{}, {}",
+                c.label,
+                p.n_stmts,
+                p.n_in,
+                p.n_out,
+                if p.lossless {
+                    "lossless (= T exactly)"
+                } else {
+                    "constants rounded to f32"
+                }
+            ),
+            Err(e) => println!("FAIL {}: {e}", c.label),
+        }
+    }
+
+    let index_ok = report.index_checks.iter().filter(|c| c.passed()).count();
+    println!(
+        "index analysis: {index_ok}/{} schedule points proven \
+         (coverage, disjointness, bounds)",
+        report.index_checks.len()
+    );
+    for c in report.failed_index_checks() {
+        for issue in &c.issues {
+            println!("FAIL {issue}");
+        }
+    }
+
+    println!(
+        "safety lint: {} unsafe site(s) across {} files, {} unannotated; \
+         avx2 pointer audit: {} issue(s)",
+        report.safety.unsafe_sites,
+        report.safety.files_scanned,
+        report.safety.issues.len(),
+        report.pointer_audit.len()
+    );
+    for issue in report.safety.issues.iter().chain(&report.pointer_audit) {
+        println!("FAIL {issue}");
+    }
+
     println!("wino-verify: completed in {:.2?}", elapsed);
     if report.passed() {
         println!("wino-verify: PASS");

@@ -157,3 +157,58 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Compiled-kernel verifier properties (PR 8): for any spec in the
+// sweep grid, the emitted SoA kernel must parse back, prove equal to
+// its transformation matrix, and — interpreted concretely in f32 —
+// retire bit-for-bit the same ops as the recipe interpreter.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn emitted_kernel_proves_and_matches_interpreter(
+        spec in arb_spec(),
+        output_stage in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use wino_verify::{eval_parsed_pass, parse_kernels, verify_kernel};
+
+        let tr = TransformRecipes::generate(spec, RecipeOptions::optimized()).unwrap();
+        let (recipe, matrix, kind) = if output_stage {
+            (&tr.output, &tr.matrices.a_t, "output")
+        } else {
+            (&tr.input, &tr.matrices.b_t, "input")
+        };
+        let name = format!("f{}x{}_{kind}", spec.m, spec.r);
+        let src = wino_codegen::emit_soa_transform(&name, recipe, "property-test kernel");
+
+        // Static: the emitted text parses and proves equal to `matrix`.
+        let parsed = parse_kernels(&src).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        let proof = verify_kernel(&parsed[0], recipe, matrix);
+        prop_assert!(proof.is_ok(), "F({},{}) {}: {}", spec.m, spec.r, kind, proof.unwrap_err());
+
+        // Dynamic: the parsed IR under f32 interpretation is
+        // bit-identical to the recipe interpreter on random inputs.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % 1000) as f32 / 250.0
+        };
+        let compiled = recipe.compile::<f32>();
+        let mut scratch = vec![0.0f32; compiled.scratch_len()];
+        let input: Vec<f32> = (0..recipe.n_in).map(|_| next()).collect();
+        let mut want = vec![0.0f32; recipe.n_out];
+        compiled.run(&input, &mut want, &mut scratch);
+        let got = eval_parsed_pass(&parsed[0], &input).unwrap();
+        for (lane, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(), w.to_bits(),
+                "F({},{}) {} lane {}: {} vs {}", spec.m, spec.r, kind, lane, g, w
+            );
+        }
+    }
+}

@@ -8,8 +8,12 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo clippy (workspace, warnings are errors)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "== cargo clippy (workspace, warnings are errors, SAFETY comments required)"
+# `undocumented_unsafe_blocks` is allow-by-default; deny it so every
+# unsafe block/impl must carry a `// SAFETY:` rationale. wino-verify's
+# own scanner backstops this (shims, build scripts, `unsafe fn`).
+cargo clippy --workspace --all-targets --offline -- -D warnings \
+  -D clippy::undocumented_unsafe_blocks
 
 echo "== tier-1: release build"
 cargo build --release --offline
@@ -21,9 +25,34 @@ cargo build --release --offline --workspace
 echo "== tier-1: test suite"
 cargo test -q --offline
 
-echo "== wino-verify: static verification (recipes, templates, unsafe invariants)"
+echo "== wino-verify: static verification (recipes, kernels, indexing, unsafe invariants)"
 verify_out=$(./target/release/wino-verify)
 echo "$verify_out" | tail -n 4
+# The binary already exits nonzero on any failure (set -e catches it);
+# these asserts additionally pin that each analysis actually ran and
+# covered a nonempty surface — a stage that silently analyzed nothing
+# would otherwise "pass".
+assert_verify_line() {
+  if ! grep -qE "$1" <<<"$verify_out"; then
+    echo "FAIL: wino-verify output missing: $2" >&2
+    grep -E "^(recipe|template|unsafe|compiled|index|safety|wino-verify)" <<<"$verify_out" >&2
+    exit 1
+  fi
+}
+# All six shipped compiled kernels (3 specs x input/output) plus the
+# ten-kernel fresh-emitter sweep, proven — not just fingerprinted.
+assert_verify_line '^compiled kernels: 16/16 proven' "16/16 compiled-kernel proofs"
+# Shape x config x SIMD-level grid plus pack-model cross-checks, all clean.
+assert_verify_line '^index analysis: ([1-9][0-9]*)/([1-9][0-9]*) schedule points proven' \
+  "a nonempty index-analysis sweep"
+if ! grep -E '^index analysis: ' <<<"$verify_out" | grep -qE ' ([0-9]+)/\1 '; then
+  echo "FAIL: index analysis had failing schedule points:" >&2
+  grep -E '^(index analysis|FAIL)' <<<"$verify_out" >&2
+  exit 1
+fi
+# Every workspace unsafe site annotated; AVX2 pointer audit clean.
+assert_verify_line '^safety lint: [1-9][0-9]* unsafe site\(s\) across [1-9][0-9]* files, 0 unannotated; avx2 pointer audit: 0 issue\(s\)' \
+  "a clean safety lint over a nonempty unsafe-site set"
 # The compiled-kernel table (wino-conv's build script) generates its
 # recipes from exactly these specs with the optimized pipeline; assert
 # the sweep proved each one, so only proven recipes are ever compiled.
@@ -116,13 +145,18 @@ serve_smoke() {
   fi
   echo "   ok: WINO_FAULT='${fault:-<unset>}' -> $* + queue_depth drained"
 }
+# conv.compiled_fallback=0 in both runs: the build-embedded SoA
+# kernels' fingerprints match their recipes, so the compiled path
+# never silently degrades to the interpreter (satellite of the
+# compiled-kernel proof gate — drift is observable, and absent).
 serve_smoke "" \
   serve.enqueued=8 serve.shed=0 serve.batches=8 serve.batched=0 \
   serve.executed=8 serve.deadline_demotions=0 conv.filter_transforms=1 \
-  guard.demote.guardrail=0 guard.served_by_fallback=0
+  conv.compiled_fallback=0 guard.demote.guardrail=0 guard.served_by_fallback=0
 serve_smoke "transform:nan" \
   serve.enqueued=8 serve.shed=0 serve.batches=8 serve.executed=8 \
-  conv.filter_transforms=1 guard.demote.guardrail=8 guard.served_by_fallback=8
+  conv.filter_transforms=1 conv.compiled_fallback=0 \
+  guard.demote.guardrail=8 guard.served_by_fallback=8
 
 echo "== wino-telemetry: metrics smoke (histograms + Prometheus snapshot)"
 # The same 8-request smoke with WINO_METRICS armed: every request must

@@ -98,6 +98,10 @@ impl Condvar {
 /// Replaces `*slot` through a by-value transform. Aborts (via panic in
 /// a poisoned state) if `f` panics — it cannot, in our usage.
 fn take_mut<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+    // SAFETY: `slot` is exclusively borrowed; the value read out is
+    // written back before the borrow ends, and `f` (an infallible
+    // state-transition closure in our usage) cannot unwind between
+    // the read and the write.
     unsafe {
         let old = std::ptr::read(slot);
         let new = f(old);
