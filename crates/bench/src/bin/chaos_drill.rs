@@ -1,0 +1,424 @@
+//! Serve-level chaos drill: a live [`wino_serve::Server`] driven
+//! through injected scheduler/executor/response faults, asserting the
+//! crash-containment invariants hold in a real process:
+//!
+//! 1. **Exactly one terminal response** per submitted request — every
+//!    wait resolves Ok or Err under a watchdog, never hangs, never
+//!    double-delivers (the take-once response slot makes a double
+//!    delivery structurally impossible; the watchdog catches hangs).
+//! 2. **Bit-identity** — every Ok output equals a direct
+//!    [`GuardedConv`] run on the engine that served it.
+//! 3. **`serve.queue_depth` returns to 0** after shutdown.
+//!
+//! Three modes:
+//!
+//! - default: 12 sequential requests with coalescing off under
+//!   whatever `WINO_FAULT` serve-site spec is armed. Coalescing off +
+//!   sequential submission makes every counter exact; `scripts/ci.sh`
+//!   runs the serve-site matrix and asserts
+//!   `serve.batch_panics`/`serve.executor_restarts`/... per site.
+//! - `--breaker-smoke`: trip-and-recover under `WINO_FAULT=
+//!   transform:nan` — three unclean batches trip the layer breaker to
+//!   the terminal fallback, the fault is disarmed in-process, and
+//!   after the cool-down a half-open probe batch closes it
+//!   (`serve.breaker.open/half_open/close` each exactly 1).
+//! - `--seed <n>`: randomized-but-seeded schedule — waves of
+//!   concurrent submissions, each wave under a fault drawn from the
+//!   serve-site list (or none), then a clean wave; the three
+//!   invariants are asserted across the whole run.
+//!
+//! Output: `drill:` narration, then `counter`/`gauge`/`health` lines
+//! for `grep -qx` asserts.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wino_guard::{fault, GuardedConv};
+use wino_probe::{self as probe, Mode};
+use wino_serve::{
+    BreakerState, ConvRequest, ConvResponse, HealthStatus, PlanRegistry, ServeError, Server,
+    ServerConfig,
+};
+use wino_tensor::{ConvDesc, Tensor4};
+
+/// A hang is an invariant violation, not a slow test: fail loudly.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// Counters the CI matrix asserts on; interned before printing so
+/// zeros still print and `grep -qx` can tell "zero" from "missing".
+const DRILL_COUNTERS: &[&str] = &[
+    "serve.enqueued",
+    "serve.shed",
+    "serve.executed",
+    "serve.internal_errors",
+    "serve.batch_panics",
+    "serve.responses_dropped",
+    "serve.executor_deaths",
+    "serve.executor_restarts",
+    "serve.scheduler_deaths",
+    "serve.breaker.open",
+    "serve.breaker.half_open",
+    "serve.breaker.close",
+    "serve.lock_poison_recovered",
+    "guard.demote.guardrail",
+    "fault.injected.serve_exec",
+    "fault.injected.serve_sched",
+    "fault.injected.serve_resp",
+];
+
+const LAYER: &str = "chaos/conv";
+
+fn drill_registry() -> Arc<PlanRegistry> {
+    let registry = PlanRegistry::new();
+    let desc = ConvDesc::new(3, 1, 1, 8, 1, 16, 16, 8);
+    let mut rng = StdRng::seed_from_u64(0xc4a0);
+    let weights = Tensor4::random(8, 8, 3, 3, -0.25, 0.25, &mut rng);
+    registry
+        .register_layer(LAYER, desc, weights)
+        .expect("drill layer registers");
+    Arc::new(registry)
+}
+
+fn drill_input(seed: u64) -> Tensor4<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor4::random(1, 8, 16, 16, -1.0, 1.0, &mut rng)
+}
+
+/// Re-runs one request directly on the engine that served it and
+/// asserts bit-identity with the served output.
+fn assert_bit_identical(registry: &PlanRegistry, seed: u64, resp: &ConvResponse) {
+    let plan = registry.get(LAYER).expect("drill layer");
+    let direct = GuardedConv::new(plan.warm.as_ref().map_or(4, |p| p.spec().m))
+        .with_chain(vec![resp.served_by])
+        .with_gemm_config(plan.gemm)
+        .run(&drill_input(seed), &plan.weights, &plan.desc)
+        .unwrap_or_else(|e| panic!("direct re-run on {} failed: {e}", resp.served_by));
+    assert_eq!(
+        resp.output.data(),
+        direct.output.data(),
+        "request {seed} served by {} is not bit-identical to a direct run",
+        resp.served_by
+    );
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    internal: usize,
+    refused: usize,
+    shed: usize,
+}
+
+/// Deterministic sequential drill: 12 requests, coalescing off, one
+/// executor, restart budget 8 — the counter values per armed fault
+/// site are exact and CI asserts them.
+fn run_matrix_drill(registry: &Arc<PlanRegistry>) -> Tally {
+    const REQUESTS: u64 = 12;
+    let server = Server::start(
+        Arc::clone(registry),
+        ServerConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            executors: 1,
+            max_executor_restarts: 8,
+            restart_backoff: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    );
+    let mut tally = Tally::default();
+    for seed in 0..REQUESTS {
+        match server.submit(ConvRequest::new(LAYER, drill_input(seed))) {
+            Ok(handle) => match handle
+                .wait_timeout(WATCHDOG)
+                .expect("invariant violated: request hung past the watchdog")
+            {
+                Ok(resp) => {
+                    // Bit-identity can only be checked while no serve
+                    // fault can fire mid-check; the direct re-run
+                    // never passes a serve hook, so this is safe even
+                    // with a fault armed.
+                    assert_bit_identical(registry, seed, &resp);
+                    tally.ok += 1;
+                }
+                Err(ServeError::Internal { .. }) => tally.internal += 1,
+                Err(ServeError::ShuttingDown) => tally.refused += 1,
+                Err(other) => panic!("unexpected terminal error: {other}"),
+            },
+            Err(ServeError::ShuttingDown) => tally.refused += 1,
+            Err(other) => panic!("unexpected submit refusal: {other}"),
+        }
+    }
+    let health = server.health();
+    println!(
+        "health status={:?} scheduler_alive={} executors_alive={} restarts={} batch_panics={}",
+        health.status,
+        health.scheduler_alive,
+        health.executors_alive,
+        health.executor_restarts,
+        health.batch_panics
+    );
+    server.shutdown();
+    tally
+}
+
+/// Breaker trip-and-recover smoke. Requires `WINO_FAULT=transform:nan`
+/// armed by the caller: three unclean full-chain batches trip the
+/// layer to its terminal fallback, disarming the fault and waiting out
+/// the cool-down lets the half-open probe close it again.
+fn run_breaker_smoke(registry: &Arc<PlanRegistry>) {
+    const COOLDOWN: Duration = Duration::from_millis(150);
+    assert!(
+        fault::armed(fault::Site::Transform),
+        "breaker smoke needs WINO_FAULT=transform:nan armed"
+    );
+    let server = Server::start(
+        Arc::clone(registry),
+        ServerConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            executors: 1,
+            breaker_threshold: 3,
+            breaker_cooldown: COOLDOWN,
+            ..ServerConfig::default()
+        },
+    );
+    let plan = registry.get(LAYER).expect("drill layer");
+    let tail = plan.tail_engine();
+    // The response for a batch is delivered *before* the executor
+    // feeds the outcome back to the breaker, so a health read right
+    // after `infer` can briefly see the pre-resolve state; batch
+    // execution itself is serial per executor, so only this observer
+    // needs to wait.
+    let await_state = |server: &Server, want: BreakerState| -> BreakerState {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let state = server
+                .health()
+                .breakers
+                .first()
+                .expect("breaker seeded")
+                .state;
+            if state == want || Instant::now() >= deadline {
+                return state;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    };
+    // Three poisoned full-chain batches: each demotes inside the
+    // guard (unclean), the third trips the breaker.
+    for seed in 0..3u64 {
+        let resp = server
+            .infer(ConvRequest::new(LAYER, drill_input(seed)))
+            .expect("guard absorbs the poisoned transform");
+        println!(
+            "drill: poisoned request {seed} served by {}",
+            resp.served_by
+        );
+    }
+    let open = await_state(&server, BreakerState::Open);
+    println!("drill: breaker after 3 unclean batches: {open}");
+    assert_eq!(open, BreakerState::Open, "threshold 3 must trip on the 3rd");
+    // While open, requests ride the terminal fallback only — the
+    // poisoned Winograd transform never runs.
+    let fallback = server
+        .infer(ConvRequest::new(LAYER, drill_input(3)))
+        .expect("fallback serves while open");
+    assert_eq!(
+        fallback.served_by, tail,
+        "open breaker must serve the terminal fallback"
+    );
+    // Heal the fault, wait out the cool-down: the next batch is the
+    // half-open probe on the full chain; clean, so the breaker closes.
+    fault::init_from_value("off");
+    std::thread::sleep(COOLDOWN + Duration::from_millis(50));
+    let probe_resp = server
+        .infer(ConvRequest::new(LAYER, drill_input(4)))
+        .expect("half-open probe serves");
+    println!("drill: half-open probe served by {}", probe_resp.served_by);
+    let closed = await_state(&server, BreakerState::Closed);
+    assert_eq!(
+        closed,
+        BreakerState::Closed,
+        "clean probe must close the breaker"
+    );
+    let recovered = server
+        .infer(ConvRequest::new(LAYER, drill_input(5)))
+        .expect("closed breaker serves the full chain");
+    assert_ne!(
+        recovered.served_by, tail,
+        "after recovery the full chain serves again"
+    );
+    server.shutdown();
+    println!("drill: breaker tripped on poison and recovered after cool-down");
+}
+
+/// Randomized-but-seeded schedule: waves of concurrent submissions,
+/// each wave under a serve-site fault drawn from the seeded RNG (or
+/// none), finishing with a clean wave. Bit-identity for Ok responses
+/// is checked after the run, with every fault disarmed.
+fn run_seeded_schedule(registry: &Arc<PlanRegistry>, seed: u64, waves: usize) -> Tally {
+    const PER_WAVE: usize = 6;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let server = Server::start(
+        Arc::clone(registry),
+        ServerConfig {
+            max_batch: 2,
+            max_wait: Duration::from_micros(200),
+            executors: 2,
+            // The schedule may kill one executor per wave; give the
+            // supervisor budget for all of them.
+            max_executor_restarts: (waves as u64) * 2,
+            restart_backoff: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    );
+    let mut tally = Tally::default();
+    let mut served: Vec<(u64, ConvResponse)> = Vec::new();
+    for wave in 0..=waves {
+        let spec = if wave == waves {
+            // Final wave is always clean: the server must still serve
+            // after the whole schedule.
+            String::new()
+        } else {
+            let nth = rng.gen_range(1..=4u32);
+            match rng.gen_range(0..4u32) {
+                0 => format!("serve_exec:panic:{nth}"),
+                1 => format!("serve_resp:drop:{nth}"),
+                2 => format!("serve_sched:stall:{nth}"),
+                _ => String::new(),
+            }
+        };
+        fault::init_from_value(&spec);
+        println!(
+            "drill: wave {wave} fault={}",
+            if spec.is_empty() { "<none>" } else { &spec }
+        );
+        let outcomes: Vec<(u64, Option<Result<ConvResponse, ServeError>>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..PER_WAVE)
+                    .map(|i| {
+                        let server = &server;
+                        let req_seed = (wave * PER_WAVE + i) as u64;
+                        scope.spawn(move || {
+                            match server.submit(ConvRequest::new(LAYER, drill_input(req_seed))) {
+                                Ok(handle) => (req_seed, handle.wait_timeout(WATCHDOG)),
+                                Err(refused) => (req_seed, Some(Err(refused))),
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("submitter thread panicked"))
+                    .collect()
+            });
+        for (req_seed, outcome) in outcomes {
+            match outcome.expect("invariant violated: request hung past the watchdog") {
+                Ok(resp) => {
+                    tally.ok += 1;
+                    served.push((req_seed, resp));
+                }
+                Err(ServeError::Internal { .. }) => tally.internal += 1,
+                Err(ServeError::ShuttingDown) => tally.refused += 1,
+                Err(ServeError::Overloaded { .. }) => tally.shed += 1,
+                Err(other) => panic!("unexpected terminal error: {other}"),
+            }
+        }
+    }
+    fault::init_from_value("off");
+    assert!(
+        tally.ok > 0,
+        "the clean final wave must serve at least one request"
+    );
+    for (req_seed, resp) in &served {
+        assert_bit_identical(registry, *req_seed, resp);
+    }
+    let health = server.health();
+    assert_ne!(
+        health.status,
+        HealthStatus::Failed,
+        "the schedule stays within the restart budget"
+    );
+    println!(
+        "health status={:?} scheduler_alive={} executors_alive={} restarts={} batch_panics={}",
+        health.status,
+        health.scheduler_alive,
+        health.executors_alive,
+        health.executor_restarts,
+        health.batch_panics
+    );
+    server.shutdown();
+    tally
+}
+
+fn main() {
+    // Injected panics are expected traffic: keep stderr quiet so the
+    // counter lines stay greppable.
+    std::panic::set_hook(Box::new(|info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("wino-fault"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("wino-fault"));
+        if !injected {
+            eprintln!("{info}");
+        }
+    }));
+    probe::set_mode(Mode::Summary);
+    wino_telemetry::init_from_env();
+    // Register layers *before* arming `WINO_FAULT`: registration
+    // precomputes the warm filter transforms through the same hooked
+    // transform path, and a fault that poisons those cached filters
+    // would outlive its own disarm. Real faults strike at runtime,
+    // not at model load.
+    let registry = drill_registry();
+    match fault::init_from_env() {
+        Some(spec) => println!("drill: fault armed: {spec}"),
+        None => println!("drill: no fault armed"),
+    }
+
+    let mut breaker_smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut waves = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--breaker-smoke" => breaker_smoke = true,
+            "--seed" => seed = Some(value("--seed").parse().expect("seed")),
+            "--waves" => waves = value("--waves").parse().expect("count"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    if breaker_smoke {
+        run_breaker_smoke(&registry);
+    } else {
+        let tally = match seed {
+            Some(seed) => run_seeded_schedule(&registry, seed, waves),
+            None => run_matrix_drill(&registry),
+        };
+        println!(
+            "drill: outcomes ok={} internal={} refused={} shed={}",
+            tally.ok, tally.internal, tally.refused, tally.shed
+        );
+    }
+
+    for name in DRILL_COUNTERS {
+        probe::counter(name);
+    }
+    for (name, value) in probe::counter_values() {
+        println!("counter {name}={value}");
+    }
+    for (name, current, peak) in probe::gauge_values() {
+        println!("gauge {name}={current} peak={peak}");
+    }
+}

@@ -18,16 +18,21 @@
 //! - `--open-loop <rate>`: one submitter at a fixed request rate with
 //!   a collector draining responses — measures latency and shedding
 //!   when arrival rate, not concurrency, is the control variable.
+//! - `--chaos <seed>`: the closed loop run in waves, each wave under a
+//!   serve-site fault drawn from the seeded schedule (executor kill,
+//!   response drop, scheduler stall, or none) — measures latency *and*
+//!   shed/internal-error rates while the server self-heals.
 //!
-//! Both load modes print latency percentiles and throughput, and
-//! append the report to `results/serve_load.txt`.
+//! All load modes print latency percentiles, throughput, and
+//! shed/internal-error rates, and append the report to
+//! `results/serve_load.txt`.
 
 use std::io::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use wino_probe::{self as probe, fault, HistogramSnapshot, Mode};
 use wino_serve::{ConvRequest, PlanRegistry, ServeError, Server, ServerConfig};
 use wino_tensor::{ConvDesc, Tensor4};
@@ -55,6 +60,7 @@ const SMOKE_HISTS: &[&str] = &["serve.queue_wait", "serve.execute", "serve.e2e"]
 struct Args {
     smoke: bool,
     open_loop_rate: Option<f64>,
+    chaos_seed: Option<u64>,
     requests: usize,
     concurrency: usize,
     network: String,
@@ -67,6 +73,7 @@ impl Args {
         let mut args = Args {
             smoke: false,
             open_loop_rate: None,
+            chaos_seed: None,
             requests: 64,
             concurrency: 4,
             network: "alexnet".to_string(),
@@ -83,6 +90,9 @@ impl Args {
                 "--smoke" => args.smoke = true,
                 "--open-loop" => {
                     args.open_loop_rate = Some(value("--open-loop").parse().expect("rate"));
+                }
+                "--chaos" => {
+                    args.chaos_seed = Some(value("--chaos").parse().expect("seed"));
                 }
                 "--requests" => args.requests = value("--requests").parse().expect("count"),
                 "--concurrency" => {
@@ -116,7 +126,13 @@ fn smoke_registry() -> Arc<PlanRegistry> {
 /// exact (enqueued = batches = executed = 8, batched = shed = 0).
 fn run_smoke() {
     const REQUESTS: usize = 8;
+    // Register before arming, so an armed transform fault poisons
+    // runtime batches but never the cached warm filters.
     let registry = smoke_registry();
+    match fault::init_from_env() {
+        Some(spec) => println!("serve-load: fault armed: {spec}"),
+        None => println!("serve-load: no fault armed"),
+    }
     let server = Server::start(
         Arc::clone(&registry),
         ServerConfig {
@@ -183,6 +199,9 @@ struct LoadReport {
     mode: String,
     served: usize,
     shed: usize,
+    /// Requests terminated with [`ServeError::Internal`] (injected
+    /// faults, crash containment); only chaos mode produces these.
+    internal: usize,
     wall: Duration,
     latencies: Vec<Duration>,
 }
@@ -190,7 +209,8 @@ struct LoadReport {
 impl LoadReport {
     /// Percentiles come from a log2 [`HistogramSnapshot`] (the same
     /// estimator the server's own `serve.e2e` metric uses, within one
-    /// bucket of the exact rank); the max is exact.
+    /// bucket of the exact rank); the max is exact. Shed and
+    /// internal-error rates are over all submissions.
     fn render(&self) -> String {
         let mut h = HistogramSnapshot::named("client.e2e");
         for d in &self.latencies {
@@ -198,12 +218,18 @@ impl LoadReport {
         }
         let ms = |ns: u64| ns as f64 / 1e6;
         let throughput = self.served as f64 / self.wall.as_secs_f64().max(1e-9);
+        let submitted = (self.served + self.shed + self.internal).max(1);
+        let rate = |n: usize| 100.0 * n as f64 / submitted as f64;
         format!(
-            "mode={} served={} shed={} wall={:.2}s throughput={:.1} req/s \
+            "mode={} served={} shed={} internal={} shed_rate={:.1}% internal_rate={:.1}% \
+             wall={:.2}s throughput={:.1} req/s \
              p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
             self.mode,
             self.served,
             self.shed,
+            self.internal,
+            rate(self.shed),
+            rate(self.internal),
             self.wall.as_secs_f64(),
             throughput,
             ms(h.quantile(0.5)),
@@ -241,6 +267,88 @@ fn run_closed_loop(server: &Server, cases: &[(String, Tensor4<f32>)], args: &Arg
         mode: format!("closed-loop(c={})", args.concurrency),
         served: latencies.len(),
         shed: 0,
+        internal: 0,
+        wall,
+        latencies,
+    }
+}
+
+/// Chaos mode: the closed loop split into waves, each wave running
+/// under a serve-site fault drawn from the seeded schedule (or none).
+/// Every submission must still resolve to exactly one terminal result
+/// (enforced with a watchdog); the report adds the internal-error rate
+/// the latency percentiles were paid at.
+fn run_chaos_loop(
+    server: &Server,
+    cases: &[(String, Tensor4<f32>)],
+    args: &Args,
+    seed: u64,
+) -> LoadReport {
+    const WATCHDOG: Duration = Duration::from_secs(120);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let concurrency = args.concurrency.max(1);
+    let waves = (args.requests / concurrency).max(1);
+    let latencies = Mutex::new(Vec::with_capacity(args.requests));
+    let mut shed = 0usize;
+    let mut internal = 0usize;
+    let start = Instant::now();
+    for wave in 0..waves {
+        // Last wave always runs clean: the server must still serve
+        // after the whole schedule.
+        let spec = if wave + 1 == waves {
+            String::new()
+        } else {
+            let nth = rng.gen_range(1..=4u32);
+            match rng.gen_range(0..4u32) {
+                0 => format!("serve_exec:panic:{nth}"),
+                1 => format!("serve_resp:drop:{nth}"),
+                2 => format!("serve_sched:stall:{nth}"),
+                _ => String::new(),
+            }
+        };
+        fault::init_from_value(&spec);
+        let (wave_shed, wave_internal) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|worker| {
+                    let latencies = &latencies;
+                    let (name, input) = &cases[(wave + worker) % cases.len()];
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let req = ConvRequest::new(name.clone(), input.clone());
+                        match server.submit(req) {
+                            Ok(handle) => match handle
+                                .wait_timeout(WATCHDOG)
+                                .expect("chaos invariant violated: request hung past the watchdog")
+                            {
+                                Ok(_) => {
+                                    latencies.lock().unwrap().push(t0.elapsed());
+                                    (0usize, 0usize)
+                                }
+                                Err(ServeError::Internal { .. }) => (0, 1),
+                                Err(e) => panic!("unexpected terminal error: {e}"),
+                            },
+                            Err(ServeError::Overloaded { .. }) => (1, 0),
+                            Err(e) => panic!("unexpected submit failure: {e}"),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("submitter thread panicked"))
+                .fold((0, 0), |(s, i), (ds, di)| (s + ds, i + di))
+        });
+        shed += wave_shed;
+        internal += wave_internal;
+    }
+    fault::init_from_value("off");
+    let wall = start.elapsed();
+    let latencies = latencies.into_inner().unwrap();
+    LoadReport {
+        mode: format!("chaos(seed={seed},c={concurrency})"),
+        served: latencies.len(),
+        shed,
+        internal,
         wall,
         latencies,
     }
@@ -283,6 +391,7 @@ fn run_open_loop(
         mode: format!("open-loop(rate={rate}/s)"),
         served: latencies.len(),
         shed,
+        internal: 0,
         wall,
         latencies,
     }
@@ -295,20 +404,24 @@ fn main() {
     probe::set_mode(Mode::Summary);
     wino_telemetry::init_from_env();
     println!("serve-load: metrics mode: {:?}", wino_telemetry::mode());
-    match fault::init_from_env() {
-        Some(spec) => println!("serve-load: fault armed: {spec}"),
-        None => println!("serve-load: no fault armed"),
-    }
     let args = Args::parse();
     if args.smoke {
         run_smoke();
         return;
     }
 
+    // Register the network *before* arming `WINO_FAULT`: registration
+    // precomputes warm filter transforms through the hooked transform
+    // path, and a fault poisoning those cached filters would outlive
+    // its own disarm. Real faults strike at runtime, not at model load.
     let registry = Arc::new(PlanRegistry::new());
     let names = registry
         .register_network(&args.network)
         .unwrap_or_else(|e| panic!("cannot register {:?}: {e}", args.network));
+    match fault::init_from_env() {
+        Some(spec) => println!("serve-load: fault armed: {spec}"),
+        None => println!("serve-load: no fault armed"),
+    }
     println!(
         "serve-load: registered {} layers of {}",
         names.len(),
@@ -321,13 +434,28 @@ fn main() {
             max_batch: args.max_batch,
             max_wait: Duration::from_millis(args.max_wait_ms),
             executors: 2,
+            // Chaos mode may kill executors repeatedly; give the
+            // supervisor enough respawn budget for the whole schedule.
+            max_executor_restarts: if args.chaos_seed.is_some() {
+                args.requests as u64
+            } else {
+                ServerConfig::default().max_executor_restarts
+            },
             ..ServerConfig::default()
         },
     );
-    let report = match args.open_loop_rate {
-        Some(rate) => run_open_loop(&server, &cases, &args, rate),
-        None => run_closed_loop(&server, &cases, &args),
+    let report = match (args.chaos_seed, args.open_loop_rate) {
+        (Some(seed), _) => run_chaos_loop(&server, &cases, &args, seed),
+        (None, Some(rate)) => run_open_loop(&server, &cases, &args, rate),
+        (None, None) => run_closed_loop(&server, &cases, &args),
     };
+    if args.chaos_seed.is_some() {
+        let health = server.health();
+        println!(
+            "serve-load: health status={:?} restarts={} batch_panics={}",
+            health.status, health.executor_restarts, health.batch_panics
+        );
+    }
     server.shutdown();
     let line = report.render();
     println!("serve-load: {line}");

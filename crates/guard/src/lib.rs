@@ -52,6 +52,6 @@ pub use denylist::{DenyCause, Denylist};
 pub use gate::{GateVerdict, NumericGate};
 pub use guarded::{Demotion, DemotionCause, Engine, GuardError, GuardedConv, GuardedOutput};
 pub use guardrail::{scan_finite, spot_check, GuardrailPolicy, NumericFault};
-pub use sandbox::{run_sandboxed, SandboxBudget, SandboxOutcome};
+pub use sandbox::{payload_to_string, run_sandboxed, SandboxBudget, SandboxOutcome};
 pub use wino_conv::WinogradVariant;
 pub use wino_probe::fault;

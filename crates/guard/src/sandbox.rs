@@ -70,8 +70,10 @@ impl<T> SandboxOutcome<T> {
     }
 }
 
-/// Renders a panic payload the way the default hook would.
-pub(crate) fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Renders a panic payload the way the default hook would. Public so
+/// layers above the guard (`wino-serve` crash containment) can report
+/// the same payload text in their own error types.
+pub fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -4,8 +4,10 @@
 //! tuner quarantine, guardrail demotion, cache rebuild — actually
 //! fires. Proving that requires *causing* the faults on demand, at the
 //! exact sites where real failures originate: the transform output of
-//! a tile, the GEMM kernel, the body of a tuner candidate, and cache
-//! deserialization. This module is that facility.
+//! a tile, the GEMM kernel, the body of a tuner candidate, cache
+//! deserialization, and — one layer up — the serve executor,
+//! scheduler, and response-delivery paths. This module is that
+//! facility.
 //!
 //! It lives in `wino-probe` (the instrumentation substrate every crate
 //! already depends on) rather than in `wino-guard` itself, because the
@@ -33,7 +35,8 @@ use std::sync::MutexGuard;
 
 use parking_lot::Mutex;
 
-/// Injection sites — the four places real failures originate.
+/// Injection sites — the places real failures originate: four in the
+/// engine stack and three in the serving layer above it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Site {
     /// Output of a Winograd tile transform (`TileTransformer`).
@@ -44,14 +47,26 @@ pub enum Site {
     TunerCandidate,
     /// Tuning-cache deserialization.
     CacheDeser,
+    /// Serve executor, checked once per dequeued batch (a `Panic`
+    /// kills the executor thread — the supervisor-respawn drill).
+    ServeExec,
+    /// Serve scheduler loop (a `Panic` kills the scheduler; a `Stall`
+    /// delays dispatch while the queue backs up).
+    ServeSched,
+    /// Serve response delivery (a `Drop` discards the response so the
+    /// waiter sees a closed channel; a `Panic` unwinds mid-send).
+    ServeResp,
 }
 
 /// All sites, for matrix-style iteration in tests and CI.
-pub const SITES: [Site; 4] = [
+pub const SITES: [Site; 7] = [
     Site::Transform,
     Site::Gemm,
     Site::TunerCandidate,
     Site::CacheDeser,
+    Site::ServeExec,
+    Site::ServeSched,
+    Site::ServeResp,
 ];
 
 impl Site {
@@ -61,6 +76,9 @@ impl Site {
             Site::Gemm => 2,
             Site::TunerCandidate => 4,
             Site::CacheDeser => 8,
+            Site::ServeExec => 16,
+            Site::ServeSched => 32,
+            Site::ServeResp => 64,
         }
     }
 
@@ -70,6 +88,9 @@ impl Site {
             Site::Gemm => 1,
             Site::TunerCandidate => 2,
             Site::CacheDeser => 3,
+            Site::ServeExec => 4,
+            Site::ServeSched => 5,
+            Site::ServeResp => 6,
         }
     }
 
@@ -80,6 +101,9 @@ impl Site {
             Site::Gemm => "gemm",
             Site::TunerCandidate => "tuner",
             Site::CacheDeser => "cache",
+            Site::ServeExec => "serve_exec",
+            Site::ServeSched => "serve_sched",
+            Site::ServeResp => "serve_resp",
         }
     }
 
@@ -89,6 +113,9 @@ impl Site {
             "gemm" => Site::Gemm,
             "tuner" => Site::TunerCandidate,
             "cache" => Site::CacheDeser,
+            "serve_exec" => Site::ServeExec,
+            "serve_sched" => Site::ServeSched,
+            "serve_resp" => Site::ServeResp,
             _ => return None,
         })
     }
@@ -114,6 +141,14 @@ pub enum Trigger {
     Timeout,
     /// Corrupt serialized bytes before deserialization.
     Corrupt,
+    /// Delay the site by a short, bounded sleep. The firing decision
+    /// stays clock-free (the sleep happens at the hook site, after the
+    /// decision), so runs with the same spec still inject at identical
+    /// points.
+    Stall,
+    /// Discard the value the site was about to deliver (serve response
+    /// delivery — the waiter observes a closed channel, never a hang).
+    Drop,
 }
 
 impl Trigger {
@@ -125,6 +160,8 @@ impl Trigger {
             Trigger::Inf => "inf",
             Trigger::Timeout => "timeout",
             Trigger::Corrupt => "corrupt",
+            Trigger::Stall => "stall",
+            Trigger::Drop => "drop",
         }
     }
 
@@ -135,6 +172,8 @@ impl Trigger {
             "inf" => Trigger::Inf,
             "timeout" => Trigger::Timeout,
             "corrupt" => Trigger::Corrupt,
+            "stall" => Trigger::Stall,
+            "drop" => Trigger::Drop,
             _ => return None,
         })
     }
@@ -164,10 +203,16 @@ impl FaultSpec {
     pub fn parse(spec: &str) -> Result<FaultSpec, String> {
         let mut parts = spec.trim().split(':');
         let site = parts.next().and_then(Site::parse).ok_or_else(|| {
-            format!("unknown fault site in {spec:?} (expected transform|gemm|tuner|cache)")
+            format!(
+                "unknown fault site in {spec:?} (expected \
+                 transform|gemm|tuner|cache|serve_exec|serve_sched|serve_resp)"
+            )
         })?;
         let trigger = parts.next().and_then(Trigger::parse).ok_or_else(|| {
-            format!("unknown fault trigger in {spec:?} (expected panic|nan|inf|timeout|corrupt)")
+            format!(
+                "unknown fault trigger in {spec:?} (expected \
+                 panic|nan|inf|timeout|corrupt|stall|drop)"
+            )
         })?;
         let nth =
             match parts.next() {
@@ -198,7 +243,10 @@ static ARMED: AtomicU8 = AtomicU8::new(0);
 static TRIGGER: AtomicU8 = AtomicU8::new(0);
 static NTH: AtomicU64 = AtomicU64::new(0);
 /// Per-site check counters (indexed by `Site::index`).
-static HITS: [AtomicU64; 4] = [
+static HITS: [AtomicU64; 7] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -217,6 +265,8 @@ fn trigger_code(t: Trigger) -> u8 {
         Trigger::Inf => 3,
         Trigger::Timeout => 4,
         Trigger::Corrupt => 5,
+        Trigger::Stall => 6,
+        Trigger::Drop => 7,
     }
 }
 
@@ -226,7 +276,9 @@ fn trigger_from_code(code: u8) -> Trigger {
         2 => Trigger::Nan,
         3 => Trigger::Inf,
         4 => Trigger::Timeout,
-        _ => Trigger::Corrupt,
+        5 => Trigger::Corrupt,
+        6 => Trigger::Stall,
+        _ => Trigger::Drop,
     }
 }
 
@@ -415,6 +467,39 @@ mod tests {
         assert!(FaultSpec::parse("gemm:nan:2:junk").is_err());
         let spec = FaultSpec::parse("cache:corrupt").unwrap();
         assert_eq!(spec.to_string(), "cache:corrupt");
+    }
+
+    #[test]
+    fn serve_sites_parse_and_round_trip() {
+        for (name, site) in [
+            ("serve_exec", Site::ServeExec),
+            ("serve_sched", Site::ServeSched),
+            ("serve_resp", Site::ServeResp),
+        ] {
+            let spec = FaultSpec::parse(&format!("{name}:panic:2")).unwrap();
+            assert_eq!(spec.site, site);
+            assert_eq!(spec.to_string(), format!("{name}:panic:2"));
+        }
+        for (name, trigger) in [("stall", Trigger::Stall), ("drop", Trigger::Drop)] {
+            let spec = FaultSpec::parse(&format!("serve_sched:{name}")).unwrap();
+            assert_eq!(spec.trigger, trigger);
+            assert_eq!(spec.to_string(), format!("serve_sched:{name}"));
+        }
+        // Every site in the matrix survives a spec round-trip, so the
+        // CI matrix and this enum can never silently diverge.
+        for site in SITES {
+            let spec = FaultSpec::parse(&format!("{site}:panic")).unwrap();
+            assert_eq!(spec.site, site);
+        }
+    }
+
+    #[test]
+    fn serve_sites_fire_independently() {
+        let _scope = scoped("serve_exec:drop:2");
+        assert_eq!(fire(Site::ServeExec), None);
+        assert_eq!(fire(Site::ServeSched), None, "other serve sites inert");
+        assert_eq!(fire(Site::ServeExec), Some(Trigger::Drop));
+        assert_eq!(fire(Site::ServeExec), None, "nth fires exactly once");
     }
 
     #[test]

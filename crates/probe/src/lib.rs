@@ -527,6 +527,55 @@ fn intern_gauge(name: &'static str) -> &'static GaugeCell {
     cell
 }
 
+/// A gauge handle for a runtime-constructed name (e.g. a per-layer
+/// `serve.breaker_state.<layer>`). Mirrors [`CounterHandle`]: the name
+/// is leaked once per distinct string, handles are `Copy`, and
+/// [`GaugeHandle::set`] matches [`Gauge::set`]'s fast path.
+#[derive(Clone, Copy)]
+pub struct GaugeHandle {
+    cell: &'static GaugeCell,
+}
+
+impl GaugeHandle {
+    /// Sets the current level (and raises the peak) when tracing or
+    /// telemetry is enabled.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if !stats_enabled() {
+            return;
+        }
+        // Same ordering discipline as [`Gauge::set`]: peak first,
+        // under the shared state lock so reset can't interleave.
+        let _state = STATE_LOCK.read();
+        self.cell.peak.fetch_max(value, Ordering::Relaxed);
+        self.cell.current.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.cell.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark so far.
+    pub fn peak(&self) -> i64 {
+        self.cell.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Interns a dynamically-built gauge name and returns its handle.
+pub fn gauge(name: &str) -> GaugeHandle {
+    {
+        let gauges = registry().gauges.lock();
+        if let Some((_, cell)) = gauges.iter().find(|(n, _)| *n == name) {
+            return GaugeHandle { cell };
+        }
+    }
+    let name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    GaugeHandle {
+        cell: intern_gauge(name),
+    }
+}
+
 /// Snapshot of every registered gauge as `(name, current, peak)`,
 /// sorted by name.
 pub fn gauge_values() -> Vec<(String, i64, i64)> {
@@ -751,6 +800,33 @@ mod tests {
         static S: Counter = Counter::new("test.intern");
         S.add(1);
         assert_eq!(b.get(), 6);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn gauges_intern_by_name() {
+        let _guard = LOCK.lock();
+        set_mode(Mode::Summary);
+        reset();
+        let a = gauge("test.gauge_intern");
+        let b = gauge("test.gauge_intern");
+        a.set(7);
+        assert_eq!(b.get(), 7);
+        b.set(3);
+        assert_eq!(a.get(), 3);
+        assert_eq!(a.peak(), 7);
+        // Dynamic handles alias the static gauge of the same name.
+        static G: Gauge = Gauge::new("test.gauge_intern");
+        G.set(9);
+        assert_eq!(a.get(), 9);
+        assert_eq!(
+            gauge_values()
+                .iter()
+                .filter(|(n, _, _)| n == "test.gauge_intern")
+                .count(),
+            1,
+            "interning must not duplicate the registry entry"
+        );
         set_mode(Mode::Off);
     }
 

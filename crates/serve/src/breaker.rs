@@ -1,0 +1,384 @@
+//! Per-layer circuit breakers.
+//!
+//! A layer whose full degradation chain keeps demoting (guardrail
+//! rejections, engine panics, engine errors) wastes the doomed
+//! engines' work on every batch. The breaker watches *consecutive*
+//! unclean batch executions per layer and, past a threshold, trips the
+//! layer straight to its terminal fallback engine for a cool-down
+//! window. After the window one half-open **probe batch** rides the
+//! full chain again: a clean probe closes the breaker, an unclean one
+//! reopens it for another window.
+//!
+//! State machine (per layer):
+//!
+//! ```text
+//! Closed --(threshold consecutive unclean)--> Open
+//! Open   --(cooldown elapsed)--------------> HalfOpen (one probe)
+//! HalfOpen --(probe clean)-----------------> Closed
+//! HalfOpen --(probe unclean)---------------> Open
+//! ```
+//!
+//! Deadline-demoted groups already run the fallback engine by design
+//! and never feed the breaker. Breaker bookkeeping is independent of
+//! the probe's stats gate — tripping must work even with metrics off —
+//! only the counters and the per-layer state gauge are gated.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+static OPEN: wino_probe::Counter = wino_probe::Counter::new("serve.breaker.open");
+static HALF_OPEN: wino_probe::Counter = wino_probe::Counter::new("serve.breaker.half_open");
+static CLOSE: wino_probe::Counter = wino_probe::Counter::new("serve.breaker.close");
+
+/// Breaker position, exposed through [`crate::Server::health`] and as
+/// the per-layer `serve.breaker_state.<layer>` gauge (0 = closed,
+/// 1 = half-open, 2 = open).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Batches ride the full degradation chain.
+    Closed,
+    /// Batches ride the terminal fallback engine until the cool-down
+    /// window elapses.
+    Open,
+    /// The window elapsed: one probe batch rides the full chain while
+    /// everything else stays on the fallback.
+    HalfOpen,
+}
+
+impl BreakerState {
+    fn gauge_value(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        })
+    }
+}
+
+/// How the breaker wants the next batch executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BreakerDecision {
+    /// Full degradation chain; the outcome feeds the failure streak.
+    Full,
+    /// Full chain as the half-open probe; the outcome closes or
+    /// reopens the breaker.
+    Probe,
+    /// Terminal fallback engine only; the outcome is not judged.
+    Fallback,
+}
+
+impl BreakerDecision {
+    pub(crate) fn full_chain(self) -> bool {
+        !matches!(self, BreakerDecision::Fallback)
+    }
+}
+
+/// Point-in-time view of one layer's breaker.
+#[derive(Clone, Debug)]
+pub struct BreakerSnapshot {
+    /// Layer the breaker guards.
+    pub layer: String,
+    /// Current position.
+    pub state: BreakerState,
+    /// Times the breaker has opened over the server's lifetime.
+    pub trips: u64,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_unclean: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+    trips: u64,
+}
+
+/// One layer's breaker. `threshold == 0` disables it (every decision
+/// is `Full`, outcomes are ignored).
+pub(crate) struct Breaker {
+    layer: String,
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+    gauge: wino_probe::GaugeHandle,
+}
+
+impl Breaker {
+    fn new(layer: &str, threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            layer: layer.to_string(),
+            threshold,
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_unclean: 0,
+                opened_at: None,
+                probe_in_flight: false,
+                trips: 0,
+            }),
+            gauge: wino_probe::gauge(&format!("serve.breaker_state.{layer}")),
+        }
+    }
+
+    /// Decides how the next batch for this layer executes.
+    pub(crate) fn decide(&self) -> BreakerDecision {
+        if self.threshold == 0 {
+            return BreakerDecision::Full;
+        }
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => BreakerDecision::Full,
+            BreakerState::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.cooldown);
+                if elapsed {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = true;
+                    HALF_OPEN.add(1);
+                    self.gauge.set(inner.state.gauge_value());
+                    wino_probe::diag(format!(
+                        "serve: breaker for {:?} half-open, probing full chain",
+                        self.layer
+                    ));
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::Fallback
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    // One probe at a time; everyone else stays safe.
+                    BreakerDecision::Fallback
+                } else {
+                    inner.probe_in_flight = true;
+                    BreakerDecision::Probe
+                }
+            }
+        }
+    }
+
+    /// Feeds one batch outcome back. `clean` is `Some(true)` when the
+    /// full-chain group served without demotion or error, `Some(false)`
+    /// when it demoted/failed/panicked, and `None` when no full-chain
+    /// group actually ran (every member was deadline-demoted) — a
+    /// `Probe` decision with no outcome returns the probe slot so the
+    /// breaker cannot wedge half-open.
+    pub(crate) fn resolve(&self, decision: BreakerDecision, clean: Option<bool>) {
+        if self.threshold == 0 || decision == BreakerDecision::Fallback {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let Some(clean) = clean else {
+            if decision == BreakerDecision::Probe {
+                inner.probe_in_flight = false;
+            }
+            return;
+        };
+        match decision {
+            BreakerDecision::Probe => {
+                inner.probe_in_flight = false;
+                if clean {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_unclean = 0;
+                    CLOSE.add(1);
+                    wino_probe::diag(format!("serve: breaker for {:?} closed", self.layer));
+                } else {
+                    self.trip(&mut inner);
+                }
+                self.gauge.set(inner.state.gauge_value());
+            }
+            BreakerDecision::Full => {
+                if clean {
+                    inner.consecutive_unclean = 0;
+                } else {
+                    inner.consecutive_unclean += 1;
+                    if inner.consecutive_unclean >= self.threshold
+                        && inner.state == BreakerState::Closed
+                    {
+                        self.trip(&mut inner);
+                        self.gauge.set(inner.state.gauge_value());
+                    }
+                }
+            }
+            BreakerDecision::Fallback => unreachable!("filtered above"),
+        }
+    }
+
+    fn trip(&self, inner: &mut BreakerInner) {
+        inner.state = BreakerState::Open;
+        inner.opened_at = Some(Instant::now());
+        inner.consecutive_unclean = 0;
+        inner.trips += 1;
+        OPEN.add(1);
+        wino_probe::diag(format!(
+            "serve: breaker for {:?} open, serving terminal fallback for {:?}",
+            self.layer, self.cooldown
+        ));
+        wino_probe::flight::dump_incident("serve.breaker_open");
+    }
+
+    fn snapshot(&self) -> BreakerSnapshot {
+        let inner = self.inner.lock();
+        BreakerSnapshot {
+            layer: self.layer.clone(),
+            state: inner.state,
+            trips: inner.trips,
+        }
+    }
+}
+
+/// All breakers of one server, keyed by layer. Layers registered after
+/// [`crate::Server::start`] get their breaker lazily on first batch.
+pub(crate) struct BreakerMap {
+    threshold: u32,
+    cooldown: Duration,
+    map: RwLock<BTreeMap<String, Arc<Breaker>>>,
+}
+
+impl BreakerMap {
+    pub(crate) fn new(threshold: u32, cooldown: Duration) -> BreakerMap {
+        BreakerMap {
+            threshold,
+            cooldown,
+            map: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Interns the breaker for `layer` (pre-seeded at server start so
+    /// the state gauges exist from the first metrics render).
+    pub(crate) fn intern(&self, layer: &str) -> Arc<Breaker> {
+        if let Some(b) = self.map.read().get(layer) {
+            return Arc::clone(b);
+        }
+        let mut map = self.map.write();
+        Arc::clone(
+            map.entry(layer.to_string())
+                .or_insert_with(|| Arc::new(Breaker::new(layer, self.threshold, self.cooldown))),
+        )
+    }
+
+    /// Breaker + execution decision for the next batch of `layer`.
+    pub(crate) fn decide(&self, layer: &str) -> (Arc<Breaker>, BreakerDecision) {
+        let breaker = self.intern(layer);
+        let decision = breaker.decide();
+        (breaker, decision)
+    }
+
+    /// Snapshot of every breaker, sorted by layer name.
+    pub(crate) fn snapshot(&self) -> Vec<BreakerSnapshot> {
+        self.map.read().values().map(|b| b.snapshot()).collect()
+    }
+
+    /// `true` when any layer's breaker is not closed.
+    pub(crate) fn any_open(&self) -> bool {
+        self.map
+            .read()
+            .values()
+            .any(|b| b.inner.lock().state != BreakerState::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> Breaker {
+        Breaker::new("t/l", 3, Duration::from_millis(20))
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_unclean() {
+        let b = breaker();
+        for _ in 0..2 {
+            let d = b.decide();
+            assert_eq!(d, BreakerDecision::Full);
+            b.resolve(d, Some(false));
+        }
+        // A clean batch resets the streak.
+        b.resolve(b.decide(), Some(true));
+        for _ in 0..2 {
+            b.resolve(b.decide(), Some(false));
+        }
+        assert_eq!(b.decide(), BreakerDecision::Full, "still closed at 2/3");
+        b.resolve(BreakerDecision::Full, Some(false));
+        assert_eq!(b.decide(), BreakerDecision::Fallback, "tripped at 3/3");
+        assert_eq!(b.snapshot().state, BreakerState::Open);
+        assert_eq!(b.snapshot().trips, 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_or_reopens() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.resolve(BreakerDecision::Full, Some(false));
+        }
+        assert_eq!(b.decide(), BreakerDecision::Fallback);
+        std::thread::sleep(Duration::from_millis(25));
+        // Cooldown elapsed: exactly one probe, concurrent batches stay
+        // on the fallback.
+        assert_eq!(b.decide(), BreakerDecision::Probe);
+        assert_eq!(b.decide(), BreakerDecision::Fallback);
+        // Unclean probe reopens.
+        b.resolve(BreakerDecision::Probe, Some(false));
+        assert_eq!(b.snapshot().state, BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.decide(), BreakerDecision::Probe);
+        b.resolve(BreakerDecision::Probe, Some(true));
+        assert_eq!(b.snapshot().state, BreakerState::Closed);
+        assert_eq!(b.decide(), BreakerDecision::Full);
+        assert_eq!(b.snapshot().trips, 2);
+    }
+
+    #[test]
+    fn vacuous_probe_outcome_returns_the_probe_slot() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.resolve(BreakerDecision::Full, Some(false));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.decide(), BreakerDecision::Probe);
+        // The probe batch turned out to be all-deadline-demoted: no
+        // verdict, but the next batch must get to probe again.
+        b.resolve(BreakerDecision::Probe, None);
+        assert_eq!(b.decide(), BreakerDecision::Probe);
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let b = Breaker::new("t/l", 0, Duration::from_millis(5));
+        for _ in 0..10 {
+            let d = b.decide();
+            assert_eq!(d, BreakerDecision::Full);
+            b.resolve(d, Some(false));
+        }
+        assert_eq!(b.snapshot().state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn map_interns_per_layer() {
+        let m = BreakerMap::new(2, Duration::from_millis(5));
+        let (a1, _) = m.decide("a");
+        let (a2, _) = m.decide("a");
+        assert!(Arc::ptr_eq(&a1, &a2));
+        m.decide("b");
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(!m.any_open());
+        a1.resolve(BreakerDecision::Full, Some(false));
+        a1.resolve(BreakerDecision::Full, Some(false));
+        assert!(m.any_open());
+    }
+}

@@ -22,6 +22,16 @@ pub enum ServeError {
     Shape(String),
     /// Every engine in the layer's degradation chain failed.
     Engine(String),
+    /// The serving machinery itself failed while holding the request —
+    /// a batch panicked in an executor, the executor or scheduler
+    /// thread died, or the response channel was lost. The request was
+    /// *terminated*, never stranded: crash containment guarantees a
+    /// waiter always observes exactly one terminal result.
+    Internal {
+        /// Human-readable failure cause (panic payload or supervisor
+        /// verdict).
+        cause: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -35,6 +45,7 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
             ServeError::Shape(msg) => write!(f, "shape error: {msg}"),
             ServeError::Engine(msg) => write!(f, "engine failure: {msg}"),
+            ServeError::Internal { cause } => write!(f, "internal server failure: {cause}"),
         }
     }
 }

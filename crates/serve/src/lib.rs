@@ -20,15 +20,26 @@
 //!   per-request deadlines demote near-late members to the terminal
 //!   fallback engine, and shutdown drains in-flight work while
 //!   refusing late submissions ([`ServeError::ShuttingDown`]).
+//! - The server **self-heals**: batch panics are contained
+//!   ([`ServeError::Internal`], never a hung waiter), a supervisor
+//!   thread respawns dead executors under a restart budget, and a
+//!   per-layer circuit breaker ([`BreakerState`]) trips repeatedly
+//!   failing layers to their terminal fallback engine with half-open
+//!   probe batches. [`Server::health`] snapshots the whole supervision
+//!   state.
 //!
 //! Everything is threads and channels — no async runtime.
 
+mod breaker;
 mod error;
 mod registry;
 mod server;
 mod stats;
+mod supervisor;
 
+pub use breaker::{BreakerSnapshot, BreakerState};
 pub use error::ServeError;
 pub use registry::{LayerPlan, PlanRegistry};
 pub use server::{ConvRequest, ConvResponse, ResponseHandle, Server, ServerConfig};
 pub use stats::{RequestTrace, ServerStats, RECENT_CAP};
+pub use supervisor::{ExecutorHealth, HealthStatus, ServerHealth};

@@ -248,6 +248,12 @@ impl PlanRegistry {
         self.layers.read().keys().cloned().collect()
     }
 
+    /// Every registered plan, in name order (the server seeds one
+    /// circuit breaker per plan at start).
+    pub fn plans(&self) -> Vec<Arc<LayerPlan>> {
+        self.layers.read().values().cloned().collect()
+    }
+
     /// Number of registered layers.
     pub fn len(&self) -> usize {
         self.layers.read().len()

@@ -1,4 +1,5 @@
-//! The serving loop: submission queue, batch coalescing, execution.
+//! The serving loop: submission queue, batch coalescing, execution,
+//! and crash containment.
 //!
 //! Threads and channels only (no async): callers [`submit`] requests
 //! onto a bounded queue; a scheduler thread coalesces same-layer
@@ -10,6 +11,27 @@
 //! [`Server::shutdown`] drains: in-flight requests complete, late
 //! submissions get [`ServeError::ShuttingDown`].
 //!
+//! Failure domains, inside out (see DESIGN.md §5.12):
+//!
+//! - an *engine* failure is absorbed by [`GuardedConv`]'s chain;
+//! - a *batch* panic is contained by `catch_unwind` here — members
+//!   get [`ServeError::Internal`], the flight recorder dumps, and
+//!   `serve.batch_panics` counts it;
+//! - an *executor* death is detected by the supervisor and respawned
+//!   under a restart budget (batch members are failed by a drop
+//!   guard, never stranded);
+//! - a repeatedly-failing *layer* is tripped by its circuit breaker
+//!   to the terminal fallback engine;
+//! - an unrecoverable *server* (scheduler death, exhausted restarts)
+//!   fails all pending requests and closes admission.
+//!
+//! Every response channel is wrapped in a [`ResponseSlot`] whose send
+//! is take-once, so a waiter observes **exactly one** terminal result
+//! no matter how many failure paths race to deliver it. Lock
+//! poisoning never cascades: every `std::sync` lock here recovers the
+//! poisoned guard (`serve.lock_poison_recovered`) instead of
+//! propagating the panic.
+//!
 //! Bit-identity: coalescing stacks inputs along the batch dimension,
 //! and every engine treats images independently (tiles never cross
 //! images), so a batched response is bit-identical to a one-at-a-time
@@ -19,17 +41,20 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
-use wino_guard::{Engine, GuardedConv, GuardrailPolicy};
+use wino_guard::{payload_to_string, Engine, GuardedConv, GuardrailPolicy};
+use wino_probe::fault;
 use wino_tensor::Tensor4;
 
+use crate::breaker::{BreakerDecision, BreakerMap};
 use crate::error::ServeError;
 use crate::registry::{LayerPlan, PlanRegistry};
 use crate::stats::{RequestTrace, ServerStats, StatsInner};
+use crate::supervisor::{HealthState, HealthStatus, Liveness, ServerHealth, Supervisor};
 
 static ENQUEUED: wino_probe::Counter = wino_probe::Counter::new("serve.enqueued");
 static SHED: wino_probe::Counter = wino_probe::Counter::new("serve.shed");
@@ -38,22 +63,46 @@ static BATCHED: wino_probe::Counter = wino_probe::Counter::new("serve.batched");
 static EXECUTED: wino_probe::Counter = wino_probe::Counter::new("serve.executed");
 static DEADLINE_DEMOTIONS: wino_probe::Counter =
     wino_probe::Counter::new("serve.deadline_demotions");
-static QUEUE_DEPTH: wino_probe::Gauge = wino_probe::Gauge::new("serve.queue_depth");
+static BATCH_PANICS: wino_probe::Counter = wino_probe::Counter::new("serve.batch_panics");
+static INTERNAL_ERRORS: wino_probe::Counter = wino_probe::Counter::new("serve.internal_errors");
+static RESPONSES_DROPPED: wino_probe::Counter = wino_probe::Counter::new("serve.responses_dropped");
+static POISON_RECOVERED: wino_probe::Counter =
+    wino_probe::Counter::new("serve.lock_poison_recovered");
+static CONFIG_CLAMPED: wino_probe::Counter = wino_probe::Counter::new("serve.config_clamped");
+pub(crate) static QUEUE_DEPTH: wino_probe::Gauge = wino_probe::Gauge::new("serve.queue_depth");
 static H_QUEUE_WAIT: wino_probe::Histogram = wino_probe::Histogram::new("serve.queue_wait");
 static H_EXECUTE: wino_probe::Histogram = wino_probe::Histogram::new("serve.execute");
 static H_E2E: wino_probe::Histogram = wino_probe::Histogram::new("serve.e2e");
 
+/// How long an injected `serve_sched:stall` delays one scheduler pass.
+const SCHED_STALL: Duration = Duration::from_millis(10);
+
+/// Locks a std mutex, recovering (instead of cascading) poison left by
+/// a thread that panicked while holding it. The protected state is
+/// always consistent at our lock boundaries — panics originate in
+/// engine code or injected faults, not mid-update of queue bookkeeping.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        POISON_RECOVERED.add(1);
+        poisoned.into_inner()
+    })
+}
+
 /// Server tunables.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Largest coalesced batch (requests, not images).
+    /// Largest coalesced batch (requests, not images). Zero is clamped
+    /// to 1 at [`Server::start`].
     pub max_batch: usize,
     /// Longest a request waits for batch-mates before dispatch. Zero
     /// dispatches every request immediately (no coalescing).
     pub max_wait: Duration,
-    /// Submission-queue capacity; requests beyond it are shed.
+    /// Submission-queue capacity; requests beyond it are shed. Zero
+    /// (which would shed everything) is clamped to 1 at
+    /// [`Server::start`].
     pub queue_capacity: usize,
-    /// Executor thread count.
+    /// Executor thread count. Zero is clamped to 1 at
+    /// [`Server::start`].
     pub executors: usize,
     /// Deadline applied to requests that carry none.
     pub default_deadline: Option<Duration>,
@@ -66,6 +115,19 @@ pub struct ServerConfig {
     /// Interval between periodic metric emissions when `WINO_METRICS`
     /// is active (the emitter thread is only spawned then).
     pub metrics_interval: Duration,
+    /// Consecutive unclean full-chain batches before a layer's circuit
+    /// breaker trips it to the terminal fallback engine. Zero disables
+    /// the breakers.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker serves the fallback before the
+    /// half-open probe batch rides the full chain again.
+    pub breaker_cooldown: Duration,
+    /// Total executor respawns the supervisor may spend over the
+    /// server's lifetime; one more death is unrecoverable.
+    pub max_executor_restarts: u64,
+    /// Backoff before the first respawn; doubles per respawn (capped
+    /// internally).
+    pub restart_backoff: Duration,
 }
 
 impl Default for ServerConfig {
@@ -79,7 +141,31 @@ impl Default for ServerConfig {
             deadline_slack: Duration::from_micros(500),
             policy: GuardrailPolicy::full(),
             metrics_interval: Duration::from_secs(5),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            max_executor_restarts: 8,
+            restart_backoff: Duration::from_millis(1),
         }
+    }
+}
+
+impl ServerConfig {
+    /// Normalizes degenerate values in one place — the single spot
+    /// where a zero `queue_capacity` (shed-everything), `executors`
+    /// (serve-nothing), or `max_batch` (dispatch-nothing) is clamped
+    /// to 1, each with a `probe::diag`.
+    fn validated(mut self) -> ServerConfig {
+        let clamp = |name: &str, value: &mut usize| {
+            if *value == 0 {
+                wino_probe::diag(format!("serve: config {name}=0 clamped to 1"));
+                CONFIG_CLAMPED.add(1);
+                *value = 1;
+            }
+        };
+        clamp("queue_capacity", &mut self.queue_capacity);
+        clamp("executors", &mut self.executors);
+        clamp("max_batch", &mut self.max_batch);
+        self
     }
 }
 
@@ -127,6 +213,54 @@ pub struct ConvResponse {
     pub trace: RequestTrace,
 }
 
+/// Take-once wrapper around a request's response sender: however many
+/// failure paths race to terminate a request (normal delivery, batch
+/// containment, the executor drop guard, supervisor fail-all,
+/// shutdown drain), exactly one send reaches the waiter and the rest
+/// are structurally discarded.
+pub(crate) struct ResponseSlot {
+    tx: parking_lot::Mutex<Option<channel::Sender<Result<ConvResponse, ServeError>>>>,
+}
+
+impl ResponseSlot {
+    fn new(tx: channel::Sender<Result<ConvResponse, ServeError>>) -> Arc<ResponseSlot> {
+        Arc::new(ResponseSlot {
+            tx: parking_lot::Mutex::new(Some(tx)),
+        })
+    }
+
+    /// Delivers the terminal result if nothing has been delivered yet;
+    /// returns `false` when the slot was already consumed.
+    pub(crate) fn send(&self, result: Result<ConvResponse, ServeError>) -> bool {
+        let Some(tx) = self.tx.lock().take() else {
+            return false;
+        };
+        // serve_resp chaos site. Only real (Ok) deliveries are
+        // eligible: failure-path sends come from containment code and
+        // drop guards, which must never re-enter an injected panic.
+        if result.is_ok() && fault::armed(fault::Site::ServeResp) {
+            match fault::fire(fault::Site::ServeResp) {
+                Some(fault::Trigger::Drop) => {
+                    RESPONSES_DROPPED.add(1);
+                    // tx drops here: the waiter observes the closed
+                    // channel and maps it to ServeError::Internal —
+                    // a terminal result, never a hang.
+                    return true;
+                }
+                Some(fault::Trigger::Panic) => {
+                    panic!("wino-fault: injected panic at serve_resp")
+                }
+                _ => {}
+            }
+        }
+        if matches!(result, Err(ServeError::Internal { .. })) {
+            INTERNAL_ERRORS.add(1);
+        }
+        let _ = tx.send(result);
+        true
+    }
+}
+
 /// Caller-side handle for an admitted request.
 pub struct ResponseHandle {
     id: u64,
@@ -141,34 +275,72 @@ impl ResponseHandle {
         self.id
     }
 
-    /// Blocks until the response arrives. A server torn down before
-    /// executing the request yields [`ServeError::ShuttingDown`].
+    /// Blocks until the terminal result arrives. A server torn down
+    /// before executing the request delivers
+    /// [`ServeError::ShuttingDown`] explicitly; a response channel
+    /// closed without any delivery (response dropped by an injected
+    /// fault) maps to [`ServeError::Internal`].
     pub fn wait(self) -> Result<ConvResponse, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::ShuttingDown)?
+        self.rx.recv().map_err(|_| ServeError::Internal {
+            cause: "response channel closed without a terminal result".to_string(),
+        })?
+    }
+
+    /// [`ResponseHandle::wait`] bounded by a watchdog: `None` means no
+    /// terminal result arrived within `timeout` (the handle is
+    /// consumed). The chaos drills use this to turn a would-be hang
+    /// into a hard assertion failure.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<ConvResponse, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(channel::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Internal {
+                cause: "response channel closed without a terminal result".to_string(),
+            })),
+            Err(channel::RecvTimeoutError::Timeout) => None,
+        }
     }
 }
 
 /// A request admitted to the queue.
-struct Pending {
+pub(crate) struct Pending {
     id: u64,
     plan: Arc<LayerPlan>,
     input: Tensor4<f32>,
     enqueued_at: Instant,
     deadline: Option<Duration>,
-    tx: channel::Sender<Result<ConvResponse, ServeError>>,
+    pub(crate) slot: Arc<ResponseSlot>,
 }
 
-struct QueueState {
-    open: bool,
-    pending: VecDeque<Pending>,
+pub(crate) struct QueueState {
+    pub(crate) open: bool,
+    pub(crate) pending: VecDeque<Pending>,
 }
 
 /// The submission queue. `std::sync` primitives on purpose: the
 /// scheduler needs a timed condition wait, which the `parking_lot`
-/// shim does not provide.
-struct SubmissionQueue {
-    state: Mutex<QueueState>,
-    cv: Condvar,
+/// shim does not provide. Poison from a panicking holder is recovered
+/// at every lock site, never propagated.
+pub(crate) struct SubmissionQueue {
+    pub(crate) state: Mutex<QueueState>,
+    pub(crate) cv: Condvar,
+}
+
+/// Queue lock with poison recovery.
+pub(crate) fn lock_queue(queue: &SubmissionQueue) -> MutexGuard<'_, QueueState> {
+    lock_recover(&queue.state)
+}
+
+/// Everything an executor thread needs; cloned for supervisor
+/// respawns.
+#[derive(Clone)]
+pub(crate) struct ExecShared {
+    pub(crate) rx: channel::Receiver<Vec<Pending>>,
+    pub(crate) policy: GuardrailPolicy,
+    pub(crate) slack: Duration,
+    pub(crate) stats: Arc<StatsInner>,
+    pub(crate) breakers: Arc<BreakerMap>,
+    pub(crate) health: Arc<HealthState>,
+    pub(crate) liveness: Arc<Liveness>,
 }
 
 /// The batching inference server.
@@ -180,16 +352,21 @@ pub struct Server {
     config: ServerConfig,
     queue: Arc<SubmissionQueue>,
     stats: Arc<StatsInner>,
-    scheduler: Mutex<Option<JoinHandle<()>>>,
-    executors: Mutex<Vec<JoinHandle<()>>>,
+    breakers: Arc<BreakerMap>,
+    health: Arc<HealthState>,
+    liveness: Arc<Liveness>,
+    supervisor: Mutex<Option<Supervisor>>,
     emitter: Mutex<Option<wino_telemetry::PeriodicEmitter>>,
-    shutting_down: AtomicBool,
+    shutting_down: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Starts the scheduler and executor threads (plus the periodic
-    /// metrics emitter when `WINO_METRICS` is active).
+    /// Starts the scheduler, executor pool, and supervisor threads
+    /// (plus the periodic metrics emitter when `WINO_METRICS` is
+    /// active). Degenerate config values are clamped first (see
+    /// [`ServerConfig::validated`]).
     pub fn start(registry: Arc<PlanRegistry>, config: ServerConfig) -> Self {
+        let config = config.validated();
         let queue = Arc::new(SubmissionQueue {
             state: Mutex::new(QueueState {
                 open: true,
@@ -198,29 +375,54 @@ impl Server {
             cv: Condvar::new(),
         });
         let stats = Arc::new(StatsInner::new());
+        let health = Arc::new(HealthState::new(config.executors));
+        let liveness = Arc::new(Liveness::new(config.executors));
+        let breakers = Arc::new(BreakerMap::new(
+            config.breaker_threshold,
+            config.breaker_cooldown,
+        ));
+        // Pre-seed a breaker per registered layer so the per-layer
+        // state gauges exist from the first metrics render.
+        for plan in registry.plans() {
+            breakers.intern(&plan.name);
+        }
+        let shutting_down = Arc::new(AtomicBool::new(false));
         // The batch channel's only sender lives on the scheduler
         // thread, so executor `recv` disconnects exactly when the
         // scheduler exits (after the drain loop empties the queue).
-        let (batch_tx, batch_rx) = channel::bounded::<Vec<Pending>>(config.executors.max(1) * 2);
+        // The supervisor holds a receiver clone for respawns and for
+        // bleeding the channel when no executor is left.
+        let (batch_tx, batch_rx) = channel::bounded::<Vec<Pending>>(config.executors * 2);
         let scheduler = {
             let queue = Arc::clone(&queue);
-            let max_batch = config.max_batch.max(1);
+            let max_batch = config.max_batch;
             let max_wait = config.max_wait;
-            std::thread::spawn(move || scheduler_loop(&queue, max_batch, max_wait, &batch_tx))
+            std::thread::Builder::new()
+                .name("wino-scheduler".into())
+                .spawn(move || scheduler_loop(&queue, max_batch, max_wait, &batch_tx))
+                .expect("spawn scheduler thread")
         };
-        let executors = (0..config.executors.max(1))
-            .map(|_| {
-                let rx = batch_rx.clone();
-                let policy = config.policy;
-                let slack = config.deadline_slack;
-                let stats = Arc::clone(&stats);
-                std::thread::spawn(move || {
-                    while let Ok(batch) = rx.recv() {
-                        execute_batch(batch, policy, slack, &stats);
-                    }
-                })
-            })
+        let shared = ExecShared {
+            rx: batch_rx,
+            policy: config.policy,
+            slack: config.deadline_slack,
+            stats: Arc::clone(&stats),
+            breakers: Arc::clone(&breakers),
+            health: Arc::clone(&health),
+            liveness: Arc::clone(&liveness),
+        };
+        let executors: Vec<JoinHandle<()>> = (0..config.executors)
+            .map(|slot| spawn_executor(slot, shared.clone()))
             .collect();
+        let supervisor = Supervisor::spawn(
+            scheduler,
+            executors,
+            shared,
+            Arc::clone(&queue),
+            Arc::clone(&shutting_down),
+            config.max_executor_restarts,
+            config.restart_backoff,
+        );
         let emitter = if wino_telemetry::mode() != wino_telemetry::MetricsMode::Off {
             Some(wino_telemetry::PeriodicEmitter::start(
                 config.metrics_interval,
@@ -234,10 +436,12 @@ impl Server {
             config,
             queue,
             stats,
-            scheduler: Mutex::new(Some(scheduler)),
-            executors: Mutex::new(executors),
+            breakers,
+            health,
+            liveness,
+            supervisor: Mutex::new(Some(supervisor)),
             emitter: Mutex::new(emitter),
-            shutting_down: AtomicBool::new(false),
+            shutting_down,
         }
     }
 
@@ -251,7 +455,8 @@ impl Server {
     /// # Errors
     /// [`ServeError::UnknownLayer`] for unregistered names,
     /// [`ServeError::Shape`] on input mismatch,
-    /// [`ServeError::ShuttingDown`] after drain began, and
+    /// [`ServeError::ShuttingDown`] after drain began (or after the
+    /// supervisor closed admission on unrecoverable failure), and
     /// [`ServeError::Overloaded`] when the queue is full (the request
     /// is shed; nothing was enqueued).
     pub fn submit(&self, req: ConvRequest) -> Result<ResponseHandle, ServeError> {
@@ -272,7 +477,10 @@ impl Server {
         let deadline = req.deadline.or(self.config.default_deadline);
         let id = self.stats.assign_id();
         {
-            let mut st = self.queue.state.lock().expect("queue mutex poisoned");
+            // Every early return before the push leaves the counters
+            // consistent: SHED counts exactly the Overloaded returns,
+            // ENQUEUED and the depth gauge move only on a real push.
+            let mut st = lock_queue(&self.queue);
             if !st.open {
                 return Err(ServeError::ShuttingDown);
             }
@@ -289,7 +497,7 @@ impl Server {
                 input: req.input,
                 enqueued_at: Instant::now(),
                 deadline,
-                tx,
+                slot: ResponseSlot::new(tx),
             });
             ENQUEUED.add(1);
             QUEUE_DEPTH.set(st.pending.len() as i64);
@@ -308,12 +516,7 @@ impl Server {
 
     /// Current submission-queue depth.
     pub fn queue_depth(&self) -> usize {
-        self.queue
-            .state
-            .lock()
-            .expect("queue mutex poisoned")
-            .pending
-            .len()
+        lock_queue(&self.queue).pending.len()
     }
 
     /// Point-in-time statistics snapshot: the serve counters, current
@@ -333,56 +536,76 @@ impl Server {
         }
     }
 
+    /// Supervision snapshot: overall status, thread liveness, restart
+    /// and contained-panic totals, and every layer breaker's position.
+    /// Works regardless of the metrics mode — health bookkeeping is
+    /// not gated behind the probe.
+    pub fn health(&self) -> ServerHealth {
+        let failed = self.health.failed.load(Ordering::SeqCst);
+        let executor_restarts = self.health.executor_restarts.load(Ordering::Relaxed);
+        let batch_panics = self.health.batch_panics.load(Ordering::Relaxed);
+        let breakers = self.breakers.snapshot();
+        let status = if failed {
+            HealthStatus::Failed
+        } else if executor_restarts > 0 || batch_panics > 0 || self.breakers.any_open() {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Healthy
+        };
+        ServerHealth {
+            status,
+            scheduler_alive: self.health.scheduler_alive.load(Ordering::Relaxed),
+            executors_alive: self.health.executors_alive.load(Ordering::Relaxed),
+            executors_configured: self.config.executors,
+            executor_restarts,
+            batch_panics,
+            queue_depth: self.queue_depth(),
+            executors: ServerHealth::executor_rows(&self.liveness),
+            breakers,
+        }
+    }
+
     /// Prometheus-style text exposition of every live metric
-    /// (counters, gauges, histograms), regardless of the
-    /// `WINO_METRICS` mode.
+    /// (counters, gauges including the per-layer
+    /// `serve.breaker_state.*` positions, histograms), regardless of
+    /// the `WINO_METRICS` mode.
     pub fn render_metrics(&self) -> String {
         wino_telemetry::render_prometheus()
     }
 
     /// Drains and stops: closes admission, lets the scheduler flush
-    /// every pending batch, waits for executors to finish in-flight
-    /// work. Idempotent; also runs on drop.
+    /// every pending batch, waits (through the supervisor, which keeps
+    /// respawning executors that die mid-drain) for all in-flight work
+    /// to finish. Idempotent; also runs on drop.
     pub fn shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
         {
-            let mut st = self.queue.state.lock().expect("queue mutex poisoned");
+            let mut st = lock_queue(&self.queue);
             st.open = false;
         }
         self.queue.cv.notify_all();
-        if let Some(handle) = self
-            .scheduler
-            .lock()
-            .expect("scheduler mutex poisoned")
-            .take()
-        {
-            let _ = handle.join();
-        }
-        // The scheduler owned the only batch sender; executors drain
-        // the channel and observe the disconnect.
-        for handle in self
-            .executors
-            .lock()
-            .expect("executor mutex poisoned")
-            .drain(..)
-        {
-            let _ = handle.join();
+        // The supervisor owns the scheduler and executor handles; its
+        // stop path joins the scheduler (which drains), keeps
+        // supervising executors during the drain, and returns once
+        // everything is joined.
+        if let Some(supervisor) = lock_recover(&self.supervisor).take() {
+            supervisor.stop_and_join();
         }
         // With every thread joined nothing can admit or extract work:
-        // fail anything the scheduler left behind (it only leaves the
-        // queue non-empty if it died) and pin the depth gauge at zero
-        // so `serve.queue_depth` always drains with the server.
-        let mut st = self.queue.state.lock().expect("queue mutex poisoned");
+        // fail anything left behind (non-empty only if the scheduler
+        // died) and pin the depth gauge at zero so `serve.queue_depth`
+        // always drains with the server.
+        let mut st = lock_queue(&self.queue);
         for p in st.pending.drain(..) {
-            let _ = p.tx.send(Err(ServeError::ShuttingDown));
+            p.slot.send(Err(ServeError::ShuttingDown));
         }
         QUEUE_DEPTH.set(0);
         drop(st);
         // Stop the periodic emitter, then emit one final snapshot so
         // a `text:path` scrape file always reflects the drained state.
-        if let Some(emitter) = self.emitter.lock().expect("emitter mutex poisoned").take() {
+        if let Some(emitter) = lock_recover(&self.emitter).take() {
             emitter.stop();
         }
         wino_telemetry::emit("serve.shutdown");
@@ -395,6 +618,20 @@ impl Drop for Server {
     }
 }
 
+/// Chaos hook at the top of every scheduler pass that has work
+/// pending. A `Panic` kills the scheduler *before* extracting a batch
+/// (requests stay in the queue, where the supervisor's fail-all can
+/// reach them); a `Stall` delays dispatch so the queue backs up.
+fn serve_sched_hook() {
+    if fault::armed(fault::Site::ServeSched) {
+        match fault::fire(fault::Site::ServeSched) {
+            Some(fault::Trigger::Panic) => panic!("wino-fault: injected panic at serve_sched"),
+            Some(fault::Trigger::Stall) => std::thread::sleep(SCHED_STALL),
+            _ => {}
+        }
+    }
+}
+
 /// Scheduler: coalesce same-layer requests into batches. Dispatches a
 /// batch when `max_batch` same-layer requests are waiting, when the
 /// head request has waited `max_wait`, or immediately during drain.
@@ -404,15 +641,16 @@ fn scheduler_loop(
     max_wait: Duration,
     batch_tx: &channel::Sender<Vec<Pending>>,
 ) {
-    let mut st = queue.state.lock().expect("queue mutex poisoned");
+    let mut st = lock_queue(queue);
     loop {
         if st.pending.is_empty() {
             if !st.open {
                 return; // drained
             }
-            st = queue.cv.wait(st).expect("queue mutex poisoned");
+            st = queue.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             continue;
         }
+        serve_sched_hook();
         let head_layer = st.pending[0].plan.name.clone();
         let same = st
             .pending
@@ -424,7 +662,7 @@ fn scheduler_loop(
             let (guard, _timeout) = queue
                 .cv
                 .wait_timeout(st, max_wait.saturating_sub(age))
-                .expect("queue mutex poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             st = guard;
             continue;
         }
@@ -441,38 +679,144 @@ fn scheduler_loop(
         QUEUE_DEPTH.set(st.pending.len() as i64);
         drop(st);
         if let Err(channel::SendError(batch)) = batch_tx.send(batch) {
-            // Executors are gone (every receiver dropped, i.e. the
-            // pool died). Nothing can serve the extracted batch or
-            // anything still queued: fail them all explicitly so
-            // waiters unblock, and zero the depth gauge rather than
-            // leaving it stuck at the last set() value.
+            // Every receiver is gone — executors and supervisor alike
+            // (only possible in teardown races). Nothing can serve the
+            // extracted batch or anything still queued: fail them all
+            // explicitly so waiters unblock, and zero the depth gauge
+            // rather than leaving it stuck at the last set() value.
             for p in batch {
-                let _ = p.tx.send(Err(ServeError::ShuttingDown));
+                p.slot.send(Err(ServeError::ShuttingDown));
             }
-            let mut st = queue.state.lock().expect("queue mutex poisoned");
+            let mut st = lock_queue(queue);
             for p in st.pending.drain(..) {
-                let _ = p.tx.send(Err(ServeError::ShuttingDown));
+                p.slot.send(Err(ServeError::ShuttingDown));
             }
             QUEUE_DEPTH.set(0);
             return;
         }
-        st = queue.state.lock().expect("queue mutex poisoned");
+        st = lock_queue(queue);
+    }
+}
+
+/// Spawns one executor on `slot` (initial pool and supervisor
+/// respawns go through the same path).
+pub(crate) fn spawn_executor(slot: usize, shared: ExecShared) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("wino-exec{slot}"))
+        .spawn(move || executor_loop(slot, &shared))
+        .expect("spawn executor thread")
+}
+
+/// Fails every member of an in-flight batch if the executor unwinds
+/// past containment (the injected `serve_exec` kill, or anything else
+/// that escapes `catch_unwind`). Response slots are take-once, so
+/// firing after a member was already answered is a no-op.
+struct BatchFailGuard {
+    slots: Vec<Arc<ResponseSlot>>,
+    armed: bool,
+}
+
+impl BatchFailGuard {
+    fn new(batch: &[Pending]) -> BatchFailGuard {
+        BatchFailGuard {
+            slots: batch.iter().map(|p| Arc::clone(&p.slot)).collect(),
+            armed: true,
+        }
+    }
+
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for BatchFailGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        for slot in &self.slots {
+            slot.send(Err(ServeError::Internal {
+                cause: "executor thread died while holding this batch".to_string(),
+            }));
+        }
+    }
+}
+
+/// Chaos hook checked once per dequeued batch. A `Panic` here unwinds
+/// *outside* batch containment on purpose: it kills the executor
+/// thread, which is exactly the supervisor-respawn drill (the
+/// [`BatchFailGuard`] fails the batch members on the way out).
+fn serve_exec_hook() {
+    if fault::armed(fault::Site::ServeExec) {
+        if let Some(fault::Trigger::Panic) = fault::fire(fault::Site::ServeExec) {
+            panic!("wino-fault: injected panic at serve_exec");
+        }
+    }
+}
+
+fn executor_loop(slot: usize, shared: &ExecShared) {
+    while let Ok(batch) = shared.rx.recv() {
+        shared.liveness.beat(slot, true);
+        let guard = BatchFailGuard::new(&batch);
+        serve_exec_hook();
+        execute_batch_contained(batch, shared);
+        guard.disarm();
+        shared.liveness.beat(slot, false);
+    }
+}
+
+/// Crash-contained batch execution: consults the layer's breaker,
+/// runs the batch under `catch_unwind`, feeds the outcome back to the
+/// breaker, and on a contained panic fails every unanswered member
+/// with [`ServeError::Internal`], dumps a flight-recorder snapshot,
+/// and bumps `serve.batch_panics`.
+pub(crate) fn execute_batch_contained(batch: Vec<Pending>, shared: &ExecShared) {
+    if batch.is_empty() {
+        return;
+    }
+    let layer = batch[0].plan.name.clone();
+    let slots: Vec<Arc<ResponseSlot>> = batch.iter().map(|p| Arc::clone(&p.slot)).collect();
+    let (breaker, decision) = shared.breakers.decide(&layer);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_batch(batch, decision, shared)
+    }));
+    match outcome {
+        Ok(clean) => breaker.resolve(decision, clean),
+        Err(payload) => {
+            // The full-chain group (probe included) panicked: that is
+            // an unclean outcome for the breaker, and every member
+            // that was not answered before the panic gets a terminal
+            // Internal error.
+            breaker.resolve(decision, Some(false));
+            BATCH_PANICS.add(1);
+            shared.health.note_batch_panic();
+            let cause = payload_to_string(payload);
+            wino_probe::diag(format!("serve: batch for {layer:?} panicked: {cause}"));
+            wino_probe::flight::dump_incident("serve.batch_panic");
+            for slot in &slots {
+                slot.send(Err(ServeError::Internal {
+                    cause: format!("batch execution panicked: {cause}"),
+                }));
+            }
+        }
     }
 }
 
 /// Executes one coalesced batch: near-deadline members demote to the
-/// terminal fallback engine, everyone else runs the full chain with
-/// the layer's warm filters. Queue wait is recorded here, at
-/// execution start, for every member — so `serve.queue_wait`'s count
-/// always equals the number of requests that reached an executor.
+/// terminal fallback engine, everyone else runs the chain the breaker
+/// decided (full chain, half-open probe, or fallback-only while
+/// open). Queue wait is recorded here, at execution start, for every
+/// member — so `serve.queue_wait`'s count always equals the number of
+/// requests that reached an executor. Returns the full-chain group's
+/// outcome for the breaker: `Some(clean)`, or `None` when every
+/// member was deadline-demoted.
 fn execute_batch(
     batch: Vec<Pending>,
-    policy: GuardrailPolicy,
-    slack: Duration,
-    stats: &StatsInner,
-) {
+    decision: BreakerDecision,
+    shared: &ExecShared,
+) -> Option<bool> {
     if batch.is_empty() {
-        return;
+        return None;
     }
     BATCHES.add(1);
     if batch.len() > 1 {
@@ -486,7 +830,7 @@ fn execute_batch(
         H_QUEUE_WAIT.record_duration(p.enqueued_at.elapsed());
         let is_late = p
             .deadline
-            .is_some_and(|d| p.enqueued_at.elapsed() + slack >= d);
+            .is_some_and(|d| p.enqueued_at.elapsed() + shared.slack >= d);
         if is_late {
             DEADLINE_DEMOTIONS.add(1);
             late.push(p);
@@ -494,29 +838,36 @@ fn execute_batch(
             on_time.push(p);
         }
     }
-    run_group(
+    let chain = if decision.full_chain() {
+        plan.chain.clone()
+    } else {
+        vec![plan.tail_engine()]
+    };
+    let verdict = run_group(
         &plan,
         on_time,
-        plan.chain.clone(),
-        policy,
+        chain,
+        shared.policy,
         &batch_ids,
         false,
-        stats,
+        &shared.stats,
     );
     run_group(
         &plan,
         late,
         vec![plan.tail_engine()],
-        policy,
+        shared.policy,
         &batch_ids,
         true,
-        stats,
+        &shared.stats,
     );
+    verdict
 }
 
 /// Runs one group of requests as a single stacked convolution and
 /// scatters the output back per request, attaching a [`RequestTrace`]
-/// to every response.
+/// to every response. Returns `Some(clean)` — clean meaning the group
+/// served without demotion or error — or `None` for an empty group.
 fn run_group(
     plan: &LayerPlan,
     group: Vec<Pending>,
@@ -525,9 +876,9 @@ fn run_group(
     batch_ids: &[u64],
     deadline_demoted: bool,
     stats: &StatsInner,
-) {
+) -> Option<bool> {
     if group.is_empty() {
-        return;
+        return None;
     }
     let batched_with = group.len();
     let (_, c, h, w) = group[0].input.dims();
@@ -571,6 +922,7 @@ fn run_group(
         Ok(out) => {
             EXECUTED.add(batched_with as u64);
             H_EXECUTE.record_duration(execute);
+            let clean = out.demotions.is_empty();
             let (_, k, oh, ow) = out.output.dims();
             let out_image = k * oh * ow;
             let mut offset = 0;
@@ -597,19 +949,21 @@ fn run_group(
                     phases: phases.clone(),
                 };
                 stats.push(trace.clone());
-                let _ = p.tx.send(Ok(ConvResponse {
+                p.slot.send(Ok(ConvResponse {
                     output: piece,
                     served_by: out.served_by,
                     batched_with,
                     trace,
                 }));
             }
+            Some(clean)
         }
         Err(err) => {
             let msg = err.to_string();
             for p in group {
-                let _ = p.tx.send(Err(ServeError::Engine(msg.clone())));
+                p.slot.send(Err(ServeError::Engine(msg.clone())));
             }
+            Some(false)
         }
     }
 }
@@ -617,6 +971,7 @@ fn run_group(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::breaker::BreakerState;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use wino_tensor::ConvDesc;
@@ -688,17 +1043,46 @@ mod tests {
     }
 
     #[test]
+    fn config_zero_values_are_clamped() {
+        let cfg = ServerConfig {
+            queue_capacity: 0,
+            executors: 0,
+            max_batch: 0,
+            ..ServerConfig::default()
+        }
+        .validated();
+        assert_eq!(cfg.queue_capacity, 1, "capacity 0 would shed everything");
+        assert_eq!(cfg.executors, 1, "0 executors would serve nothing");
+        assert_eq!(cfg.max_batch, 1, "batch 0 would dispatch nothing");
+        // Sane values pass through untouched.
+        let cfg = ServerConfig::default().validated();
+        assert_eq!(cfg.queue_capacity, 256);
+        assert_eq!(cfg.executors, 1);
+        assert_eq!(cfg.max_batch, 5);
+    }
+
+    #[test]
     fn overload_sheds_when_queue_full() {
-        // Capacity 0 sheds everything at admission.
+        // queue_capacity 0 is clamped to 1 at start; a long coalescing
+        // wait parks the first submission so the second finds the
+        // queue full and is shed with the *clamped* capacity.
         let config = ServerConfig {
             queue_capacity: 0,
+            max_batch: 8,
+            max_wait: Duration::from_secs(5),
             ..ServerConfig::default()
         };
         let server = Server::start(small_registry(), config);
+        let first = server.submit(ConvRequest::new("toy/c1", input(4))).unwrap();
         assert!(matches!(
-            server.submit(ConvRequest::new("toy/c1", input(4))),
-            Err(ServeError::Overloaded { capacity: 0, .. })
+            server.submit(ConvRequest::new("toy/c1", input(5))),
+            Err(ServeError::Overloaded {
+                depth: 1,
+                capacity: 1
+            })
         ));
+        server.shutdown();
+        first.wait().unwrap();
     }
 
     #[test]
@@ -774,5 +1158,43 @@ mod tests {
             Err(ServeError::ShuttingDown)
         ));
         server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn health_snapshot_reports_a_healthy_server() {
+        let server = Server::start(small_registry(), ServerConfig::default());
+        server.infer(ConvRequest::new("toy/c1", input(40))).unwrap();
+        let h = server.health();
+        assert_eq!(h.status, HealthStatus::Healthy);
+        assert!(h.scheduler_alive);
+        assert_eq!(h.executors_configured, 1);
+        assert_eq!(h.executor_restarts, 0);
+        assert_eq!(h.batch_panics, 0);
+        assert_eq!(h.queue_depth, 0);
+        assert_eq!(h.executors.len(), 1);
+        // The response sends mid-batch, so only the batch-start beat
+        // is guaranteed to have landed by now.
+        assert!(
+            h.executors[0].beats >= 1,
+            "a served batch leaves at least one heartbeat, saw {}",
+            h.executors[0].beats
+        );
+        assert_eq!(h.breakers.len(), 1, "breakers pre-seeded from registry");
+        assert_eq!(h.breakers[0].layer, "toy/c1");
+        assert_eq!(h.breakers[0].state, BreakerState::Closed);
+        server.shutdown();
+    }
+
+    #[test]
+    fn response_slot_sends_exactly_once() {
+        let (tx, rx) = channel::bounded(1);
+        let slot = ResponseSlot::new(tx);
+        assert!(slot.send(Err(ServeError::ShuttingDown)));
+        assert!(
+            !slot.send(Err(ServeError::ShuttingDown)),
+            "second send must be discarded"
+        );
+        assert!(rx.recv().is_ok());
+        assert!(rx.recv().is_err(), "channel closed after the single send");
     }
 }

@@ -68,7 +68,7 @@ impl StatsInner {
     }
 
     pub(crate) fn push(&self, trace: RequestTrace) {
-        let mut recent = self.recent.lock().expect("stats mutex poisoned");
+        let mut recent = crate::server::lock_recover(&self.recent);
         if recent.len() == RECENT_CAP {
             recent.pop_front();
         }
@@ -76,9 +76,7 @@ impl StatsInner {
     }
 
     pub(crate) fn recent(&self) -> Vec<RequestTrace> {
-        self.recent
-            .lock()
-            .expect("stats mutex poisoned")
+        crate::server::lock_recover(&self.recent)
             .iter()
             .cloned()
             .collect()

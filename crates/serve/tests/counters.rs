@@ -1,0 +1,259 @@
+//! Exact-counter regression under injected faults: the serve counters
+//! and the queue-depth gauge stay consistent across shed, injected
+//! executor/scheduler/response faults, and shutdown — no leaked
+//! response handles, no counter drift, no hangs.
+//!
+//! The probe counters are process-global, so every test here holds a
+//! serialization lock and asserts *deltas* against its own baseline.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_probe::fault;
+use wino_serve::{ConvRequest, HealthStatus, PlanRegistry, ServeError, Server, ServerConfig};
+use wino_tensor::{ConvDesc, Tensor4};
+
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Silences the expected injected-fault panics (executor kills print
+/// nothing); every other panic keeps the default reporting.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("wino-fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("wino-fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn registry() -> Arc<PlanRegistry> {
+    let reg = PlanRegistry::new();
+    let desc = ConvDesc::new(3, 1, 1, 4, 1, 8, 8, 2);
+    let mut rng = StdRng::seed_from_u64(17);
+    let weights = Tensor4::random(4, 2, 3, 3, -0.5, 0.5, &mut rng);
+    reg.register_layer("cnt/l", desc, weights).unwrap();
+    Arc::new(reg)
+}
+
+fn input(seed: u64) -> Tensor4<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor4::random(1, 2, 8, 8, -1.0, 1.0, &mut rng)
+}
+
+/// Current value of a probe counter by name (0 if never touched).
+fn c(name: &str) -> u64 {
+    wino_probe::counter_values()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| v)
+}
+
+fn depth_gauge() -> i64 {
+    wino_probe::gauge("serve.queue_depth").get()
+}
+
+#[test]
+fn shed_requests_count_exactly_once_and_never_enqueue() {
+    let _serial = serial();
+    wino_probe::set_mode(wino_probe::Mode::Summary);
+    let (e0, s0) = (c("serve.enqueued"), c("serve.shed"));
+    // queue_capacity 1 plus a long coalescing wait parks the first
+    // submission; the second is shed at admission.
+    let server = Server::start(
+        registry(),
+        ServerConfig {
+            queue_capacity: 1,
+            max_batch: 8,
+            max_wait: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    );
+    let first = server.submit(ConvRequest::new("cnt/l", input(1))).unwrap();
+    assert!(matches!(
+        server.submit(ConvRequest::new("cnt/l", input(2))),
+        Err(ServeError::Overloaded {
+            depth: 1,
+            capacity: 1
+        })
+    ));
+    assert_eq!(c("serve.enqueued"), e0 + 1, "shed request must not enqueue");
+    assert_eq!(c("serve.shed"), s0 + 1, "exactly one shed");
+    assert_eq!(depth_gauge(), 1, "only the parked request is queued");
+    server.shutdown();
+    first.wait().expect("parked request served on drain");
+    assert_eq!(depth_gauge(), 0, "gauge drains with the server");
+}
+
+#[test]
+fn executor_kill_keeps_every_counter_consistent() {
+    let _serial = serial();
+    quiet_injected_panics();
+    wino_probe::set_mode(wino_probe::Mode::Summary);
+    let _fault = fault::scoped("serve_exec:panic:1");
+    let (e0, x0, i0, r0) = (
+        c("serve.enqueued"),
+        c("serve.executed"),
+        c("serve.internal_errors"),
+        c("serve.executor_restarts"),
+    );
+    let server = Server::start(
+        registry(),
+        ServerConfig {
+            executors: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    );
+    let mut oks = 0;
+    let mut internals = 0;
+    for i in 0..4u64 {
+        let handle = server.submit(ConvRequest::new("cnt/l", input(i))).unwrap();
+        match handle
+            .wait_timeout(WATCHDOG)
+            .expect("watchdog: every request must resolve")
+        {
+            Ok(resp) => {
+                assert_eq!(resp.output.dims(), (1, 4, 8, 8));
+                oks += 1;
+            }
+            Err(ServeError::Internal { .. }) => internals += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(
+        (oks, internals),
+        (3, 1),
+        "first batch dies with its executor, the respawn serves the rest"
+    );
+    let health = server.health();
+    assert_eq!(health.status, HealthStatus::Degraded);
+    assert_eq!(health.executor_restarts, 1);
+    assert_eq!(
+        health.batch_panics, 0,
+        "the injected kill unwinds past containment by design"
+    );
+    assert_eq!(health.executors_alive, 1, "the respawned executor is up");
+    server.shutdown();
+    assert_eq!(c("serve.enqueued"), e0 + 4);
+    assert_eq!(c("serve.executed"), x0 + 3);
+    assert_eq!(c("serve.internal_errors"), i0 + 1);
+    assert_eq!(c("serve.executor_restarts"), r0 + 1);
+    assert_eq!(depth_gauge(), 0);
+}
+
+#[test]
+fn dropped_response_maps_to_internal_not_a_hang() {
+    let _serial = serial();
+    wino_probe::set_mode(wino_probe::Mode::Summary);
+    let (d0, x0) = (c("serve.responses_dropped"), c("serve.executed"));
+    let _fault = fault::scoped("serve_resp:drop:1");
+    let server = Server::start(registry(), ServerConfig::default());
+    let handle = server.submit(ConvRequest::new("cnt/l", input(9))).unwrap();
+    match handle.wait_timeout(WATCHDOG).expect("watchdog") {
+        Err(ServeError::Internal { .. }) => {}
+        other => panic!("expected Internal after a dropped response, got {other:?}"),
+    }
+    // The drop lost only the delivery — the batch itself executed, and
+    // the server keeps serving afterwards.
+    let second = server.infer(ConvRequest::new("cnt/l", input(10))).unwrap();
+    assert_eq!(second.output.dims(), (1, 4, 8, 8));
+    server.shutdown();
+    assert_eq!(c("serve.responses_dropped"), d0 + 1);
+    assert_eq!(c("serve.executed"), x0 + 2);
+    assert_eq!(depth_gauge(), 0);
+}
+
+#[test]
+fn contained_response_panic_fails_the_batch_and_counts() {
+    let _serial = serial();
+    quiet_injected_panics();
+    wino_probe::set_mode(wino_probe::Mode::Summary);
+    let (p0, x0) = (c("serve.batch_panics"), c("serve.executed"));
+    let _fault = fault::scoped("serve_resp:panic:1");
+    let server = Server::start(registry(), ServerConfig::default());
+    let handle = server.submit(ConvRequest::new("cnt/l", input(11))).unwrap();
+    // The injected panic fires after the response slot was consumed,
+    // so containment's explicit Internal cannot be delivered there —
+    // the waiter observes the closed channel instead, which maps to
+    // Internal. Either way: a terminal error, never a hang.
+    match handle.wait_timeout(WATCHDOG).expect("watchdog") {
+        Err(ServeError::Internal { .. }) => {}
+        other => panic!("expected contained Internal, got {other:?}"),
+    }
+    let health = server.health();
+    assert_eq!(health.status, HealthStatus::Degraded);
+    assert_eq!(health.batch_panics, 1);
+    assert_eq!(
+        health.executor_restarts, 0,
+        "containment keeps the executor alive — no respawn needed"
+    );
+    // Same executor thread serves the next request.
+    server.infer(ConvRequest::new("cnt/l", input(12))).unwrap();
+    server.shutdown();
+    assert_eq!(c("serve.batch_panics"), p0 + 1);
+    assert_eq!(c("serve.executed"), x0 + 2, "both batches executed");
+    assert_eq!(depth_gauge(), 0);
+}
+
+#[test]
+fn scheduler_death_fails_pending_requests_terminally() {
+    let _serial = serial();
+    quiet_injected_panics();
+    wino_probe::set_mode(wino_probe::Mode::Summary);
+    let s0 = c("serve.scheduler_deaths");
+    let _fault = fault::scoped("serve_sched:panic:1");
+    let server = Server::start(registry(), ServerConfig::default());
+    let handle = server.submit(ConvRequest::new("cnt/l", input(20))).unwrap();
+    match handle.wait_timeout(WATCHDOG).expect("watchdog") {
+        Err(ServeError::Internal { .. }) => {}
+        other => panic!("expected Internal after scheduler death, got {other:?}"),
+    }
+    assert_eq!(server.health().status, HealthStatus::Failed);
+    assert!(
+        matches!(
+            server.submit(ConvRequest::new("cnt/l", input(21))),
+            Err(ServeError::ShuttingDown)
+        ),
+        "a failed server refuses admission"
+    );
+    assert_eq!(c("serve.scheduler_deaths"), s0 + 1);
+    server.shutdown();
+    assert_eq!(depth_gauge(), 0);
+}
+
+#[test]
+fn scheduler_stall_delays_but_serves_everything() {
+    let _serial = serial();
+    wino_probe::set_mode(wino_probe::Mode::Summary);
+    let f0 = c("fault.injected.serve_sched");
+    let _fault = fault::scoped("serve_sched:stall:2");
+    let server = Server::start(registry(), ServerConfig::default());
+    for i in 30..33u64 {
+        let resp = server.infer(ConvRequest::new("cnt/l", input(i))).unwrap();
+        assert_eq!(resp.output.dims(), (1, 4, 8, 8));
+    }
+    server.shutdown();
+    assert_eq!(c("fault.injected.serve_sched"), f0 + 1, "stall fired once");
+    assert_eq!(depth_gauge(), 0);
+}

@@ -268,4 +268,22 @@ mod tests {
         assert_eq!(sanitize("serve.queue_wait"), "serve_queue_wait");
         assert_eq!(sanitize("guard.demote.panic"), "guard_demote_panic");
     }
+
+    #[test]
+    fn breaker_state_gauges_render_in_both_expositions() {
+        // The serve layer registers one `serve.breaker_state.<layer>`
+        // gauge per layer (0 closed / 1 half-open / 2 open); both
+        // exposition formats must carry it so operators can see a
+        // tripped layer without asking the server.
+        wino_probe::set_telemetry(true);
+        wino_probe::gauge("serve.breaker_state.ci/layer").set(2);
+        let prom = render_prometheus();
+        assert!(prom.contains("serve_breaker_state_ci_layer 2\n"), "{prom}");
+        assert!(prom.contains("serve_breaker_state_ci_layer_peak 2\n"));
+        let summary = render_summary_lines();
+        assert!(
+            summary.contains("serve.breaker_state.ci/layer=2 peak=2"),
+            "{summary}"
+        );
+    }
 }

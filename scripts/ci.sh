@@ -122,17 +122,20 @@ echo "== wino-serve: load smoke (admission/batch accounting, fault fallback)"
 # The smoke drill serves 8 sequential requests with coalescing off, so
 # every serve.* counter is exact: nothing sheds at low load, each
 # request is its own batch, and the filter transform runs once at
-# registration. Under an armed transform fault the Winograd head is
-# poisoned every execution, the guard demotes to im2col, and all 8
-# requests are still served.
+# registration (before the fault arms, so cached warm filters are
+# never poisoned). Under an armed transform fault every full-chain
+# batch demotes in the guard — and all 8 requests are still served.
 serve_smoke() {
   local fault="$1"; shift
   local out
   out=$(WINO_FAULT="$fault" ./target/release/wino-serve-load --smoke)
   for expect in "$@"; do
-    if ! grep -qx "counter $expect" <<<"$out"; then
-      echo "FAIL: serve smoke WINO_FAULT='$fault' expected 'counter $expect', got:" >&2
-      grep "^counter " <<<"$out" >&2
+    # Bare expects are counters; "gauge ..." expects match verbatim.
+    local want="counter $expect"
+    case "$expect" in gauge\ *) want="$expect";; esac
+    if ! grep -qx "$want" <<<"$out"; then
+      echo "FAIL: serve smoke WINO_FAULT='$fault' expected '$want', got:" >&2
+      grep -E "^(counter|gauge) " <<<"$out" >&2
       exit 1
     fi
   done
@@ -152,11 +155,142 @@ serve_smoke() {
 serve_smoke "" \
   serve.enqueued=8 serve.shed=0 serve.batches=8 serve.batched=0 \
   serve.executed=8 serve.deadline_demotions=0 conv.filter_transforms=1 \
-  conv.compiled_fallback=0 guard.demote.guardrail=0 guard.served_by_fallback=0
+  conv.compiled_fallback=0 guard.demote.guardrail=0 guard.served_by_fallback=0 \
+  "gauge serve.breaker_state.smoke/conv=0 peak=0"
+# Under a persistent transform fault the first three batches demote in
+# the guard (unclean), the layer breaker trips on the third, and the
+# remaining five requests ride the terminal fallback directly — still
+# all served, but the poisoned Winograd head runs only 3 times, not 8.
 serve_smoke "transform:nan" \
   serve.enqueued=8 serve.shed=0 serve.batches=8 serve.executed=8 \
   conv.filter_transforms=1 conv.compiled_fallback=0 \
-  guard.demote.guardrail=8 guard.served_by_fallback=8
+  guard.demote.guardrail=3 guard.served_by_fallback=3 \
+  serve.breaker.open=1 \
+  "gauge serve.breaker_state.smoke/conv=2 peak=2"
+
+echo "== wino-serve: chaos drill (supervision, containment, exactly-once)"
+# Each run arms one serve-site fault against 12 sequential requests and
+# asserts the exact supervision counters, the health line, and the
+# outcome tally. Faults are check-counted (never timed), so the values
+# are deterministic; the queue-depth gauge must always drain to 0.
+chaos() {
+  local fault="$1"; shift
+  local out
+  out=$(WINO_FAULT="$fault" ./target/release/chaos_drill)
+  for expect in "$@"; do
+    # Bare expects are counters; "gauge ...", "health ...", and
+    # "drill: ..." expects match verbatim.
+    local want="counter $expect"
+    case "$expect" in gauge\ *|health\ *|drill:*) want="$expect";; esac
+    if ! grep -qx "$want" <<<"$out"; then
+      echo "FAIL: chaos drill WINO_FAULT='$fault' expected '$want', got:" >&2
+      grep -E "^(counter|gauge|health|drill:) " <<<"$out" >&2
+      exit 1
+    fi
+  done
+  if ! grep -qx "gauge serve.queue_depth=0 peak=1" <<<"$out"; then
+    echo "FAIL: chaos drill WINO_FAULT='$fault': queue depth did not drain, got:" >&2
+    grep "^gauge " <<<"$out" >&2
+    exit 1
+  fi
+  echo "   ok: WINO_FAULT='${fault:-<unset>}' -> supervision counters exact"
+}
+chaos "" \
+  serve.enqueued=12 serve.executed=12 serve.internal_errors=0 \
+  serve.batch_panics=0 serve.executor_deaths=0 serve.executor_restarts=0 \
+  serve.scheduler_deaths=0 serve.responses_dropped=0 serve.shed=0 \
+  "drill: outcomes ok=12 internal=0 refused=0 shed=0" \
+  "health status=Healthy scheduler_alive=true executors_alive=1 restarts=0 batch_panics=0"
+# The acceptance drill: kill the sole executor mid-batch. The dead
+# batch's member fails terminally (Internal), the supervisor respawns
+# the executor, and the remaining 11 requests are served by the
+# replacement.
+chaos "serve_exec:panic:1" \
+  serve.enqueued=12 serve.executed=11 serve.internal_errors=1 \
+  serve.executor_deaths=1 serve.executor_restarts=1 serve.batch_panics=0 \
+  "drill: outcomes ok=11 internal=1 refused=0 shed=0" \
+  "health status=Degraded scheduler_alive=true executors_alive=1 restarts=1 batch_panics=0"
+# Kill *every* executor incarnation: the restart budget (8) runs out,
+# the supervisor declares the server failed, and everything still
+# pending resolves terminally (counts beyond the budget race the
+# declaration, so only the budget itself is asserted).
+chaos "serve_exec:panic" \
+  serve.executed=0 serve.executor_deaths=9 serve.executor_restarts=8 \
+  "health status=Failed scheduler_alive=true executors_alive=0 restarts=8 batch_panics=0"
+# Scheduler death is unrecoverable by design: the one parked request
+# fails terminally, admission closes, 11 submissions are refused.
+chaos "serve_sched:panic:1" \
+  serve.enqueued=1 serve.executed=0 serve.scheduler_deaths=1 \
+  serve.internal_errors=1 \
+  "drill: outcomes ok=0 internal=1 refused=11 shed=0" \
+  "health status=Failed scheduler_alive=false executors_alive=0 restarts=0 batch_panics=0"
+# A scheduler stall only delays dispatch — everything is still served.
+chaos "serve_sched:stall:3" \
+  serve.enqueued=12 serve.executed=12 fault.injected.serve_sched=1 \
+  "drill: outcomes ok=12 internal=0 refused=0 shed=0" \
+  "health status=Healthy scheduler_alive=true executors_alive=1 restarts=0 batch_panics=0"
+# A dropped response maps to a terminal Internal at the waiter (closed
+# channel), never a hang; the batch itself executed.
+chaos "serve_resp:drop:1" \
+  serve.enqueued=12 serve.executed=12 serve.responses_dropped=1 \
+  serve.internal_errors=0 \
+  "drill: outcomes ok=11 internal=1 refused=0 shed=0" \
+  "health status=Healthy scheduler_alive=true executors_alive=1 restarts=0 batch_panics=0"
+# A panic inside response delivery is contained by the executor: the
+# batch fails its members, the executor itself survives (no respawn).
+chaos "serve_resp:panic:1" \
+  serve.enqueued=12 serve.executed=12 serve.batch_panics=1 \
+  serve.executor_restarts=0 \
+  "drill: outcomes ok=11 internal=1 refused=0 shed=0" \
+  "health status=Degraded scheduler_alive=true executors_alive=1 restarts=0 batch_panics=1"
+
+echo "== wino-serve: breaker trip-and-recover smoke"
+# Three poisoned batches trip the layer breaker (threshold 3), an
+# open-state request rides the terminal fallback, then the fault heals,
+# the cool-down elapses, and one half-open probe closes the breaker.
+breaker_out=$(WINO_FAULT=transform:nan ./target/release/chaos_drill --breaker-smoke)
+for want in \
+  "drill: breaker tripped on poison and recovered after cool-down" \
+  "counter serve.breaker.open=1" \
+  "counter serve.breaker.half_open=1" \
+  "counter serve.breaker.close=1" \
+  "counter guard.demote.guardrail=3" \
+  "counter serve.executed=6" \
+  "gauge serve.breaker_state.chaos/conv=0 peak=2" \
+  "gauge serve.queue_depth=0 peak=1"; do
+  if ! grep -qx "$want" <<<"$breaker_out"; then
+    echo "FAIL: breaker smoke expected '$want', got:" >&2
+    grep -E "^(counter|gauge|drill:) " <<<"$breaker_out" >&2
+    exit 1
+  fi
+done
+echo "   ok: breaker open -> fallback -> half-open probe -> closed"
+
+echo "== wino-serve: seeded chaos schedule (randomized-but-reproducible)"
+# Concurrent submitters under a seeded fault schedule: batching makes
+# the ok/internal split timing-dependent, so only the invariants are
+# asserted — the drill binary itself enforces exactly-once resolution,
+# bit-identical Ok outputs, and a drained queue, and exits nonzero on
+# any violation.
+./target/release/chaos_drill --seed 42 | grep -x "drill: outcomes ok=[0-9]* internal=[0-9]* refused=0 shed=0" >/dev/null
+echo "   ok: seed 42 schedule resolved every submission exactly once"
+
+echo "== wino-serve: load harness chaos mode"
+# The load harness's --chaos mode drives the alexnet registry under a
+# seeded per-wave fault schedule and reports shed/internal rates into
+# results/serve_load.txt.
+chaos_load=$(./target/release/wino-serve-load --chaos 11 --requests 12 --concurrency 4)
+for pat in \
+  "serve-load: health status=" \
+  "serve-load: mode=chaos(seed=11,c=4) served="; do
+  if ! grep -qF "$pat" <<<"$chaos_load"; then
+    echo "FAIL: chaos load run missing '$pat', got:" >&2
+    echo "$chaos_load" >&2
+    exit 1
+  fi
+done
+grep -qF "mode=chaos(seed=11,c=4)" results/serve_load.txt
+echo "   ok: chaos load run reported shed/internal rates into results/"
 
 echo "== wino-telemetry: metrics smoke (histograms + Prometheus snapshot)"
 # The same 8-request smoke with WINO_METRICS armed: every request must
