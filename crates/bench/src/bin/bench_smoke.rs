@@ -20,6 +20,12 @@
 //!   percentiles (they must land in the same bucket, the histogram's
 //!   documented error bound). The exact values ride along as
 //!   `exact_*_ms` for eyeballing.
+//! - **serve_network**: the same closed-loop protocol over
+//!   whole-network requests — an Inception module served through the
+//!   wave-scheduled graph executor with arena-planned buffers. The
+//!   artifact carries the latency percentiles and throughput (gated)
+//!   plus the planner's peak arena bytes vs the naive sum of
+//!   activations (reported, asserted `peak < naive` in-process).
 //!
 //! Numbers from the CI container are smoke-scale (one CPU, short
 //! runs): they establish direction and order of magnitude, not
@@ -37,7 +43,7 @@ use wino_conv::{
 use wino_gemm::{detect_simd, SimdLevel};
 use wino_probe::{self as probe, hist, HistogramSnapshot, Mode};
 use wino_runtime::Runtime;
-use wino_serve::{ConvRequest, PlanRegistry, Server, ServerConfig};
+use wino_serve::{ConvRequest, NetworkRequest, PlanRegistry, Server, ServerConfig};
 use wino_tensor::{ConvDesc, Tensor4};
 
 /// Timed zoo layer: AlexNet conv5 (3×3, 13×13 spatial, 384→256) at
@@ -218,16 +224,25 @@ fn measure_serve() -> ServeNumbers {
     });
     let wall = start.elapsed();
     server.shutdown();
-    let mut sorted = latencies.into_inner().unwrap();
+    let sorted = latencies.into_inner().unwrap();
+    serve_numbers(REQUESTS, sorted, wall, "serve.e2e.client")
+}
+
+/// Builds the report from raw latencies + wall time, cross-checking
+/// the histogram estimator against the exact rank statistic: a
+/// mismatch means the histogram math regressed, so fail the artifact
+/// run loudly rather than emit numbers the gate would trust.
+fn serve_numbers(
+    requests: usize,
+    mut sorted: Vec<u64>,
+    wall: Duration,
+    hist_name: &'static str,
+) -> ServeNumbers {
     sorted.sort_unstable();
-    let mut h = HistogramSnapshot::named("serve.e2e.client");
+    let mut h = HistogramSnapshot::named(hist_name);
     for &ns in &sorted {
         h.observe(ns);
     }
-
-    // Cross-check the estimator against ground truth: a mismatch here
-    // means the histogram math regressed, so fail the artifact run
-    // loudly rather than emit numbers the gate would trust.
     let ms = |ns: u64| ns as f64 / 1e6;
     let mut est = [0.0f64; 3];
     let mut exact = [0.0f64; 3];
@@ -245,7 +260,7 @@ fn measure_serve() -> ServeNumbers {
     }
 
     ServeNumbers {
-        requests: REQUESTS,
+        requests,
         served: sorted.len(),
         throughput_rps: sorted.len() as f64 / wall.as_secs_f64().max(1e-9),
         p50_ms: est[0],
@@ -256,6 +271,73 @@ fn measure_serve() -> ServeNumbers {
         exact_p99_ms: exact[2],
         max_ms: ms(h.max),
     }
+}
+
+/// The network served in the `serve_network` section: the branchy
+/// Inception module, where the arena planner's reuse actually bites.
+const NET: &str = "inception-3a-3b";
+
+/// Same closed-loop protocol as [`measure_serve`], but over
+/// whole-network requests through the wave-scheduled graph executor.
+/// Also returns the buffer planner's per-image peak arena bytes and
+/// the naive sum-of-activations it must undercut.
+fn measure_serve_network() -> (ServeNumbers, usize, usize) {
+    const REQUESTS: usize = 32;
+    const CONCURRENCY: usize = 2;
+    let registry = Arc::new(PlanRegistry::new());
+    let plan = registry
+        .register_zoo_network(NET)
+        .expect("zoo network registers");
+    let peak = plan.net.peak_arena_bytes(1);
+    let naive = plan.net.naive_activation_bytes(1);
+    assert!(
+        peak < naive,
+        "arena planner must beat the naive activation layout ({peak} >= {naive})"
+    );
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            executors: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let (c, ih, iw) = plan.input_dims();
+    let mut rng = StdRng::seed_from_u64(0x5e7e);
+    let input = Tensor4::random(1, c, ih, iw, -1.0, 1.0, &mut rng);
+    // Warmup fills the arena pool to its high-water mark, so the timed
+    // loop runs allocation-free at graph level.
+    server
+        .infer_network(NetworkRequest::new(NET, input.clone()))
+        .expect("network warmup");
+    let latencies = Mutex::new(Vec::with_capacity(REQUESTS));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CONCURRENCY {
+            let latencies = &latencies;
+            let server = &server;
+            let input = &input;
+            scope.spawn(move || {
+                for _ in 0..REQUESTS / CONCURRENCY {
+                    let t0 = Instant::now();
+                    let req = NetworkRequest::new(NET, input.clone());
+                    if server.infer_network(req).is_ok() {
+                        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        latencies.lock().unwrap().push(ns);
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    server.shutdown();
+    let sorted = latencies.into_inner().unwrap();
+    (
+        serve_numbers(REQUESTS, sorted, wall, "serve_network.e2e.client"),
+        peak,
+        naive,
+    )
 }
 
 fn main() {
@@ -339,6 +421,20 @@ fn main() {
         serve.max_ms,
     );
 
+    let (net, arena_peak, arena_naive) = measure_serve_network();
+    println!(
+        "bench-smoke: serve_network {NET} served={}/{} throughput={:.1} req/s p50={:.2}ms \
+         p90={:.2}ms p99={:.2}ms arena_peak={}B naive_activations={}B",
+        net.served,
+        net.requests,
+        net.throughput_rps,
+        net.p50_ms,
+        net.p90_ms,
+        net.p99_ms,
+        arena_peak,
+        arena_naive,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"wino-bench-baseline/v2\",\n");
@@ -379,7 +475,7 @@ fn main() {
          \"served\": {},\n    \"throughput_rps\": {:.2},\n    \
          \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4},\n    \
          \"exact_p50_ms\": {:.4}, \"exact_p90_ms\": {:.4}, \"exact_p99_ms\": {:.4},\n    \
-         \"max_ms\": {:.4}\n  }}",
+         \"max_ms\": {:.4}\n  }},",
         serve.requests,
         serve.served,
         serve.throughput_rps,
@@ -390,6 +486,25 @@ fn main() {
         serve.exact_p90_ms,
         serve.exact_p99_ms,
         serve.max_ms,
+    );
+    let _ = writeln!(
+        json,
+        "  \"serve_network\": {{\n    \"network\": \"{NET}\", \"requests\": {}, \
+         \"served\": {},\n    \"throughput_rps\": {:.2},\n    \
+         \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4},\n    \
+         \"exact_p50_ms\": {:.4}, \"exact_p90_ms\": {:.4}, \"exact_p99_ms\": {:.4},\n    \
+         \"max_ms\": {:.4},\n    \
+         \"arena_peak_bytes\": {arena_peak}, \"naive_activation_bytes\": {arena_naive}\n  }}",
+        net.requests,
+        net.served,
+        net.throughput_rps,
+        net.p50_ms,
+        net.p90_ms,
+        net.p99_ms,
+        net.exact_p50_ms,
+        net.exact_p90_ms,
+        net.exact_p99_ms,
+        net.max_ms,
     );
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write bench artifact");

@@ -1,6 +1,6 @@
 //! Load generator for the batching inference server.
 //!
-//! Three modes:
+//! Modes:
 //!
 //! - `--smoke`: a deterministic 8-request drill on a tiny layer with
 //!   coalescing disabled (`max_wait = 0`, concurrency 1), dumping the
@@ -12,9 +12,21 @@
 //!   armed (honored via `wino_telemetry::init_from_env`) the server
 //!   also emits a Prometheus-style snapshot on shutdown, which CI
 //!   cross-checks against the same counters.
+//! - `--net-smoke`: the network-serving drill — two zoo networks
+//!   registered for whole-graph execution, a warmup request each, then
+//!   8 concurrent steady-state requests submitted before any is
+//!   collected (so cross-request coalescing actually happens). Prints
+//!   the `serve.net_*` / `exec.*` counters plus self-checked `ok`
+//!   lines: warm filter transforms fired once per Winograd conv, the
+//!   arena planner's peak sits under the naive sum of activations, and
+//!   steady-state serving did zero graph-level allocations. CI runs it
+//!   clean (demotions=0) and under `WINO_FAULT=transform:nan` (every
+//!   request still served, demotions > 0).
 //! - closed loop (default): N submitter threads, each submitting and
 //!   waiting in lock-step — measures service latency under a fixed
-//!   concurrency level.
+//!   concurrency level. With `--net` the same loop submits
+//!   whole-network requests through the graph executor instead of
+//!   per-layer convolutions.
 //! - `--open-loop <rate>`: one submitter at a fixed request rate with
 //!   a collector draining responses — measures latency and shedding
 //!   when arrival rate, not concurrency, is the control variable.
@@ -33,8 +45,9 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wino_graph::EngineChoice;
 use wino_probe::{self as probe, fault, HistogramSnapshot, Mode};
-use wino_serve::{ConvRequest, PlanRegistry, ServeError, Server, ServerConfig};
+use wino_serve::{ConvRequest, NetworkRequest, PlanRegistry, ServeError, Server, ServerConfig};
 use wino_tensor::{ConvDesc, Tensor4};
 
 /// Counters the CI smoke asserts on; printed even when zero so
@@ -57,8 +70,38 @@ const SMOKE_COUNTERS: &[&str] = &[
 /// so a zero-count line still prints.
 const SMOKE_HISTS: &[&str] = &["serve.queue_wait", "serve.execute", "serve.e2e"];
 
+/// Counters the CI network smoke asserts on (same print-even-when-zero
+/// contract as [`SMOKE_COUNTERS`]).
+const NET_SMOKE_COUNTERS: &[&str] = &[
+    "serve.enqueued",
+    "serve.shed",
+    "serve.executed",
+    "serve.deadline_demotions",
+    "serve.net_enqueued",
+    "serve.net_batches",
+    "serve.net_batched",
+    "serve.net_executed",
+    "serve.net_degraded",
+    "serve.networks_registered",
+    "exec.networks_executed",
+    "exec.waves_executed",
+    "exec.nodes_executed",
+    "exec.fused_writes",
+    "exec.degraded_runs",
+    "exec.arena_allocs",
+    "exec.allocs_steady",
+    "conv.filter_transforms",
+    "guard.demote.guardrail",
+    "guard.served_by_fallback",
+];
+
+/// Histograms the network smoke interns so zero-count lines print.
+const NET_SMOKE_HISTS: &[&str] = &["serve.net_execute", "serve.net_e2e", "exec.network"];
+
 struct Args {
     smoke: bool,
+    net_smoke: bool,
+    net: bool,
     open_loop_rate: Option<f64>,
     chaos_seed: Option<u64>,
     requests: usize,
@@ -72,6 +115,8 @@ impl Args {
     fn parse() -> Args {
         let mut args = Args {
             smoke: false,
+            net_smoke: false,
+            net: false,
             open_loop_rate: None,
             chaos_seed: None,
             requests: 64,
@@ -88,6 +133,8 @@ impl Args {
             };
             match arg.as_str() {
                 "--smoke" => args.smoke = true,
+                "--net-smoke" => args.net_smoke = true,
+                "--net" => args.net = true,
                 "--open-loop" => {
                     args.open_loop_rate = Some(value("--open-loop").parse().expect("rate"));
                 }
@@ -166,6 +213,161 @@ fn run_smoke() {
     // (one serve.queue_wait/execute/e2e record per request), so CI can
     // assert `hist serve.queue_wait count=8 ...` by prefix.
     for name in SMOKE_HISTS {
+        probe::histogram(name);
+    }
+    for h in probe::hist_values() {
+        println!(
+            "hist {} count={} p50_ns={} p90_ns={} p99_ns={} max_ns={}",
+            h.name,
+            h.count,
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max
+        );
+    }
+}
+
+/// The network-serving drill: two zoo networks registered for graph
+/// execution, one warmup request each, then eight steady-state
+/// requests submitted before any is collected so cross-request
+/// coalescing happens. Counter values the schedule controls are exact
+/// (10 network requests enqueued and executed, nothing shed); batch
+/// counts depend on scheduler timing and are printed, not asserted.
+fn run_net_smoke() {
+    const NETWORKS: [&str; 2] = ["alexnet", "inception-3a-3b"];
+    const STEADY_REQUESTS: usize = 8;
+    fn fail(msg: &str) -> ! {
+        println!("net-smoke: FAIL: {msg}");
+        std::process::exit(1);
+    }
+
+    // Register both networks *before* arming `WINO_FAULT` (same
+    // contract as the layer smoke): registration precomputes the warm
+    // filter transforms, and runtime faults must never poison that
+    // cache.
+    let registry = Arc::new(PlanRegistry::new());
+    let mut winograd_convs = 0u64;
+    for name in NETWORKS {
+        let plan = registry
+            .register_zoo_network(name)
+            .unwrap_or_else(|e| panic!("cannot register {name}: {e}"));
+        winograd_convs += plan
+            .graph
+            .conv_nodes()
+            .iter()
+            .filter(|(id, _)| matches!(plan.graph.engine(*id), EngineChoice::Winograd(_)))
+            .count() as u64;
+        println!(
+            "net-smoke: registered {name}: {} nodes, {} waves, {} slabs",
+            plan.net.step_count(),
+            plan.net.wave_count(),
+            plan.net.slab_count()
+        );
+    }
+    match fault::init_from_env() {
+        Some(spec) => println!("net-smoke: fault armed: {spec}"),
+        None => println!("net-smoke: no fault armed"),
+    }
+
+    // The buffer planner must beat the naive one-buffer-per-tensor
+    // layout on the branchy Inception module.
+    let inception = registry.network("inception-3a-3b").expect("registered");
+    let peak = inception.net.peak_arena_bytes(1);
+    let naive = inception.net.naive_activation_bytes(1);
+    println!("net-smoke: inception-3a-3b arena peak_bytes={peak} naive_bytes={naive}");
+    if peak >= naive {
+        fail("arena planner peak did not beat naive sum-of-activations");
+    }
+    println!("net-smoke: planner peak under naive activations: ok");
+
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(10),
+            executors: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let mk_input = |name: &str, seed: u64| {
+        let plan = registry.network(name).expect("registered");
+        let (c, h, w) = plan.input_dims();
+        let mut rng = StdRng::seed_from_u64(0x6e75 ^ seed);
+        Tensor4::random(1, c, h, w, -1.0, 1.0, &mut rng)
+    };
+
+    // Warmup: one request per network fills each arena pool to its
+    // high-water mark, so the steady phase can demand zero graph-level
+    // allocations.
+    wino_exec::set_steady_phase(false);
+    for name in NETWORKS {
+        match server.infer_network(NetworkRequest::new(name, mk_input(name, 0))) {
+            Ok(resp) => println!("net-smoke: warmup {name} served by {}", resp.served_by),
+            Err(e) => fail(&format!("warmup {name} failed: {e}")),
+        }
+    }
+    wino_exec::set_steady_phase(true);
+
+    // Steady load: submit everything, then collect — 8 requests in
+    // flight at once, alternating networks so both coalesce. Inputs
+    // are pre-generated so submission is instantaneous and the
+    // scheduler actually sees concurrent same-network requests.
+    let steady: Vec<(&str, Tensor4<f32>)> = (0..STEADY_REQUESTS)
+        .map(|i| {
+            let name = NETWORKS[i % NETWORKS.len()];
+            (name, mk_input(name, 1 + i as u64))
+        })
+        .collect();
+    let mut handles = Vec::new();
+    for (name, input) in steady {
+        match server.submit_network(NetworkRequest::new(name, input)) {
+            Ok(h) => handles.push((name, h)),
+            Err(e) => fail(&format!("submit {name} failed: {e}")),
+        }
+    }
+    let mut served = 0usize;
+    let mut demotions = 0usize;
+    let mut max_batched_with = 0usize;
+    for (i, (name, h)) in handles.into_iter().enumerate() {
+        match h.wait() {
+            Ok(resp) => {
+                if !resp.output.data().iter().all(|v| v.is_finite()) {
+                    fail("served network output is not finite");
+                }
+                served += 1;
+                demotions += resp.trace.demotions;
+                max_batched_with = max_batched_with.max(resp.batched_with);
+                println!(
+                    "net-smoke: request {i} ({name}) served by {}",
+                    resp.served_by
+                );
+            }
+            Err(e) => println!("net-smoke: request {i} ({name}) failed: {e}"),
+        }
+    }
+    wino_exec::set_steady_phase(false);
+    server.shutdown();
+
+    println!("net-smoke: steady served={served}/{STEADY_REQUESTS}");
+    println!("net-smoke: demotions={demotions}");
+    println!("net-smoke: max_batched_with={max_batched_with}");
+    if probe::counter("conv.filter_transforms").get() == winograd_convs {
+        println!("net-smoke: warm transforms once per winograd conv: ok");
+    } else {
+        fail("filter transforms re-ran during serving");
+    }
+
+    for name in NET_SMOKE_COUNTERS {
+        probe::counter(name);
+    }
+    for (name, value) in probe::counter_values() {
+        println!("counter {name}={value}");
+    }
+    for (name, current, peak) in probe::gauge_values() {
+        println!("gauge {name}={current} peak={peak}");
+    }
+    for name in NET_SMOKE_HISTS {
         probe::histogram(name);
     }
     for h in probe::hist_values() {
@@ -265,6 +467,45 @@ fn run_closed_loop(server: &Server, cases: &[(String, Tensor4<f32>)], args: &Arg
     let latencies = latencies.into_inner().unwrap();
     LoadReport {
         mode: format!("closed-loop(c={})", args.concurrency),
+        served: latencies.len(),
+        shed: 0,
+        internal: 0,
+        wall,
+        latencies,
+    }
+}
+
+/// Closed loop over whole-network requests: `concurrency` threads in
+/// lock-step, each pushing the registered network through the graph
+/// executor (arena-planned, wave-scheduled) instead of a single layer.
+fn run_net_closed_loop(
+    server: &Server,
+    network: &str,
+    inputs: &[Tensor4<f32>],
+    args: &Args,
+) -> LoadReport {
+    let latencies = Mutex::new(Vec::with_capacity(args.requests));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..args.concurrency.max(1) {
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let per_worker = args.requests / args.concurrency.max(1);
+                for i in 0..per_worker {
+                    let input = &inputs[(worker + i) % inputs.len()];
+                    let t0 = Instant::now();
+                    let req = NetworkRequest::new(network, input.clone());
+                    if server.infer_network(req).is_ok() {
+                        latencies.lock().unwrap().push(t0.elapsed());
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let latencies = latencies.into_inner().unwrap();
+    LoadReport {
+        mode: format!("net-closed-loop(c={})", args.concurrency),
         served: latencies.len(),
         shed: 0,
         internal: 0,
@@ -409,6 +650,18 @@ fn main() {
         run_smoke();
         return;
     }
+    if args.net_smoke {
+        run_net_smoke();
+        return;
+    }
+    if args.net {
+        assert!(
+            args.chaos_seed.is_none() && args.open_loop_rate.is_none(),
+            "--net supports the closed loop only"
+        );
+        run_net_load(&args);
+        return;
+    }
 
     // Register the network *before* arming `WINO_FAULT`: registration
     // precomputes warm filter transforms through the hooked transform
@@ -459,12 +712,62 @@ fn main() {
     server.shutdown();
     let line = report.render();
     println!("serve-load: {line}");
+    append_result(&args.network, &line);
+}
+
+/// The `--net` load path: one zoo network registered for whole-graph
+/// execution, one warmup request (fills the arena pools), then the
+/// closed loop over [`NetworkRequest`]s.
+fn run_net_load(args: &Args) {
+    let registry = Arc::new(PlanRegistry::new());
+    let plan = registry
+        .register_zoo_network(&args.network)
+        .unwrap_or_else(|e| panic!("cannot register network {:?}: {e}", args.network));
+    match fault::init_from_env() {
+        Some(spec) => println!("serve-load: fault armed: {spec}"),
+        None => println!("serve-load: no fault armed"),
+    }
+    println!(
+        "serve-load: registered network {} ({} nodes, {} waves, {} slabs, \
+         arena peak {}B vs naive {}B per image)",
+        args.network,
+        plan.net.step_count(),
+        plan.net.wave_count(),
+        plan.net.slab_count(),
+        plan.net.peak_arena_bytes(1),
+        plan.net.naive_activation_bytes(1)
+    );
+    let (c, h, w) = plan.input_dims();
+    let mut rng = StdRng::seed_from_u64(0x10ad3);
+    let inputs: Vec<Tensor4<f32>> = (0..4)
+        .map(|_| Tensor4::random(1, c, h, w, -1.0, 1.0, &mut rng))
+        .collect();
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            max_batch: args.max_batch,
+            max_wait: Duration::from_millis(args.max_wait_ms),
+            executors: 2,
+            ..ServerConfig::default()
+        },
+    );
+    server
+        .infer_network(NetworkRequest::new(&args.network, inputs[0].clone()))
+        .expect("warmup request must serve");
+    let report = run_net_closed_loop(&server, &args.network, &inputs, args);
+    server.shutdown();
+    let line = report.render();
+    println!("serve-load: {line}");
+    append_result(&format!("net:{}", args.network), &line);
+}
+
+fn append_result(tag: &str, line: &str) {
     let _ = std::fs::create_dir_all("results");
     if let Ok(mut f) = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open("results/serve_load.txt")
     {
-        let _ = writeln!(f, "{} {line}", args.network);
+        let _ = writeln!(f, "{tag} {line}");
     }
 }

@@ -1,0 +1,226 @@
+//! # wino-exec — whole-network graph execution
+//!
+//! The paper's end-to-end claim (§4, Table 4) is about whole networks
+//! under the batch-5 streaming scenario, not isolated layers. This
+//! crate turns a [`wino_graph::ComputeGraph`] plus per-conv tuned
+//! plans into a deployable inference engine:
+//!
+//! - [`compile`] topologically schedules the graph into **execution
+//!   waves**: a node's wave is one past the latest wave among its
+//!   producers, so every node in a wave depends only on earlier waves
+//!   and independent branches (an Inception module's 1×1/3×3/5×5/proj
+//!   paths) land in the *same* wave and run concurrently on the
+//!   shared `wino-runtime` pool.
+//! - The **arena planner** (also in [`compile`]) computes per-value
+//!   liveness at wave granularity, colors values into a minimal set
+//!   of reusable slabs (greedy best-fit over the free list), and
+//!   reports planned peak memory against the naive
+//!   sum-of-activations. [`ArenaPool`] owns recycled per-request
+//!   arenas so steady-state execution performs **zero graph-level
+//!   allocations** — proved by the `exec.allocs_steady` probe counter.
+//! - [`NetworkExecutor`] runs a compiled network: convolutions go
+//!   through [`wino_guard::GuardedConv`] with warm filter transforms
+//!   (the full degradation chain, so a poisoned engine still serves
+//!   via fallback), fused ReLUs are applied during the single copy
+//!   from the engine output into the arena slab (no intermediate
+//!   slab), and pool/concat nodes write straight into their slabs.
+//!
+//! Determinism contract: every node's output is computed by the same
+//! arithmetic regardless of wave concurrency — engines are
+//! bit-identical at any thread count, elementwise/pool/concat ops are
+//! per-element — so a network's output is bit-identical across pool
+//! sizes and to the naive [`wino_graph::ComputeGraph::execute`]
+//! reference with the same engine choices.
+
+#![warn(missing_docs)]
+
+mod arena;
+mod executor;
+mod schedule;
+
+use std::fmt;
+use std::sync::Arc;
+
+use wino_conv::{PrecomputedFilters, WinogradVariant};
+use wino_gemm::GemmConfig;
+use wino_graph::{EngineChoice, GraphError};
+use wino_guard::Engine;
+use wino_tensor::{ConvDesc, Tensor4};
+
+pub use arena::{set_steady_phase, steady_phase, Arena, ArenaPool};
+pub use executor::{NetworkExecutor, NetworkOutput};
+pub use schedule::{compile, CompiledNetwork};
+
+/// Errors from network compilation and execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// Graph construction or shape inference failed.
+    Graph(GraphError),
+    /// A conv node has no resolvable plan (e.g. missing weights).
+    MissingPlan(usize),
+    /// Input or intermediate shapes do not line up.
+    Shape(String),
+    /// Every engine in a conv node's degradation chain failed.
+    Guard(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Graph(e) => write!(f, "graph error: {e}"),
+            ExecError::MissingPlan(node) => write!(f, "conv node {node} has no plan"),
+            ExecError::Shape(msg) => write!(f, "shape error: {msg}"),
+            ExecError::Guard(msg) => write!(f, "guarded conv exhausted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<GraphError> for ExecError {
+    fn from(e: GraphError) -> Self {
+        ExecError::Graph(e)
+    }
+}
+
+/// A pinned per-conv serving plan: the degradation chain, GEMM
+/// blocking, raw weights, and the warm filter transform. Implemented
+/// by `wino-serve`'s `LayerPlan` (the registry pins tuned engines) and
+/// by [`SimpleConvPlan`] for registry-free use.
+pub trait ConvPlan: Send + Sync {
+    /// Plan name (diagnostics and probe args).
+    fn plan_name(&self) -> &str;
+    /// Degradation chain, head engine first.
+    fn chain(&self) -> &[Engine];
+    /// GEMM blocking for the Winograd multiplication stage.
+    fn gemm_config(&self) -> GemmConfig;
+    /// Raw filter bank `(K, C, r, r)` for fallback engines and
+    /// guardrails.
+    fn weights(&self) -> &Tensor4<f32>;
+    /// Warm `U = G·g·Gᵀ`, present for Winograd plans.
+    fn warm(&self) -> Option<&PrecomputedFilters>;
+    /// Output tile size `m` for the guarded runner (the warm bank's
+    /// spec when present).
+    fn winograd_m(&self) -> usize {
+        self.warm().map_or(4, |pre| pre.spec().m)
+    }
+}
+
+/// Maps an engine choice onto its degradation chain (head first,
+/// terminal direct fallback last) — the same chain the serving
+/// registry pins per layer.
+pub fn chain_for(engine: &EngineChoice) -> Vec<Engine> {
+    match engine {
+        EngineChoice::Winograd(cfg) => {
+            let mut chain = Vec::new();
+            if cfg.variant == WinogradVariant::Fused {
+                chain.push(Engine::FusedWinograd(cfg.m));
+            }
+            chain.push(Engine::NonFusedWinograd(cfg.m));
+            chain.push(Engine::Im2col);
+            chain.push(Engine::Direct);
+            chain
+        }
+        EngineChoice::Im2col => vec![Engine::Im2col, Engine::Direct],
+        EngineChoice::Direct => vec![Engine::Direct],
+    }
+}
+
+/// A self-contained [`ConvPlan`] built from an explicit engine choice
+/// — the registry-free path used by tests and benches. The filter
+/// transform runs once, at construction.
+pub struct SimpleConvPlan {
+    name: String,
+    chain: Vec<Engine>,
+    gemm: GemmConfig,
+    weights: Tensor4<f32>,
+    warm: Option<PrecomputedFilters>,
+}
+
+impl SimpleConvPlan {
+    /// Builds the plan for `engine`, precomputing warm filters for
+    /// Winograd choices. `desc` is the conv at any batch (canonicalized
+    /// to batch 1 internally).
+    ///
+    /// # Errors
+    /// [`ExecError::Shape`] when `weights` do not match `desc` or the
+    /// Winograd configuration is unsupported for the shape.
+    pub fn from_engine(
+        name: impl Into<String>,
+        weights: Tensor4<f32>,
+        desc: &ConvDesc,
+        engine: &EngineChoice,
+    ) -> Result<Self, ExecError> {
+        let mut canonical = *desc;
+        canonical.batch = 1;
+        if weights.dims() != (desc.out_ch, desc.in_ch, desc.ksz, desc.ksz) {
+            return Err(ExecError::Shape(format!(
+                "weights {:?} do not match {desc}",
+                weights.dims()
+            )));
+        }
+        let (warm, gemm) = match engine {
+            EngineChoice::Winograd(cfg) => {
+                let pre = PrecomputedFilters::for_config(&weights, &canonical, cfg)
+                    .map_err(|e| ExecError::Shape(e.to_string()))?;
+                (Some(pre), cfg.gemm)
+            }
+            _ => (None, GemmConfig::default()),
+        };
+        Ok(SimpleConvPlan {
+            name: name.into(),
+            chain: chain_for(engine),
+            gemm,
+            weights,
+            warm,
+        })
+    }
+}
+
+impl ConvPlan for SimpleConvPlan {
+    fn plan_name(&self) -> &str {
+        &self.name
+    }
+
+    fn chain(&self) -> &[Engine] {
+        &self.chain
+    }
+
+    fn gemm_config(&self) -> GemmConfig {
+        self.gemm
+    }
+
+    fn weights(&self) -> &Tensor4<f32> {
+        &self.weights
+    }
+
+    fn warm(&self) -> Option<&PrecomputedFilters> {
+        self.warm.as_ref()
+    }
+}
+
+/// Compiles a graph whose conv engines are taken from the graph's own
+/// `set_engine` choices (default [`EngineChoice::Direct`]), building a
+/// [`SimpleConvPlan`] per conv node from its attached weights — the
+/// registry-free convenience used by tests and benches.
+///
+/// # Errors
+/// [`ExecError::MissingPlan`] for weightless conv nodes, plus
+/// everything [`compile`] reports.
+pub fn compile_with_graph_engines(
+    name: impl Into<String>,
+    graph: &wino_graph::ComputeGraph,
+    input: (usize, usize, usize),
+) -> Result<CompiledNetwork, ExecError> {
+    let name = name.into();
+    compile(name.clone(), graph, input, &mut |id, desc| {
+        let weights = graph
+            .weights(id)
+            .ok_or(ExecError::MissingPlan(id.0))?
+            .clone();
+        let engine = graph.engine(id);
+        let plan =
+            SimpleConvPlan::from_engine(format!("{name}/node{}", id.0), weights, desc, &engine)?;
+        Ok(Arc::new(plan) as Arc<dyn ConvPlan>)
+    })
+}

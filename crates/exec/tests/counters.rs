@@ -1,0 +1,120 @@
+//! Probe-counter contracts: zero steady-state allocations and
+//! exactly-once warm filter transforms.
+//!
+//! Counters are process-global, so each contract lives in its own
+//! integration-test binary section guarded by a shared lock to keep
+//! `wino_probe::reset()` calls from racing.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_conv::WinogradConfig;
+use wino_exec::{compile_with_graph_engines, set_steady_phase, ArenaPool, NetworkExecutor};
+use wino_graph::{build_inception_3a_3b, ComputeGraph, EngineChoice};
+use wino_runtime::Runtime;
+use wino_tensor::Tensor4;
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn winograd_net() -> ComputeGraph {
+    let (mut g, _) = build_inception_3a_3b().unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    for (id, desc) in g.conv_nodes() {
+        let w = Tensor4::<f32>::random(
+            desc.out_ch,
+            desc.in_ch,
+            desc.ksz,
+            desc.ksz,
+            -0.1,
+            0.1,
+            &mut rng,
+        );
+        g.set_weights(id, w).unwrap();
+        if desc.ksz == 3 {
+            g.set_engine(id, EngineChoice::Winograd(WinogradConfig::new(2)));
+        }
+    }
+    g
+}
+
+#[test]
+fn steady_phase_executes_with_zero_graph_level_allocations() {
+    let _guard = lock();
+    wino_probe::reset();
+    wino_probe::set_mode(wino_probe::Mode::Summary);
+    set_steady_phase(false);
+
+    let g = winograd_net();
+    let net = Arc::new(compile_with_graph_engines("inception-3a-3b", &g, (192, 28, 28)).unwrap());
+    let pool = Arc::new(ArenaPool::new(&net));
+    let exec = NetworkExecutor::new(net, pool.clone());
+    let rt = Runtime::with_threads(2);
+
+    // Warmup: reserve arenas at the worst-case batch and prime once.
+    pool.reserve(2, 2);
+    let mut rng = StdRng::seed_from_u64(12);
+    let big = Tensor4::<f32>::random(2, 192, 28, 28, -1.0, 1.0, &mut rng);
+    let small = Tensor4::<f32>::random(1, 192, 28, 28, -1.0, 1.0, &mut rng);
+    exec.run_on(&rt, &big, false).unwrap();
+    assert!(wino_probe::counter("exec.arena_allocs").get() > 0);
+
+    // Steady state: smaller and equal batches recycle reserved arenas.
+    set_steady_phase(true);
+    for _ in 0..4 {
+        exec.run_on(&rt, &big, false).unwrap();
+        exec.run_on(&rt, &small, false).unwrap();
+    }
+    set_steady_phase(false);
+    assert_eq!(
+        wino_probe::counter("exec.allocs_steady").get(),
+        0,
+        "steady-state execution must not allocate at graph level"
+    );
+    // The gauge saw the in-flight arena bytes.
+    assert!(wino_probe::gauge("exec.arena_bytes_peak").peak() > 0);
+    wino_probe::set_mode(wino_probe::Mode::Off);
+}
+
+#[test]
+fn warm_filter_transforms_fire_exactly_once_per_winograd_conv() {
+    let _guard = lock();
+    wino_probe::reset();
+    wino_probe::set_mode(wino_probe::Mode::Summary);
+
+    let g = winograd_net();
+    let winograd_layers = g
+        .conv_nodes()
+        .iter()
+        .filter(|(id, _)| matches!(g.engine(*id), EngineChoice::Winograd(_)))
+        .count() as u64;
+    assert!(winograd_layers > 0);
+
+    // Compilation builds every plan — and with it, every warm bank.
+    let net = Arc::new(compile_with_graph_engines("inception-3a-3b", &g, (192, 28, 28)).unwrap());
+    let after_compile = wino_probe::counter("conv.filter_transforms").get();
+    assert_eq!(
+        after_compile, winograd_layers,
+        "expected one filter transform per winograd conv at compile time"
+    );
+
+    // Serving N requests must not re-transform anything.
+    let pool = Arc::new(ArenaPool::new(&net));
+    let exec = NetworkExecutor::new(net, pool);
+    let mut rng = StdRng::seed_from_u64(13);
+    let input = Tensor4::<f32>::random(1, 192, 28, 28, -1.0, 1.0, &mut rng);
+    for _ in 0..3 {
+        exec.run(&input).unwrap();
+    }
+    assert_eq!(
+        wino_probe::counter("conv.filter_transforms").get(),
+        after_compile,
+        "steady-state serving re-ran a filter transform"
+    );
+    wino_probe::set_mode(wino_probe::Mode::Off);
+}

@@ -97,7 +97,7 @@ impl From<ConvError> for GraphError {
 
 /// A ConvNet compute graph with attached weights and per-conv engine
 /// choices.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct ComputeGraph {
     nodes: Vec<Node>,
     weights: HashMap<NodeId, Tensor4<f32>>,
@@ -326,6 +326,15 @@ impl ComputeGraph {
         self.engines.insert(id, engine);
     }
 
+    /// The engine a conv node executes with (the default
+    /// [`EngineChoice::Direct`] when never set).
+    pub fn engine(&self, id: NodeId) -> EngineChoice {
+        self.engines
+            .get(&id)
+            .copied()
+            .unwrap_or(EngineChoice::Direct)
+    }
+
     /// Graph-level optimization: fuse each ReLU whose sole producer is
     /// a convolution into that convolution (the optimization sketched
     /// in Figure 2's "graph-level optimization" stage). Returns the
@@ -354,7 +363,9 @@ impl ComputeGraph {
     }
 
     /// Executes the graph on `input`, returning the value of the last
-    /// node.
+    /// node. Every node opens a `graph.node.<op>` probe span so the
+    /// naive reference trace lines up against `wino-exec`'s `exec.*`
+    /// spans.
     ///
     /// # Errors
     /// Missing weights, shape mismatches, or engine failures.
@@ -362,6 +373,17 @@ impl ComputeGraph {
         let mut values: Vec<Option<Tensor4<f32>>> = vec![None; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             let id = NodeId(i);
+            // Span names must be 'static; one per op kind, with the
+            // node index attached as an arg.
+            let span_name = match &node.op {
+                Op::Input => "graph.node.input",
+                Op::Relu => "graph.node.relu",
+                Op::MaxPool { .. } => "graph.node.max_pool",
+                Op::Concat => "graph.node.concat",
+                Op::Conv { .. } => "graph.node.conv",
+            };
+            let mut span = wino_probe::span(span_name);
+            span.arg("node", || i.to_string());
             let value = match &node.op {
                 Op::Input => match node.inputs.first() {
                     // Pass-through (fused ReLU remnant).
@@ -452,7 +474,7 @@ pub fn run_conv(
 }
 
 /// Channel-wise concatenation; all inputs must agree on (n, h, w).
-fn concat_channels(inputs: &[&Tensor4<f32>]) -> Result<Tensor4<f32>, GraphError> {
+pub fn concat_channels(inputs: &[&Tensor4<f32>]) -> Result<Tensor4<f32>, GraphError> {
     let (n, _, h, w) = inputs[0].dims();
     let total_c: usize = inputs.iter().map(|t| t.c()).sum();
     for t in inputs {
@@ -465,8 +487,35 @@ fn concat_channels(inputs: &[&Tensor4<f32>]) -> Result<Tensor4<f32>, GraphError>
         }
     }
     let mut out = Tensor4::<f32>::zeros(n, total_c, h, w);
+    concat_into(inputs, &mut out)?;
+    Ok(out)
+}
+
+/// [`concat_channels`] writing into a caller-owned output tensor
+/// (the arena executor's allocation-free path). Values are
+/// bit-identical to [`concat_channels`] — both are plane copies.
+///
+/// # Errors
+/// [`GraphError::Shape`] when inputs disagree spatially or `out` does
+/// not match the concatenated shape.
+pub fn concat_into(inputs: &[&Tensor4<f32>], out: &mut Tensor4<f32>) -> Result<(), GraphError> {
+    let (n, _, h, w) = inputs[0].dims();
+    let total_c: usize = inputs.iter().map(|t| t.c()).sum();
+    if out.dims() != (n, total_c, h, w) {
+        return Err(GraphError::Shape(format!(
+            "concat output {:?} does not match ({n}, {total_c}, {h}, {w})",
+            out.dims()
+        )));
+    }
     let mut c_base = 0;
     for t in inputs {
+        if (t.n(), t.h(), t.w()) != (n, h, w) {
+            return Err(GraphError::Shape(format!(
+                "concat inputs disagree: {:?} vs {:?}",
+                t.dims(),
+                inputs[0].dims()
+            )));
+        }
         for ni in 0..n {
             for c in 0..t.c() {
                 out.plane_mut(ni, c_base + c)
@@ -475,21 +524,47 @@ fn concat_channels(inputs: &[&Tensor4<f32>]) -> Result<Tensor4<f32>, GraphError>
         }
         c_base += t.c();
     }
-    Ok(out)
+    Ok(())
 }
 
-fn max_pool(input: &Tensor4<f32>, k: usize, s: usize) -> Tensor4<f32> {
+/// Max pooling with square window `k` and stride `s`.
+pub fn max_pool(input: &Tensor4<f32>, k: usize, s: usize) -> Tensor4<f32> {
     let oh = (input.h() - k) / s + 1;
     let ow = (input.w() - k) / s + 1;
-    Tensor4::from_fn(input.n(), input.c(), oh, ow, |n, c, y, x| {
-        let mut best = f32::NEG_INFINITY;
-        for dy in 0..k {
-            for dx in 0..k {
-                best = best.max(input[(n, c, y * s + dy, x * s + dx)]);
+    let mut out = Tensor4::<f32>::zeros(input.n(), input.c(), oh, ow);
+    max_pool_into(input, k, s, &mut out);
+    out
+}
+
+/// [`max_pool`] writing into a caller-owned output tensor. Each output
+/// element is the same `f32::max` reduction in the same window order,
+/// so values are bit-identical to [`max_pool`].
+///
+/// # Panics
+/// When `out`'s shape does not match the pooled shape of `input`.
+pub fn max_pool_into(input: &Tensor4<f32>, k: usize, s: usize, out: &mut Tensor4<f32>) {
+    let oh = (input.h() - k) / s + 1;
+    let ow = (input.w() - k) / s + 1;
+    assert_eq!(
+        out.dims(),
+        (input.n(), input.c(), oh, ow),
+        "max_pool output shape mismatch"
+    );
+    for n in 0..input.n() {
+        for c in 0..input.c() {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            best = best.max(input[(n, c, y * s + dy, x * s + dx)]);
+                        }
+                    }
+                    out[(n, c, y, x)] = best;
+                }
             }
         }
-        best
-    })
+    }
 }
 
 #[cfg(test)]

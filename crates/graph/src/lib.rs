@@ -13,13 +13,16 @@ mod graph;
 mod select;
 pub mod zoo;
 
-pub use graph::{run_conv, ComputeGraph, EngineChoice, GraphError, Node, NodeId, Op};
+pub use graph::{
+    concat_channels, concat_into, max_pool, max_pool_into, run_conv, ComputeGraph, EngineChoice,
+    GraphError, Node, NodeId, Op,
+};
 pub use select::{
     default_tile_size, engine_from_evaluation, select_engine, select_engine_cached,
     select_engine_static,
 };
 pub use zoo::{
     alexnet_convs, all_network_convs, build_alexnet_graph, build_inception_3a_3b,
-    build_inception_module, extract_benchmark_convs, inception_v1_convs, nin_convs, table4_convs,
-    table4_paper_flops, NamedConv,
+    build_inception_module, build_inception_v1_graph, build_nin_graph, extract_benchmark_convs,
+    inception_v1_convs, nin_convs, table4_convs, table4_paper_flops, NamedConv,
 };

@@ -195,6 +195,69 @@ pub fn build_alexnet_graph() -> Result<(ComputeGraph, NodeId), GraphError> {
     Ok((g, c5))
 }
 
+/// Builds the Network-in-Network (ImageNet) topology: each spatial
+/// convolution of [`nin_convs`] followed by its ReLU and the two 1×1
+/// "cccp" MLP convolutions, with 3×3/2 max-pools between stages.
+/// Returns the graph and the final node.
+pub fn build_nin_graph() -> Result<(ComputeGraph, NodeId), GraphError> {
+    let mut g = ComputeGraph::new();
+    let input = g.add_input();
+    // Stage 1: conv1 11×11/4 (227 → 55) + cccp1/cccp2.
+    let c1 = g.add_conv(input, ConvDesc::new(11, 4, 0, 96, 1, 227, 227, 3))?;
+    let r1 = g.add_relu(c1)?;
+    let cccp1 = g.add_conv(r1, ConvDesc::new(1, 1, 0, 96, 1, 55, 55, 96))?;
+    let rc1 = g.add_relu(cccp1)?;
+    let cccp2 = g.add_conv(rc1, ConvDesc::new(1, 1, 0, 96, 1, 55, 55, 96))?;
+    let rc2 = g.add_relu(cccp2)?;
+    let p1 = g.add_max_pool(rc2, 3, 2)?; // 55 → 27
+                                         // Stage 2: conv2 5×5 pad 2 + cccp3/cccp4.
+    let c2 = g.add_conv(p1, ConvDesc::new(5, 1, 2, 256, 1, 27, 27, 96))?;
+    let r2 = g.add_relu(c2)?;
+    let cccp3 = g.add_conv(r2, ConvDesc::new(1, 1, 0, 256, 1, 27, 27, 256))?;
+    let rc3 = g.add_relu(cccp3)?;
+    let cccp4 = g.add_conv(rc3, ConvDesc::new(1, 1, 0, 256, 1, 27, 27, 256))?;
+    let rc4 = g.add_relu(cccp4)?;
+    let p2 = g.add_max_pool(rc4, 3, 2)?; // 27 → 13
+                                         // Stage 3: conv3 3×3 pad 1 + cccp5/cccp6.
+    let c3 = g.add_conv(p2, ConvDesc::new(3, 1, 1, 384, 1, 13, 13, 256))?;
+    let r3 = g.add_relu(c3)?;
+    let cccp5 = g.add_conv(r3, ConvDesc::new(1, 1, 0, 384, 1, 13, 13, 384))?;
+    let rc5 = g.add_relu(cccp5)?;
+    let cccp6 = g.add_conv(rc5, ConvDesc::new(1, 1, 0, 384, 1, 13, 13, 384))?;
+    let rc6 = g.add_relu(cccp6)?;
+    let p3 = g.add_max_pool(rc6, 3, 2)?; // 13 → 6
+                                         // Stage 4: the 1024-channel 3×3.
+    let c4 = g.add_conv(p3, ConvDesc::new(3, 1, 1, 1024, 1, 6, 6, 384))?;
+    let r4 = g.add_relu(c4)?;
+    Ok((g, r4))
+}
+
+/// Builds the InceptionV1 (GoogLeNet) body from the `conv2/3x3` stem
+/// onward: input is the 56×56×64 activation after the 7×7 stem, then
+/// every inception module 3a–5b with the paper's channel plans, with
+/// 2×2/2 max-pools between stages (GoogLeNet's ceil-mode 3×3/2 pools
+/// reach the same 28/14/7 spatial sizes). Returns the graph and the
+/// final concat node (7×7×1024).
+pub fn build_inception_v1_graph() -> Result<(ComputeGraph, NodeId), GraphError> {
+    let mut g = ComputeGraph::new();
+    let input = g.add_input();
+    let c2 = g.add_conv(input, ConvDesc::new(3, 1, 1, 192, 1, 56, 56, 64))?;
+    let r2 = g.add_relu(c2)?;
+    let p2 = g.add_max_pool(r2, 2, 2)?; // 56 → 28
+    let m3a = build_inception_module(&mut g, p2, 28, 28, 192, (64, 96, 128, 16, 32, 32))?;
+    let m3b = build_inception_module(&mut g, m3a, 28, 28, 256, (128, 128, 192, 32, 96, 64))?;
+    let p3 = g.add_max_pool(m3b, 2, 2)?; // 28 → 14
+    let m4a = build_inception_module(&mut g, p3, 14, 14, 480, (192, 96, 208, 16, 48, 64))?;
+    let m4b = build_inception_module(&mut g, m4a, 14, 14, 512, (160, 112, 224, 24, 64, 64))?;
+    let m4c = build_inception_module(&mut g, m4b, 14, 14, 512, (128, 128, 256, 24, 64, 64))?;
+    let m4d = build_inception_module(&mut g, m4c, 14, 14, 512, (112, 144, 288, 32, 64, 64))?;
+    let m4e = build_inception_module(&mut g, m4d, 14, 14, 528, (256, 160, 320, 32, 128, 128))?;
+    let p4 = g.add_max_pool(m4e, 2, 2)?; // 14 → 7
+    let m5a = build_inception_module(&mut g, p4, 7, 7, 832, (256, 160, 320, 32, 128, 128))?;
+    let m5b = build_inception_module(&mut g, m5a, 7, 7, 832, (384, 192, 384, 48, 128, 128))?;
+    Ok((g, m5b))
+}
+
 /// Appends one InceptionV1 module to `g`: the 1×1, 3×3 (with 1×1
 /// reduce), 5×5 (with 1×1 reduce) and pool-projection branches joined
 /// by a channel concat. `(h, w, c_in)` is the input shape;
@@ -339,6 +402,37 @@ mod tests {
         assert_eq!(y.dims(), (1, 2 + 4 + 3 + 2, 8, 8));
         let shapes = g.infer_shapes((1, 4, 8, 8)).unwrap();
         assert_eq!(shapes[out.0], y.dims());
+    }
+
+    #[test]
+    fn nin_graph_shapes() {
+        let (g, last) = build_nin_graph().unwrap();
+        let shapes = g.infer_shapes((1, 3, 227, 227)).unwrap();
+        assert_eq!(shapes[last.0], (1, 1024, 6, 6));
+        // Every nin_convs spatial layer appears as a graph conv node.
+        for named in nin_convs() {
+            assert!(
+                g.conv_nodes().iter().any(|(_, d)| *d == named.desc),
+                "nin graph missing {}",
+                named.layer
+            );
+        }
+    }
+
+    #[test]
+    fn inception_v1_graph_shapes() {
+        let (g, last) = build_inception_v1_graph().unwrap();
+        let shapes = g.infer_shapes((1, 64, 56, 56)).unwrap();
+        assert_eq!(shapes[last.0], (1, 1024, 7, 7));
+        // Every Table-4 inception conv (the stem 3×3 plus each module's
+        // 3×3/5×5 branch) appears as a graph conv node.
+        for named in inception_v1_convs() {
+            assert!(
+                g.conv_nodes().iter().any(|(_, d)| *d == named.desc),
+                "inception graph missing {}",
+                named.layer
+            );
+        }
     }
 
     #[test]

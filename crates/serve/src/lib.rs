@@ -39,7 +39,7 @@ mod supervisor;
 
 pub use breaker::{BreakerSnapshot, BreakerState};
 pub use error::ServeError;
-pub use registry::{LayerPlan, PlanRegistry};
-pub use server::{ConvRequest, ConvResponse, ResponseHandle, Server, ServerConfig};
+pub use registry::{LayerPlan, NetworkPlan, PlanRegistry};
+pub use server::{ConvRequest, ConvResponse, NetworkRequest, ResponseHandle, Server, ServerConfig};
 pub use stats::{RequestTrace, ServerStats, RECENT_CAP};
 pub use supervisor::{ExecutorHealth, HealthStatus, ServerHealth};

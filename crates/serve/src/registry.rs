@@ -16,7 +16,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wino_conv::{PrecomputedFilters, WinogradVariant};
+use wino_conv::PrecomputedFilters;
 use wino_gemm::GemmConfig;
 use wino_graph::{
     alexnet_convs, inception_v1_convs, nin_convs, select_engine_cached, ComputeGraph, EngineChoice,
@@ -26,9 +26,15 @@ use wino_guard::Engine;
 use wino_tensor::{ConvDesc, Tensor4};
 use wino_tuner::TuningCache;
 
+use wino_exec::{ArenaPool, CompiledNetwork, ConvPlan};
+use wino_graph::{
+    build_alexnet_graph, build_inception_3a_3b, build_inception_v1_graph, build_nin_graph, NodeId,
+};
+
 use crate::error::ServeError;
 
 static REGISTERED: wino_probe::Counter = wino_probe::Counter::new("serve.layers_registered");
+static NET_REGISTERED: wino_probe::Counter = wino_probe::Counter::new("serve.networks_registered");
 
 /// One registered layer: its pinned engine plan, raw weights (for
 /// fallback engines and guardrails), and the warm filter transform.
@@ -64,27 +70,69 @@ impl LayerPlan {
 }
 
 /// Maps an engine choice onto its degradation chain (head first,
-/// terminal direct fallback last).
+/// terminal direct fallback last). Delegates to `wino-exec`'s shared
+/// definition so the serving registry and the network executor pin the
+/// exact same chains.
 fn chain_for(engine: &EngineChoice) -> Vec<Engine> {
-    match engine {
-        EngineChoice::Winograd(cfg) => {
-            let mut chain = Vec::new();
-            if cfg.variant == WinogradVariant::Fused {
-                chain.push(Engine::FusedWinograd(cfg.m));
-            }
-            chain.push(Engine::NonFusedWinograd(cfg.m));
-            chain.push(Engine::Im2col);
-            chain.push(Engine::Direct);
-            chain
-        }
-        EngineChoice::Im2col => vec![Engine::Im2col, Engine::Direct],
-        EngineChoice::Direct => vec![Engine::Direct],
+    wino_exec::chain_for(engine)
+}
+
+/// A registered [`LayerPlan`] *is* a network-executor conv plan: the
+/// plan compiler pins each graph conv node to its registry entry, so
+/// whole-network execution reuses the same chain, GEMM blocking, and
+/// warm filter bank that single-layer serving does.
+impl ConvPlan for LayerPlan {
+    fn plan_name(&self) -> &str {
+        &self.name
+    }
+
+    fn chain(&self) -> &[Engine] {
+        &self.chain
+    }
+
+    fn gemm_config(&self) -> GemmConfig {
+        self.gemm
+    }
+
+    fn weights(&self) -> &Tensor4<f32> {
+        &self.weights
+    }
+
+    fn warm(&self) -> Option<&PrecomputedFilters> {
+        self.warm.as_ref()
+    }
+}
+
+/// One registered whole-network serving plan: the compiled wave
+/// schedule + arena plan, the pool of recycled per-request arenas, and
+/// the engine-annotated graph kept as the bit-identity oracle.
+pub struct NetworkPlan {
+    /// Registry key.
+    pub name: String,
+    /// Compiled schedule with per-conv plans pinned to this registry's
+    /// [`LayerPlan`]s.
+    pub net: Arc<CompiledNetwork>,
+    /// Recycled per-request arenas (registry-owned: the server
+    /// reserves them at start so steady-state serving allocates
+    /// nothing at graph level).
+    pub pool: Arc<ArenaPool>,
+    /// The fused, engine-annotated source graph. Naive execution of
+    /// this graph is the reference the executor must match bit for
+    /// bit.
+    pub graph: ComputeGraph,
+}
+
+impl NetworkPlan {
+    /// Per-image input `(c, h, w)` the network expects.
+    pub fn input_dims(&self) -> (usize, usize, usize) {
+        self.net.input_dims()
     }
 }
 
 /// Thread-safe registry of serving plans.
 pub struct PlanRegistry {
     layers: RwLock<BTreeMap<String, Arc<LayerPlan>>>,
+    networks: RwLock<BTreeMap<String, Arc<NetworkPlan>>>,
     cache: TuningCache,
     device: String,
 }
@@ -101,6 +149,7 @@ impl PlanRegistry {
     pub fn new() -> Self {
         PlanRegistry {
             layers: RwLock::new(BTreeMap::new()),
+            networks: RwLock::new(BTreeMap::new()),
             cache: TuningCache::new(),
             device: "cpu".to_string(),
         }
@@ -111,6 +160,7 @@ impl PlanRegistry {
     pub fn with_cache(cache: TuningCache, device: impl Into<String>) -> Self {
         PlanRegistry {
             layers: RwLock::new(BTreeMap::new()),
+            networks: RwLock::new(BTreeMap::new()),
             cache,
             device: device.into(),
         }
@@ -236,6 +286,118 @@ impl PlanRegistry {
             names.push(name);
         }
         Ok(names)
+    }
+
+    /// Registers a whole network for graph-level serving: fuses
+    /// conv+ReLU pairs, resolves every conv node's engine through the
+    /// tuning cache (pinning it on the graph *and* as a registry
+    /// [`LayerPlan`] named `"{name}/node{i}"` — the warm filter
+    /// transform runs exactly once, here), compiles the wave schedule
+    /// and arena plan, and stores the resulting [`NetworkPlan`] under
+    /// `name`. Returns the plan.
+    ///
+    /// # Errors
+    /// [`ServeError::Shape`] on weightless conv nodes or compile
+    /// failures.
+    pub fn register_network_graph(
+        &self,
+        name: impl Into<String>,
+        mut graph: ComputeGraph,
+        input: (usize, usize, usize),
+    ) -> Result<Arc<NetworkPlan>, ServeError> {
+        let name = name.into();
+        let mut span = wino_probe::span("serve.register_network");
+        span.arg("network", || name.clone());
+        graph.fuse_relu();
+        // Resolve + pin engines first so the graph kept as the oracle
+        // agrees with the layer plans the compiler will bind.
+        for (id, desc) in graph.conv_nodes() {
+            let mut canonical = desc;
+            canonical.batch = 1;
+            let engine = select_engine_cached(&canonical, &self.cache, &self.device);
+            graph.set_engine(id, engine);
+            let weights = graph
+                .weights(id)
+                .ok_or_else(|| {
+                    ServeError::Shape(format!(
+                        "network {name:?}: conv node {} has no weights",
+                        id.0
+                    ))
+                })?
+                .clone();
+            self.register_with_engine(format!("{name}/node{}", id.0), desc, weights, engine)?;
+        }
+        let net = wino_exec::compile(name.clone(), &graph, input, &mut |id: NodeId, _desc| {
+            let layer = format!("{name}/node{}", id.0);
+            self.get(&layer)
+                .map(|plan| plan as Arc<dyn ConvPlan>)
+                .ok_or(wino_exec::ExecError::MissingPlan(id.0))
+        })
+        .map_err(|e| ServeError::Shape(e.to_string()))?;
+        let net = Arc::new(net);
+        let plan = Arc::new(NetworkPlan {
+            name: name.clone(),
+            pool: Arc::new(ArenaPool::new(&net)),
+            net,
+            graph,
+        });
+        self.networks.write().insert(name, Arc::clone(&plan));
+        NET_REGISTERED.add(1);
+        Ok(plan)
+    }
+
+    /// Registers a zoo network for graph-level serving by name
+    /// (`"alexnet"`, `"nin"`, `"inception-v1"`, `"inception-3a-3b"`)
+    /// with deterministic seeded weights.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] for names outside the zoo, plus
+    /// everything [`PlanRegistry::register_network_graph`] reports.
+    pub fn register_zoo_network(&self, network: &str) -> Result<Arc<NetworkPlan>, ServeError> {
+        let (built, input) = match network {
+            "alexnet" => (build_alexnet_graph(), (3, 227, 227)),
+            "nin" => (build_nin_graph(), (3, 227, 227)),
+            "inception-v1" => (build_inception_v1_graph(), (64, 56, 56)),
+            "inception-3a-3b" => (build_inception_3a_3b(), (192, 28, 28)),
+            _ => return Err(ServeError::UnknownModel(network.to_string())),
+        };
+        let (mut graph, _out) = built.map_err(|e| ServeError::Shape(e.to_string()))?;
+        for (id, desc) in graph.conv_nodes() {
+            // Deterministic per-node weights, matching the per-layer
+            // zoo registration's amplitude so guardrail spot checks
+            // stay in tolerance.
+            let seed = fnv1a(&format!("{network}/node{}", id.0));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let weights = Tensor4::<f32>::random(
+                desc.out_ch,
+                desc.in_ch,
+                desc.ksz,
+                desc.ksz,
+                -0.1,
+                0.1,
+                &mut rng,
+            );
+            graph
+                .set_weights(id, weights)
+                .map_err(|e| ServeError::Shape(e.to_string()))?;
+        }
+        self.register_network_graph(network, graph, input)
+    }
+
+    /// Looks up a registered network plan.
+    pub fn network(&self, name: &str) -> Option<Arc<NetworkPlan>> {
+        self.networks.read().get(name).cloned()
+    }
+
+    /// Every registered network plan, in name order (the server seeds
+    /// breakers and reserves arenas per network at start).
+    pub fn network_plans(&self) -> Vec<Arc<NetworkPlan>> {
+        self.networks.read().values().cloned().collect()
+    }
+
+    /// Registered network names, sorted.
+    pub fn network_names(&self) -> Vec<String> {
+        self.networks.read().keys().cloned().collect()
     }
 
     /// Looks up a registered plan.

@@ -52,7 +52,7 @@ use wino_tensor::Tensor4;
 
 use crate::breaker::{BreakerDecision, BreakerMap};
 use crate::error::ServeError;
-use crate::registry::{LayerPlan, PlanRegistry};
+use crate::registry::{LayerPlan, NetworkPlan, PlanRegistry};
 use crate::stats::{RequestTrace, ServerStats, StatsInner};
 use crate::supervisor::{HealthState, HealthStatus, Liveness, ServerHealth, Supervisor};
 
@@ -73,6 +73,13 @@ pub(crate) static QUEUE_DEPTH: wino_probe::Gauge = wino_probe::Gauge::new("serve
 static H_QUEUE_WAIT: wino_probe::Histogram = wino_probe::Histogram::new("serve.queue_wait");
 static H_EXECUTE: wino_probe::Histogram = wino_probe::Histogram::new("serve.execute");
 static H_E2E: wino_probe::Histogram = wino_probe::Histogram::new("serve.e2e");
+static NET_ENQUEUED: wino_probe::Counter = wino_probe::Counter::new("serve.net_enqueued");
+static NET_BATCHES: wino_probe::Counter = wino_probe::Counter::new("serve.net_batches");
+static NET_BATCHED: wino_probe::Counter = wino_probe::Counter::new("serve.net_batched");
+static NET_EXECUTED: wino_probe::Counter = wino_probe::Counter::new("serve.net_executed");
+static NET_DEGRADED: wino_probe::Counter = wino_probe::Counter::new("serve.net_degraded");
+static H_NET_EXECUTE: wino_probe::Histogram = wino_probe::Histogram::new("serve.net_execute");
+static H_NET_E2E: wino_probe::Histogram = wino_probe::Histogram::new("serve.net_e2e");
 
 /// How long an injected `serve_sched:stall` delays one scheduler pass.
 const SCHED_STALL: Duration = Duration::from_millis(10);
@@ -198,6 +205,37 @@ impl ConvRequest {
     }
 }
 
+/// One whole-network inference request.
+pub struct NetworkRequest {
+    /// Registered network name (see
+    /// [`PlanRegistry::register_network_graph`]).
+    pub network: String,
+    /// Input images `(N, C, H, W)`; `C/H/W` must match the network's
+    /// input, any `N ≥ 1`.
+    pub input: Tensor4<f32>,
+    /// Time budget from submission; a near-late request runs every
+    /// conv on its terminal fallback engine (degraded mode). `None`
+    /// uses the server default.
+    pub deadline: Option<Duration>,
+}
+
+impl NetworkRequest {
+    /// Request with the server's default deadline.
+    pub fn new(network: impl Into<String>, input: Tensor4<f32>) -> Self {
+        NetworkRequest {
+            network: network.into(),
+            input,
+            deadline: None,
+        }
+    }
+
+    /// Sets an explicit deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
 /// One completed request.
 #[derive(Clone, Debug)]
 pub struct ConvResponse {
@@ -301,10 +339,34 @@ impl ResponseHandle {
     }
 }
 
+/// What an admitted request asks the executors to run: one registered
+/// layer, or a whole registered network through the `wino-exec` wave
+/// scheduler. The scheduler coalesces by [`Work::key`], so layer and
+/// network requests never share a batch (their keys live in disjoint
+/// namespaces: network keys carry a `"net!"` prefix no layer name
+/// gets).
+pub(crate) enum Work {
+    /// Single-layer convolution against a pinned [`LayerPlan`].
+    Layer(Arc<LayerPlan>),
+    /// Whole-network inference against a pinned [`NetworkPlan`].
+    Network(Arc<NetworkPlan>),
+}
+
+impl Work {
+    /// Coalescing key — also the circuit-breaker key, so a repeatedly
+    /// failing network trips independently of its constituent layers.
+    pub(crate) fn key(&self) -> String {
+        match self {
+            Work::Layer(plan) => plan.name.clone(),
+            Work::Network(plan) => format!("net!{}", plan.name),
+        }
+    }
+}
+
 /// A request admitted to the queue.
 pub(crate) struct Pending {
     id: u64,
-    plan: Arc<LayerPlan>,
+    work: Work,
     input: Tensor4<f32>,
     enqueued_at: Instant,
     deadline: Option<Duration>,
@@ -381,10 +443,19 @@ impl Server {
             config.breaker_threshold,
             config.breaker_cooldown,
         ));
-        // Pre-seed a breaker per registered layer so the per-layer
-        // state gauges exist from the first metrics render.
+        // Pre-seed a breaker per registered layer (and network) so the
+        // per-plan state gauges exist from the first metrics render.
         for plan in registry.plans() {
             breakers.intern(&plan.name);
+        }
+        for plan in registry.network_plans() {
+            breakers.intern(&Work::Network(Arc::clone(&plan)).key());
+            // Reserve one arena per executor at the worst-case
+            // coalesced batch, so steady-state network serving does
+            // zero graph-level allocation (requests larger than
+            // max_batch images still work; their arenas grow, counted
+            // by `exec.arena_allocs`).
+            plan.pool.reserve(config.max_batch, config.executors);
         }
         let shutting_down = Arc::new(AtomicBool::new(false));
         // The batch channel's only sender lives on the scheduler
@@ -493,7 +564,7 @@ impl Server {
             }
             st.pending.push_back(Pending {
                 id,
-                plan,
+                work: Work::Layer(plan),
                 input: req.input,
                 enqueued_at: Instant::now(),
                 deadline,
@@ -512,6 +583,68 @@ impl Server {
     /// As [`Server::submit`] and [`ResponseHandle::wait`].
     pub fn infer(&self, req: ConvRequest) -> Result<ConvResponse, ServeError> {
         self.submit(req)?.wait()
+    }
+
+    /// Admits a whole-network request. Concurrent requests for the
+    /// same network coalesce into one cross-request batch exactly like
+    /// same-layer requests do; the batch runs through the `wino-exec`
+    /// wave scheduler against the network's reserved arena pool.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] for unregistered networks,
+    /// otherwise as [`Server::submit`].
+    pub fn submit_network(&self, req: NetworkRequest) -> Result<ResponseHandle, ServeError> {
+        let plan = self
+            .registry
+            .network(&req.network)
+            .ok_or_else(|| ServeError::UnknownModel(req.network.clone()))?;
+        let (n, c, h, w) = req.input.dims();
+        let (ic, ih, iw) = plan.input_dims();
+        if n == 0 || (c, h, w) != (ic, ih, iw) {
+            return Err(ServeError::Shape(format!(
+                "input ({n}, {c}, {h}, {w}) does not match network {:?} expecting \
+                 (N, {ic}, {ih}, {iw})",
+                plan.name
+            )));
+        }
+        let (tx, rx) = channel::bounded(1);
+        let deadline = req.deadline.or(self.config.default_deadline);
+        let id = self.stats.assign_id();
+        {
+            let mut st = lock_queue(&self.queue);
+            if !st.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.pending.len() >= self.config.queue_capacity {
+                SHED.add(1);
+                return Err(ServeError::Overloaded {
+                    depth: st.pending.len(),
+                    capacity: self.config.queue_capacity,
+                });
+            }
+            st.pending.push_back(Pending {
+                id,
+                work: Work::Network(plan),
+                input: req.input,
+                enqueued_at: Instant::now(),
+                deadline,
+                slot: ResponseSlot::new(tx),
+            });
+            ENQUEUED.add(1);
+            NET_ENQUEUED.add(1);
+            QUEUE_DEPTH.set(st.pending.len() as i64);
+        }
+        self.queue.cv.notify_all();
+        Ok(ResponseHandle { id, rx })
+    }
+
+    /// Convenience: submit a network request and block for the
+    /// response.
+    ///
+    /// # Errors
+    /// As [`Server::submit_network`] and [`ResponseHandle::wait`].
+    pub fn infer_network(&self, req: NetworkRequest) -> Result<ConvResponse, ServeError> {
+        self.submit_network(req)?.wait()
     }
 
     /// Current submission-queue depth.
@@ -651,11 +784,11 @@ fn scheduler_loop(
             continue;
         }
         serve_sched_hook();
-        let head_layer = st.pending[0].plan.name.clone();
+        let head_key = st.pending[0].work.key();
         let same = st
             .pending
             .iter()
-            .filter(|p| p.plan.name == head_layer)
+            .filter(|p| p.work.key() == head_key)
             .count();
         let age = st.pending[0].enqueued_at.elapsed();
         if same < max_batch && age < max_wait && st.open {
@@ -666,11 +799,11 @@ fn scheduler_loop(
             st = guard;
             continue;
         }
-        // Extract up to max_batch same-layer requests, FIFO order.
+        // Extract up to max_batch same-key requests, FIFO order.
         let mut batch = Vec::with_capacity(same.min(max_batch));
         let mut i = 0;
         while i < st.pending.len() && batch.len() < max_batch {
-            if st.pending[i].plan.name == head_layer {
+            if st.pending[i].work.key() == head_key {
                 batch.push(st.pending.remove(i).expect("index in bounds"));
             } else {
                 i += 1;
@@ -774,7 +907,7 @@ pub(crate) fn execute_batch_contained(batch: Vec<Pending>, shared: &ExecShared) 
     if batch.is_empty() {
         return;
     }
-    let layer = batch[0].plan.name.clone();
+    let layer = batch[0].work.key();
     let slots: Vec<Arc<ResponseSlot>> = batch.iter().map(|p| Arc::clone(&p.slot)).collect();
     let (breaker, decision) = shared.breakers.decide(&layer);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -823,7 +956,13 @@ fn execute_batch(
         BATCHED.add(batch.len() as u64);
     }
     let batch_ids: Vec<u64> = batch.iter().map(|p| p.id).collect();
-    let plan = Arc::clone(&batch[0].plan);
+    let plan = match &batch[0].work {
+        Work::Layer(plan) => Arc::clone(plan),
+        Work::Network(plan) => {
+            let plan = Arc::clone(plan);
+            return execute_network_batch(&plan, batch, decision, &batch_ids, shared);
+        }
+    };
     let mut on_time = Vec::new();
     let mut late = Vec::new();
     for p in batch {
@@ -949,6 +1088,146 @@ fn run_group(
                     phases: phases.clone(),
                 };
                 stats.push(trace.clone());
+                p.slot.send(Ok(ConvResponse {
+                    output: piece,
+                    served_by: out.served_by,
+                    batched_with,
+                    trace,
+                }));
+            }
+            Some(clean)
+        }
+        Err(err) => {
+            let msg = err.to_string();
+            for p in group {
+                p.slot.send(Err(ServeError::Engine(msg.clone())));
+            }
+            Some(false)
+        }
+    }
+}
+
+/// Executes one coalesced whole-network batch: near-deadline members
+/// run the entire network in degraded mode (every conv on its terminal
+/// fallback engine); everyone else rides the full chains unless this
+/// network's circuit breaker is open. Returns the full-chain group's
+/// outcome for the breaker, mirroring [`execute_batch`].
+fn execute_network_batch(
+    plan: &Arc<NetworkPlan>,
+    batch: Vec<Pending>,
+    decision: BreakerDecision,
+    batch_ids: &[u64],
+    shared: &ExecShared,
+) -> Option<bool> {
+    NET_BATCHES.add(1);
+    if batch.len() > 1 {
+        NET_BATCHED.add(batch.len() as u64);
+    }
+    let mut on_time = Vec::new();
+    let mut late = Vec::new();
+    for p in batch {
+        H_QUEUE_WAIT.record_duration(p.enqueued_at.elapsed());
+        let is_late = p
+            .deadline
+            .is_some_and(|d| p.enqueued_at.elapsed() + shared.slack >= d);
+        if is_late {
+            DEADLINE_DEMOTIONS.add(1);
+            late.push(p);
+        } else {
+            on_time.push(p);
+        }
+    }
+    let degraded = !decision.full_chain();
+    let verdict = run_network_group(plan, on_time, degraded, shared, batch_ids, false);
+    run_network_group(plan, late, true, shared, batch_ids, true);
+    verdict
+}
+
+/// Runs one group of network requests as a single stacked inference
+/// through the wave executor and scatters the output back per request.
+/// Returns `Some(clean)` — clean meaning no conv demoted — or `None`
+/// for an empty group.
+fn run_network_group(
+    plan: &Arc<NetworkPlan>,
+    group: Vec<Pending>,
+    degraded: bool,
+    shared: &ExecShared,
+    batch_ids: &[u64],
+    deadline_demoted: bool,
+) -> Option<bool> {
+    if group.is_empty() {
+        return None;
+    }
+    if degraded {
+        NET_DEGRADED.add(group.len() as u64);
+    }
+    let batched_with = group.len();
+    let (_, c, h, w) = group[0].input.dims();
+    let total: usize = group.iter().map(|p| p.input.dims().0).sum();
+    // Stacking along N is a straight copy (NCHW, n-major), and every
+    // graph op treats images independently, so batched network outputs
+    // are bit-identical to one-at-a-time runs.
+    let mut input = Tensor4::<f32>::zeros(total, c, h, w);
+    let image = c * h * w;
+    let mut offset = 0;
+    for p in &group {
+        let n = p.input.dims().0;
+        input.data_mut()[offset..offset + n * image].copy_from_slice(p.input.data());
+        offset += n * image;
+    }
+    let exec = wino_exec::NetworkExecutor::new(Arc::clone(&plan.net), Arc::clone(&plan.pool))
+        .with_policy(shared.policy);
+    let mark = wino_probe::local_event_mark();
+    let execute_start = Instant::now();
+    let result = {
+        let mut span = wino_probe::span("serve.net_execute");
+        span.arg("network", || plan.name.clone());
+        span.arg("requests", || batched_with.to_string());
+        span.arg("images", || total.to_string());
+        exec.run_on(wino_runtime::Runtime::global(), &input, degraded)
+    };
+    let execute = execute_start.elapsed();
+    // Only spans recorded on this executor thread attribute here:
+    // single-step waves run inline (visible), fanned-out waves land on
+    // pool workers (not visible) — the executor's own `exec.network`
+    // span always is.
+    let phases: Vec<(&'static str, u64)> = wino_probe::local_spans_since(mark)
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("exec.") || name.starts_with("conv."))
+        .collect();
+    match result {
+        Ok(out) => {
+            NET_EXECUTED.add(batched_with as u64);
+            EXECUTED.add(batched_with as u64);
+            H_NET_EXECUTE.record_duration(execute);
+            let clean = out.demotions == 0;
+            let (_, k, oh, ow) = out.output.dims();
+            let out_image = k * oh * ow;
+            let mut offset = 0;
+            for p in group {
+                let n = p.input.dims().0;
+                let mut piece = Tensor4::<f32>::zeros(n, k, oh, ow);
+                piece
+                    .data_mut()
+                    .copy_from_slice(&out.output.data()[offset..offset + n * out_image]);
+                offset += n * out_image;
+                let e2e = p.enqueued_at.elapsed();
+                H_NET_E2E.record_duration(e2e);
+                H_E2E.record_duration(e2e);
+                let trace = RequestTrace {
+                    id: p.id,
+                    layer: plan.name.clone(),
+                    queue_wait: execute_start.saturating_duration_since(p.enqueued_at),
+                    execute,
+                    e2e,
+                    batch_size: batch_ids.len(),
+                    batch_peers: batch_ids.iter().copied().filter(|&i| i != p.id).collect(),
+                    served_by: out.served_by,
+                    demotions: out.demotions,
+                    deadline_demoted,
+                    phases: phases.clone(),
+                };
+                shared.stats.push(trace.clone());
                 p.slot.send(Ok(ConvResponse {
                     output: piece,
                     served_by: out.served_by,

@@ -1,0 +1,124 @@
+//! Exact accounting for network-level serving: warm filter transforms
+//! fire once per conv per registered network, cross-request batches
+//! coalesce, and the steady state does zero graph-level allocation.
+//!
+//! One test, alone in this binary: it owns the process-global probe
+//! counters.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wino_graph::EngineChoice;
+use wino_probe::Mode;
+use wino_serve::{NetworkRequest, PlanRegistry, Server, ServerConfig};
+use wino_tensor::Tensor4;
+
+#[test]
+fn network_serving_accounts_exactly() {
+    const NETWORKS: [&str; 2] = ["alexnet", "inception-3a-3b"];
+    const LOAD_PER_NETWORK: usize = 8;
+
+    wino_probe::reset();
+    wino_probe::set_mode(Mode::Summary);
+    wino_exec::set_steady_phase(false);
+
+    // Registration: exactly one filter transform per Winograd conv per
+    // registered network, all at registration time.
+    let registry = Arc::new(PlanRegistry::new());
+    let mut winograd_convs = 0u64;
+    for name in NETWORKS {
+        let plan = registry.register_zoo_network(name).unwrap();
+        winograd_convs += plan
+            .graph
+            .conv_nodes()
+            .iter()
+            .filter(|(id, _)| matches!(plan.graph.engine(*id), EngineChoice::Winograd(_)))
+            .count() as u64;
+    }
+    assert!(winograd_convs > 0);
+    let transforms = wino_probe::counter("conv.filter_transforms");
+    assert_eq!(
+        transforms.get(),
+        winograd_convs,
+        "registration transforms each Winograd conv exactly once per network"
+    );
+
+    // Server start reserves arenas (per executor, at max_batch images).
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 256,
+            executors: 2,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mk_input = |name: &str, seed: u64| {
+        let plan = registry.network(name).unwrap();
+        let (c, h, w) = plan.input_dims();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor4::<f32>::random(1, c, h, w, -1.0, 1.0, &mut rng)
+    };
+
+    // Warmup: one request per network, then flip steady accounting.
+    for name in NETWORKS {
+        server
+            .infer_network(NetworkRequest::new(name, mk_input(name, 0)))
+            .unwrap();
+    }
+    wino_exec::set_steady_phase(true);
+
+    // Steady load: submit everything first so the scheduler can
+    // coalesce, then collect.
+    let mut handles = Vec::new();
+    for i in 0..LOAD_PER_NETWORK {
+        for name in NETWORKS {
+            handles.push(
+                server
+                    .submit_network(NetworkRequest::new(name, mk_input(name, i as u64)))
+                    .unwrap(),
+            );
+        }
+    }
+    let mut batched_with_seen = 0usize;
+    for h in handles {
+        let resp = h.wait().unwrap();
+        batched_with_seen = batched_with_seen.max(resp.batched_with);
+    }
+    wino_exec::set_steady_phase(false);
+    server.shutdown();
+
+    let total = (NETWORKS.len() * LOAD_PER_NETWORK) as u64 + NETWORKS.len() as u64;
+    let counters: HashMap<String, u64> = wino_probe::counter_values().into_iter().collect();
+    assert_eq!(counters["serve.net_enqueued"], total);
+    assert_eq!(counters["serve.net_executed"], total);
+    assert_eq!(counters["serve.enqueued"], total);
+    assert_eq!(counters.get("serve.shed").copied().unwrap_or(0), 0);
+    assert_eq!(counters["serve.networks_registered"], NETWORKS.len() as u64);
+    // Cross-request coalescing actually happened (everything was
+    // queued before collection began, max_batch 4, 2 executors).
+    assert!(
+        batched_with_seen > 1,
+        "no network batch coalesced (max batched_with {batched_with_seen})"
+    );
+    assert!(counters.get("serve.net_batched").copied().unwrap_or(0) >= 2);
+    // Steady state: zero graph-level allocations after warmup...
+    assert_eq!(
+        counters.get("exec.allocs_steady").copied().unwrap_or(0),
+        0,
+        "steady-state network serving must not allocate at graph level"
+    );
+    // ...and no filter transform ever ran again.
+    assert_eq!(
+        transforms.get(),
+        winograd_convs,
+        "serving must never re-run a filter transform"
+    );
+    wino_probe::set_mode(Mode::Off);
+    wino_probe::reset();
+}

@@ -44,7 +44,8 @@ pub struct MetricSpec {
 }
 
 /// The default CI gate: speedup, compiled-kernel latency, steady-phase
-/// GFLOP/s, and serve tail latency/throughput.
+/// GFLOP/s, and tail latency/throughput for both per-layer and
+/// whole-network serving.
 pub fn default_specs() -> Vec<MetricSpec> {
     use Direction::*;
     vec![
@@ -80,6 +81,21 @@ pub fn default_specs() -> Vec<MetricSpec> {
         },
         MetricSpec {
             key: "serve/throughput_rps",
+            direction: HigherBetter,
+            ratio_tol: 0.40,
+        },
+        MetricSpec {
+            key: "serve_network/p50_ms",
+            direction: LowerBetter,
+            ratio_tol: 3.0,
+        },
+        MetricSpec {
+            key: "serve_network/p99_ms",
+            direction: LowerBetter,
+            ratio_tol: 3.0,
+        },
+        MetricSpec {
+            key: "serve_network/throughput_rps",
             direction: HigherBetter,
             ratio_tol: 0.40,
         },
@@ -240,7 +256,8 @@ mod tests {
                         {{"phase": "conv.output_transform", "ms": 0.3, "gflops": 2.2}}
                     ]
                 }},
-                "serve": {{"p99_ms": {p99}, "throughput_rps": 800.0}}
+                "serve": {{"p99_ms": {p99}, "throughput_rps": 800.0}},
+                "serve_network": {{"p50_ms": 60.0, "p99_ms": 70.0, "throughput_rps": 30.0}}
             }}"#
         ))
         .unwrap()

@@ -95,6 +95,28 @@ impl<T: Copy + Default> Tensor4<T> {
         &mut self.data
     }
 
+    /// Wraps an existing flat buffer as an `N × C × H × W` tensor
+    /// without copying. The buffer's spare capacity is preserved, so a
+    /// slab recycled through [`Tensor4::into_raw`] round-trips with no
+    /// reallocation as long as its capacity covers the new shape.
+    ///
+    /// # Panics
+    /// When `data.len() != n * c * h * w`.
+    pub fn from_raw(n: usize, c: usize, h: usize, w: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            n * c * h * w,
+            "raw buffer length must equal n*c*h*w"
+        );
+        Tensor4 { n, c, h, w, data }
+    }
+
+    /// Consumes the tensor, returning its flat buffer (capacity
+    /// intact) for reuse via [`Tensor4::from_raw`].
+    pub fn into_raw(self) -> Vec<T> {
+        self.data
+    }
+
     /// Flat index of `(n, c, y, x)`.
     #[inline]
     pub fn offset(&self, n: usize, c: usize, y: usize, x: usize) -> usize {

@@ -168,6 +168,66 @@ serve_smoke "transform:nan" \
   serve.breaker.open=1 \
   "gauge serve.breaker_state.smoke/conv=2 peak=2"
 
+echo "== wino-exec: network serving smoke (graph execution, arena accounting)"
+# The network drill registers two zoo networks for whole-graph
+# execution, warms each arena pool, then serves 8 steady-state requests
+# submitted concurrently. The schedule-controlled counters are exact
+# (10 network requests enqueued and executed, nothing shed); the binary
+# itself asserts the host-dependent ones (filter transforms once per
+# Winograd conv, planner peak under the naive activation layout) and
+# prints `ok` lines CI matches verbatim. Under a persistent transform
+# fault every request must still serve via the per-conv guard fallback,
+# with demotions observed and still zero graph-level steady allocations.
+net_smoke() {
+  local fault="$1"; shift
+  local out
+  out=$(WINO_FAULT="$fault" ./target/release/wino-serve-load --net-smoke)
+  for expect in "$@"; do
+    # Bare expects are counters; "net-smoke: ..." expects match verbatim.
+    local want="counter $expect"
+    case "$expect" in net-smoke:*) want="$expect";; esac
+    if ! grep -qx "$want" <<<"$out"; then
+      echo "FAIL: net smoke WINO_FAULT='$fault' expected '$want', got:" >&2
+      grep -E "^(counter|gauge|net-smoke:) " <<<"$out" >&2
+      exit 1
+    fi
+  done
+  # The submission queue must always drain once the server shuts down.
+  if ! grep -q "^gauge serve.queue_depth=0 peak=" <<<"$out"; then
+    echo "FAIL: net smoke WINO_FAULT='$fault': serve.queue_depth did not drain to 0, got:" >&2
+    grep "^gauge " <<<"$out" >&2
+    exit 1
+  fi
+  echo "$out"
+}
+# Clean run: full accounting, zero demotions, zero steady allocations.
+net_smoke "" \
+  serve.net_enqueued=10 serve.net_executed=10 serve.enqueued=10 \
+  serve.executed=10 serve.shed=0 serve.deadline_demotions=0 \
+  serve.networks_registered=2 serve.net_degraded=0 \
+  exec.allocs_steady=0 exec.degraded_runs=0 \
+  guard.demote.guardrail=0 guard.served_by_fallback=0 \
+  "net-smoke: steady served=8/8" \
+  "net-smoke: demotions=0" \
+  "net-smoke: planner peak under naive activations: ok" \
+  "net-smoke: warm transforms once per winograd conv: ok" >/dev/null
+echo "   ok: clean network serving — exact accounting, zero steady allocations"
+# Poisoned transforms: all 10 requests still serve (guard demotes each
+# Winograd conv to its fallback), and the steady phase still allocates
+# nothing at graph level.
+net_fault_out=$(net_smoke "transform:nan" \
+  serve.net_enqueued=10 serve.net_executed=10 serve.shed=0 \
+  exec.allocs_steady=0 \
+  "net-smoke: steady served=8/8" \
+  "net-smoke: planner peak under naive activations: ok" \
+  "net-smoke: warm transforms once per winograd conv: ok")
+if ! grep -qE "^net-smoke: demotions=[1-9][0-9]*$" <<<"$net_fault_out"; then
+  echo "FAIL: net smoke under transform:nan demoted nothing:" >&2
+  grep "^net-smoke: " <<<"$net_fault_out" >&2
+  exit 1
+fi
+echo "   ok: poisoned transforms -> all requests served via guard fallback"
+
 echo "== wino-serve: chaos drill (supervision, containment, exactly-once)"
 # Each run arms one serve-site fault against 12 sequential requests and
 # asserts the exact supervision counters, the health line, and the
@@ -292,6 +352,19 @@ done
 grep -qF "mode=chaos(seed=11,c=4)" results/serve_load.txt
 echo "   ok: chaos load run reported shed/internal rates into results/"
 
+echo "== wino-serve: load harness network mode"
+# The --net closed loop pushes whole-network requests through the graph
+# executor; the report must land in results/ tagged with the network.
+net_load=$(./target/release/wino-serve-load --net --network inception-3a-3b \
+  --requests 8 --concurrency 2)
+if ! grep -qF "mode=net-closed-loop(c=2) served=8" <<<"$net_load"; then
+  echo "FAIL: network load run did not serve all 8 requests, got:" >&2
+  echo "$net_load" >&2
+  exit 1
+fi
+grep -qF "net:inception-3a-3b mode=net-closed-loop(c=2)" results/serve_load.txt
+echo "   ok: network closed loop served and reported into results/"
+
 echo "== wino-telemetry: metrics smoke (histograms + Prometheus snapshot)"
 # The same 8-request smoke with WINO_METRICS armed: every request must
 # show up in the serve histograms (queue_wait/execute/e2e count exactly
@@ -358,8 +431,9 @@ echo "   ok: 3 demotions -> 3 parseable dumps with reason + conv.* span context"
 echo "== bench smoke: head perf artifact (BENCH_head.json)"
 # One zoo layer timed scalar-interpreted vs compiled-SIMD in the same
 # process, per-phase GFLOP/s from probe spans (split cold/steady), and
-# a short closed-loop serve run whose histogram percentiles are
-# cross-checked in-process against exact sorted-array ranks.
+# short closed-loop serve runs — per-layer and whole-network through
+# the graph executor — whose histogram percentiles are cross-checked
+# in-process against exact sorted-array ranks.
 WINO_SIMD=auto ./target/release/wino-bench-smoke --out BENCH_head.json
 python3 -m json.tool BENCH_head.json >/dev/null
 speedup=$(python3 -c "import json; print(json.load(open('BENCH_head.json'))['zoo_layer']['speedup'])")
